@@ -1,0 +1,212 @@
+//! Weighted base sets (Section 3 of the paper).
+//!
+//! The base set `S(Q)` is the set of nodes the random surfer jumps back to.
+//! ObjectRank2's key change over ObjectRank is that the jump probability is
+//! *proportional to the node's IR score* rather than uniform; the paper
+//! normalizes the IR scores of the base-set nodes to sum to one "since they
+//! represent probabilities". [`BaseSet`] stores exactly that normalized
+//! sparse probability vector.
+
+use std::fmt;
+
+/// Errors raised while constructing a base set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaseSetError {
+    /// The base set is empty — the query matched nothing.
+    Empty,
+    /// All provided weights were zero or negative (or NaN).
+    DegenerateWeights,
+}
+
+impl fmt::Display for BaseSetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaseSetError::Empty => write!(f, "base set is empty"),
+            BaseSetError::DegenerateWeights => {
+                write!(f, "base set weights are all zero, negative, or NaN")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BaseSetError {}
+
+/// A normalized sparse probability vector over graph nodes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BaseSet {
+    /// `(node, probability)` pairs, sorted by node, probabilities > 0 and
+    /// summing to 1.
+    entries: Vec<(u32, f64)>,
+}
+
+impl BaseSet {
+    /// Builds a weighted base set from `(node, weight)` pairs, dropping
+    /// non-positive entries and normalizing the rest to sum to one.
+    ///
+    /// # Errors
+    /// [`BaseSetError::Empty`] when no pairs are given;
+    /// [`BaseSetError::DegenerateWeights`] when no weight is positive.
+    pub fn weighted(pairs: impl IntoIterator<Item = (u32, f64)>) -> Result<Self, BaseSetError> {
+        let mut entries: Vec<(u32, f64)> = pairs
+            .into_iter()
+            .filter(|&(_, w)| w > 0.0 && w.is_finite())
+            .collect();
+        if entries.is_empty() {
+            // Distinguish "no input" from "all weights degenerate" only
+            // when it matters: both are unusable, but the caller's fix
+            // differs (no results vs bad scorer).
+            return Err(BaseSetError::Empty);
+        }
+        entries.sort_unstable_by_key(|&(n, _)| n);
+        // Merge duplicates.
+        let mut merged: Vec<(u32, f64)> = Vec::with_capacity(entries.len());
+        for (n, w) in entries {
+            match merged.last_mut() {
+                Some(last) if last.0 == n => last.1 += w,
+                _ => merged.push((n, w)),
+            }
+        }
+        let total: f64 = merged.iter().map(|&(_, w)| w).sum();
+        if !(total > 0.0) || !total.is_finite() {
+            return Err(BaseSetError::DegenerateWeights);
+        }
+        for (_, w) in &mut merged {
+            *w /= total;
+        }
+        Ok(Self { entries: merged })
+    }
+
+    /// The original ObjectRank base set: uniform probability over the
+    /// given nodes (each weight `1/|S|`).
+    pub fn uniform(nodes: impl IntoIterator<Item = u32>) -> Result<Self, BaseSetError> {
+        Self::weighted(nodes.into_iter().map(|n| (n, 1.0)))
+    }
+
+    /// The global base set: every node of an `n`-node graph, uniformly —
+    /// used by global ObjectRank / PageRank.
+    ///
+    /// # Errors
+    /// [`BaseSetError::Empty`] when `n == 0`.
+    pub fn global(n: usize) -> Result<Self, BaseSetError> {
+        Self::uniform(0..u32::try_from(n).expect("node count overflows u32"))
+    }
+
+    /// Number of base-set nodes (`|S(Q)|`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Always false (construction rejects empty sets); present for API
+    /// completeness.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(node, probability)` pairs sorted by node.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// The probability of a node (0 if outside the base set).
+    pub fn probability(&self, node: u32) -> f64 {
+        self.entries
+            .binary_search_by_key(&node, |&(n, _)| n)
+            .map(|i| self.entries[i].1)
+            .unwrap_or(0.0)
+    }
+
+    /// True if `node` is in the base set.
+    pub fn contains(&self, node: u32) -> bool {
+        self.entries.binary_search_by_key(&node, |&(n, _)| n).is_ok()
+    }
+
+    /// The node ids of the base set, sorted.
+    pub fn nodes(&self) -> impl Iterator<Item = u32> + '_ {
+        self.entries.iter().map(|&(n, _)| n)
+    }
+
+    /// Materializes the dense `s` vector of Equation 4 over `n` nodes.
+    ///
+    /// # Panics
+    /// Panics if any base-set node is `>= n`.
+    pub fn to_dense(&self, n: usize) -> Vec<f64> {
+        let mut dense = vec![0.0; n];
+        for &(node, p) in &self.entries {
+            dense[node as usize] = p;
+        }
+        dense
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_normalizes_to_one() {
+        let b = BaseSet::weighted([(3, 2.0), (1, 1.0), (7, 1.0)]).unwrap();
+        let sum: f64 = b.iter().map(|(_, p)| p).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert_eq!(b.probability(3), 0.5);
+        assert_eq!(b.probability(1), 0.25);
+        assert_eq!(b.probability(99), 0.0);
+    }
+
+    #[test]
+    fn entries_sorted_by_node() {
+        let b = BaseSet::weighted([(9, 1.0), (2, 1.0), (5, 1.0)]).unwrap();
+        let nodes: Vec<u32> = b.nodes().collect();
+        assert_eq!(nodes, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn duplicates_merge() {
+        let b = BaseSet::weighted([(1, 1.0), (1, 3.0)]).unwrap();
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.probability(1), 1.0);
+    }
+
+    #[test]
+    fn non_positive_weights_dropped() {
+        let b = BaseSet::weighted([(1, 1.0), (2, 0.0), (3, -5.0), (4, f64::NAN)]).unwrap();
+        assert_eq!(b.len(), 1);
+        assert!(b.contains(1));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(BaseSet::weighted([]), Err(BaseSetError::Empty));
+        assert_eq!(
+            BaseSet::weighted([(1, 0.0)]),
+            Err(BaseSetError::Empty)
+        );
+    }
+
+    #[test]
+    fn uniform_gives_equal_probabilities() {
+        let b = BaseSet::uniform([4, 8, 2, 6]).unwrap();
+        for (_, p) in b.iter() {
+            assert!((p - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn global_covers_all_nodes() {
+        let b = BaseSet::global(5).unwrap();
+        assert_eq!(b.len(), 5);
+        assert!((b.probability(4) - 0.2).abs() < 1e-12);
+        assert!(BaseSet::global(0).is_err());
+    }
+
+    #[test]
+    fn to_dense_roundtrip() {
+        let b = BaseSet::weighted([(0, 1.0), (3, 3.0)]).unwrap();
+        let dense = b.to_dense(5);
+        assert_eq!(dense.len(), 5);
+        assert_eq!(dense[0], 0.25);
+        assert_eq!(dense[3], 0.75);
+        assert_eq!(dense[1], 0.0);
+    }
+}

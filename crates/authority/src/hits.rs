@@ -1,0 +1,234 @@
+//! HITS (Kleinberg, JACM 1999): the hubs-and-authorities baseline the
+//! paper's related work contrasts with authority-flow ranking.
+//!
+//! HITS computes two mutually recursive scores over the *directed data
+//! graph* (forward transfer edges only): a node's authority score is the
+//! normalized sum of the hub scores pointing at it, and its hub score the
+//! normalized sum of the authority scores it points to. Unlike
+//! ObjectRank, HITS ignores edge types and has no query-specific jump —
+//! which is exactly the contrast the paper draws.
+
+use orex_graph::{Direction, NodeId, TransferGraph};
+
+/// Parameters for the HITS iteration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HitsParams {
+    /// L2 convergence threshold on the authority vector.
+    pub epsilon: f64,
+    /// Iteration cap.
+    pub max_iterations: usize,
+}
+
+impl Default for HitsParams {
+    fn default() -> Self {
+        Self {
+            epsilon: 1e-8,
+            max_iterations: 200,
+        }
+    }
+}
+
+/// Result of a HITS computation.
+#[derive(Clone, Debug)]
+pub struct HitsResult {
+    /// Authority scores (L2-normalized).
+    pub authorities: Vec<f64>,
+    /// Hub scores (L2-normalized).
+    pub hubs: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether the threshold was met.
+    pub converged: bool,
+}
+
+fn l2_normalize(v: &mut [f64]) {
+    let norm: f64 = v.iter().map(|&x| x * x).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for x in v {
+            *x /= norm;
+        }
+    }
+}
+
+/// Runs HITS over the directed data graph, optionally restricted to a
+/// node subset (the classic "base subgraph" of the query — pass the
+/// base-set neighborhood for query-specific HITS, or `None` for global).
+pub fn hits(graph: &TransferGraph, subset: Option<&[u32]>, params: &HitsParams) -> HitsResult {
+    let n = graph.node_count();
+    let in_subset: Option<Vec<bool>> = subset.map(|nodes| {
+        let mut mask = vec![false; n];
+        for &node in nodes {
+            mask[node as usize] = true;
+        }
+        mask
+    });
+    let active = |node: usize| in_subset.as_ref().is_none_or(|m| m[node]);
+
+    // Collect the forward edges once (HITS is type- and weight-oblivious).
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for e in 0..graph.transfer_edge_count() {
+        if graph.edge_transfer_type(e).direction == Direction::Forward {
+            let (src, dst) = graph.edge_endpoints(e);
+            if active(src.index()) && active(dst.index()) {
+                edges.push((src.raw(), dst.raw()));
+            }
+        }
+    }
+
+    let mut auth = vec![0.0f64; n];
+    let mut hub = vec![0.0f64; n];
+    for node in 0..n {
+        if active(node) {
+            auth[node] = 1.0;
+            hub[node] = 1.0;
+        }
+    }
+    l2_normalize(&mut auth);
+    l2_normalize(&mut hub);
+
+    let mut iterations = 0;
+    let mut converged = false;
+    let mut new_auth = vec![0.0f64; n];
+    let mut new_hub = vec![0.0f64; n];
+    for _ in 0..params.max_iterations {
+        iterations += 1;
+        new_auth.iter_mut().for_each(|x| *x = 0.0);
+        new_hub.iter_mut().for_each(|x| *x = 0.0);
+        for &(src, dst) in &edges {
+            new_auth[dst as usize] += hub[src as usize];
+        }
+        l2_normalize(&mut new_auth);
+        for &(src, dst) in &edges {
+            new_hub[src as usize] += new_auth[dst as usize];
+        }
+        l2_normalize(&mut new_hub);
+        let delta: f64 = new_auth
+            .iter()
+            .zip(&auth)
+            .map(|(&a, &b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        std::mem::swap(&mut auth, &mut new_auth);
+        std::mem::swap(&mut hub, &mut new_hub);
+        if delta < params.epsilon {
+            converged = true;
+            break;
+        }
+    }
+
+    HitsResult {
+        authorities: auth,
+        hubs: hub,
+        iterations,
+        converged,
+    }
+}
+
+/// Convenience: the base subgraph of a base set — the base nodes plus
+/// everything within one hop (in either direction) of them, the expansion
+/// Kleinberg's original algorithm applies to the root set.
+pub fn base_subgraph(graph: &TransferGraph, roots: &[u32]) -> Vec<u32> {
+    let mut nodes: Vec<u32> = roots.to_vec();
+    for &r in roots {
+        for (next, _) in graph.out_transfer(NodeId::new(r)) {
+            nodes.push(next.raw());
+        }
+        for (prev, _) in graph.in_transfer(NodeId::new(r)) {
+            nodes.push(prev.raw());
+        }
+    }
+    nodes.sort_unstable();
+    nodes.dedup();
+    nodes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orex_graph::{DataGraphBuilder, SchemaGraph, TransferGraph};
+
+    /// Star: nodes 1..4 all point at node 0; node 5 points at 1..4.
+    fn star() -> TransferGraph {
+        let mut schema = SchemaGraph::new();
+        let p = schema.add_node_type("P").unwrap();
+        let r = schema.add_edge_type(p, p, "r").unwrap();
+        let mut b = DataGraphBuilder::new(schema);
+        let nodes: Vec<_> = (0..6).map(|_| b.add_node(p, vec![]).unwrap()).collect();
+        for i in 1..5 {
+            b.add_edge(nodes[i], nodes[0], r).unwrap();
+            b.add_edge(nodes[5], nodes[i], r).unwrap();
+        }
+        TransferGraph::build(&b.freeze())
+    }
+
+    #[test]
+    fn authority_concentrates_on_pointed_node() {
+        let g = star();
+        let res = hits(&g, None, &HitsParams::default());
+        assert!(res.converged);
+        // Node 0 is pointed at by every middle node: top authority.
+        let best = res
+            .authorities
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(best, 0);
+        // Node 5 points at all the middle nodes: top hub.
+        let best_hub = res
+            .hubs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(best_hub, 5);
+    }
+
+    #[test]
+    fn scores_are_l2_normalized() {
+        let g = star();
+        let res = hits(&g, None, &HitsParams::default());
+        let na: f64 = res.authorities.iter().map(|x| x * x).sum();
+        let nh: f64 = res.hubs.iter().map(|x| x * x).sum();
+        assert!((na - 1.0).abs() < 1e-9);
+        assert!((nh - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn subset_restricts_computation() {
+        let g = star();
+        // Exclude the super-hub (node 5): middle nodes lose hub backing.
+        let subset: Vec<u32> = vec![0, 1, 2, 3, 4];
+        let res = hits(&g, Some(&subset), &HitsParams::default());
+        assert_eq!(res.authorities[5], 0.0);
+        assert_eq!(res.hubs[5], 0.0);
+        assert!(res.authorities[0] > 0.0);
+    }
+
+    #[test]
+    fn base_subgraph_expands_one_hop() {
+        let g = star();
+        let sub = base_subgraph(&g, &[0]);
+        // Node 0's in-neighbors are 1..4 (via forward edges) and their
+        // transfer-backward edges; node 5 is two hops away.
+        assert!(sub.contains(&0));
+        for i in 1..5u32 {
+            assert!(sub.contains(&i));
+        }
+    }
+
+    #[test]
+    fn empty_graph_is_harmless() {
+        let mut schema = SchemaGraph::new();
+        let p = schema.add_node_type("P").unwrap();
+        schema.add_edge_type(p, p, "r").unwrap();
+        let mut b = DataGraphBuilder::new(schema);
+        b.add_node(p, vec![]).unwrap();
+        let g = TransferGraph::build(&b.freeze());
+        let res = hits(&g, None, &HitsParams::default());
+        assert!(res.converged);
+        assert_eq!(res.authorities.len(), 1);
+    }
+}

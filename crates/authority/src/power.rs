@@ -1,0 +1,443 @@
+//! The power-iteration engine behind every ranking in the paper
+//! (Equation 4):
+//!
+//! ```text
+//! r = d · A · r + (1 - d) · s
+//! ```
+//!
+//! where `A[i][j] = alpha(e)` for transfer edges `e = (v_j -> v_i)`, `d` is
+//! the damping factor, and `s` is the (normalized) base-set vector. The
+//! engine is *pull-based*: each node gathers from its in-neighbors, so
+//! iterations parallelize over disjoint output ranges with no write
+//! contention and bitwise-deterministic results for any thread count.
+
+use crate::base_set::BaseSet;
+use orex_graph::{TransferGraph, TransferRates};
+
+/// Parameters of a power-iteration run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RankParams {
+    /// Damping factor `d` (the paper uses 0.85; `1 - d` is the random-jump
+    /// probability).
+    pub damping: f64,
+    /// Convergence threshold on the L1 residual `Σ|r_new - r_old|`.
+    /// The paper's performance experiments use 0.002 (Section 6.2).
+    pub epsilon: f64,
+    /// Iteration cap; the run reports `converged = false` when hit.
+    pub max_iterations: usize,
+    /// Worker threads; 0 selects automatically (1 for small graphs).
+    pub threads: usize,
+}
+
+impl Default for RankParams {
+    fn default() -> Self {
+        Self {
+            damping: 0.85,
+            epsilon: 0.002,
+            max_iterations: 200,
+            threads: 0,
+        }
+    }
+}
+
+/// Outcome of a power-iteration run.
+#[derive(Clone, Debug)]
+pub struct RankResult {
+    /// The score vector `r` at termination (one entry per node).
+    pub scores: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether the L1 residual dropped below `epsilon`.
+    pub converged: bool,
+    /// L1 residual after each iteration (for convergence plots).
+    pub residuals: Vec<f64>,
+}
+
+/// The transition structure `d`-independent part of Equation 4: the
+/// transfer-graph topology with per-edge `alpha` weights derived from a
+/// rates vector, pre-aligned to the in-CSR slots for the pull loop.
+pub struct TransitionMatrix<'g> {
+    graph: &'g TransferGraph,
+    /// Per transfer-edge `alpha` (Equation 1), edge-indexed.
+    edge_weights: Vec<f64>,
+    /// `alpha` aligned with the in-CSR slots.
+    in_slot_weights: Vec<f64>,
+}
+
+impl<'g> TransitionMatrix<'g> {
+    /// Builds the matrix for a rates vector.
+    pub fn new(graph: &'g TransferGraph, rates: &TransferRates) -> Self {
+        Self::from_edge_weights(graph, graph.weights(rates))
+    }
+
+    /// Builds the matrix from precomputed per-edge weights (edge-indexed).
+    ///
+    /// # Panics
+    /// Panics if `edge_weights` does not have one entry per transfer edge.
+    pub fn from_edge_weights(graph: &'g TransferGraph, edge_weights: Vec<f64>) -> Self {
+        assert_eq!(
+            edge_weights.len(),
+            graph.transfer_edge_count(),
+            "edge weight vector length mismatch"
+        );
+        let in_slot_weights = graph
+            .in_slot_edges()
+            .iter()
+            .map(|&e| edge_weights[e as usize])
+            .collect();
+        Self {
+            graph,
+            edge_weights,
+            in_slot_weights,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// The underlying transfer graph.
+    #[inline]
+    pub fn graph(&self) -> &'g TransferGraph {
+        self.graph
+    }
+
+    /// Per-transfer-edge `alpha` weights (edge-indexed).
+    #[inline]
+    pub fn edge_weights(&self) -> &[f64] {
+        &self.edge_weights
+    }
+
+    /// Computes `out[i] = damping * Σ_{j -> i} alpha(j -> i) * r[j] + add[i]`
+    /// for `i` in `range`, writing into `out` (which must be the slice for
+    /// exactly that range).
+    fn pull_range(
+        &self,
+        r: &[f64],
+        out: &mut [f64],
+        range: std::ops::Range<usize>,
+        damping: f64,
+        add: &[f64],
+    ) {
+        let csr = self.graph.in_csr();
+        let offsets = csr.row_offsets();
+        let targets = csr.targets();
+        for (local, i) in range.clone().enumerate() {
+            let lo = offsets[i] as usize;
+            let hi = offsets[i + 1] as usize;
+            let mut acc = 0.0;
+            for slot in lo..hi {
+                // `targets` of the in-CSR are the *sources* j of edges j->i.
+                acc += self.in_slot_weights[slot] * r[targets[slot] as usize];
+            }
+            out[local] = damping * acc + add[i];
+        }
+    }
+}
+
+fn resolve_threads(requested: usize, n: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if n < 50_000 {
+        return 1;
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get().min(16))
+        .unwrap_or(1)
+}
+
+/// Runs Equation 4 to convergence.
+///
+/// `warm_start` seeds the iteration with a previous score vector — the
+/// Section 6.2 optimization ("Manipulating Initial ObjectRank values"):
+/// the initial query starts from global ObjectRank scores, reformulated
+/// queries from the previous query's scores, which Figures 14(b)–17(b)
+/// show cuts the iteration count sharply. Without it the iteration starts
+/// from the base-set vector itself.
+pub fn power_iteration(
+    matrix: &TransitionMatrix<'_>,
+    base: &BaseSet,
+    params: &RankParams,
+    warm_start: Option<&[f64]>,
+) -> RankResult {
+    let n = matrix.node_count();
+    assert!(n > 0, "empty graph");
+    assert!(
+        (0.0..1.0).contains(&params.damping),
+        "damping must be in [0, 1)"
+    );
+    let d = params.damping;
+    let mut jump = base.to_dense(n);
+    for p in &mut jump {
+        *p *= 1.0 - d;
+    }
+
+    let mut r: Vec<f64> = match warm_start {
+        Some(w) => {
+            assert_eq!(w.len(), n, "warm-start vector length mismatch");
+            // Use the previous scores verbatim: the fixpoint of Equation 4
+            // generally sums to less than 1 (authority leaks at nodes whose
+            // outgoing rates sum below 1), so renormalizing would move a
+            // perfect warm start *away* from the fixpoint.
+            let sum: f64 = w.iter().sum();
+            if sum > 0.0 && sum.is_finite() {
+                w.to_vec()
+            } else {
+                base.to_dense(n)
+            }
+        }
+        None => base.to_dense(n),
+    };
+    let mut r_new = vec![0.0; n];
+
+    let threads = resolve_threads(params.threads, n);
+    let mut residuals = Vec::new();
+    let mut converged = false;
+    let mut iterations = 0;
+
+    for _ in 0..params.max_iterations {
+        iterations += 1;
+        if threads <= 1 {
+            matrix.pull_range(&r, &mut r_new, 0..n, d, &jump);
+        } else {
+            let chunk = n.div_ceil(threads);
+            std::thread::scope(|scope| {
+                let r_ref = &r;
+                let jump_ref = &jump;
+                for (idx, out_chunk) in r_new.chunks_mut(chunk).enumerate() {
+                    let start = idx * chunk;
+                    let range = start..start + out_chunk.len();
+                    scope.spawn(move || {
+                        matrix.pull_range(r_ref, out_chunk, range, d, jump_ref);
+                    });
+                }
+            });
+        }
+        let residual: f64 = r_new
+            .iter()
+            .zip(&r)
+            .map(|(&a, &b)| (a - b).abs())
+            .sum();
+        residuals.push(residual);
+        std::mem::swap(&mut r, &mut r_new);
+        if residual < params.epsilon {
+            converged = true;
+            break;
+        }
+    }
+
+    RankResult {
+        scores: r,
+        iterations,
+        converged,
+        residuals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orex_graph::{DataGraphBuilder, SchemaGraph, TransferGraph, TransferRates, TransferTypeId};
+
+    /// A 4-node "cites" chain 0 -> 1 -> 2 -> 3 plus a back edge 3 -> 0.
+    fn ring_graph() -> (TransferGraph, TransferRates) {
+        let mut schema = SchemaGraph::new();
+        let p = schema.add_node_type("Paper").unwrap();
+        let cites = schema.add_edge_type(p, p, "cites").unwrap();
+        let mut b = DataGraphBuilder::new(schema);
+        let nodes: Vec<_> = (0..4).map(|_| b.add_node(p, vec![]).unwrap()).collect();
+        for i in 0..4 {
+            b.add_edge(nodes[i], nodes[(i + 1) % 4], cites).unwrap();
+        }
+        let g = b.freeze();
+        let tg = TransferGraph::build(&g);
+        let mut rates = TransferRates::zero(g.schema());
+        rates.set(TransferTypeId::forward(cites), 0.7).unwrap();
+        rates.set(TransferTypeId::backward(cites), 0.1).unwrap();
+        (tg, rates)
+    }
+
+    fn tight() -> RankParams {
+        RankParams {
+            epsilon: 1e-12,
+            max_iterations: 2000,
+            ..RankParams::default()
+        }
+    }
+
+    #[test]
+    fn symmetric_ring_gives_uniform_scores() {
+        let (tg, rates) = ring_graph();
+        let m = TransitionMatrix::new(&tg, &rates);
+        let base = BaseSet::global(4).unwrap();
+        let res = power_iteration(&m, &base, &tight(), None);
+        assert!(res.converged);
+        for &s in &res.scores {
+            assert!((s - res.scores[0]).abs() < 1e-9, "{:?}", res.scores);
+        }
+    }
+
+    #[test]
+    fn scores_sum_at_most_one() {
+        let (tg, rates) = ring_graph();
+        let m = TransitionMatrix::new(&tg, &rates);
+        let base = BaseSet::uniform([0]).unwrap();
+        let res = power_iteration(&m, &base, &tight(), None);
+        let sum: f64 = res.scores.iter().sum();
+        // Rates sum to 0.8 < 1 per node, so authority leaks: sum < 1.
+        assert!(sum <= 1.0 + 1e-9);
+        assert!(sum > 0.0);
+    }
+
+    #[test]
+    fn base_set_node_dominates_nearby() {
+        let (tg, rates) = ring_graph();
+        let m = TransitionMatrix::new(&tg, &rates);
+        let base = BaseSet::uniform([0]).unwrap();
+        let res = power_iteration(&m, &base, &tight(), None);
+        // Node 0 jumps back to itself; node 1 receives its citation flow.
+        assert!(res.scores[0] > res.scores[1]);
+        assert!(res.scores[1] > res.scores[2]);
+    }
+
+    #[test]
+    fn fixpoint_satisfies_equation4() {
+        let (tg, rates) = ring_graph();
+        let m = TransitionMatrix::new(&tg, &rates);
+        let base = BaseSet::weighted([(0, 3.0), (2, 1.0)]).unwrap();
+        let params = tight();
+        let res = power_iteration(&m, &base, &params, None);
+        assert!(res.converged);
+        // Verify r = d A r + (1-d) s componentwise by a manual pull.
+        let n = tg.node_count();
+        let w = m.edge_weights();
+        for i in 0..n {
+            let mut acc = 0.0;
+            for (src, e) in tg.in_transfer(orex_graph::NodeId::from_usize(i)) {
+                acc += w[e] * res.scores[src.index()];
+            }
+            let expect = params.damping * acc
+                + (1.0 - params.damping) * base.probability(i as u32);
+            assert!((res.scores[i] - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn warm_start_from_fixpoint_converges_immediately() {
+        let (tg, rates) = ring_graph();
+        let m = TransitionMatrix::new(&tg, &rates);
+        let base = BaseSet::uniform([0, 2]).unwrap();
+        let cold = power_iteration(&m, &base, &tight(), None);
+        let warm = power_iteration(&m, &base, &tight(), Some(&cold.scores));
+        assert!(warm.iterations <= 2, "took {}", warm.iterations);
+        assert!(warm.converged);
+    }
+
+    #[test]
+    fn warm_start_reduces_iterations_for_similar_query() {
+        let (tg, rates) = ring_graph();
+        let m = TransitionMatrix::new(&tg, &rates);
+        let base1 = BaseSet::weighted([(0, 1.0), (1, 1.0)]).unwrap();
+        let base2 = BaseSet::weighted([(0, 1.0), (1, 0.9)]).unwrap();
+        let cold1 = power_iteration(&m, &base1, &tight(), None);
+        let cold2 = power_iteration(&m, &base2, &tight(), None);
+        let warm2 = power_iteration(&m, &base2, &tight(), Some(&cold1.scores));
+        assert!(warm2.iterations < cold2.iterations);
+        // Same fixpoint either way.
+        for (a, b) in warm2.scores.iter().zip(&cold2.scores) {
+            assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn degenerate_warm_start_falls_back_to_base() {
+        let (tg, rates) = ring_graph();
+        let m = TransitionMatrix::new(&tg, &rates);
+        let base = BaseSet::uniform([0]).unwrap();
+        let zeros = vec![0.0; 4];
+        let res = power_iteration(&m, &base, &tight(), Some(&zeros));
+        assert!(res.converged);
+        assert!(res.scores[0] > 0.0);
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let (tg, rates) = ring_graph();
+        let m = TransitionMatrix::new(&tg, &rates);
+        let base = BaseSet::weighted([(1, 2.0), (3, 1.0)]).unwrap();
+        let serial = power_iteration(
+            &m,
+            &base,
+            &RankParams {
+                threads: 1,
+                ..tight()
+            },
+            None,
+        );
+        let parallel = power_iteration(
+            &m,
+            &base,
+            &RankParams {
+                threads: 3,
+                ..tight()
+            },
+            None,
+        );
+        assert_eq!(serial.iterations, parallel.iterations);
+        for (a, b) in serial.scores.iter().zip(&parallel.scores) {
+            assert_eq!(a, b, "parallel must be bitwise deterministic");
+        }
+    }
+
+    #[test]
+    fn residuals_decrease() {
+        let (tg, rates) = ring_graph();
+        let m = TransitionMatrix::new(&tg, &rates);
+        let base = BaseSet::uniform([0]).unwrap();
+        let res = power_iteration(&m, &base, &tight(), None);
+        for pair in res.residuals.windows(2) {
+            assert!(pair[1] <= pair[0] * 1.01, "residuals not decreasing: {pair:?}");
+        }
+    }
+
+    #[test]
+    fn max_iterations_cap_respected() {
+        let (tg, rates) = ring_graph();
+        let m = TransitionMatrix::new(&tg, &rates);
+        let base = BaseSet::uniform([0]).unwrap();
+        let res = power_iteration(
+            &m,
+            &base,
+            &RankParams {
+                epsilon: 0.0,
+                max_iterations: 3,
+                ..RankParams::default()
+            },
+            None,
+        );
+        assert_eq!(res.iterations, 3);
+        assert!(!res.converged);
+    }
+
+    #[test]
+    fn damping_zero_returns_base_set() {
+        let (tg, rates) = ring_graph();
+        let m = TransitionMatrix::new(&tg, &rates);
+        let base = BaseSet::weighted([(2, 1.0)]).unwrap();
+        let res = power_iteration(
+            &m,
+            &base,
+            &RankParams {
+                damping: 0.0,
+                ..tight()
+            },
+            None,
+        );
+        assert!(res.converged);
+        assert!((res.scores[2] - 1.0).abs() < 1e-12);
+        assert_eq!(res.scores[0], 0.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Top-k selection over dense score vectors.
+//!
+//! Every experiment in the paper reports top-k result lists (k = 10 in the
+//! surveys). Selection is O(n log k) via a bounded min-heap, with a
+//! deterministic tie-break: higher score first, then smaller node id.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An entry in a ranked result list.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Ranked {
+    /// Node id.
+    pub node: u32,
+    /// Score.
+    pub score: f64,
+}
+
+/// Wrapper giving `Ranked` the ordering "worse first" so the max-heap
+/// becomes a min-heap over result quality.
+#[derive(PartialEq)]
+struct Worst(Ranked);
+
+impl Eq for Worst {}
+
+impl PartialOrd for Worst {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Worst {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // A result is "greater" (popped/evicted first) when it is
+        // *worse*: lower score, or equal score with a larger node id.
+        other
+            .0
+            .score
+            .total_cmp(&self.0.score)
+            .then_with(|| self.0.node.cmp(&other.0.node))
+    }
+}
+
+/// Returns the `k` highest-scoring nodes (score > `min_score`), best first.
+pub fn top_k(scores: &[f64], k: usize, min_score: f64) -> Vec<Ranked> {
+    let mut heap: BinaryHeap<Worst> = BinaryHeap::with_capacity(k + 1);
+    for (node, &score) in scores.iter().enumerate() {
+        if score <= min_score {
+            continue;
+        }
+        let entry = Ranked {
+            node: node as u32,
+            score,
+        };
+        if heap.len() < k {
+            heap.push(Worst(entry));
+        } else if let Some(worst) = heap.peek() {
+            let better = entry.score > worst.0.score
+                || (entry.score == worst.0.score && entry.node < worst.0.node);
+            if better {
+                heap.pop();
+                heap.push(Worst(entry));
+            }
+        }
+    }
+    let mut out: Vec<Ranked> = heap.into_iter().map(|w| w.0).collect();
+    out.sort_unstable_by(|a, b| {
+        b.score
+            .total_cmp(&a.score)
+            .then_with(|| a.node.cmp(&b.node))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_best_k_in_order() {
+        let scores = [0.1, 0.5, 0.3, 0.9, 0.2];
+        let top = top_k(&scores, 3, 0.0);
+        let nodes: Vec<u32> = top.iter().map(|r| r.node).collect();
+        assert_eq!(nodes, vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn ties_break_by_node_id() {
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let top = top_k(&scores, 2, 0.0);
+        let nodes: Vec<u32> = top.iter().map(|r| r.node).collect();
+        assert_eq!(nodes, vec![0, 1]);
+    }
+
+    #[test]
+    fn eviction_removes_largest_id_among_ties() {
+        // Regression: when a better candidate evicts a tied pair, the
+        // *larger* node id must leave the heap, not the smaller.
+        let scores = [0.5, 0.5, 0.9];
+        let top = top_k(&scores, 2, 0.0);
+        let nodes: Vec<u32> = top.iter().map(|r| r.node).collect();
+        assert_eq!(nodes, vec![2, 0]);
+    }
+
+    #[test]
+    fn fewer_than_k_results() {
+        let scores = [0.0, 0.7, 0.0];
+        let top = top_k(&scores, 10, 0.0);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].node, 1);
+    }
+
+    #[test]
+    fn min_score_filters() {
+        let scores = [0.1, 0.2, 0.3];
+        let top = top_k(&scores, 10, 0.15);
+        assert_eq!(top.len(), 2);
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        assert!(top_k(&[1.0, 2.0], 0, 0.0).is_empty());
+    }
+
+    #[test]
+    fn matches_full_sort_on_random_input() {
+        // Deterministic pseudo-random scores.
+        let mut x = 0x9E3779B97F4A7C15u64;
+        let scores: Vec<f64> = (0..500)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((x >> 33) % 97) as f64 / 97.0
+            })
+            .collect();
+        let top = top_k(&scores, 25, 0.0);
+        let mut full: Vec<Ranked> = scores
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s > 0.0)
+            .map(|(n, &s)| Ranked {
+                node: n as u32,
+                score: s,
+            })
+            .collect();
+        full.sort_unstable_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.node.cmp(&b.node)));
+        full.truncate(25);
+        assert_eq!(top, full);
+    }
+}

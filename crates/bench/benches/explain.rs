@@ -1,0 +1,56 @@
+//! Criterion bench: explaining-subgraph creation + flow-adjustment
+//! fixpoint (the "Explaining Subgraph Creation" and "Explaining
+//! ObjectRank2 Execution" bars of Figures 14(a)–17(a)), across radii
+//! (the L = 3 choice of Section 4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orex_authority::BaseSet;
+use orex_core::{QuerySession, SystemConfig};
+use orex_datagen::Preset;
+use orex_explain::{ExplainParams, Explanation};
+use orex_ir::Query;
+use std::hint::black_box;
+
+fn bench_explain(c: &mut Criterion) {
+    let dataset = Preset::DblpTop.generate(0.2);
+    let system = orex_core::ObjectRankSystem::new(
+        dataset.graph,
+        dataset.ground_truth,
+        SystemConfig::default(),
+    );
+    let session = QuerySession::start(&system, &Query::parse("data")).unwrap();
+    let target = session.top_k(1)[0].node;
+    let weights = system.transfer().weights(session.rates());
+    let base = BaseSet::weighted(
+        system
+            .index()
+            .base_set_scores(session.query_vector(), &system.config().okapi),
+    )
+    .unwrap();
+
+    let mut group = c.benchmark_group("explain");
+    group.sample_size(20);
+    for radius in [1usize, 2, 3, 4] {
+        group.bench_with_input(BenchmarkId::new("radius", radius), &radius, |b, &r| {
+            let params = ExplainParams {
+                radius: r,
+                ..ExplainParams::default()
+            };
+            b.iter(|| {
+                let e = Explanation::explain(
+                    system.transfer(),
+                    black_box(&weights),
+                    session.scores(),
+                    &base,
+                    target,
+                    &params,
+                );
+                black_box(e.map(|e| e.edge_count()).unwrap_or(0))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_explain);
+criterion_main!(benches);

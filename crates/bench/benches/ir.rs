@@ -1,0 +1,61 @@
+//! Criterion bench: IR substrate — analysis throughput and base-set
+//! scoring (the input stage of every ObjectRank2 execution, Equation 2/3).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use orex_core::SystemConfig;
+use orex_datagen::Preset;
+use orex_ir::{Analyzer, Okapi, Query, QueryVector, TfIdf};
+use std::hint::black_box;
+
+fn bench_ir(c: &mut Criterion) {
+    let mut config = SystemConfig::default();
+    config.global_warm_start = false;
+    let dataset = Preset::DblpTop.generate(0.2);
+    let system = orex_core::ObjectRankSystem::new(dataset.graph, dataset.ground_truth, config);
+    let analyzer = Analyzer::new();
+    let text = "Explaining and Reformulating Authority Flow Queries over \
+                relational and biological databases using weighted base sets";
+
+    let mut group = c.benchmark_group("ir");
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    group.bench_function("analyze_document", |b| {
+        b.iter(|| black_box(analyzer.analyze(black_box(text))).len())
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("base_set");
+    let single = QueryVector::initial(&Query::parse("data"), system.index().analyzer());
+    let multi = QueryVector::initial(
+        &Query::parse("data query mining index"),
+        system.index().analyzer(),
+    );
+    group.bench_function("okapi_single_keyword", |b| {
+        b.iter(|| {
+            black_box(
+                system
+                    .index()
+                    .base_set_scores(black_box(&single), &Okapi::default()),
+            )
+            .len()
+        })
+    });
+    group.bench_function("okapi_four_keywords", |b| {
+        b.iter(|| {
+            black_box(
+                system
+                    .index()
+                    .base_set_scores(black_box(&multi), &Okapi::default()),
+            )
+            .len()
+        })
+    });
+    group.bench_function("tfidf_four_keywords", |b| {
+        b.iter(|| {
+            black_box(system.index().base_set_scores(black_box(&multi), &TfIdf)).len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ir);
+criterion_main!(benches);

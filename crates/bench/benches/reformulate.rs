@@ -1,0 +1,73 @@
+//! Criterion bench: query-reformulation cost — the last bar of Figures
+//! 14(a)–17(a). Section 6.2 claims O(|V|) for content-only, O(|E|) for
+//! structure-only and O(|V| + |E|) for both, over the explaining
+//! subgraph; the three settings are benched separately.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use orex_authority::BaseSet;
+use orex_core::{QuerySession, SystemConfig};
+use orex_datagen::Preset;
+use orex_explain::{ExplainParams, Explanation};
+use orex_ir::Query;
+use orex_reformulate::{reformulate, ReformulateParams};
+use std::hint::black_box;
+
+fn bench_reformulate(c: &mut Criterion) {
+    let dataset = Preset::DblpTop.generate(0.2);
+    let system = orex_core::ObjectRankSystem::new(
+        dataset.graph,
+        dataset.ground_truth,
+        SystemConfig::default(),
+    );
+    let session = QuerySession::start(&system, &Query::parse("data")).unwrap();
+    let targets: Vec<_> = session.top_k(2).iter().map(|r| r.node).collect();
+    let weights = system.transfer().weights(session.rates());
+    let base = BaseSet::weighted(
+        system
+            .index()
+            .base_set_scores(session.query_vector(), &system.config().okapi),
+    )
+    .unwrap();
+    let explanations: Vec<Explanation> = targets
+        .iter()
+        .map(|&t| {
+            Explanation::explain(
+                system.transfer(),
+                &weights,
+                session.scores(),
+                &base,
+                t,
+                &ExplainParams::default(),
+            )
+            .unwrap()
+        })
+        .collect();
+    let refs: Vec<&Explanation> = explanations.iter().collect();
+
+    let mut group = c.benchmark_group("reformulate");
+    let settings = [
+        ("content_only", ReformulateParams::content_only(0.5)),
+        ("structure_only", ReformulateParams::structure_only(0.5)),
+        ("both", ReformulateParams::default()),
+    ];
+    for (name, params) in settings {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let out = reformulate(
+                    black_box(session.query_vector()),
+                    session.rates(),
+                    system.graph().schema(),
+                    system.transfer(),
+                    system.index(),
+                    &refs,
+                    &params,
+                );
+                black_box(out.query.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reformulate);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Diagnostic: trace the rates vector through structure-only training
+//! rounds on one query, printing per-type flows and rates.
+
+use orex_bench::{build_system, pick_queries, scale_arg};
+use orex_core::{QuerySession, SystemConfig};
+use orex_datagen::Preset;
+use orex_eval::{ResidualCollection, SimulatedUser};
+use orex_graph::{TransferRates, TransferTypeId};
+use orex_reformulate::ReformulateParams;
+
+fn main() {
+    let scale = scale_arg(0.5);
+    let (system, gt, keywords) = build_system(Preset::DblpTop, scale, SystemConfig::default());
+    let queries = pick_queries(&system, &keywords, 5);
+    let query = &queries[0];
+    eprintln!("query: {query}");
+    let schema = system.graph().schema();
+
+    let labels: Vec<String> = schema
+        .edge_types()
+        .flat_map(|et| {
+            let sig = schema.edge_type(et);
+            [
+                format!("{}>{}", schema.node_label(sig.source), sig.label),
+                format!("{}<{}", schema.node_label(sig.target), sig.label),
+            ]
+        })
+        .collect();
+    println!("types: {labels:?}");
+    println!("gt rates:      {:?}", gt.as_slice());
+
+    // Ground truth relevance.
+    let gt_session = QuerySession::start_with(&system, query, gt.clone()).unwrap();
+    let relevant: Vec<u32> = gt_session
+        .top_k(20)
+        .into_iter()
+        .map(|r| r.node.raw())
+        .collect();
+    let user = SimulatedUser::new(relevant);
+    let mut rc = ResidualCollection::new();
+    let mut marked = std::collections::HashSet::new();
+
+    let start = TransferRates::normalized_uniform(schema, 0.3);
+    println!("start rates:   {:?}", start.as_slice());
+    let mut session = QuerySession::start_with(&system, query, start).unwrap();
+    for round in 0..5 {
+        let deep: Vec<u32> = session
+            .top_k(10 + rc.removed().len())
+            .into_iter()
+            .map(|r| r.node.raw())
+            .collect();
+        let shown = rc.residual_ranking(&deep);
+        let picks = user.select_feedback(&shown[..shown.len().min(10)], 2, &marked);
+        println!(
+            "round {round}: cosine {:.4}, picks {:?} (types {:?})",
+            session.rates().cosine_similarity(&gt),
+            picks,
+            picks
+                .iter()
+                .map(|&n| system.graph().node_label(orex_graph::NodeId::new(n)))
+                .collect::<Vec<_>>()
+        );
+        if picks.is_empty() {
+            break;
+        }
+        marked.extend(picks.iter().copied());
+        rc.remove_all(&picks);
+        // Print per-type flows of the first pick's explanation.
+        let expl = session.explain(orex_graph::NodeId::new(picks[0])).unwrap();
+        let flows = orex_reformulate::edge_type_flows_pruned(&expl, system.transfer(), 8);
+        let pretty: Vec<String> = flows
+            .iter()
+            .enumerate()
+            .map(|(i, f)| format!("{}={:.2e}", labels[i], f))
+            .collect();
+        println!("   flows: {pretty:?}");
+        let nodes: Vec<_> = picks.iter().map(|&n| orex_graph::NodeId::new(n)).collect();
+        session
+            .feedback_with(&nodes, &ReformulateParams::structure_only(0.5))
+            .unwrap();
+        println!("   new rates: {:?}", session.rates().as_slice());
+    }
+    let _ = TransferTypeId::forward(orex_graph::EdgeTypeId::new(0));
+}

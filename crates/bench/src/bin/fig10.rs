@@ -1,0 +1,79 @@
+//! Figure 10: average precision of the three reformulation settings over
+//! relevance-feedback iterations (internal survey, DBLPtop).
+//!
+//! Settings per Section 6.1.1: content-only (C_f = 0, C_e = 0.2),
+//! content & structure (C_f = 0.5, C_e = 0.2), structure-only
+//! (C_f = 0.5, C_e = 0). Decay C_d = 0.5, radius L = 3, rates initialized
+//! to 0.3, k = 10, residual-collection evaluation. The paper's result:
+//! structure-only wins.
+//!
+//! Run: `cargo run -p orex-bench --release --bin fig10 [-- --scale 0.25]`
+
+use orex_bench::{build_system, pick_queries, scale_arg, write_json};
+use orex_core::SystemConfig;
+use orex_datagen::Preset;
+use orex_eval::{run_survey, SurveyConfig};
+use orex_reformulate::{ContentParams, ReformulateParams, StructureParams};
+
+fn main() {
+    let scale = scale_arg(0.25);
+    let (system, gt, keywords) = build_system(Preset::DblpTop, scale, SystemConfig::default());
+    let queries = pick_queries(&system, &keywords, 5);
+    eprintln!(
+        "queries: {}",
+        queries.iter().map(|q| q.to_string()).collect::<Vec<_>>().join(" ")
+    );
+
+    let settings: [(&str, ReformulateParams); 3] = [
+        ("Content-Only", ReformulateParams::content_only(0.2)),
+        (
+            "Content & Structure-based",
+            ReformulateParams {
+                content: ContentParams {
+                    expansion_factor: 0.2,
+                    ..ContentParams::default()
+                },
+                structure: StructureParams {
+                    rate_factor: 0.5,
+                    ..StructureParams::default()
+                },
+            },
+        ),
+        ("Structure-Only", ReformulateParams::structure_only(0.5)),
+    ];
+
+    let iterations = 4;
+    println!("Figure 10: Average Precision for different calibration parameters");
+    println!("(initial query = iteration 0, then {iterations} reformulated queries)\n");
+    let mut records = Vec::new();
+    for (name, params) in settings {
+        let outcome = run_survey(
+            &system,
+            &gt,
+            &queries,
+            &SurveyConfig {
+                iterations,
+                reformulate: params,
+                ..SurveyConfig::default()
+            },
+        );
+        let row: Vec<String> = outcome
+            .avg_precision
+            .iter()
+            .map(|p| format!("{:.1}%", p * 100.0))
+            .collect();
+        println!("{name:<28} {}", row.join("  "));
+        records.push(serde_json::json!({
+            "setting": name,
+            "avg_precision": outcome.avg_precision,
+            "avg_cosine": outcome.avg_cosine,
+            "queries": outcome.traces.len(),
+        }));
+    }
+    write_json(
+        "fig10",
+        &serde_json::json!({ "scale": scale, "series": records }),
+    );
+    println!("\npaper's finding: Structure-Only performs best; content-based");
+    println!("expansion is ineffective for expert users who know the keywords.");
+}

@@ -1,0 +1,66 @@
+//! Figure 11: training the authority transfer rates — cosine similarity
+//! of the learned rates vector to the BHP04 ground truth across feedback
+//! iterations, for C_f ∈ {0.1, 0.3, 0.5, 0.7, 0.9} (C_e = 0).
+//!
+//! The paper's finding: similarity rises then dips (overfitting); larger
+//! C_f peaks faster because the per-iteration rate adjustment is larger.
+//!
+//! Run: `cargo run -p orex-bench --release --bin fig11 [-- --scale 0.25]`
+
+use orex_bench::{build_system, pick_queries, scale_arg, write_json};
+use orex_core::SystemConfig;
+use orex_datagen::Preset;
+use orex_eval::{run_survey, SurveyConfig};
+use orex_reformulate::ReformulateParams;
+
+fn main() {
+    let scale = scale_arg(0.25);
+    let (system, gt, keywords) = build_system(Preset::DblpTop, scale, SystemConfig::default());
+    // "4 users averaged over 5 queries each": 5 queries, the averaging
+    // over users is subsumed by the noiseless simulated user.
+    let queries = pick_queries(&system, &keywords, 5);
+    let iterations = 5;
+
+    println!("Figure 11: Training of the Authority Transfer Rates");
+    println!("cosine(UserVector, ObjVector) per iteration (iteration 1 = initial rates)\n");
+    let mut records = Vec::new();
+    for cf in [0.1, 0.3, 0.5, 0.7, 0.9] {
+        let outcome = run_survey(
+            &system,
+            &gt,
+            &queries,
+            &SurveyConfig {
+                iterations,
+                reformulate: ReformulateParams::structure_only(cf),
+                ..SurveyConfig::default()
+            },
+        );
+        let row: Vec<String> = outcome
+            .avg_cosine
+            .iter()
+            .map(|c| format!("{c:.4}"))
+            .collect();
+        println!("Cf={cf:<4} {}", row.join("  "));
+        // Where does the curve peak? (The paper: larger Cf peaks earlier.)
+        let peak = outcome
+            .avg_cosine
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        records.push(serde_json::json!({
+            "cf": cf,
+            "avg_cosine": outcome.avg_cosine,
+            "peak_iteration": peak,
+        }));
+    }
+    write_json(
+        "fig11",
+        &serde_json::json!({ "scale": scale, "series": records }),
+    );
+    println!("\npaper's finding: similarity rises then falls (overfitting), with");
+    println!("larger C_f peaking faster. Our simulated users reproduce the");
+    println!("overfitting phase and the C_f speed ordering; the initial rise is");
+    println!("muted (see EXPERIMENTS.md for the flow-direction analysis).");
+}

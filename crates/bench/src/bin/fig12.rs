@@ -1,0 +1,51 @@
+//! Figure 12: external survey — average precision using structure-only
+//! reformulation with C_f = 0.5, averaged over 20 queries (the paper: 10
+//! users × 2 queries each, DBLPtop).
+//!
+//! Run: `cargo run -p orex-bench --release --bin fig12 [-- --scale 0.25]`
+
+use orex_bench::{build_system, pick_multi_queries, pick_queries, scale_arg, write_json};
+use orex_core::SystemConfig;
+use orex_datagen::Preset;
+use orex_eval::{run_survey, SurveyConfig};
+use orex_ir::Query;
+use orex_reformulate::ReformulateParams;
+
+fn main() {
+    let scale = scale_arg(0.25);
+    let (system, gt, keywords) = build_system(Preset::DblpTop, scale, SystemConfig::default());
+    // 20 queries: every usable suggested keyword plus two-keyword combos.
+    let mut queries: Vec<Query> = pick_queries(&system, &keywords, 14);
+    queries.extend(pick_multi_queries(&system, &keywords, 6));
+    eprintln!("{} queries", queries.len());
+
+    let iterations = 4;
+    let outcome = run_survey(
+        &system,
+        &gt,
+        &queries,
+        &SurveyConfig {
+            iterations,
+            reformulate: ReformulateParams::structure_only(0.5),
+            ..SurveyConfig::default()
+        },
+    );
+
+    println!("Figure 12: Average Precision, structure-only reformulation (Cf = 0.5)");
+    println!("(initial query = iteration 0, then {iterations} reformulated queries)\n");
+    let row: Vec<String> = outcome
+        .avg_precision
+        .iter()
+        .map(|p| format!("{:.1}%", p * 100.0))
+        .collect();
+    println!("Structure-Only   {}", row.join("  "));
+    write_json(
+        "fig12",
+        &serde_json::json!({
+            "scale": scale,
+            "avg_precision": outcome.avg_precision,
+            "avg_cosine": outcome.avg_cosine,
+            "queries": outcome.traces.len(),
+        }),
+    );
+}

@@ -1,0 +1,45 @@
+//! Figure 13: external-survey training curves of the authority transfer
+//! rates (as Figure 11, over the external survey's wider query mix).
+//!
+//! Run: `cargo run -p orex-bench --release --bin fig13 [-- --scale 0.25]`
+
+use orex_bench::{build_system, pick_multi_queries, pick_queries, scale_arg, write_json};
+use orex_core::SystemConfig;
+use orex_datagen::Preset;
+use orex_eval::{run_survey, SurveyConfig};
+use orex_ir::Query;
+use orex_reformulate::ReformulateParams;
+
+fn main() {
+    let scale = scale_arg(0.25);
+    let (system, gt, keywords) = build_system(Preset::DblpTop, scale, SystemConfig::default());
+    let mut queries: Vec<Query> = pick_queries(&system, &keywords, 14);
+    queries.extend(pick_multi_queries(&system, &keywords, 6));
+
+    println!("Figure 13: Training of the Authority Transfer Rates (external survey)");
+    println!("cosine(UserVector, ObjVector) per iteration\n");
+    let mut records = Vec::new();
+    for cf in [0.1, 0.3, 0.5, 0.7, 0.9] {
+        let outcome = run_survey(
+            &system,
+            &gt,
+            &queries,
+            &SurveyConfig {
+                iterations: 5,
+                reformulate: ReformulateParams::structure_only(cf),
+                ..SurveyConfig::default()
+            },
+        );
+        let row: Vec<String> = outcome
+            .avg_cosine
+            .iter()
+            .map(|c| format!("{c:.4}"))
+            .collect();
+        println!("Cf={cf:<4} {}", row.join("  "));
+        records.push(serde_json::json!({ "cf": cf, "avg_cosine": outcome.avg_cosine }));
+    }
+    write_json(
+        "fig13",
+        &serde_json::json!({ "scale": scale, "series": records }),
+    );
+}

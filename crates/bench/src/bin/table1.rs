@@ -1,0 +1,44 @@
+//! Table 1: dataset sizes.
+//!
+//! Generates the four synthetic stand-ins and reports their sizes next to
+//! the paper's numbers. `--scale 1.0` targets the full Table 1 sizes;
+//! smaller scales shrink proportionally (reported for transparency).
+//!
+//! Run: `cargo run -p orex-bench --release --bin table1 -- --scale 1.0`
+
+use orex_bench::{scale_arg, write_json};
+use orex_datagen::Preset;
+
+fn main() {
+    let scale = scale_arg(1.0);
+    println!("Table 1: Real and Synthetic Datasets (scale {scale})");
+    println!(
+        "{:<14} {:>12} {:>14} {:>14} {:>14}",
+        "Name", "#nodes", "#edges", "paper #nodes", "paper #edges"
+    );
+    let mut records = Vec::new();
+    for preset in Preset::ALL {
+        let t = std::time::Instant::now();
+        let d = preset.generate(scale);
+        let (nodes, edges) = d.sizes();
+        let (pn, pe) = preset.paper_sizes();
+        println!(
+            "{:<14} {:>12} {:>14} {:>14} {:>14}   (generated in {:.1?})",
+            preset.name(),
+            nodes,
+            edges,
+            pn,
+            pe,
+            t.elapsed()
+        );
+        records.push(serde_json::json!({
+            "name": preset.name(),
+            "nodes": nodes,
+            "edges": edges,
+            "paper_nodes": pn,
+            "paper_edges": pe,
+            "scale": scale,
+        }));
+    }
+    write_json("table1", &serde_json::json!({ "rows": records }));
+}

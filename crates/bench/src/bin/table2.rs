@@ -1,0 +1,63 @@
+//! Table 2: ObjectRank2 vs (modified) ObjectRank — relevant results in the
+//! top 10 per query, DBLPtop.
+//!
+//! The paper's eight queries mix single and multi keyword; relevance came
+//! from human judges and ObjectRank2 won narrowly (7.7 vs 7.5 average).
+//! Here relevance is the simulated oracle of `orex-eval::compare_rankers`
+//! (see EXPERIMENTS.md for the honesty caveat); the reproducible claim is
+//! the *shape*: OR2 >= modified OR, with a small gap.
+//!
+//! Run: `cargo run -p orex-bench --release --bin table2 [-- --scale 0.25]`
+
+use orex_bench::{build_system, pick_multi_queries, pick_queries, scale_arg, write_json};
+use orex_core::SystemConfig;
+use orex_datagen::Preset;
+use orex_eval::compare_rankers;
+use orex_ir::Query;
+
+fn main() {
+    let scale = scale_arg(0.25);
+    let (system, gt, keywords) = build_system(Preset::DblpTop, scale, SystemConfig::default());
+    let mut queries: Vec<Query> = pick_queries(&system, &keywords, 5);
+    queries.extend(pick_multi_queries(&system, &keywords, 3));
+
+    let results = compare_rankers(&system, &gt, &queries, 10, 15);
+    println!("Table 2: ObjectRank2 vs ObjectRank (relevant results in top 10)\n");
+    println!("{:<28} {:>12} {:>12}", "DBLP keyword query", "ObjectRank2", "ObjectRank");
+    let mut sum2 = 0usize;
+    let mut sum1 = 0usize;
+    let mut rows = Vec::new();
+    for r in &results {
+        println!(
+            "{:<28} {:>12} {:>12}",
+            r.query.to_string(),
+            r.objectrank2_hits,
+            r.objectrank_hits
+        );
+        sum2 += r.objectrank2_hits;
+        sum1 += r.objectrank_hits;
+        rows.push(serde_json::json!({
+            "query": r.query.to_string(),
+            "objectrank2": r.objectrank2_hits,
+            "objectrank": r.objectrank_hits,
+        }));
+    }
+    let n = results.len().max(1) as f64;
+    println!(
+        "{:<28} {:>12.1} {:>12.1}",
+        "Average precision",
+        sum2 as f64 / n,
+        sum1 as f64 / n
+    );
+    println!("\npaper: 7.7 vs 7.5 (ObjectRank2 slightly better; DBLP titles are");
+    println!("short, so the IR-weighted base set helps only mildly here).");
+    write_json(
+        "table2",
+        &serde_json::json!({
+            "scale": scale,
+            "rows": rows,
+            "avg_objectrank2": sum2 as f64 / n,
+            "avg_objectrank": sum1 as f64 / n,
+        }),
+    );
+}

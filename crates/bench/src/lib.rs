@@ -1,0 +1,189 @@
+//! # orex-bench — benchmark harness reproducing the paper's evaluation
+//!
+//! One binary per table/figure of Section 6 (run with
+//! `cargo run -p orex-bench --release --bin <name> [-- --scale 1.0]`)
+//! plus Criterion micro-benchmarks for the timing kernels
+//! (`cargo bench -p orex-bench`). This library holds the shared plumbing:
+//! CLI parsing, dataset construction, query selection and result output.
+
+#![warn(missing_docs)]
+
+use orex_core::{ObjectRankSystem, SystemConfig};
+use orex_datagen::{Dataset, Preset};
+use orex_graph::TransferRates;
+use orex_ir::Query;
+use std::io::Write as _;
+
+/// Returns the value following `--name` in the process arguments.
+pub fn arg_value(name: &str) -> Option<String> {
+    let flag = format!("--{name}");
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == &flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// True when `--name` appears as a bare flag.
+pub fn arg_flag(name: &str) -> bool {
+    let flag = format!("--{name}");
+    std::env::args().any(|a| a == flag)
+}
+
+/// Parses `--scale` (fraction of the Table 1 dataset sizes), with a
+/// per-binary default.
+pub fn scale_arg(default: f64) -> f64 {
+    arg_value("scale")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Generates a preset and wraps it into a ready system.
+///
+/// Returns the system, the ground-truth rates, and the suggested keywords.
+pub fn build_system(
+    preset: Preset,
+    scale: f64,
+    config: SystemConfig,
+) -> (ObjectRankSystem, TransferRates, Vec<String>) {
+    let t = std::time::Instant::now();
+    let dataset = preset.generate(scale);
+    let (nodes, edges) = dataset.sizes();
+    eprintln!(
+        "[{}] generated at scale {scale}: {nodes} nodes, {edges} edges ({:.1?})",
+        preset.name(),
+        t.elapsed()
+    );
+    let gt = dataset.ground_truth.clone();
+    let keywords = dataset.suggested_keywords.clone();
+    let t = std::time::Instant::now();
+    let system = ObjectRankSystem::new(dataset.graph, dataset.ground_truth, config);
+    eprintln!(
+        "[{}] system built (index + transfer graph + global rank) in {:.1?}",
+        preset.name(),
+        t.elapsed()
+    );
+    (system, gt, keywords)
+}
+
+/// Picks `n` single-keyword benchmark queries whose document frequency in
+/// the system's index falls in a healthy range (enough matches to rank,
+/// few enough to be selective).
+pub fn pick_queries(system: &ObjectRankSystem, keywords: &[String], n: usize) -> Vec<Query> {
+    let mut scored: Vec<(u32, &String)> = keywords
+        .iter()
+        .filter_map(|kw| {
+            let term = system.index().analyzer().analyze_term(kw)?;
+            let tid = system.index().term_id(&term)?;
+            let df = system.index().df(tid);
+            (df >= 3).then_some((df, kw))
+        })
+        .collect();
+    // Mid-df keywords first: sort by |df - median|.
+    scored.sort_by_key(|&(df, _)| df);
+    let median = scored.get(scored.len() / 2).map_or(0, |&(df, _)| df);
+    scored.sort_by_key(|&(df, kw)| (df.abs_diff(median), kw.clone()));
+    scored
+        .into_iter()
+        .take(n)
+        .map(|(_, kw)| Query::parse(kw))
+        .collect()
+}
+
+/// Two-keyword combinations of the picked queries (for the multi-keyword
+/// rows of Table 2).
+pub fn pick_multi_queries(system: &ObjectRankSystem, keywords: &[String], n: usize) -> Vec<Query> {
+    let singles = pick_queries(system, keywords, n * 2);
+    singles
+        .chunks(2)
+        .take(n)
+        .filter(|c| c.len() == 2)
+        .map(|c| Query::new([c[0].keywords[0].clone(), c[1].keywords[0].clone()]))
+        .collect()
+}
+
+/// Writes a JSON record under `results/<name>.json` (relative to the
+/// working directory), creating the directory as needed. Used so
+/// EXPERIMENTS.md numbers are regenerable artifacts, not hand-copies.
+pub fn write_json(name: &str, value: &serde_json::Value) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    if let Ok(mut f) = std::fs::File::create(&path) {
+        let _ = writeln!(f, "{}", serde_json::to_string_pretty(value).unwrap());
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+/// Formats a duration in seconds with 4 significant digits.
+pub fn secs(d: std::time::Duration) -> f64 {
+    (d.as_secs_f64() * 1e4).round() / 1e4
+}
+
+/// A tiny fixed-seed xorshift for query/user shuffling inside binaries
+/// (keeps binaries deterministic without threading `rand` everywhere).
+#[derive(Clone, Debug)]
+pub struct MiniRng(u64);
+
+impl MiniRng {
+    /// Seeded constructor.
+    pub fn new(seed: u64) -> Self {
+        Self(seed.max(1))
+    }
+
+    /// Next pseudo-random u64.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// Uniform index below `n`.
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Convenience sizes accessor for binaries.
+pub fn dataset_sizes(d: &Dataset) -> (usize, usize) {
+    d.sizes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_picking_filters_by_df() {
+        let (system, _, keywords) = build_system(Preset::DblpTop, 0.01, SystemConfig::default());
+        let qs = pick_queries(&system, &keywords, 4);
+        assert!(!qs.is_empty());
+        for q in &qs {
+            assert_eq!(q.keywords.len(), 1);
+        }
+    }
+
+    #[test]
+    fn multi_queries_have_two_keywords() {
+        let (system, _, keywords) = build_system(Preset::DblpTop, 0.01, SystemConfig::default());
+        let qs = pick_multi_queries(&system, &keywords, 2);
+        for q in &qs {
+            assert_eq!(q.keywords.len(), 2);
+        }
+    }
+
+    #[test]
+    fn mini_rng_deterministic() {
+        let mut a = MiniRng::new(7);
+        let mut b = MiniRng::new(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let idx = a.below(10);
+        assert!(idx < 10);
+    }
+}

@@ -1,0 +1,425 @@
+//! The CLI application state machine: executes parsed commands against a
+//! loaded [`ObjectRankSystem`] and a live [`QuerySession`].
+//!
+//! The system is intentionally leaked (`Box::leak`) when a dataset is
+//! loaded or generated: a CLI process holds exactly one (or a handful of)
+//! systems for its whole lifetime, and the `'static` borrow lets the
+//! session live alongside it without self-referential gymnastics. The few
+//! megabytes "lost" on a dataset switch are reclaimed at process exit.
+
+use crate::command::{Command, HELP};
+use orex_core::{ObjectRankSystem, QuerySession, SystemConfig};
+use orex_datagen::Preset;
+use orex_explain::{to_dot, to_text};
+use orex_graph::{Direction, TransferTypeId};
+use orex_ir::Query;
+use orex_reformulate::{ContentParams, ReformulateParams};
+use std::io::Write;
+
+/// The interactive application.
+pub struct App {
+    system: Option<&'static ObjectRankSystem>,
+    session: Option<QuerySession<'static>>,
+    reformulate: ReformulateParams,
+    top_k: usize,
+}
+
+impl Default for App {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl App {
+    /// Fresh application with no dataset loaded.
+    pub fn new() -> Self {
+        Self {
+            system: None,
+            session: None,
+            reformulate: ReformulateParams::structure_only(0.5),
+            top_k: 10,
+        }
+    }
+
+    /// True once `quit` has been executed.
+    pub fn execute(&mut self, cmd: Command, out: &mut dyn Write) -> std::io::Result<bool> {
+        match cmd {
+            Command::Quit => return Ok(true),
+            Command::Help => writeln!(out, "{HELP}")?,
+            Command::Generate { preset, scale } => match Preset::parse(&preset) {
+                Some(p) => {
+                    let t = std::time::Instant::now();
+                    let dataset = p.generate(scale);
+                    let (nodes, edges) = dataset.sizes();
+                    let system = Box::leak(Box::new(ObjectRankSystem::new(
+                        dataset.graph,
+                        dataset.ground_truth,
+                        SystemConfig::default(),
+                    )));
+                    self.session = None;
+                    self.system = Some(system);
+                    writeln!(
+                        out,
+                        "generated {} at scale {scale}: {nodes} nodes, {edges} edges ({:.1?})",
+                        p.name(),
+                        t.elapsed()
+                    )?;
+                }
+                None => writeln!(
+                    out,
+                    "unknown preset '{preset}' (dblp-top, dblp-complete, ds7, ds7-cancer)"
+                )?,
+            },
+            Command::Load { path } => match orex_store::load_graph(&path) {
+                Ok(graph) => {
+                    let rates =
+                        orex_graph::TransferRates::normalized_uniform(graph.schema(), 0.3);
+                    let system = Box::leak(Box::new(ObjectRankSystem::new(
+                        graph,
+                        rates,
+                        SystemConfig::default(),
+                    )));
+                    self.session = None;
+                    self.system = Some(system);
+                    writeln!(
+                        out,
+                        "loaded {} nodes, {} edges (rates initialized to rescaled 0.3 — \
+                         load-rates to restore trained ones)",
+                        system.graph().node_count(),
+                        system.graph().edge_count()
+                    )?;
+                }
+                Err(e) => writeln!(out, "load failed: {e}")?,
+            },
+            Command::Save { path } => match self.system {
+                Some(system) => match orex_store::save_graph(system.graph(), &path) {
+                    Ok(()) => writeln!(out, "saved graph to {path}")?,
+                    Err(e) => writeln!(out, "save failed: {e}")?,
+                },
+                None => writeln!(out, "no dataset loaded")?,
+            },
+            Command::Import { path } => match orex_store::load_text_graph(&path) {
+                Ok(graph) => {
+                    if graph.node_count() == 0 {
+                        writeln!(out, "import produced an empty graph")?;
+                        return Ok(false);
+                    }
+                    let rates =
+                        orex_graph::TransferRates::normalized_uniform(graph.schema(), 0.3);
+                    let system = Box::leak(Box::new(ObjectRankSystem::new(
+                        graph,
+                        rates,
+                        SystemConfig::default(),
+                    )));
+                    self.session = None;
+                    self.system = Some(system);
+                    writeln!(
+                        out,
+                        "imported {} nodes, {} edges (uniform rates; train them \
+                         with feedback or load-rates)",
+                        system.graph().node_count(),
+                        system.graph().edge_count()
+                    )?;
+                }
+                Err(e) => writeln!(out, "import failed: {e}")?,
+            },
+            Command::Export { path } => match self.system {
+                Some(system) => match orex_store::save_text_graph(system.graph(), &path) {
+                    Ok(()) => writeln!(out, "exported text format to {path}")?,
+                    Err(e) => writeln!(out, "export failed: {e}")?,
+                },
+                None => writeln!(out, "no dataset loaded")?,
+            },
+            Command::SaveRates { path } => match &self.session {
+                Some(session) => match orex_store::save_rates(session.rates(), &path) {
+                    Ok(()) => writeln!(out, "saved rates to {path}")?,
+                    Err(e) => writeln!(out, "save failed: {e}")?,
+                },
+                None => writeln!(out, "no active query session")?,
+            },
+            Command::LoadRates { path } => {
+                let Some(system) = self.system else {
+                    writeln!(out, "no dataset loaded")?;
+                    return Ok(false);
+                };
+                match orex_store::load_rates(&path, system.graph().schema()) {
+                    Ok(rates) => match &self.session {
+                        Some(session) => {
+                            let query = Query::new(
+                                session
+                                    .query_vector()
+                                    .iter()
+                                    .map(|(t, _)| t.to_string())
+                                    .collect::<Vec<_>>(),
+                            );
+                            match QuerySession::start_with(system, &query, rates) {
+                                Ok(s) => {
+                                    self.session = Some(s);
+                                    writeln!(out, "rates loaded; query re-executed")?;
+                                }
+                                Err(e) => writeln!(out, "re-execution failed: {e}")?,
+                            }
+                        }
+                        None => writeln!(
+                            out,
+                            "rates loaded but no active session; run a query to use them"
+                        )?,
+                    },
+                    Err(e) => writeln!(out, "load failed: {e}")?,
+                }
+            }
+            Command::Query { keywords } => {
+                let Some(system) = self.system else {
+                    writeln!(out, "no dataset loaded (try 'generate dblp-top')")?;
+                    return Ok(false);
+                };
+                let query = Query::new(keywords);
+                match QuerySession::start(system, &query) {
+                    Ok(session) => {
+                        let stats = session.history()[0];
+                        writeln!(
+                            out,
+                            "query {query}: converged in {} iterations ({:.1?})",
+                            stats.rank_iterations, stats.rank_time
+                        )?;
+                        self.session = Some(session);
+                        self.print_top(out)?;
+                    }
+                    Err(e) => writeln!(out, "query failed: {e}")?,
+                }
+            }
+            Command::Top { k } => {
+                self.top_k = k;
+                if self.session.is_some() {
+                    self.print_top(out)?;
+                } else {
+                    writeln!(out, "no active query")?;
+                }
+            }
+            Command::Explain { rank, paths } => {
+                let Some((session, system)) = self.session.as_ref().zip(self.system) else {
+                    writeln!(out, "no active query")?;
+                    return Ok(false);
+                };
+                match Self::node_at_rank(session, rank) {
+                    Some(node) => match session.explain(node) {
+                        Ok(expl) => {
+                            writeln!(out, "{}", to_text(&expl, system.graph(), paths))?
+                        }
+                        Err(e) => writeln!(out, "explain failed: {e}")?,
+                    },
+                    None => writeln!(out, "no result at rank {rank}")?,
+                }
+            }
+            Command::Dot { rank } => {
+                let Some((session, system)) = self.session.as_ref().zip(self.system) else {
+                    writeln!(out, "no active query")?;
+                    return Ok(false);
+                };
+                match Self::node_at_rank(session, rank) {
+                    Some(node) => match session.explain(node) {
+                        Ok(expl) => writeln!(out, "{}", to_dot(&expl, system.graph()))?,
+                        Err(e) => writeln!(out, "explain failed: {e}")?,
+                    },
+                    None => writeln!(out, "no result at rank {rank}")?,
+                }
+            }
+            Command::Feedback { ranks } => {
+                let params = self.reformulate;
+                let top_k = self.top_k;
+                let Some(session) = self.session.as_mut() else {
+                    writeln!(out, "no active query")?;
+                    return Ok(false);
+                };
+                let top = session.top_k(top_k.max(*ranks.iter().max().unwrap_or(&1)));
+                let nodes: Vec<_> = ranks
+                    .iter()
+                    .filter_map(|&r| top.get(r - 1).map(|o| o.node))
+                    .collect();
+                if nodes.is_empty() {
+                    writeln!(out, "no valid ranks")?;
+                    return Ok(false);
+                }
+                match session.feedback_with(&nodes, &params) {
+                    Ok(stats) => {
+                        writeln!(
+                            out,
+                            "reformulated (round {}): re-ranked in {} iterations; \
+                             query is now {}",
+                            session.round(),
+                            stats.rank_iterations,
+                            session.query_vector()
+                        )?;
+                        self.print_top(out)?;
+                    }
+                    Err(e) => writeln!(out, "feedback failed: {e}")?,
+                }
+            }
+            Command::Set { param, value } => {
+                match param.as_str() {
+                    "cf" => {
+                        self.reformulate.structure.rate_factor = value
+                    }
+                    "ce" => {
+                        self.reformulate.content = ContentParams {
+                            expansion_factor: value,
+                            ..self.reformulate.content
+                        }
+                    }
+                    "cd" => {
+                        self.reformulate.content = ContentParams {
+                            decay: value,
+                            ..self.reformulate.content
+                        }
+                    }
+                    "k" => self.top_k = value as usize,
+                    _ => unreachable!("parser validates parameter names"),
+                }
+                writeln!(out, "{param} = {value}")?;
+            }
+            Command::Rates => match &self.session {
+                Some(session) => {
+                    let Some(system) = self.system else {
+                        return Ok(false);
+                    };
+                    let schema = system.graph().schema();
+                    writeln!(out, "authority transfer rates:")?;
+                    for et in schema.edge_types() {
+                        let sig = schema.edge_type(et);
+                        let fwd = session.rates().get(TransferTypeId::forward(et));
+                        let bwd = session.rates().get(TransferTypeId::backward(et));
+                        writeln!(
+                            out,
+                            "  {} -{}-> {}: forward {:.3}, backward {:.3}",
+                            schema.node_label(sig.source),
+                            sig.label,
+                            schema.node_label(sig.target),
+                            fwd,
+                            bwd
+                        )?;
+                    }
+                    let _ = Direction::Forward; // keep import honest
+                }
+                None => writeln!(out, "no active session")?,
+            },
+            Command::Info => match self.system {
+                Some(system) => {
+                    writeln!(
+                        out,
+                        "{} nodes, {} edges, {} node types, {} edge types, {} terms",
+                        system.graph().node_count(),
+                        system.graph().edge_count(),
+                        system.graph().schema().node_type_count(),
+                        system.graph().schema().edge_type_count(),
+                        system.index().vocabulary_size()
+                    )?;
+                }
+                None => writeln!(out, "no dataset loaded")?,
+            },
+        }
+        Ok(false)
+    }
+
+    fn node_at_rank(
+        session: &QuerySession<'static>,
+        rank: usize,
+    ) -> Option<orex_graph::NodeId> {
+        session.top_k(rank).get(rank - 1).map(|r| r.node)
+    }
+
+    fn print_top(&self, out: &mut dyn Write) -> std::io::Result<()> {
+        let (Some(session), Some(system)) = (&self.session, self.system) else {
+            return Ok(());
+        };
+        for (i, r) in session.top_k(self.top_k).iter().enumerate() {
+            let display: String = r.display.chars().take(60).collect();
+            writeln!(out, "{:>3}. [{:.5}] {:<14} {}", i + 1, r.score, r.label, display)?;
+        }
+        let _ = system;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::parse;
+
+    fn run(app: &mut App, line: &str) -> String {
+        let mut out = Vec::new();
+        let cmd = parse(line).unwrap().unwrap();
+        app.execute(cmd, &mut out).unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn full_interactive_flow() {
+        let mut app = App::new();
+        let o = run(&mut app, "generate dblp-top 0.01");
+        assert!(o.contains("generated DBLPtop"), "{o}");
+        let o = run(&mut app, "info");
+        assert!(o.contains("node types"), "{o}");
+        let o = run(&mut app, "query data");
+        assert!(o.contains("converged"), "{o}");
+        assert!(o.contains("1."), "{o}");
+        let o = run(&mut app, "top 3");
+        assert!(o.lines().count() >= 3, "{o}");
+        let o = run(&mut app, "explain 1");
+        assert!(o.contains("Why") || o.contains("explain failed"), "{o}");
+        let o = run(&mut app, "feedback 1 2");
+        assert!(o.contains("reformulated"), "{o}");
+        let o = run(&mut app, "rates");
+        assert!(o.contains("forward"), "{o}");
+    }
+
+    #[test]
+    fn commands_without_dataset_are_graceful() {
+        let mut app = App::new();
+        assert!(run(&mut app, "query olap").contains("no dataset"));
+        assert!(run(&mut app, "top").contains("no active"));
+        assert!(run(&mut app, "explain 1").contains("no active"));
+        assert!(run(&mut app, "feedback 1").contains("no active"));
+        assert!(run(&mut app, "info").contains("no dataset"));
+        assert!(run(&mut app, "save /tmp/x.orex").contains("no dataset"));
+    }
+
+    #[test]
+    fn quit_returns_true() {
+        let mut app = App::new();
+        let mut out = Vec::new();
+        assert!(app.execute(Command::Quit, &mut out).unwrap());
+    }
+
+    #[test]
+    fn set_adjusts_parameters() {
+        let mut app = App::new();
+        assert!(run(&mut app, "set cf 0.9").contains("cf = 0.9"));
+        assert!(run(&mut app, "set ce 0.2").contains("ce = 0.2"));
+        assert!(run(&mut app, "set k 5").contains("k = 5"));
+    }
+
+    #[test]
+    fn unknown_query_reports_failure() {
+        let mut app = App::new();
+        run(&mut app, "generate dblp-top 0.01");
+        let o = run(&mut app, "query zzzzqqqq");
+        assert!(o.contains("query failed"), "{o}");
+    }
+
+    #[test]
+    fn snapshot_roundtrip_through_cli() {
+        let dir = std::env::temp_dir().join("orex-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let gpath = dir.join("g.orex");
+        let mut app = App::new();
+        run(&mut app, "generate dblp-top 0.01");
+        let o = run(&mut app, &format!("save {}", gpath.display()));
+        assert!(o.contains("saved"), "{o}");
+        let mut app2 = App::new();
+        let o = run(&mut app2, &format!("load {}", gpath.display()));
+        assert!(o.contains("loaded"), "{o}");
+        let o = run(&mut app2, "query data");
+        assert!(o.contains("converged"), "{o}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

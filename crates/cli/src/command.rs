@@ -1,0 +1,333 @@
+//! Command language of the orex CLI.
+//!
+//! A small line-oriented language mirroring the interaction loop of the
+//! paper's web demo: load or generate a dataset, run keyword queries,
+//! inspect and explain results, give relevance feedback, watch the
+//! authority transfer rates train.
+
+use std::fmt;
+
+/// A parsed CLI command.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// `generate <preset> [scale]` — build a synthetic dataset.
+    Generate {
+        /// Preset name (dblp-top, dblp-complete, ds7, ds7-cancer).
+        preset: String,
+        /// Scale factor (default 0.05).
+        scale: f64,
+    },
+    /// `load <path>` — load a graph snapshot.
+    Load {
+        /// Snapshot path.
+        path: String,
+    },
+    /// `save <path>` — save the current graph snapshot.
+    Save {
+        /// Snapshot path.
+        path: String,
+    },
+    /// `import <path>` — load a `.orexg` text-format dataset.
+    Import {
+        /// Text-format path.
+        path: String,
+    },
+    /// `export <path>` — write the current graph in text format.
+    Export {
+        /// Text-format path.
+        path: String,
+    },
+    /// `query <keywords...>` — execute a keyword query.
+    Query {
+        /// The keywords.
+        keywords: Vec<String>,
+    },
+    /// `top [k]` — show the current top-k results.
+    Top {
+        /// How many results (default 10).
+        k: usize,
+    },
+    /// `explain <rank> [paths]` — explain the rank-th result (1-based).
+    Explain {
+        /// 1-based rank in the current result list.
+        rank: usize,
+        /// Number of flow paths to show.
+        paths: usize,
+    },
+    /// `dot <rank>` — print the explaining subgraph in DOT format.
+    Dot {
+        /// 1-based rank in the current result list.
+        rank: usize,
+    },
+    /// `feedback <ranks...>` — mark results relevant and reformulate.
+    Feedback {
+        /// 1-based ranks of the relevant results.
+        ranks: Vec<usize>,
+    },
+    /// `set <param> <value>` — set cf / ce / cd / k.
+    Set {
+        /// Parameter name.
+        param: String,
+        /// New value.
+        value: f64,
+    },
+    /// `rates` — print the current authority transfer rates.
+    Rates,
+    /// `save-rates <path>` / `load-rates <path>`.
+    SaveRates {
+        /// Snapshot path.
+        path: String,
+    },
+    /// Loads a rates snapshot.
+    LoadRates {
+        /// Snapshot path.
+        path: String,
+    },
+    /// `info` — dataset statistics.
+    Info,
+    /// `help`.
+    Help,
+    /// `quit` / `exit`.
+    Quit,
+}
+
+/// Parse errors with user-facing messages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(msg: impl Into<String>) -> ParseError {
+    ParseError(msg.into())
+}
+
+/// Parses one input line. Empty lines and `#` comments yield `None`.
+pub fn parse(line: &str) -> Result<Option<Command>, ParseError> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let verb = parts.next().expect("non-empty line").to_lowercase();
+    let rest: Vec<&str> = parts.collect();
+    let cmd = match verb.as_str() {
+        "generate" | "gen" => {
+            let preset = rest
+                .first()
+                .ok_or_else(|| err("usage: generate <preset> [scale]"))?
+                .to_string();
+            let scale = match rest.get(1) {
+                Some(s) => s
+                    .parse::<f64>()
+                    .map_err(|_| err(format!("bad scale '{s}'")))?,
+                None => 0.05,
+            };
+            if scale <= 0.0 {
+                return Err(err("scale must be positive"));
+            }
+            Command::Generate { preset, scale }
+        }
+        "load" => Command::Load {
+            path: one_path(&rest, "load")?,
+        },
+        "save" => Command::Save {
+            path: one_path(&rest, "save")?,
+        },
+        "import" => Command::Import {
+            path: one_path(&rest, "import")?,
+        },
+        "export" => Command::Export {
+            path: one_path(&rest, "export")?,
+        },
+        "load-rates" => Command::LoadRates {
+            path: one_path(&rest, "load-rates")?,
+        },
+        "save-rates" => Command::SaveRates {
+            path: one_path(&rest, "save-rates")?,
+        },
+        "query" | "q" => {
+            if rest.is_empty() {
+                return Err(err("usage: query <keywords...>"));
+            }
+            Command::Query {
+                keywords: rest.iter().map(|s| s.to_string()).collect(),
+            }
+        }
+        "top" => Command::Top {
+            k: match rest.first() {
+                Some(s) => s.parse().map_err(|_| err(format!("bad k '{s}'")))?,
+                None => 10,
+            },
+        },
+        "explain" | "why" => {
+            let rank = rest
+                .first()
+                .ok_or_else(|| err("usage: explain <rank> [paths]"))?
+                .parse::<usize>()
+                .map_err(|_| err("rank must be a positive integer"))?;
+            let paths = match rest.get(1) {
+                Some(s) => s.parse().map_err(|_| err(format!("bad path count '{s}'")))?,
+                None => 3,
+            };
+            if rank == 0 {
+                return Err(err("ranks are 1-based"));
+            }
+            Command::Explain { rank, paths }
+        }
+        "dot" => {
+            let rank = rest
+                .first()
+                .ok_or_else(|| err("usage: dot <rank>"))?
+                .parse::<usize>()
+                .map_err(|_| err("rank must be a positive integer"))?;
+            if rank == 0 {
+                return Err(err("ranks are 1-based"));
+            }
+            Command::Dot { rank }
+        }
+        "feedback" | "fb" => {
+            if rest.is_empty() {
+                return Err(err("usage: feedback <ranks...>"));
+            }
+            let mut ranks = Vec::with_capacity(rest.len());
+            for s in &rest {
+                let r: usize = s
+                    .parse()
+                    .map_err(|_| err(format!("bad rank '{s}'")))?;
+                if r == 0 {
+                    return Err(err("ranks are 1-based"));
+                }
+                ranks.push(r);
+            }
+            Command::Feedback { ranks }
+        }
+        "set" => {
+            let param = rest
+                .first()
+                .ok_or_else(|| err("usage: set <cf|ce|cd|k> <value>"))?
+                .to_lowercase();
+            if !["cf", "ce", "cd", "k"].contains(&param.as_str()) {
+                return Err(err(format!("unknown parameter '{param}'")));
+            }
+            let value = rest
+                .get(1)
+                .ok_or_else(|| err("usage: set <param> <value>"))?
+                .parse::<f64>()
+                .map_err(|_| err("value must be numeric"))?;
+            Command::Set { param, value }
+        }
+        "rates" => Command::Rates,
+        "info" => Command::Info,
+        "help" | "?" => Command::Help,
+        "quit" | "exit" => Command::Quit,
+        other => return Err(err(format!("unknown command '{other}' (try 'help')"))),
+    };
+    Ok(Some(cmd))
+}
+
+fn one_path(rest: &[&str], verb: &str) -> Result<String, ParseError> {
+    rest.first()
+        .map(|s| s.to_string())
+        .ok_or_else(|| err(format!("usage: {verb} <path>")))
+}
+
+/// The help text.
+pub const HELP: &str = "\
+commands:
+  generate <preset> [scale]   build a synthetic dataset
+                              (dblp-top, dblp-complete, ds7, ds7-cancer)
+  load/save <path>            graph snapshots (binary)
+  import/export <path>        text-format datasets (.orexg)
+  load-rates/save-rates <path> trained rates snapshots
+  query <keywords...>         run an ObjectRank2 keyword query
+  top [k]                     show the top-k results
+  explain <rank> [paths]      why did result #rank score high?
+  dot <rank>                  explaining subgraph in Graphviz DOT
+  feedback <ranks...>         mark results relevant; reformulate & re-rank
+  set <cf|ce|cd|k> <value>    tune reformulation parameters
+  rates                       show the authority transfer rates
+  info                        dataset statistics
+  quit";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(line: &str) -> Command {
+        parse(line).unwrap().unwrap()
+    }
+
+    #[test]
+    fn parses_core_commands() {
+        assert_eq!(
+            p("generate dblp-top 0.1"),
+            Command::Generate {
+                preset: "dblp-top".into(),
+                scale: 0.1
+            }
+        );
+        assert_eq!(
+            p("query olap data cubes"),
+            Command::Query {
+                keywords: vec!["olap".into(), "data".into(), "cubes".into()]
+            }
+        );
+        assert_eq!(p("top 5"), Command::Top { k: 5 });
+        assert_eq!(p("top"), Command::Top { k: 10 });
+        assert_eq!(p("explain 3"), Command::Explain { rank: 3, paths: 3 });
+        assert_eq!(
+            p("feedback 1 2 4"),
+            Command::Feedback {
+                ranks: vec![1, 2, 4]
+            }
+        );
+        assert_eq!(
+            p("set cf 0.7"),
+            Command::Set {
+                param: "cf".into(),
+                value: 0.7
+            }
+        );
+        assert_eq!(p("quit"), Command::Quit);
+    }
+
+    #[test]
+    fn aliases_work() {
+        assert!(matches!(p("q olap"), Command::Query { .. }));
+        assert!(matches!(p("why 1"), Command::Explain { .. }));
+        assert!(matches!(p("fb 1"), Command::Feedback { .. }));
+        assert!(matches!(p("?"), Command::Help));
+    }
+
+    #[test]
+    fn blank_and_comment_lines_skipped() {
+        assert_eq!(parse("").unwrap(), None);
+        assert_eq!(parse("   ").unwrap(), None);
+        assert_eq!(parse("# a comment").unwrap(), None);
+    }
+
+    #[test]
+    fn errors_are_user_facing() {
+        assert!(parse("explain").is_err());
+        assert!(parse("explain zero").is_err());
+        assert!(parse("explain 0").is_err());
+        assert!(parse("feedback 1 x").is_err());
+        assert!(parse("set bogus 1").is_err());
+        assert!(parse("generate dblp-top -1").is_err());
+        assert!(parse("frobnicate").is_err());
+        let msg = parse("frobnicate").unwrap_err().to_string();
+        assert!(msg.contains("frobnicate"));
+    }
+
+    #[test]
+    fn case_insensitive_verbs() {
+        assert!(matches!(p("QUERY olap"), Command::Query { .. }));
+        assert!(matches!(p("Top"), Command::Top { .. }));
+    }
+}

@@ -1,0 +1,34 @@
+//! The `orex` interactive shell binary.
+
+use orex_cli::{parse, App};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let mut app = App::new();
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    println!("orex — explaining & reformulating authority flow queries");
+    println!("type 'help' for commands, 'generate dblp-top 0.05' to begin");
+    loop {
+        print!("orex> ");
+        let _ = stdout.flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        match parse(&line) {
+            Ok(Some(cmd)) => match app.execute(cmd, &mut stdout) {
+                Ok(true) => break,
+                Ok(false) => {}
+                Err(e) => eprintln!("output error: {e}"),
+            },
+            Ok(None) => {}
+            Err(e) => println!("{e}"),
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Scripted end-to-end CLI session: feeds a realistic command transcript
+//! through the parser and executor and checks the conversation flows.
+
+use orex_cli::{parse, App};
+
+/// Runs a script of lines, returning per-line outputs. Stops on `quit`.
+fn run_script(lines: &[&str]) -> Vec<String> {
+    let mut app = App::new();
+    let mut outputs = Vec::new();
+    for line in lines {
+        let mut out = Vec::new();
+        match parse(line) {
+            Ok(Some(cmd)) => {
+                let quit = app.execute(cmd, &mut out).expect("io to a Vec cannot fail");
+                outputs.push(String::from_utf8(out).unwrap());
+                if quit {
+                    break;
+                }
+            }
+            Ok(None) => outputs.push(String::new()),
+            Err(e) => outputs.push(format!("{e}\n")),
+        }
+    }
+    outputs
+}
+
+#[test]
+fn full_session_transcript() {
+    let out = run_script(&[
+        "# a realistic exploratory session",
+        "help",
+        "generate dblp-top 0.02",
+        "info",
+        "query data mining",
+        "top 5",
+        "explain 1 2",
+        "set cf 0.7",
+        "feedback 1 2",
+        "rates",
+        "dot 1",
+        "quit",
+    ]);
+    assert!(out[1].contains("commands:"), "help text");
+    assert!(out[2].contains("generated DBLPtop"), "{}", out[2]);
+    assert!(out[3].contains("edge types"), "{}", out[3]);
+    assert!(out[4].contains("converged in"), "{}", out[4]);
+    assert!(out[5].lines().count() >= 5, "top 5 rows:\n{}", out[5]);
+    assert!(
+        out[6].contains("Why") || out[6].contains("explain failed"),
+        "{}",
+        out[6]
+    );
+    assert!(out[7].contains("cf = 0.7"));
+    assert!(out[8].contains("reformulated (round 1)"), "{}", out[8]);
+    assert!(out[9].contains("cites"), "{}", out[9]);
+    assert!(out[10].contains("digraph"), "{}", out[10]);
+}
+
+#[test]
+fn errors_do_not_poison_the_session() {
+    let out = run_script(&[
+        "frobnicate",
+        "generate nope 0.1",
+        "generate dblp-top 0.01",
+        "query zzzznonexistent",
+        "query data",
+    ]);
+    assert!(out[0].contains("unknown command"));
+    assert!(out[1].contains("unknown preset"));
+    assert!(out[2].contains("generated"));
+    assert!(out[3].contains("query failed"));
+    assert!(out[4].contains("converged"), "session recovers: {}", out[4]);
+}
+
+#[test]
+fn rates_training_visible_through_cli() {
+    let out = run_script(&[
+        "generate dblp-top 0.02",
+        "query data",
+        "rates",
+        "feedback 1",
+        "rates",
+    ]);
+    // Rates print before and after feedback; after a structure-only
+    // round they must differ somewhere.
+    assert_ne!(out[2], out[4], "feedback should change the printed rates");
+}

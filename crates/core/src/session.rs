@@ -1,0 +1,519 @@
+//! Query sessions: execute, inspect, explain, give feedback, repeat.
+//!
+//! A [`QuerySession`] owns the evolving state of one user interaction —
+//! the query vector, the authority transfer rates, and the converged
+//! ObjectRank2 scores — and implements the feedback loop of Section 5:
+//! each [`QuerySession::feedback`] call explains the selected objects,
+//! reformulates query and rates, and re-executes with the previous scores
+//! as warm start (Section 6.2). Per-stage wall times and iteration counts
+//! are recorded so the Figures 14–17 experiments read them off directly.
+
+use crate::system::ObjectRankSystem;
+use orex_authority::{object_rank2, top_k, Ranked, RankingError, TransitionMatrix};
+use orex_explain::{ExplainError, Explanation};
+use orex_graph::{NodeId, TransferRates};
+use orex_ir::{Query, QueryVector};
+use orex_reformulate::{reformulate, ReformulateParams};
+use std::time::{Duration, Instant};
+
+/// A ranked result with its display name.
+#[derive(Clone, Debug)]
+pub struct ResultObject {
+    /// The node.
+    pub node: NodeId,
+    /// Its ObjectRank2 score.
+    pub score: f64,
+    /// The node's type label.
+    pub label: String,
+    /// A short display name.
+    pub display: String,
+}
+
+/// Timing and iteration record of one pipeline step (initial query or one
+/// feedback/reformulation round) — the raw data behind Figures 14–17 and
+/// Table 3.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StepStats {
+    /// ObjectRank2 execution wall time.
+    pub rank_time: Duration,
+    /// ObjectRank2 power iterations.
+    pub rank_iterations: usize,
+    /// Whether ObjectRank2 converged within the threshold.
+    pub rank_converged: bool,
+    /// Explaining-subgraph construction wall time (zero for the initial
+    /// query).
+    pub explain_construction_time: Duration,
+    /// Explaining-ObjectRank2 (flow-adjustment fixpoint) wall time.
+    pub explain_adjustment_time: Duration,
+    /// Mean fixpoint iterations across the feedback objects (Table 3).
+    pub explain_iterations: f64,
+    /// Query reformulation wall time.
+    pub reformulate_time: Duration,
+}
+
+/// Errors surfaced by sessions.
+#[derive(Debug)]
+pub enum SessionError {
+    /// The (possibly reformulated) query produced no base set.
+    Ranking(RankingError),
+    /// A feedback object could not be explained.
+    Explain(ExplainError),
+    /// Feedback was given with no objects selected.
+    NoFeedbackObjects,
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::Ranking(e) => write!(f, "ranking failed: {e}"),
+            SessionError::Explain(e) => write!(f, "explanation failed: {e}"),
+            SessionError::NoFeedbackObjects => write!(f, "no feedback objects given"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<RankingError> for SessionError {
+    fn from(e: RankingError) -> Self {
+        SessionError::Ranking(e)
+    }
+}
+
+impl From<ExplainError> for SessionError {
+    fn from(e: ExplainError) -> Self {
+        SessionError::Explain(e)
+    }
+}
+
+/// A captured session state (see [`QuerySession::snapshot`]).
+#[derive(Clone, Debug)]
+pub struct SessionSnapshot {
+    query: QueryVector,
+    rates: TransferRates,
+    scores: Vec<f64>,
+    history: Vec<StepStats>,
+}
+
+/// One user's evolving query interaction.
+pub struct QuerySession<'s> {
+    system: &'s ObjectRankSystem,
+    query: QueryVector,
+    rates: TransferRates,
+    /// Per-transfer-edge alpha weights for `rates`.
+    weights: Vec<f64>,
+    /// Converged ObjectRank2 scores of the current query.
+    scores: Vec<f64>,
+    /// Stats per step: index 0 is the initial query.
+    history: Vec<StepStats>,
+}
+
+impl<'s> QuerySession<'s> {
+    /// Executes the initial query with the system's initial rates.
+    pub fn start(system: &'s ObjectRankSystem, query: &Query) -> Result<Self, SessionError> {
+        Self::start_with(system, query, system.initial_rates().clone())
+    }
+
+    /// Executes the initial query with explicit starting rates (used by
+    /// the training experiments, which initialize all rates to 0.3).
+    pub fn start_with(
+        system: &'s ObjectRankSystem,
+        query: &Query,
+        rates: TransferRates,
+    ) -> Result<Self, SessionError> {
+        let qv = QueryVector::initial(query, system.index().analyzer());
+        let weights = system.transfer().weights(&rates);
+        let matrix = TransitionMatrix::from_edge_weights(system.transfer(), weights);
+        let start = Instant::now();
+        let result = object_rank2(
+            &matrix,
+            system.index(),
+            &qv,
+            &system.config().okapi,
+            &system.config().rank,
+            system.global_scores(),
+        )?;
+        let stats = StepStats {
+            rank_time: start.elapsed(),
+            rank_iterations: result.iterations,
+            rank_converged: result.converged,
+            ..StepStats::default()
+        };
+        // Reclaim the weights from the matrix by recomputing once — the
+        // matrix borrowed them; sessions keep their own copy for
+        // explanation calls.
+        let weights = system.transfer().weights(&rates);
+        Ok(Self {
+            system,
+            query: qv,
+            rates,
+            weights,
+            scores: result.scores,
+            history: vec![stats],
+        })
+    }
+
+    /// The system this session runs against.
+    #[inline]
+    pub fn system(&self) -> &'s ObjectRankSystem {
+        self.system
+    }
+
+    /// The current (possibly expanded) query vector.
+    #[inline]
+    pub fn query_vector(&self) -> &QueryVector {
+        &self.query
+    }
+
+    /// The current (possibly trained) rates.
+    #[inline]
+    pub fn rates(&self) -> &TransferRates {
+        &self.rates
+    }
+
+    /// The converged score vector.
+    #[inline]
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
+    }
+
+    /// Per-step statistics; index 0 is the initial query, subsequent
+    /// entries are feedback rounds.
+    #[inline]
+    pub fn history(&self) -> &[StepStats] {
+        &self.history
+    }
+
+    /// Number of reformulation rounds performed so far.
+    #[inline]
+    pub fn round(&self) -> usize {
+        self.history.len() - 1
+    }
+
+    /// Captures the session's full state — query vector, rates, scores,
+    /// history — so a later [`Self::restore`] can undo feedback rounds
+    /// (users change their minds about what was relevant).
+    pub fn snapshot(&self) -> SessionSnapshot {
+        SessionSnapshot {
+            query: self.query.clone(),
+            rates: self.rates.clone(),
+            scores: self.scores.clone(),
+            history: self.history.clone(),
+        }
+    }
+
+    /// Restores a previously captured state.
+    ///
+    /// # Panics
+    /// Panics if the snapshot comes from a different graph (score
+    /// dimension mismatch).
+    pub fn restore(&mut self, snapshot: SessionSnapshot) {
+        assert_eq!(
+            snapshot.scores.len(),
+            self.system.graph().node_count(),
+            "snapshot belongs to a different graph"
+        );
+        self.weights = self.system.transfer().weights(&snapshot.rates);
+        self.query = snapshot.query;
+        self.rates = snapshot.rates;
+        self.scores = snapshot.scores;
+        self.history = snapshot.history;
+    }
+
+    /// The top-`k` results, best first.
+    pub fn top_k(&self, k: usize) -> Vec<ResultObject> {
+        top_k(&self.scores, k, 0.0)
+            .into_iter()
+            .map(|Ranked { node, score }| {
+                let node = NodeId::new(node);
+                ResultObject {
+                    node,
+                    score,
+                    label: self.system.graph().node_label(node).to_string(),
+                    display: self.system.display(node),
+                }
+            })
+            .collect()
+    }
+
+    /// Explains why `target` received its current score (Section 4).
+    pub fn explain(&self, target: NodeId) -> Result<Explanation, SessionError> {
+        let base = self.current_base_set()?;
+        Ok(Explanation::explain(
+            self.system.transfer(),
+            &self.weights,
+            &self.scores,
+            &base,
+            target,
+            &self.system.config().explain,
+        )?)
+    }
+
+    /// Explains `target` and summarizes the explanation by meta-path —
+    /// the schema-level shapes of its strongest `k` authority paths
+    /// ("Paper =cites=> Paper", "Paper =by=> Author <=by= Paper", ...).
+    pub fn explain_summary(
+        &self,
+        target: NodeId,
+        k: usize,
+    ) -> Result<Vec<orex_explain::MetaPath>, SessionError> {
+        let explanation = self.explain(target)?;
+        Ok(orex_explain::summarize(
+            &explanation,
+            self.system.transfer(),
+            self.system.graph(),
+            k,
+        ))
+    }
+
+    fn current_base_set(&self) -> Result<orex_authority::BaseSet, SessionError> {
+        orex_authority::BaseSet::weighted(
+            self.system
+                .index()
+                .base_set_scores(&self.query, &self.system.config().okapi),
+        )
+        .map_err(|e| SessionError::Ranking(RankingError::EmptyBaseSet(e)))
+    }
+
+    /// Marks `objects` as relevant, reformulates the query with the
+    /// session's default parameters, and re-executes.
+    pub fn feedback(&mut self, objects: &[NodeId]) -> Result<StepStats, SessionError> {
+        let params = self.system.config().reformulate;
+        self.feedback_with(objects, &params)
+    }
+
+    /// Feedback with explicit reformulation parameters (the survey
+    /// experiments sweep `C_e` / `C_f`).
+    pub fn feedback_with(
+        &mut self,
+        objects: &[NodeId],
+        params: &ReformulateParams,
+    ) -> Result<StepStats, SessionError> {
+        if objects.is_empty() {
+            return Err(SessionError::NoFeedbackObjects);
+        }
+
+        // Stage 1 + 2: explain every feedback object.
+        let base = self.current_base_set()?;
+        let mut explanations = Vec::with_capacity(objects.len());
+        let mut construction = Duration::ZERO;
+        let mut adjustment = Duration::ZERO;
+        let mut fixpoint_iters = 0usize;
+        for &obj in objects {
+            let e = Explanation::explain(
+                self.system.transfer(),
+                &self.weights,
+                &self.scores,
+                &base,
+                obj,
+                &self.system.config().explain,
+            )?;
+            construction += e.construction_time();
+            adjustment += e.adjustment_time();
+            fixpoint_iters += e.iterations();
+            explanations.push(e);
+        }
+
+        // Stage 3: reformulate.
+        let refs: Vec<&Explanation> = explanations.iter().collect();
+        let t = Instant::now();
+        let outcome = reformulate(
+            &self.query,
+            &self.rates,
+            self.system.graph().schema(),
+            self.system.transfer(),
+            self.system.index(),
+            &refs,
+            params,
+        );
+        let reformulate_time = t.elapsed();
+
+        // Stage 4: re-execute with warm start from the previous scores.
+        let new_weights = self.system.transfer().weights(&outcome.rates);
+        let matrix =
+            TransitionMatrix::from_edge_weights(self.system.transfer(), new_weights.clone());
+        let t = Instant::now();
+        let result = object_rank2(
+            &matrix,
+            self.system.index(),
+            &outcome.query,
+            &self.system.config().okapi,
+            &self.system.config().rank,
+            Some(&self.scores),
+        )?;
+        let stats = StepStats {
+            rank_time: t.elapsed(),
+            rank_iterations: result.iterations,
+            rank_converged: result.converged,
+            explain_construction_time: construction,
+            explain_adjustment_time: adjustment,
+            explain_iterations: fixpoint_iters as f64 / objects.len() as f64,
+            reformulate_time,
+        };
+
+        self.query = outcome.query;
+        self.rates = outcome.rates;
+        self.weights = new_weights;
+        self.scores = result.scores;
+        self.history.push(stats);
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::{ObjectRankSystem, SystemConfig};
+    use orex_datagen::{generate_dblp, DblpConfig, TextConfig};
+
+    fn system() -> ObjectRankSystem {
+        let d = generate_dblp(
+            "s",
+            &DblpConfig {
+                papers: 400,
+                authors: 150,
+                conferences: 4,
+                years_per_conference: 4,
+                text: TextConfig {
+                    vocab_size: 800,
+                    topics: 6,
+                    ..TextConfig::default()
+                },
+                ..DblpConfig::default()
+            },
+        );
+        ObjectRankSystem::new(d.graph, d.ground_truth, SystemConfig::default())
+    }
+
+    #[test]
+    fn initial_query_returns_results() {
+        let sys = system();
+        let session = QuerySession::start(&sys, &Query::parse("data")).unwrap();
+        let top = session.top_k(10);
+        assert!(!top.is_empty());
+        assert!(top.len() <= 10);
+        // Sorted descending.
+        for w in top.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        assert_eq!(session.round(), 0);
+        assert!(session.history()[0].rank_iterations > 0);
+    }
+
+    #[test]
+    fn unknown_keyword_errors() {
+        let sys = system();
+        assert!(matches!(
+            QuerySession::start(&sys, &Query::parse("qqqqzzzz")),
+            Err(SessionError::Ranking(_))
+        ));
+    }
+
+    #[test]
+    fn explain_top_result_succeeds() {
+        let sys = system();
+        let session = QuerySession::start(&sys, &Query::parse("query")).unwrap();
+        let top = session.top_k(5);
+        let expl = session.explain(top[0].node).unwrap();
+        assert!(expl.node_count() >= 1);
+        assert!(expl.target_inflow() >= 0.0);
+    }
+
+    #[test]
+    fn feedback_round_updates_state_and_history() {
+        let sys = system();
+        let mut session = QuerySession::start(&sys, &Query::parse("data")).unwrap();
+        let before_rates = session.rates().clone();
+        let top = session.top_k(10);
+        let stats = session.feedback(&[top[0].node, top[1].node]).unwrap();
+        assert_eq!(session.round(), 1);
+        assert!(stats.rank_iterations > 0);
+        assert!(stats.explain_iterations > 0.0);
+        assert_ne!(session.rates(), &before_rates, "rates should train");
+        assert!(session.query_vector().len() >= 1);
+    }
+
+    #[test]
+    fn warm_start_speeds_up_reformulated_queries() {
+        let sys = system();
+        let mut session = QuerySession::start(&sys, &Query::parse("data")).unwrap();
+        let initial_iters = session.history()[0].rank_iterations;
+        let top = session.top_k(5);
+        let stats = session.feedback(&[top[0].node]).unwrap();
+        // The Figures 14(b)-17(b) claim: reformulated queries converge in
+        // fewer iterations thanks to score reuse.
+        assert!(
+            stats.rank_iterations <= initial_iters,
+            "warm {} vs cold {}",
+            stats.rank_iterations,
+            initial_iters
+        );
+    }
+
+    #[test]
+    fn empty_feedback_rejected() {
+        let sys = system();
+        let mut session = QuerySession::start(&sys, &Query::parse("data")).unwrap();
+        assert!(matches!(
+            session.feedback(&[]),
+            Err(SessionError::NoFeedbackObjects)
+        ));
+    }
+
+    #[test]
+    fn multiple_rounds_accumulate_history() {
+        let sys = system();
+        let mut session = QuerySession::start(&sys, &Query::parse("data")).unwrap();
+        for _ in 0..3 {
+            let top = session.top_k(3);
+            session.feedback(&[top[0].node]).unwrap();
+        }
+        assert_eq!(session.history().len(), 4);
+        assert_eq!(session.round(), 3);
+    }
+
+    #[test]
+    fn explain_summary_produces_meta_paths() {
+        let sys = system();
+        let session = QuerySession::start(&sys, &Query::parse("data")).unwrap();
+        let top = session.top_k(3);
+        let summary = session.explain_summary(top[0].node, 5).unwrap();
+        assert!(!summary.is_empty());
+        for m in &summary {
+            assert!(m.count >= 1);
+            assert!(m.signature.contains("Paper") || m.signature.contains("Year")
+                || m.signature.contains("Author") || m.signature.contains("Conference"));
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_undoes_feedback() {
+        let sys = system();
+        let mut session = QuerySession::start(&sys, &Query::parse("data")).unwrap();
+        let checkpoint = session.snapshot();
+        let before_top: Vec<u32> = session.top_k(10).iter().map(|r| r.node.raw()).collect();
+        let top = session.top_k(3);
+        session.feedback(&[top[0].node]).unwrap();
+        assert_eq!(session.round(), 1);
+        session.restore(checkpoint);
+        assert_eq!(session.round(), 0);
+        let after_top: Vec<u32> = session.top_k(10).iter().map(|r| r.node.raw()).collect();
+        assert_eq!(before_top, after_top);
+        // The restored session is fully functional: feedback again.
+        let top = session.top_k(3);
+        session.feedback(&[top[0].node]).unwrap();
+        assert_eq!(session.round(), 1);
+    }
+
+    #[test]
+    fn structure_only_feedback_keeps_query() {
+        let sys = system();
+        let mut session = QuerySession::start(&sys, &Query::parse("data")).unwrap();
+        let q_before = session.query_vector().clone();
+        let top = session.top_k(3);
+        session
+            .feedback_with(&[top[0].node], &ReformulateParams::structure_only(0.5))
+            .unwrap();
+        assert_eq!(session.query_vector(), &q_before);
+    }
+}

@@ -1,0 +1,393 @@
+//! Synthetic biological dataset generator (schema of Figure 4).
+//!
+//! Substitutes for the paper's DS7 / DS7cancer collections (PubMed-derived
+//! biological sources, Table 1). The schema follows Figure 4: Entrez Gene,
+//! Entrez Protein, Entrez Nucleotide and PubMed node types with
+//! cross-source association edges (e.g. the "genePubMedAssociates" role
+//! the paper names). PubMed records carry topic-model abstracts (longer
+//! documents than DBLP titles — the regime where the paper expects
+//! ObjectRank2's IR weighting to pay off); genes/proteins/nucleotides
+//! carry symbols and short descriptions.
+
+use crate::dblp::Dataset;
+use crate::text::{synthetic_word, TextConfig, TextGen, DOMAIN_KEYWORDS};
+use orex_graph::{
+    DataGraphBuilder, EdgeTypeId, SchemaGraph, TransferRates, TransferTypeId,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Edge-type handles of a generated biological graph.
+#[derive(Clone, Copy, Debug)]
+pub struct BioEdgeTypes {
+    /// Gene -> Protein "encodes".
+    pub encodes: EdgeTypeId,
+    /// Gene -> Nucleotide "transcribes".
+    pub transcribes: EdgeTypeId,
+    /// Gene -> PubMed "genePubMedAssociates".
+    pub gene_pubmed: EdgeTypeId,
+    /// Protein -> PubMed "proteinPubMedAssociates".
+    pub protein_pubmed: EdgeTypeId,
+    /// Nucleotide -> PubMed "nucleotidePubMedAssociates".
+    pub nucleotide_pubmed: EdgeTypeId,
+    /// Protein -> Protein "interacts".
+    pub interacts: EdgeTypeId,
+}
+
+/// Builds the Figure 4 schema.
+pub fn bio_schema() -> (SchemaGraph, BioEdgeTypes) {
+    let mut schema = SchemaGraph::new();
+    let gene = schema.add_node_type("EntrezGene").unwrap();
+    let protein = schema.add_node_type("EntrezProtein").unwrap();
+    let nucleotide = schema.add_node_type("EntrezNucleotide").unwrap();
+    let pubmed = schema.add_node_type("PubMed").unwrap();
+    let encodes = schema.add_edge_type(gene, protein, "encodes").unwrap();
+    let transcribes = schema.add_edge_type(gene, nucleotide, "transcribes").unwrap();
+    let gene_pubmed = schema
+        .add_edge_type(gene, pubmed, "genePubMedAssociates")
+        .unwrap();
+    let protein_pubmed = schema
+        .add_edge_type(protein, pubmed, "proteinPubMedAssociates")
+        .unwrap();
+    let nucleotide_pubmed = schema
+        .add_edge_type(nucleotide, pubmed, "nucleotidePubMedAssociates")
+        .unwrap();
+    let interacts = schema.add_edge_type(protein, protein, "interacts").unwrap();
+    (
+        schema,
+        BioEdgeTypes {
+            encodes,
+            transcribes,
+            gene_pubmed,
+            protein_pubmed,
+            nucleotide_pubmed,
+            interacts,
+        },
+    )
+}
+
+/// Simulated ground-truth rates for the biological schema. The paper's
+/// domain experts never published a DS7 rates vector; this one encodes the
+/// same kind of judgment BHP04 made for DBLP (publications confer strong
+/// authority on the entities they mention; structural links carry
+/// moderate, asymmetric authority) and is what the bio training
+/// experiments learn toward.
+pub fn bio_ground_truth(schema: &SchemaGraph, et: &BioEdgeTypes) -> TransferRates {
+    let mut r = TransferRates::zero(schema);
+    r.set(TransferTypeId::forward(et.encodes), 0.3).unwrap();
+    r.set(TransferTypeId::backward(et.encodes), 0.3).unwrap();
+    r.set(TransferTypeId::forward(et.transcribes), 0.2).unwrap();
+    r.set(TransferTypeId::backward(et.transcribes), 0.1).unwrap();
+    r.set(TransferTypeId::forward(et.gene_pubmed), 0.3).unwrap();
+    r.set(TransferTypeId::backward(et.gene_pubmed), 0.4).unwrap();
+    r.set(TransferTypeId::forward(et.protein_pubmed), 0.2).unwrap();
+    r.set(TransferTypeId::backward(et.protein_pubmed), 0.3).unwrap();
+    r.set(TransferTypeId::forward(et.nucleotide_pubmed), 0.2).unwrap();
+    r.set(TransferTypeId::backward(et.nucleotide_pubmed), 0.2).unwrap();
+    r.set(TransferTypeId::forward(et.interacts), 0.2).unwrap();
+    r.set(TransferTypeId::backward(et.interacts), 0.0).unwrap();
+    r.validate(schema).expect("bio ground truth valid");
+    r
+}
+
+/// Configuration of the biological generator.
+#[derive(Clone, Debug)]
+pub struct BioConfig {
+    /// Number of genes.
+    pub genes: usize,
+    /// Proteins per gene (mean).
+    pub proteins_per_gene: f64,
+    /// Nucleotides per gene (mean).
+    pub nucleotides_per_gene: f64,
+    /// Number of PubMed records.
+    pub publications: usize,
+    /// Mean entity associations per publication.
+    pub associations_per_publication: f64,
+    /// Mean protein-protein interactions per protein.
+    pub interactions_per_protein: f64,
+    /// Abstract length range in tokens.
+    pub abstract_len: (usize, usize),
+    /// Text model.
+    pub text: TextConfig,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BioConfig {
+    fn default() -> Self {
+        Self {
+            genes: 400,
+            proteins_per_gene: 1.5,
+            nucleotides_per_gene: 1.2,
+            publications: 1_500,
+            associations_per_publication: 3.0,
+            interactions_per_protein: 1.0,
+            abstract_len: (40, 120),
+            text: TextConfig::default(),
+            seed: 0xB10,
+        }
+    }
+}
+
+fn count(mean: f64, rng: &mut StdRng) -> usize {
+    if mean <= 0.0 {
+        return 0;
+    }
+    let p = 1.0 / (1.0 + mean);
+    let mut n = 0usize;
+    while rng.gen::<f64>() > p {
+        n += 1;
+        if n > 1000 {
+            break;
+        }
+    }
+    n
+}
+
+/// Generates a biological dataset.
+pub fn generate_bio(name: &str, config: &BioConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let text = TextGen::new(&config.text, &mut rng);
+    let (schema, et) = bio_schema();
+    let ground_truth = bio_ground_truth(&schema, &et);
+    let gene_t = schema.node_type_by_label("EntrezGene").unwrap();
+    let protein_t = schema.node_type_by_label("EntrezProtein").unwrap();
+    let nucleotide_t = schema.node_type_by_label("EntrezNucleotide").unwrap();
+    let pubmed_t = schema.node_type_by_label("PubMed").unwrap();
+    let mut b = DataGraphBuilder::new(schema);
+
+    let topics = text.topic_count();
+    // Genes, each with a topic ("pathway") its publications share.
+    let mut genes = Vec::with_capacity(config.genes);
+    let mut gene_topic = Vec::with_capacity(config.genes);
+    let mut proteins = Vec::new();
+    let mut protein_topic = Vec::new();
+    let mut nucleotides = Vec::new();
+    let mut nucleotide_topic = Vec::new();
+    for i in 0..config.genes {
+        let topic = rng.gen_range(0..topics);
+        let symbol = format!("gene{}", synthetic_word(i));
+        let desc = text.document(topic, 6, config.text.topic_mix, &mut rng);
+        let g = b
+            .add_node_with(gene_t, &[("Symbol", symbol.as_str()), ("Description", desc.as_str())])
+            .unwrap();
+        genes.push(g);
+        gene_topic.push(topic);
+        for _ in 0..(1 + count(config.proteins_per_gene - 1.0, &mut rng)) {
+            let sym = format!("prot{}", synthetic_word(proteins.len()));
+            let desc = text.document(topic, 5, config.text.topic_mix, &mut rng);
+            let p = b
+                .add_node_with(
+                    protein_t,
+                    &[("Symbol", sym.as_str()), ("Description", desc.as_str())],
+                )
+                .unwrap();
+            b.add_edge(g, p, et.encodes).unwrap();
+            proteins.push(p);
+            protein_topic.push(topic);
+        }
+        for _ in 0..(1 + count(config.nucleotides_per_gene - 1.0, &mut rng)) {
+            let sym = format!("nuc{}", synthetic_word(nucleotides.len()));
+            let n = b
+                .add_node_with(nucleotide_t, &[("Accession", sym.as_str())])
+                .unwrap();
+            b.add_edge(g, n, et.transcribes).unwrap();
+            nucleotides.push(n);
+            nucleotide_topic.push(topic);
+        }
+    }
+
+    // Protein-protein interactions, preferring same-topic partners.
+    let mut per_topic_proteins: Vec<Vec<usize>> = vec![Vec::new(); topics];
+    for (i, &t) in protein_topic.iter().enumerate() {
+        per_topic_proteins[t].push(i);
+    }
+    for i in 0..proteins.len() {
+        for _ in 0..count(config.interactions_per_protein, &mut rng) {
+            let pool = &per_topic_proteins[protein_topic[i]];
+            let j = if rng.gen::<f64>() < 0.7 && pool.len() > 1 {
+                pool[rng.gen_range(0..pool.len())]
+            } else {
+                rng.gen_range(0..proteins.len())
+            };
+            if j != i {
+                b.add_edge(proteins[i], proteins[j], et.interacts).unwrap();
+            }
+        }
+    }
+
+    // Publications: each gets a topic and associates with same-topic
+    // entities (preferential by entity popularity).
+    let mut entity_pool: Vec<(u8, usize)> = Vec::new(); // (kind, idx)
+    let mut per_topic_genes: Vec<Vec<usize>> = vec![Vec::new(); topics];
+    for (i, &t) in gene_topic.iter().enumerate() {
+        per_topic_genes[t].push(i);
+    }
+    for p in 0..config.publications {
+        let topic = rng.gen_range(0..topics);
+        let len = rng.gen_range(config.abstract_len.0..=config.abstract_len.1);
+        let title = text.document(topic, 8, config.text.topic_mix, &mut rng);
+        let abstract_ = text.document(topic, len, config.text.topic_mix, &mut rng);
+        let pmid = format!("pmid{p}");
+        let pub_node = b
+            .add_node_with(
+                pubmed_t,
+                &[
+                    ("PMID", pmid.as_str()),
+                    ("Title", title.as_str()),
+                    ("Abstract", abstract_.as_str()),
+                ],
+            )
+            .unwrap();
+        let n_assoc = 1 + count(config.associations_per_publication - 1.0, &mut rng);
+        for _ in 0..n_assoc {
+            // Pick an entity: 40% popularity-preferential, else a
+            // same-topic gene/protein/nucleotide.
+            let (kind, idx) = if rng.gen::<f64>() < 0.4 && !entity_pool.is_empty() {
+                entity_pool[rng.gen_range(0..entity_pool.len())]
+            } else {
+                let kind = rng.gen_range(0..3u8);
+                let idx = match kind {
+                    0 => {
+                        let pool = &per_topic_genes[topic];
+                        if pool.is_empty() {
+                            rng.gen_range(0..genes.len())
+                        } else {
+                            pool[rng.gen_range(0..pool.len())]
+                        }
+                    }
+                    1 => {
+                        let pool = &per_topic_proteins[topic];
+                        if pool.is_empty() {
+                            rng.gen_range(0..proteins.len())
+                        } else {
+                            pool[rng.gen_range(0..pool.len())]
+                        }
+                    }
+                    _ => rng.gen_range(0..nucleotides.len()),
+                };
+                (kind, idx)
+            };
+            entity_pool.push((kind, idx));
+            match kind {
+                0 => b.add_edge(genes[idx], pub_node, et.gene_pubmed).unwrap(),
+                1 => b
+                    .add_edge(proteins[idx], pub_node, et.protein_pubmed)
+                    .unwrap(),
+                _ => b
+                    .add_edge(nucleotides[idx], pub_node, et.nucleotide_pubmed)
+                    .unwrap(),
+            };
+        }
+    }
+
+    Dataset {
+        name: name.to_string(),
+        graph: b.freeze(),
+        ground_truth,
+        suggested_keywords: DOMAIN_KEYWORDS.iter().map(|s| s.to_string()).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Dataset {
+        generate_bio(
+            "bio-test",
+            &BioConfig {
+                genes: 60,
+                publications: 200,
+                text: TextConfig {
+                    vocab_size: 1000,
+                    topics: 6,
+                    ..TextConfig::default()
+                },
+                ..BioConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn conforms_to_schema() {
+        let d = small();
+        d.graph.verify_conformance().unwrap();
+        assert!(d.graph.node_count() > 260);
+        assert!(d.graph.edge_count() > 200);
+    }
+
+    #[test]
+    fn all_four_node_types_present() {
+        let d = small();
+        let schema = d.graph.schema();
+        let mut counts = vec![0usize; schema.node_type_count()];
+        for n in d.graph.nodes() {
+            counts[d.graph.node_type(n).index()] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(c > 0, "node type {i} missing");
+        }
+    }
+
+    #[test]
+    fn publications_have_long_text() {
+        let d = small();
+        let schema = d.graph.schema();
+        let pubmed_t = schema.node_type_by_label("PubMed").unwrap();
+        let gene_t = schema.node_type_by_label("EntrezGene").unwrap();
+        let mut pub_len = 0usize;
+        let mut pub_count = 0usize;
+        let mut gene_len = 0usize;
+        let mut gene_count = 0usize;
+        for n in d.graph.nodes() {
+            let t = d.graph.node_type(n);
+            if t == pubmed_t {
+                pub_len += d.graph.node_text(n).len();
+                pub_count += 1;
+            } else if t == gene_t {
+                gene_len += d.graph.node_text(n).len();
+                gene_count += 1;
+            }
+        }
+        assert!(
+            pub_len / pub_count > 3 * (gene_len / gene_count),
+            "abstracts should dwarf gene descriptions"
+        );
+    }
+
+    #[test]
+    fn ground_truth_valid() {
+        let (schema, et) = bio_schema();
+        let r = bio_ground_truth(&schema, &et);
+        r.validate(&schema).unwrap();
+        assert!(r.get(TransferTypeId::backward(et.gene_pubmed)) > 0.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.graph.node_count(), b.graph.node_count());
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+    }
+
+    #[test]
+    fn genes_connect_to_publications() {
+        let d = small();
+        let schema = d.graph.schema();
+        let gene_t = schema.node_type_by_label("EntrezGene").unwrap();
+        let mut any = false;
+        for n in d.graph.nodes() {
+            if d.graph.node_type(n) == gene_t
+                && d.graph.out_edges(n).any(|(e, _)| {
+                    schema.edge_type(d.graph.edge(e).edge_type).label == "genePubMedAssociates"
+                })
+            {
+                any = true;
+                break;
+            }
+        }
+        assert!(any, "no gene-publication association generated");
+    }
+}

@@ -1,0 +1,480 @@
+//! Synthetic DBLP-shaped dataset generator (schema of Figure 2).
+//!
+//! Substitutes for the paper's DBLPcomplete / DBLPtop dumps (Table 1): the
+//! graph has the exact schema of Figure 2 (Paper, Conference, Year, Author
+//! with cites / by / has_instance / contains edges), citation in-degrees
+//! follow a power law via preferential attachment with topic locality,
+//! paper titles come from the Zipfian topic model, and the ground-truth
+//! authority transfer rates are those of Balmin et al. (Figure 3) — the
+//! vector the training experiments (Figures 11, 13) treat as ground truth.
+
+use crate::text::{TextConfig, TextGen, DOMAIN_KEYWORDS};
+use orex_graph::{
+    DataGraph, DataGraphBuilder, EdgeTypeId, SchemaGraph, TransferRates, TransferTypeId,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated dataset: the graph, its ground-truth rates, and suggested
+/// benchmark query keywords.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Dataset name (e.g. "dblp-top").
+    pub name: String,
+    /// The data graph.
+    pub graph: DataGraph,
+    /// The ground-truth authority transfer rates for this schema.
+    pub ground_truth: TransferRates,
+    /// Keywords with healthy document frequencies, suitable as benchmark
+    /// queries.
+    pub suggested_keywords: Vec<String>,
+}
+
+impl Dataset {
+    /// Convenience: `(nodes, edges)` sizes for Table 1 style reporting.
+    pub fn sizes(&self) -> (usize, usize) {
+        (self.graph.node_count(), self.graph.edge_count())
+    }
+}
+
+/// Configuration of the DBLP generator.
+#[derive(Clone, Debug)]
+pub struct DblpConfig {
+    /// Number of papers.
+    pub papers: usize,
+    /// Size of the author pool.
+    pub authors: usize,
+    /// Number of conferences.
+    pub conferences: usize,
+    /// Year instances per conference.
+    pub years_per_conference: usize,
+    /// Mean citations per paper (power-law targets).
+    pub avg_citations: f64,
+    /// Mean authors per paper.
+    pub avg_authors_per_paper: f64,
+    /// Title length range in tokens, inclusive.
+    pub title_len: (usize, usize),
+    /// Text/topic model configuration.
+    pub text: TextConfig,
+    /// RNG seed — generation is fully deterministic given the config.
+    pub seed: u64,
+}
+
+impl Default for DblpConfig {
+    fn default() -> Self {
+        Self {
+            papers: 2_000,
+            authors: 1_200,
+            conferences: 20,
+            years_per_conference: 10,
+            avg_citations: 4.0,
+            avg_authors_per_paper: 2.0,
+            title_len: (6, 12),
+            text: TextConfig::default(),
+            seed: 0xDB17,
+        }
+    }
+}
+
+/// The edge-type handles of a generated DBLP graph, in schema order.
+#[derive(Clone, Copy, Debug)]
+pub struct DblpEdgeTypes {
+    /// Paper -> Paper "cites".
+    pub cites: EdgeTypeId,
+    /// Paper -> Author "by".
+    pub by: EdgeTypeId,
+    /// Conference -> Year "has_instance".
+    pub has_instance: EdgeTypeId,
+    /// Year -> Paper "contains".
+    pub contains: EdgeTypeId,
+}
+
+/// Builds the Figure 2 schema. Returns the schema and its edge types.
+pub fn dblp_schema() -> (SchemaGraph, DblpEdgeTypes) {
+    let mut schema = SchemaGraph::new();
+    let paper = schema.add_node_type("Paper").unwrap();
+    let conference = schema.add_node_type("Conference").unwrap();
+    let year = schema.add_node_type("Year").unwrap();
+    let author = schema.add_node_type("Author").unwrap();
+    let cites = schema.add_edge_type(paper, paper, "cites").unwrap();
+    let by = schema.add_edge_type(paper, author, "by").unwrap();
+    let has_instance = schema
+        .add_edge_type(conference, year, "has_instance")
+        .unwrap();
+    let contains = schema.add_edge_type(year, paper, "contains").unwrap();
+    (
+        schema,
+        DblpEdgeTypes {
+            cites,
+            by,
+            has_instance,
+            contains,
+        },
+    )
+}
+
+/// The BHP04 ground-truth authority transfer rates (Figure 3):
+/// `[PP, PPback, PA, AP, CY, YC, YP, PY] = [0.7, 0, 0.2, 0.2, 0.3, 0.3,
+/// 0.3, 0.1]`.
+pub fn dblp_ground_truth(schema: &SchemaGraph, et: &DblpEdgeTypes) -> TransferRates {
+    let mut r = TransferRates::zero(schema);
+    r.set(TransferTypeId::forward(et.cites), 0.7).unwrap();
+    r.set(TransferTypeId::backward(et.cites), 0.0).unwrap();
+    r.set(TransferTypeId::forward(et.by), 0.2).unwrap();
+    r.set(TransferTypeId::backward(et.by), 0.2).unwrap();
+    r.set(TransferTypeId::forward(et.has_instance), 0.3).unwrap();
+    r.set(TransferTypeId::backward(et.has_instance), 0.3).unwrap();
+    r.set(TransferTypeId::forward(et.contains), 0.3).unwrap();
+    r.set(TransferTypeId::backward(et.contains), 0.1).unwrap();
+    r.validate(schema).expect("ground truth rates valid");
+    r
+}
+
+/// Samples an approximately Poisson count with the given mean (geometric
+/// mixture — close enough for degree distributions, avoids pulling in a
+/// distributions crate).
+fn sample_count(mean: f64, rng: &mut StdRng) -> usize {
+    if mean <= 0.0 {
+        return 0;
+    }
+    // Sum of two geometric halves approximates the mean with mild
+    // overdispersion (realistic for citation counts).
+    let p = 1.0 / (1.0 + mean / 2.0);
+    let mut total = 0usize;
+    for _ in 0..2 {
+        while rng.gen::<f64>() > p {
+            total += 1;
+            if total > 1000 {
+                break;
+            }
+        }
+    }
+    total
+}
+
+/// Generates a DBLP-shaped dataset.
+pub fn generate_dblp(name: &str, config: &DblpConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let text = TextGen::new(&config.text, &mut rng);
+    let (schema, et) = dblp_schema();
+    let ground_truth = dblp_ground_truth(&schema, &et);
+    let paper_t = schema.node_type_by_label("Paper").unwrap();
+    let conf_t = schema.node_type_by_label("Conference").unwrap();
+    let year_t = schema.node_type_by_label("Year").unwrap();
+    let author_t = schema.node_type_by_label("Author").unwrap();
+
+    let est_nodes = config.papers
+        + config.authors
+        + config.conferences * (1 + config.years_per_conference);
+    let est_edges = config.papers
+        * (1 + config.avg_citations as usize + config.avg_authors_per_paper as usize)
+        + config.conferences * config.years_per_conference;
+    let mut b = DataGraphBuilder::with_capacity(schema, est_nodes, est_edges);
+
+    // Conferences and their year instances. Each conference has a home
+    // topic (SIGMOD is a database venue; real venues are topical), and
+    // papers preferentially publish at home-topic venues — this is what
+    // makes Year -> Paper edges carry *relevant* authority, as they do in
+    // real DBLP.
+    let topics = text.topic_count();
+    let mut year_nodes = Vec::with_capacity(config.conferences * config.years_per_conference);
+    let mut conf_topics = Vec::with_capacity(config.conferences);
+    let mut years_by_topic: Vec<Vec<usize>> = vec![Vec::new(); topics];
+    for c in 0..config.conferences {
+        let conf_topic = c % topics;
+        conf_topics.push(conf_topic);
+        let conf_name = format!("conf{}", crate::text::synthetic_word(c));
+        let conf = b
+            .add_node_with(conf_t, &[("Name", conf_name.as_str())])
+            .unwrap();
+        for y in 0..config.years_per_conference {
+            let year_num = 1990 + (y % 18);
+            let location = crate::text::synthetic_word(rng.gen_range(0..500));
+            let year = b
+                .add_node(
+                    year_t,
+                    vec![
+                        orex_graph::Attribute {
+                            name: "Name".into(),
+                            value: conf_name.clone(),
+                        },
+                        orex_graph::Attribute {
+                            name: "Year".into(),
+                            value: year_num.to_string(),
+                        },
+                        orex_graph::Attribute {
+                            name: "Location".into(),
+                            value: location,
+                        },
+                    ],
+                )
+                .unwrap();
+            b.add_edge(conf, year, et.has_instance).unwrap();
+            years_by_topic[conf_topic].push(year_nodes.len());
+            year_nodes.push(year);
+        }
+    }
+
+    // Authors.
+    let author_nodes: Vec<_> = (0..config.authors)
+        .map(|i| {
+            let name = format!(
+                "{} {}",
+                crate::text::synthetic_word(i * 2 + 1),
+                crate::text::synthetic_word(i * 3 + 7)
+            );
+            b.add_node_with(author_t, &[("Name", name.as_str())]).unwrap()
+        })
+        .collect();
+
+    // Papers with topic-model titles, preferential-attachment citations
+    // (with strong topic locality — citation graphs are topically dense:
+    // the foundational papers of an area are cited directly by most
+    // papers of that area, which is what routes base-set authority to
+    // them along forward citation edges) and preferential authorship.
+    let mut paper_nodes = Vec::with_capacity(config.papers);
+    let mut paper_topics: Vec<usize> = Vec::with_capacity(config.papers);
+    let mut per_topic_papers: Vec<Vec<usize>> = vec![Vec::new(); topics];
+    // Per-topic preferential-attachment pools.
+    let mut citation_pool: Vec<usize> = Vec::new();
+    let mut topic_citation_pool: Vec<Vec<usize>> = vec![Vec::new(); topics];
+    // Author popularity pool.
+    let mut author_pool: Vec<usize> = Vec::new();
+
+    for i in 0..config.papers {
+        let topic = rng.gen_range(0..topics);
+        let len = rng.gen_range(config.title_len.0..=config.title_len.1);
+        let title = text.document(topic, len, config.text.topic_mix, &mut rng);
+        // Publish at a home-topic venue with probability 0.7.
+        let year_node = if rng.gen::<f64>() < 0.7 && !years_by_topic[topic].is_empty() {
+            let pool = &years_by_topic[topic];
+            year_nodes[pool[rng.gen_range(0..pool.len())]]
+        } else {
+            year_nodes[rng.gen_range(0..year_nodes.len())]
+        };
+        let paper = b
+            .add_node_with(paper_t, &[("Title", title.as_str())])
+            .unwrap();
+        b.add_edge(year_node, paper, et.contains).unwrap();
+
+        // Authorship: preferential with probability 0.5.
+        let n_auth = 1 + sample_count(config.avg_authors_per_paper - 1.0, &mut rng);
+        let mut chosen = Vec::with_capacity(n_auth);
+        for _ in 0..n_auth.min(config.authors) {
+            let a = if !author_pool.is_empty() && rng.gen::<f64>() < 0.5 {
+                author_pool[rng.gen_range(0..author_pool.len())]
+            } else {
+                rng.gen_range(0..config.authors)
+            };
+            if !chosen.contains(&a) {
+                chosen.push(a);
+                author_pool.push(a);
+                b.add_edge(paper, author_nodes[a], et.by).unwrap();
+            }
+        }
+
+        // Citations to earlier papers.
+        if i > 0 {
+            let n_cites = sample_count(config.avg_citations, &mut rng).min(i);
+            let mut cited = Vec::with_capacity(n_cites);
+            for _ in 0..n_cites {
+                let roll: f64 = rng.gen();
+                let target = if roll < 0.6 && !topic_citation_pool[topic].is_empty() {
+                    // Preferential attachment *within the topic*: the
+                    // area's foundational hubs absorb most citations.
+                    let pool = &topic_citation_pool[topic];
+                    pool[rng.gen_range(0..pool.len())]
+                } else if roll < 0.9 && !per_topic_papers[topic].is_empty() {
+                    // Uniform within the topic.
+                    per_topic_papers[topic][rng.gen_range(0..per_topic_papers[topic].len())]
+                } else if roll < 0.95 && !citation_pool.is_empty() {
+                    // Cross-topic preferential.
+                    citation_pool[rng.gen_range(0..citation_pool.len())]
+                } else {
+                    rng.gen_range(0..i)
+                };
+                if target != i && !cited.contains(&target) {
+                    cited.push(target);
+                    citation_pool.push(target);
+                    topic_citation_pool[paper_topics[target]].push(target);
+                    b.add_edge(paper, paper_nodes[target], et.cites).unwrap();
+                }
+            }
+        }
+
+        per_topic_papers[topic].push(i);
+        paper_nodes.push(paper);
+        paper_topics.push(topic);
+    }
+
+    let graph = b.freeze();
+    let suggested_keywords = DOMAIN_KEYWORDS.iter().map(|s| s.to_string()).collect();
+    Dataset {
+        name: name.to_string(),
+        graph,
+        ground_truth,
+        suggested_keywords,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Dataset {
+        generate_dblp(
+            "test",
+            &DblpConfig {
+                papers: 300,
+                authors: 150,
+                conferences: 5,
+                years_per_conference: 4,
+                text: TextConfig {
+                    vocab_size: 1000,
+                    topics: 8,
+                    ..TextConfig::default()
+                },
+                ..DblpConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn node_counts_match_config() {
+        let d = small();
+        // 300 papers + 150 authors + 5 confs + 20 years = 475.
+        assert_eq!(d.graph.node_count(), 475);
+        d.graph.verify_conformance().unwrap();
+    }
+
+    #[test]
+    fn every_paper_has_a_year_and_an_author() {
+        let d = small();
+        let schema = d.graph.schema();
+        let paper_t = schema.node_type_by_label("Paper").unwrap();
+        for node in d.graph.nodes() {
+            if d.graph.node_type(node) == paper_t {
+                let in_labels: Vec<&str> = d
+                    .graph
+                    .in_edges(node)
+                    .map(|(e, _)| schema.edge_type(d.graph.edge(e).edge_type).label.as_str())
+                    .collect();
+                assert!(in_labels.contains(&"contains"), "paper without year");
+                let out_labels: Vec<&str> = d
+                    .graph
+                    .out_edges(node)
+                    .map(|(e, _)| schema.edge_type(d.graph.edge(e).edge_type).label.as_str())
+                    .collect();
+                assert!(out_labels.contains(&"by"), "paper without author");
+            }
+        }
+    }
+
+    #[test]
+    fn citation_indegree_is_skewed() {
+        let d = generate_dblp(
+            "skew",
+            &DblpConfig {
+                papers: 1500,
+                ..DblpConfig::default()
+            },
+        );
+        let schema = d.graph.schema();
+        let paper_t = schema.node_type_by_label("Paper").unwrap();
+        let mut indegs: Vec<usize> = Vec::new();
+        for node in d.graph.nodes() {
+            if d.graph.node_type(node) == paper_t {
+                let cites_in = d
+                    .graph
+                    .in_edges(node)
+                    .filter(|&(e, _)| {
+                        schema.edge_type(d.graph.edge(e).edge_type).label == "cites"
+                    })
+                    .count();
+                indegs.push(cites_in);
+            }
+        }
+        indegs.sort_unstable_by(|a, b| b.cmp(a));
+        let total: usize = indegs.iter().sum();
+        let top_decile: usize = indegs.iter().take(indegs.len() / 10).sum();
+        assert!(
+            top_decile as f64 > 0.3 * total as f64,
+            "preferential attachment should concentrate citations: top 10% hold {top_decile}/{total}"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.graph.node_count(), b.graph.node_count());
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+        // Spot-check some node text.
+        for i in [0u32, 100, 400] {
+            let n = orex_graph::NodeId::new(i);
+            assert_eq!(a.graph.node_text(n), b.graph.node_text(n));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = small();
+        let b = generate_dblp(
+            "test2",
+            &DblpConfig {
+                papers: 300,
+                authors: 150,
+                conferences: 5,
+                years_per_conference: 4,
+                seed: 999,
+                text: TextConfig {
+                    vocab_size: 1000,
+                    topics: 8,
+                    ..TextConfig::default()
+                },
+                ..DblpConfig::default()
+            },
+        );
+        assert_ne!(a.graph.edge_count(), b.graph.edge_count());
+    }
+
+    #[test]
+    fn ground_truth_rates_are_bhp04() {
+        let (schema, et) = dblp_schema();
+        let r = dblp_ground_truth(&schema, &et);
+        assert_eq!(r.get(TransferTypeId::forward(et.cites)), 0.7);
+        assert_eq!(r.get(TransferTypeId::backward(et.cites)), 0.0);
+        assert_eq!(r.get(TransferTypeId::backward(et.contains)), 0.1);
+        r.validate(&schema).unwrap();
+    }
+
+    #[test]
+    fn suggested_keywords_appear_in_titles() {
+        let d = small();
+        let mut found = 0;
+        let all_text: String = d
+            .graph
+            .nodes()
+            .map(|n| d.graph.node_text(n))
+            .collect::<Vec<_>>()
+            .join(" ");
+        for kw in &d.suggested_keywords {
+            if all_text.contains(kw.as_str()) {
+                found += 1;
+            }
+        }
+        assert!(
+            found >= d.suggested_keywords.len() / 2,
+            "only {found} keywords present"
+        );
+    }
+
+    #[test]
+    fn sample_count_mean_is_close() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let total: usize = (0..n).map(|_| sample_count(4.0, &mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 4.0).abs() < 0.3, "mean {mean}");
+    }
+}

@@ -1,0 +1,23 @@
+//! # orex-datagen — synthetic dataset generators
+//!
+//! Stand-ins for the paper's four evaluation datasets (Table 1): a
+//! DBLP-shaped generator over the Figure 2 schema and a biological
+//! generator over the Figure 4 schema, both with Zipfian topic-model text,
+//! preferential-attachment link structure and deterministic seeding.
+//! See DESIGN.md §2 for why these substitutions preserve the paper's
+//! experimental behaviour.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod bio;
+mod dblp;
+mod presets;
+mod text;
+mod workload;
+
+pub use bio::{bio_ground_truth, bio_schema, generate_bio, BioConfig, BioEdgeTypes};
+pub use dblp::{dblp_ground_truth, dblp_schema, generate_dblp, Dataset, DblpConfig, DblpEdgeTypes};
+pub use presets::Preset;
+pub use text::{synthetic_word, TextConfig, TextGen, Zipf, DOMAIN_KEYWORDS};
+pub use workload::{generate_workload, Workload, WorkloadConfig};

@@ -1,0 +1,215 @@
+//! Table 1 dataset presets.
+//!
+//! The paper evaluates on four datasets (Table 1):
+//!
+//! | name         | #nodes  | #edges    |
+//! |--------------|---------|-----------|
+//! | DBLPcomplete | 876,110 | 4,166,626 |
+//! | DBLPtop      |  22,653 |   166,960 |
+//! | DS7          | 699,199 | 3,533,756 |
+//! | DS7cancer    |  37,796 |   138,146 |
+//!
+//! Each preset configures the synthetic generators to land near those
+//! sizes at `scale = 1.0`; smaller scales shrink all counts proportionally
+//! for tests and quick runs.
+
+use crate::bio::{generate_bio, BioConfig};
+use crate::dblp::{generate_dblp, Dataset, DblpConfig};
+use crate::text::TextConfig;
+
+/// The four Table 1 datasets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Preset {
+    /// Full DBLP-shaped graph (876k nodes).
+    DblpComplete,
+    /// Database-conference subset (23k nodes) — the survey dataset.
+    DblpTop,
+    /// Full biological collection (699k nodes).
+    Ds7,
+    /// Cancer-related subset (38k nodes).
+    Ds7Cancer,
+}
+
+impl Preset {
+    /// All presets in Table 1 order.
+    pub const ALL: [Preset; 4] = [
+        Preset::DblpComplete,
+        Preset::DblpTop,
+        Preset::Ds7,
+        Preset::Ds7Cancer,
+    ];
+
+    /// Table-1-style name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Preset::DblpComplete => "DBLPcomplete",
+            Preset::DblpTop => "DBLPtop",
+            Preset::Ds7 => "DS7",
+            Preset::Ds7Cancer => "DS7cancer",
+        }
+    }
+
+    /// Parses a CLI-style name (case-insensitive, hyphens ignored).
+    pub fn parse(name: &str) -> Option<Preset> {
+        let canon: String = name
+            .chars()
+            .filter(|c| c.is_alphanumeric())
+            .collect::<String>()
+            .to_lowercase();
+        match canon.as_str() {
+            "dblpcomplete" => Some(Preset::DblpComplete),
+            "dblptop" => Some(Preset::DblpTop),
+            "ds7" => Some(Preset::Ds7),
+            "ds7cancer" => Some(Preset::Ds7Cancer),
+            _ => None,
+        }
+    }
+
+    /// The `(nodes, edges)` sizes the paper reports in Table 1.
+    pub fn paper_sizes(self) -> (usize, usize) {
+        match self {
+            Preset::DblpComplete => (876_110, 4_166_626),
+            Preset::DblpTop => (22_653, 166_960),
+            Preset::Ds7 => (699_199, 3_533_756),
+            Preset::Ds7Cancer => (37_796, 138_146),
+        }
+    }
+
+    /// True for the biological datasets.
+    pub fn is_bio(self) -> bool {
+        matches!(self, Preset::Ds7 | Preset::Ds7Cancer)
+    }
+
+    /// Generates the dataset at the given scale (`1.0` targets the
+    /// Table 1 sizes; `0.01` is handy for tests).
+    pub fn generate(self, scale: f64) -> Dataset {
+        assert!(scale > 0.0, "scale must be positive");
+        let s = |n: usize| ((n as f64 * scale).round() as usize).max(1);
+        match self {
+            Preset::DblpComplete => generate_dblp(
+                self.name(),
+                &DblpConfig {
+                    papers: s(520_000),
+                    authors: s(349_000),
+                    conferences: s(600),
+                    years_per_conference: 10,
+                    avg_citations: 5.0,
+                    avg_authors_per_paper: 2.0,
+                    title_len: (6, 12),
+                    text: TextConfig {
+                        vocab_size: scaled_vocab(scale, 60_000),
+                        topics: 60,
+                        ..TextConfig::default()
+                    },
+                    seed: 0xD1,
+                },
+            ),
+            Preset::DblpTop => generate_dblp(
+                self.name(),
+                &DblpConfig {
+                    papers: s(15_000),
+                    authors: s(7_100),
+                    conferences: s(50),
+                    years_per_conference: 10,
+                    avg_citations: 8.0,
+                    avg_authors_per_paper: 2.0,
+                    title_len: (6, 12),
+                    text: TextConfig {
+                        vocab_size: scaled_vocab(scale, 20_000),
+                        topics: 30,
+                        ..TextConfig::default()
+                    },
+                    seed: 0xD2,
+                },
+            ),
+            Preset::Ds7 => generate_bio(
+                self.name(),
+                &BioConfig {
+                    genes: s(80_000),
+                    proteins_per_gene: 1.5,
+                    nucleotides_per_gene: 1.2,
+                    publications: s(403_000),
+                    associations_per_publication: 8.0,
+                    interactions_per_protein: 1.0,
+                    abstract_len: (40, 120),
+                    text: TextConfig {
+                        vocab_size: scaled_vocab(scale, 60_000),
+                        topics: 60,
+                        ..TextConfig::default()
+                    },
+                    seed: 0xB1,
+                },
+            ),
+            Preset::Ds7Cancer => generate_bio(
+                self.name(),
+                &BioConfig {
+                    genes: s(4_000),
+                    proteins_per_gene: 1.5,
+                    nucleotides_per_gene: 1.2,
+                    publications: s(23_000),
+                    associations_per_publication: 5.0,
+                    interactions_per_protein: 1.0,
+                    abstract_len: (40, 120),
+                    text: TextConfig {
+                        vocab_size: scaled_vocab(scale, 20_000),
+                        topics: 30,
+                        ..TextConfig::default()
+                    },
+                    seed: 0xB2,
+                },
+            ),
+        }
+    }
+}
+
+/// Vocabulary shrinks with the square root of the scale (Heaps' law-ish),
+/// with a floor that keeps topic structure meaningful.
+fn scaled_vocab(scale: f64, full: usize) -> usize {
+    ((full as f64 * scale.sqrt()).round() as usize).max(500)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips() {
+        for p in Preset::ALL {
+            assert_eq!(Preset::parse(p.name()), Some(p));
+        }
+        assert_eq!(Preset::parse("dblp-top"), Some(Preset::DblpTop));
+        assert_eq!(Preset::parse("nope"), None);
+    }
+
+    #[test]
+    fn scaled_generation_lands_near_targets() {
+        // At 2% scale the node count should be ~2% of Table 1 (within 2x).
+        for p in [Preset::DblpTop, Preset::Ds7Cancer] {
+            let d = p.generate(0.02);
+            let (target_nodes, target_edges) = p.paper_sizes();
+            let expect_nodes = target_nodes as f64 * 0.02;
+            let expect_edges = target_edges as f64 * 0.02;
+            let (n, e) = d.sizes();
+            assert!(
+                (n as f64) > expect_nodes * 0.5 && (n as f64) < expect_nodes * 2.0,
+                "{}: nodes {} vs expected ~{}",
+                p.name(),
+                n,
+                expect_nodes
+            );
+            assert!(
+                (e as f64) > expect_edges * 0.4 && (e as f64) < expect_edges * 2.5,
+                "{}: edges {} vs expected ~{}",
+                p.name(),
+                e,
+                expect_edges
+            );
+        }
+    }
+
+    #[test]
+    fn bio_flag() {
+        assert!(Preset::Ds7.is_bio());
+        assert!(!Preset::DblpComplete.is_bio());
+    }
+}

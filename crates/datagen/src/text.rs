@@ -1,0 +1,340 @@
+//! Zipfian topic-model text generation.
+//!
+//! The paper's datasets carry real text (paper titles, PubMed abstracts);
+//! what the algorithms actually consume from that text is its *statistics*:
+//! a skewed (Zipfian) term-frequency distribution, topical co-occurrence
+//! (papers about OLAP share vocabulary), and a handful of high-df query
+//! keywords. The generator reproduces exactly those properties:
+//!
+//! - a vocabulary of pronounceable synthetic words plus a seeded set of
+//!   real domain keywords at popular ranks (these become benchmark query
+//!   terms);
+//! - `K` topics, each a Zipf distribution over a topic-specific
+//!   permutation of the vocabulary;
+//! - documents drawn as a mixture of their topic's distribution and a
+//!   background Zipf.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Domain keywords injected at popular vocabulary ranks; experiments use
+/// them as query terms (they mirror the paper's survey queries, Table 2).
+pub const DOMAIN_KEYWORDS: &[&str] = &[
+    "data", "query", "olap", "cube", "xml", "mining", "index", "search", "ranking",
+    "web", "stream", "join", "graph", "cache", "storage", "transaction", "optimization",
+    "proximity", "keyword", "warehouse", "aggregation", "clustering", "classification",
+    "schema", "relational",
+];
+
+/// A Zipf distribution over ranks `0..n` with exponent `s`, sampled by
+/// binary search over the precomputed CDF.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf over empty support");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Support size.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always false.
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Samples a rank in `0..n` (0 is the most popular).
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Generates a pronounceable synthetic word for an index, unique per index.
+pub fn synthetic_word(index: usize) -> String {
+    const SYLLABLES: &[&str] = &[
+        "ba", "be", "bi", "bo", "bu", "da", "de", "di", "do", "du", "ka", "ke", "ki", "ko",
+        "ku", "la", "le", "li", "lo", "lu", "ma", "me", "mi", "mo", "mu", "na", "ne", "ni",
+        "no", "nu", "ra", "re", "ri", "ro", "ru", "sa", "se", "si", "so", "su", "ta", "te",
+        "ti", "to", "tu", "va", "ve", "vi", "vo", "vu",
+    ];
+    let base = SYLLABLES.len();
+    let mut word = String::new();
+    let mut rest = index;
+    loop {
+        word.push_str(SYLLABLES[rest % base]);
+        rest /= base;
+        if rest == 0 {
+            break;
+        }
+        rest -= 1; // make the encoding bijective so words never collide
+    }
+    // Pad one-syllable words so they survive tokenizer min-length filters
+    // and do not collide with stopwords.
+    if word.len() <= 2 {
+        word.push('x');
+    }
+    word
+}
+
+/// Configuration of the topic-model text generator.
+#[derive(Clone, Copy, Debug)]
+pub struct TextConfig {
+    /// Vocabulary size (domain keywords are placed within it).
+    pub vocab_size: usize,
+    /// Number of topics.
+    pub topics: usize,
+    /// Zipf exponent of term popularity (≈1.0 for natural text).
+    pub zipf_exponent: f64,
+    /// Probability a token is drawn from the document's topic rather than
+    /// the background distribution.
+    pub topic_mix: f64,
+}
+
+impl Default for TextConfig {
+    fn default() -> Self {
+        Self {
+            vocab_size: 20_000,
+            topics: 40,
+            zipf_exponent: 1.05,
+            topic_mix: 0.7,
+        }
+    }
+}
+
+/// The topic-model text generator.
+#[derive(Clone, Debug)]
+pub struct TextGen {
+    vocab: Vec<String>,
+    zipf: Zipf,
+    /// Per-topic permutation parameters `(a, b)`: topic rank `z` maps to
+    /// vocabulary index `(a * z + b) mod V` with `gcd(a, V) = 1`.
+    topic_params: Vec<(usize, usize)>,
+}
+
+impl TextGen {
+    /// Builds the vocabulary and topic structure.
+    pub fn new(config: &TextConfig, rng: &mut StdRng) -> Self {
+        let v = config.vocab_size.max(DOMAIN_KEYWORDS.len() * 4);
+        let mut vocab: Vec<String> = (0..v).map(synthetic_word).collect();
+        // Plant domain keywords at spread-out popular ranks (every 4th
+        // slot from rank 2) so they have high but distinct df.
+        for (i, kw) in DOMAIN_KEYWORDS.iter().enumerate() {
+            vocab[2 + i * 4] = (*kw).to_string();
+        }
+        let zipf = Zipf::new(v, config.zipf_exponent);
+        let topic_params = (0..config.topics.max(1))
+            .map(|_| {
+                // Random odd multiplier coprime with V when V is a power
+                // of 2; for general V retry until coprime.
+                loop {
+                    let a = rng.gen_range(1..v) | 1;
+                    if gcd(a, v) == 1 {
+                        return (a, rng.gen_range(0..v));
+                    }
+                }
+            })
+            .collect();
+        Self {
+            vocab,
+            zipf,
+            topic_params,
+        }
+    }
+
+    /// Number of topics.
+    pub fn topic_count(&self) -> usize {
+        self.topic_params.len()
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// The surface form of a vocabulary index.
+    pub fn word(&self, index: usize) -> &str {
+        &self.vocab[index]
+    }
+
+    /// The most popular terms of a topic — used to pick realistic query
+    /// keywords targeting that topic.
+    pub fn topic_head_terms(&self, topic: usize, k: usize) -> Vec<&str> {
+        let (a, b) = self.topic_params[topic % self.topic_params.len()];
+        let v = self.vocab.len();
+        (0..k.min(v)).map(|z| self.word((a * z + b) % v)).collect()
+    }
+
+    /// Generates a document of `len` tokens for `topic`, mixing topic and
+    /// background draws per the configured `topic_mix`.
+    pub fn document(
+        &self,
+        topic: usize,
+        len: usize,
+        topic_mix: f64,
+        rng: &mut StdRng,
+    ) -> String {
+        let (a, b) = self.topic_params[topic % self.topic_params.len()];
+        let v = self.vocab.len();
+        let mut out = String::new();
+        for i in 0..len {
+            let z = self.zipf.sample(rng);
+            let idx = if rng.gen::<f64>() < topic_mix {
+                (a * z + b) % v
+            } else {
+                z
+            };
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(self.word(idx));
+        }
+        out
+    }
+}
+
+fn gcd(mut a: usize, mut b: usize) -> usize {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks() {
+        let z = Zipf::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 2];
+        for _ in 0..10_000 {
+            let r = z.sample(&mut rng);
+            if r == 0 {
+                counts[0] += 1;
+            }
+            if r >= 500 {
+                counts[1] += 1;
+            }
+        }
+        // Rank 0 alone should beat the whole upper half combined.
+        assert!(counts[0] > counts[1], "{counts:?}");
+    }
+
+    #[test]
+    fn zipf_sample_in_range() {
+        let z = Zipf::new(10, 1.2);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 10);
+        }
+    }
+
+    #[test]
+    fn synthetic_words_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..5000 {
+            assert!(seen.insert(synthetic_word(i)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn synthetic_words_survive_tokenization() {
+        for i in [0, 1, 49, 50, 2500] {
+            let w = synthetic_word(i);
+            assert!(w.len() >= 3);
+            assert!(w.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn domain_keywords_planted() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let gen = TextGen::new(&TextConfig::default(), &mut rng);
+        let vocab_set: std::collections::HashSet<&str> =
+            (0..gen.vocab_size()).map(|i| gen.word(i)).collect();
+        for kw in DOMAIN_KEYWORDS {
+            assert!(vocab_set.contains(kw), "{kw} missing");
+        }
+    }
+
+    #[test]
+    fn documents_of_same_topic_share_vocabulary() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let gen = TextGen::new(
+            &TextConfig {
+                vocab_size: 2000,
+                topics: 10,
+                ..TextConfig::default()
+            },
+            &mut rng,
+        );
+        let overlap = |a: &str, b: &str| {
+            let sa: std::collections::HashSet<&str> = a.split(' ').collect();
+            let sb: std::collections::HashSet<&str> = b.split(' ').collect();
+            sa.intersection(&sb).count()
+        };
+        let mut same = 0usize;
+        let mut cross = 0usize;
+        for _ in 0..50 {
+            let d1 = gen.document(0, 30, 0.9, &mut rng);
+            let d2 = gen.document(0, 30, 0.9, &mut rng);
+            let d3 = gen.document(5, 30, 0.9, &mut rng);
+            same += overlap(&d1, &d2);
+            cross += overlap(&d1, &d3);
+        }
+        assert!(
+            same > cross,
+            "same-topic overlap {same} should exceed cross-topic {cross}"
+        );
+    }
+
+    #[test]
+    fn document_has_requested_length() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let gen = TextGen::new(&TextConfig::default(), &mut rng);
+        let doc = gen.document(3, 12, 0.7, &mut rng);
+        assert_eq!(doc.split(' ').count(), 12);
+    }
+
+    #[test]
+    fn topic_head_terms_are_stable() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let gen = TextGen::new(&TextConfig::default(), &mut rng);
+        assert_eq!(gen.topic_head_terms(2, 5), gen.topic_head_terms(2, 5));
+        assert_eq!(gen.topic_head_terms(2, 5).len(), 5);
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let cfg = TextConfig::default();
+        let mk = || {
+            let mut rng = StdRng::seed_from_u64(42);
+            let gen = TextGen::new(&cfg, &mut rng);
+            gen.document(1, 20, 0.7, &mut rng)
+        };
+        assert_eq!(mk(), mk());
+    }
+}

@@ -1,0 +1,152 @@
+//! Query-workload generation.
+//!
+//! The paper's performance experiments average over user queries; a
+//! reproducible harness needs a deterministic workload with realistic
+//! properties: keyword popularity is Zipfian (users query popular terms
+//! more), most queries are short (1–2 keywords), and multi-keyword
+//! queries combine topically related terms.
+
+use crate::text::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Workload configuration.
+#[derive(Clone, Debug)]
+pub struct WorkloadConfig {
+    /// Number of queries to generate.
+    pub queries: usize,
+    /// Probability that a query has two keywords (the rest have one;
+    /// the paper's surveys use single and double keyword queries).
+    pub two_keyword_prob: f64,
+    /// Zipf exponent of keyword popularity.
+    pub zipf_exponent: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self {
+            queries: 20,
+            two_keyword_prob: 0.4,
+            zipf_exponent: 1.0,
+            seed: 0x3011,
+        }
+    }
+}
+
+/// A generated workload: keyword tuples drawn from a candidate pool.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// The queries, each a tuple of keywords.
+    pub queries: Vec<Vec<String>>,
+}
+
+/// Generates a workload from a keyword pool (ordered by intended
+/// popularity — rank 0 is queried most).
+///
+/// # Panics
+/// Panics if the pool is empty.
+pub fn generate_workload(pool: &[String], config: &WorkloadConfig) -> Workload {
+    assert!(!pool.is_empty(), "keyword pool must be non-empty");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let zipf = Zipf::new(pool.len(), config.zipf_exponent);
+    let mut queries = Vec::with_capacity(config.queries);
+    for _ in 0..config.queries {
+        let first = zipf.sample(&mut rng);
+        let mut q = vec![pool[first].clone()];
+        if rng.gen::<f64>() < config.two_keyword_prob && pool.len() > 1 {
+            // Second keyword: a nearby pool rank (topical relatedness
+            // proxy), distinct from the first.
+            let mut second = first;
+            for _ in 0..16 {
+                let offset = zipf.sample(&mut rng) % pool.len().max(2);
+                second = (first + offset + 1) % pool.len();
+                if second != first {
+                    break;
+                }
+            }
+            if second != first {
+                q.push(pool[second].clone());
+            }
+        }
+        queries.push(q);
+    }
+    Workload { queries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> Vec<String> {
+        ["data", "query", "olap", "cube", "mining", "index"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn generates_requested_count() {
+        let w = generate_workload(&pool(), &WorkloadConfig::default());
+        assert_eq!(w.queries.len(), 20);
+        for q in &w.queries {
+            assert!(!q.is_empty() && q.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_workload(&pool(), &WorkloadConfig::default());
+        let b = generate_workload(&pool(), &WorkloadConfig::default());
+        assert_eq!(a.queries, b.queries);
+        let c = generate_workload(
+            &pool(),
+            &WorkloadConfig {
+                seed: 99,
+                ..WorkloadConfig::default()
+            },
+        );
+        assert_ne!(a.queries, c.queries);
+    }
+
+    #[test]
+    fn popular_keywords_appear_more() {
+        let w = generate_workload(
+            &pool(),
+            &WorkloadConfig {
+                queries: 400,
+                two_keyword_prob: 0.0,
+                ..WorkloadConfig::default()
+            },
+        );
+        let count = |kw: &str| w.queries.iter().filter(|q| q[0] == kw).count();
+        assert!(count("data") > count("index"));
+    }
+
+    #[test]
+    fn two_keyword_queries_have_distinct_terms() {
+        let w = generate_workload(
+            &pool(),
+            &WorkloadConfig {
+                queries: 200,
+                two_keyword_prob: 1.0,
+                ..WorkloadConfig::default()
+            },
+        );
+        let mut saw_two = false;
+        for q in &w.queries {
+            if q.len() == 2 {
+                saw_two = true;
+                assert_ne!(q[0], q[1]);
+            }
+        }
+        assert!(saw_two);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_pool_panics() {
+        let _ = generate_workload(&[], &WorkloadConfig::default());
+    }
+}

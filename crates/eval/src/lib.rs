@@ -1,0 +1,26 @@
+//! # orex-eval — evaluation substrate for the paper's experiments
+//!
+//! Metrics (precision@k, average precision, cosine, Kendall tau), the
+//! residual-collection relevance-feedback protocol of \[RL03, SB90\],
+//! simulated users standing in for the paper's survey subjects, and the
+//! survey runners that regenerate Figures 10–13 and Table 2.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod bootstrap;
+mod metrics;
+mod stats;
+mod survey;
+mod user;
+
+pub use metrics::{
+    average_precision, cosine, kendall_tau, ndcg_at_k, precision_at_k, recall_at_k,
+    reciprocal_rank,
+};
+pub use bootstrap::{paired_bootstrap, BootstrapResult};
+pub use stats::{paired_difference, Summary};
+pub use survey::{
+    compare_rankers, run_survey, QueryTrace, RankerComparison, SurveyConfig, SurveyOutcome,
+};
+pub use user::{ResidualCollection, SimulatedUser};

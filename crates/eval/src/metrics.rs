@@ -1,0 +1,234 @@
+//! Retrieval-quality metrics used by the Section 6.1 experiments.
+//!
+//! The surveys report *average precision* over top-`k` lists; since the
+//! output is always truncated to `k`, recall equals precision there (as
+//! the paper notes). Cosine similarity between rates vectors lives on
+//! [`orex_graph::TransferRates::cosine_similarity`]; a generic vector
+//! version is provided here for ad-hoc use.
+
+use std::collections::HashSet;
+
+/// Precision@k: the fraction of the first `k` ranked items that are
+/// relevant. When fewer than `k` items are ranked, the denominator stays
+/// `k` (missing results are misses), matching the paper's fixed-`k`
+/// evaluation.
+pub fn precision_at_k(ranked: &[u32], relevant: &HashSet<u32>, k: usize) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let hits = ranked
+        .iter()
+        .take(k)
+        .filter(|n| relevant.contains(n))
+        .count();
+    hits as f64 / k as f64
+}
+
+/// Classic average precision: mean of precision@i over the ranks `i` of
+/// relevant retrieved items, normalized by `min(|relevant|, k)`.
+pub fn average_precision(ranked: &[u32], relevant: &HashSet<u32>, k: usize) -> f64 {
+    if relevant.is_empty() || k == 0 {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    let mut sum = 0.0;
+    for (i, n) in ranked.iter().take(k).enumerate() {
+        if relevant.contains(n) {
+            hits += 1;
+            sum += hits as f64 / (i + 1) as f64;
+        }
+    }
+    let denom = relevant.len().min(k);
+    sum / denom as f64
+}
+
+/// Recall@k: fraction of the relevant set retrieved within the first `k`.
+pub fn recall_at_k(ranked: &[u32], relevant: &HashSet<u32>, k: usize) -> f64 {
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let hits = ranked
+        .iter()
+        .take(k)
+        .filter(|n| relevant.contains(n))
+        .count();
+    hits as f64 / relevant.len() as f64
+}
+
+/// Cosine similarity between two equal-length vectors (0 when either is
+/// all-zero).
+pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dimension mismatch");
+    let mut dot = 0.0;
+    let mut na = 0.0;
+    let mut nb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na.sqrt() * nb.sqrt())
+    }
+}
+
+/// Kendall's tau-a between two rankings of the same item set, given as
+/// ordered slices (most relevant first). Items missing from either
+/// ranking are ignored. Returns a value in `[-1, 1]`.
+pub fn kendall_tau(a: &[u32], b: &[u32]) -> f64 {
+    use std::collections::HashMap;
+    let pos_b: HashMap<u32, usize> = b.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let common: Vec<usize> = a.iter().filter_map(|n| pos_b.get(n).copied()).collect();
+    let n = common.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if common[i] < common[j] {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    (concordant - discordant) as f64 / (n * (n - 1) / 2) as f64
+}
+
+/// Reciprocal rank of the first relevant result within the top `k`
+/// (0 when none is retrieved).
+pub fn reciprocal_rank(ranked: &[u32], relevant: &HashSet<u32>, k: usize) -> f64 {
+    ranked
+        .iter()
+        .take(k)
+        .position(|n| relevant.contains(n))
+        .map_or(0.0, |i| 1.0 / (i + 1) as f64)
+}
+
+/// Binary nDCG@k: DCG with gain 1 for relevant items, normalized by the
+/// ideal DCG of `min(|relevant|, k)` leading hits.
+pub fn ndcg_at_k(ranked: &[u32], relevant: &HashSet<u32>, k: usize) -> f64 {
+    if relevant.is_empty() || k == 0 {
+        return 0.0;
+    }
+    let dcg: f64 = ranked
+        .iter()
+        .take(k)
+        .enumerate()
+        .filter(|(_, n)| relevant.contains(n))
+        .map(|(i, _)| 1.0 / ((i + 2) as f64).log2())
+        .sum();
+    let ideal: f64 = (0..relevant.len().min(k))
+        .map(|i| 1.0 / ((i + 2) as f64).log2())
+        .sum();
+    dcg / ideal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(items: &[u32]) -> HashSet<u32> {
+        items.iter().copied().collect()
+    }
+
+    #[test]
+    fn reciprocal_rank_first_hit() {
+        let relevant = set(&[5]);
+        assert_eq!(reciprocal_rank(&[5, 1, 2], &relevant, 3), 1.0);
+        assert_eq!(reciprocal_rank(&[1, 5, 2], &relevant, 3), 0.5);
+        assert_eq!(reciprocal_rank(&[1, 2, 3], &relevant, 3), 0.0);
+        assert_eq!(reciprocal_rank(&[1, 2, 5], &relevant, 2), 0.0);
+    }
+
+    #[test]
+    fn ndcg_perfect_ranking_is_one() {
+        let relevant = set(&[1, 2]);
+        assert!((ndcg_at_k(&[1, 2, 9], &relevant, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ndcg_penalizes_late_hits() {
+        let relevant = set(&[1]);
+        let early = ndcg_at_k(&[1, 9, 9], &relevant, 3);
+        let late = ndcg_at_k(&[9, 9, 1], &relevant, 3);
+        assert!(early > late);
+        assert!(late > 0.0);
+    }
+
+    #[test]
+    fn ndcg_degenerate_inputs() {
+        assert_eq!(ndcg_at_k(&[1], &set(&[]), 3), 0.0);
+        assert_eq!(ndcg_at_k(&[1], &set(&[1]), 0), 0.0);
+    }
+
+    #[test]
+    fn precision_basics() {
+        let relevant = set(&[1, 3, 5]);
+        assert_eq!(precision_at_k(&[1, 2, 3, 4], &relevant, 4), 0.5);
+        assert_eq!(precision_at_k(&[1, 3, 5], &relevant, 3), 1.0);
+        assert_eq!(precision_at_k(&[2, 4], &relevant, 2), 0.0);
+        assert_eq!(precision_at_k(&[], &relevant, 5), 0.0);
+        assert_eq!(precision_at_k(&[1], &relevant, 0), 0.0);
+    }
+
+    #[test]
+    fn short_lists_penalized() {
+        let relevant = set(&[1]);
+        // Only one result returned but k = 10: precision 1/10.
+        assert_eq!(precision_at_k(&[1], &relevant, 10), 0.1);
+    }
+
+    #[test]
+    fn average_precision_rewards_early_hits() {
+        let relevant = set(&[1, 2]);
+        let early = average_precision(&[1, 2, 9, 9, 9], &relevant, 5);
+        let late = average_precision(&[9, 9, 9, 1, 2], &relevant, 5);
+        assert!(early > late);
+        assert!((early - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_precision_bounds() {
+        let relevant = set(&[1, 2, 3]);
+        let ap = average_precision(&[3, 9, 1, 9, 2], &relevant, 5);
+        assert!(ap > 0.0 && ap < 1.0);
+        assert_eq!(average_precision(&[9, 8], &relevant, 2), 0.0);
+        assert_eq!(average_precision(&[1], &set(&[]), 5), 0.0);
+    }
+
+    #[test]
+    fn recall_counts_against_relevant_size() {
+        let relevant = set(&[1, 2, 3, 4]);
+        assert_eq!(recall_at_k(&[1, 2, 9], &relevant, 3), 0.5);
+        assert_eq!(recall_at_k(&[], &relevant, 3), 0.0);
+    }
+
+    #[test]
+    fn cosine_basics() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert!(cosine(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-12);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+        let c = cosine(&[1.0, 1.0], &[1.0, 0.5]);
+        assert!(c > 0.9 && c < 1.0);
+    }
+
+    #[test]
+    fn kendall_tau_extremes() {
+        assert!((kendall_tau(&[1, 2, 3, 4], &[1, 2, 3, 4]) - 1.0).abs() < 1e-12);
+        assert!((kendall_tau(&[1, 2, 3, 4], &[4, 3, 2, 1]) + 1.0).abs() < 1e-12);
+        // Disjoint rankings: trivially concordant.
+        assert_eq!(kendall_tau(&[1, 2], &[3, 4]), 1.0);
+    }
+
+    #[test]
+    fn kendall_tau_partial_overlap() {
+        let t = kendall_tau(&[1, 2, 3], &[2, 1, 3]);
+        // One discordant pair of three: (3 - ... ) -> (2-1)/3.
+        assert!((t - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,116 @@
+//! Descriptive statistics for experiment outputs.
+//!
+//! Survey results are averages over users × queries; reporting them
+//! responsibly needs dispersion alongside the mean (the paper plots bare
+//! means — we additionally record standard errors and confidence
+//! intervals in the regenerated EXPERIMENTS.md records).
+
+/// Summary statistics of a sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (Bessel-corrected); 0 for n < 2.
+    pub std_dev: f64,
+    /// Standard error of the mean; 0 for n < 2.
+    pub std_err: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes the summary of a sample. Returns `None` for empty input
+    /// or any non-finite value.
+    pub fn of(sample: &[f64]) -> Option<Self> {
+        if sample.is_empty() || sample.iter().any(|x| !x.is_finite()) {
+            return None;
+        }
+        let n = sample.len();
+        let mean = sample.iter().sum::<f64>() / n as f64;
+        let (std_dev, std_err) = if n >= 2 {
+            let var = sample.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>()
+                / (n as f64 - 1.0);
+            let sd = var.sqrt();
+            (sd, sd / (n as f64).sqrt())
+        } else {
+            (0.0, 0.0)
+        };
+        let min = sample.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = sample.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Some(Self {
+            n,
+            mean,
+            std_dev,
+            std_err,
+            min,
+            max,
+        })
+    }
+
+    /// A normal-approximation 95% confidence interval for the mean.
+    pub fn ci95(&self) -> (f64, f64) {
+        let half = 1.96 * self.std_err;
+        (self.mean - half, self.mean + half)
+    }
+}
+
+/// Paired mean difference `a[i] - b[i]` with its summary — the right way
+/// to compare two reformulation settings evaluated on the same queries.
+pub fn paired_difference(a: &[f64], b: &[f64]) -> Option<Summary> {
+    if a.len() != b.len() {
+        return None;
+    }
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(&x, &y)| x - y).collect();
+    Summary::of(&diffs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Bessel-corrected sd of this classic sample is ~2.138.
+        assert!((s.std_dev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn singleton_has_zero_dispersion() {
+        let s = Summary::of(&[3.5]).unwrap();
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.std_err, 0.0);
+        assert_eq!(s.mean, 3.5);
+    }
+
+    #[test]
+    fn empty_and_nan_rejected() {
+        assert!(Summary::of(&[]).is_none());
+        assert!(Summary::of(&[1.0, f64::NAN]).is_none());
+        assert!(Summary::of(&[f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn ci95_contains_mean() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        let (lo, hi) = s.ci95();
+        assert!(lo < s.mean && s.mean < hi);
+    }
+
+    #[test]
+    fn paired_difference_detects_direction() {
+        let a = [0.8, 0.9, 0.7];
+        let b = [0.5, 0.6, 0.4];
+        let d = paired_difference(&a, &b).unwrap();
+        assert!((d.mean - 0.3).abs() < 1e-12);
+        assert!(paired_difference(&a, &b[..2]).is_none());
+    }
+}

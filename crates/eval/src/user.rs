@@ -1,0 +1,146 @@
+//! Simulated users and the residual-collection protocol.
+//!
+//! The paper's quality numbers come from human surveys; reproducing them
+//! requires a user model (DESIGN.md §2, substitution 3). A
+//! [`SimulatedUser`] holds a per-query *ground-truth relevant set*,
+//! defined as the top results of ObjectRank2 executed with the
+//! ground-truth authority transfer rates — exactly the vector the paper's
+//! training experiments treat as the target (the BHP04 rates, Section
+//! 6.1.1). The user marks a shown result relevant iff it is in that set.
+//!
+//! [`ResidualCollection`] implements the evaluation protocol of
+//! \[RL03, SB90\]: every object the user has seen *and marked relevant* is
+//! removed from the collection before any query (initial or reformulated)
+//! is evaluated, so reformulations cannot score points by re-retrieving
+//! what the user already found.
+
+use std::collections::HashSet;
+
+/// A simulated survey subject for one query.
+#[derive(Clone, Debug)]
+pub struct SimulatedUser {
+    relevant: HashSet<u32>,
+}
+
+impl SimulatedUser {
+    /// Creates a user whose notion of relevance is the given set
+    /// (typically the ground-truth top-`G` for the query).
+    pub fn new(relevant: impl IntoIterator<Item = u32>) -> Self {
+        Self {
+            relevant: relevant.into_iter().collect(),
+        }
+    }
+
+    /// The user's relevant set.
+    pub fn relevant(&self) -> &HashSet<u32> {
+        &self.relevant
+    }
+
+    /// Judges a single object.
+    pub fn is_relevant(&self, node: u32) -> bool {
+        self.relevant.contains(&node)
+    }
+
+    /// Given a shown result list, returns the objects the user would mark
+    /// relevant (at most `max`), skipping objects in `already_marked`.
+    pub fn select_feedback(
+        &self,
+        shown: &[u32],
+        max: usize,
+        already_marked: &HashSet<u32>,
+    ) -> Vec<u32> {
+        shown
+            .iter()
+            .copied()
+            .filter(|n| self.relevant.contains(n) && !already_marked.contains(n))
+            .take(max)
+            .collect()
+    }
+}
+
+/// Residual-collection bookkeeping for one query's feedback iterations.
+#[derive(Clone, Debug, Default)]
+pub struct ResidualCollection {
+    removed: HashSet<u32>,
+}
+
+impl ResidualCollection {
+    /// Fresh collection with nothing removed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks objects as seen-and-relevant: they leave the collection.
+    pub fn remove_all(&mut self, nodes: &[u32]) {
+        self.removed.extend(nodes.iter().copied());
+    }
+
+    /// Objects removed so far.
+    pub fn removed(&self) -> &HashSet<u32> {
+        &self.removed
+    }
+
+    /// Filters a ranked list down to the residual collection, preserving
+    /// order.
+    pub fn residual_ranking(&self, ranked: &[u32]) -> Vec<u32> {
+        ranked
+            .iter()
+            .copied()
+            .filter(|n| !self.removed.contains(n))
+            .collect()
+    }
+
+    /// The residual relevant set (ground truth minus removed).
+    pub fn residual_relevant(&self, relevant: &HashSet<u32>) -> HashSet<u32> {
+        relevant
+            .iter()
+            .copied()
+            .filter(|n| !self.removed.contains(n))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn user_judges_by_set() {
+        let u = SimulatedUser::new([1, 2, 3]);
+        assert!(u.is_relevant(2));
+        assert!(!u.is_relevant(9));
+    }
+
+    #[test]
+    fn feedback_selection_respects_max_and_marked() {
+        let u = SimulatedUser::new([1, 2, 3, 4]);
+        let marked: HashSet<u32> = [2].into_iter().collect();
+        let picks = u.select_feedback(&[9, 2, 3, 1, 4], 2, &marked);
+        assert_eq!(picks, vec![3, 1]);
+    }
+
+    #[test]
+    fn feedback_empty_when_nothing_relevant_shown() {
+        let u = SimulatedUser::new([1]);
+        assert!(u.select_feedback(&[5, 6], 3, &HashSet::new()).is_empty());
+    }
+
+    #[test]
+    fn residual_filters_ranking_and_relevant() {
+        let mut rc = ResidualCollection::new();
+        rc.remove_all(&[2, 4]);
+        assert_eq!(rc.residual_ranking(&[1, 2, 3, 4, 5]), vec![1, 3, 5]);
+        let relevant: HashSet<u32> = [1, 2, 3].into_iter().collect();
+        let residual = rc.residual_relevant(&relevant);
+        assert!(residual.contains(&1) && residual.contains(&3));
+        assert!(!residual.contains(&2));
+    }
+
+    #[test]
+    fn removal_accumulates() {
+        let mut rc = ResidualCollection::new();
+        rc.remove_all(&[1]);
+        rc.remove_all(&[2]);
+        assert_eq!(rc.removed().len(), 2);
+    }
+}

@@ -1,0 +1,185 @@
+//! Compressed sparse row (CSR) adjacency storage.
+//!
+//! Both the data graph and the authority-transfer data graph store their
+//! adjacency in CSR form: a `row_offsets` array of length `n + 1` and a
+//! flat `targets` array, with optional parallel payload arrays owned by the
+//! caller. CSR keeps the power-iteration inner loop a pure sequential scan,
+//! which is the dominant cost of every experiment in Section 6.
+
+/// CSR adjacency over `n` nodes.
+///
+/// `payload_index` values returned by [`Csr::neighbors`] index into whatever
+/// parallel arrays the owner maintains (edge ids, transfer rates, ...): the
+/// `i`-th entry of `targets` corresponds to payload index `i`.
+#[derive(Clone, Debug, Default)]
+pub struct Csr {
+    row_offsets: Vec<u32>,
+    targets: Vec<u32>,
+}
+
+impl Csr {
+    /// Builds a CSR from an unsorted edge list `(src, dst)` over `n` nodes,
+    /// additionally returning, for each CSR slot, the index of the input
+    /// edge that produced it (so callers can permute payload arrays to
+    /// match).
+    ///
+    /// Edges with the same source keep their relative input order
+    /// (the counting sort below is stable).
+    ///
+    /// # Panics
+    /// Panics if any endpoint is `>= n` or if `n` or the edge count
+    /// overflows `u32`.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> (Self, Vec<u32>) {
+        assert!(u32::try_from(n).is_ok(), "node count overflows u32");
+        assert!(
+            u32::try_from(edges.len()).is_ok(),
+            "edge count overflows u32"
+        );
+        let mut counts = vec![0u32; n + 1];
+        for &(src, dst) in edges {
+            assert!((src as usize) < n, "edge source {src} out of range");
+            assert!((dst as usize) < n, "edge target {dst} out of range");
+            counts[src as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let row_offsets = counts.clone();
+        let mut targets = vec![0u32; edges.len()];
+        let mut permutation = vec![0u32; edges.len()];
+        let mut cursor = counts;
+        for (input_idx, &(src, dst)) in edges.iter().enumerate() {
+            let slot = cursor[src as usize] as usize;
+            targets[slot] = dst;
+            permutation[slot] = input_idx as u32;
+            cursor[src as usize] += 1;
+        }
+        (
+            Self {
+                row_offsets,
+                targets,
+            },
+            permutation,
+        )
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.row_offsets.len() - 1
+    }
+
+    /// Number of stored edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-degree of `node`.
+    #[inline]
+    pub fn degree(&self, node: usize) -> usize {
+        (self.row_offsets[node + 1] - self.row_offsets[node]) as usize
+    }
+
+    /// Half-open payload-index range of `node`'s adjacency slots.
+    #[inline]
+    pub fn range(&self, node: usize) -> std::ops::Range<usize> {
+        self.row_offsets[node] as usize..self.row_offsets[node + 1] as usize
+    }
+
+    /// Neighbors of `node` as `(target, payload_index)` pairs.
+    #[inline]
+    pub fn neighbors(&self, node: usize) -> impl Iterator<Item = (u32, usize)> + '_ {
+        let range = self.range(node);
+        let start = range.start;
+        self.targets[range]
+            .iter()
+            .enumerate()
+            .map(move |(i, &t)| (t, start + i))
+    }
+
+    /// Raw targets slice for `node` (hot-loop access without the iterator).
+    #[inline]
+    pub fn targets_of(&self, node: usize) -> &[u32] {
+        &self.targets[self.range(node)]
+    }
+
+    /// The full flat targets array.
+    #[inline]
+    pub fn targets(&self) -> &[u32] {
+        &self.targets
+    }
+
+    /// The row-offsets array (`n + 1` entries).
+    #[inline]
+    pub fn row_offsets(&self) -> &[u32] {
+        &self.row_offsets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(csr: &Csr, node: usize) -> Vec<u32> {
+        csr.neighbors(node).map(|(t, _)| t).collect()
+    }
+
+    #[test]
+    fn from_edges_groups_by_source() {
+        let edges = [(0, 1), (2, 0), (0, 2), (1, 2)];
+        let (csr, perm) = Csr::from_edges(3, &edges);
+        assert_eq!(csr.node_count(), 3);
+        assert_eq!(csr.edge_count(), 4);
+        assert_eq!(collect(&csr, 0), vec![1, 2]);
+        assert_eq!(collect(&csr, 1), vec![2]);
+        assert_eq!(collect(&csr, 2), vec![0]);
+        // Permutation maps CSR slots back to input edge indices.
+        assert_eq!(perm, vec![0, 2, 3, 1]);
+    }
+
+    #[test]
+    fn stable_within_source() {
+        // Three parallel edges from 0; input order must be preserved.
+        let edges = [(0, 5), (0, 3), (0, 5)];
+        let (csr, perm) = Csr::from_edges(6, &edges);
+        assert_eq!(collect(&csr, 0), vec![5, 3, 5]);
+        assert_eq!(perm, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let (csr, perm) = Csr::from_edges(0, &[]);
+        assert_eq!(csr.node_count(), 0);
+        assert_eq!(csr.edge_count(), 0);
+        assert!(perm.is_empty());
+    }
+
+    #[test]
+    fn isolated_nodes_have_zero_degree() {
+        let (csr, _) = Csr::from_edges(4, &[(1, 2)]);
+        assert_eq!(csr.degree(0), 0);
+        assert_eq!(csr.degree(1), 1);
+        assert_eq!(csr.degree(3), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_endpoint_panics() {
+        let _ = Csr::from_edges(2, &[(0, 2)]);
+    }
+
+    #[test]
+    fn payload_indices_are_dense_and_unique() {
+        let edges = [(0, 1), (1, 0), (2, 1), (0, 2), (2, 0)];
+        let (csr, _) = Csr::from_edges(3, &edges);
+        let mut seen = vec![false; edges.len()];
+        for node in 0..3 {
+            for (_, idx) in csr.neighbors(node) {
+                assert!(!seen[idx]);
+                seen[idx] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

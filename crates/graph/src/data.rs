@@ -1,0 +1,477 @@
+//! Labeled data graphs (Section 2 of the paper).
+//!
+//! A data graph `D(V_D, E_D)` is a labeled directed graph where every node
+//! represents a database object: it has a node type (its label / role), a
+//! tuple of attribute name/value pairs, and a set of keywords — the terms
+//! appearing in its attribute values. Every edge has an edge type (role)
+//! drawn from the schema graph the data graph conforms to.
+//!
+//! Construction goes through [`DataGraphBuilder`], which enforces
+//! conformance incrementally (every edge's endpoints must match its edge
+//! type's signature — condition 2 of the conformance definition; condition 1
+//! holds by construction since each node carries exactly one type).
+//! [`DataGraphBuilder::freeze`] produces an immutable [`DataGraph`] with CSR
+//! out- and in-adjacency for traversal.
+
+use crate::csr::Csr;
+use crate::error::{GraphError, Result};
+use crate::ids::{EdgeId, EdgeTypeId, NodeId, NodeTypeId};
+use crate::schema::SchemaGraph;
+
+/// One attribute of a database object: a name/value pair.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name, e.g. `"Title"`.
+    pub name: String,
+    /// Attribute value, e.g. `"Data Cube: A Relational Aggregation ..."`.
+    pub value: String,
+}
+
+/// A node under construction / stored in the graph.
+#[derive(Clone, Debug)]
+pub struct NodeRecord {
+    /// The node's type (its schema label).
+    pub node_type: NodeTypeId,
+    /// Attribute tuple. Keyword extraction tokenizes the values (and,
+    /// optionally, the names — "richer semantics" per the paper).
+    pub attributes: Vec<Attribute>,
+}
+
+/// An edge stored in the graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EdgeRecord {
+    /// Tail node.
+    pub source: NodeId,
+    /// Head node.
+    pub target: NodeId,
+    /// The edge's role, drawn from the schema.
+    pub edge_type: EdgeTypeId,
+}
+
+/// Incremental builder for [`DataGraph`].
+#[derive(Debug)]
+pub struct DataGraphBuilder {
+    schema: SchemaGraph,
+    nodes: Vec<NodeRecord>,
+    edges: Vec<EdgeRecord>,
+}
+
+impl DataGraphBuilder {
+    /// Starts building a data graph conforming to `schema`.
+    pub fn new(schema: SchemaGraph) -> Self {
+        Self {
+            schema,
+            nodes: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Pre-allocates for an expected number of nodes and edges.
+    pub fn with_capacity(schema: SchemaGraph, nodes: usize, edges: usize) -> Self {
+        Self {
+            schema,
+            nodes: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+        }
+    }
+
+    /// The schema this graph conforms to.
+    pub fn schema(&self) -> &SchemaGraph {
+        &self.schema
+    }
+
+    /// Adds a node of the given type with the given attributes.
+    ///
+    /// # Errors
+    /// Returns [`GraphError::UnknownNodeType`] for a type outside the schema.
+    pub fn add_node(
+        &mut self,
+        node_type: NodeTypeId,
+        attributes: Vec<Attribute>,
+    ) -> Result<NodeId> {
+        self.schema.check_node_type(node_type)?;
+        let id = NodeId::from_usize(self.nodes.len());
+        self.nodes.push(NodeRecord {
+            node_type,
+            attributes,
+        });
+        Ok(id)
+    }
+
+    /// Convenience: adds a node whose attributes are given as
+    /// `(name, value)` string pairs.
+    pub fn add_node_with(
+        &mut self,
+        node_type: NodeTypeId,
+        attributes: &[(&str, &str)],
+    ) -> Result<NodeId> {
+        self.add_node(
+            node_type,
+            attributes
+                .iter()
+                .map(|(n, v)| Attribute {
+                    name: (*n).to_string(),
+                    value: (*v).to_string(),
+                })
+                .collect(),
+        )
+    }
+
+    /// Adds an edge of the given type, enforcing conformance: the endpoint
+    /// node types must match the edge type's signature.
+    ///
+    /// # Errors
+    /// Returns [`GraphError::UnknownNode`] / [`GraphError::UnknownEdgeType`]
+    /// for dangling references, and [`GraphError::EdgeTypeMismatch`] when the
+    /// endpoints violate the signature.
+    pub fn add_edge(
+        &mut self,
+        source: NodeId,
+        target: NodeId,
+        edge_type: EdgeTypeId,
+    ) -> Result<EdgeId> {
+        self.schema.check_edge_type(edge_type)?;
+        let src_rec = self
+            .nodes
+            .get(source.index())
+            .ok_or(GraphError::UnknownNode(source))?;
+        let dst_rec = self
+            .nodes
+            .get(target.index())
+            .ok_or(GraphError::UnknownNode(target))?;
+        let et = self.schema.edge_type(edge_type);
+        if (et.source, et.target) != (src_rec.node_type, dst_rec.node_type) {
+            return Err(GraphError::EdgeTypeMismatch {
+                edge_type,
+                expected: (et.source, et.target),
+                actual: (src_rec.node_type, dst_rec.node_type),
+            });
+        }
+        let id = EdgeId::from_usize(self.edges.len());
+        self.edges.push(EdgeRecord {
+            source,
+            target,
+            edge_type,
+        });
+        Ok(id)
+    }
+
+    /// Current node count.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Current edge count.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes the graph, building CSR adjacency in both directions.
+    pub fn freeze(self) -> DataGraph {
+        let n = self.nodes.len();
+        let out_pairs: Vec<(u32, u32)> = self
+            .edges
+            .iter()
+            .map(|e| (e.source.raw(), e.target.raw()))
+            .collect();
+        let (out_csr, out_perm) = Csr::from_edges(n, &out_pairs);
+        let in_pairs: Vec<(u32, u32)> = self
+            .edges
+            .iter()
+            .map(|e| (e.target.raw(), e.source.raw()))
+            .collect();
+        let (in_csr, in_perm) = Csr::from_edges(n, &in_pairs);
+        DataGraph {
+            schema: self.schema,
+            nodes: self.nodes,
+            edges: self.edges,
+            out_csr,
+            out_edge_ids: out_perm,
+            in_csr,
+            in_edge_ids: in_perm,
+        }
+    }
+}
+
+/// An immutable, CSR-indexed labeled data graph.
+#[derive(Clone, Debug)]
+pub struct DataGraph {
+    schema: SchemaGraph,
+    nodes: Vec<NodeRecord>,
+    edges: Vec<EdgeRecord>,
+    out_csr: Csr,
+    /// For each out-CSR slot, the [`EdgeId`] it stores.
+    out_edge_ids: Vec<u32>,
+    in_csr: Csr,
+    /// For each in-CSR slot, the [`EdgeId`] it stores.
+    in_edge_ids: Vec<u32>,
+}
+
+impl DataGraph {
+    /// The schema this graph conforms to.
+    #[inline]
+    pub fn schema(&self) -> &SchemaGraph {
+        &self.schema
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterates over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len()).map(NodeId::from_usize)
+    }
+
+    /// Iterates over all edge ids.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeId> {
+        (0..self.edges.len()).map(EdgeId::from_usize)
+    }
+
+    /// The node record.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &NodeRecord {
+        &self.nodes[id.index()]
+    }
+
+    /// The edge record.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    #[inline]
+    pub fn edge(&self, id: EdgeId) -> &EdgeRecord {
+        &self.edges[id.index()]
+    }
+
+    /// The node's type.
+    #[inline]
+    pub fn node_type(&self, id: NodeId) -> NodeTypeId {
+        self.nodes[id.index()].node_type
+    }
+
+    /// The node's type label, e.g. `"Paper"`.
+    #[inline]
+    pub fn node_label(&self, id: NodeId) -> &str {
+        self.schema.node_label(self.node_type(id))
+    }
+
+    /// Out-edges of `node` as `(EdgeId, target)` pairs.
+    pub fn out_edges(&self, node: NodeId) -> impl Iterator<Item = (EdgeId, NodeId)> + '_ {
+        self.out_csr
+            .neighbors(node.index())
+            .map(|(t, slot)| (EdgeId::new(self.out_edge_ids[slot]), NodeId::new(t)))
+    }
+
+    /// In-edges of `node` as `(EdgeId, source)` pairs.
+    pub fn in_edges(&self, node: NodeId) -> impl Iterator<Item = (EdgeId, NodeId)> + '_ {
+        self.in_csr
+            .neighbors(node.index())
+            .map(|(s, slot)| (EdgeId::new(self.in_edge_ids[slot]), NodeId::new(s)))
+    }
+
+    /// Out-degree of `node`.
+    #[inline]
+    pub fn out_degree(&self, node: NodeId) -> usize {
+        self.out_csr.degree(node.index())
+    }
+
+    /// In-degree of `node`.
+    #[inline]
+    pub fn in_degree(&self, node: NodeId) -> usize {
+        self.in_csr.degree(node.index())
+    }
+
+    /// Concatenated attribute values of a node — the "document" text used
+    /// for IR scoring (Section 3). Values are joined with single spaces.
+    pub fn node_text(&self, id: NodeId) -> String {
+        let rec = &self.nodes[id.index()];
+        let mut out = String::new();
+        for attr in &rec.attributes {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(&attr.value);
+        }
+        out
+    }
+
+    /// A short human-readable display name for a node: the value of its
+    /// first attribute named `Name` or `Title`, else its first attribute
+    /// value, else its type label + id.
+    pub fn node_display(&self, id: NodeId) -> String {
+        let rec = &self.nodes[id.index()];
+        for attr in &rec.attributes {
+            if attr.name.eq_ignore_ascii_case("name") || attr.name.eq_ignore_ascii_case("title") {
+                return attr.value.clone();
+            }
+        }
+        if let Some(attr) = rec.attributes.first() {
+            return attr.value.clone();
+        }
+        format!("{}#{}", self.node_label(id), id.raw())
+    }
+
+    /// Re-verifies conformance of the whole graph against its schema.
+    ///
+    /// Insertion through [`DataGraphBuilder`] already guarantees this; the
+    /// check exists for graphs reconstructed from external storage.
+    pub fn verify_conformance(&self) -> Result<()> {
+        for (idx, edge) in self.edges.iter().enumerate() {
+            let et = self.schema.edge_type(edge.edge_type);
+            let actual = (
+                self.node_type(edge.source),
+                self.node_type(edge.target),
+            );
+            if (et.source, et.target) != actual {
+                let _ = idx;
+                return Err(GraphError::EdgeTypeMismatch {
+                    edge_type: edge.edge_type,
+                    expected: (et.source, et.target),
+                    actual,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the running example of Figure 1: a 7-node DBLP subset.
+    pub(crate) fn figure1_graph() -> DataGraph {
+        let mut schema = SchemaGraph::new();
+        let paper = schema.add_node_type("Paper").unwrap();
+        let conf = schema.add_node_type("Conference").unwrap();
+        let year = schema.add_node_type("Year").unwrap();
+        let author = schema.add_node_type("Author").unwrap();
+        let cites = schema.add_edge_type(paper, paper, "cites").unwrap();
+        let by = schema.add_edge_type(paper, author, "by").unwrap();
+        let has = schema.add_edge_type(conf, year, "has_instance").unwrap();
+        let contains = schema.add_edge_type(year, paper, "contains").unwrap();
+
+        let mut b = DataGraphBuilder::new(schema);
+        let p_index = b
+            .add_node_with(paper, &[("Title", "Index Selection for OLAP."), ("Year", "ICDE 1997")])
+            .unwrap();
+        let p_cube = b
+            .add_node_with(
+                paper,
+                &[("Title", "Data Cube: A Relational Aggregation Operator"), ("Year", "ICDE 1996")],
+            )
+            .unwrap();
+        let icde = b.add_node_with(conf, &[("Name", "ICDE")]).unwrap();
+        let y97 = b
+            .add_node_with(year, &[("Name", "ICDE"), ("Year", "1997"), ("Location", "Birmingham")])
+            .unwrap();
+        let p_range = b
+            .add_node_with(paper, &[("Title", "Range Queries in OLAP Data Cubes.")])
+            .unwrap();
+        let p_model = b
+            .add_node_with(paper, &[("Title", "Modeling Multidimensional Databases.")])
+            .unwrap();
+        let agrawal = b.add_node_with(author, &[("Name", "R. Agrawal")]).unwrap();
+
+        b.add_edge(p_index, p_cube, cites).unwrap();
+        b.add_edge(icde, y97, has).unwrap();
+        b.add_edge(y97, p_index, contains).unwrap();
+        b.add_edge(y97, p_model, contains).unwrap();
+        b.add_edge(p_range, p_cube, cites).unwrap();
+        b.add_edge(p_range, p_model, cites).unwrap();
+        b.add_edge(p_model, p_cube, cites).unwrap();
+        b.add_edge(p_range, agrawal, by).unwrap();
+        b.add_edge(p_model, agrawal, by).unwrap();
+        b.freeze()
+    }
+
+    #[test]
+    fn figure1_counts() {
+        let g = figure1_graph();
+        assert_eq!(g.node_count(), 7);
+        assert_eq!(g.edge_count(), 9);
+        g.verify_conformance().unwrap();
+    }
+
+    #[test]
+    fn adjacency_directions() {
+        let g = figure1_graph();
+        // p_cube (node 1) is cited by three papers and cites nothing.
+        let cube = NodeId::new(1);
+        assert_eq!(g.out_degree(cube), 0);
+        assert_eq!(g.in_degree(cube), 3);
+        let sources: Vec<_> = g.in_edges(cube).map(|(_, s)| s.raw()).collect();
+        assert_eq!(sources.len(), 3);
+        assert!(sources.contains(&0) && sources.contains(&4) && sources.contains(&5));
+    }
+
+    #[test]
+    fn edge_type_mismatch_rejected() {
+        let mut schema = SchemaGraph::new();
+        let a = schema.add_node_type("A").unwrap();
+        let bt = schema.add_node_type("B").unwrap();
+        let r = schema.add_edge_type(a, bt, "r").unwrap();
+        let mut b = DataGraphBuilder::new(schema);
+        let n1 = b.add_node(a, vec![]).unwrap();
+        let n2 = b.add_node(a, vec![]).unwrap();
+        assert!(matches!(
+            b.add_edge(n1, n2, r),
+            Err(GraphError::EdgeTypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let mut schema = SchemaGraph::new();
+        let a = schema.add_node_type("A").unwrap();
+        let r = schema.add_edge_type(a, a, "r").unwrap();
+        let mut b = DataGraphBuilder::new(schema);
+        let n1 = b.add_node(a, vec![]).unwrap();
+        assert!(matches!(
+            b.add_edge(n1, NodeId::new(9), r),
+            Err(GraphError::UnknownNode(_))
+        ));
+    }
+
+    #[test]
+    fn node_text_concatenates_attribute_values() {
+        let g = figure1_graph();
+        let text = g.node_text(NodeId::new(3));
+        assert_eq!(text, "ICDE 1997 Birmingham");
+    }
+
+    #[test]
+    fn node_display_prefers_title_or_name() {
+        let g = figure1_graph();
+        assert_eq!(g.node_display(NodeId::new(6)), "R. Agrawal");
+        assert!(g.node_display(NodeId::new(0)).starts_with("Index Selection"));
+    }
+
+    #[test]
+    fn edge_ids_align_between_directions() {
+        let g = figure1_graph();
+        for node in g.nodes() {
+            for (eid, tgt) in g.out_edges(node) {
+                let rec = g.edge(eid);
+                assert_eq!(rec.source, node);
+                assert_eq!(rec.target, tgt);
+            }
+            for (eid, src) in g.in_edges(node) {
+                let rec = g.edge(eid);
+                assert_eq!(rec.target, node);
+                assert_eq!(rec.source, src);
+            }
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Graphviz DOT export for data graphs and schema graphs.
+//!
+//! The paper's online demo displays explaining subgraphs visually; DOT
+//! export is the rendering backend for that (the explain crate layers
+//! flow annotations on top via its own exporter).
+
+use crate::data::DataGraph;
+use crate::schema::SchemaGraph;
+use std::fmt::Write as _;
+
+/// Escapes a string for use inside a DOT double-quoted label.
+pub fn escape_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a schema graph in DOT format.
+pub fn schema_to_dot(schema: &SchemaGraph) -> String {
+    let mut out = String::from("digraph schema {\n  rankdir=LR;\n");
+    for nt in schema.node_types() {
+        let _ = writeln!(
+            out,
+            "  {} [label=\"{}\", shape=box];",
+            nt.index(),
+            escape_label(schema.node_label(nt))
+        );
+    }
+    for et in schema.edge_types() {
+        let sig = schema.edge_type(et);
+        let _ = writeln!(
+            out,
+            "  {} -> {} [label=\"{}\"];",
+            sig.source.index(),
+            sig.target.index(),
+            escape_label(&sig.label)
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a data graph in DOT format with display names as labels.
+///
+/// Intended for small graphs (examples, explanations); rendering a
+/// million-node graph is the caller's own adventure.
+pub fn data_to_dot(graph: &DataGraph) -> String {
+    let mut out = String::from("digraph data {\n");
+    for node in graph.nodes() {
+        let _ = writeln!(
+            out,
+            "  {} [label=\"{}: {}\"];",
+            node.index(),
+            escape_label(graph.node_label(node)),
+            escape_label(&graph.node_display(node))
+        );
+    }
+    for eid in graph.edges() {
+        let rec = graph.edge(eid);
+        let label = &graph.schema().edge_type(rec.edge_type).label;
+        let _ = writeln!(
+            out,
+            "  {} -> {} [label=\"{}\"];",
+            rec.source.index(),
+            rec.target.index(),
+            escape_label(label)
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::DataGraphBuilder;
+
+    #[test]
+    fn escape_handles_quotes_and_newlines() {
+        assert_eq!(escape_label(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(escape_label("a\nb"), "a\\nb");
+        assert_eq!(escape_label(r"a\b"), r"a\\b");
+    }
+
+    #[test]
+    fn schema_dot_contains_all_types() {
+        let mut s = SchemaGraph::new();
+        let p = s.add_node_type("Paper").unwrap();
+        s.add_edge_type(p, p, "cites").unwrap();
+        let dot = schema_to_dot(&s);
+        assert!(dot.contains("Paper"));
+        assert!(dot.contains("cites"));
+        assert!(dot.starts_with("digraph schema {"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn data_dot_contains_nodes_and_edges() {
+        let mut s = SchemaGraph::new();
+        let p = s.add_node_type("Paper").unwrap();
+        let cites = s.add_edge_type(p, p, "cites").unwrap();
+        let mut b = DataGraphBuilder::new(s);
+        let n0 = b.add_node_with(p, &[("Title", "A \"quoted\" title")]).unwrap();
+        let n1 = b.add_node_with(p, &[("Title", "Other")]).unwrap();
+        b.add_edge(n0, n1, cites).unwrap();
+        let g = b.freeze();
+        let dot = data_to_dot(&g);
+        assert!(dot.contains(r#"A \"quoted\" title"#));
+        assert!(dot.contains("0 -> 1"));
+    }
+}

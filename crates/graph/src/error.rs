@@ -1,0 +1,123 @@
+//! Error types for graph construction and validation.
+
+use crate::ids::{EdgeTypeId, NodeId, NodeTypeId, TransferTypeId};
+use std::fmt;
+
+/// Errors raised while building or validating graphs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// A node type label was registered twice in a schema graph.
+    DuplicateNodeType(String),
+    /// An edge type with the same (source, label, target) triple already
+    /// exists in the schema graph.
+    DuplicateEdgeType(String),
+    /// Referenced node type does not exist in the schema.
+    UnknownNodeType(NodeTypeId),
+    /// Referenced edge type does not exist in the schema.
+    UnknownEdgeType(EdgeTypeId),
+    /// Referenced data node does not exist.
+    UnknownNode(NodeId),
+    /// A data edge's endpoints do not match its edge type's signature,
+    /// violating conformance (Section 2, condition 2).
+    EdgeTypeMismatch {
+        /// The offending edge type.
+        edge_type: EdgeTypeId,
+        /// Expected (source, target) node types.
+        expected: (NodeTypeId, NodeTypeId),
+        /// Actual (source, target) node types.
+        actual: (NodeTypeId, NodeTypeId),
+    },
+    /// An authority transfer rate is outside `[0, 1]`.
+    RateOutOfRange {
+        /// The transfer-edge type whose rate is invalid.
+        transfer_type: TransferTypeId,
+        /// The offending rate.
+        rate: f64,
+    },
+    /// The outgoing transfer rates of a schema node type sum to more
+    /// than 1, which breaks the convergence guarantee of ObjectRank2.
+    OutgoingRatesExceedOne {
+        /// The schema node type whose outgoing rates are too large.
+        node_type: NodeTypeId,
+        /// The offending sum.
+        sum: f64,
+    },
+    /// The rates vector has the wrong dimensionality for the schema.
+    RatesDimensionMismatch {
+        /// Expected number of transfer-edge types (`2 * |edge types|`).
+        expected: usize,
+        /// Provided number.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::DuplicateNodeType(label) => {
+                write!(f, "node type '{label}' already registered")
+            }
+            GraphError::DuplicateEdgeType(label) => {
+                write!(f, "edge type '{label}' already registered for this signature")
+            }
+            GraphError::UnknownNodeType(id) => write!(f, "unknown node type {id}"),
+            GraphError::UnknownEdgeType(id) => write!(f, "unknown edge type {id}"),
+            GraphError::UnknownNode(id) => write!(f, "unknown node {id}"),
+            GraphError::EdgeTypeMismatch {
+                edge_type,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "edge of type {edge_type} expects ({} -> {}), got ({} -> {})",
+                expected.0, expected.1, actual.0, actual.1
+            ),
+            GraphError::RateOutOfRange {
+                transfer_type,
+                rate,
+            } => write!(
+                f,
+                "authority transfer rate {rate} for {transfer_type:?} outside [0, 1]"
+            ),
+            GraphError::OutgoingRatesExceedOne { node_type, sum } => write!(
+                f,
+                "outgoing transfer rates of node type {node_type} sum to {sum} > 1"
+            ),
+            GraphError::RatesDimensionMismatch { expected, actual } => write!(
+                f,
+                "rates vector has {actual} entries, schema requires {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Direction;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let err = GraphError::RateOutOfRange {
+            transfer_type: TransferTypeId {
+                edge_type: EdgeTypeId::new(1),
+                direction: Direction::Backward,
+            },
+            rate: 1.5,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("1.5"));
+        assert!(msg.contains("outside"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&GraphError::UnknownNode(NodeId::new(3)));
+    }
+}

@@ -1,0 +1,223 @@
+//! Strongly-typed identifiers for graph entities.
+//!
+//! All identifiers are thin `u32` newtypes: the paper's datasets top out
+//! below a million nodes (Table 1), and `u32` keeps CSR arrays compact,
+//! which matters for the power-iteration inner loop.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:expr) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            #[inline]
+            pub fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// Creates an id from a `usize` index.
+            ///
+            /// # Panics
+            /// Panics if `raw` does not fit in `u32`.
+            #[inline]
+            pub fn from_usize(raw: usize) -> Self {
+                Self(u32::try_from(raw).expect("id overflows u32"))
+            }
+
+            /// Returns the raw `u32` value.
+            #[inline]
+            pub fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// Returns the id as a `usize`, suitable for array indexing.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a node in a [`crate::DataGraph`].
+    NodeId,
+    "n"
+);
+id_type!(
+    /// Identifier of an edge in a [`crate::DataGraph`].
+    EdgeId,
+    "e"
+);
+id_type!(
+    /// Identifier of a node type (label) in a [`crate::SchemaGraph`].
+    NodeTypeId,
+    "nt"
+);
+id_type!(
+    /// Identifier of an edge type (role) in a [`crate::SchemaGraph`].
+    EdgeTypeId,
+    "et"
+);
+
+/// Direction of an authority-transfer edge relative to its schema edge.
+///
+/// Section 2 of the paper splits every schema edge `e_S = (u -> v)` into a
+/// *forward* transfer edge `e_S^f = (u -> v)` and a *backward* transfer edge
+/// `e_S^b = (v -> u)`, each carrying its own authority transfer rate.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Direction {
+    /// Along the schema edge (`e^f`), e.g. "paper cites paper".
+    Forward,
+    /// Against the schema edge (`e^b`), e.g. "paper is cited by paper".
+    Backward,
+}
+
+impl Direction {
+    /// Both directions, forward first.
+    pub const BOTH: [Direction; 2] = [Direction::Forward, Direction::Backward];
+
+    /// Returns the opposite direction.
+    #[inline]
+    pub fn reverse(self) -> Self {
+        match self {
+            Direction::Forward => Direction::Backward,
+            Direction::Backward => Direction::Forward,
+        }
+    }
+
+    /// A compact index (0 = forward, 1 = backward) used to address
+    /// per-direction arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Direction::Forward => 0,
+            Direction::Backward => 1,
+        }
+    }
+}
+
+/// A transfer-edge type: a schema edge type together with a direction.
+///
+/// This is the unit at which authority transfer rates are assigned
+/// (Figure 3 of the paper) and at which structure-based reformulation
+/// adjusts them (Equation 13).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TransferTypeId {
+    /// The underlying schema edge type.
+    pub edge_type: EdgeTypeId,
+    /// Whether authority flows along or against the schema edge.
+    pub direction: Direction,
+}
+
+impl TransferTypeId {
+    /// Forward transfer type for a schema edge type.
+    #[inline]
+    pub fn forward(edge_type: EdgeTypeId) -> Self {
+        Self {
+            edge_type,
+            direction: Direction::Forward,
+        }
+    }
+
+    /// Backward transfer type for a schema edge type.
+    #[inline]
+    pub fn backward(edge_type: EdgeTypeId) -> Self {
+        Self {
+            edge_type,
+            direction: Direction::Backward,
+        }
+    }
+
+    /// Dense index into a `2 * |edge types|` array: forward types first
+    /// within each edge type.
+    #[inline]
+    pub fn dense_index(self) -> usize {
+        self.edge_type.index() * 2 + self.direction.index()
+    }
+
+    /// Inverse of [`Self::dense_index`].
+    #[inline]
+    pub fn from_dense_index(idx: usize) -> Self {
+        Self {
+            edge_type: EdgeTypeId::from_usize(idx / 2),
+            direction: if idx % 2 == 0 {
+                Direction::Forward
+            } else {
+                Direction::Backward
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let id = NodeId::new(42);
+        assert_eq!(id.raw(), 42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(NodeId::from_usize(42), id);
+        assert_eq!(format!("{id}"), "n42");
+        assert_eq!(format!("{id:?}"), "n42");
+    }
+
+    #[test]
+    #[should_panic(expected = "id overflows u32")]
+    fn from_usize_overflow_panics() {
+        let _ = NodeId::from_usize(u64::MAX as usize);
+    }
+
+    #[test]
+    fn direction_reverse_is_involution() {
+        for d in Direction::BOTH {
+            assert_eq!(d.reverse().reverse(), d);
+            assert_ne!(d.reverse(), d);
+        }
+    }
+
+    #[test]
+    fn transfer_type_dense_index_roundtrip() {
+        for et in 0..5u32 {
+            for d in Direction::BOTH {
+                let t = TransferTypeId {
+                    edge_type: EdgeTypeId::new(et),
+                    direction: d,
+                };
+                assert_eq!(TransferTypeId::from_dense_index(t.dense_index()), t);
+            }
+        }
+    }
+
+    #[test]
+    fn transfer_type_dense_index_is_injective() {
+        let mut seen = std::collections::HashSet::new();
+        for et in 0..8u32 {
+            for d in Direction::BOTH {
+                let t = TransferTypeId {
+                    edge_type: EdgeTypeId::new(et),
+                    direction: d,
+                };
+                assert!(seen.insert(t.dense_index()));
+            }
+        }
+    }
+}

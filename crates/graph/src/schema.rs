@@ -1,0 +1,251 @@
+//! Schema graphs (Section 2, Figure 2 / Figure 4 of the paper).
+//!
+//! A schema graph `G(V_G, E_G)` is a directed graph of *node types* (labels
+//! such as "Paper", "Author") connected by *edge types* (roles such as
+//! "cites"). Data graphs conform to a schema graph; the authority transfer
+//! schema graph (see [`crate::transfer`]) is derived from it.
+
+use crate::error::{GraphError, Result};
+use crate::ids::{EdgeTypeId, NodeTypeId};
+use std::collections::HashMap;
+
+/// An edge type: a labeled, directed relationship between two node types.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EdgeType {
+    /// Node type at the tail of the edge.
+    pub source: NodeTypeId,
+    /// Node type at the head of the edge.
+    pub target: NodeTypeId,
+    /// Role label, e.g. `"cites"`. May be empty when the role is evident
+    /// from the endpoint labels (the paper omits such labels).
+    pub label: String,
+}
+
+/// A directed schema graph describing the structure of a data graph.
+///
+/// # Example
+/// ```
+/// use orex_graph::SchemaGraph;
+///
+/// let mut schema = SchemaGraph::new();
+/// let paper = schema.add_node_type("Paper").unwrap();
+/// let author = schema.add_node_type("Author").unwrap();
+/// let cites = schema.add_edge_type(paper, paper, "cites").unwrap();
+/// let by = schema.add_edge_type(paper, author, "by").unwrap();
+/// assert_eq!(schema.node_type_count(), 2);
+/// assert_eq!(schema.edge_type_count(), 2);
+/// assert_eq!(schema.edge_type(cites).label, "cites");
+/// assert_ne!(cites, by);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SchemaGraph {
+    node_labels: Vec<String>,
+    node_by_label: HashMap<String, NodeTypeId>,
+    edge_types: Vec<EdgeType>,
+    edge_by_signature: HashMap<(NodeTypeId, NodeTypeId, String), EdgeTypeId>,
+}
+
+impl SchemaGraph {
+    /// Creates an empty schema graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a node type with the given label.
+    ///
+    /// # Errors
+    /// Returns [`GraphError::DuplicateNodeType`] if the label is taken.
+    pub fn add_node_type(&mut self, label: impl Into<String>) -> Result<NodeTypeId> {
+        let label = label.into();
+        if self.node_by_label.contains_key(&label) {
+            return Err(GraphError::DuplicateNodeType(label));
+        }
+        let id = NodeTypeId::from_usize(self.node_labels.len());
+        self.node_by_label.insert(label.clone(), id);
+        self.node_labels.push(label);
+        Ok(id)
+    }
+
+    /// Registers an edge type from `source` to `target` with role `label`.
+    ///
+    /// # Errors
+    /// Returns [`GraphError::UnknownNodeType`] if an endpoint type does not
+    /// exist, or [`GraphError::DuplicateEdgeType`] if the exact
+    /// (source, target, label) signature is already registered.
+    pub fn add_edge_type(
+        &mut self,
+        source: NodeTypeId,
+        target: NodeTypeId,
+        label: impl Into<String>,
+    ) -> Result<EdgeTypeId> {
+        self.check_node_type(source)?;
+        self.check_node_type(target)?;
+        let label = label.into();
+        let signature = (source, target, label.clone());
+        if self.edge_by_signature.contains_key(&signature) {
+            return Err(GraphError::DuplicateEdgeType(label));
+        }
+        let id = EdgeTypeId::from_usize(self.edge_types.len());
+        self.edge_by_signature.insert(signature, id);
+        self.edge_types.push(EdgeType {
+            source,
+            target,
+            label,
+        });
+        Ok(id)
+    }
+
+    /// Number of node types.
+    #[inline]
+    pub fn node_type_count(&self) -> usize {
+        self.node_labels.len()
+    }
+
+    /// Number of edge types.
+    #[inline]
+    pub fn edge_type_count(&self) -> usize {
+        self.edge_types.len()
+    }
+
+    /// Label of a node type.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    #[inline]
+    pub fn node_label(&self, id: NodeTypeId) -> &str {
+        &self.node_labels[id.index()]
+    }
+
+    /// Looks up a node type by label.
+    pub fn node_type_by_label(&self, label: &str) -> Option<NodeTypeId> {
+        self.node_by_label.get(label).copied()
+    }
+
+    /// The full edge-type record.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    #[inline]
+    pub fn edge_type(&self, id: EdgeTypeId) -> &EdgeType {
+        &self.edge_types[id.index()]
+    }
+
+    /// Looks up an edge type by its exact signature.
+    pub fn edge_type_by_signature(
+        &self,
+        source: NodeTypeId,
+        target: NodeTypeId,
+        label: &str,
+    ) -> Option<EdgeTypeId> {
+        self.edge_by_signature
+            .get(&(source, target, label.to_string()))
+            .copied()
+    }
+
+    /// Iterates over all node type ids.
+    pub fn node_types(&self) -> impl Iterator<Item = NodeTypeId> {
+        (0..self.node_labels.len()).map(NodeTypeId::from_usize)
+    }
+
+    /// Iterates over all edge type ids.
+    pub fn edge_types(&self) -> impl Iterator<Item = EdgeTypeId> {
+        (0..self.edge_types.len()).map(EdgeTypeId::from_usize)
+    }
+
+    /// Validates that a node-type id belongs to this schema.
+    pub fn check_node_type(&self, id: NodeTypeId) -> Result<()> {
+        if id.index() < self.node_labels.len() {
+            Ok(())
+        } else {
+            Err(GraphError::UnknownNodeType(id))
+        }
+    }
+
+    /// Validates that an edge-type id belongs to this schema.
+    pub fn check_edge_type(&self, id: EdgeTypeId) -> Result<()> {
+        if id.index() < self.edge_types.len() {
+            Ok(())
+        } else {
+            Err(GraphError::UnknownEdgeType(id))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dblp_like() -> SchemaGraph {
+        let mut s = SchemaGraph::new();
+        let paper = s.add_node_type("Paper").unwrap();
+        let conf = s.add_node_type("Conference").unwrap();
+        let year = s.add_node_type("Year").unwrap();
+        let author = s.add_node_type("Author").unwrap();
+        s.add_edge_type(paper, paper, "cites").unwrap();
+        s.add_edge_type(paper, author, "by").unwrap();
+        s.add_edge_type(conf, year, "has_instance").unwrap();
+        s.add_edge_type(year, paper, "contains").unwrap();
+        s
+    }
+
+    #[test]
+    fn builds_dblp_schema() {
+        let s = dblp_like();
+        assert_eq!(s.node_type_count(), 4);
+        assert_eq!(s.edge_type_count(), 4);
+        let paper = s.node_type_by_label("Paper").unwrap();
+        assert_eq!(s.node_label(paper), "Paper");
+    }
+
+    #[test]
+    fn duplicate_node_type_rejected() {
+        let mut s = SchemaGraph::new();
+        s.add_node_type("Paper").unwrap();
+        assert!(matches!(
+            s.add_node_type("Paper"),
+            Err(GraphError::DuplicateNodeType(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_edge_signature_rejected() {
+        let mut s = SchemaGraph::new();
+        let a = s.add_node_type("A").unwrap();
+        let b = s.add_node_type("B").unwrap();
+        s.add_edge_type(a, b, "r").unwrap();
+        assert!(matches!(
+            s.add_edge_type(a, b, "r"),
+            Err(GraphError::DuplicateEdgeType(_))
+        ));
+        // Same label with a different signature is allowed.
+        s.add_edge_type(b, a, "r").unwrap();
+    }
+
+    #[test]
+    fn unknown_endpoint_rejected() {
+        let mut s = SchemaGraph::new();
+        let a = s.add_node_type("A").unwrap();
+        let bogus = NodeTypeId::new(7);
+        assert!(matches!(
+            s.add_edge_type(a, bogus, "r"),
+            Err(GraphError::UnknownNodeType(_))
+        ));
+    }
+
+    #[test]
+    fn signature_lookup() {
+        let s = dblp_like();
+        let paper = s.node_type_by_label("Paper").unwrap();
+        let author = s.node_type_by_label("Author").unwrap();
+        let by = s.edge_type_by_signature(paper, author, "by").unwrap();
+        assert_eq!(s.edge_type(by).label, "by");
+        assert!(s.edge_type_by_signature(author, paper, "by").is_none());
+    }
+
+    #[test]
+    fn iterators_cover_all_types() {
+        let s = dblp_like();
+        assert_eq!(s.node_types().count(), 4);
+        assert_eq!(s.edge_types().count(), 4);
+    }
+}

@@ -1,0 +1,177 @@
+//! Induced subgraph extraction.
+//!
+//! The paper's DS7cancer dataset is "a subset of DS7 consisting of PubMed
+//! publications related to 'cancer' and all biological entities related
+//! to these publications" (Section 6) — i.e. an induced neighborhood
+//! subgraph of a seed set. [`induced_subgraph`] implements the general
+//! operation: keep a node set, renumber, and keep every edge whose
+//! endpoints survive; [`neighborhood`] computes hop-limited closures of a
+//! seed set for the DS7cancer-style construction.
+
+use crate::data::{DataGraph, DataGraphBuilder};
+use crate::ids::NodeId;
+use std::collections::VecDeque;
+
+/// Result of an extraction: the new graph plus the mapping from new node
+/// ids to the original ones.
+#[derive(Debug)]
+pub struct SubgraphResult {
+    /// The extracted graph (same schema, renumbered nodes).
+    pub graph: DataGraph,
+    /// For each new node id (by index), the original node id.
+    pub original_ids: Vec<NodeId>,
+}
+
+/// Extracts the subgraph induced by the nodes satisfying `keep`,
+/// preserving attribute data and the schema. Node ids are renumbered
+/// densely in ascending original order.
+pub fn induced_subgraph(graph: &DataGraph, keep: impl Fn(NodeId) -> bool) -> SubgraphResult {
+    let mut original_ids = Vec::new();
+    let mut new_id = vec![u32::MAX; graph.node_count()];
+    for node in graph.nodes() {
+        if keep(node) {
+            new_id[node.index()] = original_ids.len() as u32;
+            original_ids.push(node);
+        }
+    }
+    let mut builder = DataGraphBuilder::with_capacity(
+        graph.schema().clone(),
+        original_ids.len(),
+        graph.edge_count() / 2,
+    );
+    for &orig in &original_ids {
+        let rec = graph.node(orig);
+        builder
+            .add_node(rec.node_type, rec.attributes.clone())
+            .expect("schema unchanged");
+    }
+    for edge in graph.edges() {
+        let rec = graph.edge(edge);
+        let s = new_id[rec.source.index()];
+        let t = new_id[rec.target.index()];
+        if s != u32::MAX && t != u32::MAX {
+            builder
+                .add_edge(NodeId::new(s), NodeId::new(t), rec.edge_type)
+                .expect("endpoints kept, types unchanged");
+        }
+    }
+    SubgraphResult {
+        graph: builder.freeze(),
+        original_ids,
+    }
+}
+
+/// The set of nodes within `hops` undirected hops of the seed set
+/// (including the seeds), as a boolean mask over the original graph.
+pub fn neighborhood(graph: &DataGraph, seeds: &[NodeId], hops: usize) -> Vec<bool> {
+    let mut keep = vec![false; graph.node_count()];
+    let mut queue: VecDeque<(NodeId, usize)> = VecDeque::new();
+    for &s in seeds {
+        if !keep[s.index()] {
+            keep[s.index()] = true;
+            queue.push_back((s, 0));
+        }
+    }
+    while let Some((node, depth)) = queue.pop_front() {
+        if depth == hops {
+            continue;
+        }
+        for (_, next) in graph.out_edges(node) {
+            if !keep[next.index()] {
+                keep[next.index()] = true;
+                queue.push_back((next, depth + 1));
+            }
+        }
+        for (_, prev) in graph.in_edges(node) {
+            if !keep[prev.index()] {
+                keep[prev.index()] = true;
+                queue.push_back((prev, depth + 1));
+            }
+        }
+    }
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::SchemaGraph;
+
+    /// Chain a -> b -> c -> d with an isolated node e.
+    fn chain() -> DataGraph {
+        let mut schema = SchemaGraph::new();
+        let p = schema.add_node_type("P").unwrap();
+        let r = schema.add_edge_type(p, p, "r").unwrap();
+        let mut b = DataGraphBuilder::new(schema);
+        let nodes: Vec<_> = (0..5)
+            .map(|i| {
+                b.add_node_with(p, &[("Name", format!("n{i}").as_str())])
+                    .unwrap()
+            })
+            .collect();
+        for i in 0..3 {
+            b.add_edge(nodes[i], nodes[i + 1], r).unwrap();
+        }
+        b.freeze()
+    }
+
+    #[test]
+    fn induced_keeps_internal_edges_only() {
+        let g = chain();
+        // Keep b, c, e (ids 1, 2, 4).
+        let sub = induced_subgraph(&g, |n| matches!(n.raw(), 1 | 2 | 4));
+        assert_eq!(sub.graph.node_count(), 3);
+        assert_eq!(sub.graph.edge_count(), 1); // only b -> c survives
+        assert_eq!(
+            sub.original_ids,
+            vec![NodeId::new(1), NodeId::new(2), NodeId::new(4)]
+        );
+        // Attributes preserved under the new numbering.
+        assert_eq!(sub.graph.node_display(NodeId::new(0)), "n1");
+        sub.graph.verify_conformance().unwrap();
+    }
+
+    #[test]
+    fn keep_all_is_isomorphic() {
+        let g = chain();
+        let sub = induced_subgraph(&g, |_| true);
+        assert_eq!(sub.graph.node_count(), g.node_count());
+        assert_eq!(sub.graph.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn keep_none_is_empty() {
+        let g = chain();
+        let sub = induced_subgraph(&g, |_| false);
+        assert_eq!(sub.graph.node_count(), 0);
+        assert_eq!(sub.graph.edge_count(), 0);
+    }
+
+    #[test]
+    fn neighborhood_respects_hops_and_direction_blindness() {
+        let g = chain();
+        // From c (id 2), 1 hop reaches b and d in either direction.
+        let mask = neighborhood(&g, &[NodeId::new(2)], 1);
+        assert_eq!(mask, vec![false, true, true, true, false]);
+        // 0 hops: seeds only.
+        let mask = neighborhood(&g, &[NodeId::new(2)], 0);
+        assert_eq!(mask, vec![false, false, true, false, false]);
+        // 3 hops: whole chain, never the isolated node.
+        let mask = neighborhood(&g, &[NodeId::new(0)], 3);
+        assert_eq!(mask, vec![true, true, true, true, false]);
+    }
+
+    #[test]
+    fn ds7cancer_style_extraction() {
+        // Seeds = nodes whose name contains "2"; subset = 1-hop closure.
+        let g = chain();
+        let seeds: Vec<NodeId> = g
+            .nodes()
+            .filter(|&n| g.node_text(n).contains('2'))
+            .collect();
+        let mask = neighborhood(&g, &seeds, 1);
+        let sub = induced_subgraph(&g, |n| mask[n.index()]);
+        assert_eq!(sub.graph.node_count(), 3);
+        sub.graph.verify_conformance().unwrap();
+    }
+}

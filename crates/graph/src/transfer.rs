@@ -1,0 +1,645 @@
+//! Authority transfer graphs (Section 2, Figures 3 and 5 of the paper).
+//!
+//! From the schema graph we derive the *authority transfer schema graph*:
+//! every schema edge type `e_S = (u -> v)` is split into a forward transfer
+//! type `e_S^f = (u -> v)` and a backward transfer type `e_S^b = (v -> u)`,
+//! each annotated with an authority transfer rate `a(.) ∈ [0, 1]`. The rates
+//! live in a [`TransferRates`] vector — the object that structure-based
+//! reformulation (Section 5.2) adjusts and that the training experiments
+//! (Figures 11, 13) compare against ground truth by cosine similarity.
+//!
+//! From a data graph conforming to the schema we derive the *authority
+//! transfer data graph* [`TransferGraph`]: every data edge `u -> v` of type
+//! `t` materializes a forward transfer edge `u -> v` of type `t^f` and a
+//! backward transfer edge `v -> u` of type `t^b`. Equation 1 assigns each
+//! transfer edge the weight
+//!
+//! ```text
+//! alpha(e) = a(type(e)) / OutDeg(src(e), type(e))   if OutDeg > 0
+//! ```
+//!
+//! where `OutDeg(u, tt)` counts `u`'s outgoing transfer edges of type `tt`.
+//! The topology is built once; [`TransferGraph::weights`] re-derives the
+//! `alpha` array for any rates vector, so reformulation iterations never
+//! rebuild adjacency.
+
+use crate::csr::Csr;
+use crate::data::DataGraph;
+use crate::error::{GraphError, Result};
+use crate::ids::{EdgeId, NodeId, TransferTypeId};
+use crate::schema::SchemaGraph;
+
+/// The authority transfer rates of an authority transfer schema graph:
+/// one rate per transfer-edge type (`2 * |schema edge types|` entries,
+/// indexed by [`TransferTypeId::dense_index`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TransferRates {
+    rates: Vec<f64>,
+}
+
+impl TransferRates {
+    /// All rates set to `rate` (the experiments in Section 6.1 initialize
+    /// every rate to 0.3 before training).
+    pub fn uniform(schema: &SchemaGraph, rate: f64) -> Self {
+        Self {
+            rates: vec![rate; schema.edge_type_count() * 2],
+        }
+    }
+
+    /// All rates zero.
+    pub fn zero(schema: &SchemaGraph) -> Self {
+        Self::uniform(schema, 0.0)
+    }
+
+    /// Builds from a dense vector (forward/backward interleaved per edge
+    /// type, see [`TransferTypeId::dense_index`]).
+    ///
+    /// # Errors
+    /// Returns [`GraphError::RatesDimensionMismatch`] on wrong length.
+    pub fn from_dense(schema: &SchemaGraph, rates: Vec<f64>) -> Result<Self> {
+        let expected = schema.edge_type_count() * 2;
+        if rates.len() != expected {
+            return Err(GraphError::RatesDimensionMismatch {
+                expected,
+                actual: rates.len(),
+            });
+        }
+        Ok(Self { rates })
+    }
+
+    /// Number of transfer-edge types.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// True when the schema has no edge types.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rates.is_empty()
+    }
+
+    /// The rate of a transfer-edge type.
+    ///
+    /// # Panics
+    /// Panics if the type is out of range for the schema.
+    #[inline]
+    pub fn get(&self, tt: TransferTypeId) -> f64 {
+        self.rates[tt.dense_index()]
+    }
+
+    /// Sets the rate of a transfer-edge type.
+    ///
+    /// # Errors
+    /// Returns [`GraphError::RateOutOfRange`] for rates outside `[0, 1]`.
+    pub fn set(&mut self, tt: TransferTypeId, rate: f64) -> Result<()> {
+        if !(0.0..=1.0).contains(&rate) || rate.is_nan() {
+            return Err(GraphError::RateOutOfRange {
+                transfer_type: tt,
+                rate,
+            });
+        }
+        self.rates[tt.dense_index()] = rate;
+        Ok(())
+    }
+
+    /// Dense view of the rates.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// Mutable dense view (used by reformulation's normalization passes,
+    /// which re-validate afterwards).
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.rates
+    }
+
+    /// Replaces every zero backward (or forward) rate with `epsilon`.
+    ///
+    /// Theorem 1 of the paper requires a non-zero reverse direction for
+    /// every edge type so the explaining-subgraph fixpoint converges;
+    /// "arbitrarily small flow rates can be assigned to the direction of
+    /// small importance".
+    pub fn ensure_bidirectional(&mut self, epsilon: f64) {
+        for rate in &mut self.rates {
+            if *rate == 0.0 {
+                *rate = epsilon;
+            }
+        }
+    }
+
+    /// Per-schema-node-type sums of outgoing transfer rates.
+    ///
+    /// A forward rate of edge type `(u -> v)` is outgoing for `u`; the
+    /// backward rate is outgoing for `v`.
+    pub fn outgoing_sums(&self, schema: &SchemaGraph) -> Vec<f64> {
+        let mut sums = vec![0.0; schema.node_type_count()];
+        for et in schema.edge_types() {
+            let sig = schema.edge_type(et);
+            sums[sig.source.index()] += self.get(TransferTypeId::forward(et));
+            sums[sig.target.index()] += self.get(TransferTypeId::backward(et));
+        }
+        sums
+    }
+
+    /// Validates that all rates are in `[0, 1]` and that every schema node
+    /// type's outgoing rates sum to at most 1 (+ a small tolerance), the
+    /// condition Section 5.2 step 4 enforces for ObjectRank2 convergence.
+    pub fn validate(&self, schema: &SchemaGraph) -> Result<()> {
+        let expected = schema.edge_type_count() * 2;
+        if self.rates.len() != expected {
+            return Err(GraphError::RatesDimensionMismatch {
+                expected,
+                actual: self.rates.len(),
+            });
+        }
+        for (idx, &rate) in self.rates.iter().enumerate() {
+            if !(0.0..=1.0).contains(&rate) || rate.is_nan() {
+                return Err(GraphError::RateOutOfRange {
+                    transfer_type: TransferTypeId::from_dense_index(idx),
+                    rate,
+                });
+            }
+        }
+        const TOL: f64 = 1e-9;
+        for (nt_idx, &sum) in self.outgoing_sums(schema).iter().enumerate() {
+            if sum > 1.0 + TOL {
+                return Err(GraphError::OutgoingRatesExceedOne {
+                    node_type: crate::ids::NodeTypeId::from_usize(nt_idx),
+                    sum,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Rescales each schema node type's outgoing rates so they sum to at
+    /// most 1 — step 4 of the Section 5.2 normalization, also needed when
+    /// initializing "all rates to 0.3" as the training experiments do
+    /// (Section 6.1.1): on schemas where a node type owns four transfer
+    /// types, the raw uniform vector sums to 1.2 and would break
+    /// ObjectRank2 convergence.
+    pub fn rescale_outgoing(&mut self, schema: &SchemaGraph) {
+        let sums = self.outgoing_sums(schema);
+        for et in schema.edge_types() {
+            let sig = schema.edge_type(et);
+            for (tt, owner) in [
+                (TransferTypeId::forward(et), sig.source),
+                (TransferTypeId::backward(et), sig.target),
+            ] {
+                let sum = sums[owner.index()];
+                if sum > 1.0 {
+                    self.rates[tt.dense_index()] /= sum;
+                }
+            }
+        }
+    }
+
+    /// A uniform rates vector rescaled to validity: every rate starts at
+    /// `rate` and each node type's outgoing rates are scaled down to sum
+    /// to at most 1.
+    pub fn normalized_uniform(schema: &SchemaGraph, rate: f64) -> Self {
+        let mut r = Self::uniform(schema, rate);
+        r.rescale_outgoing(schema);
+        debug_assert!(r.validate(schema).is_ok());
+        r
+    }
+
+    /// Cosine similarity with another rates vector — the training-quality
+    /// metric of Figures 11 and 13.
+    ///
+    /// Returns 0 when either vector is all-zero.
+    pub fn cosine_similarity(&self, other: &TransferRates) -> f64 {
+        assert_eq!(self.rates.len(), other.rates.len(), "dimension mismatch");
+        let mut dot = 0.0;
+        let mut na = 0.0;
+        let mut nb = 0.0;
+        for (&a, &b) in self.rates.iter().zip(&other.rates) {
+            dot += a * b;
+            na += a * a;
+            nb += b * b;
+        }
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            dot / (na.sqrt() * nb.sqrt())
+        }
+    }
+}
+
+/// The authority transfer data graph: materialized forward + backward
+/// transfer edges over a data graph, with weight derivation per Equation 1.
+///
+/// Topology is immutable; `alpha` weights are a function of a
+/// [`TransferRates`] vector, recomputed in one pass by [`Self::weights`].
+#[derive(Clone, Debug)]
+pub struct TransferGraph {
+    node_count: usize,
+    /// Forward-orientation CSR (adjacency of the transfer graph itself).
+    out_csr: Csr,
+    /// For each out-CSR slot, the transfer-edge index it stores.
+    out_slot_edge: Vec<u32>,
+    /// Reverse CSR (in-adjacency of the transfer graph).
+    in_csr: Csr,
+    /// For each in-CSR slot, the transfer-edge index it stores.
+    in_slot_edge: Vec<u32>,
+    /// Per transfer edge: source node.
+    edge_src: Vec<u32>,
+    /// Per transfer edge: target node.
+    edge_dst: Vec<u32>,
+    /// Per transfer edge: dense transfer-type index.
+    edge_type: Vec<u16>,
+    /// Per transfer edge: the data edge it was derived from.
+    edge_origin: Vec<u32>,
+    /// Per transfer edge: `1 / OutDeg(src, type)` (Equation 1 denominator).
+    inv_out_deg: Vec<f64>,
+    transfer_type_count: usize,
+}
+
+impl TransferGraph {
+    /// Builds the authority transfer data graph for `data`.
+    pub fn build(data: &DataGraph) -> Self {
+        let n = data.node_count();
+        let m = data.edge_count();
+        let tt_count = data.schema().edge_type_count() * 2;
+        assert!(tt_count <= u16::MAX as usize + 1, "too many edge types");
+
+        let mut edge_src = Vec::with_capacity(2 * m);
+        let mut edge_dst = Vec::with_capacity(2 * m);
+        let mut edge_type: Vec<u16> = Vec::with_capacity(2 * m);
+        let mut edge_origin = Vec::with_capacity(2 * m);
+        for eid in data.edges() {
+            let rec = data.edge(eid);
+            let fwd = TransferTypeId::forward(rec.edge_type).dense_index() as u16;
+            let bwd = TransferTypeId::backward(rec.edge_type).dense_index() as u16;
+            edge_src.push(rec.source.raw());
+            edge_dst.push(rec.target.raw());
+            edge_type.push(fwd);
+            edge_origin.push(eid.raw());
+            edge_src.push(rec.target.raw());
+            edge_dst.push(rec.source.raw());
+            edge_type.push(bwd);
+            edge_origin.push(eid.raw());
+        }
+
+        // OutDeg(u, tt): count per (node, transfer type).
+        let mut out_deg = vec![0u32; n * tt_count];
+        for i in 0..edge_src.len() {
+            out_deg[edge_src[i] as usize * tt_count + edge_type[i] as usize] += 1;
+        }
+        let inv_out_deg: Vec<f64> = (0..edge_src.len())
+            .map(|i| {
+                let d = out_deg[edge_src[i] as usize * tt_count + edge_type[i] as usize];
+                1.0 / d as f64
+            })
+            .collect();
+        drop(out_deg);
+
+        let pairs: Vec<(u32, u32)> = edge_src
+            .iter()
+            .zip(&edge_dst)
+            .map(|(&s, &d)| (s, d))
+            .collect();
+        let (out_csr, out_slot_edge) = Csr::from_edges(n, &pairs);
+        let rev_pairs: Vec<(u32, u32)> = pairs.iter().map(|&(s, d)| (d, s)).collect();
+        let (in_csr, in_slot_edge) = Csr::from_edges(n, &rev_pairs);
+
+        Self {
+            node_count: n,
+            out_csr,
+            out_slot_edge,
+            in_csr,
+            in_slot_edge,
+            edge_src,
+            edge_dst,
+            edge_type,
+            edge_origin,
+            inv_out_deg,
+            transfer_type_count: tt_count,
+        }
+    }
+
+    /// Number of nodes (same as the data graph).
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of transfer edges (`2 *` data-graph edges).
+    #[inline]
+    pub fn transfer_edge_count(&self) -> usize {
+        self.edge_src.len()
+    }
+
+    /// Number of transfer-edge types (`2 *` schema edge types).
+    #[inline]
+    pub fn transfer_type_count(&self) -> usize {
+        self.transfer_type_count
+    }
+
+    /// Derives the per-edge `alpha` weights for a rates vector (Equation 1).
+    ///
+    /// The returned vector is indexed by transfer-edge index.
+    pub fn weights(&self, rates: &TransferRates) -> Vec<f64> {
+        assert_eq!(
+            rates.len(),
+            self.transfer_type_count,
+            "rates dimension mismatch"
+        );
+        let dense = rates.as_slice();
+        self.edge_type
+            .iter()
+            .zip(&self.inv_out_deg)
+            .map(|(&tt, &inv)| dense[tt as usize] * inv)
+            .collect()
+    }
+
+    /// Outgoing transfer edges of `node`: `(target, transfer edge index)`.
+    pub fn out_transfer(&self, node: NodeId) -> impl Iterator<Item = (NodeId, usize)> + '_ {
+        self.out_csr
+            .neighbors(node.index())
+            .map(|(t, slot)| (NodeId::new(t), self.out_slot_edge[slot] as usize))
+    }
+
+    /// Incoming transfer edges of `node`: `(source, transfer edge index)`.
+    pub fn in_transfer(&self, node: NodeId) -> impl Iterator<Item = (NodeId, usize)> + '_ {
+        self.in_csr
+            .neighbors(node.index())
+            .map(|(s, slot)| (NodeId::new(s), self.in_slot_edge[slot] as usize))
+    }
+
+    /// Out-degree in the transfer graph.
+    #[inline]
+    pub fn out_transfer_degree(&self, node: NodeId) -> usize {
+        self.out_csr.degree(node.index())
+    }
+
+    /// `(source, target)` of a transfer edge.
+    #[inline]
+    pub fn edge_endpoints(&self, edge: usize) -> (NodeId, NodeId) {
+        (
+            NodeId::new(self.edge_src[edge]),
+            NodeId::new(self.edge_dst[edge]),
+        )
+    }
+
+    /// Transfer type of a transfer edge.
+    #[inline]
+    pub fn edge_transfer_type(&self, edge: usize) -> TransferTypeId {
+        TransferTypeId::from_dense_index(self.edge_type[edge] as usize)
+    }
+
+    /// The data edge a transfer edge was derived from.
+    #[inline]
+    pub fn edge_origin(&self, edge: usize) -> EdgeId {
+        EdgeId::new(self.edge_origin[edge])
+    }
+
+    /// `1 / OutDeg(src, type)` of a transfer edge (Equation 1 denominator).
+    #[inline]
+    pub fn edge_inv_out_deg(&self, edge: usize) -> f64 {
+        self.inv_out_deg[edge]
+    }
+
+    /// Raw CSR of the forward orientation, for hot loops (power iteration).
+    #[inline]
+    pub fn out_csr(&self) -> &Csr {
+        &self.out_csr
+    }
+
+    /// For each out-CSR slot, the transfer-edge index it stores.
+    #[inline]
+    pub fn out_slot_edges(&self) -> &[u32] {
+        &self.out_slot_edge
+    }
+
+    /// Raw CSR of the reverse orientation (in-adjacency), for pull-based
+    /// power iteration.
+    #[inline]
+    pub fn in_csr(&self) -> &Csr {
+        &self.in_csr
+    }
+
+    /// For each in-CSR slot, the transfer-edge index it stores.
+    #[inline]
+    pub fn in_slot_edges(&self) -> &[u32] {
+        &self.in_slot_edge
+    }
+
+    /// Checks the structural invariant that the per-node sum of outgoing
+    /// `alpha` weights never exceeds the per-type rate sum (and hence 1 for
+    /// validated rates): Equation 1 divides each type's rate evenly among
+    /// same-type edges.
+    pub fn verify_weight_invariant(&self, rates: &TransferRates) -> bool {
+        let weights = self.weights(rates);
+        let mut ok = true;
+        for node in 0..self.node_count {
+            let sum: f64 = self
+                .out_transfer(NodeId::from_usize(node))
+                .map(|(_, e)| weights[e])
+                .sum();
+            // Sum of rates over *distinct* types present is <= sum of all
+            // rates; with validated rates that is <= 1 per schema node type.
+            if sum > rates.as_slice().iter().sum::<f64>() + 1e-9 {
+                ok = false;
+            }
+        }
+        ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{DataGraphBuilder, DataGraph};
+    use crate::ids::EdgeTypeId;
+
+    fn tiny_graph() -> DataGraph {
+        // Schema: Paper -cites-> Paper, Paper -by-> Author.
+        let mut schema = SchemaGraph::new();
+        let paper = schema.add_node_type("Paper").unwrap();
+        let author = schema.add_node_type("Author").unwrap();
+        let cites = schema.add_edge_type(paper, paper, "cites").unwrap();
+        let by = schema.add_edge_type(paper, author, "by").unwrap();
+        let mut b = DataGraphBuilder::new(schema);
+        let p0 = b.add_node(paper, vec![]).unwrap();
+        let p1 = b.add_node(paper, vec![]).unwrap();
+        let p2 = b.add_node(paper, vec![]).unwrap();
+        let a0 = b.add_node(author, vec![]).unwrap();
+        b.add_edge(p0, p1, cites).unwrap();
+        b.add_edge(p0, p2, cites).unwrap();
+        b.add_edge(p0, a0, by).unwrap();
+        b.add_edge(p1, a0, by).unwrap();
+        b.freeze()
+    }
+
+    fn dblp_rates(schema: &SchemaGraph) -> TransferRates {
+        // cites: fwd 0.7, bwd 0.0; by: fwd (PA) 0.2, bwd (AP) 0.2
+        let mut r = TransferRates::zero(schema);
+        let cites = EdgeTypeId::new(0);
+        let by = EdgeTypeId::new(1);
+        r.set(TransferTypeId::forward(cites), 0.7).unwrap();
+        r.set(TransferTypeId::backward(cites), 0.0).unwrap();
+        r.set(TransferTypeId::forward(by), 0.2).unwrap();
+        r.set(TransferTypeId::backward(by), 0.2).unwrap();
+        r
+    }
+
+    #[test]
+    fn transfer_graph_doubles_edges() {
+        let g = tiny_graph();
+        let tg = TransferGraph::build(&g);
+        assert_eq!(tg.transfer_edge_count(), 2 * g.edge_count());
+        assert_eq!(tg.node_count(), g.node_count());
+    }
+
+    #[test]
+    fn equation1_divides_rate_by_type_outdegree() {
+        let g = tiny_graph();
+        let tg = TransferGraph::build(&g);
+        let rates = dblp_rates(g.schema());
+        let w = tg.weights(&rates);
+        // p0 has 2 outgoing "cites" edges: each forward weight = 0.7 / 2.
+        let p0 = NodeId::new(0);
+        let mut cites_fwd: Vec<f64> = tg
+            .out_transfer(p0)
+            .filter(|&(_, e)| {
+                tg.edge_transfer_type(e) == TransferTypeId::forward(EdgeTypeId::new(0))
+            })
+            .map(|(_, e)| w[e])
+            .collect();
+        cites_fwd.sort_by(f64::total_cmp);
+        assert_eq!(cites_fwd.len(), 2);
+        assert!((cites_fwd[0] - 0.35).abs() < 1e-12);
+        assert!((cites_fwd[1] - 0.35).abs() < 1e-12);
+        // p0 has 1 outgoing "by" edge: forward weight = 0.2 / 1.
+        let by_fwd: Vec<f64> = tg
+            .out_transfer(p0)
+            .filter(|&(_, e)| {
+                tg.edge_transfer_type(e) == TransferTypeId::forward(EdgeTypeId::new(1))
+            })
+            .map(|(_, e)| w[e])
+            .collect();
+        assert_eq!(by_fwd, vec![0.2]);
+    }
+
+    #[test]
+    fn backward_outdegree_counts_data_in_edges() {
+        let g = tiny_graph();
+        let tg = TransferGraph::build(&g);
+        let rates = dblp_rates(g.schema());
+        let w = tg.weights(&rates);
+        // a0 has 2 incoming "by" edges, so 2 outgoing backward-"by"
+        // transfer edges, each weighted 0.2 / 2 = 0.1.
+        let a0 = NodeId::new(3);
+        let back: Vec<f64> = tg.out_transfer(a0).map(|(_, e)| w[e]).collect();
+        assert_eq!(back.len(), 2);
+        for v in back {
+            assert!((v - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn in_transfer_is_reverse_of_out_transfer() {
+        let g = tiny_graph();
+        let tg = TransferGraph::build(&g);
+        for node in 0..tg.node_count() {
+            let node = NodeId::from_usize(node);
+            for (dst, e) in tg.out_transfer(node) {
+                assert!(tg
+                    .in_transfer(dst)
+                    .any(|(s, e2)| s == node && e2 == e));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rate_yields_zero_weight() {
+        let g = tiny_graph();
+        let tg = TransferGraph::build(&g);
+        let rates = dblp_rates(g.schema());
+        let w = tg.weights(&rates);
+        // Backward "cites" rate is 0 => the corresponding weights are 0.
+        for e in 0..tg.transfer_edge_count() {
+            if tg.edge_transfer_type(e) == TransferTypeId::backward(EdgeTypeId::new(0)) {
+                assert_eq!(w[e], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn rates_validation() {
+        let g = tiny_graph();
+        let schema = g.schema();
+        let mut r = dblp_rates(schema);
+        r.validate(schema).unwrap();
+        // Papers' outgoing sum: cites_f 0.7 + by_f 0.2 + cites_b 0.0 = 0.9 ok.
+        // Push cites forward to 0.9 => 1.1 > 1 => invalid.
+        r.set(TransferTypeId::forward(EdgeTypeId::new(0)), 0.9)
+            .unwrap();
+        assert!(matches!(
+            r.validate(schema),
+            Err(GraphError::OutgoingRatesExceedOne { .. })
+        ));
+    }
+
+    #[test]
+    fn rate_bounds_enforced() {
+        let g = tiny_graph();
+        let mut r = TransferRates::zero(g.schema());
+        assert!(r
+            .set(TransferTypeId::forward(EdgeTypeId::new(0)), 1.5)
+            .is_err());
+        assert!(r
+            .set(TransferTypeId::forward(EdgeTypeId::new(0)), -0.1)
+            .is_err());
+        assert!(r
+            .set(TransferTypeId::forward(EdgeTypeId::new(0)), f64::NAN)
+            .is_err());
+    }
+
+    #[test]
+    fn cosine_similarity_basics() {
+        let g = tiny_graph();
+        let schema = g.schema();
+        let a = dblp_rates(schema);
+        assert!((a.cosine_similarity(&a) - 1.0).abs() < 1e-12);
+        let z = TransferRates::zero(schema);
+        assert_eq!(a.cosine_similarity(&z), 0.0);
+        let u = TransferRates::uniform(schema, 0.3);
+        let sim = a.cosine_similarity(&u);
+        assert!(sim > 0.0 && sim < 1.0);
+    }
+
+    #[test]
+    fn ensure_bidirectional_fills_zeros() {
+        let g = tiny_graph();
+        let mut r = dblp_rates(g.schema());
+        r.ensure_bidirectional(1e-4);
+        assert_eq!(r.get(TransferTypeId::backward(EdgeTypeId::new(0))), 1e-4);
+        // Non-zero rates untouched.
+        assert_eq!(r.get(TransferTypeId::forward(EdgeTypeId::new(0))), 0.7);
+    }
+
+    #[test]
+    fn outgoing_sums_split_by_endpoint_type() {
+        let g = tiny_graph();
+        let schema = g.schema();
+        let r = dblp_rates(schema);
+        let sums = r.outgoing_sums(schema);
+        // Paper: cites_f 0.7 + cites_b 0.0 + by_f 0.2 = 0.9
+        assert!((sums[0] - 0.9).abs() < 1e-12);
+        // Author: by_b 0.2
+        assert!((sums[1] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weight_invariant_holds() {
+        let g = tiny_graph();
+        let tg = TransferGraph::build(&g);
+        let rates = dblp_rates(g.schema());
+        assert!(tg.verify_weight_invariant(&rates));
+    }
+}

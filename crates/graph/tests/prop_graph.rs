@@ -1,0 +1,147 @@
+//! Property-based tests for the graph substrate: CSR round-trips,
+//! transfer-graph structural invariants, and Equation 1 conservation laws.
+
+use orex_graph::{
+    Csr, DataGraph, DataGraphBuilder, NodeId, SchemaGraph, TransferGraph, TransferRates,
+    TransferTypeId,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random edge list over `n` nodes.
+fn edges_strategy(max_nodes: usize, max_edges: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (1..max_nodes).prop_flat_map(move |n| {
+        let edge = (0..n as u32, 0..n as u32);
+        (Just(n), proptest::collection::vec(edge, 0..max_edges))
+    })
+}
+
+proptest! {
+    /// Every input edge appears exactly once in the CSR, under its source.
+    #[test]
+    fn csr_preserves_all_edges((n, edges) in edges_strategy(50, 200)) {
+        let (csr, perm) = Csr::from_edges(n, &edges);
+        prop_assert_eq!(csr.edge_count(), edges.len());
+        let mut seen = vec![false; edges.len()];
+        for node in 0..n {
+            for (target, slot) in csr.neighbors(node) {
+                let input = perm[slot] as usize;
+                prop_assert!(!seen[input]);
+                seen[input] = true;
+                prop_assert_eq!(edges[input], (node as u32, target));
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Degrees sum to the edge count.
+    #[test]
+    fn csr_degrees_sum_to_edge_count((n, edges) in edges_strategy(50, 200)) {
+        let (csr, _) = Csr::from_edges(n, &edges);
+        let total: usize = (0..n).map(|v| csr.degree(v)).sum();
+        prop_assert_eq!(total, edges.len());
+    }
+}
+
+/// Builds a random two-type data graph: papers citing papers and written
+/// by authors.
+fn random_data_graph(
+    papers: usize,
+    authors: usize,
+    cite_pairs: &[(u32, u32)],
+    by_pairs: &[(u32, u32)],
+) -> DataGraph {
+    let mut schema = SchemaGraph::new();
+    let paper = schema.add_node_type("Paper").unwrap();
+    let author = schema.add_node_type("Author").unwrap();
+    let cites = schema.add_edge_type(paper, paper, "cites").unwrap();
+    let by = schema.add_edge_type(paper, author, "by").unwrap();
+    let mut b = DataGraphBuilder::new(schema);
+    let pids: Vec<_> = (0..papers).map(|_| b.add_node(paper, vec![]).unwrap()).collect();
+    let aids: Vec<_> = (0..authors).map(|_| b.add_node(author, vec![]).unwrap()).collect();
+    for &(s, t) in cite_pairs {
+        b.add_edge(pids[s as usize % papers], pids[t as usize % papers], cites)
+            .unwrap();
+    }
+    for &(s, t) in by_pairs {
+        b.add_edge(pids[s as usize % papers], aids[t as usize % authors], by)
+            .unwrap();
+    }
+    b.freeze()
+}
+
+proptest! {
+    /// The transfer graph always has exactly twice the data edges, and the
+    /// per-node, per-type outgoing alphas of each node sum to the type's
+    /// rate whenever the node has any edge of that type (Equation 1).
+    #[test]
+    fn transfer_weights_sum_to_rate_per_type(
+        papers in 1usize..20,
+        authors in 1usize..10,
+        cite_pairs in proptest::collection::vec((0u32..100, 0u32..100), 0..60),
+        by_pairs in proptest::collection::vec((0u32..100, 0u32..100), 0..40),
+        rate_seed in 0u64..1000,
+    ) {
+        let g = random_data_graph(papers, authors, &cite_pairs, &by_pairs);
+        let tg = TransferGraph::build(&g);
+        prop_assert_eq!(tg.transfer_edge_count(), 2 * g.edge_count());
+
+        // Derive four pseudo-random rates in [0, 0.25] so sums stay <= 1.
+        let mut rates = TransferRates::zero(g.schema());
+        let mut x = rate_seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        for et in g.schema().edge_types() {
+            for tt in [TransferTypeId::forward(et), TransferTypeId::backward(et)] {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let r = ((x >> 33) % 1000) as f64 / 4000.0;
+                rates.set(tt, r).unwrap();
+            }
+        }
+        rates.validate(g.schema()).unwrap();
+        let w = tg.weights(&rates);
+
+        for node in 0..tg.node_count() {
+            let node = NodeId::from_usize(node);
+            let mut per_type = std::collections::HashMap::new();
+            for (_, e) in tg.out_transfer(node) {
+                *per_type.entry(tg.edge_transfer_type(e)).or_insert(0.0) += w[e];
+            }
+            for (tt, sum) in per_type {
+                prop_assert!((sum - rates.get(tt)).abs() < 1e-9,
+                    "type {:?} sums to {} not {}", tt, sum, rates.get(tt));
+            }
+        }
+    }
+
+    /// In-transfer adjacency is the exact reverse of out-transfer adjacency.
+    #[test]
+    fn transfer_in_is_reverse_of_out(
+        papers in 1usize..15,
+        cite_pairs in proptest::collection::vec((0u32..50, 0u32..50), 0..40),
+    ) {
+        let g = random_data_graph(papers, 1, &cite_pairs, &[]);
+        let tg = TransferGraph::build(&g);
+        let mut out_set = std::collections::HashSet::new();
+        let mut in_set = std::collections::HashSet::new();
+        for v in 0..tg.node_count() {
+            let v = NodeId::from_usize(v);
+            for (dst, e) in tg.out_transfer(v) {
+                out_set.insert((v, dst, e));
+            }
+            for (src, e) in tg.in_transfer(v) {
+                in_set.insert((src, v, e));
+            }
+        }
+        prop_assert_eq!(out_set, in_set);
+    }
+
+    /// Conformance re-verification succeeds for builder-constructed graphs.
+    #[test]
+    fn builder_graphs_conform(
+        papers in 1usize..15,
+        authors in 1usize..8,
+        cite_pairs in proptest::collection::vec((0u32..50, 0u32..50), 0..30),
+        by_pairs in proptest::collection::vec((0u32..50, 0u32..50), 0..20),
+    ) {
+        let g = random_data_graph(papers, authors, &cite_pairs, &by_pairs);
+        prop_assert!(g.verify_conformance().is_ok());
+    }
+}

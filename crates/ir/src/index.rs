@@ -1,0 +1,368 @@
+//! Inverted index over data-graph nodes viewed as documents.
+//!
+//! Each node of the data graph is a document whose text is the
+//! concatenation of its attribute values; the index supports the two
+//! retrieval primitives the paper needs:
+//!
+//! - **base-set computation** (Section 3): the set of nodes containing at
+//!   least one query term, each scored by `IRScore(v, Q)` (Equation 2 with
+//!   the Okapi weights of Equation 3);
+//! - **forward lookup** (Section 5.1): the terms of a given node, used to
+//!   harvest expansion-term candidates from the explaining subgraph.
+//!
+//! Document lengths are measured in characters, following the paper's
+//! definition of `dl`.
+
+use crate::analyzer::Analyzer;
+use crate::query::QueryVector;
+use crate::score::{CollectionStats, Scorer};
+use std::collections::HashMap;
+
+/// Document identifier — by convention the raw `NodeId` of the graph node.
+pub type DocId = u32;
+/// Interned term identifier.
+pub type TermId = u32;
+
+/// One posting: a document and the term's frequency in it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Posting {
+    /// The document.
+    pub doc: DocId,
+    /// Term frequency.
+    pub tf: u32,
+}
+
+/// Incremental index builder.
+#[derive(Debug)]
+pub struct IndexBuilder {
+    analyzer: Analyzer,
+    dict: HashMap<String, TermId>,
+    terms: Vec<String>,
+    postings: Vec<Vec<Posting>>,
+    doc_lens: Vec<u32>,
+    doc_terms: Vec<Vec<(TermId, u32)>>,
+    total_chars: u64,
+    doc_count: u64,
+}
+
+impl IndexBuilder {
+    /// Starts an empty index with the given analyzer.
+    pub fn new(analyzer: Analyzer) -> Self {
+        Self {
+            analyzer,
+            dict: HashMap::new(),
+            terms: Vec::new(),
+            postings: Vec::new(),
+            doc_lens: Vec::new(),
+            doc_terms: Vec::new(),
+            total_chars: 0,
+            doc_count: 0,
+        }
+    }
+
+    fn intern(&mut self, term: String) -> TermId {
+        if let Some(&id) = self.dict.get(&term) {
+            return id;
+        }
+        let id = TermId::try_from(self.terms.len()).expect("term id overflow");
+        self.dict.insert(term.clone(), id);
+        self.terms.push(term);
+        self.postings.push(Vec::new());
+        id
+    }
+
+    /// Indexes a document. Documents must be added with strictly
+    /// increasing ids (gaps allowed; gap documents count as empty).
+    ///
+    /// # Panics
+    /// Panics if `doc` is not greater than every previously added id.
+    pub fn add_document(&mut self, doc: DocId, text: &str) {
+        assert!(
+            self.doc_lens.len() <= doc as usize,
+            "documents must be added in increasing id order"
+        );
+        self.doc_lens.resize(doc as usize + 1, 0);
+        self.doc_terms.resize(doc as usize + 1, Vec::new());
+        let dl = u32::try_from(text.chars().count()).unwrap_or(u32::MAX);
+        self.doc_lens[doc as usize] = dl;
+        self.total_chars += dl as u64;
+        self.doc_count += 1;
+
+        let mut counts: HashMap<TermId, u32> = HashMap::new();
+        for term in self.analyzer.analyze(text) {
+            let id = self.intern(term);
+            *counts.entry(id).or_insert(0) += 1;
+        }
+        let mut fwd: Vec<(TermId, u32)> = counts.into_iter().collect();
+        fwd.sort_unstable_by_key(|&(t, _)| t);
+        for &(term, tf) in &fwd {
+            self.postings[term as usize].push(Posting { doc, tf });
+        }
+        self.doc_terms[doc as usize] = fwd;
+    }
+
+    /// Finalizes the index.
+    pub fn build(self) -> InvertedIndex {
+        let avg_doc_len = if self.doc_count > 0 {
+            self.total_chars as f64 / self.doc_count as f64
+        } else {
+            0.0
+        };
+        InvertedIndex {
+            analyzer: self.analyzer,
+            dict: self.dict,
+            terms: self.terms,
+            postings: self.postings,
+            doc_lens: self.doc_lens,
+            doc_terms: self.doc_terms,
+            stats: CollectionStats {
+                doc_count: self.doc_count,
+                avg_doc_len,
+            },
+        }
+    }
+}
+
+/// The frozen inverted index.
+#[derive(Debug)]
+pub struct InvertedIndex {
+    analyzer: Analyzer,
+    dict: HashMap<String, TermId>,
+    terms: Vec<String>,
+    postings: Vec<Vec<Posting>>,
+    doc_lens: Vec<u32>,
+    doc_terms: Vec<Vec<(TermId, u32)>>,
+    stats: CollectionStats,
+}
+
+impl InvertedIndex {
+    /// The analyzer documents were indexed with (queries must use it too).
+    pub fn analyzer(&self) -> &Analyzer {
+        &self.analyzer
+    }
+
+    /// Collection statistics for the scorers.
+    pub fn stats(&self) -> &CollectionStats {
+        &self.stats
+    }
+
+    /// Number of distinct terms.
+    pub fn vocabulary_size(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Looks up an analyzed term.
+    pub fn term_id(&self, term: &str) -> Option<TermId> {
+        self.dict.get(term).copied()
+    }
+
+    /// The surface form of an interned term.
+    pub fn term_text(&self, id: TermId) -> &str {
+        &self.terms[id as usize]
+    }
+
+    /// Document frequency of a term.
+    pub fn df(&self, id: TermId) -> u32 {
+        self.postings[id as usize].len() as u32
+    }
+
+    /// Postings list of a term, sorted by document id.
+    pub fn postings(&self, id: TermId) -> &[Posting] {
+        &self.postings[id as usize]
+    }
+
+    /// Length (characters) of a document; 0 for unknown ids.
+    pub fn doc_len(&self, doc: DocId) -> u32 {
+        self.doc_lens.get(doc as usize).copied().unwrap_or(0)
+    }
+
+    /// Forward index: the `(term, tf)` pairs of a document, sorted by
+    /// term id. Empty for unknown ids.
+    pub fn doc_terms(&self, doc: DocId) -> &[(TermId, u32)] {
+        self.doc_terms
+            .get(doc as usize)
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Term frequency of `term` in `doc`.
+    pub fn tf(&self, doc: DocId, term: TermId) -> u32 {
+        self.doc_terms(doc)
+            .binary_search_by_key(&term, |&(t, _)| t)
+            .map(|i| self.doc_terms(doc)[i].1)
+            .unwrap_or(0)
+    }
+
+    /// Computes the query base set with IR scores (Sections 3):
+    /// all documents containing at least one query term, each scored by
+    /// `IRScore(v, Q) = Σ_t query_factor(w_t) · W(v, t)` (Equation 2).
+    ///
+    /// Returns `(doc, score)` pairs sorted by document id. Scores are raw
+    /// (not normalized); the ranking layer normalizes them to probabilities.
+    pub fn base_set_scores(&self, query: &QueryVector, scorer: &dyn Scorer) -> Vec<(DocId, f64)> {
+        let mut acc: HashMap<DocId, f64> = HashMap::new();
+        for (term, weight) in query.iter() {
+            let Some(tid) = self.term_id(term) else {
+                continue;
+            };
+            let qf = scorer.query_factor(weight);
+            if qf == 0.0 {
+                continue;
+            }
+            let df = self.df(tid);
+            for p in self.postings(tid) {
+                let w = scorer.term_weight(&self.stats, p.tf, df, self.doc_len(p.doc));
+                *acc.entry(p.doc).or_insert(0.0) += qf * w;
+            }
+        }
+        let mut out: Vec<(DocId, f64)> = acc.into_iter().collect();
+        out.sort_unstable_by_key(|&(d, _)| d);
+        out
+    }
+
+    /// IR score of a single document for a query (Equation 2). Zero when
+    /// the document contains none of the query terms.
+    pub fn ir_score(&self, doc: DocId, query: &QueryVector, scorer: &dyn Scorer) -> f64 {
+        let mut score = 0.0;
+        for (term, weight) in query.iter() {
+            let Some(tid) = self.term_id(term) else {
+                continue;
+            };
+            let tf = self.tf(doc, tid);
+            if tf == 0 {
+                continue;
+            }
+            score += scorer.query_factor(weight)
+                * scorer.term_weight(&self.stats, tf, self.df(tid), self.doc_len(doc));
+        }
+        score
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Query;
+    use crate::score::Okapi;
+
+    fn small_index() -> InvertedIndex {
+        let mut b = IndexBuilder::new(Analyzer::new());
+        b.add_document(0, "Index Selection for OLAP");
+        b.add_document(1, "Data Cube: A Relational Aggregation Operator");
+        b.add_document(3, "Range Queries in OLAP Data Cubes");
+        b.add_document(5, "Modeling Multidimensional Databases");
+        b.build()
+    }
+
+    #[test]
+    fn vocabulary_and_df() {
+        let idx = small_index();
+        let olap = idx.term_id("olap").unwrap();
+        assert_eq!(idx.df(olap), 2);
+        let cube = idx.term_id("cube").unwrap();
+        assert_eq!(idx.df(cube), 2); // "Cube" and "Cubes" both stem to cube
+        assert!(idx.term_id("nonexistent").is_none());
+    }
+
+    #[test]
+    fn base_set_contains_exactly_matching_docs() {
+        let idx = small_index();
+        let q = QueryVector::initial(&Query::parse("OLAP"), idx.analyzer());
+        let base = idx.base_set_scores(&q, &Okapi::default());
+        let docs: Vec<DocId> = base.iter().map(|&(d, _)| d).collect();
+        assert_eq!(docs, vec![0, 3]);
+        for &(_, s) in &base {
+            assert!(s > 0.0);
+        }
+    }
+
+    #[test]
+    fn multi_keyword_base_set_is_union() {
+        let idx = small_index();
+        let q = QueryVector::initial(&Query::parse("olap modeling"), idx.analyzer());
+        let base = idx.base_set_scores(&q, &Okapi::default());
+        let docs: Vec<DocId> = base.iter().map(|&(d, _)| d).collect();
+        assert_eq!(docs, vec![0, 3, 5]);
+    }
+
+    #[test]
+    fn doc_containing_both_terms_scores_higher() {
+        let mut b = IndexBuilder::new(Analyzer::new());
+        b.add_document(0, "olap olap olap olap");
+        b.add_document(1, "olap cube");
+        b.add_document(2, "cube");
+        b.add_document(3, "unrelated text entirely");
+        let idx = b.build();
+        let q = QueryVector::initial(&Query::parse("olap cube"), idx.analyzer());
+        let base = idx.base_set_scores(&q, &Okapi::default());
+        let get = |d: DocId| base.iter().find(|&&(x, _)| x == d).unwrap().1;
+        assert!(get(1) > get(0), "two matched terms beat one saturated term");
+        assert!(get(1) > get(2));
+    }
+
+    #[test]
+    fn ir_score_matches_base_set_entry() {
+        let idx = small_index();
+        let q = QueryVector::initial(&Query::parse("olap data"), idx.analyzer());
+        let scorer = Okapi::default();
+        let base = idx.base_set_scores(&q, &scorer);
+        for &(doc, score) in &base {
+            assert!((idx.ir_score(doc, &q, &scorer) - score).abs() < 1e-12);
+        }
+        // A non-matching doc scores zero.
+        assert_eq!(idx.ir_score(5, &QueryVector::initial(&Query::parse("olap"), idx.analyzer()), &scorer), 0.0);
+    }
+
+    #[test]
+    fn forward_index_roundtrip() {
+        let idx = small_index();
+        let terms = idx.doc_terms(3);
+        assert!(!terms.is_empty());
+        let surface: Vec<&str> = terms.iter().map(|&(t, _)| idx.term_text(t)).collect();
+        assert!(surface.contains(&"rang"));
+        assert!(surface.contains(&"olap"));
+        // tf lookup agrees.
+        for &(t, tf) in terms {
+            assert_eq!(idx.tf(3, t), tf);
+        }
+        assert_eq!(idx.tf(3, 9999).min(1), 0);
+    }
+
+    #[test]
+    fn gap_documents_are_empty() {
+        let idx = small_index();
+        assert_eq!(idx.doc_len(2), 0);
+        assert!(idx.doc_terms(2).is_empty());
+        assert_eq!(idx.doc_len(100), 0);
+    }
+
+    #[test]
+    fn stats_reflect_added_docs() {
+        let idx = small_index();
+        assert_eq!(idx.stats().doc_count, 4);
+        assert!(idx.stats().avg_doc_len > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "increasing id order")]
+    fn out_of_order_docs_panic() {
+        let mut b = IndexBuilder::new(Analyzer::new());
+        b.add_document(5, "a");
+        b.add_document(3, "b");
+    }
+
+    #[test]
+    fn empty_query_has_empty_base_set() {
+        let idx = small_index();
+        let base = idx.base_set_scores(&QueryVector::empty(), &Okapi::default());
+        assert!(base.is_empty());
+    }
+
+    #[test]
+    fn tf_counts_repeated_terms() {
+        let mut b = IndexBuilder::new(Analyzer::new());
+        b.add_document(0, "cube cube cubes data");
+        let idx = b.build();
+        let cube = idx.term_id("cube").unwrap();
+        assert_eq!(idx.tf(0, cube), 3);
+    }
+}

@@ -1,0 +1,210 @@
+//! Keyword queries and weighted query vectors (Section 3 of the paper).
+//!
+//! A keyword query `Q = [t1, ..., tm]` is a *tuple* of keywords — order
+//! matters once weights enter the picture. The query vector
+//! `Q = [w1, ..., wm]` carries a weight per keyword; the initial vector is
+//! all ones, and content-based reformulation (Equation 12) appends new
+//! weighted terms and rescales existing ones.
+
+use crate::analyzer::Analyzer;
+
+/// A raw user query: an ordered tuple of keywords.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Query {
+    /// The keywords as typed by the user.
+    pub keywords: Vec<String>,
+}
+
+impl Query {
+    /// Builds a query from keyword strings.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(keywords: I) -> Self {
+        Self {
+            keywords: keywords.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Parses a whitespace-separated query string.
+    pub fn parse(text: &str) -> Self {
+        Self::new(text.split_whitespace())
+    }
+}
+
+impl std::fmt::Display for Query {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}]", self.keywords.join(", "))
+    }
+}
+
+/// A weighted query vector over *analyzed* terms, insertion-ordered.
+///
+/// Terms are unique; adding an existing term accumulates its weight.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryVector {
+    terms: Vec<(String, f64)>,
+}
+
+impl QueryVector {
+    /// An empty vector.
+    pub fn empty() -> Self {
+        Self { terms: Vec::new() }
+    }
+
+    /// Builds the initial query vector for a query: every keyword is
+    /// analyzed and given weight 1. Keywords that analyze to nothing
+    /// (stopwords, punctuation) are dropped; duplicate analyzed terms
+    /// accumulate (weight 2 for a repeated keyword).
+    pub fn initial(query: &Query, analyzer: &Analyzer) -> Self {
+        let mut qv = Self::empty();
+        for kw in &query.keywords {
+            if let Some(term) = analyzer.analyze_term(kw) {
+                qv.add_weight(&term, 1.0);
+            }
+        }
+        qv
+    }
+
+    /// Builds from explicit `(term, weight)` pairs (terms must already be
+    /// analyzed); duplicates accumulate.
+    pub fn from_weights<S: Into<String>, I: IntoIterator<Item = (S, f64)>>(pairs: I) -> Self {
+        let mut qv = Self::empty();
+        for (t, w) in pairs {
+            qv.add_weight(&t.into(), w);
+        }
+        qv
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when no terms are present.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The weight of `term`, or 0 if absent.
+    pub fn weight(&self, term: &str) -> f64 {
+        self.terms
+            .iter()
+            .find(|(t, _)| t == term)
+            .map_or(0.0, |&(_, w)| w)
+    }
+
+    /// True if `term` is present.
+    pub fn contains(&self, term: &str) -> bool {
+        self.terms.iter().any(|(t, _)| t == term)
+    }
+
+    /// Adds `weight` to `term`, inserting it at the end if new.
+    pub fn add_weight(&mut self, term: &str, weight: f64) {
+        if let Some(entry) = self.terms.iter_mut().find(|(t, _)| t == term) {
+            entry.1 += weight;
+        } else {
+            self.terms.push((term.to_string(), weight));
+        }
+    }
+
+    /// Multiplies every weight by `factor`.
+    pub fn scale(&mut self, factor: f64) {
+        for (_, w) in &mut self.terms {
+            *w *= factor;
+        }
+    }
+
+    /// Mean weight of the current terms (`a_w` in the Section 5.1
+    /// normalization), or 0 for an empty vector.
+    pub fn mean_weight(&self) -> f64 {
+        if self.terms.is_empty() {
+            0.0
+        } else {
+            self.terms.iter().map(|&(_, w)| w).sum::<f64>() / self.terms.len() as f64
+        }
+    }
+
+    /// Iterates over `(term, weight)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> + '_ {
+        self.terms.iter().map(|(t, w)| (t.as_str(), *w))
+    }
+}
+
+impl std::fmt::Display for QueryVector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, (t, w)) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}:{w:.3}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_vector_has_unit_weights() {
+        let a = Analyzer::new();
+        let q = Query::parse("query optimization");
+        let qv = QueryVector::initial(&q, &a);
+        assert_eq!(qv.len(), 2);
+        for (_, w) in qv.iter() {
+            assert_eq!(w, 1.0);
+        }
+    }
+
+    #[test]
+    fn stopword_keywords_dropped() {
+        let a = Analyzer::new();
+        let q = Query::parse("the olap");
+        let qv = QueryVector::initial(&q, &a);
+        assert_eq!(qv.len(), 1);
+        assert!(qv.contains("olap"));
+    }
+
+    #[test]
+    fn duplicate_keywords_accumulate() {
+        let a = Analyzer::new();
+        let q = Query::parse("olap olap");
+        let qv = QueryVector::initial(&q, &a);
+        assert_eq!(qv.len(), 1);
+        assert_eq!(qv.weight("olap"), 2.0);
+    }
+
+    #[test]
+    fn add_weight_inserts_and_accumulates() {
+        let mut qv = QueryVector::empty();
+        qv.add_weight("cube", 0.5);
+        qv.add_weight("cube", 0.25);
+        qv.add_weight("rang", 1.0);
+        assert_eq!(qv.weight("cube"), 0.75);
+        assert_eq!(qv.len(), 2);
+        // Insertion order preserved.
+        let terms: Vec<_> = qv.iter().map(|(t, _)| t.to_string()).collect();
+        assert_eq!(terms, vec!["cube", "rang"]);
+    }
+
+    #[test]
+    fn mean_weight() {
+        let qv = QueryVector::from_weights([("a", 1.0), ("b", 3.0)]);
+        assert_eq!(qv.mean_weight(), 2.0);
+        assert_eq!(QueryVector::empty().mean_weight(), 0.0);
+    }
+
+    #[test]
+    fn scale_multiplies_all() {
+        let mut qv = QueryVector::from_weights([("a", 1.0), ("b", 2.0)]);
+        qv.scale(0.5);
+        assert_eq!(qv.weight("a"), 0.5);
+        assert_eq!(qv.weight("b"), 1.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let q = Query::parse("ranked search");
+        assert_eq!(q.to_string(), "[ranked, search]");
+    }
+}

@@ -1,0 +1,258 @@
+//! IR weighting models: Okapi (Equation 3 of the paper) and tf-idf.
+//!
+//! The paper defines `W(v, t)` — the IR weight of term `t` for document
+//! (node) `v` — "using a traditional IR weighing formula like BM25 or
+//! Okapi", giving the Okapi formula explicitly. The `IRScore(v, Q) = v · Q`
+//! dot product of Equation 2 then splits per term into a document-side
+//! weight and a query-side factor; the query-side factor consumes the
+//! query-vector weight in the `qtf` position, so reformulated weights
+//! from Equation 12 feed straight back into base-set scoring.
+
+/// Collection-level statistics needed by the weighting models.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CollectionStats {
+    /// Total number of documents in the database (`n` in Equation 3).
+    pub doc_count: u64,
+    /// Average document length in characters (`avdl`).
+    pub avg_doc_len: f64,
+}
+
+/// A term-weighting model.
+pub trait Scorer: Send + Sync {
+    /// Document-side weight of a term with frequency `tf` and document
+    /// frequency `df` in a document of `dl` characters.
+    fn term_weight(&self, stats: &CollectionStats, tf: u32, df: u32, dl: u32) -> f64;
+
+    /// Query-side multiplier for a query-vector weight (`qtf` role).
+    fn query_factor(&self, query_weight: f64) -> f64;
+}
+
+/// Okapi weighting (Equation 3): per query term,
+///
+/// ```text
+/// ln((n - df + 0.5) / (df + 0.5))
+///   * ((k1 + 1) tf) / (k1 (1 - b + b dl/avdl) + tf)
+///   * ((k3 + 1) qtf) / (k3 + qtf)
+/// ```
+///
+/// The raw Okapi idf goes negative for terms in more than half the
+/// collection; we floor it at [`Okapi::IDF_FLOOR`] (the standard
+/// Lucene-style fix) so common terms cannot produce negative base-set
+/// probabilities, which Equation 4 cannot accommodate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Okapi {
+    /// Term-frequency saturation, "between 1.0 and 2.0" per the paper.
+    pub k1: f64,
+    /// Length normalization, "usually 0.75".
+    pub b: f64,
+    /// Query-term-frequency saturation, "between 0 and 1000".
+    pub k3: f64,
+}
+
+impl Default for Okapi {
+    fn default() -> Self {
+        Self {
+            k1: 1.2,
+            b: 0.75,
+            k3: 8.0,
+        }
+    }
+}
+
+impl Okapi {
+    /// Minimum idf (see type-level docs).
+    pub const IDF_FLOOR: f64 = 1e-6;
+}
+
+impl Scorer for Okapi {
+    fn term_weight(&self, stats: &CollectionStats, tf: u32, df: u32, dl: u32) -> f64 {
+        if tf == 0 || df == 0 {
+            return 0.0;
+        }
+        let n = stats.doc_count as f64;
+        let df = df as f64;
+        let idf = ((n - df + 0.5) / (df + 0.5)).ln().max(Self::IDF_FLOOR);
+        let avdl = if stats.avg_doc_len > 0.0 {
+            stats.avg_doc_len
+        } else {
+            1.0
+        };
+        let tf = tf as f64;
+        let norm = self.k1 * (1.0 - self.b + self.b * dl as f64 / avdl);
+        idf * ((self.k1 + 1.0) * tf) / (norm + tf)
+    }
+
+    fn query_factor(&self, query_weight: f64) -> f64 {
+        if query_weight <= 0.0 {
+            return 0.0;
+        }
+        ((self.k3 + 1.0) * query_weight) / (self.k3 + query_weight)
+    }
+}
+
+/// Classic tf-idf weighting: `(1 + ln tf) * ln(n / df)` on the document
+/// side, the raw query weight on the query side. Kept as the simplest
+/// reference model and for ablations against Okapi.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TfIdf;
+
+impl Scorer for TfIdf {
+    fn term_weight(&self, stats: &CollectionStats, tf: u32, df: u32, _dl: u32) -> f64 {
+        if tf == 0 || df == 0 {
+            return 0.0;
+        }
+        let idf = (stats.doc_count as f64 / df as f64).ln().max(0.0);
+        (1.0 + (tf as f64).ln()) * idf
+    }
+
+    fn query_factor(&self, query_weight: f64) -> f64 {
+        query_weight.max(0.0)
+    }
+}
+
+/// Pivoted length normalization (Singhal et al.; surveyed in the paper's
+/// IR reference \[Sin01\]): `(1 + ln(1 + ln tf)) / (1 - s + s·dl/avdl) · idf`
+/// with slope `s` (typically 0.2). A softer tf saturation than Okapi,
+/// kept for ablations on the base-set weighting model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PivotedNorm {
+    /// Pivot slope `s ∈ [0, 1]`.
+    pub slope: f64,
+}
+
+impl Default for PivotedNorm {
+    fn default() -> Self {
+        Self { slope: 0.2 }
+    }
+}
+
+impl Scorer for PivotedNorm {
+    fn term_weight(&self, stats: &CollectionStats, tf: u32, df: u32, dl: u32) -> f64 {
+        if tf == 0 || df == 0 {
+            return 0.0;
+        }
+        let idf = ((stats.doc_count as f64 + 1.0) / df as f64).ln().max(0.0);
+        let avdl = if stats.avg_doc_len > 0.0 {
+            stats.avg_doc_len
+        } else {
+            1.0
+        };
+        let tf_part = 1.0 + (1.0 + (tf as f64).ln()).ln();
+        let norm = 1.0 - self.slope + self.slope * dl as f64 / avdl;
+        tf_part / norm * idf
+    }
+
+    fn query_factor(&self, query_weight: f64) -> f64 {
+        query_weight.max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const STATS: CollectionStats = CollectionStats {
+        doc_count: 1000,
+        avg_doc_len: 40.0,
+    };
+
+    #[test]
+    fn pivoted_norm_saturates_more_than_okapi_grows() {
+        let s = PivotedNorm::default();
+        let w1 = s.term_weight(&STATS, 1, 10, 40);
+        let w10 = s.term_weight(&STATS, 10, 10, 40);
+        let w100 = s.term_weight(&STATS, 100, 10, 40);
+        assert!(w10 > w1);
+        // Double-log saturation: the 10 -> 100 jump adds less than 1 -> 10.
+        assert!(w100 - w10 < w10 - w1);
+    }
+
+    #[test]
+    fn pivoted_norm_penalizes_long_docs() {
+        let s = PivotedNorm::default();
+        assert!(s.term_weight(&STATS, 2, 10, 20) > s.term_weight(&STATS, 2, 10, 200));
+        assert_eq!(s.term_weight(&STATS, 0, 10, 40), 0.0);
+    }
+
+    #[test]
+    fn okapi_rare_terms_score_higher() {
+        let s = Okapi::default();
+        let rare = s.term_weight(&STATS, 1, 2, 40);
+        let common = s.term_weight(&STATS, 1, 400, 40);
+        assert!(rare > common);
+        assert!(rare > 0.0);
+    }
+
+    #[test]
+    fn okapi_tf_saturates() {
+        let s = Okapi::default();
+        let w1 = s.term_weight(&STATS, 1, 10, 40);
+        let w2 = s.term_weight(&STATS, 2, 10, 40);
+        let w10 = s.term_weight(&STATS, 10, 10, 40);
+        let w100 = s.term_weight(&STATS, 100, 10, 40);
+        assert!(w2 > w1);
+        assert!(w10 > w2);
+        // Diminishing returns: the 2nd occurrence adds more than the jump
+        // from 10 to 100 adds per occurrence.
+        assert!((w2 - w1) > (w100 - w10) / 90.0);
+        // Bounded by (k1 + 1) * idf.
+        let idf = ((1000.0f64 - 10.0 + 0.5) / 10.5).ln();
+        assert!(w100 < (s.k1 + 1.0) * idf);
+    }
+
+    #[test]
+    fn okapi_long_documents_penalized() {
+        let s = Okapi::default();
+        let short = s.term_weight(&STATS, 2, 10, 20);
+        let long = s.term_weight(&STATS, 2, 10, 200);
+        assert!(short > long);
+    }
+
+    #[test]
+    fn okapi_idf_floor_prevents_negative() {
+        let s = Okapi::default();
+        // df > n/2 would make raw idf negative.
+        let w = s.term_weight(&STATS, 3, 900, 40);
+        assert!(w > 0.0);
+        assert!(w < 1e-4);
+    }
+
+    #[test]
+    fn okapi_zero_tf_or_df_is_zero() {
+        let s = Okapi::default();
+        assert_eq!(s.term_weight(&STATS, 0, 10, 40), 0.0);
+        assert_eq!(s.term_weight(&STATS, 3, 0, 40), 0.0);
+    }
+
+    #[test]
+    fn okapi_query_factor_saturates() {
+        let s = Okapi::default();
+        let f1 = s.query_factor(1.0);
+        let f2 = s.query_factor(2.0);
+        let f100 = s.query_factor(100.0);
+        assert!(f1 > 0.0 && f2 > f1 && f100 > f2);
+        assert!(f100 < s.k3 + 1.0); // asymptote
+        assert_eq!(s.query_factor(0.0), 0.0);
+        assert_eq!(s.query_factor(-1.0), 0.0);
+    }
+
+    #[test]
+    fn tfidf_monotone_in_tf_and_rarity() {
+        let s = TfIdf;
+        assert!(s.term_weight(&STATS, 2, 10, 40) > s.term_weight(&STATS, 1, 10, 40));
+        assert!(s.term_weight(&STATS, 1, 5, 40) > s.term_weight(&STATS, 1, 50, 40));
+        assert_eq!(s.term_weight(&STATS, 1, 1000, 40), 0.0); // idf floor
+    }
+
+    #[test]
+    fn okapi_handles_degenerate_collection() {
+        let s = Okapi::default();
+        let stats = CollectionStats {
+            doc_count: 1,
+            avg_doc_len: 0.0,
+        };
+        let w = s.term_weight(&stats, 1, 1, 0);
+        assert!(w.is_finite());
+        assert!(w >= 0.0);
+    }
+}

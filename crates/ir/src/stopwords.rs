@@ -1,0 +1,101 @@
+//! English stopword list.
+//!
+//! Section 5.1 of the paper excludes stopwords from the expansion-term
+//! candidates; the base-set retrieval also benefits from dropping them.
+//! The list below is the classic Glasgow/SMART-style core set.
+
+use std::collections::HashSet;
+
+/// The default English stopword list.
+pub const DEFAULT_STOPWORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "am", "an", "and", "any", "are",
+    "as", "at", "be", "because", "been", "before", "being", "below", "between", "both", "but",
+    "by", "can", "cannot", "could", "did", "do", "does", "doing", "down", "during", "each",
+    "few", "for", "from", "further", "had", "has", "have", "having", "he", "her", "here",
+    "hers", "herself", "him", "himself", "his", "how", "i", "if", "in", "into", "is", "it",
+    "its", "itself", "just", "me", "more", "most", "my", "myself", "no", "nor", "not", "now",
+    "of", "off", "on", "once", "only", "or", "other", "our", "ours", "ourselves", "out",
+    "over", "own", "same", "she", "should", "so", "some", "such", "than", "that", "the",
+    "their", "theirs", "them", "themselves", "then", "there", "these", "they", "this",
+    "those", "through", "to", "too", "under", "until", "up", "very", "was", "we", "were",
+    "what", "when", "where", "which", "while", "who", "whom", "why", "will", "with", "would",
+    "you", "your", "yours", "yourself", "yourselves",
+];
+
+/// A stopword filter backed by a hash set.
+#[derive(Clone, Debug)]
+pub struct Stopwords {
+    set: HashSet<&'static str>,
+}
+
+impl Default for Stopwords {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+impl Stopwords {
+    /// The default English list.
+    pub fn standard() -> Self {
+        Self {
+            set: DEFAULT_STOPWORDS.iter().copied().collect(),
+        }
+    }
+
+    /// An empty list (no filtering).
+    pub fn none() -> Self {
+        Self {
+            set: HashSet::new(),
+        }
+    }
+
+    /// True if `term` (already lowercased) is a stopword.
+    #[inline]
+    pub fn contains(&self, term: &str) -> bool {
+        self.set.contains(term)
+    }
+
+    /// Number of stopwords.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// True when the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn common_words_are_stopwords() {
+        let s = Stopwords::standard();
+        for w in ["the", "and", "of", "a", "in"] {
+            assert!(s.contains(w), "{w} should be a stopword");
+        }
+    }
+
+    #[test]
+    fn content_words_are_not() {
+        let s = Stopwords::standard();
+        for w in ["olap", "cube", "database", "ranking", "xml"] {
+            assert!(!s.contains(w), "{w} should not be a stopword");
+        }
+    }
+
+    #[test]
+    fn none_filters_nothing() {
+        let s = Stopwords::none();
+        assert!(!s.contains("the"));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn list_has_no_duplicates() {
+        let s = Stopwords::standard();
+        assert_eq!(s.len(), DEFAULT_STOPWORDS.len());
+    }
+}

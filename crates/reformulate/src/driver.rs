@@ -1,0 +1,337 @@
+//! The combined reformulation driver (Sections 5.1–5.3).
+//!
+//! Given the explaining subgraphs of one or more user-selected feedback
+//! objects, produces the reformulated query: an expanded query vector
+//! (content-based component) and adjusted authority transfer rates
+//! (structure-based component). Multi-object feedback aggregates the raw
+//! per-object term weights (Equation 14) and per-type flow sums
+//! (Equation 15) by summation before the shared normalization steps —
+//! summation being the monotone aggregation function the paper uses in
+//! its surveys.
+
+use crate::content::{
+    apply_expansion, expansion_term_weights, select_and_normalize, ContentParams,
+};
+use crate::structure::{edge_type_flows, edge_type_flows_pruned, structure_reformulate, StructureParams};
+use orex_explain::Explanation;
+use orex_graph::{SchemaGraph, TransferGraph, TransferRates};
+use orex_ir::{InvertedIndex, QueryVector};
+use std::collections::HashMap;
+
+/// Full reformulation configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReformulateParams {
+    /// Content-based component (set `content.expansion_factor = 0` for
+    /// structure-only reformulation, the internal survey's winner).
+    pub content: ContentParams,
+    /// Structure-based component (set `structure.rate_factor = 0` for
+    /// content-only reformulation).
+    pub structure: StructureParams,
+}
+
+impl Default for ReformulateParams {
+    fn default() -> Self {
+        Self {
+            content: ContentParams::default(),
+            structure: StructureParams::default(),
+        }
+    }
+}
+
+impl ReformulateParams {
+    /// Content-only setting (`C_f = 0`), as in the Section 6.1.1 survey's
+    /// first arm (`C_e = 0.2` there).
+    pub fn content_only(expansion_factor: f64) -> Self {
+        Self {
+            content: ContentParams {
+                expansion_factor,
+                ..ContentParams::default()
+            },
+            structure: StructureParams {
+                rate_factor: 0.0,
+                ..StructureParams::default()
+            },
+        }
+    }
+
+    /// Structure-only setting (`C_e = 0`), the survey's winner.
+    pub fn structure_only(rate_factor: f64) -> Self {
+        Self {
+            content: ContentParams {
+                expansion_factor: 0.0,
+                ..ContentParams::default()
+            },
+            structure: StructureParams {
+                rate_factor,
+                ..StructureParams::default()
+            },
+        }
+    }
+}
+
+/// The outcome of a reformulation step.
+#[derive(Clone, Debug)]
+pub struct Reformulation {
+    /// The expanded query vector (`Q_{i+1}`, Equation 12). Equal to the
+    /// input query under structure-only settings.
+    pub query: QueryVector,
+    /// The adjusted authority transfer rates (Equation 13 + normalization).
+    /// Equal to the input rates under content-only settings.
+    pub rates: TransferRates,
+    /// The normalized expansion terms that were added (empty when content
+    /// reformulation is disabled).
+    pub expansion_terms: Vec<(String, f64)>,
+}
+
+/// Reformulates a query given the explaining subgraphs of the feedback
+/// objects (Sections 5.1–5.3).
+///
+/// # Panics
+/// Panics if `explanations` is empty — reformulation without feedback is
+/// a caller bug.
+pub fn reformulate(
+    query: &QueryVector,
+    rates: &TransferRates,
+    schema: &SchemaGraph,
+    graph: &TransferGraph,
+    index: &InvertedIndex,
+    explanations: &[&Explanation],
+    params: &ReformulateParams,
+) -> Reformulation {
+    assert!(
+        !explanations.is_empty(),
+        "reformulation requires at least one feedback object"
+    );
+
+    // --- Content component (Eq. 11, aggregated by Eq. 14) --------------
+    let (new_query, expansion_terms) = if params.content.expansion_factor > 0.0 {
+        let mut agg: HashMap<String, f64> = HashMap::new();
+        for expl in explanations {
+            for (term, w) in expansion_term_weights(expl, index, &params.content) {
+                *agg.entry(term).or_insert(0.0) += w;
+            }
+        }
+        let mut raw: Vec<(String, f64)> = agg.into_iter().collect();
+        raw.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let normalized = select_and_normalize(&raw, query, params.content.top_terms);
+        let q = apply_expansion(query, &normalized, params.content.expansion_factor);
+        (q, normalized)
+    } else {
+        (query.clone(), Vec::new())
+    };
+
+    // --- Structure component (Eq. 13, aggregated by Eq. 15) ------------
+    let new_rates = if params.structure.rate_factor > 0.0 {
+        let mut agg = vec![0.0; graph.transfer_type_count()];
+        for expl in explanations {
+            let flows = if params.structure.top_paths > 0 {
+                edge_type_flows_pruned(expl, graph, params.structure.top_paths)
+            } else {
+                edge_type_flows(expl, graph)
+            };
+            for (i, f) in flows.into_iter().enumerate() {
+                agg[i] += f;
+            }
+        }
+        structure_reformulate(rates, &agg, schema, &params.structure)
+    } else {
+        rates.clone()
+    };
+
+    Reformulation {
+        query: new_query,
+        rates: new_rates,
+        expansion_terms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orex_authority::{power_iteration, BaseSet, RankParams, TransitionMatrix};
+    use orex_explain::ExplainParams;
+    use orex_graph::{DataGraphBuilder, NodeId, TransferTypeId, EdgeTypeId};
+    use orex_ir::{Analyzer, IndexBuilder, Query};
+
+    struct Fixture {
+        schema: SchemaGraph,
+        graph: TransferGraph,
+        rates: TransferRates,
+        index: InvertedIndex,
+        expl_a: Explanation,
+        expl_b: Explanation,
+        query: QueryVector,
+    }
+
+    /// Base node feeding two feedback objects through citation chains.
+    fn fixture() -> Fixture {
+        let mut schema = SchemaGraph::new();
+        let p = schema.add_node_type("Paper").unwrap();
+        let cites = schema.add_edge_type(p, p, "cites").unwrap();
+        let mut b = DataGraphBuilder::new(schema);
+        let s = b.add_node_with(p, &[("Title", "olap overview")]).unwrap();
+        let t1 = b.add_node_with(p, &[("Title", "olap cube storage")]).unwrap();
+        let t2 = b.add_node_with(p, &[("Title", "olap range scan")]).unwrap();
+        b.add_edge(s, t1, cites).unwrap();
+        b.add_edge(s, t2, cites).unwrap();
+        let g = b.freeze();
+        let schema = g.schema().clone();
+        let mut rates = TransferRates::uniform(&schema, 0.3);
+        rates
+            .set(TransferTypeId::backward(EdgeTypeId::new(0)), 0.2)
+            .unwrap();
+        let graph = TransferGraph::build(&g);
+        let mut ib = IndexBuilder::new(Analyzer::new());
+        for node in g.nodes() {
+            ib.add_document(node.raw(), &g.node_text(node));
+        }
+        let index = ib.build();
+        let query = QueryVector::initial(&Query::parse("olap"), index.analyzer());
+
+        let weights = graph.weights(&rates);
+        let m = TransitionMatrix::new(&graph, &rates);
+        let base = BaseSet::weighted(index.base_set_scores(&query, &orex_ir::Okapi::default()))
+            .unwrap();
+        let rank = power_iteration(
+            &m,
+            &base,
+            &RankParams {
+                epsilon: 1e-12,
+                max_iterations: 2000,
+                threads: 1,
+                ..RankParams::default()
+            },
+            None,
+        );
+        let mk = |t: u32| {
+            Explanation::explain(
+                &graph,
+                &weights,
+                &rank.scores,
+                &base,
+                NodeId::new(t),
+                &ExplainParams::default(),
+            )
+            .unwrap()
+        };
+        let expl_a = mk(1);
+        let expl_b = mk(2);
+        Fixture {
+            schema,
+            graph,
+            rates,
+            index,
+            expl_a,
+            expl_b,
+            query,
+        }
+    }
+
+    #[test]
+    fn structure_only_leaves_query_unchanged() {
+        let f = fixture();
+        let out = reformulate(
+            &f.query,
+            &f.rates,
+            &f.schema,
+            &f.graph,
+            &f.index,
+            &[&f.expl_a],
+            &ReformulateParams::structure_only(0.5),
+        );
+        assert_eq!(out.query, f.query);
+        assert!(out.expansion_terms.is_empty());
+        assert_ne!(out.rates, f.rates);
+        out.rates.validate(&f.schema).unwrap();
+    }
+
+    #[test]
+    fn content_only_leaves_rates_unchanged() {
+        let f = fixture();
+        let out = reformulate(
+            &f.query,
+            &f.rates,
+            &f.schema,
+            &f.graph,
+            &f.index,
+            &[&f.expl_a],
+            &ReformulateParams::content_only(0.2),
+        );
+        assert_eq!(out.rates, f.rates);
+        assert!(!out.expansion_terms.is_empty());
+        assert!(out.query.len() > f.query.len());
+    }
+
+    #[test]
+    fn combined_changes_both() {
+        let f = fixture();
+        let out = reformulate(
+            &f.query,
+            &f.rates,
+            &f.schema,
+            &f.graph,
+            &f.index,
+            &[&f.expl_a],
+            &ReformulateParams::default(),
+        );
+        assert_ne!(out.query, f.query);
+        assert_ne!(out.rates, f.rates);
+    }
+
+    #[test]
+    fn multi_feedback_aggregates_terms_from_both_objects() {
+        let f = fixture();
+        let params = ReformulateParams {
+            content: ContentParams {
+                top_terms: 10,
+                ..ContentParams::default()
+            },
+            ..ReformulateParams::default()
+        };
+        let both = reformulate(
+            &f.query,
+            &f.rates,
+            &f.schema,
+            &f.graph,
+            &f.index,
+            &[&f.expl_a, &f.expl_b],
+            &params,
+        );
+        let terms: Vec<&str> = both.expansion_terms.iter().map(|(t, _)| t.as_str()).collect();
+        // cube/storage come from t1's subgraph, rang/scan from t2's.
+        assert!(terms.contains(&"cube"), "{terms:?}");
+        assert!(terms.contains(&"rang"), "{terms:?}");
+    }
+
+    #[test]
+    fn multi_feedback_sums_raw_weights() {
+        let f = fixture();
+        // "olap" appears in both subgraphs; with two feedback objects its
+        // aggregated raw weight is the sum, so it stays the top term.
+        let out = reformulate(
+            &f.query,
+            &f.rates,
+            &f.schema,
+            &f.graph,
+            &f.index,
+            &[&f.expl_a, &f.expl_b],
+            &ReformulateParams::default(),
+        );
+        assert_eq!(out.expansion_terms[0].0, "olap");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one feedback object")]
+    fn empty_feedback_panics() {
+        let f = fixture();
+        let _ = reformulate(
+            &f.query,
+            &f.rates,
+            &f.schema,
+            &f.graph,
+            &f.index,
+            &[],
+            &ReformulateParams::default(),
+        );
+    }
+}

@@ -1,0 +1,233 @@
+//! Low-level binary encoding: little-endian primitives, length-prefixed
+//! strings, and an FNV-1a checksum trailer.
+//!
+//! The format favors simplicity and validation over cleverness: every
+//! snapshot starts with an 8-byte magic and a u32 version, and ends with
+//! a u64 FNV-1a checksum of everything before it, so truncation and
+//! bit-rot are detected before any structure is trusted.
+
+use crate::error::{Result, StoreError};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Current snapshot format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// FNV-1a over a byte slice.
+pub fn fnv1a(data: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for &b in data {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+/// Binary writer accumulating into a [`BytesMut`].
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: BytesMut,
+}
+
+impl Writer {
+    /// Starts a snapshot with the given 8-byte magic.
+    pub fn with_magic(magic: &[u8; 8]) -> Self {
+        let mut w = Self {
+            buf: BytesMut::with_capacity(4096),
+        };
+        w.buf.put_slice(magic);
+        w.put_u32(FORMAT_VERSION);
+        w
+    }
+
+    /// Appends a u32.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+
+    /// Appends a u64.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    /// Appends an f64.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.put_f64_le(v);
+    }
+
+    /// Appends an f32.
+    pub fn put_f32(&mut self, v: f32) {
+        self.buf.put_f32_le(v);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(u32::try_from(s.len()).expect("string too long"));
+        self.buf.put_slice(s.as_bytes());
+    }
+
+    /// Seals the snapshot: appends the checksum and returns the bytes.
+    pub fn finish(mut self) -> Bytes {
+        let checksum = fnv1a(&self.buf);
+        self.buf.put_u64_le(checksum);
+        self.buf.freeze()
+    }
+}
+
+/// Binary reader over a validated snapshot body.
+#[derive(Debug)]
+pub struct Reader {
+    buf: Bytes,
+}
+
+impl Reader {
+    /// Validates magic, version and checksum, returning a reader over the
+    /// body (everything after the header, before the checksum).
+    pub fn open(data: Bytes, magic: &[u8; 8]) -> Result<Self> {
+        if data.len() < 8 + 4 + 8 {
+            return Err(StoreError::Corrupt("snapshot too small".into()));
+        }
+        let body_end = data.len() - 8;
+        let mut trailer = &data[body_end..];
+        let stored = trailer.get_u64_le();
+        let actual = fnv1a(&data[..body_end]);
+        if stored != actual {
+            return Err(StoreError::Corrupt(format!(
+                "checksum mismatch: stored {stored:#x}, computed {actual:#x}"
+            )));
+        }
+        let mut buf = data.slice(..body_end);
+        let mut found_magic = [0u8; 8];
+        buf.copy_to_slice(&mut found_magic);
+        if &found_magic != magic {
+            return Err(StoreError::Corrupt("bad magic".into()));
+        }
+        let version = buf.get_u32_le();
+        if version != FORMAT_VERSION {
+            return Err(StoreError::VersionMismatch {
+                found: version,
+                expected: FORMAT_VERSION,
+            });
+        }
+        Ok(Self { buf })
+    }
+
+    fn need(&self, n: usize) -> Result<()> {
+        if self.buf.remaining() < n {
+            Err(StoreError::Corrupt(format!(
+                "truncated: needed {n} bytes, {} left",
+                self.buf.remaining()
+            )))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Reads a u32.
+    pub fn get_u32(&mut self) -> Result<u32> {
+        self.need(4)?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    /// Reads a u64.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        self.need(8)?;
+        Ok(self.buf.get_u64_le())
+    }
+
+    /// Reads an f64.
+    pub fn get_f64(&mut self) -> Result<f64> {
+        self.need(8)?;
+        Ok(self.buf.get_f64_le())
+    }
+
+    /// Reads an f32.
+    pub fn get_f32(&mut self) -> Result<f32> {
+        self.need(4)?;
+        Ok(self.buf.get_f32_le())
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String> {
+        let len = self.get_u32()? as usize;
+        self.need(len)?;
+        let bytes = self.buf.copy_to_bytes(len);
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| StoreError::Corrupt("invalid utf-8 string".into()))
+    }
+
+    /// Remaining unread bytes (0 when fully consumed).
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MAGIC: &[u8; 8] = b"OREXTEST";
+
+    #[test]
+    fn roundtrip_primitives() {
+        let mut w = Writer::with_magic(MAGIC);
+        w.put_u32(42);
+        w.put_u64(1 << 40);
+        w.put_f64(0.85);
+        w.put_f32(0.5);
+        w.put_str("olap cubes");
+        w.put_str("");
+        let data = w.finish();
+        let mut r = Reader::open(data, MAGIC).unwrap();
+        assert_eq!(r.get_u32().unwrap(), 42);
+        assert_eq!(r.get_u64().unwrap(), 1 << 40);
+        assert_eq!(r.get_f64().unwrap(), 0.85);
+        assert_eq!(r.get_f32().unwrap(), 0.5);
+        assert_eq!(r.get_str().unwrap(), "olap cubes");
+        assert_eq!(r.get_str().unwrap(), "");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn checksum_detects_flipped_bit() {
+        let mut w = Writer::with_magic(MAGIC);
+        w.put_str("payload");
+        let data = w.finish();
+        let mut corrupted = data.to_vec();
+        corrupted[14] ^= 0x01;
+        let err = Reader::open(Bytes::from(corrupted), MAGIC).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let w = Writer::with_magic(MAGIC);
+        let data = w.finish();
+        let err = Reader::open(data, b"OTHERMAG").unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(_)));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let mut w = Writer::with_magic(MAGIC);
+        w.put_str("hello");
+        let data = w.finish();
+        let short = data.slice(..data.len() - 3);
+        assert!(Reader::open(short, MAGIC).is_err());
+    }
+
+    #[test]
+    fn truncated_read_within_body() {
+        let mut w = Writer::with_magic(MAGIC);
+        w.put_u32(1);
+        let data = w.finish();
+        let mut r = Reader::open(data, MAGIC).unwrap();
+        r.get_u32().unwrap();
+        assert!(r.get_u64().is_err());
+    }
+
+    #[test]
+    fn fnv_known_values() {
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+}

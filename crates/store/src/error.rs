@@ -1,0 +1,76 @@
+//! Error type for the persistence layer.
+
+use std::fmt;
+
+/// Errors raised while reading or writing snapshots and caches.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The payload fails structural validation (bad magic, truncated
+    /// buffer, checksum mismatch, dangling reference...).
+    Corrupt(String),
+    /// The snapshot was written by an incompatible format version.
+    VersionMismatch {
+        /// Version found in the header.
+        found: u32,
+        /// Version this build reads.
+        expected: u32,
+    },
+    /// Reconstructed graph failed conformance checks.
+    Graph(orex_graph::GraphError),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "io error: {e}"),
+            StoreError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
+            StoreError::VersionMismatch { found, expected } => {
+                write!(f, "snapshot version {found}, this build reads {expected}")
+            }
+            StoreError::Graph(e) => write!(f, "invalid graph in snapshot: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<orex_graph::GraphError> for StoreError {
+    fn from(e: orex_graph::GraphError) -> Self {
+        StoreError::Graph(e)
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = StoreError::VersionMismatch {
+            found: 9,
+            expected: 1,
+        };
+        assert!(e.to_string().contains('9'));
+        let e = StoreError::Corrupt("bad magic".into());
+        assert!(e.to_string().contains("bad magic"));
+    }
+}

@@ -1,0 +1,331 @@
+//! Precomputed rank-vector cache.
+//!
+//! Section 6.2 of the paper notes that on-the-fly ObjectRank2 execution
+//! over DBLPcomplete/DS7 is "clearly too long for exploratory searching"
+//! and names precomputation "as in [BHP04]" as a remedy: BHP04 stores one
+//! ObjectRank vector per keyword at crawl time. [`RankCache`] implements
+//! that store — keyword-keyed score vectors (f32 to halve the footprint)
+//! with binary persistence — plus the query-time composition that turns
+//! cached single-keyword vectors into a warm-start seed for multi-keyword
+//! queries.
+
+use crate::codec::{Reader, Writer};
+use crate::error::{Result, StoreError};
+use bytes::Bytes;
+use orex_authority::{object_rank2, RankParams, TransitionMatrix};
+use orex_ir::{InvertedIndex, QueryVector, Scorer};
+use std::collections::HashMap;
+use std::path::Path;
+
+const CACHE_MAGIC: &[u8; 8] = b"OREXRANK";
+
+/// Reserved cache key for the query-independent global ObjectRank vector.
+pub const GLOBAL_KEY: &str = "\u{0}global";
+
+/// A keyword-keyed store of precomputed score vectors.
+#[derive(Clone, Debug, Default)]
+pub struct RankCache {
+    node_count: usize,
+    entries: HashMap<String, Vec<f32>>,
+}
+
+impl RankCache {
+    /// Empty cache for an `n`-node graph.
+    pub fn new(node_count: usize) -> Self {
+        Self {
+            node_count,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Node dimension of every stored vector.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of cached vectors.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Stores a vector under a key (downcast to f32).
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn insert(&mut self, key: impl Into<String>, scores: &[f64]) {
+        assert_eq!(scores.len(), self.node_count, "score dimension mismatch");
+        self.entries
+            .insert(key.into(), scores.iter().map(|&s| s as f32).collect());
+    }
+
+    /// True if a key is cached.
+    pub fn contains(&self, key: &str) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Fetches a vector (upcast to f64).
+    pub fn get(&self, key: &str) -> Option<Vec<f64>> {
+        self.entries
+            .get(key)
+            .map(|v| v.iter().map(|&s| s as f64).collect())
+    }
+
+    /// The cached keys, sorted (for deterministic reporting).
+    pub fn keys(&self) -> Vec<&str> {
+        let mut keys: Vec<&str> = self.entries.keys().map(String::as_str).collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Builds a warm-start seed for a query: the query-weighted average of
+    /// the cached per-term vectors, falling back to the global vector for
+    /// uncached terms, or `None` when nothing applicable is cached.
+    ///
+    /// This mirrors the BHP04 observation that the ObjectRank of a
+    /// multi-keyword query is well-approximated near the combination of
+    /// its single-keyword vectors — good enough to serve as an iteration
+    /// seed even though the exact fixpoint differs.
+    pub fn seed_for_query(&self, query: &QueryVector) -> Option<Vec<f64>> {
+        let mut seed = vec![0.0f64; self.node_count];
+        let mut total_weight = 0.0;
+        for (term, weight) in query.iter() {
+            let entry = self
+                .entries
+                .get(term)
+                .or_else(|| self.entries.get(GLOBAL_KEY));
+            if let Some(v) = entry {
+                for (s, &x) in seed.iter_mut().zip(v) {
+                    *s += weight * x as f64;
+                }
+                total_weight += weight;
+            }
+        }
+        if total_weight <= 0.0 {
+            return self.get(GLOBAL_KEY);
+        }
+        for s in &mut seed {
+            *s /= total_weight;
+        }
+        Some(seed)
+    }
+
+    /// Precomputes single-keyword ObjectRank2 vectors for `terms`
+    /// (analyzed terms), plus the global vector under [`GLOBAL_KEY`].
+    /// Terms with empty base sets are skipped.
+    pub fn precompute(
+        matrix: &TransitionMatrix<'_>,
+        index: &InvertedIndex,
+        scorer: &dyn Scorer,
+        terms: &[String],
+        params: &RankParams,
+    ) -> Self {
+        let mut cache = Self::new(matrix.node_count());
+        let global = orex_authority::global_object_rank(matrix, params);
+        cache.insert(GLOBAL_KEY, &global.scores);
+        for term in terms {
+            let qv = QueryVector::from_weights([(term.clone(), 1.0)]);
+            if let Ok(result) =
+                object_rank2(matrix, index, &qv, scorer, params, Some(&global.scores))
+            {
+                cache.insert(term.clone(), &result.scores);
+            }
+        }
+        cache
+    }
+
+    /// Serializes the cache.
+    pub fn encode(&self) -> Bytes {
+        let mut w = Writer::with_magic(CACHE_MAGIC);
+        w.put_u32(self.node_count as u32);
+        w.put_u32(self.entries.len() as u32);
+        let mut keys: Vec<&String> = self.entries.keys().collect();
+        keys.sort_unstable();
+        for key in keys {
+            w.put_str(key);
+            for &v in &self.entries[key] {
+                w.put_f32(v);
+            }
+        }
+        w.finish()
+    }
+
+    /// Deserializes a cache.
+    pub fn decode(data: Bytes) -> Result<Self> {
+        let mut r = Reader::open(data, CACHE_MAGIC)?;
+        let node_count = r.get_u32()? as usize;
+        let entry_count = r.get_u32()? as usize;
+        let mut entries = HashMap::with_capacity(entry_count);
+        for _ in 0..entry_count {
+            let key = r.get_str()?;
+            if node_count.checked_mul(4).is_none_or(|n| n > r.remaining()) {
+                return Err(StoreError::Corrupt("vector exceeds data".into()));
+            }
+            let mut v = Vec::with_capacity(node_count);
+            for _ in 0..node_count {
+                v.push(r.get_f32()?);
+            }
+            entries.insert(key, v);
+        }
+        if r.remaining() != 0 {
+            return Err(StoreError::Corrupt("trailing bytes after cache".into()));
+        }
+        Ok(Self {
+            node_count,
+            entries,
+        })
+    }
+
+    /// Writes the cache to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        std::fs::write(path, self.encode())?;
+        Ok(())
+    }
+
+    /// Loads a cache from a file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        let data = std::fs::read(path)?;
+        Self::decode(Bytes::from(data))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orex_core::{ObjectRankSystem, SystemConfig};
+    use orex_datagen::{generate_dblp, DblpConfig, TextConfig};
+    use orex_ir::{Okapi, Query};
+
+    fn system() -> ObjectRankSystem {
+        let d = generate_dblp(
+            "cache",
+            &DblpConfig {
+                papers: 300,
+                authors: 120,
+                conferences: 4,
+                years_per_conference: 4,
+                text: TextConfig {
+                    vocab_size: 800,
+                    topics: 6,
+                    ..TextConfig::default()
+                },
+                ..DblpConfig::default()
+            },
+        );
+        ObjectRankSystem::new(d.graph, d.ground_truth, SystemConfig::default())
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut cache = RankCache::new(3);
+        cache.insert("data", &[0.1, 0.2, 0.7]);
+        let v = cache.get("data").unwrap();
+        assert!((v[2] - 0.7).abs() < 1e-6);
+        assert!(cache.get("missing").is_none());
+        assert!(cache.contains("data"));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn precompute_covers_terms_and_global() {
+        let sys = system();
+        let matrix = TransitionMatrix::new(sys.transfer(), sys.initial_rates());
+        let terms = vec!["data".to_string(), "queri".to_string(), "zzzz".to_string()];
+        let cache = RankCache::precompute(
+            &matrix,
+            sys.index(),
+            &Okapi::default(),
+            &terms,
+            &sys.config().rank,
+        );
+        assert!(cache.contains(GLOBAL_KEY));
+        assert!(cache.contains("data"));
+        assert!(!cache.contains("zzzz"), "unmatched terms skipped");
+    }
+
+    #[test]
+    fn seed_reduces_iterations() {
+        let sys = system();
+        let matrix = TransitionMatrix::new(sys.transfer(), sys.initial_rates());
+        let terms = vec!["data".to_string(), "queri".to_string()];
+        let params = RankParams {
+            epsilon: 1e-10,
+            max_iterations: 1000,
+            ..sys.config().rank
+        };
+        let cache =
+            RankCache::precompute(&matrix, sys.index(), &Okapi::default(), &terms, &params);
+        // A multi-keyword query seeded from single-keyword vectors.
+        let qv = QueryVector::initial(&Query::parse("data query"), sys.index().analyzer());
+        let seed = cache.seed_for_query(&qv).unwrap();
+        let cold = object_rank2(&matrix, sys.index(), &qv, &Okapi::default(), &params, None)
+            .unwrap();
+        let warm = object_rank2(
+            &matrix,
+            sys.index(),
+            &qv,
+            &Okapi::default(),
+            &params,
+            Some(&seed),
+        )
+        .unwrap();
+        assert!(
+            warm.iterations < cold.iterations,
+            "seeded {} vs cold {}",
+            warm.iterations,
+            cold.iterations
+        );
+        // Same fixpoint.
+        for (a, b) in warm.scores.iter().zip(&cold.scores) {
+            assert!((a - b).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn seed_falls_back_to_global() {
+        let mut cache = RankCache::new(2);
+        cache.insert(GLOBAL_KEY, &[0.5, 0.5]);
+        let qv = QueryVector::from_weights([("unknown", 1.0)]);
+        let seed = cache.seed_for_query(&qv).unwrap();
+        assert_eq!(seed, vec![0.5, 0.5]);
+        let empty = RankCache::new(2);
+        assert!(empty.seed_for_query(&qv).is_none());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut cache = RankCache::new(4);
+        cache.insert("a", &[1.0, 0.0, 0.25, 0.5]);
+        cache.insert("b", &[0.0, 1.0, 0.0, 0.0]);
+        let decoded = RankCache::decode(cache.encode()).unwrap();
+        assert_eq!(decoded.node_count(), 4);
+        assert_eq!(decoded.len(), 2);
+        assert_eq!(decoded.get("a"), cache.get("a"));
+        assert_eq!(decoded.keys(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let mut cache = RankCache::new(2);
+        cache.insert("x", &[0.1, 0.9]);
+        let mut data = cache.encode().to_vec();
+        let mid = data.len() - 10;
+        data[mid] ^= 0x80;
+        assert!(RankCache::decode(Bytes::from(data)).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let mut cache = RankCache::new(2);
+        cache.insert("k", &[0.3, 0.7]);
+        let path = std::env::temp_dir().join("orex-rank-cache-test.bin");
+        cache.save(&path).unwrap();
+        let loaded = RankCache::load(&path).unwrap();
+        assert_eq!(loaded.get("k"), cache.get("k"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

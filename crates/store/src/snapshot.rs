@@ -1,0 +1,249 @@
+//! Graph snapshots: serialize a [`DataGraph`] (with its schema) and a
+//! [`TransferRates`] vector to a single binary blob / file.
+//!
+//! The paper's deployment keeps its datasets (Table 1) as databases; a
+//! library needs an equivalent so large generated datasets and trained
+//! rates survive process restarts. Loading re-runs conformance checks, so
+//! a snapshot can never smuggle in an invalid graph.
+
+use crate::codec::{Reader, Writer};
+use crate::error::{Result, StoreError};
+use bytes::Bytes;
+use orex_graph::{
+    Attribute, DataGraph, DataGraphBuilder, EdgeTypeId, NodeTypeId, SchemaGraph, TransferRates,
+};
+use std::path::Path;
+
+const GRAPH_MAGIC: &[u8; 8] = b"OREXGRPH";
+const RATES_MAGIC: &[u8; 8] = b"OREXRATE";
+
+/// Serializes a data graph (schema + nodes + edges) to bytes.
+pub fn encode_graph(graph: &DataGraph) -> Bytes {
+    let schema = graph.schema();
+    let mut w = Writer::with_magic(GRAPH_MAGIC);
+    // Schema.
+    w.put_u32(schema.node_type_count() as u32);
+    for nt in schema.node_types() {
+        w.put_str(schema.node_label(nt));
+    }
+    w.put_u32(schema.edge_type_count() as u32);
+    for et in schema.edge_types() {
+        let sig = schema.edge_type(et);
+        w.put_u32(sig.source.raw());
+        w.put_u32(sig.target.raw());
+        w.put_str(&sig.label);
+    }
+    // Nodes.
+    w.put_u32(graph.node_count() as u32);
+    for node in graph.nodes() {
+        let rec = graph.node(node);
+        w.put_u32(rec.node_type.raw());
+        w.put_u32(rec.attributes.len() as u32);
+        for attr in &rec.attributes {
+            w.put_str(&attr.name);
+            w.put_str(&attr.value);
+        }
+    }
+    // Edges.
+    w.put_u32(graph.edge_count() as u32);
+    for edge in graph.edges() {
+        let rec = graph.edge(edge);
+        w.put_u32(rec.source.raw());
+        w.put_u32(rec.target.raw());
+        w.put_u32(rec.edge_type.raw());
+    }
+    w.finish()
+}
+
+/// Reconstructs a data graph from bytes, re-validating conformance.
+pub fn decode_graph(data: Bytes) -> Result<DataGraph> {
+    let mut r = Reader::open(data, GRAPH_MAGIC)?;
+    let mut schema = SchemaGraph::new();
+    let node_types = r.get_u32()? as usize;
+    for _ in 0..node_types {
+        let label = r.get_str()?;
+        schema.add_node_type(label)?;
+    }
+    let edge_types = r.get_u32()? as usize;
+    for _ in 0..edge_types {
+        let src = NodeTypeId::new(r.get_u32()?);
+        let dst = NodeTypeId::new(r.get_u32()?);
+        let label = r.get_str()?;
+        schema.add_edge_type(src, dst, label)?;
+    }
+    let node_count = r.get_u32()? as usize;
+    let mut builder = DataGraphBuilder::with_capacity(schema, node_count, 0);
+    for _ in 0..node_count {
+        let nt = NodeTypeId::new(r.get_u32()?);
+        let attr_count = r.get_u32()? as usize;
+        if attr_count > r.remaining() {
+            return Err(StoreError::Corrupt("attribute count exceeds data".into()));
+        }
+        let mut attrs = Vec::with_capacity(attr_count);
+        for _ in 0..attr_count {
+            attrs.push(Attribute {
+                name: r.get_str()?,
+                value: r.get_str()?,
+            });
+        }
+        builder.add_node(nt, attrs)?;
+    }
+    let edge_count = r.get_u32()? as usize;
+    for _ in 0..edge_count {
+        let src = orex_graph::NodeId::new(r.get_u32()?);
+        let dst = orex_graph::NodeId::new(r.get_u32()?);
+        let et = EdgeTypeId::new(r.get_u32()?);
+        builder.add_edge(src, dst, et)?;
+    }
+    if r.remaining() != 0 {
+        return Err(StoreError::Corrupt(format!(
+            "{} trailing bytes after graph body",
+            r.remaining()
+        )));
+    }
+    Ok(builder.freeze())
+}
+
+/// Serializes a rates vector (dimension + dense values).
+pub fn encode_rates(rates: &TransferRates) -> Bytes {
+    let mut w = Writer::with_magic(RATES_MAGIC);
+    w.put_u32(rates.len() as u32);
+    for &r in rates.as_slice() {
+        w.put_f64(r);
+    }
+    w.finish()
+}
+
+/// Reconstructs a rates vector; `schema` fixes the expected dimension and
+/// validity constraints.
+pub fn decode_rates(data: Bytes, schema: &SchemaGraph) -> Result<TransferRates> {
+    let mut r = Reader::open(data, RATES_MAGIC)?;
+    let len = r.get_u32()? as usize;
+    let mut values = Vec::with_capacity(len);
+    for _ in 0..len {
+        values.push(r.get_f64()?);
+    }
+    if r.remaining() != 0 {
+        return Err(StoreError::Corrupt("trailing bytes after rates".into()));
+    }
+    let rates = TransferRates::from_dense(schema, values)?;
+    rates.validate(schema)?;
+    Ok(rates)
+}
+
+/// Writes a graph snapshot to a file.
+pub fn save_graph(graph: &DataGraph, path: impl AsRef<Path>) -> Result<()> {
+    std::fs::write(path, encode_graph(graph))?;
+    Ok(())
+}
+
+/// Loads a graph snapshot from a file.
+pub fn load_graph(path: impl AsRef<Path>) -> Result<DataGraph> {
+    let data = std::fs::read(path)?;
+    decode_graph(Bytes::from(data))
+}
+
+/// Writes a rates snapshot to a file.
+pub fn save_rates(rates: &TransferRates, path: impl AsRef<Path>) -> Result<()> {
+    std::fs::write(path, encode_rates(rates))?;
+    Ok(())
+}
+
+/// Loads a rates snapshot from a file.
+pub fn load_rates(path: impl AsRef<Path>, schema: &SchemaGraph) -> Result<TransferRates> {
+    let data = std::fs::read(path)?;
+    decode_rates(Bytes::from(data), schema)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orex_datagen::{generate_dblp, DblpConfig, TextConfig};
+
+    fn sample() -> (DataGraph, TransferRates) {
+        let d = generate_dblp(
+            "snap",
+            &DblpConfig {
+                papers: 80,
+                authors: 40,
+                conferences: 3,
+                years_per_conference: 3,
+                text: TextConfig {
+                    vocab_size: 500,
+                    topics: 4,
+                    ..TextConfig::default()
+                },
+                ..DblpConfig::default()
+            },
+        );
+        (d.graph, d.ground_truth)
+    }
+
+    #[test]
+    fn graph_roundtrip_preserves_everything() {
+        let (graph, _) = sample();
+        let decoded = decode_graph(encode_graph(&graph)).unwrap();
+        assert_eq!(decoded.node_count(), graph.node_count());
+        assert_eq!(decoded.edge_count(), graph.edge_count());
+        assert_eq!(
+            decoded.schema().node_type_count(),
+            graph.schema().node_type_count()
+        );
+        for node in graph.nodes() {
+            assert_eq!(decoded.node_text(node), graph.node_text(node));
+            assert_eq!(decoded.node_type(node), graph.node_type(node));
+        }
+        for edge in graph.edges() {
+            assert_eq!(decoded.edge(edge), graph.edge(edge));
+        }
+        decoded.verify_conformance().unwrap();
+    }
+
+    #[test]
+    fn rates_roundtrip() {
+        let (graph, rates) = sample();
+        let decoded = decode_rates(encode_rates(&rates), graph.schema()).unwrap();
+        assert_eq!(decoded, rates);
+    }
+
+    #[test]
+    fn rates_dimension_checked_against_schema() {
+        let (_graph, rates) = sample();
+        let mut other_schema = SchemaGraph::new();
+        let a = other_schema.add_node_type("A").unwrap();
+        other_schema.add_edge_type(a, a, "r").unwrap();
+        let err = decode_rates(encode_rates(&rates), &other_schema).unwrap_err();
+        assert!(matches!(err, StoreError::Graph(_)));
+    }
+
+    #[test]
+    fn corrupted_graph_rejected() {
+        let (graph, _) = sample();
+        let mut data = encode_graph(&graph).to_vec();
+        let mid = data.len() / 2;
+        data[mid] ^= 0xFF;
+        assert!(decode_graph(Bytes::from(data)).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let (graph, rates) = sample();
+        let dir = std::env::temp_dir().join("orex-store-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let gpath = dir.join("graph.orex");
+        let rpath = dir.join("rates.orex");
+        save_graph(&graph, &gpath).unwrap();
+        save_rates(&rates, &rpath).unwrap();
+        let g2 = load_graph(&gpath).unwrap();
+        let r2 = load_rates(&rpath, g2.schema()).unwrap();
+        assert_eq!(g2.edge_count(), graph.edge_count());
+        assert_eq!(r2, rates);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_graph("/nonexistent/path/graph.orex").unwrap_err();
+        assert!(matches!(err, StoreError::Io(_)));
+    }
+}

@@ -1,0 +1,93 @@
+//! Side-by-side comparison of the ranking models the paper discusses:
+//! PageRank (global, type-oblivious), HITS (hubs/authorities), original
+//! ObjectRank (uniform base set), modified multi-keyword ObjectRank
+//! (Equation 16), and ObjectRank2 (IR-weighted base set).
+//!
+//! This is the introduction's motivating contrast made runnable: only the
+//! query-specific, type-aware models surface the "highly cited paper that
+//! never contains the keyword" results.
+//!
+//! Run with: `cargo run --release --example compare_rankers`
+
+use orex::authority::{
+    base_subgraph, hits, modified_object_rank, object_rank, object_rank2, page_rank, top_k,
+    HitsParams, RankParams, TransitionMatrix,
+};
+use orex::datagen::Preset;
+use orex::ir::{Okapi, Query, QueryVector};
+use orex::{ObjectRankSystem, SystemConfig};
+
+fn main() {
+    let dataset = Preset::DblpTop.generate(0.05);
+    println!(
+        "dataset {} ({} nodes, {} edges)\n",
+        dataset.name,
+        dataset.graph.node_count(),
+        dataset.graph.edge_count()
+    );
+    let system = ObjectRankSystem::new(
+        dataset.graph,
+        dataset.ground_truth,
+        SystemConfig::default(),
+    );
+    let matrix = TransitionMatrix::new(system.transfer(), system.initial_rates());
+    let params = RankParams::default();
+    let query = Query::parse("data mining");
+    let qv = QueryVector::initial(&query, system.index().analyzer());
+    println!("query {query}\n");
+
+    let show = |name: &str, scores: &[f64]| {
+        println!("{name}:");
+        for (i, r) in top_k(scores, 5, 0.0).iter().enumerate() {
+            let node = orex::graph::NodeId::new(r.node);
+            let display: String = system.graph().node_display(node).chars().take(52).collect();
+            println!(
+                "  {}. [{:.5}] {:<12} {}",
+                i + 1,
+                r.score,
+                system.graph().node_label(node),
+                display
+            );
+        }
+        println!();
+    };
+
+    // Query-oblivious baselines.
+    let pr = page_rank(system.transfer(), &params);
+    show("PageRank (global, type-oblivious)", &pr.scores);
+
+    // HITS on the query's base subgraph.
+    let base_nodes: Vec<u32> = system
+        .index()
+        .base_set_scores(&qv, &Okapi::default())
+        .iter()
+        .map(|&(d, _)| d)
+        .collect();
+    let subgraph = base_subgraph(system.transfer(), &base_nodes);
+    let h = hits(system.transfer(), Some(&subgraph), &HitsParams::default());
+    show("HITS authorities (query base subgraph)", &h.authorities);
+
+    // Authority-flow family.
+    let or = object_rank(&matrix, system.index(), &qv, &params, None).unwrap();
+    show("ObjectRank (uniform base set)", &or.scores);
+
+    let mor = modified_object_rank(&matrix, system.index(), &qv, &params).unwrap();
+    show("modified ObjectRank (Eq. 16 product)", &mor.scores);
+
+    let or2 = object_rank2(
+        &matrix,
+        system.index(),
+        &qv,
+        &Okapi::default(),
+        &params,
+        None,
+    )
+    .unwrap();
+    show("ObjectRank2 (IR-weighted base set)", &or2.scores);
+
+    println!(
+        "note how the authority-flow rankers promote papers that are cited by\n\
+         keyword matches without containing the keywords themselves, while\n\
+         PageRank ignores the query and HITS stays inside the base subgraph."
+    );
+}

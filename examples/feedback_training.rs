@@ -1,0 +1,66 @@
+//! Relevance-feedback training of the authority transfer rates
+//! (Sections 5–6.1 of the paper).
+//!
+//! A simulated expert knows the ground-truth rates (the BHP04 DBLP
+//! vector); the system starts from uniform rates and learns them through
+//! structure-based reformulation — the paper's headline "no more manual
+//! rate tuning" capability (Figure 11's training curves).
+//!
+//! Run with: `cargo run --release --example feedback_training`
+
+use orex::datagen::Preset;
+use orex::eval::{run_survey, SurveyConfig};
+use orex::ir::Query;
+use orex::reformulate::ReformulateParams;
+use orex::{ObjectRankSystem, SystemConfig};
+
+fn main() {
+    let dataset = Preset::DblpTop.generate(0.05);
+    println!(
+        "dataset {} ({} nodes, {} edges)",
+        dataset.name,
+        dataset.graph.node_count(),
+        dataset.graph.edge_count()
+    );
+    let ground_truth = dataset.ground_truth.clone();
+    let system = ObjectRankSystem::new(
+        dataset.graph,
+        dataset.ground_truth,
+        SystemConfig::default(),
+    );
+
+    let queries: Vec<Query> = ["data", "query", "mining", "index"]
+        .iter()
+        .map(|k| Query::parse(k))
+        .collect();
+
+    println!("\ntraining rates via structure-only feedback (C_f = 0.5):");
+    let outcome = run_survey(
+        &system,
+        &ground_truth,
+        &queries,
+        &SurveyConfig {
+            iterations: 5,
+            reformulate: ReformulateParams::structure_only(0.5),
+            ..SurveyConfig::default()
+        },
+    );
+
+    println!("\niter  avg precision@10   cosine(learned rates, ground truth)");
+    for (i, (p, c)) in outcome
+        .avg_precision
+        .iter()
+        .zip(&outcome.avg_cosine)
+        .enumerate()
+    {
+        let label = if i == 0 { "init" } else { "ref " };
+        println!("{label}{i:>2}       {p:.3}                {c:.4}");
+    }
+
+    let start = outcome.avg_cosine.first().copied().unwrap_or(0.0);
+    let best = outcome.avg_cosine.iter().copied().fold(0.0, f64::max);
+    println!(
+        "\ncosine similarity improved from {start:.4} to a peak of {best:.4} — \
+         the system recovered the expert's rate structure from clicks alone."
+    );
+}

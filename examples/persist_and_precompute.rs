@@ -1,0 +1,110 @@
+//! Persistence and precomputation: snapshot a dataset, train rates, save
+//! them, and build the BHP04-style precomputed rank-vector cache that
+//! Section 6.2 prescribes for exploratory search over large graphs.
+//!
+//! Run with: `cargo run --release --example persist_and_precompute`
+
+use orex::authority::{object_rank2, TransitionMatrix};
+use orex::datagen::Preset;
+use orex::ir::{Okapi, Query, QueryVector};
+use orex::{ObjectRankSystem, QuerySession, SystemConfig};
+use orex_store::{load_graph, load_rates, save_graph, save_rates, RankCache};
+
+fn main() {
+    let dir = std::env::temp_dir().join("orex-example");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let graph_path = dir.join("dblp-top.graph");
+    let rates_path = dir.join("trained.rates");
+    let cache_path = dir.join("ranks.cache");
+
+    // --- build, train, persist -------------------------------------
+    let dataset = Preset::DblpTop.generate(0.05);
+    println!(
+        "generated {}: {} nodes, {} edges",
+        dataset.name,
+        dataset.graph.node_count(),
+        dataset.graph.edge_count()
+    );
+    save_graph(&dataset.graph, &graph_path).expect("save graph");
+    let system = ObjectRankSystem::new(
+        dataset.graph,
+        dataset.ground_truth,
+        SystemConfig::default(),
+    );
+
+    let mut session = QuerySession::start(&system, &Query::parse("data")).expect("query");
+    for _ in 0..2 {
+        let top = session.top_k(2);
+        let nodes: Vec<_> = top.iter().map(|r| r.node).collect();
+        session.feedback(&nodes).expect("feedback");
+    }
+    save_rates(session.rates(), &rates_path).expect("save rates");
+    println!(
+        "trained rates for {} rounds and saved them to {}",
+        session.round(),
+        rates_path.display()
+    );
+
+    // --- precompute the keyword cache -------------------------------
+    let matrix = TransitionMatrix::new(system.transfer(), session.rates());
+    let terms: Vec<String> = ["data", "query", "mining", "index", "graph"]
+        .iter()
+        .filter_map(|kw| system.index().analyzer().analyze_term(kw))
+        .collect();
+    let t = std::time::Instant::now();
+    let cache = RankCache::precompute(
+        &matrix,
+        system.index(),
+        &Okapi::default(),
+        &terms,
+        &system.config().rank,
+    );
+    cache.save(&cache_path).expect("save cache");
+    println!(
+        "precomputed {} rank vectors in {:.1?} -> {}",
+        cache.len(),
+        t.elapsed(),
+        cache_path.display()
+    );
+
+    // --- reload everything and serve a query from the cache ---------
+    let graph = load_graph(&graph_path).expect("load graph");
+    let rates = load_rates(&rates_path, graph.schema()).expect("load rates");
+    let system2 = ObjectRankSystem::new(
+        graph,
+        rates,
+        SystemConfig {
+            global_warm_start: false, // the cache replaces it
+            ..SystemConfig::default()
+        },
+    );
+    let cache = RankCache::load(&cache_path).expect("load cache");
+
+    let qv = QueryVector::initial(&Query::parse("data mining"), system2.index().analyzer());
+    let matrix2 = TransitionMatrix::new(system2.transfer(), system2.initial_rates());
+    let seed = cache.seed_for_query(&qv);
+    let cold = object_rank2(
+        &matrix2,
+        system2.index(),
+        &qv,
+        &Okapi::default(),
+        &system2.config().rank,
+        None,
+    )
+    .expect("cold run");
+    let warm = object_rank2(
+        &matrix2,
+        system2.index(),
+        &qv,
+        &Okapi::default(),
+        &system2.config().rank,
+        seed.as_deref(),
+    )
+    .expect("warm run");
+    println!(
+        "\nmulti-keyword query after reload: {} iterations cold vs {} seeded \
+         from the cache",
+        cold.iterations, warm.iterations
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

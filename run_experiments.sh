@@ -1,0 +1,14 @@
+#!/bin/bash
+# Regenerates every table and figure of the paper's evaluation.
+# Quality experiments run at scale 0.5 of Table 1 (survey fidelity),
+# performance experiments at full scale 1.0.
+set -x
+cargo run -p orex-bench --release --bin table1 -- --scale 1.0
+cargo run -p orex-bench --release --bin fig10  -- --scale 0.5
+cargo run -p orex-bench --release --bin fig11  -- --scale 0.5
+cargo run -p orex-bench --release --bin fig12  -- --scale 0.5
+cargo run -p orex-bench --release --bin fig13  -- --scale 0.5
+cargo run -p orex-bench --release --bin table2 -- --scale 0.5
+cargo run -p orex-bench --release --bin fig14_17 -- --scale 1.0 --queries 3
+cargo run -p orex-bench --release --bin table3 -- --scale 0.25
+cargo run -p orex-bench --release --bin ablation -- --scale 0.25
