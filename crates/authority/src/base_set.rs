@@ -67,7 +67,7 @@ impl BaseSet {
             }
         }
         let total: f64 = merged.iter().map(|&(_, w)| w).sum();
-        if !(total > 0.0) || !total.is_finite() {
+        if total <= 0.0 || !total.is_finite() {
             return Err(BaseSetError::DegenerateWeights);
         }
         for (_, w) in &mut merged {
@@ -119,7 +119,9 @@ impl BaseSet {
 
     /// True if `node` is in the base set.
     pub fn contains(&self, node: u32) -> bool {
-        self.entries.binary_search_by_key(&node, |&(n, _)| n).is_ok()
+        self.entries
+            .binary_search_by_key(&node, |&(n, _)| n)
+            .is_ok()
     }
 
     /// The node ids of the base set, sorted.
@@ -178,10 +180,7 @@ mod tests {
     #[test]
     fn empty_rejected() {
         assert_eq!(BaseSet::weighted([]), Err(BaseSetError::Empty));
-        assert_eq!(
-            BaseSet::weighted([(1, 0.0)]),
-            Err(BaseSetError::Empty)
-        );
+        assert_eq!(BaseSet::weighted([(1, 0.0)]), Err(BaseSetError::Empty));
     }
 
     #[test]

@@ -14,8 +14,8 @@
 
 use crate::base_set::{BaseSet, BaseSetError};
 use crate::power::{power_iteration, RankParams, RankResult, TransitionMatrix};
-use orex_ir::{InvertedIndex, QueryVector, Scorer};
 use orex_graph::{Direction, TransferGraph};
+use orex_ir::{InvertedIndex, QueryVector, Scorer};
 use std::fmt;
 
 /// Errors raised by the high-level rankers.

@@ -198,8 +198,12 @@ pub fn power_iteration(
     let mut converged = false;
     let mut iterations = 0;
 
+    let telemetry = orex_telemetry::global();
+    let iter_us = telemetry.histogram("authority.power.iteration_us");
+
     for _ in 0..params.max_iterations {
         iterations += 1;
+        let iter_start = iter_us.is_recording().then(std::time::Instant::now);
         if threads <= 1 {
             matrix.pull_range(&r, &mut r_new, 0..n, d, &jump);
         } else {
@@ -216,18 +220,28 @@ pub fn power_iteration(
                 }
             });
         }
-        let residual: f64 = r_new
-            .iter()
-            .zip(&r)
-            .map(|(&a, &b)| (a - b).abs())
-            .sum();
+        let residual: f64 = r_new.iter().zip(&r).map(|(&a, &b)| (a - b).abs()).sum();
         residuals.push(residual);
+        if let Some(start) = iter_start {
+            iter_us.record(start.elapsed().as_secs_f64() * 1e6);
+        }
         std::mem::swap(&mut r, &mut r_new);
         if residual < params.epsilon {
             converged = true;
             break;
         }
     }
+
+    telemetry.counter("authority.power.runs").incr();
+    telemetry
+        .counter("authority.power.iterations")
+        .add(iterations as u64);
+    if converged {
+        telemetry.counter("authority.power.converged").incr();
+    }
+    telemetry
+        .gauge("authority.power.last_residual")
+        .set(residuals.last().copied().unwrap_or(0.0));
 
     RankResult {
         scores: r,
@@ -319,8 +333,7 @@ mod tests {
             for (src, e) in tg.in_transfer(orex_graph::NodeId::from_usize(i)) {
                 acc += w[e] * res.scores[src.index()];
             }
-            let expect = params.damping * acc
-                + (1.0 - params.damping) * base.probability(i as u32);
+            let expect = params.damping * acc + (1.0 - params.damping) * base.probability(i as u32);
             assert!((res.scores[i] - expect).abs() < 1e-9);
         }
     }
@@ -399,7 +412,10 @@ mod tests {
         let base = BaseSet::uniform([0]).unwrap();
         let res = power_iteration(&m, &base, &tight(), None);
         for pair in res.residuals.windows(2) {
-            assert!(pair[1] <= pair[0] * 1.01, "residuals not decreasing: {pair:?}");
+            assert!(
+                pair[1] <= pair[0] * 1.01,
+                "residuals not decreasing: {pair:?}"
+            );
         }
     }
 

@@ -72,9 +72,7 @@ impl TopicRanks {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use orex_graph::{
-        DataGraphBuilder, SchemaGraph, TransferGraph, TransferRates, TransferTypeId,
-    };
+    use orex_graph::{DataGraphBuilder, SchemaGraph, TransferGraph, TransferRates, TransferTypeId};
 
     /// Two communities (0-2 and 3-5) with internal links only.
     fn communities() -> (TransferGraph, TransferRates) {

@@ -128,7 +128,9 @@ mod tests {
         let mut x = 0x9E3779B97F4A7C15u64;
         let scores: Vec<f64> = (0..500)
             .map(|_| {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((x >> 33) % 97) as f64 / 97.0
             })
             .collect();
@@ -142,7 +144,11 @@ mod tests {
                 score: s,
             })
             .collect();
-        full.sort_unstable_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.node.cmp(&b.node)));
+        full.sort_unstable_by(|a, b| {
+            b.score
+                .total_cmp(&a.score)
+                .then_with(|| a.node.cmp(&b.node))
+        });
         full.truncate(25);
         assert_eq!(top, full);
     }

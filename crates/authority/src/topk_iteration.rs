@@ -73,6 +73,11 @@ pub fn power_iteration_topk(
     let mut iterations = 0usize;
     let mut residuals = Vec::new();
 
+    let telemetry = orex_telemetry::global();
+    telemetry.counter("authority.topk.runs").incr();
+    let iterations_metric = telemetry.counter("authority.topk.iterations");
+    let early_metric = telemetry.counter("authority.topk.early_terminated");
+
     while iterations < params.max_iterations {
         let step = power_iteration(
             matrix,
@@ -100,6 +105,7 @@ pub fn power_iteration_topk(
             // Fully converged the ordinary way.
             let scores = scores.expect("at least one iteration ran");
             let top = top_k(&scores, topk.k, 0.0);
+            iterations_metric.add(iterations as u64);
             return TopKResult {
                 result: RankResult {
                     scores,
@@ -114,6 +120,8 @@ pub fn power_iteration_topk(
         if stable >= topk.stable_iterations && residual < topk.max_residual {
             let scores = scores.expect("at least one iteration ran");
             let top = top_k(&scores, topk.k, 0.0);
+            iterations_metric.add(iterations as u64);
+            early_metric.incr();
             return TopKResult {
                 result: RankResult {
                     scores,
@@ -129,6 +137,7 @@ pub fn power_iteration_topk(
 
     let scores = scores.unwrap_or_else(|| base.to_dense(matrix.node_count()));
     let top = top_k(&scores, topk.k, 0.0);
+    iterations_metric.add(iterations as u64);
     TopKResult {
         result: RankResult {
             scores,
@@ -190,7 +199,10 @@ mod tests {
             full.iterations
         );
         // Same top-k as full convergence.
-        let full_top: Vec<u32> = top_k(&full.scores, 10, 0.0).iter().map(|r| r.node).collect();
+        let full_top: Vec<u32> = top_k(&full.scores, 10, 0.0)
+            .iter()
+            .map(|r| r.node)
+            .collect();
         let early_top: Vec<u32> = early.top.iter().map(|r| r.node).collect();
         assert_eq!(full_top, early_top);
     }

@@ -2,15 +2,19 @@
 //! identities, damping behaviour, top-k consistency, HITS invariants.
 
 use orex_authority::{
-    base_subgraph, hits, power_iteration, top_k, BaseSet, HitsParams, RankParams,
-    TransitionMatrix,
+    base_subgraph, hits, power_iteration, top_k, BaseSet, HitsParams, RankParams, TransitionMatrix,
 };
 use orex_graph::{
     DataGraphBuilder, NodeId, SchemaGraph, TransferGraph, TransferRates, TransferTypeId,
 };
 use proptest::prelude::*;
 
-fn build_graph(n: usize, edges: &[(u32, u32)], fwd: f64, bwd: f64) -> (TransferGraph, TransferRates) {
+fn build_graph(
+    n: usize,
+    edges: &[(u32, u32)],
+    fwd: f64,
+    bwd: f64,
+) -> (TransferGraph, TransferRates) {
     let mut schema = SchemaGraph::new();
     let p = schema.add_node_type("P").unwrap();
     let r = schema.add_edge_type(p, p, "r").unwrap();

@@ -8,8 +8,10 @@ use orex_ir::{Analyzer, Okapi, Query, QueryVector, TfIdf};
 use std::hint::black_box;
 
 fn bench_ir(c: &mut Criterion) {
-    let mut config = SystemConfig::default();
-    config.global_warm_start = false;
+    let config = SystemConfig {
+        global_warm_start: false,
+        ..SystemConfig::default()
+    };
     let dataset = Preset::DblpTop.generate(0.2);
     let system = orex_core::ObjectRankSystem::new(dataset.graph, dataset.ground_truth, config);
     let analyzer = Analyzer::new();
@@ -50,9 +52,7 @@ fn bench_ir(c: &mut Criterion) {
         })
     });
     group.bench_function("tfidf_four_keywords", |b| {
-        b.iter(|| {
-            black_box(system.index().base_set_scores(black_box(&multi), &TfIdf)).len()
-        })
+        b.iter(|| black_box(system.index().base_set_scores(black_box(&multi), &TfIdf)).len())
     });
     group.finish();
 }

@@ -10,8 +10,10 @@ use orex_ir::{Query, QueryVector};
 use std::hint::black_box;
 
 fn bench_power_iteration(c: &mut Criterion) {
-    let mut config = SystemConfig::default();
-    config.global_warm_start = false;
+    let config = SystemConfig {
+        global_warm_start: false,
+        ..SystemConfig::default()
+    };
     let dataset = Preset::DblpTop.generate(0.2);
     let system = orex_core::ObjectRankSystem::new(dataset.graph, dataset.ground_truth, config);
     let matrix = TransitionMatrix::new(system.transfer(), system.initial_rates());
@@ -77,28 +79,24 @@ fn bench_power_iteration(c: &mut Criterion) {
     });
 
     for damping in [0.5, 0.85, 0.95] {
-        group.bench_with_input(
-            BenchmarkId::new("damping", damping),
-            &damping,
-            |b, &d| {
-                let p = RankParams {
-                    damping: d,
-                    ..RankParams::default()
-                };
-                b.iter(|| {
-                    object_rank2(
-                        &matrix,
-                        system.index(),
-                        black_box(&qv),
-                        &system.config().okapi,
-                        &p,
-                        None,
-                    )
-                    .unwrap()
-                    .iterations
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("damping", damping), &damping, |b, &d| {
+            let p = RankParams {
+                damping: d,
+                ..RankParams::default()
+            };
+            b.iter(|| {
+                object_rank2(
+                    &matrix,
+                    system.index(),
+                    black_box(&qv),
+                    &system.config().okapi,
+                    &p,
+                    None,
+                )
+                .unwrap()
+                .iterations
+            })
+        });
     }
     group.finish();
 }

@@ -267,7 +267,10 @@ fn main() {
         );
         full_iters += full.iterations as f64;
         early_iters += early.result.iterations as f64;
-        let full_top: Vec<u32> = top_k(&full.scores, 10, 0.0).iter().map(|r| r.node).collect();
+        let full_top: Vec<u32> = top_k(&full.scores, 10, 0.0)
+            .iter()
+            .map(|r| r.node)
+            .collect();
         let early_top: Vec<u32> = early.top.iter().map(|r| r.node).collect();
         if full_top == early_top {
             agree += 1;

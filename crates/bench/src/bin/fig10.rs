@@ -21,7 +21,11 @@ fn main() {
     let queries = pick_queries(&system, &keywords, 5);
     eprintln!(
         "queries: {}",
-        queries.iter().map(|q| q.to_string()).collect::<Vec<_>>().join(" ")
+        queries
+            .iter()
+            .map(|q| q.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
     );
 
     let settings: [(&str, ReformulateParams); 3] = [

@@ -18,8 +18,12 @@ use orex_datagen::Preset;
 
 fn main() {
     let scale = scale_arg(1.0);
-    let rounds: usize = arg_value("rounds").and_then(|v| v.parse().ok()).unwrap_or(4);
-    let n_queries: usize = arg_value("queries").and_then(|v| v.parse().ok()).unwrap_or(5);
+    let rounds: usize = arg_value("rounds")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let n_queries: usize = arg_value("queries")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
     let presets: Vec<Preset> = match arg_value("dataset") {
         Some(name) => vec![Preset::parse(&name).expect("unknown dataset name")],
         None => Preset::ALL.to_vec(),

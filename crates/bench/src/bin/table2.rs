@@ -23,7 +23,10 @@ fn main() {
 
     let results = compare_rankers(&system, &gt, &queries, 10, 15);
     println!("Table 2: ObjectRank2 vs ObjectRank (relevant results in top 10)\n");
-    println!("{:<28} {:>12} {:>12}", "DBLP keyword query", "ObjectRank2", "ObjectRank");
+    println!(
+        "{:<28} {:>12} {:>12}",
+        "DBLP keyword query", "ObjectRank2", "ObjectRank"
+    );
     let mut sum2 = 0usize;
     let mut sum1 = 0usize;
     let mut rows = Vec::new();

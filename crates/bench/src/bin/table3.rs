@@ -10,7 +10,9 @@ use orex_datagen::Preset;
 
 fn main() {
     let scale = scale_arg(0.1);
-    let rounds: usize = arg_value("rounds").and_then(|v| v.parse().ok()).unwrap_or(5);
+    let rounds: usize = arg_value("rounds")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
     println!("Table 3: Average Explaining ObjectRank2 Iterations (scale {scale})\n");
     println!(
         "{:<14} {}",

@@ -104,16 +104,61 @@ pub fn pick_multi_queries(system: &ObjectRankSystem, keywords: &[String], n: usi
 /// Writes a JSON record under `results/<name>.json` (relative to the
 /// working directory), creating the directory as needed. Used so
 /// EXPERIMENTS.md numbers are regenerable artifacts, not hand-copies.
+///
+/// Every record gets a `"telemetry"` key holding the global recorder's
+/// snapshot at write time, so the engine-level counters behind each
+/// figure (iterations, cache hit rates, per-stage timings) land in the
+/// same artifact as the figure's numbers.
 pub fn write_json(name: &str, value: &serde_json::Value) {
     let dir = std::path::Path::new("results");
     if std::fs::create_dir_all(dir).is_err() {
         return;
     }
+    let mut value = value.clone();
+    if let Some(map) = value.as_object_mut() {
+        map.insert(
+            "telemetry".to_string(),
+            telemetry_json(&orex_telemetry::global().snapshot()),
+        );
+    }
     let path = dir.join(format!("{name}.json"));
     if let Ok(mut f) = std::fs::File::create(&path) {
-        let _ = writeln!(f, "{}", serde_json::to_string_pretty(value).unwrap());
+        let _ = writeln!(f, "{}", serde_json::to_string_pretty(&value).unwrap());
         eprintln!("wrote {}", path.display());
     }
+}
+
+/// Converts a telemetry snapshot into a JSON value (the telemetry crate
+/// is dependency-free, so the conversion lives on the bench side).
+pub fn telemetry_json(snapshot: &orex_telemetry::Snapshot) -> serde_json::Value {
+    let mut counters = serde_json::Map::new();
+    for (name, &v) in snapshot.counters.iter() {
+        counters.insert(name.clone(), serde_json::Value::from(v));
+    }
+    let mut gauges = serde_json::Map::new();
+    for (name, &v) in snapshot.gauges.iter() {
+        gauges.insert(name.clone(), serde_json::Value::from(v));
+    }
+    let mut histograms = serde_json::Map::new();
+    for (name, h) in snapshot.histograms.iter() {
+        histograms.insert(
+            name.clone(),
+            serde_json::json!({
+                "count": h.count,
+                "sum": h.sum,
+                "min": h.min,
+                "max": h.max,
+                "mean": h.mean,
+                "p50": h.p50,
+                "p95": h.p95,
+            }),
+        );
+    }
+    serde_json::json!({
+        "counters": serde_json::Value::Object(counters),
+        "gauges": serde_json::Value::Object(gauges),
+        "histograms": serde_json::Value::Object(histograms),
+    })
 }
 
 /// Formats a duration in seconds with 4 significant digits.

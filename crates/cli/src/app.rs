@@ -72,8 +72,7 @@ impl App {
             },
             Command::Load { path } => match orex_store::load_graph(&path) {
                 Ok(graph) => {
-                    let rates =
-                        orex_graph::TransferRates::normalized_uniform(graph.schema(), 0.3);
+                    let rates = orex_graph::TransferRates::normalized_uniform(graph.schema(), 0.3);
                     let system = Box::leak(Box::new(ObjectRankSystem::new(
                         graph,
                         rates,
@@ -104,8 +103,7 @@ impl App {
                         writeln!(out, "import produced an empty graph")?;
                         return Ok(false);
                     }
-                    let rates =
-                        orex_graph::TransferRates::normalized_uniform(graph.schema(), 0.3);
+                    let rates = orex_graph::TransferRates::normalized_uniform(graph.schema(), 0.3);
                     let system = Box::leak(Box::new(ObjectRankSystem::new(
                         graph,
                         rates,
@@ -203,9 +201,7 @@ impl App {
                 };
                 match Self::node_at_rank(session, rank) {
                     Some(node) => match session.explain(node) {
-                        Ok(expl) => {
-                            writeln!(out, "{}", to_text(&expl, system.graph(), paths))?
-                        }
+                        Ok(expl) => writeln!(out, "{}", to_text(&expl, system.graph(), paths))?,
                         Err(e) => writeln!(out, "explain failed: {e}")?,
                     },
                     None => writeln!(out, "no result at rank {rank}")?,
@@ -257,9 +253,7 @@ impl App {
             }
             Command::Set { param, value } => {
                 match param.as_str() {
-                    "cf" => {
-                        self.reformulate.structure.rate_factor = value
-                    }
+                    "cf" => self.reformulate.structure.rate_factor = value,
                     "ce" => {
                         self.reformulate.content = ContentParams {
                             expansion_factor: value,
@@ -316,14 +310,18 @@ impl App {
                 }
                 None => writeln!(out, "no dataset loaded")?,
             },
+            Command::Stats => {
+                writeln!(
+                    out,
+                    "{}",
+                    orex_telemetry::global().snapshot().to_json_pretty()
+                )?;
+            }
         }
         Ok(false)
     }
 
-    fn node_at_rank(
-        session: &QuerySession<'static>,
-        rank: usize,
-    ) -> Option<orex_graph::NodeId> {
+    fn node_at_rank(session: &QuerySession<'static>, rank: usize) -> Option<orex_graph::NodeId> {
         session.top_k(rank).get(rank - 1).map(|r| r.node)
     }
 
@@ -333,7 +331,14 @@ impl App {
         };
         for (i, r) in session.top_k(self.top_k).iter().enumerate() {
             let display: String = r.display.chars().take(60).collect();
-            writeln!(out, "{:>3}. [{:.5}] {:<14} {}", i + 1, r.score, r.label, display)?;
+            writeln!(
+                out,
+                "{:>3}. [{:.5}] {:<14} {}",
+                i + 1,
+                r.score,
+                r.label,
+                display
+            )?;
         }
         let _ = system;
         Ok(())
@@ -381,6 +386,20 @@ mod tests {
         assert!(run(&mut app, "feedback 1").contains("no active"));
         assert!(run(&mut app, "info").contains("no dataset"));
         assert!(run(&mut app, "save /tmp/x.orex").contains("no dataset"));
+    }
+
+    #[test]
+    fn stats_dumps_telemetry_json() {
+        let mut app = App::new();
+        // Works with no dataset loaded, and after a query it reflects the
+        // engines' recorded metrics.
+        let o = run(&mut app, "stats");
+        assert!(o.contains("\"counters\""), "{o}");
+        run(&mut app, "generate dblp-top 0.01");
+        run(&mut app, "query data");
+        let o = run(&mut app, "stats");
+        assert!(o.contains("authority.power.iterations"), "{o}");
+        assert!(o.contains("session.rank_us"), "{o}");
     }
 
     #[test]

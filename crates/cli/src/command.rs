@@ -85,6 +85,8 @@ pub enum Command {
     },
     /// `info` — dataset statistics.
     Info,
+    /// `stats` — dump the runtime telemetry snapshot as JSON.
+    Stats,
     /// `help`.
     Help,
     /// `quit` / `exit`.
@@ -172,7 +174,9 @@ pub fn parse(line: &str) -> Result<Option<Command>, ParseError> {
                 .parse::<usize>()
                 .map_err(|_| err("rank must be a positive integer"))?;
             let paths = match rest.get(1) {
-                Some(s) => s.parse().map_err(|_| err(format!("bad path count '{s}'")))?,
+                Some(s) => s
+                    .parse()
+                    .map_err(|_| err(format!("bad path count '{s}'")))?,
                 None => 3,
             };
             if rank == 0 {
@@ -197,9 +201,7 @@ pub fn parse(line: &str) -> Result<Option<Command>, ParseError> {
             }
             let mut ranks = Vec::with_capacity(rest.len());
             for s in &rest {
-                let r: usize = s
-                    .parse()
-                    .map_err(|_| err(format!("bad rank '{s}'")))?;
+                let r: usize = s.parse().map_err(|_| err(format!("bad rank '{s}'")))?;
                 if r == 0 {
                     return Err(err("ranks are 1-based"));
                 }
@@ -224,6 +226,7 @@ pub fn parse(line: &str) -> Result<Option<Command>, ParseError> {
         }
         "rates" => Command::Rates,
         "info" => Command::Info,
+        "stats" => Command::Stats,
         "help" | "?" => Command::Help,
         "quit" | "exit" => Command::Quit,
         other => return Err(err(format!("unknown command '{other}' (try 'help')"))),
@@ -253,6 +256,7 @@ commands:
   set <cf|ce|cd|k> <value>    tune reformulation parameters
   rates                       show the authority transfer rates
   info                        dataset statistics
+  stats                       runtime telemetry snapshot (JSON)
   quit";
 
 #[cfg(test)]

@@ -121,10 +121,15 @@ impl<'s> QuerySession<'s> {
         query: &Query,
         rates: TransferRates,
     ) -> Result<Self, SessionError> {
+        let telemetry = orex_telemetry::global();
+        telemetry.counter("session.queries").incr();
+        let analysis = telemetry.span("session.query_analysis_us");
         let qv = QueryVector::initial(query, system.index().analyzer());
+        drop(analysis);
         let weights = system.transfer().weights(&rates);
         let matrix = TransitionMatrix::from_edge_weights(system.transfer(), weights);
         let start = Instant::now();
+        let rank_span = telemetry.span("session.rank_us");
         let result = object_rank2(
             &matrix,
             system.index(),
@@ -133,6 +138,7 @@ impl<'s> QuerySession<'s> {
             &system.config().rank,
             system.global_scores(),
         )?;
+        drop(rank_span);
         let stats = StepStats {
             rank_time: start.elapsed(),
             rank_iterations: result.iterations,
@@ -267,6 +273,7 @@ impl<'s> QuerySession<'s> {
     }
 
     fn current_base_set(&self) -> Result<orex_authority::BaseSet, SessionError> {
+        let _span = orex_telemetry::global().span("session.ir_lookup_us");
         orex_authority::BaseSet::weighted(
             self.system
                 .index()
@@ -292,6 +299,8 @@ impl<'s> QuerySession<'s> {
         if objects.is_empty() {
             return Err(SessionError::NoFeedbackObjects);
         }
+        let telemetry = orex_telemetry::global();
+        telemetry.counter("session.feedback_rounds").incr();
 
         // Stage 1 + 2: explain every feedback object.
         let base = self.current_base_set()?;
@@ -333,6 +342,7 @@ impl<'s> QuerySession<'s> {
         let matrix =
             TransitionMatrix::from_edge_weights(self.system.transfer(), new_weights.clone());
         let t = Instant::now();
+        let rank_span = telemetry.span("session.rank_us");
         let result = object_rank2(
             &matrix,
             self.system.index(),
@@ -341,6 +351,7 @@ impl<'s> QuerySession<'s> {
             &self.system.config().rank,
             Some(&self.scores),
         )?;
+        drop(rank_span);
         let stats = StepStats {
             rank_time: t.elapsed(),
             rank_iterations: result.iterations,
@@ -430,7 +441,7 @@ mod tests {
         assert!(stats.rank_iterations > 0);
         assert!(stats.explain_iterations > 0.0);
         assert_ne!(session.rates(), &before_rates, "rates should train");
-        assert!(session.query_vector().len() >= 1);
+        assert!(!session.query_vector().is_empty());
     }
 
     #[test]
@@ -481,8 +492,12 @@ mod tests {
         assert!(!summary.is_empty());
         for m in &summary {
             assert!(m.count >= 1);
-            assert!(m.signature.contains("Paper") || m.signature.contains("Year")
-                || m.signature.contains("Author") || m.signature.contains("Conference"));
+            assert!(
+                m.signature.contains("Paper")
+                    || m.signature.contains("Year")
+                    || m.signature.contains("Author")
+                    || m.signature.contains("Conference")
+            );
         }
     }
 

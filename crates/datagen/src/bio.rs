@@ -11,9 +11,7 @@
 
 use crate::dblp::Dataset;
 use crate::text::{synthetic_word, TextConfig, TextGen, DOMAIN_KEYWORDS};
-use orex_graph::{
-    DataGraphBuilder, EdgeTypeId, SchemaGraph, TransferRates, TransferTypeId,
-};
+use orex_graph::{DataGraphBuilder, EdgeTypeId, SchemaGraph, TransferRates, TransferTypeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -42,7 +40,9 @@ pub fn bio_schema() -> (SchemaGraph, BioEdgeTypes) {
     let nucleotide = schema.add_node_type("EntrezNucleotide").unwrap();
     let pubmed = schema.add_node_type("PubMed").unwrap();
     let encodes = schema.add_edge_type(gene, protein, "encodes").unwrap();
-    let transcribes = schema.add_edge_type(gene, nucleotide, "transcribes").unwrap();
+    let transcribes = schema
+        .add_edge_type(gene, nucleotide, "transcribes")
+        .unwrap();
     let gene_pubmed = schema
         .add_edge_type(gene, pubmed, "genePubMedAssociates")
         .unwrap();
@@ -77,13 +77,19 @@ pub fn bio_ground_truth(schema: &SchemaGraph, et: &BioEdgeTypes) -> TransferRate
     r.set(TransferTypeId::forward(et.encodes), 0.3).unwrap();
     r.set(TransferTypeId::backward(et.encodes), 0.3).unwrap();
     r.set(TransferTypeId::forward(et.transcribes), 0.2).unwrap();
-    r.set(TransferTypeId::backward(et.transcribes), 0.1).unwrap();
+    r.set(TransferTypeId::backward(et.transcribes), 0.1)
+        .unwrap();
     r.set(TransferTypeId::forward(et.gene_pubmed), 0.3).unwrap();
-    r.set(TransferTypeId::backward(et.gene_pubmed), 0.4).unwrap();
-    r.set(TransferTypeId::forward(et.protein_pubmed), 0.2).unwrap();
-    r.set(TransferTypeId::backward(et.protein_pubmed), 0.3).unwrap();
-    r.set(TransferTypeId::forward(et.nucleotide_pubmed), 0.2).unwrap();
-    r.set(TransferTypeId::backward(et.nucleotide_pubmed), 0.2).unwrap();
+    r.set(TransferTypeId::backward(et.gene_pubmed), 0.4)
+        .unwrap();
+    r.set(TransferTypeId::forward(et.protein_pubmed), 0.2)
+        .unwrap();
+    r.set(TransferTypeId::backward(et.protein_pubmed), 0.3)
+        .unwrap();
+    r.set(TransferTypeId::forward(et.nucleotide_pubmed), 0.2)
+        .unwrap();
+    r.set(TransferTypeId::backward(et.nucleotide_pubmed), 0.2)
+        .unwrap();
     r.set(TransferTypeId::forward(et.interacts), 0.2).unwrap();
     r.set(TransferTypeId::backward(et.interacts), 0.0).unwrap();
     r.validate(schema).expect("bio ground truth valid");
@@ -169,7 +175,10 @@ pub fn generate_bio(name: &str, config: &BioConfig) -> Dataset {
         let symbol = format!("gene{}", synthetic_word(i));
         let desc = text.document(topic, 6, config.text.topic_mix, &mut rng);
         let g = b
-            .add_node_with(gene_t, &[("Symbol", symbol.as_str()), ("Description", desc.as_str())])
+            .add_node_with(
+                gene_t,
+                &[("Symbol", symbol.as_str()), ("Description", desc.as_str())],
+            )
             .unwrap();
         genes.push(g);
         gene_topic.push(topic);

@@ -122,8 +122,10 @@ pub fn dblp_ground_truth(schema: &SchemaGraph, et: &DblpEdgeTypes) -> TransferRa
     r.set(TransferTypeId::backward(et.cites), 0.0).unwrap();
     r.set(TransferTypeId::forward(et.by), 0.2).unwrap();
     r.set(TransferTypeId::backward(et.by), 0.2).unwrap();
-    r.set(TransferTypeId::forward(et.has_instance), 0.3).unwrap();
-    r.set(TransferTypeId::backward(et.has_instance), 0.3).unwrap();
+    r.set(TransferTypeId::forward(et.has_instance), 0.3)
+        .unwrap();
+    r.set(TransferTypeId::backward(et.has_instance), 0.3)
+        .unwrap();
     r.set(TransferTypeId::forward(et.contains), 0.3).unwrap();
     r.set(TransferTypeId::backward(et.contains), 0.1).unwrap();
     r.validate(schema).expect("ground truth rates valid");
@@ -163,9 +165,8 @@ pub fn generate_dblp(name: &str, config: &DblpConfig) -> Dataset {
     let year_t = schema.node_type_by_label("Year").unwrap();
     let author_t = schema.node_type_by_label("Author").unwrap();
 
-    let est_nodes = config.papers
-        + config.authors
-        + config.conferences * (1 + config.years_per_conference);
+    let est_nodes =
+        config.papers + config.authors + config.conferences * (1 + config.years_per_conference);
     let est_edges = config.papers
         * (1 + config.avg_citations as usize + config.avg_authors_per_paper as usize)
         + config.conferences * config.years_per_conference;
@@ -223,7 +224,8 @@ pub fn generate_dblp(name: &str, config: &DblpConfig) -> Dataset {
                 crate::text::synthetic_word(i * 2 + 1),
                 crate::text::synthetic_word(i * 3 + 7)
             );
-            b.add_node_with(author_t, &[("Name", name.as_str())]).unwrap()
+            b.add_node_with(author_t, &[("Name", name.as_str())])
+                .unwrap()
         })
         .collect();
 
@@ -387,9 +389,7 @@ mod tests {
                 let cites_in = d
                     .graph
                     .in_edges(node)
-                    .filter(|&(e, _)| {
-                        schema.edge_type(d.graph.edge(e).edge_type).label == "cites"
-                    })
+                    .filter(|&(e, _)| schema.edge_type(d.graph.edge(e).edge_type).label == "cites")
                     .count();
                 indegs.push(cites_in);
             }

@@ -20,10 +20,31 @@ use rand::Rng;
 /// Domain keywords injected at popular vocabulary ranks; experiments use
 /// them as query terms (they mirror the paper's survey queries, Table 2).
 pub const DOMAIN_KEYWORDS: &[&str] = &[
-    "data", "query", "olap", "cube", "xml", "mining", "index", "search", "ranking",
-    "web", "stream", "join", "graph", "cache", "storage", "transaction", "optimization",
-    "proximity", "keyword", "warehouse", "aggregation", "clustering", "classification",
-    "schema", "relational",
+    "data",
+    "query",
+    "olap",
+    "cube",
+    "xml",
+    "mining",
+    "index",
+    "search",
+    "ranking",
+    "web",
+    "stream",
+    "join",
+    "graph",
+    "cache",
+    "storage",
+    "transaction",
+    "optimization",
+    "proximity",
+    "keyword",
+    "warehouse",
+    "aggregation",
+    "clustering",
+    "classification",
+    "schema",
+    "relational",
 ];
 
 /// A Zipf distribution over ranks `0..n` with exponent `s`, sampled by
@@ -73,10 +94,10 @@ impl Zipf {
 /// Generates a pronounceable synthetic word for an index, unique per index.
 pub fn synthetic_word(index: usize) -> String {
     const SYLLABLES: &[&str] = &[
-        "ba", "be", "bi", "bo", "bu", "da", "de", "di", "do", "du", "ka", "ke", "ki", "ko",
-        "ku", "la", "le", "li", "lo", "lu", "ma", "me", "mi", "mo", "mu", "na", "ne", "ni",
-        "no", "nu", "ra", "re", "ri", "ro", "ru", "sa", "se", "si", "so", "su", "ta", "te",
-        "ti", "to", "tu", "va", "ve", "vi", "vo", "vu",
+        "ba", "be", "bi", "bo", "bu", "da", "de", "di", "do", "du", "ka", "ke", "ki", "ko", "ku",
+        "la", "le", "li", "lo", "lu", "ma", "me", "mi", "mo", "mu", "na", "ne", "ni", "no", "nu",
+        "ra", "re", "ri", "ro", "ru", "sa", "se", "si", "so", "su", "ta", "te", "ti", "to", "tu",
+        "va", "ve", "vi", "vo", "vu",
     ];
     let base = SYLLABLES.len();
     let mut word = String::new();
@@ -187,13 +208,7 @@ impl TextGen {
 
     /// Generates a document of `len` tokens for `topic`, mixing topic and
     /// background draws per the configured `topic_mix`.
-    pub fn document(
-        &self,
-        topic: usize,
-        len: usize,
-        topic_mix: f64,
-        rng: &mut StdRng,
-    ) -> String {
+    pub fn document(&self, topic: usize, len: usize, topic_mix: f64, rng: &mut StdRng) -> String {
         let (a, b) = self.topic_params[topic % self.topic_params.len()];
         let v = self.vocab.len();
         let mut out = String::new();

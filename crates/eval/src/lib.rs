@@ -14,11 +14,10 @@ mod stats;
 mod survey;
 mod user;
 
-pub use metrics::{
-    average_precision, cosine, kendall_tau, ndcg_at_k, precision_at_k, recall_at_k,
-    reciprocal_rank,
-};
 pub use bootstrap::{paired_bootstrap, BootstrapResult};
+pub use metrics::{
+    average_precision, cosine, kendall_tau, ndcg_at_k, precision_at_k, recall_at_k, reciprocal_rank,
+};
 pub use stats::{paired_difference, Summary};
 pub use survey::{
     compare_rankers, run_survey, QueryTrace, RankerComparison, SurveyConfig, SurveyOutcome,

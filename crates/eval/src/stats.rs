@@ -32,8 +32,8 @@ impl Summary {
         let n = sample.len();
         let mean = sample.iter().sum::<f64>() / n as f64;
         let (std_dev, std_err) = if n >= 2 {
-            let var = sample.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>()
-                / (n as f64 - 1.0);
+            let var =
+                sample.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / (n as f64 - 1.0);
             let sd = var.sqrt();
             (sd, sd / (n as f64).sqrt())
         } else {

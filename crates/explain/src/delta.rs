@@ -66,14 +66,8 @@ pub fn diff(
             after.target()
         ));
     }
-    let added_nodes: Vec<NodeId> = after
-        .nodes()
-        .filter(|&n| !before.contains(n))
-        .collect();
-    let removed_nodes: Vec<NodeId> = before
-        .nodes()
-        .filter(|&n| !after.contains(n))
-        .collect();
+    let added_nodes: Vec<NodeId> = after.nodes().filter(|&n| !before.contains(n)).collect();
+    let removed_nodes: Vec<NodeId> = before.nodes().filter(|&n| !after.contains(n)).collect();
 
     // Merge flows by (source, target), summing parallel edges.
     let mut flows: HashMap<(u32, u32), (f64, f64)> = HashMap::new();
@@ -132,10 +126,18 @@ pub fn delta_to_text(delta: &ExplanationDelta, data: &orex_graph::DataGraph) -> 
         }
     );
     if !delta.added_nodes.is_empty() {
-        let _ = writeln!(out, "  {} nodes joined the explanation", delta.added_nodes.len());
+        let _ = writeln!(
+            out,
+            "  {} nodes joined the explanation",
+            delta.added_nodes.len()
+        );
     }
     if !delta.removed_nodes.is_empty() {
-        let _ = writeln!(out, "  {} nodes left the explanation", delta.removed_nodes.len());
+        let _ = writeln!(
+            out,
+            "  {} nodes left the explanation",
+            delta.removed_nodes.len()
+        );
     }
     for c in &delta.edge_changes {
         let _ = writeln!(
@@ -156,9 +158,7 @@ mod tests {
     use super::*;
     use crate::subgraph::ExplainParams;
     use orex_authority::{power_iteration, BaseSet, RankParams, TransitionMatrix};
-    use orex_graph::{
-        DataGraphBuilder, SchemaGraph, TransferGraph, TransferRates, TransferTypeId,
-    };
+    use orex_graph::{DataGraphBuilder, SchemaGraph, TransferGraph, TransferRates, TransferTypeId};
 
     /// s -> a -> t with rates we vary between the two explanations.
     fn explain_with_rate(rate: f64) -> (orex_graph::DataGraph, Explanation) {

@@ -23,5 +23,5 @@ mod summary;
 pub use delta::{delta_to_text, diff, EdgeChange, ExplanationDelta};
 pub use paths::{top_paths, FlowPath};
 pub use render::{to_dot, to_text};
-pub use summary::{summarize, summary_to_text, MetaPath};
 pub use subgraph::{ExplainEdge, ExplainError, ExplainParams, Explanation};
+pub use summary::{summarize, summary_to_text, MetaPath};

@@ -87,12 +87,17 @@ fn widest_path(explanation: &Explanation, masked: &HashSet<(u32, u32)>) -> Optio
     let mut width: HashMap<u32, f64> = HashMap::new();
     let mut parent: HashMap<u32, u32> = HashMap::new();
     // Local helper type for total-ordered f64 keys in the heap.
-    #[derive(PartialEq, PartialOrd)]
+    #[derive(PartialEq)]
     struct Width(f64);
     impl Eq for Width {}
     impl Ord for Width {
         fn cmp(&self, other: &Self) -> std::cmp::Ordering {
             self.0.total_cmp(&other.0)
+        }
+    }
+    impl PartialOrd for Width {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
         }
     }
 
@@ -238,7 +243,7 @@ mod tests {
         for p in top_paths(&expl, 5) {
             assert!(expl.is_source(p.nodes[0]));
             assert_eq!(*p.nodes.last().unwrap(), expl.target());
-            assert!(p.len() >= 1);
+            assert!(!p.is_empty());
         }
     }
 
@@ -278,7 +283,7 @@ mod tests {
         .unwrap();
         let paths = top_paths(&expl, 3);
         assert!(!paths.is_empty(), "paths from node 0 must be found");
-        assert!(paths[0].len() >= 1);
+        assert!(!paths[0].is_empty());
         assert_eq!(*paths[0].nodes.last().unwrap(), expl.target());
     }
 

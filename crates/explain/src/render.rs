@@ -61,12 +61,7 @@ pub fn to_text(explanation: &Explanation, data: &DataGraph, max_paths: usize) ->
         return out;
     }
     for (i, p) in paths.iter().enumerate() {
-        let _ = writeln!(
-            out,
-            "  path {} (bottleneck {:.3e}):",
-            i + 1,
-            p.bottleneck
-        );
+        let _ = writeln!(out, "  path {} (bottleneck {:.3e}):", i + 1, p.bottleneck);
         for pair in p.nodes.windows(2) {
             let flow = explanation
                 .out_edges(pair[0])
@@ -100,7 +95,9 @@ mod tests {
         let r = schema.add_edge_type(p, p, "cites").unwrap();
         let mut b = DataGraphBuilder::new(schema);
         let s = b.add_node_with(p, &[("Title", "Source Paper")]).unwrap();
-        let t = b.add_node_with(p, &[("Title", "Target \"Paper\"")]).unwrap();
+        let t = b
+            .add_node_with(p, &[("Title", "Target \"Paper\"")])
+            .unwrap();
         b.add_edge(s, t, r).unwrap();
         let g = b.freeze();
         let mut rates = TransferRates::zero(g.schema());

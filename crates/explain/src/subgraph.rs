@@ -75,7 +75,10 @@ impl fmt::Display for ExplainError {
         match self {
             ExplainError::TargetOutOfRange(v) => write!(f, "target {v} out of range"),
             ExplainError::TargetUnreachable(v) => {
-                write!(f, "no base-set authority reaches target {v} within the radius")
+                write!(
+                    f,
+                    "no base-set authority reaches target {v} within the radius"
+                )
             }
         }
     }
@@ -167,6 +170,8 @@ impl Explanation {
         // while expanding w at depth < L, keyed by source for the forward
         // pass.
         let mut candidates: Vec<(u32, u32)> = Vec::new(); // (src, edge)
+        let telemetry = orex_telemetry::global();
+        let frontier_size = telemetry.histogram("explain.bfs.frontier_size");
         for depth in 0..params.radius as u32 {
             let mut next = Vec::new();
             for &w in &frontier {
@@ -182,6 +187,7 @@ impl Explanation {
                 }
             }
             frontier = next;
+            frontier_size.record(frontier.len() as f64);
             if frontier.is_empty() {
                 break;
             }
@@ -289,8 +295,7 @@ impl Explanation {
                 }
                 let mut acc = 0.0;
                 for &eidx in &out_adj[k] {
-                    acc += h[edge_head_local[eidx as usize] as usize]
-                        * edges[eidx as usize].alpha;
+                    acc += h[edge_head_local[eidx as usize] as usize] * edges[eidx as usize].alpha;
                 }
                 h_new[k] = acc;
                 delta = delta.max((acc - h[k]).abs());
@@ -309,6 +314,24 @@ impl Explanation {
             e.adjusted_flow = h[head as usize] * e.original_flow;
         }
 
+        telemetry.counter("explain.runs").incr();
+        telemetry
+            .counter("explain.fixpoint_rounds")
+            .add(iterations as u64);
+        telemetry
+            .histogram("explain.subgraph_nodes")
+            .record(n_local as f64);
+        telemetry
+            .histogram("explain.subgraph_edges")
+            .record(edges.len() as f64);
+        telemetry
+            .histogram("explain.construction_us")
+            .record(construction_time.as_secs_f64() * 1e6);
+        let adjustment_time = adjustment_start.elapsed();
+        telemetry
+            .histogram("explain.adjustment_us")
+            .record(adjustment_time.as_secs_f64() * 1e6);
+
         Ok(Self {
             target,
             node_ids: node_set,
@@ -322,7 +345,7 @@ impl Explanation {
             iterations,
             converged,
             construction_time,
-            adjustment_time: adjustment_start.elapsed(),
+            adjustment_time,
         })
     }
 
@@ -397,7 +420,9 @@ impl Explanation {
 
     /// The reduction factor `h` of a node, when present.
     pub fn reduction_factor(&self, node: NodeId) -> Option<f64> {
-        self.node_index.get(&node.raw()).map(|&i| self.h[i as usize])
+        self.node_index
+            .get(&node.raw())
+            .map(|&i| self.h[i as usize])
     }
 
     /// All edges with their flows.
@@ -452,9 +477,7 @@ impl Explanation {
 mod tests {
     use super::*;
     use orex_authority::{power_iteration, RankParams, TransitionMatrix};
-    use orex_graph::{
-        DataGraph, DataGraphBuilder, SchemaGraph, TransferRates, TransferTypeId,
-    };
+    use orex_graph::{DataGraph, DataGraphBuilder, SchemaGraph, TransferRates, TransferTypeId};
 
     /// Chain with a side branch:
     ///   s(0) -> a(1) -> t(2),  a(1) -> x(3)   [x outside any path to t]
@@ -480,7 +503,13 @@ mod tests {
         base_nodes: &[u32],
         target: u32,
         params: &ExplainParams,
-    ) -> (TransferGraph, Vec<f64>, Vec<f64>, BaseSet, Result<Explanation, ExplainError>) {
+    ) -> (
+        TransferGraph,
+        Vec<f64>,
+        Vec<f64>,
+        BaseSet,
+        Result<Explanation, ExplainError>,
+    ) {
         let tg = TransferGraph::build(g);
         let weights = tg.weights(rates);
         let m = TransitionMatrix::new(&tg, rates);
@@ -496,7 +525,14 @@ mod tests {
             },
             None,
         );
-        let expl = Explanation::explain(&tg, &weights, &rank.scores, &base, NodeId::new(target), params);
+        let expl = Explanation::explain(
+            &tg,
+            &weights,
+            &rank.scores,
+            &base,
+            NodeId::new(target),
+            params,
+        );
         (tg, weights, rank.scores, base, expl)
     }
 

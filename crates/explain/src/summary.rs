@@ -125,9 +125,7 @@ mod tests {
     use super::*;
     use crate::subgraph::ExplainParams;
     use orex_authority::{power_iteration, BaseSet, RankParams, TransitionMatrix};
-    use orex_graph::{
-        DataGraphBuilder, NodeId, SchemaGraph, TransferRates, TransferTypeId,
-    };
+    use orex_graph::{DataGraphBuilder, NodeId, SchemaGraph, TransferRates, TransferTypeId};
 
     /// Paper s cites paper t; author a wrote both s and t (so flow also
     /// arrives via the author backward hop).
@@ -208,8 +206,7 @@ mod tests {
         let (g, tg, expl) = setup();
         for m in summarize(&expl, &tg, &g, 5) {
             // A signature with n hops renders n arrows.
-            let arrows = m.signature.matches("=>").count()
-                + m.signature.matches("<=").count();
+            let arrows = m.signature.matches("=>").count() + m.signature.matches("<=").count();
             assert_eq!(arrows, m.example.len());
             assert!(m.count >= 1);
         }

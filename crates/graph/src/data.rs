@@ -329,10 +329,7 @@ impl DataGraph {
     pub fn verify_conformance(&self) -> Result<()> {
         for (idx, edge) in self.edges.iter().enumerate() {
             let et = self.schema.edge_type(edge.edge_type);
-            let actual = (
-                self.node_type(edge.source),
-                self.node_type(edge.target),
-            );
+            let actual = (self.node_type(edge.source), self.node_type(edge.target));
             if (et.source, et.target) != actual {
                 let _ = idx;
                 return Err(GraphError::EdgeTypeMismatch {
@@ -364,17 +361,33 @@ mod tests {
 
         let mut b = DataGraphBuilder::new(schema);
         let p_index = b
-            .add_node_with(paper, &[("Title", "Index Selection for OLAP."), ("Year", "ICDE 1997")])
+            .add_node_with(
+                paper,
+                &[
+                    ("Title", "Index Selection for OLAP."),
+                    ("Year", "ICDE 1997"),
+                ],
+            )
             .unwrap();
         let p_cube = b
             .add_node_with(
                 paper,
-                &[("Title", "Data Cube: A Relational Aggregation Operator"), ("Year", "ICDE 1996")],
+                &[
+                    ("Title", "Data Cube: A Relational Aggregation Operator"),
+                    ("Year", "ICDE 1996"),
+                ],
             )
             .unwrap();
         let icde = b.add_node_with(conf, &[("Name", "ICDE")]).unwrap();
         let y97 = b
-            .add_node_with(year, &[("Name", "ICDE"), ("Year", "1997"), ("Location", "Birmingham")])
+            .add_node_with(
+                year,
+                &[
+                    ("Name", "ICDE"),
+                    ("Year", "1997"),
+                    ("Location", "Birmingham"),
+                ],
+            )
             .unwrap();
         let p_range = b
             .add_node_with(paper, &[("Title", "Range Queries in OLAP Data Cubes.")])
@@ -455,7 +468,9 @@ mod tests {
     fn node_display_prefers_title_or_name() {
         let g = figure1_graph();
         assert_eq!(g.node_display(NodeId::new(6)), "R. Agrawal");
-        assert!(g.node_display(NodeId::new(0)).starts_with("Index Selection"));
+        assert!(g
+            .node_display(NodeId::new(0))
+            .starts_with("Index Selection"));
     }
 
     #[test]

@@ -107,7 +107,9 @@ mod tests {
         let p = s.add_node_type("Paper").unwrap();
         let cites = s.add_edge_type(p, p, "cites").unwrap();
         let mut b = DataGraphBuilder::new(s);
-        let n0 = b.add_node_with(p, &[("Title", "A \"quoted\" title")]).unwrap();
+        let n0 = b
+            .add_node_with(p, &[("Title", "A \"quoted\" title")])
+            .unwrap();
         let n1 = b.add_node_with(p, &[("Title", "Other")]).unwrap();
         b.add_edge(n0, n1, cites).unwrap();
         let g = b.freeze();

@@ -58,7 +58,10 @@ impl fmt::Display for GraphError {
                 write!(f, "node type '{label}' already registered")
             }
             GraphError::DuplicateEdgeType(label) => {
-                write!(f, "edge type '{label}' already registered for this signature")
+                write!(
+                    f,
+                    "edge type '{label}' already registered for this signature"
+                )
             }
             GraphError::UnknownNodeType(id) => write!(f, "unknown node type {id}"),
             GraphError::UnknownEdgeType(id) => write!(f, "unknown edge type {id}"),

@@ -157,7 +157,7 @@ impl TransferTypeId {
     pub fn from_dense_index(idx: usize) -> Self {
         Self {
             edge_type: EdgeTypeId::from_usize(idx / 2),
-            direction: if idx % 2 == 0 {
+            direction: if idx.is_multiple_of(2) {
                 Direction::Forward
             } else {
                 Direction::Backward

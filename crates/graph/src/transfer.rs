@@ -453,7 +453,7 @@ impl TransferGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::data::{DataGraphBuilder, DataGraph};
+    use crate::data::{DataGraph, DataGraphBuilder};
     use crate::ids::EdgeTypeId;
 
     fn tiny_graph() -> DataGraph {
@@ -548,9 +548,7 @@ mod tests {
         for node in 0..tg.node_count() {
             let node = NodeId::from_usize(node);
             for (dst, e) in tg.out_transfer(node) {
-                assert!(tg
-                    .in_transfer(dst)
-                    .any(|(s, e2)| s == node && e2 == e));
+                assert!(tg.in_transfer(dst).any(|(s, e2)| s == node && e2 == e));
             }
         }
     }
@@ -562,9 +560,9 @@ mod tests {
         let rates = dblp_rates(g.schema());
         let w = tg.weights(&rates);
         // Backward "cites" rate is 0 => the corresponding weights are 0.
-        for e in 0..tg.transfer_edge_count() {
+        for (e, &weight) in w.iter().enumerate().take(tg.transfer_edge_count()) {
             if tg.edge_transfer_type(e) == TransferTypeId::backward(EdgeTypeId::new(0)) {
-                assert_eq!(w[e], 0.0);
+                assert_eq!(weight, 0.0);
             }
         }
     }

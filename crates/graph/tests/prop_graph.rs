@@ -8,7 +8,10 @@ use orex_graph::{
 use proptest::prelude::*;
 
 /// Strategy: a random edge list over `n` nodes.
-fn edges_strategy(max_nodes: usize, max_edges: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+fn edges_strategy(
+    max_nodes: usize,
+    max_edges: usize,
+) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
     (1..max_nodes).prop_flat_map(move |n| {
         let edge = (0..n as u32, 0..n as u32);
         (Just(n), proptest::collection::vec(edge, 0..max_edges))
@@ -56,8 +59,12 @@ fn random_data_graph(
     let cites = schema.add_edge_type(paper, paper, "cites").unwrap();
     let by = schema.add_edge_type(paper, author, "by").unwrap();
     let mut b = DataGraphBuilder::new(schema);
-    let pids: Vec<_> = (0..papers).map(|_| b.add_node(paper, vec![]).unwrap()).collect();
-    let aids: Vec<_> = (0..authors).map(|_| b.add_node(author, vec![]).unwrap()).collect();
+    let pids: Vec<_> = (0..papers)
+        .map(|_| b.add_node(paper, vec![]).unwrap())
+        .collect();
+    let aids: Vec<_> = (0..authors)
+        .map(|_| b.add_node(author, vec![]).unwrap())
+        .collect();
     for &(s, t) in cite_pairs {
         b.add_edge(pids[s as usize % papers], pids[t as usize % papers], cites)
             .unwrap();

@@ -179,9 +179,7 @@ impl InvertedIndex {
     /// Forward index: the `(term, tf)` pairs of a document, sorted by
     /// term id. Empty for unknown ids.
     pub fn doc_terms(&self, doc: DocId) -> &[(TermId, u32)] {
-        self.doc_terms
-            .get(doc as usize)
-            .map_or(&[], Vec::as_slice)
+        self.doc_terms.get(doc as usize).map_or(&[], Vec::as_slice)
     }
 
     /// Term frequency of `term` in `doc`.
@@ -309,7 +307,14 @@ mod tests {
             assert!((idx.ir_score(doc, &q, &scorer) - score).abs() < 1e-12);
         }
         // A non-matching doc scores zero.
-        assert_eq!(idx.ir_score(5, &QueryVector::initial(&Query::parse("olap"), idx.analyzer()), &scorer), 0.0);
+        assert_eq!(
+            idx.ir_score(
+                5,
+                &QueryVector::initial(&Query::parse("olap"), idx.analyzer()),
+                &scorer
+            ),
+            0.0
+        );
     }
 
     #[test]

@@ -8,6 +8,11 @@
 //! reformulation of Section 5.1 treat them as one term. Only ASCII
 //! lowercase words are stemmed; anything else is returned unchanged.
 
+// The step functions keep the rule tables laid out exactly as in
+// Porter's reference implementation (outer dispatch on the penultimate
+// letter, one `if` chain per group), which trips these stylistic lints.
+#![allow(clippy::collapsible_match, clippy::if_same_then_else)]
+
 /// Stems a single lowercase word. Words shorter than 3 characters or
 /// containing non-ASCII-alphabetic characters are returned unchanged.
 pub fn stem(word: &str) -> String {
@@ -314,13 +319,9 @@ impl Stemmer {
             b'e' => self.ends("er"),
             b'i' => self.ends("ic"),
             b'l' => self.ends("able") || self.ends("ible"),
-            b'n' => {
-                self.ends("ant") || self.ends("ement") || self.ends("ment") || self.ends("ent")
-            }
+            b'n' => self.ends("ant") || self.ends("ement") || self.ends("ment") || self.ends("ent"),
             b'o' => {
-                (self.ends("ion")
-                    && self.j1 > 0
-                    && matches!(self.b[self.j1 - 1], b's' | b't'))
+                (self.ends("ion") && self.j1 > 0 && matches!(self.b[self.j1 - 1], b's' | b't'))
                     || self.ends("ou")
             }
             b's' => self.ends("ism"),
@@ -500,8 +501,15 @@ mod tests {
     #[test]
     fn idempotent_on_typical_vocabulary() {
         for word in [
-            "olap", "cube", "range", "modeling", "relational",
-            "aggregation", "optimization", "proximity", "search",
+            "olap",
+            "cube",
+            "range",
+            "modeling",
+            "relational",
+            "aggregation",
+            "optimization",
+            "proximity",
+            "search",
         ] {
             let once = stem(word);
             let twice = stem(&once);

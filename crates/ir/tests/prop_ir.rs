@@ -11,8 +11,8 @@ fn docs_strategy() -> impl Strategy<Value = Vec<Vec<u8>>> {
 }
 
 const VOCAB: [&str; 12] = [
-    "olap", "cube", "mining", "graph", "stream", "join", "index", "rank", "data", "query",
-    "tree", "hash",
+    "olap", "cube", "mining", "graph", "stream", "join", "index", "rank", "data", "query", "tree",
+    "hash",
 ];
 
 fn render(doc: &[u8]) -> String {

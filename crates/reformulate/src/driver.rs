@@ -12,14 +12,16 @@
 use crate::content::{
     apply_expansion, expansion_term_weights, select_and_normalize, ContentParams,
 };
-use crate::structure::{edge_type_flows, edge_type_flows_pruned, structure_reformulate, StructureParams};
+use crate::structure::{
+    edge_type_flows, edge_type_flows_pruned, structure_reformulate, StructureParams,
+};
 use orex_explain::Explanation;
 use orex_graph::{SchemaGraph, TransferGraph, TransferRates};
 use orex_ir::{InvertedIndex, QueryVector};
 use std::collections::HashMap;
 
 /// Full reformulation configuration.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
 pub struct ReformulateParams {
     /// Content-based component (set `content.expansion_factor = 0` for
     /// structure-only reformulation, the internal survey's winner).
@@ -27,15 +29,6 @@ pub struct ReformulateParams {
     /// Structure-based component (set `structure.rate_factor = 0` for
     /// content-only reformulation).
     pub structure: StructureParams,
-}
-
-impl Default for ReformulateParams {
-    fn default() -> Self {
-        Self {
-            content: ContentParams::default(),
-            structure: StructureParams::default(),
-        }
-    }
 }
 
 impl ReformulateParams {
@@ -103,6 +96,13 @@ pub fn reformulate(
         "reformulation requires at least one feedback object"
     );
 
+    let telemetry = orex_telemetry::global();
+    let _span = telemetry.span("reformulate.feedback_us");
+    telemetry.counter("reformulate.runs").incr();
+    telemetry
+        .counter("reformulate.feedback_objects")
+        .add(explanations.len() as u64);
+
     // --- Content component (Eq. 11, aggregated by Eq. 14) --------------
     let (new_query, expansion_terms) = if params.content.expansion_factor > 0.0 {
         let mut agg: HashMap<String, f64> = HashMap::new();
@@ -138,6 +138,10 @@ pub fn reformulate(
         rates.clone()
     };
 
+    telemetry
+        .histogram("reformulate.expansion_terms")
+        .record(expansion_terms.len() as f64);
+
     Reformulation {
         query: new_query,
         rates: new_rates,
@@ -150,7 +154,7 @@ mod tests {
     use super::*;
     use orex_authority::{power_iteration, BaseSet, RankParams, TransitionMatrix};
     use orex_explain::ExplainParams;
-    use orex_graph::{DataGraphBuilder, NodeId, TransferTypeId, EdgeTypeId};
+    use orex_graph::{DataGraphBuilder, EdgeTypeId, NodeId, TransferTypeId};
     use orex_ir::{Analyzer, IndexBuilder, Query};
 
     struct Fixture {
@@ -170,7 +174,9 @@ mod tests {
         let cites = schema.add_edge_type(p, p, "cites").unwrap();
         let mut b = DataGraphBuilder::new(schema);
         let s = b.add_node_with(p, &[("Title", "olap overview")]).unwrap();
-        let t1 = b.add_node_with(p, &[("Title", "olap cube storage")]).unwrap();
+        let t1 = b
+            .add_node_with(p, &[("Title", "olap cube storage")])
+            .unwrap();
         let t2 = b.add_node_with(p, &[("Title", "olap range scan")]).unwrap();
         b.add_edge(s, t1, cites).unwrap();
         b.add_edge(s, t2, cites).unwrap();
@@ -190,8 +196,8 @@ mod tests {
 
         let weights = graph.weights(&rates);
         let m = TransitionMatrix::new(&graph, &rates);
-        let base = BaseSet::weighted(index.base_set_scores(&query, &orex_ir::Okapi::default()))
-            .unwrap();
+        let base =
+            BaseSet::weighted(index.base_set_scores(&query, &orex_ir::Okapi::default())).unwrap();
         let rank = power_iteration(
             &m,
             &base,
@@ -297,7 +303,11 @@ mod tests {
             &[&f.expl_a, &f.expl_b],
             &params,
         );
-        let terms: Vec<&str> = both.expansion_terms.iter().map(|(t, _)| t.as_str()).collect();
+        let terms: Vec<&str> = both
+            .expansion_terms
+            .iter()
+            .map(|(t, _)| t.as_str())
+            .collect();
         // cube/storage come from t1's subgraph, rang/scan from t2's.
         assert!(terms.contains(&"cube"), "{terms:?}");
         assert!(terms.contains(&"rang"), "{terms:?}");

@@ -28,5 +28,7 @@ pub use content::{
     apply_expansion, content_reformulate, expansion_term_weights, select_and_normalize,
     ContentParams,
 };
-pub use driver::{reformulate, Reformulation, ReformulateParams};
-pub use structure::{edge_type_flows, edge_type_flows_pruned, structure_reformulate, StructureParams};
+pub use driver::{reformulate, ReformulateParams, Reformulation};
+pub use structure::{
+    edge_type_flows, edge_type_flows_pruned, structure_reformulate, StructureParams,
+};

@@ -154,12 +154,8 @@ pub fn structure_reformulate(
     // shows the intended semantics. The combination pins the busiest node
     // type's outgoing sum at 1 (the example's reformulated Paper sum is
     // 0.99).
-    let mut out =
-        TransferRates::from_dense(schema, new_rates).expect("dimension checked above");
-    let worst = out
-        .outgoing_sums(schema)
-        .into_iter()
-        .fold(0.0f64, f64::max);
+    let mut out = TransferRates::from_dense(schema, new_rates).expect("dimension checked above");
+    let worst = out.outgoing_sums(schema).into_iter().fold(0.0f64, f64::max);
     if worst > 1.0 {
         for a in out.as_mut_slice() {
             *a /= worst;
@@ -265,12 +261,8 @@ mod tests {
         let (schema, tg, rates, expl) = setup();
         let flows = edge_type_flows(&expl, &tg);
         for cf in [0.1, 0.3, 0.5, 0.7, 0.9, 1.0] {
-            let new = structure_reformulate(
-                &rates,
-                &flows,
-                &schema,
-                &StructureParams::unpruned(cf),
-            );
+            let new =
+                structure_reformulate(&rates, &flows, &schema, &StructureParams::unpruned(cf));
             new.validate(&schema).unwrap();
         }
     }
@@ -279,8 +271,7 @@ mod tests {
     fn zero_factor_is_identity() {
         let (schema, tg, rates, expl) = setup();
         let flows = edge_type_flows(&expl, &tg);
-        let new =
-            structure_reformulate(&rates, &flows, &schema, &StructureParams::unpruned(0.0));
+        let new = structure_reformulate(&rates, &flows, &schema, &StructureParams::unpruned(0.0));
         assert_eq!(new, rates);
     }
 
@@ -305,7 +296,10 @@ mod tests {
         let (schema, tg, rates, expl) = setup();
         let flows = edge_type_flows(&expl, &tg);
         let new = structure_reformulate(&rates, &flows, &schema, &StructureParams::default());
-        let worst = new.outgoing_sums(&schema).into_iter().fold(0.0f64, f64::max);
+        let worst = new
+            .outgoing_sums(&schema)
+            .into_iter()
+            .fold(0.0f64, f64::max);
         assert!(
             (worst - 1.0).abs() < 1e-9,
             "canonical form pins the max outgoing sum at 1, got {worst}"

@@ -27,6 +27,11 @@ pub const GLOBAL_KEY: &str = "\u{0}global";
 pub struct RankCache {
     node_count: usize,
     entries: HashMap<String, Vec<f32>>,
+    /// Insertion order of keys, for capacity eviction. [`GLOBAL_KEY`] is
+    /// exempt — evicting the global fallback would defeat the cache.
+    insertion_order: Vec<String>,
+    /// Maximum number of non-global entries; `None` = unbounded.
+    capacity: Option<usize>,
 }
 
 impl RankCache {
@@ -35,7 +40,25 @@ impl RankCache {
         Self {
             node_count,
             entries: HashMap::new(),
+            insertion_order: Vec::new(),
+            capacity: None,
         }
+    }
+
+    /// Empty cache holding at most `capacity` non-global vectors; once
+    /// full, inserting a new key evicts the oldest-inserted one
+    /// (precomputation walks terms in descending document frequency, so
+    /// oldest-in is the most conservative thing to drop re-computably).
+    pub fn with_capacity(node_count: usize, capacity: usize) -> Self {
+        Self {
+            capacity: Some(capacity),
+            ..Self::new(node_count)
+        }
+    }
+
+    /// The eviction bound, when one was set.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
     }
 
     /// Node dimension of every stored vector.
@@ -53,14 +76,36 @@ impl RankCache {
         self.entries.is_empty()
     }
 
-    /// Stores a vector under a key (downcast to f32).
+    /// Stores a vector under a key (downcast to f32), evicting the
+    /// oldest-inserted non-global entry when over capacity.
     ///
     /// # Panics
     /// Panics on dimension mismatch.
     pub fn insert(&mut self, key: impl Into<String>, scores: &[f64]) {
         assert_eq!(scores.len(), self.node_count, "score dimension mismatch");
-        self.entries
-            .insert(key.into(), scores.iter().map(|&s| s as f32).collect());
+        let key = key.into();
+        let fresh = self
+            .entries
+            .insert(key.clone(), scores.iter().map(|&s| s as f32).collect())
+            .is_none();
+        orex_telemetry::global()
+            .counter("store.rank_cache.inserts")
+            .incr();
+        if key == GLOBAL_KEY {
+            return;
+        }
+        if fresh {
+            self.insertion_order.push(key);
+        }
+        if let Some(cap) = self.capacity {
+            while self.insertion_order.len() > cap {
+                let victim = self.insertion_order.remove(0);
+                self.entries.remove(&victim);
+                orex_telemetry::global()
+                    .counter("store.rank_cache.evictions")
+                    .incr();
+            }
+        }
     }
 
     /// True if a key is cached.
@@ -70,9 +115,14 @@ impl RankCache {
 
     /// Fetches a vector (upcast to f64).
     pub fn get(&self, key: &str) -> Option<Vec<f64>> {
-        self.entries
-            .get(key)
-            .map(|v| v.iter().map(|&s| s as f64).collect())
+        let entry = self.entries.get(key);
+        let telemetry = orex_telemetry::global();
+        if entry.is_some() {
+            telemetry.counter("store.rank_cache.hits").incr();
+        } else {
+            telemetry.counter("store.rank_cache.misses").incr();
+        }
+        entry.map(|v| v.iter().map(|&s| s as f64).collect())
     }
 
     /// The cached keys, sorted (for deterministic reporting).
@@ -91,13 +141,27 @@ impl RankCache {
     /// its single-keyword vectors — good enough to serve as an iteration
     /// seed even though the exact fixpoint differs.
     pub fn seed_for_query(&self, query: &QueryVector) -> Option<Vec<f64>> {
+        let telemetry = orex_telemetry::global();
+        let hits = telemetry.counter("store.rank_cache.hits");
+        let misses = telemetry.counter("store.rank_cache.misses");
+        let fallbacks = telemetry.counter("store.rank_cache.global_fallbacks");
         let mut seed = vec![0.0f64; self.node_count];
         let mut total_weight = 0.0;
         for (term, weight) in query.iter() {
-            let entry = self
-                .entries
-                .get(term)
-                .or_else(|| self.entries.get(GLOBAL_KEY));
+            let entry = match self.entries.get(term) {
+                Some(v) => {
+                    hits.incr();
+                    Some(v)
+                }
+                None => {
+                    misses.incr();
+                    let global = self.entries.get(GLOBAL_KEY);
+                    if global.is_some() {
+                        fallbacks.incr();
+                    }
+                    global
+                }
+            };
             if let Some(v) = entry {
                 for (s, &x) in seed.iter_mut().zip(v) {
                     *s += weight * x as f64;
@@ -174,21 +238,42 @@ impl RankCache {
         if r.remaining() != 0 {
             return Err(StoreError::Corrupt("trailing bytes after cache".into()));
         }
+        // The codec stores keys sorted; a decoded cache is unbounded, so
+        // sorted order is as good an "insertion" order as any.
+        let mut insertion_order: Vec<String> = entries
+            .keys()
+            .filter(|k| *k != GLOBAL_KEY)
+            .cloned()
+            .collect();
+        insertion_order.sort_unstable();
         Ok(Self {
             node_count,
             entries,
+            insertion_order,
+            capacity: None,
         })
     }
 
     /// Writes the cache to a file.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
-        std::fs::write(path, self.encode())?;
+        let telemetry = orex_telemetry::global();
+        let _span = telemetry.span("store.rank_cache.save_us");
+        let data = self.encode();
+        telemetry
+            .counter("store.rank_cache.bytes_written")
+            .add(data.len() as u64);
+        std::fs::write(path, data)?;
         Ok(())
     }
 
     /// Loads a cache from a file.
     pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        let telemetry = orex_telemetry::global();
+        let _span = telemetry.span("store.rank_cache.load_us");
         let data = std::fs::read(path)?;
+        telemetry
+            .counter("store.rank_cache.bytes_read")
+            .add(data.len() as u64);
         Self::decode(Bytes::from(data))
     }
 }
@@ -257,13 +342,12 @@ mod tests {
             max_iterations: 1000,
             ..sys.config().rank
         };
-        let cache =
-            RankCache::precompute(&matrix, sys.index(), &Okapi::default(), &terms, &params);
+        let cache = RankCache::precompute(&matrix, sys.index(), &Okapi::default(), &terms, &params);
         // A multi-keyword query seeded from single-keyword vectors.
         let qv = QueryVector::initial(&Query::parse("data query"), sys.index().analyzer());
         let seed = cache.seed_for_query(&qv).unwrap();
-        let cold = object_rank2(&matrix, sys.index(), &qv, &Okapi::default(), &params, None)
-            .unwrap();
+        let cold =
+            object_rank2(&matrix, sys.index(), &qv, &Okapi::default(), &params, None).unwrap();
         let warm = object_rank2(
             &matrix,
             sys.index(),
@@ -294,6 +378,23 @@ mod tests {
         assert_eq!(seed, vec![0.5, 0.5]);
         let empty = RankCache::new(2);
         assert!(empty.seed_for_query(&qv).is_none());
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_but_never_global() {
+        let mut cache = RankCache::with_capacity(2, 2);
+        assert_eq!(cache.capacity(), Some(2));
+        cache.insert(GLOBAL_KEY, &[0.5, 0.5]);
+        cache.insert("a", &[0.1, 0.9]);
+        cache.insert("b", &[0.2, 0.8]);
+        cache.insert("c", &[0.3, 0.7]);
+        assert!(!cache.contains("a"), "oldest entry evicted");
+        assert!(cache.contains("b") && cache.contains("c"));
+        assert!(cache.contains(GLOBAL_KEY), "global vector is exempt");
+        // Re-inserting an existing key is a replace, not an eviction.
+        cache.insert("c", &[0.4, 0.6]);
+        assert!(cache.contains("b") && cache.contains("c"));
+        assert_eq!(cache.len(), 3);
     }
 
     #[test]

@@ -133,25 +133,47 @@ pub fn decode_rates(data: Bytes, schema: &SchemaGraph) -> Result<TransferRates> 
 
 /// Writes a graph snapshot to a file.
 pub fn save_graph(graph: &DataGraph, path: impl AsRef<Path>) -> Result<()> {
-    std::fs::write(path, encode_graph(graph))?;
+    let telemetry = orex_telemetry::global();
+    let _span = telemetry.span("store.snapshot.save_us");
+    let data = encode_graph(graph);
+    telemetry
+        .counter("store.snapshot.bytes_written")
+        .add(data.len() as u64);
+    std::fs::write(path, data)?;
     Ok(())
 }
 
 /// Loads a graph snapshot from a file.
 pub fn load_graph(path: impl AsRef<Path>) -> Result<DataGraph> {
+    let telemetry = orex_telemetry::global();
+    let _span = telemetry.span("store.snapshot.load_us");
     let data = std::fs::read(path)?;
+    telemetry
+        .counter("store.snapshot.bytes_read")
+        .add(data.len() as u64);
     decode_graph(Bytes::from(data))
 }
 
 /// Writes a rates snapshot to a file.
 pub fn save_rates(rates: &TransferRates, path: impl AsRef<Path>) -> Result<()> {
-    std::fs::write(path, encode_rates(rates))?;
+    let telemetry = orex_telemetry::global();
+    let _span = telemetry.span("store.snapshot.save_us");
+    let data = encode_rates(rates);
+    telemetry
+        .counter("store.snapshot.bytes_written")
+        .add(data.len() as u64);
+    std::fs::write(path, data)?;
     Ok(())
 }
 
 /// Loads a rates snapshot from a file.
 pub fn load_rates(path: impl AsRef<Path>, schema: &SchemaGraph) -> Result<TransferRates> {
+    let telemetry = orex_telemetry::global();
+    let _span = telemetry.span("store.snapshot.load_us");
     let data = std::fs::read(path)?;
+    telemetry
+        .counter("store.snapshot.bytes_read")
+        .add(data.len() as u64);
     decode_rates(Bytes::from(data), schema)
 }
 

@@ -54,7 +54,10 @@ pub fn parse_text(input: &str) -> Result<DataGraph> {
         match verb {
             "nodetype" => {
                 if builder.is_some() {
-                    return Err(corrupt(line_no, "schema lines must precede node/edge lines"));
+                    return Err(corrupt(
+                        line_no,
+                        "schema lines must precede node/edge lines",
+                    ));
                 }
                 if rest.is_empty() || rest.contains(char::is_whitespace) {
                     return Err(corrupt(line_no, "usage: nodetype <Label>"));
@@ -66,11 +69,17 @@ pub fn parse_text(input: &str) -> Result<DataGraph> {
             }
             "edgetype" => {
                 if builder.is_some() {
-                    return Err(corrupt(line_no, "schema lines must precede node/edge lines"));
+                    return Err(corrupt(
+                        line_no,
+                        "schema lines must precede node/edge lines",
+                    ));
                 }
                 let parts: Vec<&str> = rest.split_whitespace().collect();
                 let [label, src, dst] = parts.as_slice() else {
-                    return Err(corrupt(line_no, "usage: edgetype <label> <SrcType> <DstType>"));
+                    return Err(corrupt(
+                        line_no,
+                        "usage: edgetype <label> <SrcType> <DstType>",
+                    ));
                 };
                 let &src_t = node_types
                     .get(*src)
@@ -88,11 +97,13 @@ pub fn parse_text(input: &str) -> Result<DataGraph> {
                 let (key, rest) = rest
                     .split_once(char::is_whitespace)
                     .ok_or_else(|| corrupt(line_no, "usage: node <id> <Type> [attrs]"))?;
-                let (type_label, attr_text) =
-                    rest.trim().split_once(char::is_whitespace).unwrap_or((rest.trim(), ""));
-                let &nt = node_types.get(type_label).ok_or_else(|| {
-                    corrupt(line_no, format!("unknown node type '{type_label}'"))
-                })?;
+                let (type_label, attr_text) = rest
+                    .trim()
+                    .split_once(char::is_whitespace)
+                    .unwrap_or((rest.trim(), ""));
+                let &nt = node_types
+                    .get(type_label)
+                    .ok_or_else(|| corrupt(line_no, format!("unknown node type '{type_label}'")))?;
                 let attrs = parse_attributes(attr_text, line_no)?;
                 let node = b.add_node(nt, attrs).map_err(|e| corrupt(line_no, e))?;
                 if node_ids.insert(key.to_string(), node).is_some() {
@@ -178,7 +189,10 @@ fn parse_attributes(text: &str, line_no: usize) -> Result<Vec<Attribute>> {
                 }
             }
             if !closed {
-                return Err(corrupt(line_no, format!("unterminated string for '{name}'")));
+                return Err(corrupt(
+                    line_no,
+                    format!("unterminated string for '{name}'"),
+                ));
             }
         } else {
             while let Some(&c) = chars.peek() {
@@ -214,7 +228,12 @@ pub fn to_text(graph: &DataGraph) -> String {
     out.push('\n');
     for node in graph.nodes() {
         let rec = graph.node(node);
-        let _ = write!(out, "node n{} {}", node.raw(), schema.node_label(rec.node_type));
+        let _ = write!(
+            out,
+            "node n{} {}",
+            node.raw(),
+            schema.node_label(rec.node_type)
+        );
         for attr in &rec.attributes {
             let escaped = attr.value.replace('\\', "\\\\").replace('"', "\\\"");
             let _ = write!(out, " {}=\"{}\"", attr.name, escaped);

@@ -1,0 +1,695 @@
+//! Zero-dependency runtime telemetry for the orex engines.
+//!
+//! Every engine crate records into a [`Recorder`] — counters, gauges,
+//! histograms, and scoped [`Span`] timers — and anything holding a
+//! recorder can export a point-in-time [`Snapshot`] as JSON. The hot-path
+//! cost is one `RwLock` read + hash lookup per op and a handful of atomic
+//! adds; a disabled recorder hands out no-op handles so instrumented code
+//! pays only a branch.
+//!
+//! Engines use the process-wide [`global()`] recorder so instrumentation
+//! never changes public engine signatures; tests and overhead
+//! measurements construct private recorders or toggle
+//! [`Recorder::set_enabled`].
+//!
+//! Naming convention: `crate.component.metric`, lowercase, with the unit
+//! as a suffix where one applies (`session.rank_us`). Span timers record
+//! elapsed microseconds into the histogram of the same name.
+
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
+
+/// Number of exponential histogram buckets; bucket `i` holds values in
+/// `(2^(i-BUCKET_BIAS-1), 2^(i-BUCKET_BIAS)]`, spanning ~1e-10 .. ~1e9.
+const BUCKETS: usize = 64;
+const BUCKET_BIAS: i32 = 32;
+
+// Metrics are always boxed behind `Arc<Metric>`, so the size spread
+// between Counter (8 bytes) and Histogram is irrelevant.
+#[allow(clippy::large_enum_variant)]
+enum Metric {
+    Counter(AtomicU64),
+    /// Last-written f64, stored as bits.
+    Gauge(AtomicU64),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// Lock-free histogram over non-negative f64 samples: exact count / sum /
+/// min / max plus exponential buckets for approximate quantiles.
+struct Histogram {
+    count: AtomicU64,
+    /// Compensated-free f64 accumulation via CAS on the bit pattern.
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Self {
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn bucket_index(value: f64) -> usize {
+        if value <= 0.0 || !value.is_finite() {
+            return 0;
+        }
+        (value.log2().ceil() as i32 + BUCKET_BIAS).clamp(0, BUCKETS as i32 - 1) as usize
+    }
+
+    fn record(&self, value: f64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        update_f64(&self.sum_bits, |cur| cur + value);
+        update_f64(&self.min_bits, |cur| cur.min(value));
+        update_f64(&self.max_bits, |cur| cur.max(value));
+    }
+
+    fn summary(&self) -> HistogramSummary {
+        let count = self.count.load(Ordering::Relaxed);
+        let sum = f64::from_bits(self.sum_bits.load(Ordering::Relaxed));
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let quantile = |q: f64| -> f64 {
+            if count == 0 {
+                return 0.0;
+            }
+            let min = f64::from_bits(self.min_bits.load(Ordering::Relaxed));
+            let max = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
+            let target = (q * count as f64).ceil().max(1.0) as u64;
+            let mut seen = 0u64;
+            for (i, &n) in buckets.iter().enumerate() {
+                seen += n;
+                if seen >= target {
+                    // Upper bound of the bucket, clamped to the observed
+                    // range so e.g. an all-zeros histogram reports 0, not
+                    // the lowest bucket's tiny upper bound.
+                    return 2f64.powi(i as i32 - BUCKET_BIAS).clamp(min, max);
+                }
+            }
+            max
+        };
+        HistogramSummary {
+            count,
+            sum,
+            min: if count == 0 {
+                0.0
+            } else {
+                f64::from_bits(self.min_bits.load(Ordering::Relaxed))
+            },
+            max: if count == 0 {
+                0.0
+            } else {
+                f64::from_bits(self.max_bits.load(Ordering::Relaxed))
+            },
+            mean: if count == 0 { 0.0 } else { sum / count as f64 },
+            p50: quantile(0.50),
+            p95: quantile(0.95),
+        }
+    }
+}
+
+fn update_f64(bits: &AtomicU64, f: impl Fn(f64) -> f64) {
+    let mut cur = bits.load(Ordering::Relaxed);
+    loop {
+        let next = f(f64::from_bits(cur)).to_bits();
+        match bits.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+struct Registry {
+    enabled: AtomicBool,
+    metrics: RwLock<HashMap<String, Arc<Metric>>>,
+}
+
+/// A cheaply cloneable handle to a metric registry.
+///
+/// Handles returned by [`counter`](Recorder::counter) /
+/// [`gauge`](Recorder::gauge) / [`histogram`](Recorder::histogram) /
+/// [`span`](Recorder::span) are no-ops when the recorder is (or was, at
+/// handle creation) disabled.
+#[derive(Clone)]
+pub struct Recorder {
+    registry: Arc<Registry>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recorder {
+    /// A fresh, enabled recorder.
+    pub fn new() -> Self {
+        Self {
+            registry: Arc::new(Registry {
+                enabled: AtomicBool::new(true),
+                metrics: RwLock::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// A fresh recorder that starts disabled: every handle it hands out
+    /// is a no-op and its snapshot stays empty until re-enabled.
+    pub fn disabled() -> Self {
+        let r = Self::new();
+        r.set_enabled(false);
+        r
+    }
+
+    /// Turns recording on or off. Off, the recorder hands out no-op
+    /// handles; already-issued live handles keep recording.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.registry.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether new handles will record.
+    pub fn is_enabled(&self) -> bool {
+        self.registry.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Drops every registered metric.
+    pub fn reset(&self) {
+        self.registry.metrics.write().unwrap().clear();
+    }
+
+    fn metric(&self, name: &str, make: fn() -> Metric) -> Option<Arc<Metric>> {
+        if !self.is_enabled() {
+            return None;
+        }
+        if let Some(m) = self.registry.metrics.read().unwrap().get(name) {
+            return Some(Arc::clone(m));
+        }
+        let mut metrics = self.registry.metrics.write().unwrap();
+        let m = metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(make()));
+        Some(Arc::clone(m))
+    }
+
+    /// A monotonically increasing counter.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        let m = self.metric(name, || Metric::Counter(AtomicU64::new(0)));
+        if let Some(m) = &m {
+            assert!(
+                matches!(**m, Metric::Counter(_)),
+                "telemetry metric {name:?} already registered as a {}",
+                m.kind()
+            );
+        }
+        Counter(m)
+    }
+
+    /// A last-value-wins gauge.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let m = self.metric(name, || Metric::Gauge(AtomicU64::new(0f64.to_bits())));
+        if let Some(m) = &m {
+            assert!(
+                matches!(**m, Metric::Gauge(_)),
+                "telemetry metric {name:?} already registered as a {}",
+                m.kind()
+            );
+        }
+        Gauge(m)
+    }
+
+    /// A distribution of non-negative samples.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> HistogramHandle {
+        let m = self.metric(name, || Metric::Histogram(Histogram::new()));
+        if let Some(m) = &m {
+            assert!(
+                matches!(**m, Metric::Histogram(_)),
+                "telemetry metric {name:?} already registered as a {}",
+                m.kind()
+            );
+        }
+        HistogramHandle(m)
+    }
+
+    /// Starts a scoped timer; on drop it records elapsed microseconds
+    /// into the histogram named `name`.
+    pub fn span(&self, name: &str) -> Span {
+        let hist = self.histogram(name);
+        Span {
+            start: hist.0.is_some().then(Instant::now),
+            hist,
+        }
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::default();
+        for (name, metric) in self.registry.metrics.read().unwrap().iter() {
+            match &**metric {
+                Metric::Counter(v) => {
+                    snap.counters
+                        .insert(name.clone(), v.load(Ordering::Relaxed));
+                }
+                Metric::Gauge(bits) => {
+                    snap.gauges
+                        .insert(name.clone(), f64::from_bits(bits.load(Ordering::Relaxed)));
+                }
+                Metric::Histogram(h) => {
+                    snap.histograms.insert(name.clone(), h.summary());
+                }
+            }
+        }
+        snap
+    }
+}
+
+/// Counter handle; see [`Recorder::counter`].
+#[derive(Clone)]
+pub struct Counter(Option<Arc<Metric>>);
+
+impl Counter {
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(m) = &self.0 {
+            if let Metric::Counter(v) = &**m {
+                v.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+}
+
+/// Gauge handle; see [`Recorder::gauge`].
+#[derive(Clone)]
+pub struct Gauge(Option<Arc<Metric>>);
+
+impl Gauge {
+    /// Overwrites the gauge value.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        if let Some(m) = &self.0 {
+            if let Metric::Gauge(bits) = &**m {
+                bits.store(value.to_bits(), Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Histogram handle; see [`Recorder::histogram`].
+#[derive(Clone)]
+pub struct HistogramHandle(Option<Arc<Metric>>);
+
+impl HistogramHandle {
+    /// True when samples go somewhere — lets hot loops skip building the
+    /// sample (e.g. reading the clock) on disabled recorders.
+    #[inline]
+    pub fn is_recording(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: f64) {
+        if let Some(m) = &self.0 {
+            if let Metric::Histogram(h) = &**m {
+                h.record(value);
+            }
+        }
+    }
+}
+
+/// Scoped timer; see [`Recorder::span`]. Records elapsed microseconds on
+/// drop.
+pub struct Span {
+    start: Option<Instant>,
+    hist: HistogramHandle,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            self.hist.record(start.elapsed().as_secs_f64() * 1e6);
+        }
+    }
+}
+
+/// Aggregate statistics for one histogram at snapshot time. Quantiles are
+/// approximate (upper bound of the containing power-of-two bucket); the
+/// rest are exact.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: f64,
+    /// Smallest sample (0 when empty).
+    pub min: f64,
+    /// Largest sample (0 when empty).
+    pub max: f64,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Approximate median.
+    pub p50: f64,
+    /// Approximate 95th percentile.
+    pub p95: f64,
+}
+
+/// A point-in-time copy of a recorder's metrics, name-sorted.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+impl Snapshot {
+    /// True when no metric has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Compact JSON: `{"counters":{...},"gauges":{...},"histograms":{...}}`.
+    pub fn to_json(&self) -> String {
+        self.write_json(None)
+    }
+
+    /// Two-space-indented JSON.
+    pub fn to_json_pretty(&self) -> String {
+        self.write_json(Some(0))
+    }
+
+    fn write_json(&self, indent: Option<usize>) -> String {
+        type Section<'a> = (&'a str, Box<dyn Fn(&mut String, Option<usize>) + 'a>);
+        let mut out = String::new();
+        let sections: [Section<'_>; 3] = [
+            (
+                "counters",
+                Box::new(|out: &mut String, ind| {
+                    json_object(out, ind, self.counters.iter(), |out, v, _| {
+                        let _ = write!(out, "{v}");
+                    })
+                }),
+            ),
+            (
+                "gauges",
+                Box::new(|out: &mut String, ind| {
+                    json_object(out, ind, self.gauges.iter(), |out, v, _| json_f64(out, *v))
+                }),
+            ),
+            (
+                "histograms",
+                Box::new(|out: &mut String, ind| {
+                    json_object(out, ind, self.histograms.iter(), |out, h, ind| {
+                        let fields: [(&str, f64); 6] = [
+                            ("sum", h.sum),
+                            ("min", h.min),
+                            ("max", h.max),
+                            ("mean", h.mean),
+                            ("p50", h.p50),
+                            ("p95", h.p95),
+                        ];
+                        out.push('{');
+                        newline_indent(out, ind.map(|d| d + 1));
+                        let _ = write!(out, "\"count\":{}{}", json_space(ind), h.count);
+                        for (k, v) in fields {
+                            out.push(',');
+                            newline_indent(out, ind.map(|d| d + 1));
+                            let _ = write!(out, "\"{k}\":{}", json_space(ind));
+                            json_f64(out, v);
+                        }
+                        newline_indent(out, ind);
+                        out.push('}');
+                    })
+                }),
+            ),
+        ];
+        out.push('{');
+        for (i, (name, write_section)) in sections.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            newline_indent(&mut out, indent.map(|d| d + 1));
+            let _ = write!(out, "\"{name}\":{}", json_space(indent));
+            write_section(&mut out, indent.map(|d| d + 1));
+        }
+        newline_indent(&mut out, indent);
+        out.push('}');
+        out
+    }
+}
+
+fn json_space(indent: Option<usize>) -> &'static str {
+    if indent.is_some() {
+        " "
+    } else {
+        ""
+    }
+}
+
+fn newline_indent(out: &mut String, depth: Option<usize>) {
+    if let Some(d) = depth {
+        out.push('\n');
+        for _ in 0..d {
+            out.push_str("  ");
+        }
+    }
+}
+
+fn json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn json_object<'a, V: 'a>(
+    out: &mut String,
+    indent: Option<usize>,
+    entries: impl Iterator<Item = (&'a String, &'a V)>,
+    write_value: impl Fn(&mut String, &V, Option<usize>),
+) {
+    let entries: Vec<_> = entries.collect();
+    if entries.is_empty() {
+        out.push_str("{}");
+        return;
+    }
+    out.push('{');
+    for (i, (key, value)) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        newline_indent(out, indent.map(|d| d + 1));
+        // Metric names are restricted to a JSON-safe alphabet by
+        // convention; escape the two structural characters anyway.
+        let _ = write!(
+            out,
+            "\"{}\":{}",
+            key.replace('\\', "\\\\").replace('"', "\\\""),
+            json_space(indent)
+        );
+        write_value(out, value, indent.map(|d| d + 1));
+    }
+    newline_indent(out, indent);
+    out.push('}');
+}
+
+static GLOBAL: OnceLock<Recorder> = OnceLock::new();
+
+/// The process-wide recorder the engine crates record into. Enabled by
+/// default; disable with `global().set_enabled(false)`, or set the
+/// `OREX_TELEMETRY` environment variable to `0`, `off`, or `false` to
+/// start the process with recording off (handy for overhead A/B runs).
+pub fn global() -> &'static Recorder {
+    GLOBAL.get_or_init(|| {
+        let disabled = std::env::var("OREX_TELEMETRY")
+            .map(|v| matches!(v.to_ascii_lowercase().as_str(), "0" | "off" | "false"))
+            .unwrap_or(false);
+        if disabled {
+            Recorder::disabled()
+        } else {
+            Recorder::new()
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_gauge_histogram_basics() {
+        let r = Recorder::new();
+        r.counter("c").add(5);
+        r.counter("c").incr();
+        r.gauge("g").set(1.5);
+        r.gauge("g").set(-2.5);
+        let h = r.histogram("h");
+        for v in [1.0, 2.0, 3.0, 10.0] {
+            h.record(v);
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.counters["c"], 6);
+        assert_eq!(snap.gauges["g"], -2.5);
+        let hs = &snap.histograms["h"];
+        assert_eq!(hs.count, 4);
+        assert_eq!(hs.sum, 16.0);
+        assert_eq!(hs.min, 1.0);
+        assert_eq!(hs.max, 10.0);
+        assert_eq!(hs.mean, 4.0);
+        assert!(hs.p50 >= 1.0 && hs.p50 <= 4.0, "p50 = {}", hs.p50);
+        assert!(hs.p95 >= 4.0 && hs.p95 <= 16.0, "p95 = {}", hs.p95);
+    }
+
+    #[test]
+    fn concurrent_counters_are_exact() {
+        const THREADS: usize = 8;
+        const OPS: u64 = 10_000;
+        let r = Recorder::new();
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                let r = r.clone();
+                scope.spawn(move || {
+                    let c = r.counter("hits");
+                    let h = r.histogram("latency");
+                    for i in 0..OPS {
+                        c.incr();
+                        h.record((i % 7) as f64);
+                    }
+                });
+            }
+        });
+        let snap = r.snapshot();
+        assert_eq!(snap.counters["hits"], THREADS as u64 * OPS);
+        let hs = &snap.histograms["latency"];
+        assert_eq!(hs.count, THREADS as u64 * OPS);
+        // Sum of 0..7 cycling: OPS/7 full cycles of 21 per thread, exact
+        // because every sample is a small integer (f64-exact adds).
+        let per_thread: f64 = (0..OPS).map(|i| (i % 7) as f64).sum();
+        assert_eq!(hs.sum, per_thread * THREADS as f64);
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let r = Recorder::disabled();
+        r.counter("c").add(3);
+        r.gauge("g").set(1.0);
+        r.histogram("h").record(2.0);
+        drop(r.span("s"));
+        assert!(r.snapshot().is_empty(), "disabled recorder must stay empty");
+        // Re-enabled, the same recorder starts collecting.
+        r.set_enabled(true);
+        r.counter("c").incr();
+        assert_eq!(r.snapshot().counters["c"], 1);
+    }
+
+    #[test]
+    fn span_records_elapsed_micros() {
+        let r = Recorder::new();
+        {
+            let _span = r.span("work_us");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let hs = r.snapshot().histograms["work_us"];
+        assert_eq!(hs.count, 1);
+        assert!(hs.sum >= 1_000.0, "expected ≥1ms recorded, got {}", hs.sum);
+    }
+
+    #[test]
+    fn snapshot_json_shape() {
+        let r = Recorder::new();
+        r.counter("b.count").incr();
+        r.counter("a.count").add(2);
+        r.gauge("g.val").set(0.5);
+        r.histogram("h.us").record(3.0);
+        let json = r.snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        // Name-sorted within each section.
+        let a = json.find("a.count").unwrap();
+        let b = json.find("b.count").unwrap();
+        assert!(a < b, "counters must be name-sorted: {json}");
+        assert!(
+            json.contains(r#""counters":{"a.count":2,"b.count":1}"#),
+            "{json}"
+        );
+        assert!(json.contains(r#""g.val":0.5"#), "{json}");
+        assert!(json.contains(r#""count":1"#), "{json}");
+        assert!(json.contains(r#""p95":"#), "{json}");
+        let pretty = r.snapshot().to_json_pretty();
+        assert!(pretty.contains("\n  \"counters\": {\n"), "{pretty}");
+    }
+
+    #[test]
+    fn empty_snapshot_serializes() {
+        let snap = Recorder::new().snapshot();
+        assert!(snap.is_empty());
+        assert_eq!(
+            snap.to_json(),
+            r#"{"counters":{},"gauges":{},"histograms":{}}"#
+        );
+    }
+
+    #[test]
+    fn reset_clears_metrics() {
+        let r = Recorder::new();
+        r.counter("c").incr();
+        assert!(!r.snapshot().is_empty());
+        r.reset();
+        assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Recorder::new();
+        r.counter("m").incr();
+        r.gauge("m").set(1.0);
+    }
+
+    #[test]
+    fn global_is_shared() {
+        global().counter("test.global").incr();
+        assert!(global().snapshot().counters.contains_key("test.global"));
+    }
+}

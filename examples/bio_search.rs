@@ -20,11 +20,8 @@ fn main() {
         dataset.graph.node_count(),
         dataset.graph.edge_count()
     );
-    let system = ObjectRankSystem::new(
-        dataset.graph,
-        dataset.ground_truth,
-        SystemConfig::default(),
-    );
+    let system =
+        ObjectRankSystem::new(dataset.graph, dataset.ground_truth, SystemConfig::default());
 
     let query = Query::parse("clustering");
     let mut session = QuerySession::start(&system, &query).expect("query matched nothing");
@@ -32,13 +29,22 @@ fn main() {
 
     println!("\nquery {query} — top 10 (all node types):");
     for (i, r) in top.iter().enumerate() {
-        println!("  {:>2}. [{:.5}] {:<16} {}", i + 1, r.score, r.label, r.display);
+        println!(
+            "  {:>2}. [{:.5}] {:<16} {}",
+            i + 1,
+            r.score,
+            r.label,
+            r.display
+        );
     }
 
     // Explain the best non-publication answer — a gene/protein/nucleotide
     // that cannot contain the keyword in any obvious way.
     if let Some(entity) = top.iter().find(|r| r.label != "PubMed") {
-        println!("\nwhy is {} \"{}\" an answer?", entity.label, entity.display);
+        println!(
+            "\nwhy is {} \"{}\" an answer?",
+            entity.label, entity.display
+        );
         let explanation = session.explain(entity.node).expect("explainable");
         println!("{}", to_text(&explanation, system.graph(), 2));
 
@@ -52,7 +58,13 @@ fn main() {
         let new_top = session.top_k(5);
         println!("new top 5:");
         for (i, r) in new_top.iter().enumerate() {
-            println!("  {}. [{:.5}] {:<16} {}", i + 1, r.score, r.label, r.display);
+            println!(
+                "  {}. [{:.5}] {:<16} {}",
+                i + 1,
+                r.score,
+                r.label,
+                r.display
+            );
         }
     } else {
         println!("\n(no non-publication entity in the top 10 for this seed)");

@@ -25,11 +25,8 @@ fn main() {
         dataset.graph.node_count(),
         dataset.graph.edge_count()
     );
-    let system = ObjectRankSystem::new(
-        dataset.graph,
-        dataset.ground_truth,
-        SystemConfig::default(),
-    );
+    let system =
+        ObjectRankSystem::new(dataset.graph, dataset.ground_truth, SystemConfig::default());
     let matrix = TransitionMatrix::new(system.transfer(), system.initial_rates());
     let params = RankParams::default();
     let query = Query::parse("data mining");

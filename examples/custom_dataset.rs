@@ -90,7 +90,9 @@ fn main() {
         .into_iter()
         .find(|r| r.display.contains("Orbital"))
         .expect("Orbital Dawn ranks");
-    let summary = session.explain_summary(orbital.node, 5).expect("explainable");
+    let summary = session
+        .explain_summary(orbital.node, 5)
+        .expect("explainable");
     println!("\nwhy \"Orbital Dawn\"? authority arrives via:");
     print!("{}", orex::explain::summary_to_text(&summary));
 }

@@ -20,11 +20,8 @@ fn main() {
         dataset.graph.node_count(),
         dataset.graph.edge_count()
     );
-    let system = ObjectRankSystem::new(
-        dataset.graph,
-        dataset.ground_truth,
-        SystemConfig::default(),
-    );
+    let system =
+        ObjectRankSystem::new(dataset.graph, dataset.ground_truth, SystemConfig::default());
 
     let query = Query::parse("olap");
     let session = QuerySession::start(&system, &query).expect("query matched nothing");

@@ -23,11 +23,8 @@ fn main() {
         dataset.graph.edge_count()
     );
     let ground_truth = dataset.ground_truth.clone();
-    let system = ObjectRankSystem::new(
-        dataset.graph,
-        dataset.ground_truth,
-        SystemConfig::default(),
-    );
+    let system =
+        ObjectRankSystem::new(dataset.graph, dataset.ground_truth, SystemConfig::default());
 
     let queries: Vec<Query> = ["data", "query", "mining", "index"]
         .iter()

@@ -26,11 +26,8 @@ fn main() {
         dataset.graph.edge_count()
     );
     save_graph(&dataset.graph, &graph_path).expect("save graph");
-    let system = ObjectRankSystem::new(
-        dataset.graph,
-        dataset.ground_truth,
-        SystemConfig::default(),
-    );
+    let system =
+        ObjectRankSystem::new(dataset.graph, dataset.ground_truth, SystemConfig::default());
 
     let mut session = QuerySession::start(&system, &Query::parse("data")).expect("query");
     for _ in 0..2 {

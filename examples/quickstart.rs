@@ -13,11 +13,8 @@ fn main() {
     let (nodes, edges) = dataset.sizes();
     println!("dataset {} ({nodes} nodes, {edges} edges)", dataset.name);
 
-    let system = ObjectRankSystem::new(
-        dataset.graph,
-        dataset.ground_truth,
-        SystemConfig::default(),
-    );
+    let system =
+        ObjectRankSystem::new(dataset.graph, dataset.ground_truth, SystemConfig::default());
 
     let query = Query::parse("data mining");
     println!("\nquery {query}");

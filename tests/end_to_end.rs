@@ -161,9 +161,7 @@ fn bio_pipeline_end_to_end() {
 fn base_set_matches_manual_ir_computation() {
     let sys = system();
     let q = orex::ir::QueryVector::initial(&Query::parse("graph data"), sys.index().analyzer());
-    let pairs = sys
-        .index()
-        .base_set_scores(&q, &sys.config().okapi);
+    let pairs = sys.index().base_set_scores(&q, &sys.config().okapi);
     let base = BaseSet::weighted(pairs.clone()).unwrap();
     // Probabilities proportional to IR scores.
     let total: f64 = pairs.iter().map(|&(_, s)| s).sum();
@@ -210,8 +208,7 @@ fn reformulation_delta_explains_the_change() {
     assert_eq!(delta.target, target);
     // The rates changed, so some edge flow must have changed.
     assert!(
-        !delta.edge_changes.is_empty()
-            || (delta.inflow_after - delta.inflow_before).abs() > 0.0,
+        !delta.edge_changes.is_empty() || (delta.inflow_after - delta.inflow_before).abs() > 0.0,
         "a reformulation round should move some flow"
     );
     let text = orex::explain::delta_to_text(&delta, sys.graph());
@@ -227,11 +224,14 @@ fn meta_path_summary_explains_dblp_results() {
     assert!(!summary.is_empty());
     // Signatures must be valid schema-level paths over DBLP labels.
     for m in &summary {
-        assert!(m.signature.starts_with("Paper")
-            || m.signature.starts_with("Year")
-            || m.signature.starts_with("Author")
-            || m.signature.starts_with("Conference"),
-            "{}", m.signature);
+        assert!(
+            m.signature.starts_with("Paper")
+                || m.signature.starts_with("Year")
+                || m.signature.starts_with("Author")
+                || m.signature.starts_with("Conference"),
+            "{}",
+            m.signature
+        );
         assert!(m.total_flow > 0.0);
     }
 }
@@ -258,6 +258,9 @@ fn topk_early_termination_agrees_on_pipeline_queries() {
         .map(|r| r.node)
         .collect();
     let early_top: Vec<u32> = early.top.iter().map(|r| r.node).collect();
-    assert_eq!(full_top, early_top, "early termination must not change the top-10");
+    assert_eq!(
+        full_top, early_top,
+        "early termination must not change the top-10"
+    );
     assert!(early.result.iterations <= full.iterations);
 }

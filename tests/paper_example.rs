@@ -6,8 +6,7 @@
 use orex::authority::{object_rank2, top_k, TransitionMatrix};
 use orex::explain::{top_paths, ExplainParams, Explanation};
 use orex::graph::{
-    DataGraph, DataGraphBuilder, NodeId, SchemaGraph, TransferGraph, TransferRates,
-    TransferTypeId,
+    DataGraph, DataGraphBuilder, NodeId, SchemaGraph, TransferGraph, TransferRates, TransferTypeId,
 };
 use orex::ir::{Analyzer, IndexBuilder, InvertedIndex, Okapi, Query, QueryVector};
 use orex::reformulate::{
@@ -45,14 +44,21 @@ fn figure1() -> Figure1 {
     let v1 = b
         .add_node_with(
             paper,
-            &[("Title", "Index Selection for OLAP."), ("Year", "ICDE 1997")],
+            &[
+                ("Title", "Index Selection for OLAP."),
+                ("Year", "ICDE 1997"),
+            ],
         )
         .unwrap();
     let v2 = b.add_node_with(conf, &[("Name", "ICDE")]).unwrap();
     let v3 = b
         .add_node_with(
             year,
-            &[("Name", "ICDE"), ("Year", "1997"), ("Location", "Birmingham")],
+            &[
+                ("Name", "ICDE"),
+                ("Year", "1997"),
+                ("Location", "Birmingham"),
+            ],
         )
         .unwrap();
     let v4 = b
@@ -135,10 +141,8 @@ fn run_olap(f: &Figure1) -> (QueryVector, Vec<f64>, orex::authority::BaseSet) {
         ..Default::default()
     };
     let result = object_rank2(&matrix, &f.index, &qv, &Okapi::default(), &params, None).unwrap();
-    let base = orex::authority::BaseSet::weighted(
-        f.index.base_set_scores(&qv, &Okapi::default()),
-    )
-    .unwrap();
+    let base = orex::authority::BaseSet::weighted(f.index.base_set_scores(&qv, &Okapi::default()))
+        .unwrap();
     (qv, result.scores, base)
 }
 
@@ -157,10 +161,7 @@ fn data_cube_ranks_top_without_containing_the_keyword() {
     let f = figure1();
     let (_, scores, _) = run_olap(&f);
     let ranked = top_k(&scores, 7, 0.0);
-    assert_eq!(
-        ranked[0].node, V7_DATA_CUBE,
-        "scores: {scores:?}"
-    );
+    assert_eq!(ranked[0].node, V7_DATA_CUBE, "scores: {scores:?}");
     // The two base-set papers follow close behind (paper reports
     // r = [0.076, 0.002, 0.009, 0.076, 0.017, 0.025, 0.083]).
     assert!(scores[V7_DATA_CUBE as usize] > scores[V1_INDEX_SELECTION as usize]);
@@ -201,7 +202,10 @@ fn explaining_subgraph_of_range_queries_excludes_data_cube() {
     assert!(!expl.contains(NodeId::new(V7_DATA_CUBE)));
     // The target's reduction factor is pinned at 1: its incoming flows
     // are exactly the original ones.
-    assert_eq!(expl.reduction_factor(NodeId::new(V4_RANGE_QUERIES)), Some(1.0));
+    assert_eq!(
+        expl.reduction_factor(NodeId::new(V4_RANGE_QUERIES)),
+        Some(1.0)
+    );
     for e in expl.in_edges(NodeId::new(V4_RANGE_QUERIES)) {
         assert!((e.adjusted_flow - e.original_flow).abs() < 1e-15);
     }
@@ -267,7 +271,12 @@ fn example2_expansion_terms_match_the_paper() {
         assert!(top5.contains(&stem), "{stem} missing from {top5:?}");
     }
     // The target's own terms outrank terms only found upstream.
-    let weight_of = |t: &str| raw.iter().find(|(x, _)| x == t).map(|&(_, w)| w).unwrap_or(0.0);
+    let weight_of = |t: &str| {
+        raw.iter()
+            .find(|(x, _)| x == t)
+            .map(|&(_, w)| w)
+            .unwrap_or(0.0)
+    };
     assert!(weight_of("rang") > weight_of("multidimension"));
     assert!(weight_of("rang") > weight_of("model"));
     let _ = qv;
@@ -341,10 +350,8 @@ fn bidirectional_epsilon_keeps_data_cube_explainable() {
         ..Default::default()
     };
     let result = object_rank2(&matrix, &f.index, &qv, &Okapi::default(), &params, None).unwrap();
-    let base = orex::authority::BaseSet::weighted(
-        f.index.base_set_scores(&qv, &Okapi::default()),
-    )
-    .unwrap();
+    let base = orex::authority::BaseSet::weighted(f.index.base_set_scores(&qv, &Okapi::default()))
+        .unwrap();
     let weights = f.transfer.weights(&rates);
     let expl = Explanation::explain(
         &f.transfer,

@@ -42,7 +42,10 @@ fn trained_system_survives_snapshot_roundtrip() {
         let top = session.top_k(2);
         let nodes: Vec<_> = top.iter().map(|r| r.node).collect();
         session
-            .feedback_with(&nodes, &orex::reformulate::ReformulateParams::structure_only(0.5))
+            .feedback_with(
+                &nodes,
+                &orex::reformulate::ReformulateParams::structure_only(0.5),
+            )
             .unwrap();
     }
     let trained_rates = session.rates().clone();
@@ -83,8 +86,7 @@ fn trained_system_survives_snapshot_roundtrip() {
 fn rank_cache_accelerates_fresh_system() {
     let d = dataset();
     let sys = ObjectRankSystem::new(d.graph, d.ground_truth, SystemConfig::default());
-    let matrix =
-        orex::authority::TransitionMatrix::new(sys.transfer(), sys.initial_rates());
+    let matrix = orex::authority::TransitionMatrix::new(sys.transfer(), sys.initial_rates());
     let terms: Vec<String> = ["data", "queri", "graph"]
         .iter()
         .map(|s| s.to_string())

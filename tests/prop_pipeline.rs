@@ -4,8 +4,7 @@
 use orex::authority::{object_rank2, power_iteration, BaseSet, RankParams, TransitionMatrix};
 use orex::explain::{ExplainParams, Explanation};
 use orex::graph::{
-    DataGraph, DataGraphBuilder, NodeId, SchemaGraph, TransferGraph, TransferRates,
-    TransferTypeId,
+    DataGraph, DataGraphBuilder, NodeId, SchemaGraph, TransferGraph, TransferRates, TransferTypeId,
 };
 use orex::ir::{Analyzer, IndexBuilder, InvertedIndex, Okapi, QueryVector};
 use orex::reformulate::{edge_type_flows, structure_reformulate, StructureParams};

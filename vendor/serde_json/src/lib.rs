@@ -1,0 +1,361 @@
+//! Minimal API-compatible stand-in for the `serde_json` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the slice of `serde_json` that the bench harness uses: an owned
+//! [`Value`] tree, an insertion-ordered [`Map`], the [`json!`] macro
+//! (scalar, array, and flat-object forms), and compact/pretty
+//! serialization. No deserialization and no `Serialize` trait — values
+//! are built explicitly via `From` conversions.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+/// A JSON number: unsigned, signed, or floating point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Number(N);
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum N {
+    U(u64),
+    I(i64),
+    F(f64),
+}
+
+impl Number {
+    fn write(&self, out: &mut String) {
+        match self.0 {
+            N::U(v) => {
+                let _ = write!(out, "{v}");
+            }
+            N::I(v) => {
+                let _ = write!(out, "{v}");
+            }
+            N::F(v) if v.is_finite() => {
+                let _ = write!(out, "{v}");
+            }
+            // JSON has no NaN/Infinity; serialize as null like a lossy
+            // writer would.
+            N::F(_) => out.push_str("null"),
+        }
+    }
+}
+
+/// An insertion-ordered string-keyed object.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// Empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a key, replacing any previous value under it.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+/// An owned JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map),
+}
+
+impl Value {
+    /// Borrows the object map when this value is an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Mutably borrows the object map when this value is an object.
+    pub fn as_object_mut(&mut self) -> Option<&mut Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => n.write(out),
+            Value::String(s) => write_escaped(s, out),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent.map(|d| d + 1));
+                    item.write(out, indent.map(|d| d + 1));
+                }
+                newline_indent(out, indent);
+                out.push(']');
+            }
+            Value::Object(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent.map(|d| d + 1));
+                    write_escaped(k, out);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent.map(|d| d + 1));
+                }
+                newline_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, depth: Option<usize>) {
+    if let Some(d) = depth {
+        out.push('\n');
+        for _ in 0..d {
+            out.push_str("  ");
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                Value::Number(Number(N::U(v as u64)))
+            }
+        }
+    )*};
+}
+
+macro_rules! from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                Value::Number(Number(N::I(v as i64)))
+            }
+        }
+    )*};
+}
+
+from_unsigned!(u8, u16, u32, u64, usize);
+from_signed!(i8, i16, i32, i64, isize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Number(Number(N::F(v)))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::Number(Number(N::F(v as f64)))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Self {
+        Value::String(v.clone())
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Self {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl From<Map> for Value {
+    fn from(v: Map) -> Self {
+        Value::Object(v)
+    }
+}
+
+/// Serialization errors (the stub writer is infallible, but the signature
+/// mirrors `serde_json` so call sites can `?`/`unwrap` identically).
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes a value compactly.
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    value.write(&mut out, None);
+    Ok(out)
+}
+
+/// Serializes a value with two-space indentation.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    value.write(&mut out, Some(0));
+    Ok(out)
+}
+
+/// Builds a [`Value`] from a literal: `json!(null)`, `json!(expr)`,
+/// `json!([e1, e2, ...])`, or a flat object `json!({ "k": expr, ... })`
+/// (nest by passing an inner `json!` call as the expression).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::Value::from($elem) ),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $( map.insert(($key).to_string(), $crate::Value::from($val)); )*
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_and_object_forms() {
+        assert_eq!(to_string(&json!(null)).unwrap(), "null");
+        assert_eq!(to_string(&json!(3usize)).unwrap(), "3");
+        assert_eq!(to_string(&json!(true)).unwrap(), "true");
+        let v = json!({ "a": 1u32, "b": "x", "c": vec![1.5f64, 2.0] });
+        assert_eq!(to_string(&v).unwrap(), r#"{"a":1,"b":"x","c":[1.5,2]}"#);
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let v = json!({ "rows": vec![json!({ "n": 1u32 })] });
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\n  \"rows\": [\n"), "{s}");
+        assert!(s.ends_with("]\n}"), "{s}");
+    }
+
+    #[test]
+    fn escaping() {
+        let v = json!("quote \" backslash \\ newline \n");
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#""quote \" backslash \\ newline \n""#
+        );
+    }
+
+    #[test]
+    fn map_insert_replaces() {
+        let mut m = Map::new();
+        assert!(m.insert("k".into(), json!(1u32)).is_none());
+        assert!(m.insert("k".into(), json!(2u32)).is_some());
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get("k"), Some(&json!(2u32)));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(to_string(&json!(f64::NAN)).unwrap(), "null");
+    }
+}
