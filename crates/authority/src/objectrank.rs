@@ -61,7 +61,14 @@ pub fn object_rank2(
     if query.is_empty() {
         return Err(RankingError::EmptyQuery);
     }
-    let base = BaseSet::weighted(index.base_set_scores(query, scorer))?;
+    let base = {
+        let mut span = orex_telemetry::tracer().span("authority.base_set");
+        let base = BaseSet::weighted(index.base_set_scores(query, scorer))?;
+        if span.is_recording() {
+            span.attr_u64("base_set_size", base.len() as u64);
+        }
+        base
+    };
     Ok(power_iteration(matrix, &base, params, warm_start))
 }
 

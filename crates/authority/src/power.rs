@@ -13,6 +13,32 @@
 
 use crate::base_set::BaseSet;
 use orex_graph::{TransferGraph, TransferRates};
+use orex_telemetry::{CounterHandle, HistogramHandle};
+use std::sync::OnceLock;
+
+/// Pre-resolved handles for the per-iteration metrics: the power loop is
+/// the system's hottest path, so it must not pay the registry's RwLock
+/// read + string hash on every iteration. Resolved once per process from
+/// the global recorder.
+struct PowerMetrics {
+    iter_us: HistogramHandle,
+    runs: CounterHandle,
+    iterations: CounterHandle,
+    converged: CounterHandle,
+}
+
+fn power_metrics() -> &'static PowerMetrics {
+    static METRICS: OnceLock<PowerMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let t = orex_telemetry::global();
+        PowerMetrics {
+            iter_us: t.histogram("authority.power.iteration_us"),
+            runs: t.counter_handle("authority.power.runs"),
+            iterations: t.counter_handle("authority.power.iterations"),
+            converged: t.counter_handle("authority.power.converged"),
+        }
+    })
+}
 
 /// Parameters of a power-iteration run.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -198,11 +224,18 @@ pub fn power_iteration(
     let mut converged = false;
     let mut iterations = 0;
 
-    let telemetry = orex_telemetry::global();
-    let iter_us = telemetry.histogram("authority.power.iteration_us");
+    let metrics = power_metrics();
+    let iter_us = &metrics.iter_us;
+    let tracer = orex_telemetry::tracer();
+    let mut run_span = tracer.span("authority.power");
+    if run_span.is_recording() {
+        run_span.attr_u64("nodes", n as u64);
+        run_span.attr_u64("warm_start", u64::from(warm_start.is_some()));
+    }
 
     for _ in 0..params.max_iterations {
         iterations += 1;
+        let mut iter_span = tracer.span("authority.power.iteration");
         let iter_start = iter_us.is_recording().then(std::time::Instant::now);
         if threads <= 1 {
             matrix.pull_range(&r, &mut r_new, 0..n, d, &jump);
@@ -225,6 +258,12 @@ pub fn power_iteration(
         if let Some(start) = iter_start {
             iter_us.record(start.elapsed().as_secs_f64() * 1e6);
         }
+        if iter_span.is_recording() {
+            iter_span.attr_f64("residual", residual);
+            let active = r_new.iter().filter(|&&v| v > 0.0).count();
+            iter_span.attr_u64("active_nodes", active as u64);
+        }
+        drop(iter_span);
         std::mem::swap(&mut r, &mut r_new);
         if residual < params.epsilon {
             converged = true;
@@ -232,16 +271,18 @@ pub fn power_iteration(
         }
     }
 
-    telemetry.counter("authority.power.runs").incr();
-    telemetry
-        .counter("authority.power.iterations")
-        .add(iterations as u64);
+    metrics.runs.incr();
+    metrics.iterations.add(iterations as u64);
     if converged {
-        telemetry.counter("authority.power.converged").incr();
+        metrics.converged.incr();
     }
-    telemetry
+    orex_telemetry::global()
         .gauge("authority.power.last_residual")
         .set(residuals.last().copied().unwrap_or(0.0));
+    if run_span.is_recording() {
+        run_span.attr_u64("iterations", iterations as u64);
+        run_span.attr_u64("converged", u64::from(converged));
+    }
 
     RankResult {
         scores: r,

@@ -77,6 +77,11 @@ pub fn power_iteration_topk(
     telemetry.counter("authority.topk.runs").incr();
     let iterations_metric = telemetry.counter("authority.topk.iterations");
     let early_metric = telemetry.counter("authority.topk.early_terminated");
+    let mut topk_span = orex_telemetry::tracer().span("authority.power.topk");
+    if topk_span.is_recording() {
+        topk_span.attr_u64("k", topk.k as u64);
+        topk_span.attr_u64("stable_iterations", topk.stable_iterations as u64);
+    }
 
     while iterations < params.max_iterations {
         let step = power_iteration(
@@ -96,6 +101,10 @@ pub fn power_iteration_topk(
         if last_top.as_deref() == Some(&ids) {
             stable += 1;
         } else {
+            if last_top.is_some() {
+                // The stabilized prefix got pruned back: record the churn.
+                topk_span.event("topk.order_changed");
+            }
             stable = 0;
             last_top = Some(ids);
         }
@@ -106,6 +115,7 @@ pub fn power_iteration_topk(
             let scores = scores.expect("at least one iteration ran");
             let top = top_k(&scores, topk.k, 0.0);
             iterations_metric.add(iterations as u64);
+            topk_span.event("topk.full_convergence");
             return TopKResult {
                 result: RankResult {
                     scores,
@@ -122,6 +132,11 @@ pub fn power_iteration_topk(
             let top = top_k(&scores, topk.k, 0.0);
             iterations_metric.add(iterations as u64);
             early_metric.incr();
+            topk_span.event("topk.early_stop");
+            topk_span.attr_u64(
+                "pruned_iterations_bound",
+                (params.max_iterations - iterations) as u64,
+            );
             return TopKResult {
                 result: RankResult {
                     scores,

@@ -126,6 +126,46 @@ pub fn write_json(name: &str, value: &serde_json::Value) {
         let _ = writeln!(f, "{}", serde_json::to_string_pretty(&value).unwrap());
         eprintln!("wrote {}", path.display());
     }
+    write_trace(name);
+}
+
+/// When `--trace-out` is present, drains the global tracer and writes the
+/// collected spans next to the figure's results JSON: Chrome trace-event
+/// JSON at `results/<name>.trace.json` by default, folded stacks at
+/// `results/<name>.trace.folded` with `--trace-out folded`. The span ring
+/// is bounded (4096 spans), so long benchmark runs keep the most recent
+/// spans — enough for one full query's tree, which is what the artifact
+/// is for. Called by [`write_json`], so every figure binary accepts the
+/// flag.
+pub fn write_trace(name: &str) {
+    if !arg_flag("trace-out") {
+        return;
+    }
+    let records = orex_telemetry::tracer().drain();
+    if records.is_empty() {
+        eprintln!("[trace] no spans collected (is OREX_TELEMETRY=0 set?)");
+        return;
+    }
+    let folded = arg_value("trace-out").is_some_and(|v| v == "folded");
+    let (ext, rendered) = if folded {
+        (
+            "trace.folded",
+            orex_telemetry::export::to_folded_stacks(&records),
+        )
+    } else {
+        (
+            "trace.json",
+            orex_telemetry::export::to_chrome_trace(&records),
+        )
+    };
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.{ext}"));
+    if std::fs::write(&path, rendered.as_bytes()).is_ok() {
+        eprintln!("wrote {} ({} spans)", path.display(), records.len());
+    }
 }
 
 /// Converts a telemetry snapshot into a JSON value (the telemetry crate
@@ -141,6 +181,11 @@ pub fn telemetry_json(snapshot: &orex_telemetry::Snapshot) -> serde_json::Value 
     }
     let mut histograms = serde_json::Map::new();
     for (name, h) in snapshot.histograms.iter() {
+        let buckets: Vec<serde_json::Value> = h
+            .buckets
+            .iter()
+            .map(|&b| serde_json::Value::from(b))
+            .collect();
         histograms.insert(
             name.clone(),
             serde_json::json!({
@@ -151,6 +196,7 @@ pub fn telemetry_json(snapshot: &orex_telemetry::Snapshot) -> serde_json::Value 
                 "mean": h.mean,
                 "p50": h.p50,
                 "p95": h.p95,
+                "buckets": serde_json::Value::Array(buckets),
             }),
         );
     }

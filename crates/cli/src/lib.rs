@@ -12,6 +12,8 @@
 
 mod app;
 mod command;
+mod subcommands;
 
 pub use app::App;
 pub use command::{parse, Command, ParseError, HELP};
+pub use subcommands::{load_snapshot, run_stats, run_trace, SUBCOMMAND_HELP};

@@ -1,9 +1,42 @@
-//! The `orex` interactive shell binary.
+//! The `orex` binary: non-interactive subcommands (`trace`, `stats`)
+//! dispatched from argv, falling back to the interactive shell.
 
-use orex_cli::{parse, App};
+use orex_cli::{parse, run_stats, run_trace, App, SUBCOMMAND_HELP};
 use std::io::{BufRead, Write};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("trace") => {
+            let code = run_trace(&args[1..], &mut std::io::stdout(), &mut std::io::stderr())
+                .unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    1
+                });
+            std::process::exit(code);
+        }
+        Some("stats") => {
+            let code = run_stats(&args[1..], &mut std::io::stdout(), &mut std::io::stderr())
+                .unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    1
+                });
+            std::process::exit(code);
+        }
+        Some("help" | "--help" | "-h") => {
+            println!("{SUBCOMMAND_HELP}");
+            return;
+        }
+        Some(other) => {
+            eprintln!("unknown subcommand '{other}'\n\n{SUBCOMMAND_HELP}");
+            std::process::exit(2);
+        }
+        None => {}
+    }
+    repl();
+}
+
+fn repl() {
     let mut app = App::new();
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout();

@@ -1,0 +1,505 @@
+//! Non-interactive `orex` subcommands.
+//!
+//! `orex trace "<query>"` runs one query end-to-end with tracing enabled
+//! and exports the collected span tree (Chrome trace-event JSON or folded
+//! stacks for flamegraph tooling). `orex stats` renders the telemetry
+//! snapshot (JSON or Prometheus text exposition) and, with `--diff`,
+//! compares it against one or more baseline snapshots for the CI perf
+//! gate. Both are plumbing around the `orex-telemetry` APIs; anything
+//! ranking-related goes through the ordinary [`QuerySession`] path so the
+//! traces reflect real production spans.
+
+use orex_core::{ObjectRankSystem, QuerySession, SystemConfig};
+use orex_datagen::Preset;
+use orex_ir::Query;
+use orex_telemetry::export::{to_chrome_trace, to_folded_stacks};
+use orex_telemetry::{HistogramSummary, Snapshot, BUCKETS};
+use std::io::Write;
+
+/// Usage text for the non-interactive subcommands (the REPL has its own
+/// `help`).
+pub const SUBCOMMAND_HELP: &str = "\
+orex — explaining & reformulating authority flow queries
+
+usage:
+  orex                       start the interactive shell
+  orex trace \"<query>\" [--format chrome|folded] [--preset NAME]
+                             [--scale F] [--out FILE]
+                             run one traced query and export its span tree
+  orex stats [--format json|prom] [--snapshot FILE]
+             [--diff BASELINE.json]... [--threshold F] [--metrics a,b]
+                             dump telemetry; with --diff, compare against
+                             the median of the baselines and exit 1 on a
+                             regression above the threshold (default 0.2)";
+
+/// Returns the value following `flag` in `args`.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Returns every value following any occurrence of `flag` (repeatable
+/// flags such as `--diff`).
+fn flag_values(args: &[String], flag: &str) -> Vec<String> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == flag)
+        .filter_map(|(i, _)| args.get(i + 1).cloned())
+        .collect()
+}
+
+/// The positional arguments: everything not a flag or a flag's value.
+fn positionals(args: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            skip = true;
+            continue;
+        }
+        out.push(a.clone());
+    }
+    out
+}
+
+/// `orex trace "<query>" [--format chrome|folded] [--preset NAME]
+/// [--scale F] [--out FILE]` — run one query with tracing on and export
+/// the span tree. Returns the process exit code.
+pub fn run_trace(
+    args: &[String],
+    out: &mut dyn Write,
+    err: &mut dyn Write,
+) -> std::io::Result<i32> {
+    let positional = positionals(args);
+    let Some(query_text) = positional.first() else {
+        writeln!(err, "trace: missing query string\n\n{SUBCOMMAND_HELP}")?;
+        return Ok(2);
+    };
+    let format = flag_value(args, "--format").unwrap_or_else(|| "chrome".into());
+    if format != "chrome" && format != "folded" {
+        writeln!(err, "trace: unknown format '{format}' (chrome|folded)")?;
+        return Ok(2);
+    }
+    let preset_name = flag_value(args, "--preset").unwrap_or_else(|| "dblp-top".into());
+    let Some(preset) = Preset::parse(&preset_name) else {
+        writeln!(
+            err,
+            "trace: unknown preset '{preset_name}' (dblp-top, dblp-complete, ds7, ds7-cancer)"
+        )?;
+        return Ok(2);
+    };
+    let scale: f64 = match flag_value(args, "--scale").map(|s| s.parse()) {
+        None => 0.05,
+        Some(Ok(v)) => v,
+        Some(Err(_)) => {
+            writeln!(err, "trace: --scale expects a number")?;
+            return Ok(2);
+        }
+    };
+
+    let tracer = orex_telemetry::tracer();
+    if !tracer.is_enabled() {
+        writeln!(
+            err,
+            "trace: tracing is disabled (OREX_TELEMETRY=0); nothing to collect"
+        )?;
+        return Ok(2);
+    }
+
+    let dataset = preset.generate(scale);
+    let (nodes, edges) = dataset.sizes();
+    writeln!(
+        err,
+        "[trace] {} at scale {scale}: {nodes} nodes, {edges} edges",
+        preset.name()
+    )?;
+    let system =
+        ObjectRankSystem::new(dataset.graph, dataset.ground_truth, SystemConfig::default());
+    let query = Query::parse(query_text);
+
+    // Discard spans recorded while building the system so the export holds
+    // exactly the query's trace.
+    let _ = tracer.drain();
+    match QuerySession::start(&system, &query) {
+        Ok(session) => drop(session),
+        Err(e) => {
+            writeln!(err, "trace: query failed: {e}")?;
+            return Ok(1);
+        }
+    }
+    let records = tracer.drain();
+    writeln!(err, "[trace] collected {} spans", records.len())?;
+
+    let rendered = match format.as_str() {
+        "chrome" => to_chrome_trace(&records),
+        _ => to_folded_stacks(&records),
+    };
+    match flag_value(args, "--out") {
+        Some(path) if path != "-" => {
+            std::fs::write(&path, rendered.as_bytes()).map_err(|e| {
+                std::io::Error::new(e.kind(), format!("trace: writing {path}: {e}"))
+            })?;
+            writeln!(err, "[trace] wrote {path}")?;
+        }
+        _ => writeln!(out, "{rendered}")?,
+    }
+    Ok(0)
+}
+
+/// `orex stats [--format json|prom] [--snapshot FILE] [--diff FILE]...
+/// [--threshold F] [--metrics a,b]` — dump or compare telemetry.
+/// Returns the process exit code (1 when a regression trips the gate).
+pub fn run_stats(
+    args: &[String],
+    out: &mut dyn Write,
+    err: &mut dyn Write,
+) -> std::io::Result<i32> {
+    let format = flag_value(args, "--format").unwrap_or_else(|| "json".into());
+    if format != "json" && format != "prom" {
+        writeln!(err, "stats: unknown format '{format}' (json|prom)")?;
+        return Ok(2);
+    }
+    let threshold: f64 = match flag_value(args, "--threshold").map(|s| s.parse()) {
+        None => 0.2,
+        Some(Ok(v)) => v,
+        Some(Err(_)) => {
+            writeln!(err, "stats: --threshold expects a number")?;
+            return Ok(2);
+        }
+    };
+    let watched: Option<Vec<String>> =
+        flag_value(args, "--metrics").map(|s| s.split(',').map(|m| m.trim().to_string()).collect());
+
+    let current = match flag_value(args, "--snapshot") {
+        Some(path) => match load_snapshot(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                writeln!(err, "stats: {e}")?;
+                return Ok(2);
+            }
+        },
+        None => orex_telemetry::global().snapshot(),
+    };
+
+    let baseline_paths = flag_values(args, "--diff");
+    if baseline_paths.is_empty() {
+        match format.as_str() {
+            "prom" => write!(out, "{}", current.to_prometheus())?,
+            _ => writeln!(out, "{}", current.to_json_pretty())?,
+        }
+        return Ok(0);
+    }
+
+    let mut baselines = Vec::new();
+    for path in &baseline_paths {
+        match load_snapshot(path) {
+            Ok(s) => baselines.push(s),
+            Err(e) => {
+                writeln!(err, "stats: {e}")?;
+                return Ok(2);
+            }
+        }
+    }
+    let median = Snapshot::median(&baselines);
+    let diff = current.diff(&median);
+    let keep = |name: &str| watched.as_ref().is_none_or(|w| w.iter().any(|m| m == name));
+
+    writeln!(
+        out,
+        "comparing against the median of {} baseline(s), threshold {:.0}%:",
+        baselines.len(),
+        threshold * 100.0
+    )?;
+    let mut failed = false;
+    let mut shown = 0usize;
+    for d in &diff.deltas {
+        if !keep(&d.name) {
+            continue;
+        }
+        shown += 1;
+        let regressed = d.relative > threshold;
+        failed |= regressed;
+        writeln!(
+            out,
+            "  {} {:<34} {:>12.3} -> {:>12.3}  {:>+8.1}%{}",
+            if regressed { "FAIL" } else { "  ok" },
+            d.name,
+            d.baseline,
+            d.current,
+            d.relative * 100.0,
+            if regressed { "  REGRESSION" } else { "" },
+        )?;
+    }
+    if shown == 0 {
+        writeln!(
+            out,
+            "  no overlapping metrics to compare{}",
+            if watched.is_some() {
+                " (check --metrics names)"
+            } else {
+                ""
+            }
+        )?;
+    }
+    Ok(if failed { 1 } else { 0 })
+}
+
+/// Loads a telemetry [`Snapshot`] from a JSON file. Accepts both raw
+/// snapshot dumps (`orex stats > f.json`) and bench result artifacts,
+/// whose snapshot lives under a top-level `"telemetry"` key.
+pub fn load_snapshot(path: &str) -> Result<Snapshot, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let value = serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    let root = value.get("telemetry").unwrap_or(&value);
+    snapshot_from_json(root).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+/// Decodes the JSON layout produced by [`Snapshot::to_json_pretty`] (and
+/// mirrored by the bench harness) back into a [`Snapshot`]. Unknown keys
+/// are ignored; missing histogram fields default to zero so older
+/// artifacts without bucket arrays still diff.
+pub fn snapshot_from_json(v: &serde_json::Value) -> Result<Snapshot, String> {
+    let obj = v.as_object().ok_or("snapshot is not a JSON object")?;
+    let mut snapshot = Snapshot::default();
+    if let Some(counters) = obj.get("counters").and_then(|c| c.as_object()) {
+        for (name, val) in counters.iter() {
+            let n = val
+                .as_u64()
+                .or_else(|| val.as_f64().map(|f| f as u64))
+                .ok_or_else(|| format!("counter {name:?} is not a number"))?;
+            snapshot.counters.insert(name.clone(), n);
+        }
+    }
+    if let Some(gauges) = obj.get("gauges").and_then(|c| c.as_object()) {
+        for (name, val) in gauges.iter() {
+            let n = val
+                .as_f64()
+                .ok_or_else(|| format!("gauge {name:?} is not a number"))?;
+            snapshot.gauges.insert(name.clone(), n);
+        }
+    }
+    if let Some(histograms) = obj.get("histograms").and_then(|c| c.as_object()) {
+        for (name, val) in histograms.iter() {
+            let h = val
+                .as_object()
+                .ok_or_else(|| format!("histogram {name:?} is not an object"))?;
+            let f = |key: &str| h.get(key).and_then(|v| v.as_f64()).unwrap_or(0.0);
+            let mut summary = HistogramSummary {
+                count: h.get("count").and_then(|v| v.as_u64()).unwrap_or(0),
+                sum: f("sum"),
+                min: f("min"),
+                max: f("max"),
+                mean: f("mean"),
+                p50: f("p50"),
+                p95: f("p95"),
+                ..HistogramSummary::default()
+            };
+            if let Some(buckets) = h.get("buckets").and_then(|v| v.as_array()) {
+                for (i, b) in buckets.iter().take(BUCKETS).enumerate() {
+                    summary.buckets[i] = b.as_u64().unwrap_or(0);
+                }
+            }
+            snapshot.histograms.insert(name.clone(), summary);
+        }
+    }
+    Ok(snapshot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(f: impl FnOnce(&mut Vec<u8>, &mut Vec<u8>) -> std::io::Result<i32>) -> (i32, String) {
+        let mut out = Vec::new();
+        let mut err = Vec::new();
+        let code = f(&mut out, &mut err).unwrap();
+        (code, String::from_utf8(out).unwrap())
+    }
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn trace_rejects_missing_query_and_bad_flags() {
+        let (code, _) = run(|o, e| run_trace(&args(&[]), o, e));
+        assert_eq!(code, 2);
+        let (code, _) = run(|o, e| run_trace(&args(&["data", "--format", "xml"]), o, e));
+        assert_eq!(code, 2);
+        let (code, _) = run(|o, e| run_trace(&args(&["data", "--preset", "nope"]), o, e));
+        assert_eq!(code, 2);
+    }
+
+    #[test]
+    fn trace_emits_chrome_json_with_nested_session_spans() {
+        let (code, out) = run(|o, e| {
+            run_trace(
+                &args(&["data", "--scale", "0.01", "--format", "chrome"]),
+                o,
+                e,
+            )
+        });
+        if !orex_telemetry::tracer().is_enabled() {
+            assert_eq!(code, 2);
+            return;
+        }
+        assert_eq!(code, 0, "{out}");
+        let parsed = serde_json::from_str(&out).expect("valid JSON");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(|e| e.as_array())
+            .expect("traceEvents array");
+        let names: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("name").and_then(|n| n.as_str()))
+            .collect();
+        // Root session span plus at least three nesting levels:
+        // session.query -> session.rank -> authority.power ->
+        // authority.power.iteration.
+        for expected in [
+            "session.query",
+            "session.rank",
+            "authority.power",
+            "authority.power.iteration",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}: {names:?}");
+        }
+        let begins = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("B"))
+            .count();
+        let ends = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("E"))
+            .count();
+        assert_eq!(begins, ends, "unbalanced B/E events");
+    }
+
+    #[test]
+    fn trace_folded_output_contains_rooted_stacks() {
+        let (code, out) = run(|o, e| {
+            run_trace(
+                &args(&["data", "--scale", "0.01", "--format", "folded"]),
+                o,
+                e,
+            )
+        });
+        if !orex_telemetry::tracer().is_enabled() {
+            assert_eq!(code, 2);
+            return;
+        }
+        assert_eq!(code, 0, "{out}");
+        assert!(
+            out.lines()
+                .any(|l| l.starts_with("session.query;session.rank;authority.power")),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn stats_prom_format_renders_exposition() {
+        orex_telemetry::global().counter("cli.test.prom").incr();
+        let (code, out) = run(|o, e| run_stats(&args(&["--format", "prom"]), o, e));
+        assert_eq!(code, 0);
+        if orex_telemetry::global().is_enabled() {
+            assert!(out.contains("# TYPE orex_cli_test_prom counter"), "{out}");
+        }
+    }
+
+    #[test]
+    fn stats_diff_gates_on_regression() {
+        let dir = std::env::temp_dir().join("orex-stats-diff-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let write = |name: &str, rank_us: f64| {
+            let path = dir.join(name);
+            std::fs::write(
+                &path,
+                format!(
+                    r#"{{"telemetry":{{"counters":{{}},"gauges":{{}},"histograms":{{
+                        "session.rank_us":{{"count":4,"sum":{s},"min":1.0,"max":{m},
+                        "mean":{m},"p50":{m},"p95":{m}}}}}}}}}"#,
+                    s = rank_us * 4.0,
+                    m = rank_us
+                ),
+            )
+            .unwrap();
+            path.display().to_string()
+        };
+        let b1 = write("b1.json", 100.0);
+        let b2 = write("b2.json", 110.0);
+        let b3 = write("b3.json", 120.0);
+        let slow = write("current.json", 200.0);
+        let fine = write("fine.json", 112.0);
+
+        // 200µs vs median 110µs: +81% > 20% → gate trips.
+        let (code, out) = run(|o, e| {
+            run_stats(
+                &args(&[
+                    "--snapshot",
+                    &slow,
+                    "--diff",
+                    &b1,
+                    "--diff",
+                    &b2,
+                    "--diff",
+                    &b3,
+                    "--metrics",
+                    "session.rank_us",
+                ]),
+                o,
+                e,
+            )
+        });
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("REGRESSION"), "{out}");
+
+        // 112µs vs median 110µs: within threshold → pass.
+        let (code, out) = run(|o, e| {
+            run_stats(
+                &args(&[
+                    "--snapshot",
+                    &fine,
+                    "--diff",
+                    &b1,
+                    "--diff",
+                    &b2,
+                    "--diff",
+                    &b3,
+                    "--metrics",
+                    "session.rank_us",
+                ]),
+                o,
+                e,
+            )
+        });
+        assert_eq!(code, 0, "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let recorder = orex_telemetry::Recorder::new();
+        recorder.counter("a.count").add(7);
+        recorder.gauge("b.level").set(2.5);
+        recorder.histogram("c.us").record(12.0);
+        recorder.histogram("c.us").record(48.0);
+        let snapshot = recorder.snapshot();
+        let parsed =
+            snapshot_from_json(&serde_json::from_str(&snapshot.to_json_pretty()).unwrap()).unwrap();
+        assert_eq!(parsed.counters, snapshot.counters);
+        assert_eq!(parsed.gauges, snapshot.gauges);
+        assert_eq!(
+            parsed.histograms["c.us"].buckets,
+            snapshot.histograms["c.us"].buckets
+        );
+        assert_eq!(
+            parsed.histograms["c.us"].mean,
+            snapshot.histograms["c.us"].mean
+        );
+    }
+}

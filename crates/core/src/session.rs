@@ -122,14 +122,26 @@ impl<'s> QuerySession<'s> {
         rates: TransferRates,
     ) -> Result<Self, SessionError> {
         let telemetry = orex_telemetry::global();
+        let tracer = orex_telemetry::tracer();
         telemetry.counter("session.queries").incr();
-        let analysis = telemetry.span("session.query_analysis_us");
-        let qv = QueryVector::initial(query, system.index().analyzer());
-        drop(analysis);
+        // Root span of the query's trace; every engine span below nests
+        // under it via the thread-local active-span stack.
+        let mut query_span = tracer.span("session.query");
+        if query_span.is_recording() {
+            query_span.attr_str("query", query.keywords.join(" "));
+        }
+        let qv = {
+            let _analyze = tracer.span("session.analyze");
+            let analysis = telemetry.span("session.query_analysis_us");
+            let qv = QueryVector::initial(query, system.index().analyzer());
+            drop(analysis);
+            qv
+        };
         let weights = system.transfer().weights(&rates);
         let matrix = TransitionMatrix::from_edge_weights(system.transfer(), weights);
         let start = Instant::now();
         let rank_span = telemetry.span("session.rank_us");
+        let mut rank_tspan = tracer.span("session.rank");
         let result = object_rank2(
             &matrix,
             system.index(),
@@ -138,6 +150,11 @@ impl<'s> QuerySession<'s> {
             &system.config().rank,
             system.global_scores(),
         )?;
+        if rank_tspan.is_recording() {
+            rank_tspan.attr_u64("iterations", result.iterations as u64);
+            rank_tspan.attr_u64("converged", u64::from(result.converged));
+        }
+        drop(rank_tspan);
         drop(rank_span);
         let stats = StepStats {
             rank_time: start.elapsed(),
@@ -274,6 +291,7 @@ impl<'s> QuerySession<'s> {
 
     fn current_base_set(&self) -> Result<orex_authority::BaseSet, SessionError> {
         let _span = orex_telemetry::global().span("session.ir_lookup_us");
+        let _tspan = orex_telemetry::tracer().span("session.ir_lookup");
         orex_authority::BaseSet::weighted(
             self.system
                 .index()
@@ -300,7 +318,14 @@ impl<'s> QuerySession<'s> {
             return Err(SessionError::NoFeedbackObjects);
         }
         let telemetry = orex_telemetry::global();
+        let tracer = orex_telemetry::tracer();
         telemetry.counter("session.feedback_rounds").incr();
+        // Root span of this feedback round's trace.
+        let mut round_span = tracer.span("session.feedback");
+        if round_span.is_recording() {
+            round_span.attr_u64("round", self.history.len() as u64);
+            round_span.attr_u64("feedback_objects", objects.len() as u64);
+        }
 
         // Stage 1 + 2: explain every feedback object.
         let base = self.current_base_set()?;
@@ -343,6 +368,7 @@ impl<'s> QuerySession<'s> {
             TransitionMatrix::from_edge_weights(self.system.transfer(), new_weights.clone());
         let t = Instant::now();
         let rank_span = telemetry.span("session.rank_us");
+        let mut rank_tspan = tracer.span("session.rank");
         let result = object_rank2(
             &matrix,
             self.system.index(),
@@ -351,6 +377,11 @@ impl<'s> QuerySession<'s> {
             &self.system.config().rank,
             Some(&self.scores),
         )?;
+        if rank_tspan.is_recording() {
+            rank_tspan.attr_u64("iterations", result.iterations as u64);
+            rank_tspan.attr_u64("converged", u64::from(result.converged));
+        }
+        drop(rank_tspan);
         drop(rank_span);
         let stats = StepStats {
             rank_time: t.elapsed(),

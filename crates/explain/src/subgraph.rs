@@ -153,6 +153,13 @@ impl Explanation {
         if target.index() >= graph.node_count() {
             return Err(ExplainError::TargetOutOfRange(target));
         }
+        let trace = orex_telemetry::tracer();
+        let mut explain_span = trace.span("explain.run");
+        if explain_span.is_recording() {
+            explain_span.attr_u64("target", u64::from(target.raw()));
+            explain_span.attr_u64("radius", params.radius as u64);
+        }
+        let mut construct_span = trace.span("explain.construct");
         let construction_start = std::time::Instant::now();
 
         // --- Construction stage, backward pass -------------------------
@@ -276,6 +283,11 @@ impl Explanation {
             edge_head_local.push(node_index[&e.target.raw()]);
         }
 
+        if construct_span.is_recording() {
+            construct_span.attr_u64("subgraph_nodes", n_local as u64);
+            construct_span.attr_u64("subgraph_edges", edges.len() as u64);
+        }
+        drop(construct_span);
         let construction_time = construction_start.elapsed();
         let adjustment_start = std::time::Instant::now();
 
@@ -287,6 +299,7 @@ impl Explanation {
         let mut converged = false;
         for _ in 0..params.max_iterations {
             iterations += 1;
+            let mut round_span = trace.span("explain.fixpoint.round");
             let mut delta: f64 = 0.0;
             for k in 0..n_local {
                 if k == target_local {
@@ -300,6 +313,10 @@ impl Explanation {
                 h_new[k] = acc;
                 delta = delta.max((acc - h[k]).abs());
             }
+            if round_span.is_recording() {
+                round_span.attr_f64("delta", delta);
+            }
+            drop(round_span);
             std::mem::swap(&mut h, &mut h_new);
             if delta < params.epsilon {
                 converged = true;
@@ -331,6 +348,10 @@ impl Explanation {
         telemetry
             .histogram("explain.adjustment_us")
             .record(adjustment_time.as_secs_f64() * 1e6);
+        if explain_span.is_recording() {
+            explain_span.attr_u64("fixpoint_rounds", iterations as u64);
+            explain_span.attr_u64("converged", u64::from(converged));
+        }
 
         Ok(Self {
             target,

@@ -197,7 +197,9 @@ impl InvertedIndex {
     /// Returns `(doc, score)` pairs sorted by document id. Scores are raw
     /// (not normalized); the ranking layer normalizes them to probabilities.
     pub fn base_set_scores(&self, query: &QueryVector, scorer: &dyn Scorer) -> Vec<(DocId, f64)> {
+        let mut span = orex_telemetry::tracer().span("ir.base_set_scores");
         let mut acc: HashMap<DocId, f64> = HashMap::new();
+        let mut postings_scanned = 0u64;
         for (term, weight) in query.iter() {
             let Some(tid) = self.term_id(term) else {
                 continue;
@@ -207,13 +209,20 @@ impl InvertedIndex {
                 continue;
             }
             let df = self.df(tid);
-            for p in self.postings(tid) {
+            let postings = self.postings(tid);
+            postings_scanned += postings.len() as u64;
+            for p in postings {
                 let w = scorer.term_weight(&self.stats, p.tf, df, self.doc_len(p.doc));
                 *acc.entry(p.doc).or_insert(0.0) += qf * w;
             }
         }
         let mut out: Vec<(DocId, f64)> = acc.into_iter().collect();
         out.sort_unstable_by_key(|&(d, _)| d);
+        if span.is_recording() {
+            span.attr_u64("terms", query.len() as u64);
+            span.attr_u64("postings_scanned", postings_scanned);
+            span.attr_u64("matched_docs", out.len() as u64);
+        }
         out
     }
 

@@ -98,6 +98,12 @@ pub fn reformulate(
 
     let telemetry = orex_telemetry::global();
     let _span = telemetry.span("reformulate.feedback_us");
+    let mut round_span = orex_telemetry::tracer().span("reformulate.round");
+    if round_span.is_recording() {
+        round_span.attr_u64("feedback_objects", explanations.len() as u64);
+        round_span.attr_f64("expansion_factor", params.content.expansion_factor);
+        round_span.attr_f64("rate_factor", params.structure.rate_factor);
+    }
     telemetry.counter("reformulate.runs").incr();
     telemetry
         .counter("reformulate.feedback_objects")
@@ -141,6 +147,9 @@ pub fn reformulate(
     telemetry
         .histogram("reformulate.expansion_terms")
         .record(expansion_terms.len() as f64);
+    if round_span.is_recording() {
+        round_span.attr_u64("expansion_terms", expansion_terms.len() as u64);
+    }
 
     Reformulation {
         query: new_query,

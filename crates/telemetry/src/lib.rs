@@ -15,8 +15,18 @@
 //! Naming convention: `crate.component.metric`, lowercase, with the unit
 //! as a suffix where one applies (`session.rank_us`). Span timers record
 //! elapsed microseconds into the histogram of the same name.
+//!
+//! Beyond aggregates, the [`trace`] module provides per-query
+//! hierarchical tracing — a [`Tracer`] minting nested spans collected
+//! into a bounded lock-free ring buffer — and [`export`] renders drained
+//! traces as Chrome trace-event JSON or folded flamegraph stacks.
 
 #![warn(missing_docs)]
+
+pub mod export;
+pub mod trace;
+
+pub use trace::{tracer, ActiveSpan, AttrValue, SpanId, SpanRecord, TraceEvent, TraceId, Tracer};
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
@@ -26,17 +36,24 @@ use std::time::Instant;
 
 /// Number of exponential histogram buckets; bucket `i` holds values in
 /// `(2^(i-BUCKET_BIAS-1), 2^(i-BUCKET_BIAS)]`, spanning ~1e-10 .. ~1e9.
-const BUCKETS: usize = 64;
+pub const BUCKETS: usize = 64;
 const BUCKET_BIAS: i32 = 32;
 
-// Metrics are always boxed behind `Arc<Metric>`, so the size spread
-// between Counter (8 bytes) and Histogram is irrelevant.
-#[allow(clippy::large_enum_variant)]
+/// Upper bound of histogram bucket `i` (inclusive). The last bucket also
+/// absorbs everything larger, so exporters should label it `+Inf`.
+pub fn bucket_upper_bound(i: usize) -> f64 {
+    2f64.powi(i as i32 - BUCKET_BIAS)
+}
+
+// Each variant holds its storage behind its own `Arc`, so resolving a
+// metric once yields a typed handle that bumps a bare atomic with no
+// registry lock, hash, or enum match on the hot path.
+#[derive(Clone)]
 enum Metric {
-    Counter(AtomicU64),
+    Counter(Arc<AtomicU64>),
     /// Last-written f64, stored as bits.
-    Gauge(AtomicU64),
-    Histogram(Histogram),
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<Histogram>),
 }
 
 impl Metric {
@@ -89,11 +106,8 @@ impl Histogram {
     fn summary(&self) -> HistogramSummary {
         let count = self.count.load(Ordering::Relaxed);
         let sum = f64::from_bits(self.sum_bits.load(Ordering::Relaxed));
-        let buckets: Vec<u64> = self
-            .buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
+        let buckets: [u64; BUCKETS] =
+            std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
         let quantile = |q: f64| -> f64 {
             if count == 0 {
                 return 0.0;
@@ -129,6 +143,7 @@ impl Histogram {
             mean: if count == 0 { 0.0 } else { sum / count as f64 },
             p50: quantile(0.50),
             p95: quantile(0.95),
+            buckets,
         }
     }
 }
@@ -146,7 +161,7 @@ fn update_f64(bits: &AtomicU64, f: impl Fn(f64) -> f64) {
 
 struct Registry {
     enabled: AtomicBool,
-    metrics: RwLock<HashMap<String, Arc<Metric>>>,
+    metrics: RwLock<HashMap<String, Metric>>,
 }
 
 /// A cheaply cloneable handle to a metric registry.
@@ -201,18 +216,16 @@ impl Recorder {
         self.registry.metrics.write().unwrap().clear();
     }
 
-    fn metric(&self, name: &str, make: fn() -> Metric) -> Option<Arc<Metric>> {
+    fn metric(&self, name: &str, make: fn() -> Metric) -> Option<Metric> {
         if !self.is_enabled() {
             return None;
         }
         if let Some(m) = self.registry.metrics.read().unwrap().get(name) {
-            return Some(Arc::clone(m));
+            return Some(m.clone());
         }
         let mut metrics = self.registry.metrics.write().unwrap();
-        let m = metrics
-            .entry(name.to_string())
-            .or_insert_with(|| Arc::new(make()));
-        Some(Arc::clone(m))
+        let m = metrics.entry(name.to_string()).or_insert_with(make);
+        Some(m.clone())
     }
 
     /// A monotonically increasing counter.
@@ -220,15 +233,36 @@ impl Recorder {
     /// # Panics
     /// Panics if `name` is already registered as a different metric kind.
     pub fn counter(&self, name: &str) -> Counter {
-        let m = self.metric(name, || Metric::Counter(AtomicU64::new(0)));
-        if let Some(m) = &m {
-            assert!(
-                matches!(**m, Metric::Counter(_)),
+        match self.metric(name, || Metric::Counter(Arc::new(AtomicU64::new(0)))) {
+            Some(Metric::Counter(v)) => Counter(Some(v)),
+            Some(m) => panic!(
                 "telemetry metric {name:?} already registered as a {}",
                 m.kind()
-            );
+            ),
+            None => Counter(None),
         }
-        Counter(m)
+    }
+
+    /// A pre-resolved, branch-free counter for hot loops: bumping it is a
+    /// single atomic add with no registry lock, hash, enum match, or even
+    /// an `Option` branch. When the recorder is disabled the handle bumps
+    /// a private dummy atomic that no snapshot ever reads.
+    ///
+    /// Resolve once (e.g. in a `OnceLock`) and reuse; a handle resolved
+    /// while disabled stays detached even if recording is re-enabled, and
+    /// [`Recorder::reset`] detaches all previously issued handles.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter_handle(&self, name: &str) -> CounterHandle {
+        match self.metric(name, || Metric::Counter(Arc::new(AtomicU64::new(0)))) {
+            Some(Metric::Counter(v)) => CounterHandle(v),
+            Some(m) => panic!(
+                "telemetry metric {name:?} already registered as a {}",
+                m.kind()
+            ),
+            None => CounterHandle(Arc::new(AtomicU64::new(0))),
+        }
     }
 
     /// A last-value-wins gauge.
@@ -236,31 +270,33 @@ impl Recorder {
     /// # Panics
     /// Panics if `name` is already registered as a different metric kind.
     pub fn gauge(&self, name: &str) -> Gauge {
-        let m = self.metric(name, || Metric::Gauge(AtomicU64::new(0f64.to_bits())));
-        if let Some(m) = &m {
-            assert!(
-                matches!(**m, Metric::Gauge(_)),
+        match self.metric(name, || {
+            Metric::Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))
+        }) {
+            Some(Metric::Gauge(v)) => Gauge(Some(v)),
+            Some(m) => panic!(
                 "telemetry metric {name:?} already registered as a {}",
                 m.kind()
-            );
+            ),
+            None => Gauge(None),
         }
-        Gauge(m)
     }
 
-    /// A distribution of non-negative samples.
+    /// A distribution of non-negative samples. The returned handle is
+    /// pre-resolved: recording costs one branch plus a handful of atomic
+    /// ops, with no registry lock or hash on the hot path.
     ///
     /// # Panics
     /// Panics if `name` is already registered as a different metric kind.
     pub fn histogram(&self, name: &str) -> HistogramHandle {
-        let m = self.metric(name, || Metric::Histogram(Histogram::new()));
-        if let Some(m) = &m {
-            assert!(
-                matches!(**m, Metric::Histogram(_)),
+        match self.metric(name, || Metric::Histogram(Arc::new(Histogram::new()))) {
+            Some(Metric::Histogram(h)) => HistogramHandle(Some(h)),
+            Some(m) => panic!(
                 "telemetry metric {name:?} already registered as a {}",
                 m.kind()
-            );
+            ),
+            None => HistogramHandle(None),
         }
-        HistogramHandle(m)
     }
 
     /// Starts a scoped timer; on drop it records elapsed microseconds
@@ -277,7 +313,7 @@ impl Recorder {
     pub fn snapshot(&self) -> Snapshot {
         let mut snap = Snapshot::default();
         for (name, metric) in self.registry.metrics.read().unwrap().iter() {
-            match &**metric {
+            match metric {
                 Metric::Counter(v) => {
                     snap.counters
                         .insert(name.clone(), v.load(Ordering::Relaxed));
@@ -295,19 +331,36 @@ impl Recorder {
     }
 }
 
-/// Counter handle; see [`Recorder::counter`].
+/// Counter handle; see [`Recorder::counter`]. One `Option` branch per op.
 #[derive(Clone)]
-pub struct Counter(Option<Arc<Metric>>);
+pub struct Counter(Option<Arc<AtomicU64>>);
 
 impl Counter {
     /// Adds `n`.
     #[inline]
     pub fn add(&self, n: u64) {
-        if let Some(m) = &self.0 {
-            if let Metric::Counter(v) = &**m {
-                v.fetch_add(n, Ordering::Relaxed);
-            }
+        if let Some(v) = &self.0 {
+            v.fetch_add(n, Ordering::Relaxed);
         }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+}
+
+/// Branch-free counter handle; see [`Recorder::counter_handle`]. Every op
+/// is exactly one atomic add — a disabled handle bumps a detached dummy.
+#[derive(Clone)]
+pub struct CounterHandle(Arc<AtomicU64>);
+
+impl CounterHandle {
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Adds one.
@@ -319,23 +372,22 @@ impl Counter {
 
 /// Gauge handle; see [`Recorder::gauge`].
 #[derive(Clone)]
-pub struct Gauge(Option<Arc<Metric>>);
+pub struct Gauge(Option<Arc<AtomicU64>>);
 
 impl Gauge {
     /// Overwrites the gauge value.
     #[inline]
     pub fn set(&self, value: f64) {
-        if let Some(m) = &self.0 {
-            if let Metric::Gauge(bits) = &**m {
-                bits.store(value.to_bits(), Ordering::Relaxed);
-            }
+        if let Some(bits) = &self.0 {
+            bits.store(value.to_bits(), Ordering::Relaxed);
         }
     }
 }
 
-/// Histogram handle; see [`Recorder::histogram`].
+/// Pre-resolved histogram handle; see [`Recorder::histogram`]. Recording
+/// touches the histogram's atomics directly — no lock, hash, or match.
 #[derive(Clone)]
-pub struct HistogramHandle(Option<Arc<Metric>>);
+pub struct HistogramHandle(Option<Arc<Histogram>>);
 
 impl HistogramHandle {
     /// True when samples go somewhere — lets hot loops skip building the
@@ -348,10 +400,8 @@ impl HistogramHandle {
     /// Records one sample.
     #[inline]
     pub fn record(&self, value: f64) {
-        if let Some(m) = &self.0 {
-            if let Metric::Histogram(h) = &**m {
-                h.record(value);
-            }
+        if let Some(h) = &self.0 {
+            h.record(value);
         }
     }
 }
@@ -390,6 +440,24 @@ pub struct HistogramSummary {
     pub p50: f64,
     /// Approximate 95th percentile.
     pub p95: f64,
+    /// Raw exponential bucket counts (see [`bucket_upper_bound`]).
+    pub buckets: [u64; BUCKETS],
+}
+
+// `[u64; 64]` has no std `Default`, so derive won't do.
+impl Default for HistogramSummary {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+            mean: 0.0,
+            p50: 0.0,
+            p95: 0.0,
+            buckets: [0; BUCKETS],
+        }
+    }
 }
 
 /// A point-in-time copy of a recorder's metrics, name-sorted.
@@ -403,10 +471,221 @@ pub struct Snapshot {
     pub histograms: BTreeMap<String, HistogramSummary>,
 }
 
+/// One metric's change between a baseline and a current snapshot; see
+/// [`Snapshot::diff`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricDelta {
+    /// Metric name.
+    pub name: String,
+    /// `"counter"`, `"gauge"`, or `"histogram_mean"` — what was compared.
+    pub kind: &'static str,
+    /// Baseline value (counter value, gauge value, or histogram mean).
+    pub baseline: f64,
+    /// Current value on the same scale as `baseline`.
+    pub current: f64,
+    /// `(current - baseline) / baseline`; `+Inf` when the baseline is 0
+    /// and the current value is not.
+    pub relative: f64,
+}
+
+/// Per-metric relative deltas between two snapshots; see
+/// [`Snapshot::diff`]. Only metrics present in both snapshots appear.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SnapshotDiff {
+    /// Deltas, name-sorted.
+    pub deltas: Vec<MetricDelta>,
+}
+
+impl SnapshotDiff {
+    /// Looks up one metric's delta by name.
+    pub fn get(&self, name: &str) -> Option<&MetricDelta> {
+        self.deltas.iter().find(|d| d.name == name)
+    }
+
+    /// Deltas whose relative increase exceeds `threshold` (e.g. `0.2`
+    /// flags >20% regressions). Timings and counters both regress
+    /// upward, so only positive deltas count.
+    pub fn regressions(&self, threshold: f64) -> Vec<&MetricDelta> {
+        self.deltas
+            .iter()
+            .filter(|d| d.relative > threshold)
+            .collect()
+    }
+}
+
 impl Snapshot {
     /// True when no metric has been recorded.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Compares this snapshot against a baseline, producing one relative
+    /// delta per metric present in both: counters and gauges by value,
+    /// histograms by mean (`sum / count`) so sample-count differences
+    /// between runs don't masquerade as timing changes.
+    pub fn diff(&self, baseline: &Snapshot) -> SnapshotDiff {
+        fn delta(name: &str, kind: &'static str, baseline: f64, current: f64) -> MetricDelta {
+            let relative = if baseline == 0.0 {
+                if current == 0.0 {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                (current - baseline) / baseline
+            };
+            MetricDelta {
+                name: name.to_string(),
+                kind,
+                baseline,
+                current,
+                relative,
+            }
+        }
+        let mut deltas = Vec::new();
+        for (name, cur) in &self.counters {
+            if let Some(base) = baseline.counters.get(name) {
+                deltas.push(delta(name, "counter", *base as f64, *cur as f64));
+            }
+        }
+        for (name, cur) in &self.gauges {
+            if let Some(base) = baseline.gauges.get(name) {
+                deltas.push(delta(name, "gauge", *base, *cur));
+            }
+        }
+        for (name, cur) in &self.histograms {
+            if let Some(base) = baseline.histograms.get(name) {
+                deltas.push(delta(name, "histogram_mean", base.mean, cur.mean));
+            }
+        }
+        deltas.sort_by(|a, b| a.name.cmp(&b.name));
+        SnapshotDiff { deltas }
+    }
+
+    /// Element-wise median across snapshots — the robust baseline for CI
+    /// regression gates. A metric appears in the result if any input has
+    /// it; each field takes the median of the values that are present.
+    pub fn median(snapshots: &[Snapshot]) -> Snapshot {
+        fn median_u64(mut v: Vec<u64>) -> u64 {
+            v.sort_unstable();
+            v[v.len() / 2]
+        }
+        fn median_f64(mut v: Vec<f64>) -> f64 {
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            v[v.len() / 2]
+        }
+        let mut out = Snapshot::default();
+        let mut counter_names: Vec<&String> =
+            snapshots.iter().flat_map(|s| s.counters.keys()).collect();
+        counter_names.sort();
+        counter_names.dedup();
+        for name in counter_names {
+            let vals: Vec<u64> = snapshots
+                .iter()
+                .filter_map(|s| s.counters.get(name).copied())
+                .collect();
+            out.counters.insert(name.clone(), median_u64(vals));
+        }
+        let mut gauge_names: Vec<&String> =
+            snapshots.iter().flat_map(|s| s.gauges.keys()).collect();
+        gauge_names.sort();
+        gauge_names.dedup();
+        for name in gauge_names {
+            let vals: Vec<f64> = snapshots
+                .iter()
+                .filter_map(|s| s.gauges.get(name).copied())
+                .collect();
+            out.gauges.insert(name.clone(), median_f64(vals));
+        }
+        let mut hist_names: Vec<&String> =
+            snapshots.iter().flat_map(|s| s.histograms.keys()).collect();
+        hist_names.sort();
+        hist_names.dedup();
+        for name in hist_names {
+            let hs: Vec<&HistogramSummary> = snapshots
+                .iter()
+                .filter_map(|s| s.histograms.get(name))
+                .collect();
+            let field =
+                |f: fn(&HistogramSummary) -> f64| median_f64(hs.iter().map(|h| f(h)).collect());
+            let summary = HistogramSummary {
+                count: median_u64(hs.iter().map(|h| h.count).collect()),
+                sum: field(|h| h.sum),
+                min: field(|h| h.min),
+                max: field(|h| h.max),
+                mean: field(|h| h.mean),
+                p50: field(|h| h.p50),
+                p95: field(|h| h.p95),
+                buckets: std::array::from_fn(|i| {
+                    median_u64(hs.iter().map(|h| h.buckets[i]).collect())
+                }),
+            };
+            out.histograms.insert(name.clone(), summary);
+        }
+        out
+    }
+
+    /// Renders the snapshot in Prometheus text exposition format.
+    /// Metric names are prefixed `orex_` with dots mapped to underscores;
+    /// histograms become cumulative `_bucket{le="..."}` series (empty
+    /// buckets elided) plus `_sum` and `_count`.
+    pub fn to_prometheus(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            let mut out = String::with_capacity(name.len() + 5);
+            out.push_str("orex_");
+            for c in name.chars() {
+                if c.is_ascii_alphanumeric() {
+                    out.push(c);
+                } else {
+                    out.push('_');
+                }
+            }
+            out
+        }
+        fn prom_f64(v: f64) -> String {
+            if v == f64::INFINITY {
+                "+Inf".to_string()
+            } else if v == f64::NEG_INFINITY {
+                "-Inf".to_string()
+            } else if v.is_nan() {
+                "NaN".to_string()
+            } else {
+                format!("{v}")
+            }
+        }
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let n = sanitize(name);
+            let _ = writeln!(out, "# TYPE {n} counter");
+            let _ = writeln!(out, "{n} {value}");
+        }
+        for (name, value) in &self.gauges {
+            let n = sanitize(name);
+            let _ = writeln!(out, "# TYPE {n} gauge");
+            let _ = writeln!(out, "{n} {}", prom_f64(*value));
+        }
+        for (name, h) in &self.histograms {
+            let n = sanitize(name);
+            let _ = writeln!(out, "# TYPE {n} histogram");
+            let mut cumulative = 0u64;
+            for (i, &b) in h.buckets.iter().enumerate() {
+                cumulative += b;
+                // The last bucket also absorbs clamped larger values, so
+                // its honest label is the `+Inf` series below.
+                if b == 0 || i == BUCKETS - 1 {
+                    continue;
+                }
+                let _ = writeln!(
+                    out,
+                    "{n}_bucket{{le=\"{}\"}} {cumulative}",
+                    prom_f64(bucket_upper_bound(i))
+                );
+            }
+            let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{n}_sum {}", prom_f64(h.sum));
+            let _ = writeln!(out, "{n}_count {}", h.count);
+        }
+        out
     }
 
     /// Compact JSON: `{"counters":{...},"gauges":{...},"histograms":{...}}`.
@@ -458,6 +737,18 @@ impl Snapshot {
                             let _ = write!(out, "\"{k}\":{}", json_space(ind));
                             json_f64(out, v);
                         }
+                        out.push(',');
+                        newline_indent(out, ind.map(|d| d + 1));
+                        // Buckets stay on one line even in pretty mode —
+                        // 64 entries would drown the rest of the report.
+                        let _ = write!(out, "\"buckets\":{}[", json_space(ind));
+                        for (i, b) in h.buckets.iter().enumerate() {
+                            if i > 0 {
+                                out.push(',');
+                            }
+                            let _ = write!(out, "{b}");
+                        }
+                        out.push(']');
                         newline_indent(out, ind);
                         out.push('}');
                     })
@@ -537,16 +828,22 @@ fn json_object<'a, V: 'a>(
 
 static GLOBAL: OnceLock<Recorder> = OnceLock::new();
 
+/// True when `OREX_TELEMETRY` asks for telemetry (metrics *and* trace
+/// collection) to start disabled.
+pub(crate) fn env_disabled() -> bool {
+    std::env::var("OREX_TELEMETRY")
+        .map(|v| matches!(v.to_ascii_lowercase().as_str(), "0" | "off" | "false"))
+        .unwrap_or(false)
+}
+
 /// The process-wide recorder the engine crates record into. Enabled by
 /// default; disable with `global().set_enabled(false)`, or set the
 /// `OREX_TELEMETRY` environment variable to `0`, `off`, or `false` to
 /// start the process with recording off (handy for overhead A/B runs).
+/// The same variable also disables the global [`tracer`].
 pub fn global() -> &'static Recorder {
     GLOBAL.get_or_init(|| {
-        let disabled = std::env::var("OREX_TELEMETRY")
-            .map(|v| matches!(v.to_ascii_lowercase().as_str(), "0" | "off" | "false"))
-            .unwrap_or(false);
-        if disabled {
+        if env_disabled() {
             Recorder::disabled()
         } else {
             Recorder::new()
@@ -691,5 +988,96 @@ mod tests {
     fn global_is_shared() {
         global().counter("test.global").incr();
         assert!(global().snapshot().counters.contains_key("test.global"));
+    }
+
+    #[test]
+    fn counter_handle_is_live_and_survives_disable() {
+        let r = Recorder::new();
+        let h = r.counter_handle("hot.ops");
+        h.add(2);
+        h.incr();
+        assert_eq!(r.snapshot().counters["hot.ops"], 3);
+        // A handle resolved while disabled bumps a detached dummy.
+        let d = Recorder::disabled();
+        let dead = d.counter_handle("hot.ops");
+        dead.add(100);
+        assert!(d.snapshot().is_empty());
+    }
+
+    #[test]
+    fn snapshot_diff_reports_relative_deltas() {
+        let base = Recorder::new();
+        base.counter("c").add(10);
+        base.histogram("h.us").record(100.0);
+        let cur = Recorder::new();
+        cur.counter("c").add(15);
+        cur.histogram("h.us").record(130.0);
+        cur.counter("only.current").incr();
+        let diff = cur.snapshot().diff(&base.snapshot());
+        let c = diff.get("c").unwrap();
+        assert_eq!(c.kind, "counter");
+        assert!((c.relative - 0.5).abs() < 1e-12, "{}", c.relative);
+        let h = diff.get("h.us").unwrap();
+        assert_eq!(h.kind, "histogram_mean");
+        assert!((h.relative - 0.3).abs() < 1e-12, "{}", h.relative);
+        assert!(diff.get("only.current").is_none(), "unmatched metrics skip");
+        assert_eq!(diff.regressions(0.4).len(), 1);
+        assert_eq!(diff.regressions(0.4)[0].name, "c");
+        assert_eq!(diff.regressions(0.6).len(), 0);
+    }
+
+    #[test]
+    fn snapshot_median_is_per_metric() {
+        let snaps: Vec<Snapshot> = [5u64, 50, 7]
+            .iter()
+            .map(|&v| {
+                let r = Recorder::new();
+                r.counter("c").add(v);
+                r.histogram("h").record(v as f64);
+                r.snapshot()
+            })
+            .collect();
+        let med = Snapshot::median(&snaps);
+        assert_eq!(med.counters["c"], 7);
+        assert_eq!(med.histograms["h"].mean, 7.0);
+        assert_eq!(med.histograms["h"].count, 1);
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let r = Recorder::new();
+        r.counter("session.queries").add(3);
+        r.gauge("authority.power.last_residual").set(0.25);
+        let h = r.histogram("session.rank_us");
+        h.record(3.0);
+        h.record(5.0);
+        let prom = r.snapshot().to_prometheus();
+        assert!(prom.contains("# TYPE orex_session_queries counter\norex_session_queries 3\n"));
+        assert!(prom.contains("orex_authority_power_last_residual 0.25\n"));
+        assert!(prom.contains("# TYPE orex_session_rank_us histogram\n"));
+        // 3.0 and 5.0 land in buckets with upper bounds 4 and 8:
+        // cumulative counts 1 then 2.
+        assert!(
+            prom.contains("orex_session_rank_us_bucket{le=\"4\"} 1\n"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("orex_session_rank_us_bucket{le=\"8\"} 2\n"),
+            "{prom}"
+        );
+        assert!(prom.contains("orex_session_rank_us_bucket{le=\"+Inf\"} 2\n"));
+        assert!(prom.contains("orex_session_rank_us_sum 8\n"));
+        assert!(prom.contains("orex_session_rank_us_count 2\n"));
+    }
+
+    #[test]
+    fn snapshot_json_includes_buckets() {
+        let r = Recorder::new();
+        r.histogram("h").record(3.0);
+        let json = r.snapshot().to_json();
+        assert!(json.contains("\"buckets\":[0,"), "{json}");
+        let pretty = r.snapshot().to_json_pretty();
+        // Buckets stay on one line even pretty-printed.
+        assert!(pretty.contains("\"buckets\": [0,"), "{pretty}");
     }
 }

@@ -1,0 +1,510 @@
+//! Per-query hierarchical tracing.
+//!
+//! A [`Tracer`] mints a fresh [`TraceId`] for every root span and nests
+//! child spans under whatever span is active on the current thread, so
+//! engines get parent/child structure without threading context through
+//! public signatures. Completed spans — start/end timestamps, key=value
+//! attributes, instant events — land in a bounded lock-free ring buffer:
+//! steady-state memory is fixed (oldest spans are evicted first) and a
+//! disabled tracer costs exactly one branch per span with no allocation
+//! and no ring write.
+//!
+//! Drain the ring with [`Tracer::drain`] and render it with the
+//! [`crate::export`] module (Chrome trace-event JSON or folded
+//! flamegraph stacks).
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Identifies one query's trace; every root span mints a fresh id and
+/// its descendants inherit it.
+#[derive(Clone, Copy, Debug, Eq, Hash, Ord, PartialEq, PartialOrd)]
+pub struct TraceId(pub u64);
+
+/// Identifies one span within a tracer.
+#[derive(Clone, Copy, Debug, Eq, Hash, Ord, PartialEq, PartialOrd)]
+pub struct SpanId(pub u64);
+
+/// A typed span attribute value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AttrValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Float.
+    F64(f64),
+    /// String.
+    Str(String),
+}
+
+/// A point-in-time marker recorded inside a span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Event name.
+    pub name: &'static str,
+    /// Nanoseconds since the tracer's epoch.
+    pub at_ns: u64,
+}
+
+/// A completed span drained from the ring buffer.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// Trace this span belongs to.
+    pub trace: TraceId,
+    /// This span's id, unique within the tracer.
+    pub id: SpanId,
+    /// Parent span, `None` for roots. The parent may have been evicted
+    /// from the ring; exporters treat such orphans as roots.
+    pub parent: Option<SpanId>,
+    /// Span name (`crate.component.phase` by convention).
+    pub name: &'static str,
+    /// Start time, nanoseconds since the tracer's epoch.
+    pub start_ns: u64,
+    /// End time, nanoseconds since the tracer's epoch.
+    pub end_ns: u64,
+    /// Attributes attached via [`ActiveSpan::attr_u64`] and friends.
+    pub attrs: Vec<(&'static str, AttrValue)>,
+    /// Instant events attached via [`ActiveSpan::event`].
+    pub events: Vec<TraceEvent>,
+    /// Logical id of the thread the span ran on (small dense integers,
+    /// not OS thread ids).
+    pub tid: u64,
+    /// Completion order: the ring ticket assigned when the span ended.
+    /// [`Tracer::drain`] returns records sorted by this.
+    pub ticket: u64,
+}
+
+impl SpanRecord {
+    /// Span duration in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// Bounded lock-free span sink. Each slot is an `AtomicPtr`; a writer
+/// takes a ticket, `swap`s its boxed record into `slot[ticket % cap]`,
+/// and frees whatever it displaced — so the ring holds at most `cap`
+/// records and eviction is oldest-first by construction.
+struct Ring {
+    head: AtomicU64,
+    slots: Box<[AtomicPtr<SpanRecord>]>,
+}
+
+impl Ring {
+    fn new(capacity: usize) -> Self {
+        let slots: Vec<AtomicPtr<SpanRecord>> = (0..capacity.max(1))
+            .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+            .collect();
+        Self {
+            head: AtomicU64::new(0),
+            slots: slots.into_boxed_slice(),
+        }
+    }
+
+    fn push(&self, mut record: Box<SpanRecord>) {
+        let ticket = self.head.fetch_add(1, Ordering::Relaxed);
+        record.ticket = ticket;
+        let slot = &self.slots[(ticket % self.slots.len() as u64) as usize];
+        let old = slot.swap(Box::into_raw(record), Ordering::AcqRel);
+        if !old.is_null() {
+            // SAFETY: every pointer stored in a slot came from
+            // `Box::into_raw`, and `swap` transfers exclusive ownership
+            // to whoever extracts it — nobody else can see `old` now.
+            drop(unsafe { Box::from_raw(old) });
+        }
+    }
+
+    fn drain(&self) -> Vec<SpanRecord> {
+        let mut out = Vec::new();
+        for slot in self.slots.iter() {
+            let p = slot.swap(std::ptr::null_mut(), Ordering::AcqRel);
+            if !p.is_null() {
+                // SAFETY: as in `push`, the swap hands us sole ownership
+                // of a pointer minted by `Box::into_raw`.
+                out.push(*unsafe { Box::from_raw(p) });
+            }
+        }
+        out.sort_by_key(|r| r.ticket);
+        out
+    }
+}
+
+impl Drop for Ring {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+struct TracerInner {
+    /// Distinguishes tracers on the shared thread-local span stack.
+    id: u64,
+    /// All timestamps are offsets from this instant.
+    epoch: Instant,
+    next_trace: AtomicU64,
+    next_span: AtomicU64,
+    ring: Ring,
+}
+
+impl TracerInner {
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+}
+
+#[derive(Clone, Copy)]
+struct StackEntry {
+    tracer: u64,
+    trace: u64,
+    span: u64,
+}
+
+thread_local! {
+    /// Active-span stack shared by all tracers on this thread; entries
+    /// are tagged with their tracer's id so independent tracers (e.g. a
+    /// test's private tracer next to the global one) never adopt each
+    /// other's spans as parents.
+    static SPAN_STACK: RefCell<Vec<StackEntry>> = const { RefCell::new(Vec::new()) };
+}
+
+static NEXT_TRACER_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Mints per-query trace ids and nested spans; see the module docs.
+/// Cloning shares the underlying ring.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Option<Arc<TracerInner>>,
+}
+
+impl Tracer {
+    /// Ring capacity used by the global [`tracer`].
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// An enabled tracer whose ring holds up to `capacity` completed
+    /// spans (minimum 1); older spans are evicted oldest-first.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Some(Arc::new(TracerInner {
+                id: NEXT_TRACER_ID.fetch_add(1, Ordering::Relaxed),
+                epoch: Instant::now(),
+                next_trace: AtomicU64::new(1),
+                next_span: AtomicU64::new(1),
+                ring: Ring::new(capacity),
+            })),
+        }
+    }
+
+    /// A tracer whose every operation is a no-op: spans cost one branch,
+    /// allocate nothing, and never touch a ring.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// False for a [`Tracer::disabled`] tracer.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Ring capacity (0 when disabled).
+    pub fn capacity(&self) -> usize {
+        self.inner.as_ref().map_or(0, |i| i.ring.slots.len())
+    }
+
+    /// Opens a span. If this thread already has an active span from this
+    /// tracer, the new span becomes its child and joins its trace;
+    /// otherwise it becomes the root of a freshly minted trace. The span
+    /// closes (and its record enters the ring) when the guard drops.
+    pub fn span(&self, name: &'static str) -> ActiveSpan {
+        let Some(inner) = &self.inner else {
+            return ActiveSpan {
+                inner: None,
+                _not_send: PhantomData,
+            };
+        };
+        let id = SpanId(inner.next_span.fetch_add(1, Ordering::Relaxed));
+        let (trace, parent) = SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let inherited = stack
+                .iter()
+                .rev()
+                .find(|e| e.tracer == inner.id)
+                .map(|e| (TraceId(e.trace), Some(SpanId(e.span))));
+            let (trace, parent) = inherited.unwrap_or_else(|| {
+                (
+                    TraceId(inner.next_trace.fetch_add(1, Ordering::Relaxed)),
+                    None,
+                )
+            });
+            stack.push(StackEntry {
+                tracer: inner.id,
+                trace: trace.0,
+                span: id.0,
+            });
+            (trace, parent)
+        });
+        let record = SpanRecord {
+            trace,
+            id,
+            parent,
+            name,
+            start_ns: inner.now_ns(),
+            end_ns: 0,
+            attrs: Vec::new(),
+            events: Vec::new(),
+            tid: TID.with(|t| *t),
+            ticket: 0,
+        };
+        ActiveSpan {
+            inner: Some(Box::new(ActiveInner {
+                tracer: Arc::clone(inner),
+                record,
+            })),
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Removes and returns every completed span in the ring, oldest
+    /// first. Spans still open stay untracked until their guards drop.
+    pub fn drain(&self) -> Vec<SpanRecord> {
+        self.inner
+            .as_ref()
+            .map_or_else(Vec::new, |i| i.ring.drain())
+    }
+}
+
+struct ActiveInner {
+    tracer: Arc<TracerInner>,
+    record: SpanRecord,
+}
+
+/// Guard for an open span; see [`Tracer::span`]. Dropping it stamps the
+/// end timestamp and commits the record to the tracer's ring.
+///
+/// Deliberately `!Send`: parenting lives in a thread-local stack, so a
+/// guard must drop on the thread that opened it.
+pub struct ActiveSpan {
+    inner: Option<Box<ActiveInner>>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl ActiveSpan {
+    /// True when this span will be recorded (its tracer is enabled) —
+    /// lets callers skip computing expensive attribute values.
+    #[inline]
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The trace this span belongs to (`None` when disabled).
+    pub fn trace_id(&self) -> Option<TraceId> {
+        self.inner.as_ref().map(|i| i.record.trace)
+    }
+
+    /// Attaches an unsigned-integer attribute.
+    #[inline]
+    pub fn attr_u64(&mut self, key: &'static str, value: u64) {
+        if let Some(inner) = &mut self.inner {
+            inner.record.attrs.push((key, AttrValue::U64(value)));
+        }
+    }
+
+    /// Attaches a float attribute.
+    #[inline]
+    pub fn attr_f64(&mut self, key: &'static str, value: f64) {
+        if let Some(inner) = &mut self.inner {
+            inner.record.attrs.push((key, AttrValue::F64(value)));
+        }
+    }
+
+    /// Attaches a string attribute. The value is only materialised when
+    /// the span is recording.
+    #[inline]
+    pub fn attr_str(&mut self, key: &'static str, value: impl AsRef<str>) {
+        if let Some(inner) = &mut self.inner {
+            inner
+                .record
+                .attrs
+                .push((key, AttrValue::Str(value.as_ref().to_string())));
+        }
+    }
+
+    /// Records an instant event at the current time inside this span.
+    #[inline]
+    pub fn event(&mut self, name: &'static str) {
+        if let Some(inner) = &mut self.inner {
+            let at_ns = inner.tracer.now_ns();
+            inner.record.events.push(TraceEvent { name, at_ns });
+        }
+    }
+}
+
+impl Drop for ActiveSpan {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        let ActiveInner { tracer, mut record } = *inner;
+        record.end_ns = tracer.now_ns();
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            // Usually the top of the stack, but search downward so an
+            // out-of-order drop (e.g. guards stored in a struct) can't
+            // corrupt unrelated entries.
+            if let Some(pos) = stack
+                .iter()
+                .rposition(|e| e.tracer == tracer.id && e.span == record.id.0)
+            {
+                stack.remove(pos);
+            }
+        });
+        tracer.ring.push(Box::new(record));
+    }
+}
+
+static GLOBAL_TRACER: OnceLock<Tracer> = OnceLock::new();
+
+/// The process-wide tracer the engine crates open spans on. Enabled by
+/// default with a [`Tracer::DEFAULT_CAPACITY`]-span ring; setting
+/// `OREX_TELEMETRY=0|off|false` starts it disabled, making every span a
+/// single-branch no-op.
+pub fn tracer() -> &'static Tracer {
+    GLOBAL_TRACER.get_or_init(|| {
+        if crate::env_disabled() {
+            Tracer::disabled()
+        } else {
+            Tracer::new(Tracer::DEFAULT_CAPACITY)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_then_children_share_a_trace() {
+        let t = Tracer::new(16);
+        {
+            let root = t.span("root");
+            let root_trace = root.trace_id().unwrap();
+            {
+                let child = t.span("child");
+                assert_eq!(child.trace_id(), Some(root_trace));
+                drop(t.span("grandchild"));
+            }
+        }
+        let records = t.drain();
+        assert_eq!(records.len(), 3);
+        // Completion order: grandchild, child, root.
+        assert_eq!(records[0].name, "grandchild");
+        assert_eq!(records[2].name, "root");
+        let root = &records[2];
+        let child = &records[1];
+        let grandchild = &records[0];
+        assert_eq!(root.parent, None);
+        assert_eq!(child.parent, Some(root.id));
+        assert_eq!(grandchild.parent, Some(child.id));
+        assert!(records.iter().all(|r| r.trace == root.trace));
+        assert!(child.start_ns >= root.start_ns && child.end_ns <= root.end_ns);
+    }
+
+    #[test]
+    fn separate_roots_get_separate_traces() {
+        let t = Tracer::new(16);
+        drop(t.span("a"));
+        drop(t.span("b"));
+        let records = t.drain();
+        assert_eq!(records.len(), 2);
+        assert_ne!(records[0].trace, records[1].trace);
+        assert!(records.iter().all(|r| r.parent.is_none()));
+    }
+
+    #[test]
+    fn ring_evicts_oldest_first() {
+        let t = Tracer::new(2);
+        drop(t.span("one"));
+        drop(t.span("two"));
+        drop(t.span("three"));
+        let names: Vec<_> = t.drain().iter().map(|r| r.name).collect();
+        assert_eq!(names, ["two", "three"]);
+        assert!(t.drain().is_empty(), "drain removes records");
+    }
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        let mut span = t.span("root");
+        assert!(!span.is_recording());
+        assert_eq!(span.trace_id(), None);
+        span.attr_u64("k", 1);
+        span.event("e");
+        drop(span);
+        assert!(t.drain().is_empty());
+        // The shared stack stays untouched for other tracers.
+        SPAN_STACK.with(|s| assert!(s.borrow().is_empty()));
+    }
+
+    #[test]
+    fn attributes_and_events_survive_the_ring() {
+        let t = Tracer::new(4);
+        {
+            let mut span = t.span("work");
+            span.attr_u64("n", 7);
+            span.attr_f64("residual", 0.125);
+            span.attr_str("query", "multicast");
+            span.event("pruned");
+        }
+        let records = t.drain();
+        let r = &records[0];
+        assert_eq!(r.attrs[0], ("n", AttrValue::U64(7)));
+        assert_eq!(r.attrs[1], ("residual", AttrValue::F64(0.125)));
+        assert_eq!(r.attrs[2], ("query", AttrValue::Str("multicast".into())));
+        assert_eq!(r.events.len(), 1);
+        assert_eq!(r.events[0].name, "pruned");
+        assert!(r.events[0].at_ns >= r.start_ns && r.events[0].at_ns <= r.end_ns);
+    }
+
+    #[test]
+    fn private_tracers_do_not_adopt_each_others_spans() {
+        let a = Tracer::new(4);
+        let b = Tracer::new(4);
+        let _outer = a.span("a.root");
+        drop(b.span("b.root"));
+        let b_records = b.drain();
+        assert_eq!(b_records[0].parent, None, "b must not parent under a");
+    }
+
+    #[test]
+    fn concurrent_spans_keep_per_thread_parenting() {
+        let t = Tracer::new(256);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let t = t.clone();
+                scope.spawn(move || {
+                    for _ in 0..8 {
+                        let _root = t.span("outer");
+                        drop(t.span("inner"));
+                    }
+                });
+            }
+        });
+        let records = t.drain();
+        assert_eq!(records.len(), 64);
+        for r in records.iter().filter(|r| r.name == "inner") {
+            let parent = records
+                .iter()
+                .find(|p| Some(p.id) == r.parent)
+                .expect("parent present");
+            assert_eq!(parent.name, "outer");
+            assert_eq!(parent.tid, r.tid, "parent chosen from the same thread");
+            assert_eq!(parent.trace, r.trace);
+        }
+    }
+}

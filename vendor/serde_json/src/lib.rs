@@ -3,9 +3,10 @@
 //! The build environment has no registry access, so the workspace vendors
 //! the slice of `serde_json` that the bench harness uses: an owned
 //! [`Value`] tree, an insertion-ordered [`Map`], the [`json!`] macro
-//! (scalar, array, and flat-object forms), and compact/pretty
-//! serialization. No deserialization and no `Serialize` trait — values
-//! are built explicitly via `From` conversions.
+//! (scalar, array, and flat-object forms), compact/pretty serialization,
+//! and untyped deserialization via [`from_str`]. No `Serialize`/
+//! `Deserialize` traits — values are built explicitly via `From`
+//! conversions and inspected through the `as_*` accessors.
 
 #![warn(missing_docs)]
 
@@ -109,6 +110,59 @@ impl Value {
             Value::Object(m) => Some(m),
             _ => None,
         }
+    }
+
+    /// Borrows the element vector when this value is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Borrows the string when this value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean when this value is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Any number as an `f64` (integers convert losslessly up to 2^53).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number(N::F(v))) => Some(*v),
+            Value::Number(Number(N::U(v))) => Some(*v as f64),
+            Value::Number(Number(N::I(v))) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The number as a `u64` when it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number(N::U(v))) => Some(*v),
+            Value::Number(Number(N::I(v))) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// True when this value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object member lookup; `None` for non-objects or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
     }
 
     /// Mutably borrows the object map when this value is an object.
@@ -270,18 +324,269 @@ impl From<Map> for Value {
     }
 }
 
-/// Serialization errors (the stub writer is infallible, but the signature
-/// mirrors `serde_json` so call sites can `?`/`unwrap` identically).
+/// Serialization/deserialization errors. The stub writer is infallible;
+/// the parser reports the byte offset and a short description.
 #[derive(Debug)]
-pub struct Error;
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn at(offset: usize, msg: impl Into<String>) -> Self {
+        Self {
+            msg: format!("{} at byte {offset}", msg.into()),
+        }
+    }
+}
 
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "json serialization error")
+        write!(f, "json error: {}", self.msg)
     }
 }
 
 impl std::error::Error for Error {}
+
+/// Parses a JSON document into an untyped [`Value`].
+///
+/// Supports the full JSON grammar (nested objects/arrays, escapes
+/// including `\uXXXX` with surrogate pairs, scientific-notation numbers).
+/// Trailing non-whitespace input is an error.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::at(p.pos, "trailing characters"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::at(self.pos, format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(Error::at(self.pos, format!("expected '{lit}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(Error::at(self.pos, format!("unexpected '{}'", c as char))),
+            None => Err(Error::at(self.pos, "unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::at(self.pos, "expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(Error::at(self.pos, "expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::at(self.pos, "unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require \uXXXX low half.
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let lo = self.hex4()?;
+                                let code =
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo.wrapping_sub(0xDC00));
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::at(self.pos, "bad surrogate pair"))?
+                            } else {
+                                char::from_u32(hi)
+                                    .ok_or_else(|| Error::at(self.pos, "bad \\u escape"))?
+                            };
+                            out.push(c);
+                        }
+                        _ => return Err(Error::at(self.pos, "unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is a &str, so
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| Error::at(self.pos, "invalid utf-8"))?;
+                    let c = s.chars().next().expect("peeked non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(Error::at(self.pos, "unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self
+                .peek()
+                .ok_or_else(|| Error::at(self.pos, "truncated \\u escape"))?;
+            let d = match b {
+                b'0'..=b'9' => (b - b'0') as u32,
+                b'a'..=b'f' => (b - b'a') as u32 + 10,
+                b'A'..=b'F' => (b - b'A') as u32 + 10,
+                _ => return Err(Error::at(self.pos, "bad hex digit")),
+            };
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut float = false;
+        if self.peek() == Some(b'.') {
+            float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::at(start, "invalid number"))?;
+        if !float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Number(Number(N::U(u))));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(Number(N::I(i))));
+            }
+        }
+        text.parse::<f64>()
+            .map(|f| Value::Number(Number(N::F(f))))
+            .map_err(|_| Error::at(start, "invalid number"))
+    }
+}
 
 /// Serializes a value compactly.
 pub fn to_string(value: &Value) -> Result<String, Error> {
@@ -357,5 +662,60 @@ mod tests {
     #[test]
     fn non_finite_floats_become_null() {
         assert_eq!(to_string(&json!(f64::NAN)).unwrap(), "null");
+    }
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(from_str("null").unwrap(), Value::Null);
+        assert_eq!(from_str("true").unwrap(), json!(true));
+        assert_eq!(from_str("false").unwrap(), json!(false));
+        assert_eq!(from_str("42").unwrap().as_u64(), Some(42));
+        assert_eq!(from_str("-7").unwrap().as_f64(), Some(-7.0));
+        assert_eq!(from_str("2.5e2").unwrap().as_f64(), Some(250.0));
+        assert_eq!(from_str(r#""hi""#).unwrap().as_str(), Some("hi"));
+    }
+
+    #[test]
+    fn parse_nested_and_roundtrip() {
+        let v = json!({
+            "name": "authority.power.iteration_us",
+            "count": 12u64,
+            "mean": 3.5,
+            "tags": vec![json!("a"), json!("b")],
+            "inner": json!({ "ok": true, "none": Value::Null }),
+        });
+        let text = to_string(&v).unwrap();
+        let parsed = from_str(&text).unwrap();
+        assert_eq!(parsed, v);
+        assert_eq!(
+            parsed.get("inner").and_then(|i| i.get("ok")),
+            Some(&json!(true))
+        );
+    }
+
+    #[test]
+    fn parse_string_escapes() {
+        let parsed = from_str(r#""a\"b\\c\ndA😀""#).unwrap();
+        assert_eq!(parsed.as_str(), Some("a\"b\\c\nd\u{41}\u{1F600}"));
+        // \u escapes, including a surrogate pair.
+        let parsed = from_str("\"\\u0041\\uD83D\\uDE00\"").unwrap();
+        assert_eq!(parsed.as_str(), Some("A\u{1F600}"));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_str("").is_err());
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("1 2").is_err());
+        assert!(from_str(r#"{"k": }"#).is_err());
+        assert!(from_str(r#""unterminated"#).is_err());
+    }
+
+    #[test]
+    fn parse_whitespace_tolerant() {
+        let v = from_str(" { \"a\" : [ 1 , 2 ] , \"b\" : { } } ").unwrap();
+        assert_eq!(v.get("a").and_then(Value::as_array).map(Vec::len), Some(2));
+        assert!(v.get("b").and_then(Value::as_object).is_some());
     }
 }
