@@ -1,0 +1,339 @@
+//! HTTP load generator for `orex serve`.
+//!
+//! Hammers a server with a mixed interactive workload — `POST /query`
+//! (drawn from a small keyword pool so the result cache gets hits),
+//! `GET /explain/<session>/<node>` on the top result, and
+//! `POST /feedback/<session>` — from many concurrent connections, then
+//! reports per-endpoint latency percentiles and error counts as the
+//! usual results JSON (`results/loadgen.json`).
+//!
+//! Two modes:
+//! - default: spawns an in-process server on an ephemeral loopback port,
+//!   runs the workload, and drains it with a graceful shutdown — the
+//!   results JSON then also carries the server-side telemetry
+//!   (`server.request_us`, cache hit/miss counters) because server and
+//!   client share the process-global recorder;
+//! - `--addr HOST:PORT`: hammers an externally started `orex serve`
+//!   (the CI `server-smoke` job), regenerating the same preset locally
+//!   only to learn its suggested keywords.
+//!
+//! Exits nonzero on any dropped connection or 5xx response.
+//!
+//! Run: `cargo run -p orex-bench --release --bin loadgen
+//!       [-- --connections 64 --rounds 3 --scale 0.05 [--addr H:P]]`
+
+use orex_bench::{arg_value, build_system, pick_queries, scale_arg, write_json};
+use orex_core::SystemConfig;
+use orex_datagen::Preset;
+use orex_server::{Server, ServerConfig};
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Op {
+    Query,
+    Explain,
+    Feedback,
+}
+
+impl Op {
+    fn name(self) -> &'static str {
+        match self {
+            Op::Query => "query",
+            Op::Explain => "explain",
+            Op::Feedback => "feedback",
+        }
+    }
+}
+
+struct Sample {
+    op: Op,
+    status: u16,
+    latency_us: u64,
+}
+
+#[derive(Default)]
+struct Tally {
+    samples: Vec<Sample>,
+    dropped: usize,
+}
+
+/// One request over a fresh connection (the server closes per request).
+/// Returns the status and body, or `None` when the connection dropped.
+fn request(addr: SocketAddr, raw: &[u8]) -> Option<(u16, String)> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .ok()?;
+    stream.write_all(raw).ok()?;
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).ok()?;
+    let text = String::from_utf8_lossy(&response);
+    let status: u16 = text.split_whitespace().nth(1)?.parse().ok()?;
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Some((status, body))
+}
+
+fn get(addr: SocketAddr, path: &str) -> Option<(u16, String)> {
+    request(
+        addr,
+        format!("GET {path} HTTP/1.1\r\nHost: loadgen\r\n\r\n").as_bytes(),
+    )
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> Option<(u16, String)> {
+    request(
+        addr,
+        format!(
+            "POST {path} HTTP/1.1\r\nHost: loadgen\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+}
+
+fn timed(
+    tally: &Mutex<Tally>,
+    op: Op,
+    reply: Option<(u16, String)>,
+    start: Instant,
+) -> Option<String> {
+    let latency_us = start.elapsed().as_micros() as u64;
+    let mut tally = tally.lock().unwrap();
+    match reply {
+        Some((status, body)) => {
+            tally.samples.push(Sample {
+                op,
+                status,
+                latency_us,
+            });
+            (status == 200).then_some(body)
+        }
+        None => {
+            tally.dropped += 1;
+            None
+        }
+    }
+}
+
+/// One client's workload: query, usually explain the top hit, then one
+/// feedback round — sessions and picks parsed straight off the wire.
+fn run_client(
+    addr: SocketAddr,
+    keywords: &[String],
+    rounds: usize,
+    id: usize,
+    tally: &Mutex<Tally>,
+) {
+    for round in 0..rounds {
+        let keyword = &keywords[(id + round) % keywords.len()];
+        let t = Instant::now();
+        let reply = post(
+            addr,
+            "/query",
+            &format!("{{\"query\": \"{keyword}\", \"k\": 5}}"),
+        );
+        let Some(body) = timed(tally, Op::Query, reply, t) else {
+            continue;
+        };
+        let Ok(payload) = serde_json::from_str(&body) else {
+            continue;
+        };
+        let session = payload.get("session").and_then(|v| v.as_u64());
+        let node = payload
+            .get("results")
+            .and_then(|r| r.as_array())
+            .and_then(|r| r.first())
+            .and_then(|r| r.get("node"))
+            .and_then(|n| n.as_u64());
+        let (Some(session), Some(node)) = (session, node) else {
+            continue;
+        };
+        // 2-in-3 clients inspect an explanation before giving feedback,
+        // mirroring the interactive loop; the rest go straight to it.
+        if !(id + round).is_multiple_of(3) {
+            let t = Instant::now();
+            let reply = get(addr, &format!("/explain/{session}/{node}"));
+            timed(tally, Op::Explain, reply, t);
+        }
+        let t = Instant::now();
+        let reply = post(
+            addr,
+            &format!("/feedback/{session}"),
+            &format!("{{\"objects\": [{node}], \"k\": 5}}"),
+        );
+        timed(tally, Op::Feedback, reply, t);
+    }
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let connections: usize = arg_value("connections")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    let rounds: usize = arg_value("rounds")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let scale = scale_arg(0.05);
+    let preset_name = arg_value("preset").unwrap_or_else(|| "dblp-top".into());
+    let Some(preset) = Preset::parse(&preset_name) else {
+        eprintln!("loadgen: unknown preset '{preset_name}'");
+        std::process::exit(2);
+    };
+    let external_addr = arg_value("addr");
+    let mode = if external_addr.is_some() {
+        "external"
+    } else {
+        "in-process"
+    };
+
+    // Keyword pool: small on purpose, so concurrent clients collide on
+    // the same normalized queries and exercise the result cache.
+    let (keywords, server) = if external_addr.is_some() {
+        // External server: it owns the system; we only need the
+        // deterministic generator's keyword suggestions.
+        let dataset = preset.generate(scale);
+        (dataset.suggested_keywords, None)
+    } else {
+        let (system, _, kws) = build_system(preset, scale, SystemConfig::default());
+        let queries = pick_queries(&system, &kws, 4);
+        let keywords: Vec<String> = queries.iter().map(|q| q.keywords[0].clone()).collect();
+        let server = Server::bind(
+            Arc::new(system),
+            ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                threads: 8,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind loopback");
+        (keywords, Some(server))
+    };
+    let keywords: Vec<String> = keywords.into_iter().take(4).collect();
+    assert!(!keywords.is_empty(), "no keywords to query");
+
+    let (addr, shutdown, server_thread) = match server {
+        Some(server) => {
+            let addr = server.local_addr().expect("local addr");
+            let handle = server.shutdown_handle();
+            let thread = std::thread::spawn(move || server.run());
+            (addr, Some(handle), Some(thread))
+        }
+        None => {
+            let raw = external_addr.unwrap();
+            let addr = raw
+                .to_socket_addrs()
+                .ok()
+                .and_then(|mut a| a.next())
+                .unwrap_or_else(|| {
+                    eprintln!("loadgen: cannot resolve --addr '{raw}'");
+                    std::process::exit(2);
+                });
+            (addr, None, None)
+        }
+    };
+    eprintln!(
+        "[loadgen] {connections} connections x {rounds} rounds against {addr} ({} keywords)",
+        keywords.len()
+    );
+
+    let tally = Mutex::new(Tally::default());
+    let wall = Instant::now();
+    std::thread::scope(|scope| {
+        for id in 0..connections {
+            let keywords = &keywords;
+            let tally = &tally;
+            scope.spawn(move || run_client(addr, keywords, rounds, id, tally));
+        }
+    });
+    let wall = wall.elapsed();
+
+    // Graceful shutdown of the in-process server: drains in-flight
+    // requests; a clean Ok(()) is part of what CI asserts.
+    let clean_shutdown = match (shutdown, server_thread) {
+        (Some(handle), Some(thread)) => {
+            handle.shutdown();
+            thread.join().expect("server thread").is_ok()
+        }
+        _ => true,
+    };
+
+    let tally = tally.into_inner().unwrap();
+    let mut by_op: BTreeMap<&'static str, Vec<u64>> = BTreeMap::new();
+    let mut statuses: BTreeMap<String, u64> = BTreeMap::new();
+    let mut server_errors = 0u64;
+    for s in &tally.samples {
+        by_op.entry(s.op.name()).or_default().push(s.latency_us);
+        *statuses.entry(format!("{}", s.status)).or_insert(0) += 1;
+        if s.status >= 500 {
+            server_errors += 1;
+        }
+    }
+
+    let mut ops = serde_json::Map::new();
+    for (op, mut latencies) in by_op {
+        latencies.sort_unstable();
+        println!(
+            "{op:>9}: {:>5} requests  p50 {:>7}us  p95 {:>7}us  max {:>7}us",
+            latencies.len(),
+            percentile(&latencies, 0.50),
+            percentile(&latencies, 0.95),
+            latencies.last().copied().unwrap_or(0),
+        );
+        ops.insert(
+            op.to_string(),
+            serde_json::json!({
+                "requests": latencies.len() as u64,
+                "p50_us": percentile(&latencies, 0.50),
+                "p95_us": percentile(&latencies, 0.95),
+                "max_us": latencies.last().copied().unwrap_or(0),
+            }),
+        );
+    }
+    let mut status_map = serde_json::Map::new();
+    for (code, n) in &statuses {
+        status_map.insert(code.clone(), serde_json::Value::from(*n));
+    }
+    println!(
+        "   totals: {} requests in {:.2?}, {} dropped, {} server errors, clean shutdown: {clean_shutdown}",
+        tally.samples.len(),
+        wall,
+        tally.dropped,
+        server_errors
+    );
+
+    write_json(
+        "loadgen",
+        &serde_json::json!({
+            "connections": connections as u64,
+            "rounds": rounds as u64,
+            "scale": scale,
+            "mode": mode,
+            "wall_seconds": wall.as_secs_f64(),
+            "requests": tally.samples.len() as u64,
+            "dropped": tally.dropped as u64,
+            "server_errors": server_errors,
+            "clean_shutdown": clean_shutdown,
+            "statuses": serde_json::Value::Object(status_map),
+            "endpoints": serde_json::Value::Object(ops),
+        }),
+    );
+
+    if tally.dropped > 0 || server_errors > 0 || !clean_shutdown {
+        eprintln!("[loadgen] FAILED: drops or server errors present");
+        std::process::exit(1);
+    }
+}

@@ -12,8 +12,10 @@
 
 mod app;
 mod command;
+mod serve;
 mod subcommands;
 
 pub use app::App;
 pub use command::{parse, Command, ParseError, HELP};
+pub use serve::run_serve;
 pub use subcommands::{load_snapshot, run_stats, run_trace, SUBCOMMAND_HELP};

@@ -1,7 +1,7 @@
 //! The `orex` binary: non-interactive subcommands (`trace`, `stats`)
 //! dispatched from argv, falling back to the interactive shell.
 
-use orex_cli::{parse, run_stats, run_trace, App, SUBCOMMAND_HELP};
+use orex_cli::{parse, run_serve, run_stats, run_trace, App, SUBCOMMAND_HELP};
 use std::io::{BufRead, Write};
 
 fn main() {
@@ -17,6 +17,14 @@ fn main() {
         }
         Some("stats") => {
             let code = run_stats(&args[1..], &mut std::io::stdout(), &mut std::io::stderr())
+                .unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    1
+                });
+            std::process::exit(code);
+        }
+        Some("serve") => {
+            let code = run_serve(&args[1..], &mut std::io::stdout(), &mut std::io::stderr())
                 .unwrap_or_else(|e| {
                     eprintln!("{e}");
                     1

@@ -1,0 +1,198 @@
+//! The `orex serve` subcommand: build a system and serve it over HTTP.
+//!
+//! The served dataset comes from a generator preset (same `--preset` /
+//! `--scale` vocabulary as `orex trace`), so a full interactive-loop
+//! deployment is one command:
+//!
+//! ```text
+//! orex serve --addr 127.0.0.1:7474 --preset dblp-top --scale 0.1
+//! ```
+//!
+//! SIGTERM/ctrl-c drain in-flight requests before exit (see
+//! `orex_server::install_signal_handlers`).
+
+use orex_core::{ObjectRankSystem, SystemConfig};
+use orex_datagen::Preset;
+use orex_server::{install_signal_handlers, Server, ServerConfig};
+use std::io::Write;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::subcommands::SUBCOMMAND_HELP;
+
+fn flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, String> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    let Some(raw) = args.get(i + 1) else {
+        return Err(format!("serve: {flag} expects a value"));
+    };
+    raw.parse()
+        .map(Some)
+        .map_err(|_| format!("serve: {flag} got invalid value '{raw}'"))
+}
+
+/// `orex serve [--addr A] [--preset NAME] [--scale F] [--threads N]
+/// [--cache-entries N] [--session-ttl SECS] [--max-sessions N]
+/// [--max-body-kb N] [--timeout-ms N] [--trace-sample N]
+/// [--trace-slow-ms N]` — serve the interactive loop over HTTP.
+/// Returns the process exit code.
+pub fn run_serve(
+    args: &[String],
+    out: &mut dyn Write,
+    err: &mut dyn Write,
+) -> std::io::Result<i32> {
+    let mut config = ServerConfig::default();
+    let parsed: Result<(), String> = (|| {
+        if let Some(addr) = flag::<String>(args, "--addr")? {
+            config.addr = addr;
+        }
+        if let Some(threads) = flag::<usize>(args, "--threads")? {
+            config.threads = threads.max(1);
+        }
+        if let Some(entries) = flag::<usize>(args, "--cache-entries")? {
+            config.cache_entries = entries;
+        }
+        if let Some(secs) = flag::<u64>(args, "--session-ttl")? {
+            config.session_ttl = Duration::from_secs(secs.max(1));
+        }
+        if let Some(max) = flag::<usize>(args, "--max-sessions")? {
+            config.max_sessions = max;
+        }
+        if let Some(kb) = flag::<usize>(args, "--max-body-kb")? {
+            config.max_body_bytes = kb * 1024;
+        }
+        if let Some(ms) = flag::<u64>(args, "--timeout-ms")? {
+            config.io_timeout = Duration::from_millis(ms.max(1));
+        }
+        Ok(())
+    })();
+    if let Err(msg) = parsed {
+        writeln!(err, "{msg}\n\n{SUBCOMMAND_HELP}")?;
+        return Ok(2);
+    }
+
+    let preset_name = flag::<String>(args, "--preset")
+        .unwrap_or_default()
+        .unwrap_or_else(|| "dblp-top".into());
+    let Some(preset) = Preset::parse(&preset_name) else {
+        writeln!(
+            err,
+            "serve: unknown preset '{preset_name}' (dblp-top, dblp-complete, ds7, ds7-cancer)"
+        )?;
+        return Ok(2);
+    };
+    let scale = match flag::<f64>(args, "--scale") {
+        Ok(v) => v.unwrap_or(0.05),
+        Err(msg) => {
+            writeln!(err, "{msg}")?;
+            return Ok(2);
+        }
+    };
+
+    // Trace sampling for the serving workload: 1-in-N requests traced,
+    // slow requests always traced.
+    let tracer = orex_telemetry::tracer();
+    match (
+        flag::<u64>(args, "--trace-sample"),
+        flag::<u64>(args, "--trace-slow-ms"),
+    ) {
+        (Ok(sample), Ok(slow_ms)) => {
+            if let Some(every) = sample {
+                tracer.set_sample_every(every);
+            }
+            if let Some(ms) = slow_ms {
+                tracer.set_slow_threshold(Some(Duration::from_millis(ms)));
+            }
+        }
+        (Err(msg), _) | (_, Err(msg)) => {
+            writeln!(err, "{msg}")?;
+            return Ok(2);
+        }
+    }
+
+    let dataset = preset.generate(scale);
+    let (nodes, edges) = dataset.sizes();
+    writeln!(
+        err,
+        "[serve] {} at scale {scale}: {nodes} nodes, {edges} edges",
+        preset.name()
+    )?;
+    let system = Arc::new(ObjectRankSystem::new(
+        dataset.graph,
+        dataset.ground_truth,
+        SystemConfig::default(),
+    ));
+
+    let server = match Server::bind(Arc::clone(&system), config.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            writeln!(err, "serve: binding {}: {e}", config.addr)?;
+            return Ok(1);
+        }
+    };
+    install_signal_handlers();
+    let addr = server.local_addr()?;
+    writeln!(
+        out,
+        "serving on http://{addr} ({} workers, cache {} entries, session ttl {:?})",
+        config.threads, config.cache_entries, config.session_ttl
+    )?;
+    writeln!(
+        out,
+        "try: curl -s http://{addr}/healthz ; curl -s -XPOST http://{addr}/query -d '{{\"query\": \"data mining\"}}'"
+    )?;
+    out.flush()?;
+    match server.run() {
+        Ok(()) => {
+            writeln!(err, "[serve] drained in-flight requests; clean shutdown")?;
+            Ok(0)
+        }
+        Err(e) => {
+            writeln!(err, "serve: accept loop failed: {e}")?;
+            Ok(1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn bad_flag_values_exit_2() {
+        for bad in [
+            vec!["--threads", "many"],
+            vec!["--session-ttl", "-3"],
+            vec!["--scale", "huge"],
+            vec!["--preset", "nope"],
+            vec!["--timeout-ms"],
+        ] {
+            let mut out = Vec::new();
+            let mut err = Vec::new();
+            let code = run_serve(&argv(&bad), &mut out, &mut err).unwrap();
+            assert_eq!(code, 2, "args {bad:?} must be rejected");
+            assert!(!err.is_empty());
+        }
+    }
+
+    #[test]
+    fn bind_failure_exits_1() {
+        // An unroutable bind address fails fast, after system build.
+        let mut out = Vec::new();
+        let mut err = Vec::new();
+        let code = run_serve(
+            &argv(&["--addr", "256.0.0.1:0", "--scale", "0.01"]),
+            &mut out,
+            &mut err,
+        )
+        .unwrap();
+        assert_eq!(code, 1);
+        let msg = String::from_utf8(err).unwrap();
+        assert!(msg.contains("serve: binding"), "{msg}");
+    }
+}

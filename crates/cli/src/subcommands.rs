@@ -30,7 +30,16 @@ usage:
              [--diff BASELINE.json]... [--threshold F] [--metrics a,b]
                              dump telemetry; with --diff, compare against
                              the median of the baselines and exit 1 on a
-                             regression above the threshold (default 0.2)";
+                             regression above the threshold (default 0.2)
+  orex serve [--addr A] [--preset NAME] [--scale F] [--threads N]
+             [--cache-entries N] [--session-ttl SECS] [--max-sessions N]
+             [--max-body-kb N] [--timeout-ms N] [--trace-sample N]
+             [--trace-slow-ms N]
+                             serve the interactive query/explain/feedback
+                             loop over HTTP (POST /query, GET /explain/
+                             <session>/<node>, POST /feedback/<session>,
+                             GET /healthz|/metrics|/trace/<id>); SIGTERM
+                             or ctrl-c drains in-flight requests";
 
 /// Returns the value following `flag` in `args`.
 fn flag_value(args: &[String], flag: &str) -> Option<String> {

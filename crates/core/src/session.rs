@@ -176,6 +176,36 @@ impl<'s> QuerySession<'s> {
         })
     }
 
+    /// Reconstructs a session from a snapshot without re-ranking.
+    ///
+    /// Where [`Self::restore`] rewinds an existing session, `resume`
+    /// builds one from scratch — the shape a server needs when sessions
+    /// outlive any single borrow of the system: keep the [`SessionSnapshot`]
+    /// (plain owned data, `Send`) between requests and resume it against
+    /// the shared system when the next request arrives. The converged
+    /// scores come straight from the snapshot, so resuming costs one
+    /// weight recomputation, not a power iteration.
+    ///
+    /// # Panics
+    /// Panics if the snapshot comes from a different graph (score
+    /// dimension mismatch).
+    pub fn resume(system: &'s ObjectRankSystem, snapshot: SessionSnapshot) -> Self {
+        assert_eq!(
+            snapshot.scores.len(),
+            system.graph().node_count(),
+            "snapshot belongs to a different graph"
+        );
+        let weights = system.transfer().weights(&snapshot.rates);
+        Self {
+            system,
+            query: snapshot.query,
+            rates: snapshot.rates,
+            weights,
+            scores: snapshot.scores,
+            history: snapshot.history,
+        }
+    }
+
     /// The system this session runs against.
     #[inline]
     pub fn system(&self) -> &'s ObjectRankSystem {
@@ -549,6 +579,40 @@ mod tests {
         let top = session.top_k(3);
         session.feedback(&[top[0].node]).unwrap();
         assert_eq!(session.round(), 1);
+    }
+
+    #[test]
+    fn resume_rebuilds_an_equivalent_session() {
+        let sys = system();
+        let mut original = QuerySession::start(&sys, &Query::parse("data")).unwrap();
+        let top = original.top_k(3);
+        original.feedback(&[top[0].node]).unwrap();
+        let snapshot = original.snapshot();
+        let expected: Vec<u32> = original.top_k(10).iter().map(|r| r.node.raw()).collect();
+
+        let mut resumed = QuerySession::resume(&sys, snapshot);
+        assert_eq!(resumed.round(), 1);
+        let got: Vec<u32> = resumed.top_k(10).iter().map(|r| r.node.raw()).collect();
+        assert_eq!(expected, got, "resume must not perturb the ranking");
+
+        // The resumed session continues the feedback loop identically to
+        // the original (same warm-start scores, same rates).
+        let pick = original.top_k(3)[0].node;
+        original.feedback(&[pick]).unwrap();
+        resumed.feedback(&[pick]).unwrap();
+        let a: Vec<u32> = original.top_k(10).iter().map(|r| r.node.raw()).collect();
+        let b: Vec<u32> = resumed.top_k(10).iter().map(|r| r.node.raw()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "different graph")]
+    fn resume_rejects_foreign_snapshots() {
+        let sys = system();
+        let session = QuerySession::start(&sys, &Query::parse("data")).unwrap();
+        let mut snapshot = session.snapshot();
+        snapshot.scores.pop();
+        let _ = QuerySession::resume(&sys, snapshot);
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! The LRU result cache.
+//!
+//! Keyed on the *normalized* query vector — analyzed terms sorted with
+//! their weights — so "Data  Mining" and "mining data" share an entry.
+//! A hit returns the converged [`SessionSnapshot`] of the original
+//! execution; the handler resumes it into a fresh session, skipping the
+//! power iteration entirely. Hits and misses land in the telemetry
+//! counters `server.cache_hits` / `server.cache_misses`.
+
+use orex_core::SessionSnapshot;
+use orex_ir::QueryVector;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+struct CacheEntry {
+    snapshot: SessionSnapshot,
+    /// Logical access clock for LRU eviction.
+    used_at: u64,
+}
+
+/// Bounded LRU map from normalized query key to converged snapshot.
+pub struct ResultCache {
+    entries: Mutex<(HashMap<String, CacheEntry>, u64)>,
+    capacity: usize,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` distinct queries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            entries: Mutex::new((HashMap::new(), 0)),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Canonical cache key of a query vector: terms sorted, weights
+    /// rendered with full precision.
+    pub fn key(query: &QueryVector) -> String {
+        let mut terms: Vec<(&str, f64)> = query.iter().collect();
+        terms.sort_by(|a, b| a.0.cmp(b.0));
+        let mut key = String::new();
+        for (term, weight) in terms {
+            key.push_str(term);
+            key.push('=');
+            key.push_str(&format!("{weight:.17e};"));
+        }
+        key
+    }
+
+    /// Looks `key` up, bumping its recency and the hit/miss counters.
+    pub fn get(&self, key: &str) -> Option<SessionSnapshot> {
+        let telemetry = orex_telemetry::global();
+        let mut guard = self.entries.lock().unwrap();
+        let (entries, clock) = &mut *guard;
+        *clock += 1;
+        match entries.get_mut(key) {
+            Some(entry) => {
+                entry.used_at = *clock;
+                telemetry.counter("server.cache_hits").incr();
+                Some(entry.snapshot.clone())
+            }
+            None => {
+                telemetry.counter("server.cache_misses").incr();
+                None
+            }
+        }
+    }
+
+    /// Stores the converged snapshot for `key`, evicting the least
+    /// recently used entry when full.
+    pub fn put(&self, key: String, snapshot: SessionSnapshot) {
+        let mut guard = self.entries.lock().unwrap();
+        let (entries, clock) = &mut *guard;
+        *clock += 1;
+        if !entries.contains_key(&key) {
+            while entries.len() >= self.capacity {
+                let Some(victim) = entries
+                    .iter()
+                    .min_by_key(|(_, e)| e.used_at)
+                    .map(|(k, _)| k.clone())
+                else {
+                    break;
+                };
+                entries.remove(&victim);
+                orex_telemetry::global()
+                    .counter("server.cache_evictions")
+                    .incr();
+            }
+        }
+        entries.insert(
+            key,
+            CacheEntry {
+                snapshot,
+                used_at: *clock,
+            },
+        );
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().0.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orex_core::{ObjectRankSystem, QuerySession, SystemConfig};
+    use orex_ir::Query;
+
+    fn snapshot() -> (SessionSnapshot, QueryVector) {
+        let d = orex_datagen::Preset::DblpTop.generate(0.01);
+        let system = ObjectRankSystem::new(d.graph, d.ground_truth, SystemConfig::default());
+        let keyword = d
+            .suggested_keywords
+            .iter()
+            .find(|kw| QuerySession::start(&system, &Query::parse(kw)).is_ok())
+            .expect("some keyword ranks");
+        let session = QuerySession::start(&system, &Query::parse(keyword)).unwrap();
+        (session.snapshot(), session.query_vector().clone())
+    }
+
+    #[test]
+    fn keys_normalize_term_order() {
+        let a = QueryVector::from_weights([("data", 1.0), ("mining", 0.5)]);
+        let b = QueryVector::from_weights([("mining", 0.5), ("data", 1.0)]);
+        assert_eq!(ResultCache::key(&a), ResultCache::key(&b));
+        let c = QueryVector::from_weights([("mining", 0.25), ("data", 1.0)]);
+        assert_ne!(ResultCache::key(&a), ResultCache::key(&c));
+    }
+
+    #[test]
+    fn hit_after_put_miss_before() {
+        let cache = ResultCache::new(4);
+        let (snap, qv) = snapshot();
+        let key = ResultCache::key(&qv);
+        assert!(cache.get(&key).is_none());
+        cache.put(key.clone(), snap);
+        assert!(cache.get(&key).is_some());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_keeps_recent() {
+        let cache = ResultCache::new(2);
+        let (snap, _) = snapshot();
+        cache.put("a".into(), snap.clone());
+        cache.put("b".into(), snap.clone());
+        assert!(cache.get("a").is_some()); // refresh a; b is now LRU
+        cache.put("c".into(), snap);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("b").is_none(), "LRU entry evicted");
+        assert!(cache.get("c").is_some());
+    }
+}

@@ -1,0 +1,284 @@
+//! Minimal HTTP/1.1 request parsing and response rendering.
+//!
+//! Exactly the subset the server needs: a request line, headers,
+//! an optional `Content-Length` body, and `Connection: close` responses.
+//! Every limit is explicit — header section size, header count, body
+//! size — so a hostile peer can at worst waste one worker's read
+//! timeout, never its memory.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Upper bound on the request line + header section, in bytes.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on the number of header lines.
+const MAX_HEADERS: usize = 64;
+
+/// A parsed request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Request method, uppercased by the client (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target path, without query string processing.
+    pub path: String,
+    /// Lower-cased header name/value pairs, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of `name` (ASCII case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 text, if valid.
+    pub fn body_str(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+}
+
+/// Why a request could not be parsed; maps onto a response status.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Peer closed the connection before sending a request line.
+    ConnectionClosed,
+    /// Malformed request line, header, or length field.
+    Malformed(&'static str),
+    /// Declared `Content-Length` exceeds the configured limit.
+    BodyTooLarge(usize),
+    /// I/O failure (including read timeout).
+    Io(std::io::Error),
+}
+
+impl From<std::io::Error> for ParseError {
+    fn from(e: std::io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Reads one request from `stream`, rejecting bodies above
+/// `max_body_bytes`. Read timeouts configured on the underlying socket
+/// surface as `ParseError::Io`.
+pub fn read_request<S: Read>(stream: S, max_body_bytes: usize) -> Result<Request, ParseError> {
+    let mut reader = BufReader::new(stream);
+    let mut head_bytes = 0usize;
+
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(ParseError::ConnectionClosed);
+    }
+    head_bytes += line.len();
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or(ParseError::Malformed("empty request line"))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or(ParseError::Malformed("missing request target"))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or(ParseError::Malformed("missing HTTP version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::Malformed("unsupported HTTP version"));
+    }
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(ParseError::Malformed("invalid method"));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(ParseError::Malformed("connection closed mid-headers"));
+        }
+        head_bytes += line.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(ParseError::Malformed("header section too large"));
+        }
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(ParseError::Malformed("too many headers"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(ParseError::Malformed("header missing colon"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| ParseError::Malformed("bad content-length"))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > max_body_bytes {
+        return Err(ParseError::BodyTooLarge(content_length));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+/// A response under construction.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A JSON error `{"error": message}` with the given status.
+    pub fn error(status: u16, message: &str) -> Self {
+        let payload = serde_json::json!({ "error": message });
+        Self::json(status, serde_json::to_string(&payload).unwrap_or_default())
+    }
+
+    /// The standard reason phrase for this status.
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            413 => "Payload Too Large",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// Writes the full `Connection: close` response to `stream`.
+    pub fn write_to<S: Write>(&self, stream: &mut S) -> std::io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &str) -> Result<Request, ParseError> {
+        read_request(raw.as_bytes(), 1024)
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let r = parse("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/healthz");
+        assert_eq!(r.header("host"), Some("x"));
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_content_length() {
+        let r = parse("POST /query HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello").unwrap();
+        assert_eq!(r.body_str(), Some("hello"));
+    }
+
+    #[test]
+    fn header_lookup_is_case_insensitive() {
+        let r = parse("GET / HTTP/1.1\r\nX-Thing: v\r\n\r\n").unwrap();
+        assert_eq!(r.header("x-thing"), Some("v"));
+        assert_eq!(r.header("X-THING"), Some("v"));
+    }
+
+    #[test]
+    fn rejects_oversized_bodies_by_declared_length() {
+        let e = parse("POST / HTTP/1.1\r\nContent-Length: 9999\r\n\r\n");
+        assert!(matches!(e, Err(ParseError::BodyTooLarge(9999))));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(
+            parse("NOT A REQUEST\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET /\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / FTP/9\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn empty_stream_reports_closed() {
+        assert!(matches!(parse(""), Err(ParseError::ConnectionClosed)));
+    }
+
+    #[test]
+    fn response_renders_with_length_and_close() {
+        let mut out = Vec::new();
+        Response::text(200, "ok\n").write_to(&mut out).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(s.contains("Content-Length: 3\r\n"));
+        assert!(s.contains("Connection: close\r\n"));
+        assert!(s.ends_with("\r\n\r\nok\n"));
+    }
+
+    #[test]
+    fn error_response_is_json() {
+        let r = Response::error(404, "no such session");
+        assert_eq!(r.status, 404);
+        let v = serde_json::from_str(std::str::from_utf8(&r.body).unwrap()).unwrap();
+        assert_eq!(
+            v.get("error").and_then(|e| e.as_str()),
+            Some("no such session")
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! # orex-server — the HTTP query-serving front end
+//!
+//! The paper frames explanation and reformulation as an *interactive*
+//! loop: a user issues an authority-flow query, inspects explaining
+//! subgraphs, marks relevant objects, and the system reformulates and
+//! re-ranks (Sections 5–6). This crate serves that loop over HTTP/1.1
+//! from a shared [`ObjectRankSystem`](orex_core::ObjectRankSystem) —
+//! dependency-free, on `std::net` with a fixed worker thread pool.
+//!
+//! ## Endpoints
+//!
+//! | Route | Meaning |
+//! |---|---|
+//! | `POST /query` | `{"query": "...", "k": 10}` → top-k + session id |
+//! | `GET /explain/<session>/<node>` | explaining subgraph + meta-path summary |
+//! | `POST /feedback/<session>` | `{"objects": [ids]}` → reformulated top-k (warm start) |
+//! | `GET /healthz` | liveness probe |
+//! | `GET /metrics` | Prometheus text exposition of the global recorder |
+//! | `GET /trace/<id>` | Chrome trace-event JSON of an archived request trace |
+//!
+//! Sessions are stored as [`SessionSnapshot`](orex_core::SessionSnapshot)s
+//! (owned data) in a TTL + LRU table and resumed per request; results of
+//! identical normalized queries come from an LRU cache that skips the
+//! power iteration entirely. Requests carry read/write timeouts, a body
+//! limit, `server.*` telemetry, and a per-request trace; SIGTERM/ctrl-c
+//! (or a [`ShutdownHandle`]) drains in-flight requests before exit.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod http;
+pub mod pool;
+pub mod server;
+pub mod sessions;
+pub mod traces;
+
+pub use cache::ResultCache;
+pub use http::{Request, Response};
+pub use pool::ThreadPool;
+pub use server::{install_signal_handlers, Server, ServerConfig, ShutdownHandle};
+pub use sessions::SessionTable;
+pub use traces::TraceArchive;

@@ -1,0 +1,122 @@
+//! A fixed worker thread pool over a shared job channel.
+//!
+//! `std`-only (vendored-deps policy): workers block on an
+//! `mpsc::Receiver` behind a mutex; dropping the pool closes the channel
+//! and joins every worker, so in-flight jobs always run to completion —
+//! which is exactly the drain semantics graceful shutdown needs.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Fixed-size worker pool; see the module docs.
+pub struct ThreadPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawns `threads` workers (minimum 1).
+    pub fn new(threads: usize) -> Self {
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..threads.max(1))
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("orex-worker-{i}"))
+                    .spawn(move || worker_loop(&receiver))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Self {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// Number of workers.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Queues `job`; some idle worker picks it up. Jobs submitted after
+    /// shutdown began are silently dropped.
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
+        if let Some(sender) = &self.sender {
+            let _ = sender.send(Box::new(job));
+        }
+    }
+
+    /// Closes the queue and joins every worker, running all queued and
+    /// in-flight jobs to completion first.
+    pub fn join(&mut self) {
+        drop(self.sender.take());
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.join();
+    }
+}
+
+fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
+    loop {
+        // Hold the lock only while waiting for a job, never while
+        // running one, so workers serve jobs concurrently.
+        let job = match receiver.lock().unwrap().recv() {
+            Ok(job) => job,
+            Err(_) => return, // channel closed: shutdown
+        };
+        job();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn executes_all_jobs_across_workers() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..64 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        drop(pool); // join waits for every job
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn join_drains_in_flight_jobs() {
+        let mut pool = ThreadPool::new(2);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            let done = Arc::clone(&done);
+            pool.execute(move || {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.join();
+        assert_eq!(done.load(Ordering::Relaxed), 8);
+        // Jobs after join are dropped, not panicking.
+        pool.execute(|| unreachable!("queued after shutdown"));
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.threads(), 1);
+    }
+}

@@ -1,0 +1,459 @@
+//! The HTTP server proper: accept loop, routing, and handlers.
+//!
+//! One fixed worker pool serves one connection per request
+//! (`Connection: close`), each request wrapped in a `server.request`
+//! trace span and a `server.request_us` histogram sample. The accept
+//! loop polls a nonblocking listener so it can observe the shutdown
+//! flag (set programmatically or by SIGINT/SIGTERM); on shutdown it
+//! stops accepting and joins the pool, draining in-flight requests.
+
+use crate::cache::ResultCache;
+use crate::http::{read_request, ParseError, Request, Response};
+use crate::pool::ThreadPool;
+use crate::sessions::SessionTable;
+use crate::traces::TraceArchive;
+use orex_core::{ObjectRankSystem, QuerySession, SessionError};
+use orex_graph::NodeId;
+use orex_ir::{Query, QueryVector};
+use serde_json::Value;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`Server::bind`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:7474`. Port 0 picks an ephemeral
+    /// port (see [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads.
+    pub threads: usize,
+    /// LRU result-cache capacity (distinct normalized queries).
+    pub cache_entries: usize,
+    /// Session idle TTL.
+    pub session_ttl: Duration,
+    /// Max live sessions before LRU eviction.
+    pub max_sessions: usize,
+    /// Per-request body limit in bytes.
+    pub max_body_bytes: usize,
+    /// Per-request socket read/write timeout.
+    pub io_timeout: Duration,
+    /// Traces retained for `GET /trace/<id>`.
+    pub max_traces: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7474".to_string(),
+            threads: 8,
+            cache_entries: 256,
+            session_ttl: Duration::from_secs(600),
+            max_sessions: 1024,
+            max_body_bytes: 64 * 1024,
+            io_timeout: Duration::from_secs(5),
+            max_traces: 256,
+        }
+    }
+}
+
+/// Everything a handler needs, shared across workers.
+struct ServerState {
+    system: Arc<ObjectRankSystem>,
+    sessions: SessionTable,
+    cache: ResultCache,
+    traces: TraceArchive,
+    max_body_bytes: usize,
+}
+
+/// Signals a running [`Server`] to stop accepting and drain.
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    stop: Arc<AtomicBool>,
+}
+
+impl ShutdownHandle {
+    /// Requests shutdown; `Server::run` returns after draining.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// True once shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+}
+
+/// Set by the process signal handler; observed by every running server.
+static SIGNAL_STOP: AtomicBool = AtomicBool::new(false);
+
+/// Installs SIGINT/SIGTERM handlers that request graceful shutdown of
+/// every running server in the process. Safe to call more than once.
+/// No-op on non-Unix platforms.
+pub fn install_signal_handlers() {
+    #[cfg(unix)]
+    {
+        // Async-signal-safety: the handler only stores to an AtomicBool.
+        extern "C" fn on_signal(_sig: i32) {
+            SIGNAL_STOP.store(true, Ordering::SeqCst);
+        }
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+/// A bound, not-yet-running server; call [`Server::run`] to serve.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+    config: ServerConfig,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds `config.addr` and prepares the shared state.
+    pub fn bind(system: Arc<ObjectRankSystem>, config: ServerConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let state = Arc::new(ServerState {
+            system,
+            sessions: SessionTable::new(config.session_ttl, config.max_sessions),
+            cache: ResultCache::new(config.cache_entries),
+            traces: TraceArchive::new(config.max_traces),
+            max_body_bytes: config.max_body_bytes,
+        });
+        Ok(Self {
+            listener,
+            state,
+            config,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that stops this server from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            stop: Arc::clone(&self.stop),
+        }
+    }
+
+    /// Serves until shutdown is requested (via [`ShutdownHandle`] or an
+    /// installed signal handler), then drains in-flight requests and
+    /// returns.
+    pub fn run(self) -> io::Result<()> {
+        let mut pool = ThreadPool::new(self.config.threads);
+        let telemetry = orex_telemetry::global();
+        while !self.stop.load(Ordering::SeqCst) && !SIGNAL_STOP.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    telemetry.counter("server.connections").incr();
+                    let state = Arc::clone(&self.state);
+                    let io_timeout = self.config.io_timeout;
+                    pool.execute(move || handle_connection(stream, &state, io_timeout));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        // Stop accepting; drain queued + in-flight requests.
+        pool.join();
+        telemetry.counter("server.clean_shutdowns").incr();
+        Ok(())
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, state: &ServerState, io_timeout: Duration) {
+    let _ = stream.set_read_timeout(Some(io_timeout));
+    let _ = stream.set_write_timeout(Some(io_timeout));
+    let telemetry = orex_telemetry::global();
+    let tracer = orex_telemetry::tracer();
+    let start = Instant::now();
+
+    let response = match read_request(&stream, state.max_body_bytes) {
+        Ok(request) => {
+            telemetry.counter("server.requests").incr();
+            // Root span of this request's trace; handler spans nest
+            // under it. Dropped before the ring is drained below so the
+            // archive sees the complete trace.
+            let response = {
+                let mut span = tracer.span("server.request");
+                if span.is_recording() {
+                    span.attr_str("method", &request.method);
+                    span.attr_str("path", &request.path);
+                }
+                let trace_id = span.trace_id().map(|t| t.0);
+                route(&request, state, trace_id)
+            };
+            state.traces.absorb(tracer.drain());
+            response
+        }
+        Err(ParseError::ConnectionClosed) => return,
+        Err(ParseError::BodyTooLarge(_)) => {
+            telemetry.counter("server.requests").incr();
+            Response::error(413, "request body exceeds limit")
+        }
+        Err(ParseError::Malformed(why)) => {
+            telemetry.counter("server.requests").incr();
+            Response::error(400, why)
+        }
+        Err(ParseError::Io(_)) => {
+            telemetry.counter("server.request_timeouts").incr();
+            Response::error(408, "timed out reading request")
+        }
+    };
+
+    telemetry
+        .histogram("server.request_us")
+        .record(start.elapsed().as_micros() as f64);
+    telemetry
+        .counter(&format!("server.responses_{}xx", response.status / 100))
+        .incr();
+    let _ = response.write_to(&mut stream);
+}
+
+fn route(request: &Request, state: &ServerState, trace_id: Option<u64>) -> Response {
+    let path = request.path.as_str();
+    let segments: Vec<&str> = path
+        .trim_matches('/')
+        .split('/')
+        .filter(|s| !s.is_empty())
+        .collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => Response::text(200, "ok\n"),
+        ("GET", ["metrics"]) => {
+            let _span = orex_telemetry::global().span("server.metrics_us");
+            Response::text(200, orex_telemetry::global().snapshot().to_prometheus())
+        }
+        ("POST", ["query"]) => handle_query(request, state, trace_id),
+        ("GET", ["explain", sid, node]) => handle_explain(state, sid, node),
+        ("POST", ["feedback", sid]) => handle_feedback(request, state, sid),
+        ("GET", ["trace", id]) => handle_trace(state, id),
+        ("POST", ["query" | "feedback", ..]) | ("GET", ["explain" | "trace", ..]) => {
+            Response::error(404, "no such route")
+        }
+        (_, ["healthz" | "metrics" | "query" | "explain" | "feedback" | "trace", ..]) => {
+            Response::error(405, "method not allowed")
+        }
+        _ => Response::error(404, "no such route"),
+    }
+}
+
+/// Parses the request body as a JSON object.
+fn body_object(request: &Request) -> Result<Value, Response> {
+    let text = request
+        .body_str()
+        .ok_or_else(|| Response::error(400, "body is not UTF-8"))?;
+    let value =
+        serde_json::from_str(text).map_err(|_| Response::error(400, "body is not valid JSON"))?;
+    if value.as_object().is_none() {
+        return Err(Response::error(400, "body must be a JSON object"));
+    }
+    Ok(value)
+}
+
+fn ranked_json(session: &QuerySession<'_>, k: usize) -> Value {
+    let results: Vec<Value> = session
+        .top_k(k)
+        .into_iter()
+        .map(|r| {
+            serde_json::json!({
+                "node": r.node.raw(),
+                "score": r.score,
+                "label": r.label,
+                "display": r.display,
+            })
+        })
+        .collect();
+    Value::Array(results)
+}
+
+fn session_error_response(e: &SessionError) -> Response {
+    match e {
+        SessionError::Ranking(_) => Response::error(400, &format!("{e}")),
+        SessionError::Explain(_) => Response::error(400, &format!("{e}")),
+        SessionError::NoFeedbackObjects => Response::error(400, "no feedback objects given"),
+    }
+}
+
+fn requested_k(body: &Value) -> usize {
+    body.get("k")
+        .and_then(Value::as_u64)
+        .map_or(10, |k| (k as usize).clamp(1, 1000))
+}
+
+fn handle_query(request: &Request, state: &ServerState, trace_id: Option<u64>) -> Response {
+    let body = match body_object(request) {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    let Some(query_text) = body.get("query").and_then(Value::as_str) else {
+        return Response::error(400, "missing \"query\" field");
+    };
+    let k = requested_k(&body);
+    let telemetry = orex_telemetry::global();
+    let _span = telemetry.span("server.query_us");
+    telemetry.counter("server.query_requests").incr();
+
+    // Normalize before consulting the cache, so equivalent spellings of
+    // one query share an entry.
+    let query = Query::parse(query_text);
+    let qv = QueryVector::initial(&query, state.system.index().analyzer());
+    let key = ResultCache::key(&qv);
+
+    let (snapshot, cached) = match state.cache.get(&key) {
+        Some(snapshot) => (snapshot, true),
+        None => {
+            let session = match QuerySession::start(&state.system, &query) {
+                Ok(s) => s,
+                Err(e) => return session_error_response(&e),
+            };
+            let snapshot = session.snapshot();
+            state.cache.put(key, snapshot.clone());
+            (snapshot, false)
+        }
+    };
+    let session = QuerySession::resume(&state.system, snapshot.clone());
+    let session_id = state.sessions.insert(snapshot);
+    let payload = serde_json::json!({
+        "session": session_id,
+        "cached": cached,
+        "trace": trace_id.map_or(Value::Null, Value::from),
+        "results": ranked_json(&session, k),
+    });
+    Response::json(200, serde_json::to_string(&payload).unwrap_or_default())
+}
+
+fn parse_id(raw: &str) -> Option<u64> {
+    raw.parse().ok()
+}
+
+fn handle_explain(state: &ServerState, sid: &str, node: &str) -> Response {
+    let telemetry = orex_telemetry::global();
+    let _span = telemetry.span("server.explain_us");
+    telemetry.counter("server.explain_requests").incr();
+    let Some(sid) = parse_id(sid) else {
+        return Response::error(400, "session id must be an integer");
+    };
+    let Ok(node) = node.parse::<u32>() else {
+        return Response::error(400, "node id must be an integer");
+    };
+    let Some(snapshot) = state.sessions.get(sid) else {
+        return Response::error(404, "no such session (expired?)");
+    };
+    let session = QuerySession::resume(&state.system, snapshot);
+    let target = NodeId::new(node);
+    if node as usize >= state.system.graph().node_count() {
+        return Response::error(400, "node id out of range");
+    }
+    let explanation = match session.explain(target) {
+        Ok(e) => e,
+        Err(e) => return session_error_response(&e),
+    };
+    let summary = match session.explain_summary(target, 8) {
+        Ok(s) => s,
+        Err(e) => return session_error_response(&e),
+    };
+    let meta_paths: Vec<Value> = summary
+        .iter()
+        .map(|m| {
+            serde_json::json!({
+                "signature": m.signature.clone(),
+                "count": m.count as u64,
+                "total_flow": m.total_flow,
+            })
+        })
+        .collect();
+    let payload = serde_json::json!({
+        "session": sid,
+        "target": node,
+        "display": state.system.display(target),
+        "target_inflow": explanation.target_inflow(),
+        "nodes": explanation.node_count() as u64,
+        "edges": explanation.edge_count() as u64,
+        "fixpoint_iterations": explanation.iterations() as u64,
+        "converged": explanation.converged(),
+        "meta_paths": Value::Array(meta_paths),
+    });
+    Response::json(200, serde_json::to_string(&payload).unwrap_or_default())
+}
+
+fn handle_feedback(request: &Request, state: &ServerState, sid: &str) -> Response {
+    let telemetry = orex_telemetry::global();
+    let _span = telemetry.span("server.feedback_us");
+    telemetry.counter("server.feedback_requests").incr();
+    let Some(sid) = parse_id(sid) else {
+        return Response::error(400, "session id must be an integer");
+    };
+    let body = match body_object(request) {
+        Ok(v) => v,
+        Err(r) => return r,
+    };
+    let Some(raw_objects) = body.get("objects").and_then(Value::as_array) else {
+        return Response::error(400, "missing \"objects\" array");
+    };
+    let node_count = state.system.graph().node_count();
+    let mut objects = Vec::with_capacity(raw_objects.len());
+    for v in raw_objects {
+        match v.as_u64() {
+            Some(raw) if (raw as usize) < node_count => objects.push(NodeId::new(raw as u32)),
+            _ => return Response::error(400, "objects must be in-range node ids"),
+        }
+    }
+    let k = requested_k(&body);
+    let Some(snapshot) = state.sessions.get(sid) else {
+        return Response::error(404, "no such session (expired?)");
+    };
+    // Warm-start reformulation: resume the stored state, run one
+    // feedback round, store the advanced state back.
+    let mut session = QuerySession::resume(&state.system, snapshot);
+    let stats = match session.feedback(&objects) {
+        Ok(s) => s,
+        Err(e) => return session_error_response(&e),
+    };
+    let advanced = session.snapshot();
+    if !state.sessions.update(sid, advanced.clone()) {
+        // Session expired mid-round; re-insert so the client's id error
+        // on the *next* call, not this one, stays consistent.
+        state.sessions.insert(advanced);
+    }
+    let payload = serde_json::json!({
+        "session": sid,
+        "round": session.round() as u64,
+        "rank_iterations": stats.rank_iterations as u64,
+        "converged": stats.rank_converged,
+        "results": ranked_json(&session, k),
+    });
+    Response::json(200, serde_json::to_string(&payload).unwrap_or_default())
+}
+
+fn handle_trace(state: &ServerState, id: &str) -> Response {
+    let telemetry = orex_telemetry::global();
+    telemetry.counter("server.trace_requests").incr();
+    let Some(id) = parse_id(id) else {
+        return Response::error(400, "trace id must be an integer");
+    };
+    // The requested trace may still sit in the ring (e.g. traced by
+    // another worker that hasn't drained yet): absorb before lookup.
+    state.traces.absorb(orex_telemetry::tracer().drain());
+    match state.traces.get(id) {
+        Some(spans) => Response::json(200, orex_telemetry::export::to_chrome_trace(&spans)),
+        None => Response::error(404, "no such trace (evicted?)"),
+    }
+}

@@ -1,0 +1,181 @@
+//! The in-memory session table.
+//!
+//! `QuerySession` borrows the system, so live sessions can't cross
+//! request boundaries. Instead the table stores each session as a
+//! [`SessionSnapshot`] — plain owned data — and handlers resume it
+//! against the shared system via `QuerySession::resume`, which costs a
+//! weight recomputation rather than a power iteration. Entries expire
+//! after a TTL of disuse and the table holds at most `max_entries`
+//! sessions, evicting least-recently-used first.
+
+use orex_core::SessionSnapshot;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+struct Entry {
+    snapshot: SessionSnapshot,
+    last_used: Instant,
+}
+
+/// TTL + LRU bounded session store; see the module docs.
+pub struct SessionTable {
+    entries: Mutex<HashMap<u64, Entry>>,
+    next_id: AtomicU64,
+    ttl: Duration,
+    max_entries: usize,
+}
+
+impl SessionTable {
+    /// A table whose entries expire after `ttl` of disuse and which
+    /// holds at most `max_entries` sessions (minimum 1).
+    pub fn new(ttl: Duration, max_entries: usize) -> Self {
+        Self {
+            entries: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            ttl,
+            max_entries: max_entries.max(1),
+        }
+    }
+
+    /// Stores a snapshot as a new session and returns its id.
+    pub fn insert(&self, snapshot: SessionSnapshot) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let now = Instant::now();
+        let telemetry = orex_telemetry::global();
+        let mut entries = self.entries.lock().unwrap();
+        Self::sweep(&mut entries, now, self.ttl);
+        while entries.len() >= self.max_entries {
+            let Some((&victim, _)) = entries.iter().min_by_key(|(_, e)| e.last_used) else {
+                break;
+            };
+            entries.remove(&victim);
+            telemetry.counter("server.sessions_evicted").incr();
+        }
+        entries.insert(
+            id,
+            Entry {
+                snapshot,
+                last_used: now,
+            },
+        );
+        telemetry.counter("server.sessions_created").incr();
+        telemetry
+            .gauge("server.sessions_live")
+            .set(entries.len() as f64);
+        id
+    }
+
+    /// Clones the snapshot for `id` and refreshes its TTL clock, or
+    /// `None` if the id is unknown or the entry has expired.
+    pub fn get(&self, id: u64) -> Option<SessionSnapshot> {
+        let now = Instant::now();
+        let mut entries = self.entries.lock().unwrap();
+        Self::sweep(&mut entries, now, self.ttl);
+        let entry = entries.get_mut(&id)?;
+        entry.last_used = now;
+        Some(entry.snapshot.clone())
+    }
+
+    /// Replaces the snapshot for `id` (after a feedback round). Returns
+    /// false if the session vanished (expired/evicted) in the meantime —
+    /// the caller re-inserts in that case.
+    pub fn update(&self, id: u64, snapshot: SessionSnapshot) -> bool {
+        let mut entries = self.entries.lock().unwrap();
+        match entries.get_mut(&id) {
+            Some(entry) => {
+                entry.snapshot = snapshot;
+                entry.last_used = Instant::now();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Live (unexpired) session count.
+    pub fn len(&self) -> usize {
+        let mut entries = self.entries.lock().unwrap();
+        Self::sweep(&mut entries, Instant::now(), self.ttl);
+        entries.len()
+    }
+
+    /// True when no live sessions remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn sweep(entries: &mut HashMap<u64, Entry>, now: Instant, ttl: Duration) {
+        let before = entries.len();
+        entries.retain(|_, e| now.duration_since(e.last_used) < ttl);
+        let expired = before - entries.len();
+        if expired > 0 {
+            let telemetry = orex_telemetry::global();
+            telemetry
+                .counter("server.sessions_expired")
+                .add(expired as u64);
+            telemetry
+                .gauge("server.sessions_live")
+                .set(entries.len() as f64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orex_core::{ObjectRankSystem, QuerySession, SystemConfig};
+    use orex_ir::Query;
+
+    fn snapshot() -> SessionSnapshot {
+        let d = orex_datagen::Preset::DblpTop.generate(0.01);
+        let system = ObjectRankSystem::new(d.graph, d.ground_truth, SystemConfig::default());
+        let keyword = d
+            .suggested_keywords
+            .iter()
+            .find(|kw| QuerySession::start(&system, &Query::parse(kw)).is_ok())
+            .expect("some keyword ranks");
+        QuerySession::start(&system, &Query::parse(keyword))
+            .unwrap()
+            .snapshot()
+    }
+
+    #[test]
+    fn insert_get_update_roundtrip() {
+        let table = SessionTable::new(Duration::from_secs(60), 8);
+        let snap = snapshot();
+        let id = table.insert(snap.clone());
+        assert!(table.get(id).is_some());
+        assert!(table.update(id, snap));
+        assert_eq!(table.len(), 1);
+        assert!(table.get(id + 999).is_none());
+        assert!(!table.update(id + 999, snapshot()));
+    }
+
+    #[test]
+    fn entries_expire_after_ttl() {
+        let table = SessionTable::new(Duration::from_millis(20), 8);
+        let id = table.insert(snapshot());
+        assert!(table.get(id).is_some());
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(table.get(id).is_none(), "expired session must vanish");
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn lru_eviction_respects_capacity() {
+        let table = SessionTable::new(Duration::from_secs(60), 2);
+        let snap = snapshot();
+        let a = table.insert(snap.clone());
+        std::thread::sleep(Duration::from_millis(5));
+        let b = table.insert(snap.clone());
+        std::thread::sleep(Duration::from_millis(5));
+        // Touch `a` so `b` becomes the LRU victim.
+        assert!(table.get(a).is_some());
+        let c = table.insert(snap);
+        assert_eq!(table.len(), 2);
+        assert!(table.get(a).is_some(), "recently used survives");
+        assert!(table.get(b).is_none(), "LRU entry evicted");
+        assert!(table.get(c).is_some());
+    }
+}

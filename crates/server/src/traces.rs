@@ -1,0 +1,132 @@
+//! Server-side archive of completed traces.
+//!
+//! The tracer ring is a shared drain-once buffer: whichever worker
+//! drains it takes everything, including spans of requests other workers
+//! just finished. So after each traced request the handler drains the
+//! global ring into this archive, which merges partial drains by trace
+//! id and serves `GET /trace/<id>` from the merged view. Bounded by
+//! trace count, oldest evicted first.
+
+use orex_telemetry::trace::SpanRecord;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+
+struct Inner {
+    traces: HashMap<u64, Vec<SpanRecord>>,
+    /// Trace ids in first-seen order, driving oldest-first eviction.
+    order: VecDeque<u64>,
+}
+
+/// Bounded id-keyed store of drained spans; see the module docs.
+pub struct TraceArchive {
+    inner: Mutex<Inner>,
+    max_traces: usize,
+}
+
+impl TraceArchive {
+    /// An archive retaining at most `max_traces` traces (minimum 1).
+    pub fn new(max_traces: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                traces: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            max_traces: max_traces.max(1),
+        }
+    }
+
+    /// Merges drained span records into the archive.
+    pub fn absorb(&self, records: Vec<SpanRecord>) {
+        if records.is_empty() {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        for record in records {
+            let id = record.trace.0;
+            let entry = inner.traces.entry(id).or_default();
+            if entry.is_empty() {
+                inner.order.push_back(id);
+            }
+            inner.traces.entry(id).or_default().push(record);
+        }
+        while inner.order.len() > self.max_traces {
+            if let Some(victim) = inner.order.pop_front() {
+                inner.traces.remove(&victim);
+            }
+        }
+    }
+
+    /// All spans of `trace_id`, in completion order, if archived.
+    pub fn get(&self, trace_id: u64) -> Option<Vec<SpanRecord>> {
+        let inner = self.inner.lock().unwrap();
+        let mut spans = inner.traces.get(&trace_id)?.clone();
+        spans.sort_by_key(|r| r.ticket);
+        Some(spans)
+    }
+
+    /// Number of archived traces.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().traces.len()
+    }
+
+    /// True when nothing has been archived.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orex_telemetry::trace::Tracer;
+
+    fn spans_for(tracer: &Tracer, name: &'static str) -> Vec<SpanRecord> {
+        {
+            let _root = tracer.span(name);
+            drop(tracer.span("child"));
+        }
+        tracer.drain()
+    }
+
+    #[test]
+    fn absorb_merges_partial_drains_by_trace() {
+        let tracer = Tracer::new(64);
+        let archive = TraceArchive::new(8);
+        // Simulate two partial drains of one trace.
+        let trace_id;
+        {
+            let root = tracer.span("request");
+            trace_id = root.trace_id().unwrap().0;
+            drop(tracer.span("rank"));
+            archive.absorb(tracer.drain()); // child only: root still open
+        }
+        archive.absorb(tracer.drain()); // root
+        let spans = archive.get(trace_id).unwrap();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "rank");
+        assert_eq!(spans[1].name, "request");
+    }
+
+    #[test]
+    fn eviction_drops_oldest_trace() {
+        let tracer = Tracer::new(64);
+        let archive = TraceArchive::new(2);
+        let mut ids = Vec::new();
+        for name in ["a", "b", "c"] {
+            let records = spans_for(&tracer, name);
+            ids.push(records[0].trace.0);
+            archive.absorb(records);
+        }
+        assert_eq!(archive.len(), 2);
+        assert!(archive.get(ids[0]).is_none(), "oldest trace evicted");
+        assert!(archive.get(ids[1]).is_some());
+        assert!(archive.get(ids[2]).is_some());
+    }
+
+    #[test]
+    fn unknown_trace_is_none() {
+        let archive = TraceArchive::new(2);
+        assert!(archive.get(42).is_none());
+        assert!(archive.is_empty());
+    }
+}

@@ -1,0 +1,445 @@
+//! End-to-end tests: a real server on an ephemeral loopback port,
+//! exercised over real sockets with a minimal test client.
+//!
+//! The tracer ring and telemetry recorder are process-global, so tests
+//! serialize on a mutex — each test then owns every span its requests
+//! produce.
+
+use orex_core::{ObjectRankSystem, QuerySession, SystemConfig};
+use orex_ir::Query;
+use orex_server::{Server, ServerConfig, ShutdownHandle};
+use serde_json::Value;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The system under test plus a keyword guaranteed to rank.
+fn fixture() -> (Arc<ObjectRankSystem>, String) {
+    static FIXTURE: OnceLock<(Arc<ObjectRankSystem>, String)> = OnceLock::new();
+    FIXTURE
+        .get_or_init(|| {
+            let d = orex_datagen::Preset::DblpTop.generate(0.02);
+            let keywords = d.suggested_keywords.clone();
+            let system = Arc::new(ObjectRankSystem::new(
+                d.graph,
+                d.ground_truth,
+                SystemConfig::default(),
+            ));
+            let keyword = keywords
+                .iter()
+                .find(|kw| QuerySession::start(&system, &Query::parse(kw)).is_ok())
+                .expect("some keyword ranks")
+                .clone();
+            (system, keyword)
+        })
+        .clone()
+}
+
+struct TestServer {
+    addr: SocketAddr,
+    handle: ShutdownHandle,
+    thread: Option<std::thread::JoinHandle<std::io::Result<()>>>,
+}
+
+impl TestServer {
+    fn spawn(config: ServerConfig) -> Self {
+        let (system, _) = fixture();
+        let server = Server::bind(system, config).expect("bind ephemeral port");
+        let addr = server.local_addr().unwrap();
+        let handle = server.shutdown_handle();
+        let thread = std::thread::spawn(move || server.run());
+        Self {
+            addr,
+            handle,
+            thread: Some(thread),
+        }
+    }
+
+    fn spawn_default() -> Self {
+        Self::spawn(TestServer::config())
+    }
+
+    fn config() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 4,
+            io_timeout: Duration::from_secs(10),
+            ..ServerConfig::default()
+        }
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        self.handle.shutdown();
+        if let Some(t) = self.thread.take() {
+            t.join().expect("server thread").expect("clean shutdown");
+        }
+    }
+}
+
+struct Reply {
+    status: u16,
+    body: String,
+}
+
+impl Reply {
+    fn json(&self) -> Value {
+        serde_json::from_str(&self.body).unwrap_or_else(|_| panic!("body is JSON: {:?}", self.body))
+    }
+}
+
+/// Sends raw bytes, reads to EOF (the server closes per request).
+fn raw(addr: SocketAddr, request: &[u8]) -> Reply {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(request).expect("send");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("read");
+    let text = String::from_utf8_lossy(&response);
+    let status: u16 = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line in {text:?}"));
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Reply { status, body }
+}
+
+fn get(addr: SocketAddr, path: &str) -> Reply {
+    raw(
+        addr,
+        format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes(),
+    )
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> Reply {
+    raw(
+        addr,
+        format!(
+            "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+}
+
+fn result_nodes(payload: &Value) -> Vec<u64> {
+    payload
+        .get("results")
+        .and_then(Value::as_array)
+        .expect("results array")
+        .iter()
+        .map(|r| r.get("node").and_then(Value::as_u64).expect("node id"))
+        .collect()
+}
+
+#[test]
+fn full_interactive_loop_end_to_end() {
+    let _guard = serial();
+    let (_, keyword) = fixture();
+    let server = TestServer::spawn_default();
+
+    // healthz
+    let reply = get(server.addr, "/healthz");
+    assert_eq!(reply.status, 200);
+    assert_eq!(reply.body, "ok\n");
+
+    // query
+    let reply = post(
+        server.addr,
+        "/query",
+        &format!("{{\"query\": \"{keyword}\", \"k\": 5}}"),
+    );
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let payload = reply.json();
+    let session = payload.get("session").and_then(Value::as_u64).unwrap();
+    let nodes = result_nodes(&payload);
+    assert!(!nodes.is_empty() && nodes.len() <= 5);
+
+    // explain the top result
+    let reply = get(server.addr, &format!("/explain/{session}/{}", nodes[0]));
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let explain = reply.json();
+    assert!(
+        explain
+            .get("target_inflow")
+            .and_then(Value::as_f64)
+            .unwrap()
+            >= 0.0
+    );
+    assert!(explain.get("nodes").and_then(Value::as_u64).unwrap() >= 1);
+    assert!(!explain
+        .get("meta_paths")
+        .and_then(Value::as_array)
+        .unwrap()
+        .is_empty());
+
+    // feedback round
+    let reply = post(
+        server.addr,
+        &format!("/feedback/{session}"),
+        &format!("{{\"objects\": [{}], \"k\": 5}}", nodes[0]),
+    );
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let feedback = reply.json();
+    assert_eq!(feedback.get("round").and_then(Value::as_u64), Some(1));
+    assert!(!result_nodes(&feedback).is_empty());
+
+    // metrics show the traffic and parse as Prometheus text exposition
+    let reply = get(server.addr, "/metrics");
+    assert_eq!(reply.status, 200);
+    assert_prometheus(&reply.body);
+    assert!(reply.body.contains("orex_server_requests"));
+    assert!(reply.body.contains("server_request_us"));
+
+    // the query's trace renders as Chrome trace JSON
+    let trace_id = payload.get("trace").and_then(Value::as_u64).unwrap();
+    let reply = get(server.addr, &format!("/trace/{trace_id}"));
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let trace = reply.json();
+    let events = trace
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents");
+    assert!(
+        events
+            .iter()
+            .any(|e| { e.get("name").and_then(Value::as_str) == Some("server.request") }),
+        "trace contains the request root span"
+    );
+}
+
+/// Minimal Prometheus text-format validation: every non-comment line is
+/// `name{...} value` or `name value`, every `# TYPE` names a metric.
+fn assert_prometheus(text: &str) {
+    assert!(!text.is_empty());
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            assert!(
+                rest.starts_with("TYPE ") || rest.starts_with("HELP "),
+                "bad comment: {line:?}"
+            );
+            continue;
+        }
+        let (name_part, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+            panic!("metric line has no value: {line:?}");
+        });
+        let name = name_part.split('{').next().unwrap();
+        assert!(
+            name.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "bad metric name: {name:?}"
+        );
+        assert!(
+            value.parse::<f64>().is_ok() || value == "+Inf" || value == "NaN",
+            "bad value in {line:?}"
+        );
+    }
+}
+
+#[test]
+fn repeated_query_hits_the_cache_with_identical_results() {
+    let _guard = serial();
+    let (_, keyword) = fixture();
+    let server = TestServer::spawn_default();
+    let body = format!("{{\"query\": \"{keyword}\"}}");
+
+    let first = post(server.addr, "/query", &body).json();
+    assert_eq!(first.get("cached").and_then(Value::as_bool), Some(false));
+
+    // Different spelling, same normalized query vector.
+    let respelled = format!("{{\"query\": \"  {} \"}}", keyword.to_uppercase());
+    let second = post(server.addr, "/query", &respelled).json();
+    assert_eq!(second.get("cached").and_then(Value::as_bool), Some(true));
+    assert_eq!(result_nodes(&first), result_nodes(&second));
+    // Distinct sessions: feedback on one must not affect the other.
+    assert_ne!(
+        first.get("session").and_then(Value::as_u64),
+        second.get("session").and_then(Value::as_u64)
+    );
+}
+
+#[test]
+fn server_feedback_matches_in_process_session() {
+    let _guard = serial();
+    let (system, keyword) = fixture();
+    let server = TestServer::spawn_default();
+
+    let query = post(
+        server.addr,
+        "/query",
+        &format!("{{\"query\": \"{keyword}\", \"k\": 10}}"),
+    )
+    .json();
+    let session_id = query.get("session").and_then(Value::as_u64).unwrap();
+    let nodes = result_nodes(&query);
+    let picks = &nodes[..2.min(nodes.len())];
+    let picks_json: Vec<String> = picks.iter().map(u64::to_string).collect();
+    let served = post(
+        server.addr,
+        &format!("/feedback/{session_id}"),
+        &format!("{{\"objects\": [{}], \"k\": 10}}", picks_json.join(",")),
+    )
+    .json();
+
+    // The equivalent in-process run.
+    let mut local = QuerySession::start(&system, &Query::parse(&keyword)).unwrap();
+    let local_initial: Vec<u64> = local
+        .top_k(10)
+        .iter()
+        .map(|r| r.node.raw() as u64)
+        .collect();
+    assert_eq!(nodes, local_initial, "initial top-k must match");
+    let objects: Vec<orex_graph::NodeId> = picks
+        .iter()
+        .map(|&n| orex_graph::NodeId::new(n as u32))
+        .collect();
+    local.feedback(&objects).unwrap();
+    let local_after: Vec<u64> = local
+        .top_k(10)
+        .iter()
+        .map(|r| r.node.raw() as u64)
+        .collect();
+
+    assert_eq!(
+        result_nodes(&served),
+        local_after,
+        "reformulated top-k must match the in-process run"
+    );
+}
+
+#[test]
+fn malformed_requests_get_400s_not_crashes() {
+    let _guard = serial();
+    let server = TestServer::spawn_default();
+
+    assert_eq!(raw(server.addr, b"NONSENSE\r\n\r\n").status, 400);
+    assert_eq!(raw(server.addr, b"GET / FTP/9\r\n\r\n").status, 400);
+    assert_eq!(post(server.addr, "/query", "not json").status, 400);
+    assert_eq!(post(server.addr, "/query", "[1,2]").status, 400);
+    assert_eq!(post(server.addr, "/query", "{}").status, 400);
+    assert_eq!(
+        post(server.addr, "/query", "{\"query\": \"zzzqqqxx\"}").status,
+        400,
+        "unknown keyword is a client error"
+    );
+    assert_eq!(post(server.addr, "/feedback/abc", "{}").status, 400);
+    assert_eq!(get(server.addr, "/explain/1",).status, 404);
+    assert_eq!(get(server.addr, "/no/such/route").status, 404);
+    assert_eq!(get(server.addr, "/query").status, 405);
+    // The server is still healthy afterwards.
+    assert_eq!(get(server.addr, "/healthz").status, 200);
+}
+
+#[test]
+fn oversized_body_is_rejected_with_413() {
+    let _guard = serial();
+    let mut config = TestServer::config();
+    config.max_body_bytes = 256;
+    let server = TestServer::spawn(config);
+    let big = "x".repeat(1024);
+    let reply = post(server.addr, "/query", &big);
+    assert_eq!(reply.status, 413);
+    assert_eq!(get(server.addr, "/healthz").status, 200);
+}
+
+#[test]
+fn sessions_expire_after_ttl() {
+    let _guard = serial();
+    let (_, keyword) = fixture();
+    let mut config = TestServer::config();
+    config.session_ttl = Duration::from_millis(80);
+    let server = TestServer::spawn(config);
+
+    let query = post(
+        server.addr,
+        "/query",
+        &format!("{{\"query\": \"{keyword}\"}}"),
+    )
+    .json();
+    let session = query.get("session").and_then(Value::as_u64).unwrap();
+    let nodes = result_nodes(&query);
+    assert_eq!(
+        get(server.addr, &format!("/explain/{session}/{}", nodes[0])).status,
+        200
+    );
+    std::thread::sleep(Duration::from_millis(200));
+    assert_eq!(
+        get(server.addr, &format!("/explain/{session}/{}", nodes[0])).status,
+        404,
+        "expired session must 404"
+    );
+    assert_eq!(
+        post(
+            server.addr,
+            &format!("/feedback/{session}"),
+            "{\"objects\": [1]}"
+        )
+        .status,
+        404
+    );
+}
+
+#[test]
+fn concurrent_clients_see_no_server_errors() {
+    let _guard = serial();
+    let (_, keyword) = fixture();
+    let server = TestServer::spawn_default();
+    let addr = server.addr;
+
+    let statuses: Vec<u16> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..64)
+            .map(|i| {
+                let keyword = keyword.clone();
+                scope.spawn(move || {
+                    if i % 3 == 0 {
+                        get(addr, "/healthz").status
+                    } else if i % 3 == 1 {
+                        get(addr, "/metrics").status
+                    } else {
+                        post(addr, "/query", &format!("{{\"query\": \"{keyword}\"}}")).status
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(statuses.len(), 64);
+    for status in statuses {
+        assert!(status < 500, "no server errors under concurrency");
+        assert_ne!(status, 0, "no dropped connections");
+    }
+}
+
+#[test]
+fn graceful_shutdown_reports_clean_exit() {
+    let _guard = serial();
+    let server = TestServer::spawn_default();
+    assert_eq!(get(server.addr, "/healthz").status, 200);
+    drop(server); // Drop asserts run() returned Ok after drain.
+    let snapshot = orex_telemetry::global().snapshot();
+    assert!(
+        snapshot
+            .counters
+            .get("server.clean_shutdowns")
+            .copied()
+            .unwrap_or(0)
+            >= 1
+    );
+}

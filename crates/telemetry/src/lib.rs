@@ -30,8 +30,8 @@ pub use trace::{tracer, ActiveSpan, AttrValue, SpanId, SpanRecord, TraceEvent, T
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Instant;
 
 /// Number of exponential histogram buckets; bucket `i` holds values in
@@ -161,7 +161,136 @@ fn update_f64(bits: &AtomicU64, f: impl Fn(f64) -> f64) {
 
 struct Registry {
     enabled: AtomicBool,
+    /// Bumped on every [`Recorder::reset`] and on re-enabling, so
+    /// pre-resolved handles ([`CounterHandle`], [`HistogramHandle`]) know
+    /// to re-resolve instead of going permanently stale in a long-lived
+    /// process; see [`HandleCore`].
+    generation: AtomicU64,
     metrics: RwLock<HashMap<String, Metric>>,
+}
+
+impl Registry {
+    /// Looks a metric up, registering it when absent. `None` while the
+    /// registry is disabled.
+    fn resolve(&self, name: &str, make: fn() -> Metric) -> Option<Metric> {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return None;
+        }
+        if let Some(m) = self.metrics.read().unwrap().get(name) {
+            return Some(m.clone());
+        }
+        let mut metrics = self.metrics.write().unwrap();
+        Some(metrics.entry(name.to_string()).or_insert_with(make).clone())
+    }
+}
+
+/// Shared core of the pre-resolved handle types: a raw pointer to the
+/// metric's storage plus the registry generation it was resolved under.
+/// When the generation moves ([`Recorder::reset`] or re-enabling after
+/// [`Recorder::set_enabled`]`(false)`), the next operation re-resolves
+/// through the registry — so a handle cached in a `OnceLock` by a
+/// long-lived server keeps recording across resets instead of silently
+/// going stale. The fast path is two atomic loads, a compare, and the
+/// metric update itself.
+struct HandleCore<T> {
+    registry: Arc<Registry>,
+    name: String,
+    resolve: fn(&Registry, &str) -> Option<Arc<T>>,
+    dummy: fn() -> Arc<T>,
+    /// Registry generation `target` was resolved under.
+    generation: AtomicU64,
+    /// True when `target` points at registry-owned storage (samples show
+    /// up in snapshots), false when it points at a detached dummy.
+    live: AtomicBool,
+    target: AtomicPtr<T>,
+    /// Every storage Arc this handle has ever pointed at, kept alive so
+    /// the raw `target` pointer stays valid without per-op locking.
+    /// Generations only move on reset/re-enable, so this stays tiny.
+    retained: Mutex<Vec<Arc<T>>>,
+}
+
+impl<T> HandleCore<T> {
+    fn new(
+        registry: Arc<Registry>,
+        name: String,
+        resolve: fn(&Registry, &str) -> Option<Arc<T>>,
+        dummy: fn() -> Arc<T>,
+    ) -> Self {
+        let core = Self {
+            registry,
+            name,
+            resolve,
+            dummy,
+            generation: AtomicU64::new(0),
+            live: AtomicBool::new(false),
+            target: AtomicPtr::new(std::ptr::null_mut()),
+            retained: Mutex::new(Vec::new()),
+        };
+        core.re_resolve();
+        core
+    }
+
+    #[inline]
+    fn check_generation(&self) {
+        let gen = self.registry.generation.load(Ordering::Acquire);
+        if gen != self.generation.load(Ordering::Acquire) {
+            self.re_resolve();
+        }
+    }
+
+    /// The current storage target, re-resolving first when the registry
+    /// generation moved. A detached handle's target is a private dummy
+    /// no snapshot ever reads.
+    #[inline]
+    fn target(&self) -> &T {
+        self.check_generation();
+        // SAFETY: `target` always points into an Arc held by `retained`
+        // for as long as this core lives (see `re_resolve`).
+        unsafe { &*self.target.load(Ordering::Acquire) }
+    }
+
+    /// The target only when live — lets callers skip building samples
+    /// for a detached handle.
+    #[inline]
+    fn live_target(&self) -> Option<&T> {
+        self.check_generation();
+        if !self.live.load(Ordering::Acquire) {
+            return None;
+        }
+        // SAFETY: as in `target`.
+        Some(unsafe { &*self.target.load(Ordering::Acquire) })
+    }
+
+    /// True when operations reach registry-owned storage.
+    fn is_live(&self) -> bool {
+        self.check_generation();
+        self.live.load(Ordering::Acquire)
+    }
+
+    #[cold]
+    fn re_resolve(&self) {
+        let mut retained = self.retained.lock().unwrap();
+        let gen = self.registry.generation.load(Ordering::Acquire);
+        // Another thread may have re-resolved while we waited on the
+        // lock; the null check covers the very first resolution.
+        if gen == self.generation.load(Ordering::Acquire)
+            && !self.target.load(Ordering::Acquire).is_null()
+        {
+            return;
+        }
+        let (arc, live) = match (self.resolve)(&self.registry, &self.name) {
+            Some(arc) => (arc, true),
+            None => ((self.dummy)(), false),
+        };
+        // Publish target before generation: a fast path that observes the
+        // new generation (Acquire) is therefore guaranteed to also see
+        // the new target.
+        self.target
+            .store(Arc::as_ptr(&arc) as *mut T, Ordering::Release);
+        self.live.store(live, Ordering::Release);
+        retained.push(arc);
+        self.generation.store(gen, Ordering::Release);
+    }
 }
 
 /// A cheaply cloneable handle to a metric registry.
@@ -187,6 +316,7 @@ impl Recorder {
         Self {
             registry: Arc::new(Registry {
                 enabled: AtomicBool::new(true),
+                generation: AtomicU64::new(1),
                 metrics: RwLock::new(HashMap::new()),
             }),
         }
@@ -201,9 +331,14 @@ impl Recorder {
     }
 
     /// Turns recording on or off. Off, the recorder hands out no-op
-    /// handles; already-issued live handles keep recording.
+    /// handles; already-issued live handles keep recording. Enabling
+    /// bumps the handle generation, so pre-resolved handles that were
+    /// minted while disabled attach to real storage on their next op.
     pub fn set_enabled(&self, enabled: bool) {
         self.registry.enabled.store(enabled, Ordering::Relaxed);
+        if enabled {
+            self.registry.generation.fetch_add(1, Ordering::Release);
+        }
     }
 
     /// Whether new handles will record.
@@ -211,21 +346,17 @@ impl Recorder {
         self.registry.enabled.load(Ordering::Relaxed)
     }
 
-    /// Drops every registered metric.
+    /// Drops every registered metric and bumps the handle generation:
+    /// pre-resolved [`CounterHandle`]s / [`HistogramHandle`]s re-resolve
+    /// (and re-register their metric) on their next operation instead of
+    /// recording into orphaned storage forever.
     pub fn reset(&self) {
         self.registry.metrics.write().unwrap().clear();
+        self.registry.generation.fetch_add(1, Ordering::Release);
     }
 
     fn metric(&self, name: &str, make: fn() -> Metric) -> Option<Metric> {
-        if !self.is_enabled() {
-            return None;
-        }
-        if let Some(m) = self.registry.metrics.read().unwrap().get(name) {
-            return Some(m.clone());
-        }
-        let mut metrics = self.registry.metrics.write().unwrap();
-        let m = metrics.entry(name.to_string()).or_insert_with(make);
-        Some(m.clone())
+        self.registry.resolve(name, make)
     }
 
     /// A monotonically increasing counter.
@@ -243,26 +374,26 @@ impl Recorder {
         }
     }
 
-    /// A pre-resolved, branch-free counter for hot loops: bumping it is a
-    /// single atomic add with no registry lock, hash, enum match, or even
-    /// an `Option` branch. When the recorder is disabled the handle bumps
-    /// a private dummy atomic that no snapshot ever reads.
+    /// A pre-resolved counter for hot loops: bumping it is a generation
+    /// check (two atomic loads and a compare) plus one atomic add — no
+    /// registry lock, hash, or enum match. While the recorder is disabled
+    /// the handle bumps a private dummy atomic that no snapshot reads.
     ///
-    /// Resolve once (e.g. in a `OnceLock`) and reuse; a handle resolved
-    /// while disabled stays detached even if recording is re-enabled, and
-    /// [`Recorder::reset`] detaches all previously issued handles.
+    /// Resolve once (e.g. in a `OnceLock`) and reuse. The handle never
+    /// goes permanently stale: after [`Recorder::reset`], or when a
+    /// handle minted while disabled sees recording re-enabled, the next
+    /// op transparently re-resolves (re-registering the metric if
+    /// needed) — the property a long-lived server front end relies on.
     ///
     /// # Panics
     /// Panics if `name` is already registered as a different metric kind.
     pub fn counter_handle(&self, name: &str) -> CounterHandle {
-        match self.metric(name, || Metric::Counter(Arc::new(AtomicU64::new(0)))) {
-            Some(Metric::Counter(v)) => CounterHandle(v),
-            Some(m) => panic!(
-                "telemetry metric {name:?} already registered as a {}",
-                m.kind()
-            ),
-            None => CounterHandle(Arc::new(AtomicU64::new(0))),
-        }
+        CounterHandle(Arc::new(HandleCore::new(
+            Arc::clone(&self.registry),
+            name.to_string(),
+            resolve_counter,
+            || Arc::new(AtomicU64::new(0)),
+        )))
     }
 
     /// A last-value-wins gauge.
@@ -283,20 +414,20 @@ impl Recorder {
     }
 
     /// A distribution of non-negative samples. The returned handle is
-    /// pre-resolved: recording costs one branch plus a handful of atomic
-    /// ops, with no registry lock or hash on the hot path.
+    /// pre-resolved: recording costs a generation check plus a handful of
+    /// atomic ops, with no registry lock or hash on the hot path, and —
+    /// like [`Recorder::counter_handle`] — it re-resolves transparently
+    /// after [`Recorder::reset`] or re-enabling instead of going stale.
     ///
     /// # Panics
     /// Panics if `name` is already registered as a different metric kind.
     pub fn histogram(&self, name: &str) -> HistogramHandle {
-        match self.metric(name, || Metric::Histogram(Arc::new(Histogram::new()))) {
-            Some(Metric::Histogram(h)) => HistogramHandle(Some(h)),
-            Some(m) => panic!(
-                "telemetry metric {name:?} already registered as a {}",
-                m.kind()
-            ),
-            None => HistogramHandle(None),
-        }
+        HistogramHandle(Arc::new(HandleCore::new(
+            Arc::clone(&self.registry),
+            name.to_string(),
+            resolve_histogram,
+            || Arc::new(Histogram::new()),
+        )))
     }
 
     /// Starts a scoped timer; on drop it records elapsed microseconds
@@ -304,7 +435,7 @@ impl Recorder {
     pub fn span(&self, name: &str) -> Span {
         let hist = self.histogram(name);
         Span {
-            start: hist.0.is_some().then(Instant::now),
+            start: hist.is_recording().then(Instant::now),
             hist,
         }
     }
@@ -351,22 +482,43 @@ impl Counter {
     }
 }
 
-/// Branch-free counter handle; see [`Recorder::counter_handle`]. Every op
-/// is exactly one atomic add — a disabled handle bumps a detached dummy.
+/// Pre-resolved counter handle; see [`Recorder::counter_handle`]. Every
+/// op is a generation check plus one atomic add — a detached handle
+/// bumps a private dummy, and a stale handle re-resolves itself.
 #[derive(Clone)]
-pub struct CounterHandle(Arc<AtomicU64>);
+pub struct CounterHandle(Arc<HandleCore<AtomicU64>>);
 
 impl CounterHandle {
     /// Adds `n`.
     #[inline]
     pub fn add(&self, n: u64) {
-        self.0.fetch_add(n, Ordering::Relaxed);
+        self.0.target().fetch_add(n, Ordering::Relaxed);
     }
 
     /// Adds one.
     #[inline]
     pub fn incr(&self) {
         self.add(1);
+    }
+}
+
+fn resolve_counter(registry: &Registry, name: &str) -> Option<Arc<AtomicU64>> {
+    match registry.resolve(name, || Metric::Counter(Arc::new(AtomicU64::new(0))))? {
+        Metric::Counter(v) => Some(v),
+        m => panic!(
+            "telemetry metric {name:?} already registered as a {}",
+            m.kind()
+        ),
+    }
+}
+
+fn resolve_histogram(registry: &Registry, name: &str) -> Option<Arc<Histogram>> {
+    match registry.resolve(name, || Metric::Histogram(Arc::new(Histogram::new())))? {
+        Metric::Histogram(h) => Some(h),
+        m => panic!(
+            "telemetry metric {name:?} already registered as a {}",
+            m.kind()
+        ),
     }
 }
 
@@ -385,22 +537,23 @@ impl Gauge {
 }
 
 /// Pre-resolved histogram handle; see [`Recorder::histogram`]. Recording
-/// touches the histogram's atomics directly — no lock, hash, or match.
+/// touches the histogram's atomics directly — no lock, hash, or match —
+/// after a generation check that re-resolves a stale handle.
 #[derive(Clone)]
-pub struct HistogramHandle(Option<Arc<Histogram>>);
+pub struct HistogramHandle(Arc<HandleCore<Histogram>>);
 
 impl HistogramHandle {
     /// True when samples go somewhere — lets hot loops skip building the
     /// sample (e.g. reading the clock) on disabled recorders.
     #[inline]
     pub fn is_recording(&self) -> bool {
-        self.0.is_some()
+        self.0.is_live()
     }
 
     /// Records one sample.
     #[inline]
     pub fn record(&self, value: f64) {
-        if let Some(h) = &self.0 {
+        if let Some(h) = self.0.live_target() {
             h.record(value);
         }
     }
@@ -1002,6 +1155,71 @@ mod tests {
         let dead = d.counter_handle("hot.ops");
         dead.add(100);
         assert!(d.snapshot().is_empty());
+    }
+
+    #[test]
+    fn handles_re_resolve_after_reset() {
+        let r = Recorder::new();
+        let c = r.counter_handle("hot.ops");
+        let h = r.histogram("hot.us");
+        c.add(5);
+        h.record(1.0);
+        r.reset();
+        assert!(r.snapshot().is_empty());
+        // The pre-reset handles re-attach (re-registering the metrics)
+        // instead of recording into orphaned storage forever.
+        c.add(2);
+        h.record(3.0);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters["hot.ops"], 2);
+        assert_eq!(snap.histograms["hot.us"].count, 1);
+        assert_eq!(snap.histograms["hot.us"].sum, 3.0);
+    }
+
+    #[test]
+    fn handles_resolved_while_disabled_attach_on_enable() {
+        let r = Recorder::disabled();
+        let c = r.counter_handle("late.ops");
+        let h = r.histogram("late.us");
+        c.incr();
+        h.record(1.0);
+        assert!(!h.is_recording());
+        assert!(r.snapshot().is_empty());
+        r.set_enabled(true);
+        c.add(3);
+        h.record(2.0);
+        assert!(h.is_recording());
+        let snap = r.snapshot();
+        assert_eq!(snap.counters["late.ops"], 3);
+        assert_eq!(snap.histograms["late.us"].count, 1);
+    }
+
+    #[test]
+    fn concurrent_handle_re_resolution_is_safe() {
+        let r = Recorder::new();
+        let c = r.counter_handle("contended.ops");
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let c = c.clone();
+                scope.spawn(move || {
+                    for _ in 0..2_000 {
+                        c.incr();
+                    }
+                });
+            }
+            let r = r.clone();
+            scope.spawn(move || {
+                for _ in 0..10 {
+                    r.reset();
+                    std::thread::yield_now();
+                }
+            });
+        });
+        // Post-reset increments all land in the *current* registration;
+        // exact counts depend on interleaving, but the final add must be
+        // visible and the metric re-registered.
+        c.add(1);
+        assert!(r.snapshot().counters["contended.ops"] >= 1);
     }
 
     #[test]

@@ -12,12 +12,22 @@
 //! Drain the ring with [`Tracer::drain`] and render it with the
 //! [`crate::export`] module (Chrome trace-event JSON or folded
 //! flamegraph stacks).
+//!
+//! Under real traffic, recording *every* trace just fills the ring with
+//! the most recent queries rather than the most interesting ones. Per
+//! the 1-in-N sampling of [`Tracer::set_sample_every`] (or the
+//! `OREX_TRACE_SAMPLE` environment variable), unsampled traces buffer
+//! their spans until the root completes and are then discarded — unless
+//! the root ran at least [`Tracer::set_slow_threshold`]
+//! (`OREX_TRACE_SLOW_US`), in which case the whole trace is promoted to
+//! the ring anyway. Slow outliers are always retained.
 
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
-use std::time::Instant;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 /// Identifies one query's trace; every root span mints a fresh id and
 /// its descendants inherit it.
@@ -137,6 +147,25 @@ impl Drop for Ring {
     }
 }
 
+/// 1-in-N trace sampling state; see [`Tracer::set_sample_every`].
+struct Sampling {
+    /// Record 1-in-`every` root spans (and their descendants); `<= 1`
+    /// means every trace is recorded.
+    every: AtomicU64,
+    /// Unsampled traces whose root runs at least this long are promoted
+    /// to the ring anyway; `u64::MAX` = never promote.
+    slow_ns: AtomicU64,
+    /// Root spans seen, driving the 1-in-N decision.
+    roots: AtomicU64,
+    /// Completed spans of still-open *unsampled* traces, keyed by trace
+    /// id and held until their root decides promote-or-discard.
+    pending: Mutex<HashMap<u64, Vec<SpanRecord>>>,
+}
+
+/// At most this many unsampled traces buffer pending spans at once —
+/// a leak guard, since well-formed traces drain when their root drops.
+const MAX_PENDING_TRACES: usize = 256;
+
 struct TracerInner {
     /// Distinguishes tracers on the shared thread-local span stack.
     id: u64,
@@ -145,6 +174,7 @@ struct TracerInner {
     next_trace: AtomicU64,
     next_span: AtomicU64,
     ring: Ring,
+    sampling: Sampling,
 }
 
 impl TracerInner {
@@ -158,6 +188,9 @@ struct StackEntry {
     tracer: u64,
     trace: u64,
     span: u64,
+    /// Whether this trace won the 1-in-N sampling draw (children
+    /// inherit the root's decision).
+    sampled: bool,
 }
 
 thread_local! {
@@ -196,6 +229,12 @@ impl Tracer {
                 next_trace: AtomicU64::new(1),
                 next_span: AtomicU64::new(1),
                 ring: Ring::new(capacity),
+                sampling: Sampling {
+                    every: AtomicU64::new(1),
+                    slow_ns: AtomicU64::new(u64::MAX),
+                    roots: AtomicU64::new(0),
+                    pending: Mutex::new(HashMap::new()),
+                },
             })),
         }
     }
@@ -216,6 +255,45 @@ impl Tracer {
         self.inner.as_ref().map_or(0, |i| i.ring.slots.len())
     }
 
+    /// Samples 1-in-`every` traces: only every `every`-th root span (and
+    /// its descendants) commits to the ring; the rest buffer until their
+    /// root completes and are discarded — unless promoted by the slow
+    /// threshold. `0` and `1` both mean "record every trace" (the
+    /// default). No-op on a disabled tracer.
+    pub fn set_sample_every(&self, every: u64) {
+        if let Some(inner) = &self.inner {
+            inner.sampling.every.store(every.max(1), Ordering::Relaxed);
+        }
+    }
+
+    /// The current 1-in-N sampling rate (1 = every trace).
+    pub fn sample_every(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(1, |i| i.sampling.every.load(Ordering::Relaxed).max(1))
+    }
+
+    /// Unsampled traces whose *root* span runs at least `threshold` are
+    /// committed to the ring anyway, so slow outliers are always
+    /// retained under sampling. `None` (the default) never promotes.
+    pub fn set_slow_threshold(&self, threshold: Option<Duration>) {
+        if let Some(inner) = &self.inner {
+            let ns = threshold.map_or(u64::MAX, |d| {
+                u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+            });
+            inner.sampling.slow_ns.store(ns, Ordering::Relaxed);
+        }
+    }
+
+    /// The always-trace slow threshold, when one is set.
+    pub fn slow_threshold(&self) -> Option<Duration> {
+        let ns = self
+            .inner
+            .as_ref()
+            .map_or(u64::MAX, |i| i.sampling.slow_ns.load(Ordering::Relaxed));
+        (ns != u64::MAX).then(|| Duration::from_nanos(ns))
+    }
+
     /// Opens a span. If this thread already has an active span from this
     /// tracer, the new span becomes its child and joins its trace;
     /// otherwise it becomes the root of a freshly minted trace. The span
@@ -228,25 +306,30 @@ impl Tracer {
             };
         };
         let id = SpanId(inner.next_span.fetch_add(1, Ordering::Relaxed));
-        let (trace, parent) = SPAN_STACK.with(|s| {
+        let (trace, parent, sampled) = SPAN_STACK.with(|s| {
             let mut stack = s.borrow_mut();
             let inherited = stack
                 .iter()
                 .rev()
                 .find(|e| e.tracer == inner.id)
-                .map(|e| (TraceId(e.trace), Some(SpanId(e.span))));
-            let (trace, parent) = inherited.unwrap_or_else(|| {
+                .map(|e| (TraceId(e.trace), Some(SpanId(e.span)), e.sampled));
+            let (trace, parent, sampled) = inherited.unwrap_or_else(|| {
+                let every = inner.sampling.every.load(Ordering::Relaxed);
+                let sampled =
+                    every <= 1 || inner.sampling.roots.fetch_add(1, Ordering::Relaxed) % every == 0;
                 (
                     TraceId(inner.next_trace.fetch_add(1, Ordering::Relaxed)),
                     None,
+                    sampled,
                 )
             });
             stack.push(StackEntry {
                 tracer: inner.id,
                 trace: trace.0,
                 span: id.0,
+                sampled,
             });
-            (trace, parent)
+            (trace, parent, sampled)
         });
         let record = SpanRecord {
             trace,
@@ -264,6 +347,7 @@ impl Tracer {
             inner: Some(Box::new(ActiveInner {
                 tracer: Arc::clone(inner),
                 record,
+                sampled,
             })),
             _not_send: PhantomData,
         }
@@ -281,6 +365,7 @@ impl Tracer {
 struct ActiveInner {
     tracer: Arc<TracerInner>,
     record: SpanRecord,
+    sampled: bool,
 }
 
 /// Guard for an open span; see [`Tracer::span`]. Dropping it stamps the
@@ -349,7 +434,11 @@ impl Drop for ActiveSpan {
         let Some(inner) = self.inner.take() else {
             return;
         };
-        let ActiveInner { tracer, mut record } = *inner;
+        let ActiveInner {
+            tracer,
+            mut record,
+            sampled,
+        } = *inner;
         record.end_ns = tracer.now_ns();
         SPAN_STACK.with(|s| {
             let mut stack = s.borrow_mut();
@@ -363,7 +452,38 @@ impl Drop for ActiveSpan {
                 stack.remove(pos);
             }
         });
-        tracer.ring.push(Box::new(record));
+        if sampled {
+            tracer.ring.push(Box::new(record));
+            return;
+        }
+        if record.parent.is_some() {
+            // Unsampled child: hold it until the root decides whether
+            // the trace is promoted (slow) or discarded.
+            let mut pending = tracer.sampling.pending.lock().unwrap();
+            let at_cap =
+                pending.len() >= MAX_PENDING_TRACES && !pending.contains_key(&record.trace.0);
+            if !at_cap {
+                let buf = pending.entry(record.trace.0).or_default();
+                if buf.len() < tracer.ring.slots.len() {
+                    buf.push(record);
+                }
+            }
+            return;
+        }
+        // Unsampled root: the trace is complete. Promote everything if
+        // the root crossed the slow threshold, otherwise drop it all.
+        let buffered = tracer
+            .sampling
+            .pending
+            .lock()
+            .unwrap()
+            .remove(&record.trace.0);
+        if record.duration_ns() >= tracer.sampling.slow_ns.load(Ordering::Relaxed) {
+            for span in buffered.into_iter().flatten() {
+                tracer.ring.push(Box::new(span));
+            }
+            tracer.ring.push(Box::new(record));
+        }
     }
 }
 
@@ -372,13 +492,28 @@ static GLOBAL_TRACER: OnceLock<Tracer> = OnceLock::new();
 /// The process-wide tracer the engine crates open spans on. Enabled by
 /// default with a [`Tracer::DEFAULT_CAPACITY`]-span ring; setting
 /// `OREX_TELEMETRY=0|off|false` starts it disabled, making every span a
-/// single-branch no-op.
+/// single-branch no-op. `OREX_TRACE_SAMPLE=N` starts it sampling 1-in-N
+/// traces and `OREX_TRACE_SLOW_US=T` promotes any unsampled trace whose
+/// root ran at least `T` microseconds.
 pub fn tracer() -> &'static Tracer {
     GLOBAL_TRACER.get_or_init(|| {
         if crate::env_disabled() {
             Tracer::disabled()
         } else {
-            Tracer::new(Tracer::DEFAULT_CAPACITY)
+            let t = Tracer::new(Tracer::DEFAULT_CAPACITY);
+            if let Some(every) = std::env::var("OREX_TRACE_SAMPLE")
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+            {
+                t.set_sample_every(every);
+            }
+            if let Some(us) = std::env::var("OREX_TRACE_SLOW_US")
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+            {
+                t.set_slow_threshold(Some(Duration::from_micros(us)));
+            }
+            t
         }
     })
 }
@@ -479,6 +614,75 @@ mod tests {
         drop(b.span("b.root"));
         let b_records = b.drain();
         assert_eq!(b_records[0].parent, None, "b must not parent under a");
+    }
+
+    #[test]
+    fn sampling_records_one_in_n_traces() {
+        let t = Tracer::new(64);
+        t.set_sample_every(2);
+        assert_eq!(t.sample_every(), 2);
+        for _ in 0..4 {
+            let _root = t.span("root");
+            drop(t.span("child"));
+        }
+        let records = t.drain();
+        // Roots 0 and 2 win the draw (0 % 2 == 0), each with one child.
+        assert_eq!(records.len(), 4);
+        let traces: std::collections::HashSet<_> = records.iter().map(|r| r.trace).collect();
+        assert_eq!(traces.len(), 2);
+        assert_eq!(records.iter().filter(|r| r.name == "root").count(), 2);
+        // Discarded traces left nothing pending.
+        let inner = t.inner.as_ref().unwrap();
+        assert!(inner.sampling.pending.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn slow_unsampled_traces_are_promoted() {
+        let t = Tracer::new(64);
+        t.set_sample_every(u64::MAX); // only root 0 samples; everything after loses
+        t.set_slow_threshold(Some(Duration::ZERO)); // ...but everything is "slow"
+        assert_eq!(t.slow_threshold(), Some(Duration::ZERO));
+        drop(t.span("first")); // sampled (draw 0)
+        {
+            let _root = t.span("slow.root"); // unsampled, promoted on drop
+            drop(t.span("slow.child"));
+        }
+        let records = t.drain();
+        let names: Vec<_> = records.iter().map(|r| r.name).collect();
+        assert_eq!(names, ["first", "slow.child", "slow.root"]);
+        let root = records.iter().find(|r| r.name == "slow.root").unwrap();
+        let child = records.iter().find(|r| r.name == "slow.child").unwrap();
+        assert_eq!(child.parent, Some(root.id));
+        assert_eq!(child.trace, root.trace);
+    }
+
+    #[test]
+    fn discarded_traces_clear_their_pending_buffer() {
+        let t = Tracer::new(64);
+        t.set_sample_every(u64::MAX);
+        drop(t.span("winner")); // draw 0: sampled
+        {
+            let _root = t.span("loser.root");
+            drop(t.span("loser.child"));
+        }
+        let names: Vec<_> = t.drain().iter().map(|r| r.name).collect();
+        assert_eq!(names, ["winner"], "unsampled trace fully discarded");
+        let inner = t.inner.as_ref().unwrap();
+        assert!(
+            inner.sampling.pending.lock().unwrap().is_empty(),
+            "root drop must free the buffered children"
+        );
+    }
+
+    #[test]
+    fn sampling_disabled_by_default() {
+        let t = Tracer::new(16);
+        assert_eq!(t.sample_every(), 1);
+        assert_eq!(t.slow_threshold(), None);
+        for _ in 0..5 {
+            drop(t.span("root"));
+        }
+        assert_eq!(t.drain().len(), 5);
     }
 
     #[test]
