@@ -1,0 +1,271 @@
+//! Findings and diagnostic rendering.
+//!
+//! Output mimics rustc's `error[E0308]: ...` / `  --> file:line:col`
+//! shape so editors and humans already know how to read it, and a
+//! hand-rolled JSON serializer produces the machine-readable report the
+//! CI `analyze` job archives. (Hand-rolled because this crate is
+//! deliberately dependency-free — it must gate the workspace, so it
+//! cannot depend on it.)
+
+use std::fmt::Write as _;
+
+/// The six project lint rules.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// `unsafe` without an attached `// SAFETY:` comment.
+    Orx001,
+    /// `unwrap()` / `expect()` / `panic!` in a scoped hot path.
+    Orx002,
+    /// Atomic-ordering audit: unjustified `Relaxed` or `SeqCst`.
+    Orx003,
+    /// Inconsistent two-lock acquisition order (deadlock potential).
+    Orx004,
+    /// `std::process::exit` / thread sleep outside allowlisted crates.
+    Orx005,
+    /// Debt census over budget (`TODO` / `FIXME` / `#[allow]`).
+    Orx006,
+}
+
+impl Rule {
+    /// Stable rule ID, e.g. `ORX001`.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::Orx001 => "ORX001",
+            Rule::Orx002 => "ORX002",
+            Rule::Orx003 => "ORX003",
+            Rule::Orx004 => "ORX004",
+            Rule::Orx005 => "ORX005",
+            Rule::Orx006 => "ORX006",
+        }
+    }
+
+    /// One-line description used in help output and the JSON report.
+    pub fn summary(self) -> &'static str {
+        match self {
+            Rule::Orx001 => "unsafe code must carry an attached `// SAFETY:` comment",
+            Rule::Orx002 => "no unwrap()/expect()/panic! in server/telemetry hot paths",
+            Rule::Orx003 => "atomic Relaxed/SeqCst orderings need `// ORDERING:` justification",
+            Rule::Orx004 => "lock pairs must be acquired in a consistent order",
+            Rule::Orx005 => "no process::exit or thread sleep outside cli/bench",
+            Rule::Orx006 => "debt census (TODO/FIXME/#[allow]) exceeds committed budget",
+        }
+    }
+
+    /// Parses `ORX001`-style IDs (case-insensitive).
+    pub fn parse(s: &str) -> Option<Rule> {
+        match s.to_ascii_uppercase().as_str() {
+            "ORX001" => Some(Rule::Orx001),
+            "ORX002" => Some(Rule::Orx002),
+            "ORX003" => Some(Rule::Orx003),
+            "ORX004" => Some(Rule::Orx004),
+            "ORX005" => Some(Rule::Orx005),
+            "ORX006" => Some(Rule::Orx006),
+            _ => None,
+        }
+    }
+
+    /// All rules, for report summaries.
+    pub fn all() -> [Rule; 6] {
+        [
+            Rule::Orx001,
+            Rule::Orx002,
+            Rule::Orx003,
+            Rule::Orx004,
+            Rule::Orx005,
+            Rule::Orx006,
+        ]
+    }
+}
+
+/// One violation.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line (0 for file-level findings such as budget overruns).
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// The full result of an analysis run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, sorted by (file, line, col, rule).
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Debt census counts (always reported, even under budget).
+    pub census: Census,
+    /// Waivers that were honoured, for visibility in the JSON report.
+    pub waived: usize,
+}
+
+/// Debt census totals across the scanned tree.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Census {
+    /// `TODO` markers in comments.
+    pub todo: usize,
+    /// `FIXME` markers in comments.
+    pub fixme: usize,
+    /// `#[allow(...)]` attributes in code.
+    pub allow_attr: usize,
+}
+
+impl Report {
+    /// Sorts findings into deterministic display order.
+    pub fn sort(&mut self) {
+        self.findings.sort_by(|a, b| {
+            (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule))
+        });
+    }
+
+    /// rustc-style human-readable rendering.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(out, "error[{}]: {}", f.rule.id(), f.message);
+            if f.line > 0 {
+                let _ = writeln!(out, "  --> {}:{}:{}", f.file, f.line, f.col);
+            } else {
+                let _ = writeln!(out, "  --> {}", f.file);
+            }
+            let _ = writeln!(out, "  = note: {}", f.rule.summary());
+        }
+        let _ = writeln!(
+            out,
+            "orex-analyze: {} file(s) scanned, {} finding(s), {} waiver(s) honoured",
+            self.files_scanned,
+            self.findings.len(),
+            self.waived
+        );
+        let _ = writeln!(
+            out,
+            "debt census: {} TODO, {} FIXME, {} #[allow]",
+            self.census.todo, self.census.fixme, self.census.allow_attr
+        );
+        out
+    }
+
+    /// Machine-readable JSON rendering for the CI artifact.
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(out, "  \"waived\": {},", self.waived);
+        let _ = writeln!(
+            out,
+            "  \"census\": {{\"todo\": {}, \"fixme\": {}, \"allow_attr\": {}}},",
+            self.census.todo, self.census.fixme, self.census.allow_attr
+        );
+        // Per-rule counts make CI dashboards trivial.
+        out.push_str("  \"counts\": {");
+        for (i, r) in Rule::all().iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let n = self.findings.iter().filter(|f| f.rule == *r).count();
+            let _ = write!(out, "\"{}\": {}", r.id(), n);
+        }
+        out.push_str("},\n");
+        out.push_str("  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"col\": {}, \"message\": \"{}\"}}",
+                f.rule.id(),
+                json_escape(&f.file),
+                f.line,
+                f.col,
+                json_escape(&f.message)
+            );
+            out.push_str(if i + 1 < self.findings.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n");
+        let _ = writeln!(out, "  \"ok\": {}", self.findings.is_empty());
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: Rule, file: &str, line: u32) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line,
+            col: 5,
+            message: "msg".to_string(),
+        }
+    }
+
+    #[test]
+    fn text_rendering_is_rustc_shaped() {
+        let mut r = Report {
+            findings: vec![finding(Rule::Orx002, "crates/server/src/server.rs", 42)],
+            files_scanned: 3,
+            ..Report::default()
+        };
+        r.sort();
+        let text = r.render_text();
+        assert!(text.contains("error[ORX002]:"));
+        assert!(text.contains("--> crates/server/src/server.rs:42:5"));
+    }
+
+    #[test]
+    fn json_report_counts_and_escapes() {
+        let r = Report {
+            findings: vec![Finding {
+                rule: Rule::Orx001,
+                file: "a.rs".to_string(),
+                line: 1,
+                col: 1,
+                message: "needs \"SAFETY\"\ncomment".to_string(),
+            }],
+            files_scanned: 1,
+            ..Report::default()
+        };
+        let json = r.render_json();
+        assert!(json.contains("\"ORX001\": 1"));
+        assert!(json.contains("\\\"SAFETY\\\"\\ncomment"));
+        assert!(json.contains("\"ok\": false"));
+    }
+
+    #[test]
+    fn rule_ids_round_trip() {
+        for r in Rule::all() {
+            assert_eq!(Rule::parse(r.id()), Some(r));
+        }
+        assert_eq!(Rule::parse("ORX999"), None);
+    }
+}

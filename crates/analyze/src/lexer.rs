@@ -1,0 +1,437 @@
+//! A minimal token-level Rust lexer.
+//!
+//! The lint rules in [`crate::rules`] need exactly four things a regex
+//! cannot deliver reliably: (1) code tokens with comments and string
+//! literals stripped out — so `"call unwrap()"` in a message string is
+//! not a finding; (2) comments *retained* with positions — so
+//! `// SAFETY:` / `// ORDERING:` justifications and
+//! `// orex::allow(...)` waivers attach to the code they annotate;
+//! (3) line/column spans for rustc-style diagnostics; and (4) enough
+//! raw-string/char/lifetime disambiguation not to mis-lex real code.
+//!
+//! It is not a full Rust lexer: numeric literal suffixes, shebangs and
+//! exotic punctuation are handled coarsely, which is fine because the
+//! rules only ever match identifier/punct sequences.
+
+/// What a [`Token`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// A single punctuation character (`::` arrives as two `:` tokens).
+    Punct,
+    /// String, char, byte or numeric literal (content not preserved for
+    /// strings — rules must never match inside literals).
+    Literal,
+    /// A lifetime such as `'a`.
+    Lifetime,
+}
+
+/// One code token with its 1-based source position.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Token kind.
+    pub kind: TokenKind,
+    /// Token text (for [`TokenKind::Literal`] strings this is the
+    /// placeholder `"\"…\""`, never the content).
+    pub text: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (in bytes).
+    pub col: u32,
+}
+
+impl Token {
+    /// True when this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// True when this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// One comment (line or block) with the line range it covers.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// First line of the comment, 1-based.
+    pub line: u32,
+    /// Last line (same as `line` for `//` comments).
+    pub end_line: u32,
+    /// Comment text including the `//` / `/*` markers.
+    pub text: String,
+}
+
+/// A lexed source file: code tokens plus retained comments.
+#[derive(Debug, Default)]
+pub struct LexedFile {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+impl LexedFile {
+    /// Concatenated text of every comment that covers `line`.
+    pub fn comments_on(&self, line: u32) -> String {
+        let mut out = String::new();
+        for c in &self.comments {
+            if c.line <= line && line <= c.end_line {
+                out.push_str(&c.text);
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// True when `line` carries at least one comment.
+    pub fn has_comment(&self, line: u32) -> bool {
+        self.comments
+            .iter()
+            .any(|c| c.line <= line && line <= c.end_line)
+    }
+
+    /// True when `line` carries at least one code token.
+    pub fn has_code(&self, line: u32) -> bool {
+        // Tokens are in line order, so a binary search would do; files
+        // are small enough that a scan keeps this trivially correct.
+        self.tokens.iter().any(|t| t.line == line)
+    }
+
+    /// The comment text "attached" to `line`: comments on the line
+    /// itself plus the contiguous run of comment-only lines immediately
+    /// above it. This is the attachment rule shared by `// SAFETY:`,
+    /// `// ORDERING:` and `// orex::allow(...)` annotations.
+    pub fn attached_comments(&self, line: u32) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        let mut l = line.saturating_sub(1);
+        while l >= 1 && self.has_comment(l) && !self.has_code(l) {
+            parts.push(self.comments_on(l));
+            l -= 1;
+        }
+        parts.reverse();
+        parts.push(self.comments_on(line));
+        parts.concat()
+    }
+}
+
+/// Lexes `source` into tokens and comments. Never fails: unexpected
+/// bytes are skipped, because a scanner that dies on one odd file
+/// cannot gate a workspace.
+pub fn lex(source: &str) -> LexedFile {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: LexedFile,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Self {
+            src: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            out: LexedFile::default(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.src.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let b = self.peek(0);
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        b
+    }
+
+    fn run(mut self) -> LexedFile {
+        while self.pos < self.src.len() {
+            let (line, col) = (self.line, self.col);
+            let b = self.peek(0);
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == b'/' => self.line_comment(line),
+                b'/' if self.peek(1) == b'*' => self.block_comment(line),
+                b'"' => self.string_literal(line, col),
+                b'r' if self.peek(1) == b'"' || (self.peek(1) == b'#' && self.raw_ahead(1)) => {
+                    self.bump(); // 'r'
+                    self.raw_string(line, col);
+                }
+                b'b' if self.peek(1) == b'"' => {
+                    self.bump(); // 'b'
+                    self.string_literal(line, col);
+                }
+                b'b' if self.peek(1) == b'r' && (self.peek(2) == b'"' || self.raw_ahead(2)) => {
+                    self.bump(); // 'b'
+                    self.bump(); // 'r'
+                    self.raw_string(line, col);
+                }
+                b'b' if self.peek(1) == b'\'' => {
+                    self.bump(); // 'b'
+                    self.char_literal(line, col);
+                }
+                b'\'' => self.quote(line, col),
+                b'0'..=b'9' => self.number(line, col),
+                b'_' | b'a'..=b'z' | b'A'..=b'Z' => self.ident(line, col),
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct, (b as char).to_string(), line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// True when `r` at offset `at` starts a raw string (`r#...#"`).
+    fn raw_ahead(&self, at: usize) -> bool {
+        let mut i = at;
+        while self.peek(i) == b'#' {
+            i += 1;
+        }
+        i > at && self.peek(i) == b'"'
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32, col: u32) {
+        self.out.tokens.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let start = self.pos;
+        while self.pos < self.src.len() && self.peek(0) != b'\n' {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.out.comments.push(Comment {
+            line,
+            end_line: line,
+            text,
+        });
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let start = self.pos;
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1u32;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.bump();
+                self.bump();
+            } else {
+                self.bump();
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.out.comments.push(Comment {
+            line,
+            end_line: self.line,
+            text,
+        });
+    }
+
+    fn string_literal(&mut self, line: u32, col: u32) {
+        self.bump(); // opening '"'
+        while self.pos < self.src.len() {
+            match self.bump() {
+                b'\\' => {
+                    self.bump(); // escaped char (covers \" and \\)
+                }
+                b'"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::Literal, "\"…\"".to_string(), line, col);
+    }
+
+    /// Raw string body, positioned just past the leading `r` (and `b`).
+    fn raw_string(&mut self, line: u32, col: u32) {
+        let mut hashes = 0usize;
+        while self.peek(0) == b'#' {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening '"'
+        'outer: while self.pos < self.src.len() {
+            if self.bump() == b'"' {
+                for i in 0..hashes {
+                    if self.peek(i) != b'#' {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(TokenKind::Literal, "\"…\"".to_string(), line, col);
+    }
+
+    fn char_literal(&mut self, line: u32, col: u32) {
+        self.bump(); // opening '\''
+        while self.pos < self.src.len() {
+            match self.bump() {
+                b'\\' => {
+                    self.bump();
+                }
+                b'\'' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::Literal, "'…'".to_string(), line, col);
+    }
+
+    /// A `'` is either a char literal or a lifetime. `'a` (ident char
+    /// after the quote, no closing quote right after the ident run) is a
+    /// lifetime; everything else is a char literal.
+    fn quote(&mut self, line: u32, col: u32) {
+        let next = self.peek(1);
+        if next == b'_' || next.is_ascii_alphabetic() {
+            let mut i = 2;
+            while self.peek(i) == b'_' || self.peek(i).is_ascii_alphanumeric() {
+                i += 1;
+            }
+            if self.peek(i) != b'\'' {
+                // Lifetime.
+                self.bump(); // '\''
+                let start = self.pos;
+                while self.peek(0) == b'_' || self.peek(0).is_ascii_alphanumeric() {
+                    self.bump();
+                }
+                let text = format!("'{}", String::from_utf8_lossy(&self.src[start..self.pos]));
+                self.push(TokenKind::Lifetime, text, line, col);
+                return;
+            }
+        }
+        self.char_literal(line, col);
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let start = self.pos;
+        while matches!(self.peek(0), b'0'..=b'9' | b'a'..=b'z' | b'A'..=b'Z' | b'_')
+            || (self.peek(0) == b'.' && self.peek(1).is_ascii_digit())
+        {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(TokenKind::Literal, text, line, col);
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let start = self.pos;
+        while matches!(self.peek(0), b'_' | b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9') {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(TokenKind::Ident, text, line, col);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_do_not_leak_tokens() {
+        let f = lex("let x = \"call unwrap() here\"; // unwrap() too\nx.unwrap();");
+        let idents: Vec<&str> = f
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "x", "x", "unwrap"]);
+        assert_eq!(f.comments.len(), 1);
+        assert!(f.comments[0].text.contains("unwrap() too"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let f = lex(r####"let s = r#"a "quoted" unwrap()"#; s.len();"####);
+        assert!(f.tokens.iter().all(|t| t.text != "unwrap"));
+        assert!(f.tokens.iter().any(|t| t.is_ident("len")));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let f = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<&str> = f
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a"]);
+        assert_eq!(
+            f.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Literal)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let f = lex("/* outer /* inner */\nstill comment */\ncode();");
+        assert_eq!(f.comments.len(), 1);
+        assert_eq!(f.comments[0].line, 1);
+        assert_eq!(f.comments[0].end_line, 2);
+        assert!(f.tokens.iter().any(|t| t.is_ident("code")));
+        assert_eq!(
+            f.tokens.iter().find(|t| t.is_ident("code")).map(|t| t.line),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let f = lex("a\n  b");
+        assert_eq!((f.tokens[0].line, f.tokens[0].col), (1, 1));
+        assert_eq!((f.tokens[1].line, f.tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn attached_comments_walk_contiguous_block() {
+        let src = "\
+// SAFETY: first line
+// second line
+let x = unsafe { y };
+let z = 1; // ORDERING: trailing
+let w = 2;
+";
+        let f = lex(src);
+        let attached = f.attached_comments(3);
+        assert!(attached.contains("SAFETY: first line"));
+        assert!(attached.contains("second line"));
+        assert!(f.attached_comments(4).contains("ORDERING: trailing"));
+        assert!(!f.attached_comments(5).contains("ORDERING"));
+    }
+}

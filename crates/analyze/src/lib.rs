@@ -1,0 +1,291 @@
+//! # orex-analyze — workspace static analysis and correctness gates
+//!
+//! A dependency-free, token-level Rust source scanner enforcing the
+//! project's six lint rules, plus a bounded two-thread interleaving
+//! explorer used by concurrency tests. The scanner powers the
+//! `orex analyze` CLI subcommand and the blocking CI `analyze` job.
+//!
+//! ## Rules
+//!
+//! | ID     | Check |
+//! |--------|-------|
+//! | ORX001 | every `unsafe` must carry an attached `// SAFETY:` comment |
+//! | ORX002 | no `unwrap()`/`expect()`/`panic!` in scoped hot paths |
+//! | ORX003 | `Ordering::Relaxed`/`SeqCst` need `// ORDERING:` justification |
+//! | ORX004 | two-lock acquisition-order inversions (deadlock potential) |
+//! | ORX005 | no `process::exit`/`thread::sleep` outside cli/bench |
+//! | ORX006 | debt census (`TODO`/`FIXME`/`#[allow]`) over committed budget |
+//!
+//! Scope, allowlists and budgets live in `analyze.policy` at the
+//! workspace root — the single source of policy. Individual findings
+//! are waived inline with `// orex::allow(ORXnnn): reason` attached to
+//! the offending line.
+
+pub mod diag;
+pub mod interleave;
+pub mod lexer;
+pub mod policy;
+pub mod rules;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use diag::{Finding, Report, Rule};
+use policy::{Policy, PolicyError};
+use rules::FileScan;
+
+/// Name of the policy file expected at the workspace root.
+pub const POLICY_FILE: &str = "analyze.policy";
+
+/// Analysis failure (I/O or policy syntax), distinct from findings.
+#[derive(Debug)]
+pub enum AnalyzeError {
+    /// Reading a file or walking the tree failed.
+    Io(PathBuf, std::io::Error),
+    /// The policy file is malformed.
+    Policy(PolicyError),
+}
+
+impl std::fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalyzeError::Io(p, e) => write!(f, "{}: {}", p.display(), e),
+            AnalyzeError::Policy(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// Analyzes the workspace rooted at `root` under `policy`.
+///
+/// Walks every `*.rs` file under `root` whose workspace-relative path
+/// contains a `src/` component (production code; `tests/`, `benches/`
+/// and `examples/` are exercise code with different rules), minus
+/// policy excludes. Hidden directories and `target/` are always
+/// skipped.
+pub fn analyze_workspace(root: &Path, policy: &Policy) -> Result<Report, AnalyzeError> {
+    let mut files = Vec::new();
+    walk(root, root, policy, &mut files)?;
+    files.sort();
+
+    let mut report = Report::default();
+    let mut edges = Vec::new();
+    for rel in &files {
+        let full = root.join(rel);
+        let source = fs::read_to_string(&full).map_err(|e| AnalyzeError::Io(full.clone(), e))?;
+        let lexed = lexer::lex(&source);
+        let FileScan {
+            findings,
+            waived,
+            census,
+            lock_edges,
+        } = rules::scan_file(rel, &lexed, policy);
+        report.findings.extend(findings);
+        report.waived += waived;
+        report.census.todo += census.todo;
+        report.census.fixme += census.fixme;
+        report.census.allow_attr += census.allow_attr;
+        edges.extend(lock_edges);
+        report.files_scanned += 1;
+    }
+
+    // ORX004 needs the cross-file edge set.
+    for f in rules::lock_cycle_findings(&edges) {
+        if policy.rule_applies(Rule::Orx004, &f.file) {
+            report.findings.push(f);
+        }
+    }
+
+    // ORX006: compare census against committed budgets.
+    let budgets = [
+        ("TODO", report.census.todo, policy.budget_todo),
+        ("FIXME", report.census.fixme, policy.budget_fixme),
+        (
+            "#[allow]",
+            report.census.allow_attr,
+            policy.budget_allow_attr,
+        ),
+    ];
+    for (what, count, budget) in budgets {
+        if let Some(max) = budget {
+            if count > max {
+                report.findings.push(Finding {
+                    rule: Rule::Orx006,
+                    file: POLICY_FILE.to_string(),
+                    line: 0,
+                    col: 0,
+                    message: format!(
+                        "{what} count {count} exceeds committed budget {max} — pay the debt \
+                         down or raise the budget in {POLICY_FILE} with a justification"
+                    ),
+                });
+            }
+        }
+    }
+
+    report.sort();
+    Ok(report)
+}
+
+fn walk(
+    root: &Path,
+    dir: &Path,
+    policy: &Policy,
+    out: &mut Vec<String>,
+) -> Result<(), AnalyzeError> {
+    let entries = fs::read_dir(dir).map_err(|e| AnalyzeError::Io(dir.to_path_buf(), e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| AnalyzeError::Io(dir.to_path_buf(), e))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        let rel = rel_path(root, &path);
+        if policy.is_excluded(&rel) {
+            continue;
+        }
+        let ftype = entry
+            .file_type()
+            .map_err(|e| AnalyzeError::Io(path.clone(), e))?;
+        if ftype.is_dir() {
+            walk(root, &path, policy, out)?;
+        } else if name.ends_with(".rs") && rel.split('/').any(|seg| seg == "src") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative path with `/` separators.
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let mut s = String::new();
+    for comp in rel.components() {
+        if !s.is_empty() {
+            s.push('/');
+        }
+        s.push_str(&comp.as_os_str().to_string_lossy());
+    }
+    s
+}
+
+/// Loads `analyze.policy` from `root`. A missing policy file is an
+/// empty policy (scan everything, no budgets) rather than an error, so
+/// the tool works on fresh checkouts of other projects.
+pub fn load_policy(root: &Path) -> Result<Policy, AnalyzeError> {
+    let path = root.join(POLICY_FILE);
+    match fs::read_to_string(&path) {
+        Ok(text) => Policy::parse(&text).map_err(AnalyzeError::Policy),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Policy::default()),
+        Err(e) => Err(AnalyzeError::Io(path, e)),
+    }
+}
+
+/// Outcome of [`run_cli`], for the caller to turn into an exit code.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CliOutcome {
+    /// No findings.
+    Clean,
+    /// One or more findings (caller should exit non-zero).
+    Violations,
+    /// Bad invocation or analysis error (message already printed).
+    Error,
+}
+
+/// Entry point for the `orex analyze` subcommand.
+///
+/// Flags: `--root <dir>` (default `.`), `--format text|json`
+/// (default text), `--output <file>` (write the report there instead of
+/// stdout; text summary still goes to stderr so CI logs stay useful).
+pub fn run_cli(args: &[String]) -> CliOutcome {
+    let mut root = PathBuf::from(".");
+    let mut format = "text".to_string();
+    let mut output: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => {
+                    eprintln!("orex analyze: --root needs a value");
+                    return CliOutcome::Error;
+                }
+            },
+            "--format" => match it.next().map(String::as_str) {
+                Some(v @ ("text" | "json")) => format = v.to_string(),
+                _ => {
+                    eprintln!("orex analyze: --format must be text or json");
+                    return CliOutcome::Error;
+                }
+            },
+            "--output" => match it.next() {
+                Some(v) => output = Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("orex analyze: --output needs a value");
+                    return CliOutcome::Error;
+                }
+            },
+            other => {
+                eprintln!("orex analyze: unknown flag `{other}`");
+                return CliOutcome::Error;
+            }
+        }
+    }
+
+    let policy = match load_policy(&root) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("orex analyze: {e}");
+            return CliOutcome::Error;
+        }
+    };
+    let report = match analyze_workspace(&root, &policy) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("orex analyze: {e}");
+            return CliOutcome::Error;
+        }
+    };
+
+    let rendered = if format == "json" {
+        report.render_json()
+    } else {
+        report.render_text()
+    };
+    match &output {
+        Some(path) => {
+            if let Err(e) = fs::write(path, &rendered) {
+                eprintln!("orex analyze: {}: {}", path.display(), e);
+                return CliOutcome::Error;
+            }
+            // Keep the human summary visible in CI logs.
+            eprint!("{}", report.render_text());
+        }
+        None => print!("{rendered}"),
+    }
+
+    if report.findings.is_empty() {
+        CliOutcome::Clean
+    } else {
+        CliOutcome::Violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rel_path_is_slash_separated() {
+        let root = Path::new("/a/b");
+        assert_eq!(rel_path(root, Path::new("/a/b/c/d.rs")), "c/d.rs");
+    }
+
+    #[test]
+    fn missing_policy_is_empty_policy() {
+        let p = load_policy(Path::new("/nonexistent-dir-for-orex-test")).unwrap();
+        assert!(p.excludes.is_empty());
+        assert_eq!(p.budget_todo, None);
+    }
+}

@@ -1,0 +1,136 @@
+//! End-to-end tests of the analyzer as a gate: the real workspace must
+//! scan clean, and a fixture with seeded violations must fail.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use orex_analyze::diag::Rule;
+use orex_analyze::{analyze_workspace, load_policy, run_cli, CliOutcome};
+
+/// The workspace root, two levels above this crate's manifest.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/analyze sits two levels below the root")
+        .to_path_buf()
+}
+
+/// A scratch directory shaped like a tiny workspace, removed on drop.
+struct Fixture {
+    root: PathBuf,
+}
+
+impl Fixture {
+    fn new(tag: &str, source: &str) -> Self {
+        let root =
+            std::env::temp_dir().join(format!("orex-analyze-gate-{tag}-{}", std::process::id()));
+        let src = root.join("src");
+        fs::create_dir_all(&src).expect("create fixture src dir");
+        fs::write(src.join("lib.rs"), source).expect("write fixture source");
+        Fixture { root }
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+#[test]
+fn the_workspace_scans_clean() {
+    // The same gate CI runs: zero findings on our own source tree. If
+    // this fails, either pay the new debt down or waive it inline with
+    // a justification — do not loosen the policy.
+    let root = workspace_root();
+    let policy = load_policy(&root).expect("analyze.policy parses");
+    let report = analyze_workspace(&root, &policy).expect("workspace scan succeeds");
+    assert!(
+        report.findings.is_empty(),
+        "workspace must scan clean:\n{}",
+        report.render_text()
+    );
+    assert!(report.files_scanned > 50, "sanity: the walk found the tree");
+}
+
+#[test]
+fn seeded_violations_fail_the_gate() {
+    let fixture = Fixture::new(
+        "seeded",
+        r#"
+pub fn read_first(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub fn quit() -> u8 {
+    let v: Option<u8> = None;
+    let out = v.unwrap();
+    std::process::exit(out.into());
+}
+"#,
+    );
+    let policy = load_policy(&fixture.root).expect("missing policy file is empty policy");
+    let report = analyze_workspace(&fixture.root, &policy).expect("fixture scan succeeds");
+    let rules: Vec<Rule> = report.findings.iter().map(|f| f.rule).collect();
+    assert!(
+        rules.contains(&Rule::Orx001),
+        "unsafe without SAFETY: {rules:?}"
+    );
+    assert!(
+        rules.contains(&Rule::Orx002),
+        "unwrap in unscoped policy: {rules:?}"
+    );
+    assert!(
+        rules.contains(&Rule::Orx005),
+        "process::exit outside cli: {rules:?}"
+    );
+
+    // And the CLI entry point maps that to a non-zero outcome.
+    let args = vec!["--root".to_string(), fixture.root.display().to_string()];
+    assert_eq!(run_cli(&args), CliOutcome::Violations);
+}
+
+#[test]
+fn waived_fixture_passes_the_gate() {
+    let fixture = Fixture::new(
+        "waived",
+        r#"
+pub fn read_first(p: *const u8) -> u8 {
+    // SAFETY: caller contract — p is valid for reads (test fixture).
+    unsafe { *p }
+}
+
+pub fn quit() {
+    // orex::allow(ORX005): fixture demonstrating an inline waiver.
+    std::process::exit(0);
+}
+"#,
+    );
+    let args = vec!["--root".to_string(), fixture.root.display().to_string()];
+    assert_eq!(run_cli(&args), CliOutcome::Clean);
+}
+
+#[test]
+fn cli_rejects_unknown_flags() {
+    assert_eq!(run_cli(&["--bogus".to_string()]), CliOutcome::Error);
+}
+
+#[test]
+fn json_report_round_trips_key_fields() {
+    let fixture = Fixture::new("json", "pub fn f(p: *const u8) -> u8 { unsafe { *p } }\n");
+    let out = fixture.root.join("report.json");
+    let args = vec![
+        "--root".to_string(),
+        fixture.root.display().to_string(),
+        "--format".to_string(),
+        "json".to_string(),
+        "--output".to_string(),
+        out.display().to_string(),
+    ];
+    assert_eq!(run_cli(&args), CliOutcome::Violations);
+    let json = fs::read_to_string(&out).expect("report written");
+    assert!(json.contains("\"ok\": false"));
+    assert!(json.contains("ORX001"));
+    assert!(json.contains("\"files_scanned\": 1"));
+}

@@ -31,6 +31,14 @@ fn main() {
                 });
             std::process::exit(code);
         }
+        Some("analyze") => {
+            let code = match orex_analyze::run_cli(&args[1..]) {
+                orex_analyze::CliOutcome::Clean => 0,
+                orex_analyze::CliOutcome::Violations => 1,
+                orex_analyze::CliOutcome::Error => 2,
+            };
+            std::process::exit(code);
+        }
         Some("help" | "--help" | "-h") => {
             println!("{SUBCOMMAND_HELP}");
             return;

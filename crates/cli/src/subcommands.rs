@@ -39,7 +39,11 @@ usage:
                              loop over HTTP (POST /query, GET /explain/
                              <session>/<node>, POST /feedback/<session>,
                              GET /healthz|/metrics|/trace/<id>); SIGTERM
-                             or ctrl-c drains in-flight requests";
+                             or ctrl-c drains in-flight requests
+  orex analyze [--root DIR] [--format text|json] [--output FILE]
+                             run the workspace static-analysis gate
+                             (rules ORX001–ORX006 from analyze.policy);
+                             exits 1 on any finding";
 
 /// Returns the value following `flag` in `args`.
 fn flag_value(args: &[String], flag: &str) -> Option<String> {

@@ -7,10 +7,11 @@
 //! power iteration entirely. Hits and misses land in the telemetry
 //! counters `server.cache_hits` / `server.cache_misses`.
 
+use crate::error::ServerError;
 use orex_core::SessionSnapshot;
 use orex_ir::QueryVector;
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 struct CacheEntry {
     snapshot: SessionSnapshot,
@@ -47,13 +48,20 @@ impl ResultCache {
         key
     }
 
+    /// The cache map and clock, or a typed error when poisoned.
+    fn locked(&self) -> Result<MutexGuard<'_, (HashMap<String, CacheEntry>, u64)>, ServerError> {
+        self.entries
+            .lock()
+            .map_err(ServerError::poisoned("result cache"))
+    }
+
     /// Looks `key` up, bumping its recency and the hit/miss counters.
-    pub fn get(&self, key: &str) -> Option<SessionSnapshot> {
+    pub fn get(&self, key: &str) -> Result<Option<SessionSnapshot>, ServerError> {
         let telemetry = orex_telemetry::global();
-        let mut guard = self.entries.lock().unwrap();
+        let mut guard = self.locked()?;
         let (entries, clock) = &mut *guard;
         *clock += 1;
-        match entries.get_mut(key) {
+        Ok(match entries.get_mut(key) {
             Some(entry) => {
                 entry.used_at = *clock;
                 telemetry.counter("server.cache_hits").incr();
@@ -63,13 +71,13 @@ impl ResultCache {
                 telemetry.counter("server.cache_misses").incr();
                 None
             }
-        }
+        })
     }
 
     /// Stores the converged snapshot for `key`, evicting the least
     /// recently used entry when full.
-    pub fn put(&self, key: String, snapshot: SessionSnapshot) {
-        let mut guard = self.entries.lock().unwrap();
+    pub fn put(&self, key: String, snapshot: SessionSnapshot) -> Result<(), ServerError> {
+        let mut guard = self.locked()?;
         let (entries, clock) = &mut *guard;
         *clock += 1;
         if !entries.contains_key(&key) {
@@ -94,11 +102,17 @@ impl ResultCache {
                 used_at: *clock,
             },
         );
+        Ok(())
     }
 
-    /// Entries currently cached.
+    /// Entries currently cached. Observability path: recovers from a
+    /// poisoned lock instead of failing.
     pub fn len(&self) -> usize {
-        self.entries.lock().unwrap().0.len()
+        self.entries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .0
+            .len()
     }
 
     /// True when nothing is cached.
@@ -139,9 +153,9 @@ mod tests {
         let cache = ResultCache::new(4);
         let (snap, qv) = snapshot();
         let key = ResultCache::key(&qv);
-        assert!(cache.get(&key).is_none());
-        cache.put(key.clone(), snap);
-        assert!(cache.get(&key).is_some());
+        assert!(cache.get(&key).unwrap().is_none());
+        cache.put(key.clone(), snap).unwrap();
+        assert!(cache.get(&key).unwrap().is_some());
         assert_eq!(cache.len(), 1);
     }
 
@@ -149,13 +163,13 @@ mod tests {
     fn lru_eviction_keeps_recent() {
         let cache = ResultCache::new(2);
         let (snap, _) = snapshot();
-        cache.put("a".into(), snap.clone());
-        cache.put("b".into(), snap.clone());
-        assert!(cache.get("a").is_some()); // refresh a; b is now LRU
-        cache.put("c".into(), snap);
+        cache.put("a".into(), snap.clone()).unwrap();
+        cache.put("b".into(), snap.clone()).unwrap();
+        assert!(cache.get("a").unwrap().is_some()); // refresh a; b is now LRU
+        cache.put("c".into(), snap).unwrap();
         assert_eq!(cache.len(), 2);
-        assert!(cache.get("a").is_some());
-        assert!(cache.get("b").is_none(), "LRU entry evicted");
-        assert!(cache.get("c").is_some());
+        assert!(cache.get("a").unwrap().is_some());
+        assert!(cache.get("b").unwrap().is_none(), "LRU entry evicted");
+        assert!(cache.get("c").unwrap().is_some());
     }
 }

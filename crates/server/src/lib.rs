@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod error;
 pub mod http;
 pub mod pool;
 pub mod server;
@@ -35,6 +36,7 @@ pub mod sessions;
 pub mod traces;
 
 pub use cache::ResultCache;
+pub use error::ServerError;
 pub use http::{Request, Response};
 pub use pool::ThreadPool;
 pub use server::{install_signal_handlers, Server, ServerConfig, ShutdownHandle};

@@ -6,7 +6,7 @@
 //! which is exactly the drain semantics graceful shutdown needs.
 
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -18,8 +18,11 @@ pub struct ThreadPool {
 }
 
 impl ThreadPool {
-    /// Spawns `threads` workers (minimum 1).
-    pub fn new(threads: usize) -> Self {
+    /// Spawns `threads` workers (minimum 1). Fails with the OS error if
+    /// a worker thread cannot be spawned; already-spawned workers are
+    /// joined cleanly on that path (dropping the sender closes the
+    /// channel they block on).
+    pub fn new(threads: usize) -> std::io::Result<Self> {
         let (sender, receiver) = channel::<Job>();
         let receiver = Arc::new(Mutex::new(receiver));
         let workers = (0..threads.max(1))
@@ -28,13 +31,12 @@ impl ThreadPool {
                 std::thread::Builder::new()
                     .name(format!("orex-worker-{i}"))
                     .spawn(move || worker_loop(&receiver))
-                    .expect("spawn worker thread")
             })
-            .collect();
-        Self {
+            .collect::<std::io::Result<Vec<_>>>()?;
+        Ok(Self {
             sender: Some(sender),
             workers,
-        }
+        })
     }
 
     /// Number of workers.
@@ -69,8 +71,15 @@ impl Drop for ThreadPool {
 fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
     loop {
         // Hold the lock only while waiting for a job, never while
-        // running one, so workers serve jobs concurrently.
-        let job = match receiver.lock().unwrap().recv() {
+        // running one, so workers serve jobs concurrently. A poisoned
+        // lock is recovered: the receiver itself is still sound (its
+        // state lives in the channel, not the guard), and one panicking
+        // job must not wedge every other worker.
+        let job = match receiver
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .recv()
+        {
             Ok(job) => job,
             Err(_) => return, // channel closed: shutdown
         };
@@ -85,7 +94,7 @@ mod tests {
 
     #[test]
     fn executes_all_jobs_across_workers() {
-        let pool = ThreadPool::new(4);
+        let pool = ThreadPool::new(4).unwrap();
         let counter = Arc::new(AtomicUsize::new(0));
         for _ in 0..64 {
             let counter = Arc::clone(&counter);
@@ -99,7 +108,7 @@ mod tests {
 
     #[test]
     fn join_drains_in_flight_jobs() {
-        let mut pool = ThreadPool::new(2);
+        let mut pool = ThreadPool::new(2).unwrap();
         let done = Arc::new(AtomicUsize::new(0));
         for _ in 0..8 {
             let done = Arc::clone(&done);
@@ -116,7 +125,7 @@ mod tests {
 
     #[test]
     fn zero_threads_clamps_to_one() {
-        let pool = ThreadPool::new(0);
+        let pool = ThreadPool::new(0).unwrap();
         assert_eq!(pool.threads(), 1);
     }
 }

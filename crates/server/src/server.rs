@@ -8,6 +8,7 @@
 //! stops accepting and joins the pool, draining in-flight requests.
 
 use crate::cache::ResultCache;
+use crate::error::ServerError;
 use crate::http::{read_request, ParseError, Request, Response};
 use crate::pool::ThreadPool;
 use crate::sessions::SessionTable;
@@ -77,12 +78,16 @@ pub struct ShutdownHandle {
 impl ShutdownHandle {
     /// Requests shutdown; `Server::run` returns after draining.
     pub fn shutdown(&self) {
-        self.stop.store(true, Ordering::SeqCst);
+        // Release pairs with the accept loop's Acquire load: everything
+        // the requester did before asking for shutdown is visible to the
+        // drain path. SeqCst would buy nothing — there is no multi-flag
+        // total order to preserve here.
+        self.stop.store(true, Ordering::Release);
     }
 
     /// True once shutdown has been requested.
     pub fn is_shutdown(&self) -> bool {
-        self.stop.load(Ordering::SeqCst)
+        self.stop.load(Ordering::Acquire)
     }
 }
 
@@ -97,13 +102,22 @@ pub fn install_signal_handlers() {
     {
         // Async-signal-safety: the handler only stores to an AtomicBool.
         extern "C" fn on_signal(_sig: i32) {
-            SIGNAL_STOP.store(true, Ordering::SeqCst);
+            // ORDERING: the flag is the only communication — nothing is
+            // published under it, and a signal handler must not need a
+            // full fence anyway; Release pairs with the accept loop's
+            // Acquire for ordinary flag visibility.
+            SIGNAL_STOP.store(true, Ordering::Release);
         }
         extern "C" {
             fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
         }
         const SIGINT: i32 = 2;
         const SIGTERM: i32 = 15;
+        // SAFETY: `signal(2)` is async-signal-safe to install at any
+        // time; the handler is an `extern "C" fn` that only performs an
+        // atomic store (itself async-signal-safe, no allocation, no
+        // locks). Replacing a previously installed handler is the
+        // documented idempotent behaviour this function promises.
         unsafe {
             signal(SIGINT, on_signal);
             signal(SIGTERM, on_signal);
@@ -155,9 +169,13 @@ impl Server {
     /// installed signal handler), then drains in-flight requests and
     /// returns.
     pub fn run(self) -> io::Result<()> {
-        let mut pool = ThreadPool::new(self.config.threads);
+        let mut pool = ThreadPool::new(self.config.threads)?;
         let telemetry = orex_telemetry::global();
-        while !self.stop.load(Ordering::SeqCst) && !SIGNAL_STOP.load(Ordering::SeqCst) {
+        // Acquire pairs with the Release stores in `shutdown()` and the
+        // signal handler; SeqCst's total order across the two flags is
+        // unnecessary (either one stopping is sufficient and they never
+        // coordinate with each other).
+        while !self.stop.load(Ordering::Acquire) && !SIGNAL_STOP.load(Ordering::Acquire) {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
                     telemetry.counter("server.connections").incr();
@@ -166,6 +184,10 @@ impl Server {
                     pool.execute(move || handle_connection(stream, &state, io_timeout));
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    // orex::allow(ORX005): the listener is nonblocking so
+                    // this accept loop must pace its own polling to keep
+                    // observing the stop flags; 2ms bounds shutdown
+                    // latency without burning a core.
                     std::thread::sleep(Duration::from_millis(2));
                 }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
@@ -241,10 +263,18 @@ fn route(request: &Request, state: &ServerState, trace_id: Option<u64>) -> Respo
             let _span = orex_telemetry::global().span("server.metrics_us");
             Response::text(200, orex_telemetry::global().snapshot().to_prometheus())
         }
-        ("POST", ["query"]) => handle_query(request, state, trace_id),
-        ("GET", ["explain", sid, node]) => handle_explain(state, sid, node),
-        ("POST", ["feedback", sid]) => handle_feedback(request, state, sid),
-        ("GET", ["trace", id]) => handle_trace(state, id),
+        ("POST", ["query"]) => {
+            handle_query(request, state, trace_id).unwrap_or_else(ServerError::into_response)
+        }
+        ("GET", ["explain", sid, node]) => {
+            handle_explain(state, sid, node).unwrap_or_else(ServerError::into_response)
+        }
+        ("POST", ["feedback", sid]) => {
+            handle_feedback(request, state, sid).unwrap_or_else(ServerError::into_response)
+        }
+        ("GET", ["trace", id]) => {
+            handle_trace(state, id).unwrap_or_else(ServerError::into_response)
+        }
         ("POST", ["query" | "feedback", ..]) | ("GET", ["explain" | "trace", ..]) => {
             Response::error(404, "no such route")
         }
@@ -256,14 +286,14 @@ fn route(request: &Request, state: &ServerState, trace_id: Option<u64>) -> Respo
 }
 
 /// Parses the request body as a JSON object.
-fn body_object(request: &Request) -> Result<Value, Response> {
+fn body_object(request: &Request) -> Result<Value, ServerError> {
     let text = request
         .body_str()
-        .ok_or_else(|| Response::error(400, "body is not UTF-8"))?;
-    let value =
-        serde_json::from_str(text).map_err(|_| Response::error(400, "body is not valid JSON"))?;
+        .ok_or_else(|| ServerError::BadRequest("body is not UTF-8".into()))?;
+    let value = serde_json::from_str(text)
+        .map_err(|_| ServerError::BadRequest("body is not valid JSON".into()))?;
     if value.as_object().is_none() {
-        return Err(Response::error(400, "body must be a JSON object"));
+        return Err(ServerError::BadRequest("body must be a JSON object".into()));
     }
     Ok(value)
 }
@@ -284,11 +314,14 @@ fn ranked_json(session: &QuerySession<'_>, k: usize) -> Value {
     Value::Array(results)
 }
 
-fn session_error_response(e: &SessionError) -> Response {
+fn session_error(e: &SessionError) -> ServerError {
     match e {
-        SessionError::Ranking(_) => Response::error(400, &format!("{e}")),
-        SessionError::Explain(_) => Response::error(400, &format!("{e}")),
-        SessionError::NoFeedbackObjects => Response::error(400, "no feedback objects given"),
+        SessionError::Ranking(_) | SessionError::Explain(_) => {
+            ServerError::BadRequest(format!("{e}"))
+        }
+        SessionError::NoFeedbackObjects => {
+            ServerError::BadRequest("no feedback objects given".into())
+        }
     }
 }
 
@@ -298,13 +331,14 @@ fn requested_k(body: &Value) -> usize {
         .map_or(10, |k| (k as usize).clamp(1, 1000))
 }
 
-fn handle_query(request: &Request, state: &ServerState, trace_id: Option<u64>) -> Response {
-    let body = match body_object(request) {
-        Ok(v) => v,
-        Err(r) => return r,
-    };
+fn handle_query(
+    request: &Request,
+    state: &ServerState,
+    trace_id: Option<u64>,
+) -> Result<Response, ServerError> {
+    let body = body_object(request)?;
     let Some(query_text) = body.get("query").and_then(Value::as_str) else {
-        return Response::error(400, "missing \"query\" field");
+        return Err(ServerError::BadRequest("missing \"query\" field".into()));
     };
     let k = requested_k(&body);
     let telemetry = orex_telemetry::global();
@@ -317,59 +351,58 @@ fn handle_query(request: &Request, state: &ServerState, trace_id: Option<u64>) -
     let qv = QueryVector::initial(&query, state.system.index().analyzer());
     let key = ResultCache::key(&qv);
 
-    let (snapshot, cached) = match state.cache.get(&key) {
+    let (snapshot, cached) = match state.cache.get(&key)? {
         Some(snapshot) => (snapshot, true),
         None => {
-            let session = match QuerySession::start(&state.system, &query) {
-                Ok(s) => s,
-                Err(e) => return session_error_response(&e),
-            };
+            let session =
+                QuerySession::start(&state.system, &query).map_err(|e| session_error(&e))?;
             let snapshot = session.snapshot();
-            state.cache.put(key, snapshot.clone());
+            state.cache.put(key, snapshot.clone())?;
             (snapshot, false)
         }
     };
     let session = QuerySession::resume(&state.system, snapshot.clone());
-    let session_id = state.sessions.insert(snapshot);
+    let session_id = state.sessions.insert(snapshot)?;
     let payload = serde_json::json!({
         "session": session_id,
         "cached": cached,
         "trace": trace_id.map_or(Value::Null, Value::from),
         "results": ranked_json(&session, k),
     });
-    Response::json(200, serde_json::to_string(&payload).unwrap_or_default())
+    Ok(Response::json(
+        200,
+        serde_json::to_string(&payload).unwrap_or_default(),
+    ))
 }
 
 fn parse_id(raw: &str) -> Option<u64> {
     raw.parse().ok()
 }
 
-fn handle_explain(state: &ServerState, sid: &str, node: &str) -> Response {
+fn handle_explain(state: &ServerState, sid: &str, node: &str) -> Result<Response, ServerError> {
     let telemetry = orex_telemetry::global();
     let _span = telemetry.span("server.explain_us");
     telemetry.counter("server.explain_requests").incr();
     let Some(sid) = parse_id(sid) else {
-        return Response::error(400, "session id must be an integer");
+        return Err(ServerError::BadRequest(
+            "session id must be an integer".into(),
+        ));
     };
     let Ok(node) = node.parse::<u32>() else {
-        return Response::error(400, "node id must be an integer");
+        return Err(ServerError::BadRequest("node id must be an integer".into()));
     };
-    let Some(snapshot) = state.sessions.get(sid) else {
-        return Response::error(404, "no such session (expired?)");
+    let Some(snapshot) = state.sessions.get(sid)? else {
+        return Err(ServerError::NotFound("no such session (expired?)".into()));
     };
     let session = QuerySession::resume(&state.system, snapshot);
     let target = NodeId::new(node);
     if node as usize >= state.system.graph().node_count() {
-        return Response::error(400, "node id out of range");
+        return Err(ServerError::BadRequest("node id out of range".into()));
     }
-    let explanation = match session.explain(target) {
-        Ok(e) => e,
-        Err(e) => return session_error_response(&e),
-    };
-    let summary = match session.explain_summary(target, 8) {
-        Ok(s) => s,
-        Err(e) => return session_error_response(&e),
-    };
+    let explanation = session.explain(target).map_err(|e| session_error(&e))?;
+    let summary = session
+        .explain_summary(target, 8)
+        .map_err(|e| session_error(&e))?;
     let meta_paths: Vec<Value> = summary
         .iter()
         .map(|m| {
@@ -391,47 +424,54 @@ fn handle_explain(state: &ServerState, sid: &str, node: &str) -> Response {
         "converged": explanation.converged(),
         "meta_paths": Value::Array(meta_paths),
     });
-    Response::json(200, serde_json::to_string(&payload).unwrap_or_default())
+    Ok(Response::json(
+        200,
+        serde_json::to_string(&payload).unwrap_or_default(),
+    ))
 }
 
-fn handle_feedback(request: &Request, state: &ServerState, sid: &str) -> Response {
+fn handle_feedback(
+    request: &Request,
+    state: &ServerState,
+    sid: &str,
+) -> Result<Response, ServerError> {
     let telemetry = orex_telemetry::global();
     let _span = telemetry.span("server.feedback_us");
     telemetry.counter("server.feedback_requests").incr();
     let Some(sid) = parse_id(sid) else {
-        return Response::error(400, "session id must be an integer");
+        return Err(ServerError::BadRequest(
+            "session id must be an integer".into(),
+        ));
     };
-    let body = match body_object(request) {
-        Ok(v) => v,
-        Err(r) => return r,
-    };
+    let body = body_object(request)?;
     let Some(raw_objects) = body.get("objects").and_then(Value::as_array) else {
-        return Response::error(400, "missing \"objects\" array");
+        return Err(ServerError::BadRequest("missing \"objects\" array".into()));
     };
     let node_count = state.system.graph().node_count();
     let mut objects = Vec::with_capacity(raw_objects.len());
     for v in raw_objects {
         match v.as_u64() {
             Some(raw) if (raw as usize) < node_count => objects.push(NodeId::new(raw as u32)),
-            _ => return Response::error(400, "objects must be in-range node ids"),
+            _ => {
+                return Err(ServerError::BadRequest(
+                    "objects must be in-range node ids".into(),
+                ))
+            }
         }
     }
     let k = requested_k(&body);
-    let Some(snapshot) = state.sessions.get(sid) else {
-        return Response::error(404, "no such session (expired?)");
+    let Some(snapshot) = state.sessions.get(sid)? else {
+        return Err(ServerError::NotFound("no such session (expired?)".into()));
     };
     // Warm-start reformulation: resume the stored state, run one
     // feedback round, store the advanced state back.
     let mut session = QuerySession::resume(&state.system, snapshot);
-    let stats = match session.feedback(&objects) {
-        Ok(s) => s,
-        Err(e) => return session_error_response(&e),
-    };
+    let stats = session.feedback(&objects).map_err(|e| session_error(&e))?;
     let advanced = session.snapshot();
-    if !state.sessions.update(sid, advanced.clone()) {
+    if !state.sessions.update(sid, advanced.clone())? {
         // Session expired mid-round; re-insert so the client's id error
         // on the *next* call, not this one, stays consistent.
-        state.sessions.insert(advanced);
+        state.sessions.insert(advanced)?;
     }
     let payload = serde_json::json!({
         "session": sid,
@@ -440,20 +480,28 @@ fn handle_feedback(request: &Request, state: &ServerState, sid: &str) -> Respons
         "converged": stats.rank_converged,
         "results": ranked_json(&session, k),
     });
-    Response::json(200, serde_json::to_string(&payload).unwrap_or_default())
+    Ok(Response::json(
+        200,
+        serde_json::to_string(&payload).unwrap_or_default(),
+    ))
 }
 
-fn handle_trace(state: &ServerState, id: &str) -> Response {
+fn handle_trace(state: &ServerState, id: &str) -> Result<Response, ServerError> {
     let telemetry = orex_telemetry::global();
     telemetry.counter("server.trace_requests").incr();
     let Some(id) = parse_id(id) else {
-        return Response::error(400, "trace id must be an integer");
+        return Err(ServerError::BadRequest(
+            "trace id must be an integer".into(),
+        ));
     };
     // The requested trace may still sit in the ring (e.g. traced by
     // another worker that hasn't drained yet): absorb before lookup.
     state.traces.absorb(orex_telemetry::tracer().drain());
     match state.traces.get(id) {
-        Some(spans) => Response::json(200, orex_telemetry::export::to_chrome_trace(&spans)),
-        None => Response::error(404, "no such trace (evicted?)"),
+        Some(spans) => Ok(Response::json(
+            200,
+            orex_telemetry::export::to_chrome_trace(&spans),
+        )),
+        None => Err(ServerError::NotFound("no such trace (evicted?)".into())),
     }
 }

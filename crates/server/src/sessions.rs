@@ -8,10 +8,11 @@
 //! after a TTL of disuse and the table holds at most `max_entries`
 //! sessions, evicting least-recently-used first.
 
+use crate::error::ServerError;
 use orex_core::SessionSnapshot;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 struct Entry {
@@ -39,12 +40,23 @@ impl SessionTable {
         }
     }
 
+    /// The table's entry map, or a typed error when a panicking thread
+    /// poisoned it mid-update (the map may then be inconsistent, so
+    /// request paths refuse it rather than serving garbage).
+    fn locked(&self) -> Result<MutexGuard<'_, HashMap<u64, Entry>>, ServerError> {
+        self.entries
+            .lock()
+            .map_err(ServerError::poisoned("session table"))
+    }
+
     /// Stores a snapshot as a new session and returns its id.
-    pub fn insert(&self, snapshot: SessionSnapshot) -> u64 {
+    pub fn insert(&self, snapshot: SessionSnapshot) -> Result<u64, ServerError> {
+        // ORDERING: pure id allocation — nothing is published under this
+        // counter, uniqueness is all that matters.
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let now = Instant::now();
         let telemetry = orex_telemetry::global();
-        let mut entries = self.entries.lock().unwrap();
+        let mut entries = self.locked()?;
         Self::sweep(&mut entries, now, self.ttl);
         while entries.len() >= self.max_entries {
             let Some((&victim, _)) = entries.iter().min_by_key(|(_, e)| e.last_used) else {
@@ -64,38 +76,41 @@ impl SessionTable {
         telemetry
             .gauge("server.sessions_live")
             .set(entries.len() as f64);
-        id
+        Ok(id)
     }
 
-    /// Clones the snapshot for `id` and refreshes its TTL clock, or
-    /// `None` if the id is unknown or the entry has expired.
-    pub fn get(&self, id: u64) -> Option<SessionSnapshot> {
+    /// Clones the snapshot for `id` and refreshes its TTL clock;
+    /// `Ok(None)` if the id is unknown or the entry has expired.
+    pub fn get(&self, id: u64) -> Result<Option<SessionSnapshot>, ServerError> {
         let now = Instant::now();
-        let mut entries = self.entries.lock().unwrap();
+        let mut entries = self.locked()?;
         Self::sweep(&mut entries, now, self.ttl);
-        let entry = entries.get_mut(&id)?;
-        entry.last_used = now;
-        Some(entry.snapshot.clone())
+        Ok(entries.get_mut(&id).map(|entry| {
+            entry.last_used = now;
+            entry.snapshot.clone()
+        }))
     }
 
     /// Replaces the snapshot for `id` (after a feedback round). Returns
     /// false if the session vanished (expired/evicted) in the meantime —
     /// the caller re-inserts in that case.
-    pub fn update(&self, id: u64, snapshot: SessionSnapshot) -> bool {
-        let mut entries = self.entries.lock().unwrap();
-        match entries.get_mut(&id) {
+    pub fn update(&self, id: u64, snapshot: SessionSnapshot) -> Result<bool, ServerError> {
+        let mut entries = self.locked()?;
+        Ok(match entries.get_mut(&id) {
             Some(entry) => {
                 entry.snapshot = snapshot;
                 entry.last_used = Instant::now();
                 true
             }
             None => false,
-        }
+        })
     }
 
-    /// Live (unexpired) session count.
+    /// Live (unexpired) session count. Observability path: recovers the
+    /// map from a poisoned lock instead of failing, since a count can do
+    /// no harm.
     pub fn len(&self) -> usize {
-        let mut entries = self.entries.lock().unwrap();
+        let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
         Self::sweep(&mut entries, Instant::now(), self.ttl);
         entries.len()
     }
@@ -144,21 +159,24 @@ mod tests {
     fn insert_get_update_roundtrip() {
         let table = SessionTable::new(Duration::from_secs(60), 8);
         let snap = snapshot();
-        let id = table.insert(snap.clone());
-        assert!(table.get(id).is_some());
-        assert!(table.update(id, snap));
+        let id = table.insert(snap.clone()).unwrap();
+        assert!(table.get(id).unwrap().is_some());
+        assert!(table.update(id, snap).unwrap());
         assert_eq!(table.len(), 1);
-        assert!(table.get(id + 999).is_none());
-        assert!(!table.update(id + 999, snapshot()));
+        assert!(table.get(id + 999).unwrap().is_none());
+        assert!(!table.update(id + 999, snapshot()).unwrap());
     }
 
     #[test]
     fn entries_expire_after_ttl() {
         let table = SessionTable::new(Duration::from_millis(20), 8);
-        let id = table.insert(snapshot());
-        assert!(table.get(id).is_some());
+        let id = table.insert(snapshot()).unwrap();
+        assert!(table.get(id).unwrap().is_some());
         std::thread::sleep(Duration::from_millis(40));
-        assert!(table.get(id).is_none(), "expired session must vanish");
+        assert!(
+            table.get(id).unwrap().is_none(),
+            "expired session must vanish"
+        );
         assert!(table.is_empty());
     }
 
@@ -166,16 +184,35 @@ mod tests {
     fn lru_eviction_respects_capacity() {
         let table = SessionTable::new(Duration::from_secs(60), 2);
         let snap = snapshot();
-        let a = table.insert(snap.clone());
+        let a = table.insert(snap.clone()).unwrap();
         std::thread::sleep(Duration::from_millis(5));
-        let b = table.insert(snap.clone());
+        let b = table.insert(snap.clone()).unwrap();
         std::thread::sleep(Duration::from_millis(5));
         // Touch `a` so `b` becomes the LRU victim.
-        assert!(table.get(a).is_some());
-        let c = table.insert(snap);
+        assert!(table.get(a).unwrap().is_some());
+        let c = table.insert(snap).unwrap();
         assert_eq!(table.len(), 2);
-        assert!(table.get(a).is_some(), "recently used survives");
-        assert!(table.get(b).is_none(), "LRU entry evicted");
-        assert!(table.get(c).is_some());
+        assert!(table.get(a).unwrap().is_some(), "recently used survives");
+        assert!(table.get(b).unwrap().is_none(), "LRU entry evicted");
+        assert!(table.get(c).unwrap().is_some());
+    }
+
+    #[test]
+    fn poisoned_lock_is_a_typed_error() {
+        use std::sync::Arc;
+        let table = Arc::new(SessionTable::new(Duration::from_secs(60), 8));
+        let t2 = Arc::clone(&table);
+        // Poison the entries mutex by panicking while holding it.
+        let _ = std::thread::spawn(move || {
+            let _guard = t2.entries.lock().unwrap();
+            panic!("poison the session table");
+        })
+        .join();
+        match table.get(1) {
+            Err(ServerError::LockPoisoned(what)) => assert_eq!(what, "session table"),
+            other => panic!("expected LockPoisoned, got {other:?}"),
+        }
+        // len() recovers instead of failing.
+        assert_eq!(table.len(), 0);
     }
 }

@@ -9,7 +9,7 @@
 
 use orex_telemetry::trace::SpanRecord;
 use std::collections::{HashMap, VecDeque};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 struct Inner {
     traces: HashMap<u64, Vec<SpanRecord>>,
@@ -36,11 +36,16 @@ impl TraceArchive {
     }
 
     /// Merges drained span records into the archive.
+    ///
+    /// Best-effort telemetry: a poisoned lock is recovered rather than
+    /// surfaced — the maps stay structurally valid (every mutation here
+    /// completes or never starts), and dropping drained spans on the
+    /// floor would lose another request's trace.
     pub fn absorb(&self, records: Vec<SpanRecord>) {
         if records.is_empty() {
             return;
         }
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         for record in records {
             let id = record.trace.0;
             let entry = inner.traces.entry(id).or_default();
@@ -58,7 +63,7 @@ impl TraceArchive {
 
     /// All spans of `trace_id`, in completion order, if archived.
     pub fn get(&self, trace_id: u64) -> Option<Vec<SpanRecord>> {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         let mut spans = inner.traces.get(&trace_id)?.clone();
         spans.sort_by_key(|r| r.ticket);
         Some(spans)
@@ -66,7 +71,11 @@ impl TraceArchive {
 
     /// Number of archived traces.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().traces.len()
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .traces
+            .len()
     }
 
     /// True when nothing has been archived.

@@ -31,7 +31,7 @@ pub use trace::{tracer, ActiveSpan, AttrValue, SpanId, SpanRecord, TraceEvent, T
 use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock};
 use std::time::Instant;
 
 /// Number of exponential histogram buckets; bucket `i` holds values in
@@ -96,24 +96,31 @@ impl Histogram {
     }
 
     fn record(&self, value: f64) {
+        // ORDERING: each cell is an independent statistic; readers
+        // tolerate torn cross-cell views (a snapshot racing a record may
+        // see the count without the bucket), so no publication ordering
+        // is needed.
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed); // ORDERING: as above
         update_f64(&self.sum_bits, |cur| cur + value);
         update_f64(&self.min_bits, |cur| cur.min(value));
         update_f64(&self.max_bits, |cur| cur.max(value));
     }
 
     fn summary(&self) -> HistogramSummary {
+        // ORDERING: statistics reads; see `record` — a summary racing
+        // concurrent records is approximate by design.
         let count = self.count.load(Ordering::Relaxed);
-        let sum = f64::from_bits(self.sum_bits.load(Ordering::Relaxed));
+        let sum = f64::from_bits(self.sum_bits.load(Ordering::Relaxed)); // ORDERING: as above
         let buckets: [u64; BUCKETS] =
-            std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
+            std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)); // ORDERING: as above
         let quantile = |q: f64| -> f64 {
             if count == 0 {
                 return 0.0;
             }
+            // ORDERING: statistics reads, as above.
             let min = f64::from_bits(self.min_bits.load(Ordering::Relaxed));
-            let max = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
+            let max = f64::from_bits(self.max_bits.load(Ordering::Relaxed)); // ORDERING: as above
             let target = (q * count as f64).ceil().max(1.0) as u64;
             let mut seen = 0u64;
             for (i, &n) in buckets.iter().enumerate() {
@@ -133,11 +140,13 @@ impl Histogram {
             min: if count == 0 {
                 0.0
             } else {
+                // ORDERING: statistics reads, as above.
                 f64::from_bits(self.min_bits.load(Ordering::Relaxed))
             },
             max: if count == 0 {
                 0.0
             } else {
+                // ORDERING: statistics reads, as above.
                 f64::from_bits(self.max_bits.load(Ordering::Relaxed))
             },
             mean: if count == 0 { 0.0 } else { sum / count as f64 },
@@ -149,9 +158,12 @@ impl Histogram {
 }
 
 fn update_f64(bits: &AtomicU64, f: impl Fn(f64) -> f64) {
+    // ORDERING: single-cell read-modify-write; the CAS itself guarantees
+    // atomicity of the update and nothing else is published under it.
     let mut cur = bits.load(Ordering::Relaxed);
     loop {
         let next = f(f64::from_bits(cur)).to_bits();
+        // ORDERING: as above.
         match bits.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
             Ok(_) => return,
             Err(actual) => cur = actual,
@@ -173,13 +185,26 @@ impl Registry {
     /// Looks a metric up, registering it when absent. `None` while the
     /// registry is disabled.
     fn resolve(&self, name: &str, make: fn() -> Metric) -> Option<Metric> {
+        // ORDERING: on/off flag only — all shared metric state is
+        // reached through the RwLock below, which does its own
+        // synchronization; a momentarily stale flag read just delays
+        // the switch by one resolve.
         if !self.enabled.load(Ordering::Relaxed) {
             return None;
         }
-        if let Some(m) = self.metrics.read().unwrap().get(name) {
+        // A poisoned registry lock is recovered everywhere in this
+        // crate: the map is structurally sound (inserts happen-or-don't
+        // under the guard) and telemetry must keep working after an
+        // unrelated thread panicked mid-resolve.
+        if let Some(m) = self
+            .metrics
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(name)
+        {
             return Some(m.clone());
         }
-        let mut metrics = self.metrics.write().unwrap();
+        let mut metrics = self.metrics.write().unwrap_or_else(PoisonError::into_inner);
         Some(metrics.entry(name.to_string()).or_insert_with(make).clone())
     }
 }
@@ -269,7 +294,10 @@ impl<T> HandleCore<T> {
 
     #[cold]
     fn re_resolve(&self) {
-        let mut retained = self.retained.lock().unwrap();
+        // Poison recovery: the Vec is only ever pushed to under the
+        // guard, so it is structurally sound, and a handle that stops
+        // re-resolving would silently drop samples forever.
+        let mut retained = self.retained.lock().unwrap_or_else(PoisonError::into_inner);
         let gen = self.registry.generation.load(Ordering::Acquire);
         // Another thread may have re-resolved while we waited on the
         // lock; the null check covers the very first resolution.
@@ -335,6 +363,9 @@ impl Recorder {
     /// bumps the handle generation, so pre-resolved handles that were
     /// minted while disabled attach to real storage on their next op.
     pub fn set_enabled(&self, enabled: bool) {
+        // ORDERING: on/off flag; nothing is published under it (see
+        // `Registry::resolve`). The generation bump below carries its
+        // own Release.
         self.registry.enabled.store(enabled, Ordering::Relaxed);
         if enabled {
             self.registry.generation.fetch_add(1, Ordering::Release);
@@ -343,6 +374,7 @@ impl Recorder {
 
     /// Whether new handles will record.
     pub fn is_enabled(&self) -> bool {
+        // ORDERING: on/off flag, as in `set_enabled`.
         self.registry.enabled.load(Ordering::Relaxed)
     }
 
@@ -351,7 +383,11 @@ impl Recorder {
     /// (and re-register their metric) on their next operation instead of
     /// recording into orphaned storage forever.
     pub fn reset(&self) {
-        self.registry.metrics.write().unwrap().clear();
+        self.registry
+            .metrics
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
         self.registry.generation.fetch_add(1, Ordering::Release);
     }
 
@@ -366,6 +402,9 @@ impl Recorder {
     pub fn counter(&self, name: &str) -> Counter {
         match self.metric(name, || Metric::Counter(Arc::new(AtomicU64::new(0)))) {
             Some(Metric::Counter(v)) => Counter(Some(v)),
+            // orex::allow(ORX002): documented `# Panics` contract — a
+            // kind collision is a programmer error at the call site, not
+            // a runtime condition, and every caller passes a literal.
             Some(m) => panic!(
                 "telemetry metric {name:?} already registered as a {}",
                 m.kind()
@@ -405,6 +444,8 @@ impl Recorder {
             Metric::Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))
         }) {
             Some(Metric::Gauge(v)) => Gauge(Some(v)),
+            // orex::allow(ORX002): documented `# Panics` contract, as in
+            // `counter`.
             Some(m) => panic!(
                 "telemetry metric {name:?} already registered as a {}",
                 m.kind()
@@ -443,15 +484,23 @@ impl Recorder {
     /// A point-in-time copy of every metric.
     pub fn snapshot(&self) -> Snapshot {
         let mut snap = Snapshot::default();
-        for (name, metric) in self.registry.metrics.read().unwrap().iter() {
+        let metrics = self
+            .registry
+            .metrics
+            .read()
+            .unwrap_or_else(PoisonError::into_inner);
+        for (name, metric) in metrics.iter() {
             match metric {
                 Metric::Counter(v) => {
-                    snap.counters
-                        .insert(name.clone(), v.load(Ordering::Relaxed));
+                    // ORDERING: statistics read; snapshots racing
+                    // updates are approximate by design.
+                    let count = v.load(Ordering::Relaxed);
+                    snap.counters.insert(name.clone(), count);
                 }
                 Metric::Gauge(bits) => {
-                    snap.gauges
-                        .insert(name.clone(), f64::from_bits(bits.load(Ordering::Relaxed)));
+                    // ORDERING: statistics read, as above.
+                    let bits = bits.load(Ordering::Relaxed);
+                    snap.gauges.insert(name.clone(), f64::from_bits(bits));
                 }
                 Metric::Histogram(h) => {
                     snap.histograms.insert(name.clone(), h.summary());
@@ -471,6 +520,7 @@ impl Counter {
     #[inline]
     pub fn add(&self, n: u64) {
         if let Some(v) = &self.0 {
+            // ORDERING: monotonic statistic; readers only ever sum it.
             v.fetch_add(n, Ordering::Relaxed);
         }
     }
@@ -492,6 +542,8 @@ impl CounterHandle {
     /// Adds `n`.
     #[inline]
     pub fn add(&self, n: u64) {
+        // ORDERING: monotonic statistic, as in `Counter::add`; the
+        // target pointer itself was acquired in `HandleCore::target`.
         self.0.target().fetch_add(n, Ordering::Relaxed);
     }
 
@@ -505,6 +557,9 @@ impl CounterHandle {
 fn resolve_counter(registry: &Registry, name: &str) -> Option<Arc<AtomicU64>> {
     match registry.resolve(name, || Metric::Counter(Arc::new(AtomicU64::new(0))))? {
         Metric::Counter(v) => Some(v),
+        // orex::allow(ORX002): documented `# Panics` contract of
+        // `Recorder::counter_handle` — kind collision is programmer
+        // error.
         m => panic!(
             "telemetry metric {name:?} already registered as a {}",
             m.kind()
@@ -515,6 +570,8 @@ fn resolve_counter(registry: &Registry, name: &str) -> Option<Arc<AtomicU64>> {
 fn resolve_histogram(registry: &Registry, name: &str) -> Option<Arc<Histogram>> {
     match registry.resolve(name, || Metric::Histogram(Arc::new(Histogram::new())))? {
         Metric::Histogram(h) => Some(h),
+        // orex::allow(ORX002): documented `# Panics` contract of
+        // `Recorder::histogram` — kind collision is programmer error.
         m => panic!(
             "telemetry metric {name:?} already registered as a {}",
             m.kind()
@@ -531,6 +588,8 @@ impl Gauge {
     #[inline]
     pub fn set(&self, value: f64) {
         if let Some(bits) = &self.0 {
+            // ORDERING: last-value-wins statistic; readers take any
+            // recent value.
             bits.store(value.to_bits(), Ordering::Relaxed);
         }
     }

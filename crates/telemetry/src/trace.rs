@@ -26,7 +26,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Identifies one query's trace; every root span mints a fresh id and
@@ -114,6 +114,9 @@ impl Ring {
     }
 
     fn push(&self, mut record: Box<SpanRecord>) {
+        // ORDERING: Relaxed — the ticket is a pure sequence number; the
+        // record itself is published by the AcqRel `swap` below, which
+        // is what a draining thread synchronizes with.
         let ticket = self.head.fetch_add(1, Ordering::Relaxed);
         record.ticket = ticket;
         let slot = &self.slots[(ticket % self.slots.len() as u64) as usize];
@@ -205,6 +208,7 @@ static NEXT_TRACER_ID: AtomicU64 = AtomicU64::new(1);
 static NEXT_TID: AtomicU64 = AtomicU64::new(1);
 
 thread_local! {
+    // ORDERING: Relaxed — pure id allocation; only uniqueness matters.
     static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
 }
 
@@ -224,6 +228,7 @@ impl Tracer {
     pub fn new(capacity: usize) -> Self {
         Self {
             inner: Some(Arc::new(TracerInner {
+                // ORDERING: Relaxed — pure id allocation.
                 id: NEXT_TRACER_ID.fetch_add(1, Ordering::Relaxed),
                 epoch: Instant::now(),
                 next_trace: AtomicU64::new(1),
@@ -262,7 +267,10 @@ impl Tracer {
     /// default). No-op on a disabled tracer.
     pub fn set_sample_every(&self, every: u64) {
         if let Some(inner) = &self.inner {
-            inner.sampling.every.store(every.max(1), Ordering::Relaxed);
+            // Release-publish the new rate so a thread that observes it
+            // (Acquire loads in `span`/`sample_every`) also observes any
+            // configuration written before this call.
+            inner.sampling.every.store(every.max(1), Ordering::Release);
         }
     }
 
@@ -270,7 +278,7 @@ impl Tracer {
     pub fn sample_every(&self) -> u64 {
         self.inner
             .as_ref()
-            .map_or(1, |i| i.sampling.every.load(Ordering::Relaxed).max(1))
+            .map_or(1, |i| i.sampling.every.load(Ordering::Acquire).max(1))
     }
 
     /// Unsampled traces whose *root* span runs at least `threshold` are
@@ -281,7 +289,9 @@ impl Tracer {
             let ns = threshold.map_or(u64::MAX, |d| {
                 u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
             });
-            inner.sampling.slow_ns.store(ns, Ordering::Relaxed);
+            // Release-publish, pairing with the Acquire loads in
+            // `slow_threshold` and the root-drop promotion check.
+            inner.sampling.slow_ns.store(ns, Ordering::Release);
         }
     }
 
@@ -290,7 +300,7 @@ impl Tracer {
         let ns = self
             .inner
             .as_ref()
-            .map_or(u64::MAX, |i| i.sampling.slow_ns.load(Ordering::Relaxed));
+            .map_or(u64::MAX, |i| i.sampling.slow_ns.load(Ordering::Acquire));
         (ns != u64::MAX).then(|| Duration::from_nanos(ns))
     }
 
@@ -305,6 +315,7 @@ impl Tracer {
                 _not_send: PhantomData,
             };
         };
+        // ORDERING: Relaxed — pure id allocation; only uniqueness matters.
         let id = SpanId(inner.next_span.fetch_add(1, Ordering::Relaxed));
         let (trace, parent, sampled) = SPAN_STACK.with(|s| {
             let mut stack = s.borrow_mut();
@@ -314,11 +325,14 @@ impl Tracer {
                 .find(|e| e.tracer == inner.id)
                 .map(|e| (TraceId(e.trace), Some(SpanId(e.span)), e.sampled));
             let (trace, parent, sampled) = inherited.unwrap_or_else(|| {
-                let every = inner.sampling.every.load(Ordering::Relaxed);
+                // Acquire pairs with the Release store in
+                // `set_sample_every`: a root that sees the new rate also
+                // sees every config write that preceded it.
+                let every = inner.sampling.every.load(Ordering::Acquire);
                 let sampled =
-                    every <= 1 || inner.sampling.roots.fetch_add(1, Ordering::Relaxed) % every == 0;
+                    every <= 1 || inner.sampling.roots.fetch_add(1, Ordering::Relaxed) % every == 0; // ORDERING: Relaxed — monotone draw counter; no data published.
                 (
-                    TraceId(inner.next_trace.fetch_add(1, Ordering::Relaxed)),
+                    TraceId(inner.next_trace.fetch_add(1, Ordering::Relaxed)), // ORDERING: Relaxed — pure id allocation.
                     None,
                     sampled,
                 )
@@ -458,8 +472,15 @@ impl Drop for ActiveSpan {
         }
         if record.parent.is_some() {
             // Unsampled child: hold it until the root decides whether
-            // the trace is promoted (slow) or discarded.
-            let mut pending = tracer.sampling.pending.lock().unwrap();
+            // the trace is promoted (slow) or discarded. A poisoned
+            // lock is recovered — every mutation of the pending map
+            // completes or never starts, so the map stays structurally
+            // valid, and a span guard's Drop must never panic.
+            let mut pending = tracer
+                .sampling
+                .pending
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             let at_cap =
                 pending.len() >= MAX_PENDING_TRACES && !pending.contains_key(&record.trace.0);
             if !at_cap {
@@ -476,9 +497,10 @@ impl Drop for ActiveSpan {
             .sampling
             .pending
             .lock()
-            .unwrap()
+            .unwrap_or_else(PoisonError::into_inner) // recovered: see above, Drop must not panic
             .remove(&record.trace.0);
-        if record.duration_ns() >= tracer.sampling.slow_ns.load(Ordering::Relaxed) {
+        // Acquire pairs with the Release store in `set_slow_threshold`.
+        if record.duration_ns() >= tracer.sampling.slow_ns.load(Ordering::Acquire) {
             for span in buffered.into_iter().flatten() {
                 tracer.ring.push(Box::new(span));
             }
