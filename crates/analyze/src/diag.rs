@@ -9,7 +9,7 @@
 
 use std::fmt::Write as _;
 
-/// The six project lint rules.
+/// The seven project lint rules.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Rule {
     /// `unsafe` without an attached `// SAFETY:` comment.
@@ -24,6 +24,8 @@ pub enum Rule {
     Orx005,
     /// Debt census over budget (`TODO` / `FIXME` / `#[allow]`).
     Orx006,
+    /// Bare `println!`-family / `dbg!` output outside allowlisted crates.
+    Orx007,
 }
 
 impl Rule {
@@ -36,6 +38,7 @@ impl Rule {
             Rule::Orx004 => "ORX004",
             Rule::Orx005 => "ORX005",
             Rule::Orx006 => "ORX006",
+            Rule::Orx007 => "ORX007",
         }
     }
 
@@ -48,6 +51,9 @@ impl Rule {
             Rule::Orx004 => "lock pairs must be acquired in a consistent order",
             Rule::Orx005 => "no process::exit or thread sleep outside cli/bench",
             Rule::Orx006 => "debt census (TODO/FIXME/#[allow]) exceeds committed budget",
+            Rule::Orx007 => {
+                "no bare println!/eprintln!/dbg! outside cli/bench — use the structured logger"
+            }
         }
     }
 
@@ -60,12 +66,13 @@ impl Rule {
             "ORX004" => Some(Rule::Orx004),
             "ORX005" => Some(Rule::Orx005),
             "ORX006" => Some(Rule::Orx006),
+            "ORX007" => Some(Rule::Orx007),
             _ => None,
         }
     }
 
     /// All rules, for report summaries.
-    pub fn all() -> [Rule; 6] {
+    pub fn all() -> [Rule; 7] {
         [
             Rule::Orx001,
             Rule::Orx002,
@@ -73,6 +80,7 @@ impl Rule {
             Rule::Orx004,
             Rule::Orx005,
             Rule::Orx006,
+            Rule::Orx007,
         ]
     }
 }

@@ -1,7 +1,7 @@
 //! # orex-analyze — workspace static analysis and correctness gates
 //!
 //! A dependency-free, token-level Rust source scanner enforcing the
-//! project's six lint rules, plus a bounded two-thread interleaving
+//! project's seven lint rules, plus a bounded two-thread interleaving
 //! explorer used by concurrency tests. The scanner powers the
 //! `orex analyze` CLI subcommand and the blocking CI `analyze` job.
 //!
@@ -15,6 +15,7 @@
 //! | ORX004 | two-lock acquisition-order inversions (deadlock potential) |
 //! | ORX005 | no `process::exit`/`thread::sleep` outside cli/bench |
 //! | ORX006 | debt census (`TODO`/`FIXME`/`#[allow]`) over committed budget |
+//! | ORX007 | no bare `println!`/`eprintln!`/`dbg!` outside cli/bench |
 //!
 //! Scope, allowlists and budgets live in `analyze.policy` at the
 //! workspace root — the single source of policy. Individual findings
@@ -28,6 +29,7 @@ pub mod policy;
 pub mod rules;
 
 use std::fs;
+use std::io::Write;
 use std::path::{Path, PathBuf};
 
 use diag::{Finding, Report, Rule};
@@ -193,12 +195,15 @@ pub enum CliOutcome {
     Error,
 }
 
-/// Entry point for the `orex analyze` subcommand.
+/// Entry point for the `orex analyze` subcommand. Reports and errors go
+/// to the caller-supplied `out` / `err` writers (its own ORX007
+/// discipline: this is library code and owns no terminal). Writer
+/// failures are swallowed — a broken pipe must not change the outcome.
 ///
 /// Flags: `--root <dir>` (default `.`), `--format text|json`
 /// (default text), `--output <file>` (write the report there instead of
-/// stdout; text summary still goes to stderr so CI logs stay useful).
-pub fn run_cli(args: &[String]) -> CliOutcome {
+/// `out`; text summary still goes to `err` so CI logs stay useful).
+pub fn run_cli(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> CliOutcome {
     let mut root = PathBuf::from(".");
     let mut format = "text".to_string();
     let mut output: Option<PathBuf> = None;
@@ -208,26 +213,26 @@ pub fn run_cli(args: &[String]) -> CliOutcome {
             "--root" => match it.next() {
                 Some(v) => root = PathBuf::from(v),
                 None => {
-                    eprintln!("orex analyze: --root needs a value");
+                    let _ = writeln!(err, "orex analyze: --root needs a value");
                     return CliOutcome::Error;
                 }
             },
             "--format" => match it.next().map(String::as_str) {
                 Some(v @ ("text" | "json")) => format = v.to_string(),
                 _ => {
-                    eprintln!("orex analyze: --format must be text or json");
+                    let _ = writeln!(err, "orex analyze: --format must be text or json");
                     return CliOutcome::Error;
                 }
             },
             "--output" => match it.next() {
                 Some(v) => output = Some(PathBuf::from(v)),
                 None => {
-                    eprintln!("orex analyze: --output needs a value");
+                    let _ = writeln!(err, "orex analyze: --output needs a value");
                     return CliOutcome::Error;
                 }
             },
             other => {
-                eprintln!("orex analyze: unknown flag `{other}`");
+                let _ = writeln!(err, "orex analyze: unknown flag `{other}`");
                 return CliOutcome::Error;
             }
         }
@@ -236,14 +241,14 @@ pub fn run_cli(args: &[String]) -> CliOutcome {
     let policy = match load_policy(&root) {
         Ok(p) => p,
         Err(e) => {
-            eprintln!("orex analyze: {e}");
+            let _ = writeln!(err, "orex analyze: {e}");
             return CliOutcome::Error;
         }
     };
     let report = match analyze_workspace(&root, &policy) {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("orex analyze: {e}");
+            let _ = writeln!(err, "orex analyze: {e}");
             return CliOutcome::Error;
         }
     };
@@ -256,13 +261,15 @@ pub fn run_cli(args: &[String]) -> CliOutcome {
     match &output {
         Some(path) => {
             if let Err(e) = fs::write(path, &rendered) {
-                eprintln!("orex analyze: {}: {}", path.display(), e);
+                let _ = writeln!(err, "orex analyze: {}: {}", path.display(), e);
                 return CliOutcome::Error;
             }
             // Keep the human summary visible in CI logs.
-            eprint!("{}", report.render_text());
+            let _ = write!(err, "{}", report.render_text());
         }
-        None => print!("{rendered}"),
+        None => {
+            let _ = write!(out, "{rendered}");
+        }
     }
 
     if report.findings.is_empty() {

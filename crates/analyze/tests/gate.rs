@@ -38,6 +38,19 @@ impl Drop for Fixture {
     }
 }
 
+/// Runs the CLI with captured writers, returning the outcome and both
+/// streams as strings.
+fn run_cli_captured(args: &[String]) -> (CliOutcome, String, String) {
+    let mut out = Vec::new();
+    let mut err = Vec::new();
+    let outcome = run_cli(args, &mut out, &mut err);
+    (
+        outcome,
+        String::from_utf8(out).expect("stdout is UTF-8"),
+        String::from_utf8(err).expect("stderr is UTF-8"),
+    )
+}
+
 #[test]
 fn the_workspace_scans_clean() {
     // The same gate CI runs: zero findings on our own source tree. If
@@ -88,7 +101,50 @@ pub fn quit() -> u8 {
 
     // And the CLI entry point maps that to a non-zero outcome.
     let args = vec!["--root".to_string(), fixture.root.display().to_string()];
-    assert_eq!(run_cli(&args), CliOutcome::Violations);
+    let (outcome, out, _) = run_cli_captured(&args);
+    assert_eq!(outcome, CliOutcome::Violations);
+    assert!(out.contains("error[ORX001]"), "{out}");
+}
+
+#[test]
+fn seeded_print_macros_fail_the_gate() {
+    let fixture = Fixture::new(
+        "prints",
+        r#"
+pub fn noisy(x: u32) -> u32 {
+    println!("computing {x}");
+    let doubled = dbg!(x * 2);
+    eprintln!("done");
+    doubled
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prints_in_tests_are_fine() {
+        println!("tests own their terminal");
+    }
+}
+"#,
+    );
+    let policy = load_policy(&fixture.root).expect("missing policy file is empty policy");
+    let report = analyze_workspace(&fixture.root, &policy).expect("fixture scan succeeds");
+    let orx007: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == Rule::Orx007)
+        .collect();
+    assert_eq!(
+        orx007.len(),
+        3,
+        "println!, dbg!, eprintln! each flagged once (test code exempt):\n{}",
+        report.render_text()
+    );
+
+    let args = vec!["--root".to_string(), fixture.root.display().to_string()];
+    let (outcome, out, _) = run_cli_captured(&args);
+    assert_eq!(outcome, CliOutcome::Violations);
+    assert!(out.contains("error[ORX007]"), "{out}");
 }
 
 #[test]
@@ -108,12 +164,14 @@ pub fn quit() {
 "#,
     );
     let args = vec!["--root".to_string(), fixture.root.display().to_string()];
-    assert_eq!(run_cli(&args), CliOutcome::Clean);
+    assert_eq!(run_cli_captured(&args).0, CliOutcome::Clean);
 }
 
 #[test]
 fn cli_rejects_unknown_flags() {
-    assert_eq!(run_cli(&["--bogus".to_string()]), CliOutcome::Error);
+    let (outcome, _, err) = run_cli_captured(&["--bogus".to_string()]);
+    assert_eq!(outcome, CliOutcome::Error);
+    assert!(err.contains("unknown flag"), "{err}");
 }
 
 #[test]
@@ -128,7 +186,7 @@ fn json_report_round_trips_key_fields() {
         "--output".to_string(),
         out.display().to_string(),
     ];
-    assert_eq!(run_cli(&args), CliOutcome::Violations);
+    assert_eq!(run_cli_captured(&args).0, CliOutcome::Violations);
     let json = fs::read_to_string(&out).expect("report written");
     assert!(json.contains("\"ok\": false"));
     assert!(json.contains("ORX001"));

@@ -13,8 +13,16 @@
 
 use crate::base_set::BaseSet;
 use orex_graph::{TransferGraph, TransferRates};
-use orex_telemetry::{CounterHandle, HistogramHandle};
+use orex_telemetry::{logger, CounterHandle, HistogramHandle, Level, RateLimit};
 use std::sync::OnceLock;
+
+/// Log target of the power-iteration engine.
+const LOG_TARGET: &str = "authority.power";
+
+/// The per-iteration residual is logged (at `Level::Trace`) at most once
+/// every this many iterations, so turning residual logging on cannot
+/// flood the ring on large graphs.
+const RESIDUAL_LOG_EVERY: u64 = 32;
 
 /// Pre-resolved handles for the per-iteration metrics: the power loop is
 /// the system's hottest path, so it must not pay the registry's RwLock
@@ -210,8 +218,17 @@ pub fn power_iteration(
             // perfect warm start *away* from the fixpoint.
             let sum: f64 = w.iter().sum();
             if sum > 0.0 && sum.is_finite() {
+                logger()
+                    .info(LOG_TARGET, "warm start reused")
+                    .field_u64("nodes", n as u64)
+                    .field_f64("mass", sum)
+                    .emit();
                 w.to_vec()
             } else {
+                logger()
+                    .warn(LOG_TARGET, "warm start rejected, falling back to base set")
+                    .field_f64("mass", sum)
+                    .emit();
                 base.to_dense(n)
             }
         }
@@ -263,6 +280,16 @@ pub fn power_iteration(
             let active = r_new.iter().filter(|&&v| v > 0.0).count();
             iter_span.attr_u64("active_nodes", active as u64);
         }
+        // Rate-limited so even OREX_LOG=trace stays bounded on the
+        // hottest loop in the system.
+        static RESIDUAL_LOG: RateLimit = RateLimit::new();
+        if logger().enabled(Level::Trace, LOG_TARGET) && RESIDUAL_LOG.admit(RESIDUAL_LOG_EVERY) {
+            logger()
+                .trace(LOG_TARGET, "residual")
+                .field_u64("iteration", iterations as u64)
+                .field_f64("residual", residual)
+                .emit();
+        }
         drop(iter_span);
         std::mem::swap(&mut r, &mut r_new);
         if residual < params.epsilon {
@@ -282,6 +309,24 @@ pub fn power_iteration(
     if run_span.is_recording() {
         run_span.attr_u64("iterations", iterations as u64);
         run_span.attr_u64("converged", u64::from(converged));
+    }
+    let last_residual = residuals.last().copied().unwrap_or(0.0);
+    if converged {
+        logger()
+            .info(LOG_TARGET, "converged")
+            .field_u64("iterations", iterations as u64)
+            .field_u64("nodes", n as u64)
+            .field_f64("residual", last_residual)
+            .field_bool("warm_start", warm_start.is_some())
+            .emit();
+    } else {
+        logger()
+            .warn(LOG_TARGET, "did not converge within iteration cap")
+            .field_u64("iterations", iterations as u64)
+            .field_u64("nodes", n as u64)
+            .field_f64("residual", last_residual)
+            .field_f64("epsilon", params.epsilon)
+            .emit();
     }
 
     RankResult {

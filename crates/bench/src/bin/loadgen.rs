@@ -17,7 +17,12 @@
 //!   (the CI `server-smoke` job), regenerating the same preset locally
 //!   only to learn its suggested keywords.
 //!
-//! Exits nonzero on any dropped connection or 5xx response.
+//! After the workload it scrapes `GET /logs` while the server is still
+//! up, counting `server.access` records and surfacing any ERROR-level
+//! record the status codes may have hidden.
+//!
+//! Exits nonzero on any dropped connection, 5xx response, or
+//! ERROR-level log record.
 //!
 //! Run: `cargo run -p orex-bench --release --bin loadgen
 //!       [-- --connections 64 --rounds 3 --scale 0.05 [--addr H:P]]`
@@ -261,6 +266,34 @@ fn main() {
     });
     let wall = wall.elapsed();
 
+    // Scrape the structured event log while the server is still up: any
+    // ERROR-level record is a server-side failure the status codes may
+    // have hidden, and the access-log count cross-checks the client
+    // tally (one `server.access` record per request we made).
+    let (log_errors, access_records) = match get(addr, "/logs?level=info") {
+        Some((200, body)) => {
+            let mut errors = 0u64;
+            let mut access = 0u64;
+            for line in body.lines().filter(|l| !l.is_empty()) {
+                let Ok(v) = serde_json::from_str(line) else {
+                    continue;
+                };
+                if v.get("target").and_then(|t| t.as_str()) == Some("server.access") {
+                    access += 1;
+                }
+                if v.get("level").and_then(|l| l.as_str()) == Some("ERROR") {
+                    errors += 1;
+                    eprintln!("[loadgen] server ERROR log: {line}");
+                }
+            }
+            (errors, access)
+        }
+        other => {
+            eprintln!("[loadgen] /logs scrape failed: {other:?}");
+            (0, 0)
+        }
+    };
+
     // Graceful shutdown of the in-process server: drains in-flight
     // requests; a clean Ok(()) is part of what CI asserts.
     let clean_shutdown = match (shutdown, server_thread) {
@@ -308,11 +341,13 @@ fn main() {
         status_map.insert(code.clone(), serde_json::Value::from(*n));
     }
     println!(
-        "   totals: {} requests in {:.2?}, {} dropped, {} server errors, clean shutdown: {clean_shutdown}",
+        "   totals: {} requests in {:.2?}, {} dropped, {} server errors, {} logged errors, {} access-log records, clean shutdown: {clean_shutdown}",
         tally.samples.len(),
         wall,
         tally.dropped,
-        server_errors
+        server_errors,
+        log_errors,
+        access_records
     );
 
     write_json(
@@ -326,14 +361,16 @@ fn main() {
             "requests": tally.samples.len() as u64,
             "dropped": tally.dropped as u64,
             "server_errors": server_errors,
+            "log_errors": log_errors,
+            "access_log_records": access_records,
             "clean_shutdown": clean_shutdown,
             "statuses": serde_json::Value::Object(status_map),
             "endpoints": serde_json::Value::Object(ops),
         }),
     );
 
-    if tally.dropped > 0 || server_errors > 0 || !clean_shutdown {
-        eprintln!("[loadgen] FAILED: drops or server errors present");
+    if tally.dropped > 0 || server_errors > 0 || log_errors > 0 || !clean_shutdown {
+        eprintln!("[loadgen] FAILED: drops, server errors, or ERROR log records present");
         std::process::exit(1);
     }
 }

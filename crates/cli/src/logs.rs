@@ -1,0 +1,318 @@
+//! The `orex logs` subcommand: filter and pretty-print JSON-lines log
+//! captures.
+//!
+//! A running `orex serve` instance serves its log archive as JSON-lines
+//! from `GET /logs`; this subcommand turns such a capture (a file, or
+//! stdin when no file / `-` is given) into readable text — or re-emits
+//! the surviving lines as JSON — after level/target/seq filtering:
+//!
+//! ```text
+//! curl -s http://127.0.0.1:7474/logs | orex logs --level warn
+//! orex logs server.jsonl --target server.access --limit 20 --format json
+//! ```
+
+use orex_telemetry::export::write_utc_timestamp;
+use orex_telemetry::Level;
+use std::fmt::Write as _;
+use std::io::{Read, Write};
+
+use crate::subcommands::SUBCOMMAND_HELP;
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// True when `target` falls under `prefix` with the same dot-hierarchy
+/// semantics as `OREX_LOG` filters: exact match or a `prefix.`-rooted
+/// descendant.
+fn target_matches(target: &str, prefix: &str) -> bool {
+    target == prefix
+        || (target.len() > prefix.len()
+            && target.starts_with(prefix)
+            && target.as_bytes()[prefix.len()] == b'.')
+}
+
+fn render_value(value: &serde_json::Value, out: &mut String) {
+    if let Some(s) = value.as_str() {
+        if s.is_empty() || s.contains([' ', '"', '=']) {
+            let _ = write!(out, "{s:?}");
+        } else {
+            out.push_str(s);
+        }
+    } else if let Some(b) = value.as_bool() {
+        let _ = write!(out, "{b}");
+    } else if let Some(u) = value.as_u64() {
+        let _ = write!(out, "{u}");
+    } else if let Some(f) = value.as_f64() {
+        let _ = write!(out, "{f}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Renders one parsed record in the same shape as the telemetry text
+/// exporter: timestamp, level, target, message, `key=value` fields, and
+/// trace/span ids when present.
+fn render_text_line(record: &serde_json::Value, out: &mut String) {
+    write_utc_timestamp(
+        record.get("ts_ns").and_then(|v| v.as_u64()).unwrap_or(0),
+        out,
+    );
+    let level = record.get("level").and_then(|v| v.as_str()).unwrap_or("?");
+    let target = record.get("target").and_then(|v| v.as_str()).unwrap_or("?");
+    let message = record.get("message").and_then(|v| v.as_str()).unwrap_or("");
+    let _ = write!(out, " {level:<5} {target} {message}");
+    if let Some(fields) = record.get("fields").and_then(|v| v.as_object()) {
+        for (key, value) in fields.iter() {
+            let _ = write!(out, " {key}=");
+            render_value(value, out);
+        }
+    }
+    if let Some(trace) = record.get("trace").and_then(|v| v.as_u64()) {
+        let _ = write!(out, " trace={trace}");
+    }
+    if let Some(span) = record.get("span").and_then(|v| v.as_u64()) {
+        let _ = write!(out, " span={span}");
+    }
+    out.push('\n');
+}
+
+/// `orex logs [FILE] [--level L] [--target PREFIX] [--since SEQ]
+/// [--limit N] [--format text|json]` — filter a JSON-lines log capture
+/// and render it as text (default) or re-emit the surviving JSON lines.
+/// Returns the process exit code.
+pub fn run_logs(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> std::io::Result<i32> {
+    let format = flag_value(args, "--format").unwrap_or_else(|| "text".into());
+    if format != "text" && format != "json" {
+        writeln!(err, "logs: unknown format '{format}' (text|json)")?;
+        return Ok(2);
+    }
+    let max_level = match flag_value(args, "--level") {
+        None => None,
+        Some(raw) => match raw.parse::<Level>() {
+            Ok(level) => Some(level),
+            Err(e) => {
+                writeln!(err, "logs: {e}")?;
+                return Ok(2);
+            }
+        },
+    };
+    let target = flag_value(args, "--target");
+    let since: Option<u64> = match flag_value(args, "--since").map(|s| s.parse()) {
+        None => None,
+        Some(Ok(v)) => Some(v),
+        Some(Err(_)) => {
+            writeln!(err, "logs: --since expects an unsigned integer")?;
+            return Ok(2);
+        }
+    };
+    let limit: Option<usize> = match flag_value(args, "--limit").map(|s| s.parse()) {
+        None => None,
+        Some(Ok(v)) => Some(v),
+        Some(Err(_)) => {
+            writeln!(err, "logs: --limit expects an unsigned integer")?;
+            return Ok(2);
+        }
+    };
+
+    // The positional argument, if any, is the input file.
+    let mut positional = None;
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+        } else if a.starts_with("--") {
+            skip = true;
+        } else if positional.replace(a.clone()).is_some() {
+            writeln!(err, "logs: more than one input file\n\n{SUBCOMMAND_HELP}")?;
+            return Ok(2);
+        }
+    }
+    let text = match positional.as_deref() {
+        Some(path) if path != "-" => match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                writeln!(err, "logs: reading {path}: {e}")?;
+                return Ok(2);
+            }
+        },
+        _ => {
+            let mut buf = String::new();
+            std::io::stdin().read_to_string(&mut buf)?;
+            buf
+        }
+    };
+
+    let mut malformed = 0usize;
+    let mut kept: Vec<(&str, serde_json::Value)> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record = match serde_json::from_str(line) {
+            Ok(v) => v,
+            Err(e) => {
+                malformed += 1;
+                writeln!(err, "logs: line {}: {e}", lineno + 1)?;
+                continue;
+            }
+        };
+        if let Some(max) = max_level {
+            let admitted = record
+                .get("level")
+                .and_then(|v| v.as_str())
+                .and_then(|s| s.parse::<Level>().ok())
+                .is_some_and(|level| level <= max);
+            if !admitted {
+                continue;
+            }
+        }
+        if let Some(prefix) = &target {
+            let matched = record
+                .get("target")
+                .and_then(|v| v.as_str())
+                .is_some_and(|t| target_matches(t, prefix));
+            if !matched {
+                continue;
+            }
+        }
+        if let Some(since) = since {
+            let newer = record
+                .get("seq")
+                .and_then(|v| v.as_u64())
+                .is_some_and(|seq| seq > since);
+            if !newer {
+                continue;
+            }
+        }
+        kept.push((line, record));
+    }
+    if let Some(limit) = limit {
+        if kept.len() > limit {
+            kept.drain(..kept.len() - limit);
+        }
+    }
+
+    let mut rendered = String::new();
+    for (line, record) in &kept {
+        match format.as_str() {
+            "json" => {
+                rendered.push_str(line);
+                rendered.push('\n');
+            }
+            _ => render_text_line(record, &mut rendered),
+        }
+    }
+    write!(out, "{rendered}")?;
+    if malformed > 0 {
+        writeln!(err, "logs: skipped {malformed} malformed line(s)")?;
+    }
+    Ok(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orex_telemetry::export::log_json_lines;
+    use orex_telemetry::{LogFilter, Logger};
+
+    fn sample_capture() -> String {
+        let logger = Logger::new(64);
+        logger.set_filter(LogFilter::at(Level::Debug));
+        logger
+            .info("server.access", "request")
+            .field_str("method", "POST")
+            .field_str("path", "/query")
+            .field_u64("status", 200)
+            .emit();
+        logger
+            .warn("authority.power", "did not converge within iteration cap")
+            .field_f64("residual", 0.25)
+            .emit();
+        logger.debug("explain.adjust", "fixpoint converged").emit();
+        log_json_lines(&logger.drain())
+    }
+
+    fn run_on(capture: &str, extra: &[&str]) -> (i32, String, String) {
+        let dir = std::env::temp_dir().join("orex-cli-logs-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!(
+            "cap-{}.jsonl",
+            extra.join("_").replace(['-', '/'], "")
+        ));
+        std::fs::write(&path, capture).unwrap();
+        let mut args = vec![path.display().to_string()];
+        args.extend(extra.iter().map(|s| s.to_string()));
+        let mut out = Vec::new();
+        let mut err = Vec::new();
+        let code = run_logs(&args, &mut out, &mut err).unwrap();
+        let _ = std::fs::remove_file(&path);
+        (
+            code,
+            String::from_utf8(out).unwrap(),
+            String::from_utf8(err).unwrap(),
+        )
+    }
+
+    #[test]
+    fn text_rendering_filters_by_level() {
+        let capture = sample_capture();
+        let (code, out, _) = run_on(&capture, &["--level", "warn"]);
+        assert_eq!(code, 0);
+        assert_eq!(out.lines().count(), 1, "{out}");
+        assert!(
+            out.contains("WARN  authority.power did not converge"),
+            "{out}"
+        );
+        assert!(out.contains("residual=0.25"), "{out}");
+    }
+
+    #[test]
+    fn json_format_reemits_lines_verbatim() {
+        let capture = sample_capture();
+        let (code, out, _) = run_on(&capture, &["--target", "server", "--format", "json"]);
+        assert_eq!(code, 0);
+        assert_eq!(out.lines().count(), 1, "{out}");
+        assert_eq!(out.trim_end(), capture.lines().next().unwrap());
+    }
+
+    #[test]
+    fn limit_keeps_newest_and_malformed_lines_are_reported() {
+        let capture = format!("{}not json\n", sample_capture());
+        let (code, out, err) = run_on(&capture, &["--limit", "1"]);
+        assert_eq!(code, 0);
+        assert_eq!(out.lines().count(), 1, "{out}");
+        assert!(
+            out.contains("explain.adjust"),
+            "limit keeps the newest: {out}"
+        );
+        assert!(err.contains("skipped 1 malformed line(s)"), "{err}");
+    }
+
+    #[test]
+    fn bad_flags_exit_2() {
+        for bad in [
+            vec!["--level", "loud"],
+            vec!["--format", "xml"],
+            vec!["--since", "minus"],
+            vec!["--limit", "-1"],
+        ] {
+            let mut args: Vec<String> = vec!["unused.jsonl".into()];
+            args.extend(bad.iter().map(|s| s.to_string()));
+            let mut out = Vec::new();
+            let mut err = Vec::new();
+            let code = run_logs(&args, &mut out, &mut err).unwrap();
+            assert_eq!(code, 2, "args {bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn target_prefix_matches_dot_hierarchy() {
+        assert!(target_matches("server.access", "server"));
+        assert!(target_matches("server", "server"));
+        assert!(!target_matches("serverless.access", "server"));
+        assert!(!target_matches("authority.power", "server"));
+    }
+}

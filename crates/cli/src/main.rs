@@ -1,7 +1,7 @@
 //! The `orex` binary: non-interactive subcommands (`trace`, `stats`)
 //! dispatched from argv, falling back to the interactive shell.
 
-use orex_cli::{parse, run_serve, run_stats, run_trace, App, SUBCOMMAND_HELP};
+use orex_cli::{parse, run_logs, run_serve, run_stats, run_trace, App, SUBCOMMAND_HELP};
 use std::io::{BufRead, Write};
 
 fn main() {
@@ -31,8 +31,20 @@ fn main() {
                 });
             std::process::exit(code);
         }
+        Some("logs") => {
+            let code = run_logs(&args[1..], &mut std::io::stdout(), &mut std::io::stderr())
+                .unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    1
+                });
+            std::process::exit(code);
+        }
         Some("analyze") => {
-            let code = match orex_analyze::run_cli(&args[1..]) {
+            let code = match orex_analyze::run_cli(
+                &args[1..],
+                &mut std::io::stdout(),
+                &mut std::io::stderr(),
+            ) {
                 orex_analyze::CliOutcome::Clean => 0,
                 orex_analyze::CliOutcome::Violations => 1,
                 orex_analyze::CliOutcome::Error => 2,

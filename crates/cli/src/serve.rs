@@ -35,8 +35,8 @@ fn flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, 
 /// `orex serve [--addr A] [--preset NAME] [--scale F] [--threads N]
 /// [--cache-entries N] [--session-ttl SECS] [--max-sessions N]
 /// [--max-body-kb N] [--timeout-ms N] [--trace-sample N]
-/// [--trace-slow-ms N]` — serve the interactive loop over HTTP.
-/// Returns the process exit code.
+/// [--trace-slow-ms N] [--max-logs N] [--slow-ms N]` — serve the
+/// interactive loop over HTTP. Returns the process exit code.
 pub fn run_serve(
     args: &[String],
     out: &mut dyn Write,
@@ -64,6 +64,12 @@ pub fn run_serve(
         }
         if let Some(ms) = flag::<u64>(args, "--timeout-ms")? {
             config.io_timeout = Duration::from_millis(ms.max(1));
+        }
+        if let Some(max) = flag::<usize>(args, "--max-logs")? {
+            config.max_logs = max;
+        }
+        if let Some(ms) = flag::<u64>(args, "--slow-ms")? {
+            config.slow_request = Duration::from_millis(ms.max(1));
         }
         Ok(())
     })();
@@ -141,6 +147,10 @@ pub fn run_serve(
     writeln!(
         out,
         "try: curl -s http://{addr}/healthz ; curl -s -XPOST http://{addr}/query -d '{{\"query\": \"data mining\"}}'"
+    )?;
+    writeln!(
+        out,
+        "logs: curl -s 'http://{addr}/logs?level=info' | orex logs   (OREX_LOG tunes capture)"
     )?;
     out.flush()?;
     match server.run() {

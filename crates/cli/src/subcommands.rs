@@ -34,15 +34,20 @@ usage:
   orex serve [--addr A] [--preset NAME] [--scale F] [--threads N]
              [--cache-entries N] [--session-ttl SECS] [--max-sessions N]
              [--max-body-kb N] [--timeout-ms N] [--trace-sample N]
-             [--trace-slow-ms N]
+             [--trace-slow-ms N] [--max-logs N] [--slow-ms N]
                              serve the interactive query/explain/feedback
                              loop over HTTP (POST /query, GET /explain/
                              <session>/<node>, POST /feedback/<session>,
-                             GET /healthz|/metrics|/trace/<id>); SIGTERM
-                             or ctrl-c drains in-flight requests
+                             GET /healthz|/metrics|/trace/<id>|/logs);
+                             SIGTERM or ctrl-c drains in-flight requests
+  orex logs [FILE] [--level L] [--target PREFIX] [--since SEQ]
+            [--limit N] [--format text|json]
+                             filter a JSON-lines log capture (a file, or
+                             stdin — e.g. piped from `curl .../logs`) and
+                             render it as text or re-emit JSON lines
   orex analyze [--root DIR] [--format text|json] [--output FILE]
                              run the workspace static-analysis gate
-                             (rules ORX001–ORX006 from analyze.policy);
+                             (rules ORX001–ORX007 from analyze.policy);
                              exits 1 on any finding";
 
 /// Returns the value following `flag` in `args`.
@@ -235,16 +240,27 @@ pub fn run_stats(
             continue;
         }
         shown += 1;
-        let regressed = d.relative > threshold;
+        // A zero (or absent-mean) baseline makes the relative delta
+        // +inf or NaN: the metric is effectively *new* in this run, and
+        // "infinitely regressed" would fail every first run that adds a
+        // metric. Report it without gating on it.
+        let comparable = d.relative.is_finite();
+        let regressed = comparable && d.relative > threshold;
         failed |= regressed;
+        let rendered_delta = if comparable {
+            format!("{:>+8.1}%", d.relative * 100.0)
+        } else if d.relative.is_infinite() {
+            format!("{:>9}", "new")
+        } else {
+            format!("{:>9}", "n/a")
+        };
         writeln!(
             out,
-            "  {} {:<34} {:>12.3} -> {:>12.3}  {:>+8.1}%{}",
+            "  {} {:<34} {:>12.3} -> {:>12.3}  {rendered_delta}{}",
             if regressed { "FAIL" } else { "  ok" },
             d.name,
             d.baseline,
             d.current,
-            d.relative * 100.0,
             if regressed { "  REGRESSION" } else { "" },
         )?;
     }
@@ -491,6 +507,37 @@ mod tests {
             )
         });
         assert_eq!(code, 0, "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_diff_reports_zero_baseline_metrics_as_new_without_gating() {
+        let dir = std::env::temp_dir().join("orex-stats-newmetric-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let write = |name: &str, body: &str| {
+            let path = dir.join(name);
+            std::fs::write(&path, body).unwrap();
+            path.display().to_string()
+        };
+        // The baseline recorded the counter as zero (e.g. the metric was
+        // introduced after the baseline was captured); the current run
+        // has it non-zero. The relative delta is +inf — it must render
+        // as "new" and must NOT trip the regression gate.
+        let baseline = write(
+            "baseline.json",
+            r#"{"counters":{"server.requests":0},"gauges":{},"histograms":{}}"#,
+        );
+        let current = write(
+            "current.json",
+            r#"{"counters":{"server.requests":41},"gauges":{},"histograms":{}}"#,
+        );
+        let (code, out) =
+            run(|o, e| run_stats(&args(&["--snapshot", &current, "--diff", &baseline]), o, e));
+        assert_eq!(code, 0, "new metrics must not fail the gate: {out}");
+        assert!(out.contains("new"), "{out}");
+        assert!(!out.contains("REGRESSION"), "{out}");
+        assert!(!out.contains("inf"), "{out}");
+        assert!(!out.contains("NaN"), "{out}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -130,6 +130,13 @@ impl<'s> QuerySession<'s> {
         if query_span.is_recording() {
             query_span.attr_str("query", query.keywords.join(" "));
         }
+        let log = orex_telemetry::logger();
+        if log.enabled(orex_telemetry::Level::Info, "core.session") {
+            log.info("core.session", "query started")
+                .field_str("query", query.keywords.join(" "))
+                .field_u64("keywords", query.keywords.len() as u64)
+                .emit();
+        }
         let qv = {
             let _analyze = tracer.span("session.analyze");
             let analysis = telemetry.span("session.query_analysis_us");
@@ -422,6 +429,15 @@ impl<'s> QuerySession<'s> {
             explain_iterations: fixpoint_iters as f64 / objects.len() as f64,
             reformulate_time,
         };
+
+        orex_telemetry::logger()
+            .info("core.session", "feedback applied")
+            .field_u64("round", self.history.len() as u64)
+            .field_u64("objects", objects.len() as u64)
+            .field_u64("expansion_terms", outcome.expansion_terms.len() as u64)
+            .field_u64("rank_iterations", result.iterations as u64)
+            .field_bool("rank_converged", result.converged)
+            .emit();
 
         self.query = outcome.query;
         self.rates = outcome.rates;

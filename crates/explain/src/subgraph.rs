@@ -352,6 +352,20 @@ impl Explanation {
             explain_span.attr_u64("fixpoint_rounds", iterations as u64);
             explain_span.attr_u64("converged", u64::from(converged));
         }
+        let log = orex_telemetry::logger();
+        if converged {
+            log.debug("explain.adjust", "flow-adjustment fixpoint converged")
+        } else {
+            log.warn(
+                "explain.adjust",
+                "flow-adjustment fixpoint hit iteration cap",
+            )
+        }
+        .field_u64("rounds", iterations as u64)
+        .field_u64("nodes", n_local as u64)
+        .field_u64("edges", edges.len() as u64)
+        .field_u64("target", u64::from(target.raw()))
+        .emit();
 
         Ok(Self {
             target,

@@ -108,6 +108,12 @@ impl IndexBuilder {
         } else {
             0.0
         };
+        orex_telemetry::logger()
+            .info("ir.index", "inverted index built")
+            .field_u64("documents", self.doc_count)
+            .field_u64("terms", self.terms.len() as u64)
+            .field_f64("avg_doc_len", avg_doc_len)
+            .emit();
         InvertedIndex {
             analyzer: self.analyzer,
             dict: self.dict,

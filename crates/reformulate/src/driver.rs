@@ -150,6 +150,13 @@ pub fn reformulate(
     if round_span.is_recording() {
         round_span.attr_u64("expansion_terms", expansion_terms.len() as u64);
     }
+    orex_telemetry::logger()
+        .info("reformulate", "feedback applied")
+        .field_u64("feedback_objects", explanations.len() as u64)
+        .field_u64("expansion_terms", expansion_terms.len() as u64)
+        .field_f64("expansion_factor", params.content.expansion_factor)
+        .field_f64("rate_factor", params.structure.rate_factor)
+        .emit();
 
     Reformulation {
         query: new_query,

@@ -17,6 +17,7 @@
 //! | `GET /healthz` | liveness probe |
 //! | `GET /metrics` | Prometheus text exposition of the global recorder |
 //! | `GET /trace/<id>` | Chrome trace-event JSON of an archived request trace |
+//! | `GET /logs?level=&since=&limit=` | JSON-lines tail of captured log records |
 //!
 //! Sessions are stored as [`SessionSnapshot`](orex_core::SessionSnapshot)s
 //! (owned data) in a TTL + LRU table and resumed per request; results of
@@ -24,12 +25,16 @@
 //! power iteration entirely. Requests carry read/write timeouts, a body
 //! limit, `server.*` telemetry, and a per-request trace; SIGTERM/ctrl-c
 //! (or a [`ShutdownHandle`]) drains in-flight requests before exit.
+//! Every response — including parse failures and 5xx errors — emits one
+//! structured access-log record (`server.access`) stamped with the
+//! request's trace id, served back by `GET /logs`.
 
 #![warn(missing_docs)]
 
 pub mod cache;
 pub mod error;
 pub mod http;
+pub mod logs;
 pub mod pool;
 pub mod server;
 pub mod sessions;
@@ -38,6 +43,7 @@ pub mod traces;
 pub use cache::ResultCache;
 pub use error::ServerError;
 pub use http::{Request, Response};
+pub use logs::LogArchive;
 pub use pool::ThreadPool;
 pub use server::{install_signal_handlers, Server, ServerConfig, ShutdownHandle};
 pub use sessions::SessionTable;

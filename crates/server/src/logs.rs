@@ -1,0 +1,149 @@
+//! Server-side archive of captured log records.
+//!
+//! Like the trace ring, the global logger's ring is a shared drain-once
+//! buffer: whichever worker drains it takes every record, including the
+//! access logs other workers just emitted. So `GET /logs` drains the
+//! global logger into this archive and serves (and re-serves) from the
+//! merged view, which also gives `since=` cursors something stable to
+//! page over. Bounded by record count, oldest evicted first.
+
+use orex_telemetry::{Level, LogRecord};
+use std::collections::VecDeque;
+use std::sync::{Mutex, PoisonError};
+
+/// Bounded sequence-ordered store of drained log records; see the
+/// module docs.
+pub struct LogArchive {
+    inner: Mutex<VecDeque<LogRecord>>,
+    max_records: usize,
+}
+
+impl LogArchive {
+    /// An archive retaining at most `max_records` records (minimum 1).
+    pub fn new(max_records: usize) -> Self {
+        Self {
+            inner: Mutex::new(VecDeque::new()),
+            max_records: max_records.max(1),
+        }
+    }
+
+    /// Appends drained records (already in capture order; drains are
+    /// themselves monotone in `seq`), evicting oldest records over
+    /// capacity.
+    ///
+    /// Best-effort observability: a poisoned lock is recovered rather
+    /// than surfaced — the deque stays structurally valid (every
+    /// mutation completes or never starts), and dropping the drain on
+    /// the floor would lose other requests' access logs.
+    pub fn absorb(&self, records: Vec<LogRecord>) {
+        if records.is_empty() {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        inner.extend(records);
+        while inner.len() > self.max_records {
+            inner.pop_front();
+        }
+    }
+
+    /// Archived records passing the filters, oldest first: at most
+    /// `level` severity rank (e.g. `Level::Warn` selects WARN and
+    /// ERROR), capture sequence strictly greater than `since`, and when
+    /// `limit` is given only the *newest* `limit` survivors.
+    pub fn query(
+        &self,
+        level: Option<Level>,
+        since: Option<u64>,
+        limit: Option<usize>,
+    ) -> Vec<LogRecord> {
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut out: Vec<LogRecord> = inner
+            .iter()
+            .filter(|r| level.is_none_or(|max| r.level <= max))
+            .filter(|r| since.is_none_or(|s| r.seq > s))
+            .cloned()
+            .collect();
+        if let Some(limit) = limit {
+            if out.len() > limit {
+                out.drain(..out.len() - limit);
+            }
+        }
+        out
+    }
+
+    /// Number of archived records.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// True when nothing has been archived.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orex_telemetry::{LogFilter, Logger};
+
+    fn records(logger: &Logger, base: usize, n: usize) -> Vec<LogRecord> {
+        for i in base..base + n {
+            logger
+                .info("t", format!("m{i}"))
+                .field_u64("i", i as u64)
+                .emit();
+        }
+        logger.drain()
+    }
+
+    #[test]
+    fn absorb_preserves_order_and_evicts_oldest() {
+        let logger = Logger::new(64);
+        let archive = LogArchive::new(3);
+        archive.absorb(records(&logger, 0, 2));
+        archive.absorb(records(&logger, 2, 3));
+        assert_eq!(archive.len(), 3);
+        let all = archive.query(None, None, None);
+        let messages: Vec<_> = all.iter().map(|r| r.message.as_str()).collect();
+        assert_eq!(messages, ["m2", "m3", "m4"], "last three survive");
+        assert!(all.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn query_filters_by_level_since_and_limit() {
+        let logger = Logger::new(64);
+        logger.set_filter(LogFilter::at(Level::Debug));
+        logger.error("t", "boom").emit();
+        logger.warn("t", "odd").emit();
+        logger.info("t", "fine").emit();
+        logger.debug("t", "detail").emit();
+        let archive = LogArchive::new(16);
+        archive.absorb(logger.drain());
+
+        assert_eq!(archive.query(None, None, None).len(), 4);
+        let severe = archive.query(Some(Level::Warn), None, None);
+        assert_eq!(severe.len(), 2);
+        assert!(severe.iter().all(|r| r.level <= Level::Warn));
+
+        let first_seq = archive.query(None, None, None)[0].seq;
+        let after = archive.query(None, Some(first_seq), None);
+        assert_eq!(after.len(), 3, "since is exclusive");
+
+        let newest = archive.query(None, None, Some(2));
+        assert_eq!(newest.len(), 2);
+        assert_eq!(newest[1].message, "detail", "limit keeps the newest");
+    }
+
+    #[test]
+    fn empty_archive_is_empty() {
+        let archive = LogArchive::new(4);
+        assert!(archive.is_empty());
+        assert!(archive
+            .query(Some(Level::Error), Some(7), Some(1))
+            .is_empty());
+    }
+}

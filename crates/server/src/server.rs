@@ -10,12 +10,14 @@
 use crate::cache::ResultCache;
 use crate::error::ServerError;
 use crate::http::{read_request, ParseError, Request, Response};
+use crate::logs::LogArchive;
 use crate::pool::ThreadPool;
 use crate::sessions::SessionTable;
 use crate::traces::TraceArchive;
 use orex_core::{ObjectRankSystem, QuerySession, SessionError};
 use orex_graph::NodeId;
 use orex_ir::{Query, QueryVector};
+use orex_telemetry::Level;
 use serde_json::Value;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -43,6 +45,12 @@ pub struct ServerConfig {
     pub io_timeout: Duration,
     /// Traces retained for `GET /trace/<id>`.
     pub max_traces: usize,
+    /// Log records retained for `GET /logs` (the server-side archive on
+    /// top of the logger's own ring).
+    pub max_logs: usize,
+    /// Requests at least this slow additionally log a `server.slow`
+    /// WARN record.
+    pub slow_request: Duration,
 }
 
 impl Default for ServerConfig {
@@ -56,6 +64,8 @@ impl Default for ServerConfig {
             max_body_bytes: 64 * 1024,
             io_timeout: Duration::from_secs(5),
             max_traces: 256,
+            max_logs: 4096,
+            slow_request: Duration::from_millis(500),
         }
     }
 }
@@ -66,7 +76,9 @@ struct ServerState {
     sessions: SessionTable,
     cache: ResultCache,
     traces: TraceArchive,
+    logs: LogArchive,
     max_body_bytes: usize,
+    slow_request: Duration,
 }
 
 /// Signals a running [`Server`] to stop accepting and drain.
@@ -143,7 +155,9 @@ impl Server {
             sessions: SessionTable::new(config.session_ttl, config.max_sessions),
             cache: ResultCache::new(config.cache_entries),
             traces: TraceArchive::new(config.max_traces),
+            logs: LogArchive::new(config.max_logs),
             max_body_bytes: config.max_body_bytes,
+            slow_request: config.slow_request,
         });
         Ok(Self {
             listener,
@@ -221,7 +235,12 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState, io_timeout: Dur
                     span.attr_str("path", &request.path);
                 }
                 let trace_id = span.trace_id().map(|t| t.0);
-                route(&request, state, trace_id)
+                let mut cache_hit = None;
+                let response = route(&request, state, trace_id, &mut cache_hit);
+                // Emitted while the span is still open, so the record is
+                // stamped with this request's trace/span ids.
+                access_log(state, Some(&request), &response, cache_hit, start.elapsed());
+                response
             };
             state.traces.absorb(tracer.drain());
             response
@@ -229,15 +248,21 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState, io_timeout: Dur
         Err(ParseError::ConnectionClosed) => return,
         Err(ParseError::BodyTooLarge(_)) => {
             telemetry.counter("server.requests").incr();
-            Response::error(413, "request body exceeds limit")
+            let response = Response::error(413, "request body exceeds limit");
+            access_log(state, None, &response, None, start.elapsed());
+            response
         }
         Err(ParseError::Malformed(why)) => {
             telemetry.counter("server.requests").incr();
-            Response::error(400, why)
+            let response = Response::error(400, why);
+            access_log(state, None, &response, None, start.elapsed());
+            response
         }
         Err(ParseError::Io(_)) => {
             telemetry.counter("server.request_timeouts").incr();
-            Response::error(408, "timed out reading request")
+            let response = Response::error(408, "timed out reading request");
+            access_log(state, None, &response, None, start.elapsed());
+            response
         }
     };
 
@@ -250,8 +275,70 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState, io_timeout: Dur
     let _ = response.write_to(&mut stream);
 }
 
-fn route(request: &Request, state: &ServerState, trace_id: Option<u64>) -> Response {
+/// Emits the one `server.access` record every response gets — method,
+/// path, status, body bytes, latency, cache hit/miss — plus a
+/// `server.slow` WARN when the request crossed the slow threshold.
+/// Called inside the request span when one exists, so the records carry
+/// the request's trace/span ids; unparseable requests (4xx before
+/// routing) log with `-` placeholders and no trace.
+fn access_log(
+    state: &ServerState,
+    request: Option<&Request>,
+    response: &Response,
+    cache_hit: Option<bool>,
+    elapsed: Duration,
+) {
+    let log = orex_telemetry::logger();
+    let method = request.map_or("-", |r| r.method.as_str());
+    let path = request.map_or("-", |r| r.path.as_str());
+    let latency_us = elapsed.as_micros() as u64;
+    let mut record = log
+        .info("server.access", "request")
+        .field_str("method", method)
+        .field_str("path", path)
+        .field_u64("status", u64::from(response.status))
+        .field_u64("bytes", response.body.len() as u64)
+        .field_u64("latency_us", latency_us);
+    if let Some(hit) = cache_hit {
+        record = record.field_bool("cache_hit", hit);
+    }
+    record.emit();
+    if elapsed >= state.slow_request {
+        log.warn("server.slow", "slow request")
+            .field_str("method", method)
+            .field_str("path", path)
+            .field_u64("status", u64::from(response.status))
+            .field_u64("latency_us", latency_us)
+            .field_u64("threshold_us", state.slow_request.as_micros() as u64)
+            .emit();
+    }
+}
+
+/// Renders a handler result, logging every 5xx at ERROR — the request
+/// span is still open here, so the record carries the trace id that
+/// `GET /trace/<id>` serves.
+fn respond(result: Result<Response, ServerError>) -> Response {
+    result.unwrap_or_else(|e| {
+        if e.status() >= 500 {
+            orex_telemetry::logger()
+                .error("server.error", format!("{e}"))
+                .field_u64("status", u64::from(e.status()))
+                .emit();
+        }
+        e.into_response()
+    })
+}
+
+fn route(
+    request: &Request,
+    state: &ServerState,
+    trace_id: Option<u64>,
+    cache_hit: &mut Option<bool>,
+) -> Response {
     let path = request.path.as_str();
+    // Only /logs interprets the query string, but strip it before
+    // segmenting so `/logs?level=...` routes like `/logs`.
+    let (path, query) = path.split_once('?').unwrap_or((path, ""));
     let segments: Vec<&str> = path
         .trim_matches('/')
         .split('/')
@@ -263,22 +350,15 @@ fn route(request: &Request, state: &ServerState, trace_id: Option<u64>) -> Respo
             let _span = orex_telemetry::global().span("server.metrics_us");
             Response::text(200, orex_telemetry::global().snapshot().to_prometheus())
         }
-        ("POST", ["query"]) => {
-            handle_query(request, state, trace_id).unwrap_or_else(ServerError::into_response)
-        }
-        ("GET", ["explain", sid, node]) => {
-            handle_explain(state, sid, node).unwrap_or_else(ServerError::into_response)
-        }
-        ("POST", ["feedback", sid]) => {
-            handle_feedback(request, state, sid).unwrap_or_else(ServerError::into_response)
-        }
-        ("GET", ["trace", id]) => {
-            handle_trace(state, id).unwrap_or_else(ServerError::into_response)
-        }
-        ("POST", ["query" | "feedback", ..]) | ("GET", ["explain" | "trace", ..]) => {
+        ("POST", ["query"]) => respond(handle_query(request, state, trace_id, cache_hit)),
+        ("GET", ["explain", sid, node]) => respond(handle_explain(state, sid, node)),
+        ("POST", ["feedback", sid]) => respond(handle_feedback(request, state, sid)),
+        ("GET", ["trace", id]) => respond(handle_trace(state, id)),
+        ("GET", ["logs"]) => respond(handle_logs(state, query)),
+        ("POST", ["query" | "feedback", ..]) | ("GET", ["explain" | "trace" | "logs", ..]) => {
             Response::error(404, "no such route")
         }
-        (_, ["healthz" | "metrics" | "query" | "explain" | "feedback" | "trace", ..]) => {
+        (_, ["healthz" | "metrics" | "query" | "explain" | "feedback" | "trace" | "logs", ..]) => {
             Response::error(405, "method not allowed")
         }
         _ => Response::error(404, "no such route"),
@@ -335,6 +415,7 @@ fn handle_query(
     request: &Request,
     state: &ServerState,
     trace_id: Option<u64>,
+    cache_hit: &mut Option<bool>,
 ) -> Result<Response, ServerError> {
     let body = body_object(request)?;
     let Some(query_text) = body.get("query").and_then(Value::as_str) else {
@@ -361,6 +442,7 @@ fn handle_query(
             (snapshot, false)
         }
     };
+    *cache_hit = Some(cached);
     let session = QuerySession::resume(&state.system, snapshot.clone());
     let session_id = state.sessions.insert(snapshot)?;
     let payload = serde_json::json!({
@@ -504,4 +586,48 @@ fn handle_trace(state: &ServerState, id: &str) -> Result<Response, ServerError> 
         )),
         None => Err(ServerError::NotFound("no such trace (evicted?)".into())),
     }
+}
+
+/// `GET /logs?level=&since=&limit=`: tails the captured log ring as
+/// JSON-lines. `level` keeps records at that severity or worse, `since`
+/// keeps records with a capture sequence strictly greater (the `seq`
+/// field of each served line, for polling), `limit` keeps the newest N.
+fn handle_logs(state: &ServerState, query: &str) -> Result<Response, ServerError> {
+    let telemetry = orex_telemetry::global();
+    let _span = telemetry.span("server.logs_us");
+    telemetry.counter("server.logs_requests").incr();
+    let mut level = None;
+    let mut since = None;
+    let mut limit = None;
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        match key {
+            "level" => level = Some(value.parse::<Level>().map_err(ServerError::BadRequest)?),
+            "since" => {
+                since = Some(value.parse::<u64>().map_err(|_| {
+                    ServerError::BadRequest("since must be an unsigned integer".into())
+                })?);
+            }
+            "limit" => {
+                limit = Some(value.parse::<usize>().map_err(|_| {
+                    ServerError::BadRequest("limit must be an unsigned integer".into())
+                })?);
+            }
+            other => {
+                return Err(ServerError::BadRequest(format!(
+                    "unknown query parameter {other:?} (expected level|since|limit)"
+                )));
+            }
+        }
+    }
+    // Records may still sit in the logger's ring (emitted by workers
+    // that haven't been drained): absorb before serving. The archive
+    // keeps them for subsequent (and `since=`-cursored) reads.
+    state.logs.absorb(orex_telemetry::logger().drain());
+    let records = state.logs.query(level, since, limit);
+    Ok(Response {
+        status: 200,
+        content_type: "application/x-ndjson",
+        body: orex_telemetry::export::log_json_lines(&records).into_bytes(),
+    })
 }

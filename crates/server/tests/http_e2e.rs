@@ -428,6 +428,143 @@ fn concurrent_clients_see_no_server_errors() {
 }
 
 #[test]
+fn every_request_emits_exactly_one_trace_correlated_access_log_record() {
+    let _guard = serial();
+    let (_, keyword) = fixture();
+    let server = TestServer::spawn_default();
+
+    // The logger ring is process-global; start from a clean slate so
+    // only this test's requests are in the archive.
+    let _ = orex_telemetry::logger().drain();
+
+    // A mixed batch: ranked queries (miss then cache hit), health
+    // checks, and a 404 — errors must produce access logs too.
+    let query_body = format!("{{\"query\": \"{keyword}\"}}");
+    let first = post(server.addr, "/query", &query_body);
+    assert_eq!(first.status, 200, "{}", first.body);
+    let second = post(server.addr, "/query", &query_body);
+    assert_eq!(second.status, 200);
+    for _ in 0..3 {
+        assert_eq!(get(server.addr, "/healthz").status, 200);
+    }
+    assert_eq!(get(server.addr, "/no/such/route").status, 404);
+    let requests_before_scrape = 6;
+
+    let reply = get(server.addr, "/logs?level=info");
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let access: Vec<Value> = reply
+        .body
+        .lines()
+        .filter(|l| !l.is_empty())
+        .map(|l| serde_json::from_str(l).expect("every /logs line is valid JSON"))
+        .filter(|v: &Value| v.get("target").and_then(Value::as_str) == Some("server.access"))
+        .collect();
+    assert_eq!(
+        access.len(),
+        requests_before_scrape,
+        "exactly one access record per request:\n{}",
+        reply.body
+    );
+
+    // Statuses in the log match the statuses served.
+    let mut statuses: Vec<u64> = access
+        .iter()
+        .map(|v| {
+            v.get("fields")
+                .and_then(|f| f.get("status"))
+                .and_then(Value::as_u64)
+                .expect("status field")
+        })
+        .collect();
+    statuses.sort_unstable();
+    assert_eq!(statuses, [200, 200, 200, 200, 200, 404]);
+
+    // Every request-derived record carries a trace id, and the /query
+    // records' trace ids resolve in the trace archive.
+    for v in &access {
+        assert!(
+            v.get("trace").and_then(Value::as_u64).is_some(),
+            "access record missing trace id: {v:?}"
+        );
+    }
+    let first_trace = first.json().get("trace").and_then(Value::as_u64).unwrap();
+    let query_records: Vec<&Value> = access
+        .iter()
+        .filter(|v| {
+            v.get("fields")
+                .and_then(|f| f.get("path"))
+                .and_then(Value::as_str)
+                == Some("/query")
+        })
+        .collect();
+    assert_eq!(query_records.len(), 2);
+    assert!(
+        query_records
+            .iter()
+            .any(|v| v.get("trace").and_then(Value::as_u64) == Some(first_trace)),
+        "the /query access record carries the response's trace id"
+    );
+    assert_eq!(
+        get(server.addr, &format!("/trace/{first_trace}")).status,
+        200,
+        "the access log's trace id resolves in the trace archive"
+    );
+
+    // Cache-hit annotation: miss on the first query, hit on the second.
+    let hits: Vec<bool> = query_records
+        .iter()
+        .map(|v| {
+            v.get("fields")
+                .and_then(|f| f.get("cache_hit"))
+                .and_then(Value::as_bool)
+                .expect("cache_hit on query records")
+        })
+        .collect();
+    assert_eq!(hits.iter().filter(|h| **h).count(), 1, "{hits:?}");
+
+    // No server errors were logged, and the filter parameters work: an
+    // error-only view of this traffic is empty.
+    let errors = get(server.addr, "/logs?level=error");
+    assert_eq!(errors.status, 200);
+    assert_eq!(errors.body.trim(), "", "no ERROR records: {}", errors.body);
+
+    // Bad query parameters are client errors.
+    assert_eq!(get(server.addr, "/logs?level=loud").status, 400);
+    assert_eq!(get(server.addr, "/logs?nope=1").status, 400);
+
+    // `since=` pages strictly past a cursor: the largest seq served
+    // above yields nothing older.
+    let max_seq = reply
+        .body
+        .lines()
+        .filter(|l| !l.is_empty())
+        .map(|l| {
+            serde_json::from_str(l)
+                .ok()
+                .and_then(|v: Value| v.get("seq").and_then(Value::as_u64))
+                .expect("seq on every record")
+        })
+        .max()
+        .unwrap();
+    let tail = get(server.addr, &format!("/logs?since={max_seq}&level=info"));
+    let stale: Vec<u64> = tail
+        .body
+        .lines()
+        .filter(|l| !l.is_empty())
+        .map(|l| {
+            serde_json::from_str(l)
+                .ok()
+                .and_then(|v: Value| v.get("seq").and_then(Value::as_u64))
+                .unwrap()
+        })
+        .collect();
+    assert!(
+        stale.iter().all(|s| *s > max_seq),
+        "since= must be exclusive: {stale:?}"
+    );
+}
+
+#[test]
 fn graceful_shutdown_reports_clean_exit() {
     let _guard = serial();
     let server = TestServer::spawn_default();

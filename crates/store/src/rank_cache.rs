@@ -104,6 +104,11 @@ impl RankCache {
                 orex_telemetry::global()
                     .counter("store.rank_cache.evictions")
                     .incr();
+                orex_telemetry::logger()
+                    .debug("store.rank_cache", "evicted oldest entry")
+                    .field_str("key", &victim)
+                    .field_u64("capacity", cap as u64)
+                    .emit();
             }
         }
     }
@@ -262,7 +267,14 @@ impl RankCache {
         telemetry
             .counter("store.rank_cache.bytes_written")
             .add(data.len() as u64);
-        std::fs::write(path, data)?;
+        let bytes = data.len() as u64;
+        std::fs::write(&path, data)?;
+        orex_telemetry::logger()
+            .info("store.rank_cache", "rank cache saved")
+            .field_str("path", path.as_ref().to_string_lossy())
+            .field_u64("bytes", bytes)
+            .field_u64("entries", self.entries.len() as u64)
+            .emit();
         Ok(())
     }
 
@@ -270,11 +282,19 @@ impl RankCache {
     pub fn load(path: impl AsRef<Path>) -> Result<Self> {
         let telemetry = orex_telemetry::global();
         let _span = telemetry.span("store.rank_cache.load_us");
-        let data = std::fs::read(path)?;
+        let data = std::fs::read(&path)?;
         telemetry
             .counter("store.rank_cache.bytes_read")
             .add(data.len() as u64);
-        Self::decode(Bytes::from(data))
+        let bytes = data.len() as u64;
+        let cache = Self::decode(Bytes::from(data))?;
+        orex_telemetry::logger()
+            .info("store.rank_cache", "rank cache loaded")
+            .field_str("path", path.as_ref().to_string_lossy())
+            .field_u64("bytes", bytes)
+            .field_u64("entries", cache.entries.len() as u64)
+            .emit();
+        Ok(cache)
     }
 }
 

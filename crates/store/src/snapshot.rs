@@ -139,7 +139,14 @@ pub fn save_graph(graph: &DataGraph, path: impl AsRef<Path>) -> Result<()> {
     telemetry
         .counter("store.snapshot.bytes_written")
         .add(data.len() as u64);
-    std::fs::write(path, data)?;
+    let bytes = data.len() as u64;
+    std::fs::write(&path, data)?;
+    orex_telemetry::logger()
+        .info("store.snapshot", "graph snapshot saved")
+        .field_str("path", path.as_ref().to_string_lossy())
+        .field_u64("bytes", bytes)
+        .field_u64("nodes", graph.node_count() as u64)
+        .emit();
     Ok(())
 }
 
@@ -147,10 +154,15 @@ pub fn save_graph(graph: &DataGraph, path: impl AsRef<Path>) -> Result<()> {
 pub fn load_graph(path: impl AsRef<Path>) -> Result<DataGraph> {
     let telemetry = orex_telemetry::global();
     let _span = telemetry.span("store.snapshot.load_us");
-    let data = std::fs::read(path)?;
+    let data = std::fs::read(&path)?;
     telemetry
         .counter("store.snapshot.bytes_read")
         .add(data.len() as u64);
+    orex_telemetry::logger()
+        .info("store.snapshot", "graph snapshot loaded")
+        .field_str("path", path.as_ref().to_string_lossy())
+        .field_u64("bytes", data.len() as u64)
+        .emit();
     decode_graph(Bytes::from(data))
 }
 

@@ -1,11 +1,14 @@
-//! Renders drained traces for external tools.
+//! Renders drained traces and logs for external tools.
 //!
 //! [`to_chrome_trace`] emits the Chrome trace-event JSON format —
 //! `{"traceEvents":[...]}` with matched `B`/`E` duration pairs and `i`
 //! instant events — loadable in `chrome://tracing` or Perfetto.
 //! [`to_folded_stacks`] emits `root;child;leaf <self-time-µs>` lines for
-//! `flamegraph.pl` / inferno.
+//! `flamegraph.pl` / inferno. Drained [`LogRecord`]s render as JSON-lines
+//! ([`log_json_lines`], one self-contained object per line, the format
+//! `GET /logs` serves) or human-readable text ([`log_text`]).
 
+use crate::log::{FieldValue, LogRecord};
 use crate::trace::{AttrValue, SpanId, SpanRecord, TraceId};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
@@ -225,9 +228,140 @@ pub fn to_folded_stacks(records: &[SpanRecord]) -> String {
     out
 }
 
+fn write_field_value(out: &mut String, value: &FieldValue) {
+    match value {
+        FieldValue::U64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        FieldValue::I64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        FieldValue::F64(v) if v.is_finite() => {
+            let _ = write!(out, "{v}");
+        }
+        FieldValue::F64(_) => out.push_str("null"),
+        FieldValue::Bool(v) => {
+            let _ = write!(out, "{v}");
+        }
+        FieldValue::Str(s) => {
+            out.push('"');
+            escape_json(s, out);
+            out.push('"');
+        }
+    }
+}
+
+/// Appends one log record as a single-line JSON object (no newline):
+/// `{"seq":…,"ts_ns":…,"level":"INFO","target":…,"message":…,`
+/// `"trace":…,"span":…,"tid":…,"fields":{…}}`. `trace`/`span` are
+/// omitted for records made outside any span.
+pub fn log_record_json(record: &LogRecord, out: &mut String) {
+    let _ = write!(
+        out,
+        "{{\"seq\":{},\"ts_ns\":{},\"level\":\"{}\",\"target\":\"",
+        record.seq,
+        record.unix_ns,
+        record.level.as_str()
+    );
+    escape_json(record.target, out);
+    out.push_str("\",\"message\":\"");
+    escape_json(&record.message, out);
+    out.push('"');
+    if let Some(trace) = record.trace {
+        let _ = write!(out, ",\"trace\":{}", trace.0);
+    }
+    if let Some(span) = record.span {
+        let _ = write!(out, ",\"span\":{}", span.0);
+    }
+    let _ = write!(out, ",\"tid\":{},\"fields\":{{", record.tid);
+    for (i, (key, value)) in record.fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_json(key, out);
+        out.push_str("\":");
+        write_field_value(out, value);
+    }
+    out.push_str("}}");
+}
+
+/// Renders drained log records as JSON-lines: one
+/// [`log_record_json`] object per line, capture order preserved.
+pub fn log_json_lines(records: &[LogRecord]) -> String {
+    let mut out = String::new();
+    for record in records {
+        log_record_json(record, &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+/// Days-since-epoch to `(year, month, day)` in the proleptic Gregorian
+/// calendar (Howard Hinnant's `civil_from_days`).
+fn civil_from_days(days: i64) -> (i64, u32, u32) {
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    (y, m, d)
+}
+
+/// Appends `unix_ns` (nanoseconds since the Unix epoch) as an RFC 3339
+/// UTC timestamp with microsecond precision, e.g.
+/// `2025-08-06T14:03:07.000123Z`.
+pub fn write_utc_timestamp(unix_ns: u64, out: &mut String) {
+    let secs = unix_ns / 1_000_000_000;
+    let micros = (unix_ns % 1_000_000_000) / 1_000;
+    let (y, m, d) = civil_from_days((secs / 86_400) as i64);
+    let tod = secs % 86_400;
+    let _ = write!(
+        out,
+        "{y:04}-{m:02}-{d:02}T{:02}:{:02}:{:02}.{micros:06}Z",
+        tod / 3600,
+        (tod % 3600) / 60,
+        tod % 60
+    );
+}
+
+/// Renders drained log records as human-readable text, one line per
+/// record: UTC timestamp, level, target, message, `key=value` fields,
+/// and the trace/span ids when present.
+pub fn log_text(records: &[LogRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        write_utc_timestamp(r.unix_ns, &mut out);
+        let _ = write!(out, " {:<5} {} {}", r.level.as_str(), r.target, r.message);
+        for (key, value) in &r.fields {
+            match value {
+                FieldValue::Str(s) if s.is_empty() || s.contains([' ', '"', '=']) => {
+                    let _ = write!(out, " {key}={s:?}");
+                }
+                _ => {
+                    let _ = write!(out, " {key}={value}");
+                }
+            }
+        }
+        if let Some(trace) = r.trace {
+            let _ = write!(out, " trace={}", trace.0);
+        }
+        if let Some(span) = r.span {
+            let _ = write!(out, " span={}", span.0);
+        }
+        out.push('\n');
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::log::{Level, Logger};
     use crate::trace::Tracer;
 
     fn sample_records() -> Vec<SpanRecord> {
@@ -304,5 +438,65 @@ mod tests {
             "{\"traceEvents\":[\n\n],\"displayTimeUnit\":\"ms\"}"
         );
         assert_eq!(to_folded_stacks(&[]), "");
+    }
+
+    fn sample_logs() -> Vec<LogRecord> {
+        let l = Logger::new(16);
+        l.set_filter(crate::log::LogFilter::at(Level::Debug));
+        l.info("server.access", "request")
+            .field_str("method", "GET")
+            .field_str("path", "/query?q=\"routing\"")
+            .field_u64("status", 200)
+            .field_bool("cache", false)
+            .field_f64("bad", f64::NAN)
+            .emit();
+        l.debug("t", "plain").emit();
+        l.drain()
+    }
+
+    #[test]
+    fn log_json_lines_escape_and_separate_records() {
+        let records = sample_logs();
+        let jsonl = log_json_lines(&records);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"seq\":"), "{jsonl}");
+        assert!(lines[0].contains("\"level\":\"INFO\""), "{jsonl}");
+        assert!(lines[0].contains("\"target\":\"server.access\""), "{jsonl}");
+        assert!(
+            lines[0].contains("\"path\":\"/query?q=\\\"routing\\\"\""),
+            "{jsonl}"
+        );
+        assert!(lines[0].contains("\"cache\":false"), "{jsonl}");
+        assert!(lines[0].contains("\"bad\":null"), "non-finite floats null");
+        assert!(lines[1].contains("\"fields\":{}"), "{jsonl}");
+    }
+
+    #[test]
+    fn log_text_renders_timestamp_level_and_fields() {
+        let records = sample_logs();
+        let text = log_text(&records);
+        let first = text.lines().next().unwrap();
+        // 2026-08-06T12:34:56.123456Z ...
+        assert_eq!(&first[4..5], "-", "{first}");
+        assert_eq!(&first[10..11], "T", "{first}");
+        assert!(first.contains("INFO  server.access request"), "{first}");
+        assert!(first.contains(" method=GET"), "{first}");
+        assert!(first.contains(" status=200"), "{first}");
+        assert!(
+            first.contains(" path=\"/query?q=\\\"routing\\\"\""),
+            "{first}"
+        );
+    }
+
+    #[test]
+    fn civil_from_days_matches_known_dates() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1)); // leap year
+        assert_eq!(civil_from_days(19_723 + 31 + 28), (2024, 2, 29));
+        assert_eq!(civil_from_days(20_306), (2025, 8, 6));
+        let mut ts = String::new();
+        write_utc_timestamp(86_400_000_000_000 + 3_661_000_001_000, &mut ts);
+        assert_eq!(ts, "1970-01-02T01:01:01.000001Z");
     }
 }

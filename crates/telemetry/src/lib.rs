@@ -18,14 +18,22 @@
 //!
 //! Beyond aggregates, the [`trace`] module provides per-query
 //! hierarchical tracing — a [`Tracer`] minting nested spans collected
-//! into a bounded lock-free ring buffer — and [`export`] renders drained
-//! traces as Chrome trace-event JSON or folded flamegraph stacks.
+//! into a bounded lock-free ring buffer — and the [`log`] module the
+//! third pillar: a [`Logger`] capturing leveled, structured
+//! [`LogRecord`]s into the same kind of ring, each stamped with the
+//! trace/span ids active on the logging thread (`OREX_LOG` configures
+//! its per-target filter). [`export`] renders drained traces as Chrome
+//! trace-event JSON or folded flamegraph stacks, and drained logs as
+//! JSON-lines or human-readable text.
 
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod log;
+mod ring;
 pub mod trace;
 
+pub use log::{logger, FieldValue, Level, LogFilter, LogRecord, Logger, RateLimit, RecordBuilder};
 pub use trace::{tracer, ActiveSpan, AttrValue, SpanId, SpanRecord, TraceEvent, TraceId, Tracer};
 
 use std::collections::{BTreeMap, HashMap};

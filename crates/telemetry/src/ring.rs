@@ -1,0 +1,85 @@
+//! Bounded lock-free record sink shared by the trace and log modules.
+//!
+//! Each slot is an `AtomicPtr`; a writer takes a ticket from `head`,
+//! `swap`s its boxed record into `slot[ticket % cap]`, and frees whatever
+//! it displaced — so the ring holds at most `cap` records, eviction is
+//! oldest-first by construction, and neither `push` nor `drain` ever
+//! blocks. Records carry their ticket (a global sequence number) so a
+//! drain can restore completion order after the per-slot swaps.
+
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+
+/// A record type that stores the ring ticket assigned on push.
+pub(crate) trait Sequenced {
+    /// Stamps the assigned ticket into the record.
+    fn set_seq(&mut self, seq: u64);
+    /// The ticket stamped by [`Sequenced::set_seq`].
+    fn seq(&self) -> u64;
+}
+
+/// Bounded lock-free sink; see the module docs.
+pub(crate) struct Ring<T> {
+    head: AtomicU64,
+    slots: Box<[AtomicPtr<T>]>,
+}
+
+impl<T: Sequenced> Ring<T> {
+    pub(crate) fn new(capacity: usize) -> Self {
+        let slots: Vec<AtomicPtr<T>> = (0..capacity.max(1))
+            .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+            .collect();
+        Self {
+            head: AtomicU64::new(0),
+            slots: slots.into_boxed_slice(),
+        }
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub(crate) fn push(&self, mut record: Box<T>) {
+        // ORDERING: Relaxed — the ticket is a pure sequence number; the
+        // record itself is published by the AcqRel `swap` below, which
+        // is what a draining thread synchronizes with.
+        let ticket = self.head.fetch_add(1, Ordering::Relaxed);
+        record.set_seq(ticket);
+        let slot = &self.slots[(ticket % self.slots.len() as u64) as usize];
+        let old = slot.swap(Box::into_raw(record), Ordering::AcqRel);
+        if !old.is_null() {
+            // SAFETY: every pointer stored in a slot came from
+            // `Box::into_raw`, and `swap` transfers exclusive ownership
+            // to whoever extracts it — nobody else can see `old` now.
+            drop(unsafe { Box::from_raw(old) });
+        }
+    }
+
+    pub(crate) fn drain(&self) -> Vec<T> {
+        let mut out = self.take_all();
+        out.sort_by_key(Sequenced::seq);
+        out
+    }
+}
+
+impl<T> Ring<T> {
+    /// Extracts every record without restoring completion order; the
+    /// unordered core of `drain`, and all `Drop` needs.
+    fn take_all(&self) -> Vec<T> {
+        let mut out = Vec::new();
+        for slot in self.slots.iter() {
+            let p = slot.swap(std::ptr::null_mut(), Ordering::AcqRel);
+            if !p.is_null() {
+                // SAFETY: as in `push`, the swap hands us sole ownership
+                // of a pointer minted by `Box::into_raw`.
+                out.push(*unsafe { Box::from_raw(p) });
+            }
+        }
+        out
+    }
+}
+
+impl<T> Drop for Ring<T> {
+    fn drop(&mut self) {
+        self.take_all();
+    }
+}

@@ -25,9 +25,11 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
+
+use crate::ring::{Ring, Sequenced};
 
 /// Identifies one query's trace; every root span mints a fresh id and
 /// its descendants inherit it.
@@ -93,60 +95,15 @@ impl SpanRecord {
     }
 }
 
-/// Bounded lock-free span sink. Each slot is an `AtomicPtr`; a writer
-/// takes a ticket, `swap`s its boxed record into `slot[ticket % cap]`,
-/// and frees whatever it displaced — so the ring holds at most `cap`
-/// records and eviction is oldest-first by construction.
-struct Ring {
-    head: AtomicU64,
-    slots: Box<[AtomicPtr<SpanRecord>]>,
-}
-
-impl Ring {
-    fn new(capacity: usize) -> Self {
-        let slots: Vec<AtomicPtr<SpanRecord>> = (0..capacity.max(1))
-            .map(|_| AtomicPtr::new(std::ptr::null_mut()))
-            .collect();
-        Self {
-            head: AtomicU64::new(0),
-            slots: slots.into_boxed_slice(),
-        }
+// The span sink is the shared bounded lock-free ring (see
+// [`crate::ring`]); records restore completion order via their ticket.
+impl Sequenced for SpanRecord {
+    fn set_seq(&mut self, seq: u64) {
+        self.ticket = seq;
     }
 
-    fn push(&self, mut record: Box<SpanRecord>) {
-        // ORDERING: Relaxed — the ticket is a pure sequence number; the
-        // record itself is published by the AcqRel `swap` below, which
-        // is what a draining thread synchronizes with.
-        let ticket = self.head.fetch_add(1, Ordering::Relaxed);
-        record.ticket = ticket;
-        let slot = &self.slots[(ticket % self.slots.len() as u64) as usize];
-        let old = slot.swap(Box::into_raw(record), Ordering::AcqRel);
-        if !old.is_null() {
-            // SAFETY: every pointer stored in a slot came from
-            // `Box::into_raw`, and `swap` transfers exclusive ownership
-            // to whoever extracts it — nobody else can see `old` now.
-            drop(unsafe { Box::from_raw(old) });
-        }
-    }
-
-    fn drain(&self) -> Vec<SpanRecord> {
-        let mut out = Vec::new();
-        for slot in self.slots.iter() {
-            let p = slot.swap(std::ptr::null_mut(), Ordering::AcqRel);
-            if !p.is_null() {
-                // SAFETY: as in `push`, the swap hands us sole ownership
-                // of a pointer minted by `Box::into_raw`.
-                out.push(*unsafe { Box::from_raw(p) });
-            }
-        }
-        out.sort_by_key(|r| r.ticket);
-        out
-    }
-}
-
-impl Drop for Ring {
-    fn drop(&mut self) {
-        self.drain();
+    fn seq(&self) -> u64 {
+        self.ticket
     }
 }
 
@@ -176,7 +133,7 @@ struct TracerInner {
     epoch: Instant,
     next_trace: AtomicU64,
     next_span: AtomicU64,
-    ring: Ring,
+    ring: Ring<SpanRecord>,
     sampling: Sampling,
 }
 
@@ -257,7 +214,7 @@ impl Tracer {
 
     /// Ring capacity (0 when disabled).
     pub fn capacity(&self) -> usize {
-        self.inner.as_ref().map_or(0, |i| i.ring.slots.len())
+        self.inner.as_ref().map_or(0, |i| i.ring.capacity())
     }
 
     /// Samples 1-in-`every` traces: only every `every`-th root span (and
@@ -374,6 +331,27 @@ impl Tracer {
             .as_ref()
             .map_or_else(Vec::new, |i| i.ring.drain())
     }
+
+    /// The innermost span of this tracer still open on the current
+    /// thread, as `(trace, span)` ids — how the log module stamps each
+    /// record with its trace context. `None` when no span is open here
+    /// (or the tracer is disabled).
+    pub fn current_span(&self) -> Option<(TraceId, SpanId)> {
+        let inner = self.inner.as_ref()?;
+        SPAN_STACK.with(|s| {
+            s.borrow()
+                .iter()
+                .rev()
+                .find(|e| e.tracer == inner.id)
+                .map(|e| (TraceId(e.trace), SpanId(e.span)))
+        })
+    }
+}
+
+/// Logical id of the current thread (the same small dense integers
+/// stamped into [`SpanRecord::tid`]), for the log module.
+pub(crate) fn current_tid() -> u64 {
+    TID.with(|t| *t)
 }
 
 struct ActiveInner {
@@ -485,7 +463,7 @@ impl Drop for ActiveSpan {
                 pending.len() >= MAX_PENDING_TRACES && !pending.contains_key(&record.trace.0);
             if !at_cap {
                 let buf = pending.entry(record.trace.0).or_default();
-                if buf.len() < tracer.ring.slots.len() {
+                if buf.len() < tracer.ring.capacity() {
                     buf.push(record);
                 }
             }

@@ -1,0 +1,211 @@
+//! Property-based tests for the structured logging layer: the bounded
+//! ring must keep exactly the newest records in sequence order, the
+//! level/target filter must admit exactly what a reference model admits,
+//! the per-callsite rate limiter must admit exactly every `N`-th draw,
+//! and the JSON-lines export must round-trip through a JSON parser.
+
+use orex_telemetry::export::log_json_lines;
+use orex_telemetry::{FieldValue, Level, LogFilter, Logger, RateLimit};
+use proptest::prelude::*;
+
+/// Targets are `&'static str`; index into a fixed dot-hierarchy pool so
+/// prefix filters have something to bite on.
+const TARGETS: [&str; 6] = [
+    "server",
+    "server.access",
+    "server.access.slow",
+    "authority",
+    "authority.power",
+    "ir.index",
+];
+
+fn level(i: u8) -> Level {
+    Level::ALL[(i as usize) % Level::ALL.len()]
+}
+
+proptest! {
+    /// A ring of capacity `cap` keeps exactly the `cap` most recent
+    /// records, oldest-first, with strictly increasing sequence numbers.
+    #[test]
+    fn ring_evicts_oldest_keeps_newest(cap in 1usize..24, n in 0usize..72) {
+        let logger = Logger::new(cap);
+        for i in 0..n {
+            logger.info("t", format!("m{i}")).field_u64("i", i as u64).emit();
+        }
+        let records = logger.drain();
+        prop_assert_eq!(records.len(), n.min(cap));
+        let ids: Vec<u64> = records
+            .iter()
+            .map(|r| match r.fields.first() {
+                Some((_, FieldValue::U64(v))) => *v,
+                other => panic!("missing i field: {other:?}"),
+            })
+            .collect();
+        let expected: Vec<u64> = (n.saturating_sub(cap)..n).map(|i| i as u64).collect();
+        prop_assert_eq!(ids, expected, "survivors must be the newest, oldest-first");
+        prop_assert!(records.windows(2).all(|w| w[0].seq < w[1].seq));
+        prop_assert!(logger.drain().is_empty(), "drain is destructive");
+    }
+
+    /// The captured set under a random filter equals the reference
+    /// model: per-target longest-prefix override, else the default.
+    /// Levels are drawn from `0..6` with 5 encoding "off"/`None`.
+    #[test]
+    fn filter_admits_exactly_the_model(
+        default_code in 0u8..6,
+        override_codes in proptest::collection::vec((0usize..TARGETS.len(), 0u8..6), 0..4),
+        emissions in proptest::collection::vec((0usize..TARGETS.len(), 0u8..5), 0..64),
+    ) {
+        let opt_level = |code: u8| -> Option<Level> { (code < 5).then(|| level(code)) };
+        let default = opt_level(default_code);
+        let overrides: Vec<(usize, Option<Level>)> = override_codes
+            .iter()
+            .map(|(t, code)| (*t, opt_level(*code)))
+            .collect();
+        let mut filter = match default {
+            Some(l) => LogFilter::at(l),
+            None => LogFilter::off(),
+        };
+        for (t, l) in &overrides {
+            filter = filter.with_target(TARGETS[*t], *l);
+        }
+        let logger = Logger::new(256);
+        logger.set_filter(filter.clone());
+
+        // Reference model: the effective level for a target is the
+        // longest matching override prefix, else the default.
+        let effective = |target: &str| -> Option<Level> {
+            let mut best: Option<(usize, Option<Level>)> = None;
+            for (t, l) in &overrides {
+                let prefix = TARGETS[*t];
+                let matches = target == prefix
+                    || (target.starts_with(prefix)
+                        && target.as_bytes().get(prefix.len()) == Some(&b'.'));
+                // Strictly longer prefixes win; on a duplicate prefix
+                // the first-inserted override is kept (stable sort).
+                if matches && best.is_none_or(|(len, _)| prefix.len() > len) {
+                    best = Some((prefix.len(), *l));
+                }
+            }
+            match best {
+                Some((_, l)) => l,
+                None => default,
+            }
+        };
+
+        let mut expected = Vec::new();
+        for (t, l) in &emissions {
+            let (target, lv) = (TARGETS[*t], level(*l));
+            logger.record(lv, target, "m").emit();
+            prop_assert_eq!(
+                logger.enabled(lv, target),
+                effective(target).is_some_and(|max| lv <= max),
+                "enabled() disagrees with the model for {} at {:?}", target, lv
+            );
+            if effective(target).is_some_and(|max| lv <= max) {
+                expected.push((target, lv));
+            }
+        }
+        let captured: Vec<(&str, Level)> =
+            logger.drain().iter().map(|r| (r.target, r.level)).collect();
+        prop_assert_eq!(captured, expected);
+    }
+
+    /// `admit(every)` is true exactly for draws 0, every, 2*every, ...,
+    /// and the draw counter counts every call.
+    #[test]
+    fn rate_limiter_admits_every_nth(every in 0u64..20, draws in 1usize..200) {
+        let limit = RateLimit::new();
+        let mut admitted = Vec::new();
+        for i in 0..draws {
+            if limit.admit(every) {
+                admitted.push(i as u64);
+            }
+        }
+        let expected: Vec<u64> = if every <= 1 {
+            (0..draws as u64).collect()
+        } else {
+            (0..draws as u64).filter(|i| i % every == 0).collect()
+        };
+        prop_assert_eq!(admitted, expected);
+        prop_assert_eq!(limit.count(), draws as u64);
+    }
+
+    /// Every JSON-lines export parses line-by-line and round-trips the
+    /// record's level, target, message, seq and typed fields.
+    #[test]
+    fn json_lines_round_trip(
+        emissions in proptest::collection::vec(
+            (
+                (0usize..TARGETS.len(), 0u8..5, any::<u64>()),
+                (any::<i64>(), -1.0e12f64..1.0e12, any::<bool>(), "[ -~]{0,24}"),
+            ),
+            0..32,
+        ),
+    ) {
+        let logger = Logger::new(256);
+        logger.set_filter(LogFilter::at(Level::Trace));
+        for ((t, l, u), (i, f, b, s)) in &emissions {
+            logger
+                .record(level(*l), TARGETS[*t], s.clone())
+                .field_u64("u", *u)
+                .field_i64("i", *i)
+                .field_f64("f", *f)
+                .field_bool("b", *b)
+                .field_str("s", s)
+                .emit();
+        }
+        let records = logger.drain();
+        let exported = log_json_lines(&records);
+        let lines: Vec<&str> = exported.lines().collect();
+        prop_assert_eq!(lines.len(), records.len());
+        for (line, record) in lines.iter().zip(&records) {
+            let v = serde_json::from_str(line).expect("every line is valid JSON");
+            prop_assert_eq!(v.get("level").and_then(|x| x.as_str()), Some(record.level.as_str()));
+            prop_assert_eq!(v.get("target").and_then(|x| x.as_str()), Some(record.target));
+            prop_assert_eq!(
+                v.get("message").and_then(|x| x.as_str()),
+                Some(record.message.as_str())
+            );
+            prop_assert_eq!(v.get("seq").and_then(|x| x.as_u64()), Some(record.seq));
+            let fields = v.get("fields").expect("fields object");
+            for (key, value) in &record.fields {
+                match value {
+                    FieldValue::U64(u) => {
+                        prop_assert_eq!(fields.get(key).and_then(|x| x.as_u64()), Some(*u));
+                    }
+                    FieldValue::I64(i) => {
+                        prop_assert_eq!(fields.get(key).and_then(|x| x.as_f64()), Some(*i as f64));
+                    }
+                    FieldValue::F64(f) if f.is_finite() => {
+                        prop_assert_eq!(fields.get(key).and_then(|x| x.as_f64()), Some(*f));
+                    }
+                    FieldValue::F64(_) => {
+                        // Non-finite floats have no JSON literal; they
+                        // serialize as null.
+                        prop_assert!(fields.get(key).is_some_and(|x| x.is_null()));
+                    }
+                    FieldValue::Bool(b) => {
+                        prop_assert_eq!(fields.get(key).and_then(|x| x.as_bool()), Some(*b));
+                    }
+                    FieldValue::Str(s) => {
+                        prop_assert_eq!(fields.get(key).and_then(|x| x.as_str()), Some(s.as_str()));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A disabled logger records nothing and allocates no builders that
+/// survive — the `OREX_TELEMETRY=0` path.
+#[test]
+fn disabled_logger_records_nothing() {
+    let logger = Logger::disabled();
+    assert!(!logger.is_enabled());
+    let builder = logger.error("t", "ignored");
+    assert!(!builder.is_recording());
+    builder.field_u64("k", 1).emit();
+    assert!(logger.drain().is_empty());
+    assert_eq!(logger.capacity(), 0);
+}
