@@ -8,6 +8,15 @@
 //! configurable number of consecutive iterations and the residual has at
 //! least entered a sanity bound — a pragmatic version of BHP04's
 //! threshold-based termination, evaluated in the ablation harness.
+//!
+//! A second, *guaranteed* criterion rides on the contraction property of
+//! Equation 4: with `‖A‖₁ ≤ 1` (transfer rates sum to at most 1 per
+//! node) the iteration contracts in L1 with factor `d`, so
+//! `‖r* − r_t‖₁ ≤ d/(1−d) · ‖r_t − r_{t−1}‖₁`. Once every consecutive
+//! score gap among the top k+1 entries exceeds twice that bound, no pair
+//! can swap on the way to the fixpoint — the current top-k membership
+//! *and order* are provably final and the run stops with
+//! [`TopKResult::guaranteed`] set.
 
 use crate::base_set::BaseSet;
 use crate::power::{power_iteration, RankParams, RankResult, TransitionMatrix};
@@ -23,6 +32,11 @@ pub struct TopKParams {
     /// Residual sanity bound: never stop while the L1 residual is above
     /// this (guards against declaring victory inside a transient).
     pub max_residual: f64,
+    /// Enable the guaranteed stop: terminate as soon as the worst-case
+    /// error bound `d/(1−d)·residual` proves the current top-k order can
+    /// no longer change (every consecutive gap among the top k+1 scores
+    /// exceeds twice the bound).
+    pub residual_bound: bool,
 }
 
 impl Default for TopKParams {
@@ -31,6 +45,7 @@ impl Default for TopKParams {
             k: 10,
             stable_iterations: 3,
             max_residual: 0.05,
+            residual_bound: true,
         }
     }
 }
@@ -45,6 +60,12 @@ pub struct TopKResult {
     /// True when the run stopped via top-k stability rather than the full
     /// convergence threshold.
     pub early_terminated: bool,
+    /// Worst-case L1 distance to the fixpoint at termination,
+    /// `d/(1−d) · residual` (0 when the iteration never ran).
+    pub error_bound: f64,
+    /// True when the stop was *provably* safe: the top-k order is
+    /// guaranteed to match full convergence, not merely stable.
+    pub guaranteed: bool,
 }
 
 /// Runs the power iteration with top-k early termination.
@@ -77,6 +98,7 @@ pub fn power_iteration_topk(
     telemetry.counter("authority.topk.runs").incr();
     let iterations_metric = telemetry.counter("authority.topk.iterations");
     let early_metric = telemetry.counter("authority.topk.early_terminated");
+    let guaranteed_metric = telemetry.counter("authority.topk.guaranteed");
     let mut topk_span = orex_telemetry::tracer().span("authority.power.topk");
     if topk_span.is_recording() {
         topk_span.attr_u64("k", topk.k as u64);
@@ -109,6 +131,9 @@ pub fn power_iteration_topk(
             last_top = Some(ids);
         }
         scores = Some(step.scores);
+        // Worst-case L1 distance to the fixpoint, by contraction:
+        // ‖r* − r_t‖₁ ≤ d/(1−d) · ‖r_t − r_{t−1}‖₁.
+        let error_bound = params.damping / (1.0 - params.damping) * residual;
 
         if residual < params.epsilon {
             // Fully converged the ordinary way.
@@ -125,7 +150,41 @@ pub fn power_iteration_topk(
                 },
                 top,
                 early_terminated: false,
+                error_bound,
+                guaranteed: true,
             };
+        }
+        if topk.residual_bound && error_bound.is_finite() {
+            // Per-node error is at most `error_bound`, so two entries can
+            // still swap only if their score gap is ≤ 2× the bound. Check
+            // every consecutive gap among the top k+1 — including the
+            // membership boundary between rank k and k+1.
+            let guard = top_k(step_scores_ref(&scores), topk.k + 1, 0.0);
+            let settled = guard.len() > 1
+                && guard
+                    .windows(2)
+                    .all(|p| p[0].score - p[1].score > 2.0 * error_bound);
+            if settled {
+                let scores = scores.expect("at least one iteration ran");
+                let top = top_k(&scores, topk.k, 0.0);
+                iterations_metric.add(iterations as u64);
+                early_metric.incr();
+                guaranteed_metric.incr();
+                topk_span.event("topk.bound_stop");
+                topk_span.attr_f64("error_bound", error_bound);
+                return TopKResult {
+                    result: RankResult {
+                        scores,
+                        iterations,
+                        converged: false,
+                        residuals,
+                    },
+                    top,
+                    early_terminated: true,
+                    error_bound,
+                    guaranteed: true,
+                };
+            }
         }
         if stable >= topk.stable_iterations && residual < topk.max_residual {
             let scores = scores.expect("at least one iteration ran");
@@ -146,10 +205,16 @@ pub fn power_iteration_topk(
                 },
                 top,
                 early_terminated: true,
+                error_bound,
+                guaranteed: false,
             };
         }
     }
 
+    let error_bound = residuals
+        .last()
+        .map(|&r| params.damping / (1.0 - params.damping) * r)
+        .unwrap_or(0.0);
     let scores = scores.unwrap_or_else(|| base.to_dense(matrix.node_count()));
     let top = top_k(&scores, topk.k, 0.0);
     iterations_metric.add(iterations as u64);
@@ -162,7 +227,14 @@ pub fn power_iteration_topk(
         },
         top,
         early_terminated: false,
+        error_bound,
+        guaranteed: false,
     }
+}
+
+/// Borrow helper: the loop stores the current scores in an `Option`.
+fn step_scores_ref(scores: &Option<Vec<f64>>) -> &[f64] {
+    scores.as_deref().expect("at least one iteration ran")
 }
 
 #[cfg(test)]
@@ -223,6 +295,38 @@ mod tests {
     }
 
     #[test]
+    fn bound_stop_is_guaranteed_and_matches_full_convergence() {
+        let (tg, rates) = graph();
+        let m = TransitionMatrix::new(&tg, &rates);
+        // Well-separated base weights give the top entries distinct score
+        // gaps, which is what the error bound certifies against.
+        let base =
+            BaseSet::weighted([(0, 16.0), (10, 8.0), (20, 4.0), (30, 2.0), (40, 1.0)]).unwrap();
+        let full = power_iteration(&m, &base, &tight(), None);
+        // Disable the stability heuristic entirely: any early stop must
+        // come from the residual error bound.
+        let res = power_iteration_topk(
+            &m,
+            &base,
+            &tight(),
+            &TopKParams {
+                k: 3,
+                stable_iterations: usize::MAX,
+                max_residual: 0.0,
+                residual_bound: true,
+            },
+            None,
+        );
+        assert!(res.early_terminated, "bound stop should fire");
+        assert!(res.guaranteed);
+        assert!(res.error_bound > 0.0 && res.error_bound.is_finite());
+        assert!(res.result.iterations < full.iterations);
+        let full_top: Vec<u32> = top_k(&full.scores, 3, 0.0).iter().map(|r| r.node).collect();
+        let early_top: Vec<u32> = res.top.iter().map(|r| r.node).collect();
+        assert_eq!(full_top, early_top, "guaranteed stop must preserve order");
+    }
+
+    #[test]
     fn tight_max_residual_defers_to_full_convergence() {
         let (tg, rates) = graph();
         let m = TransitionMatrix::new(&tg, &rates);
@@ -236,7 +340,8 @@ mod tests {
             &base,
             &params,
             &TopKParams {
-                max_residual: 0.0, // never early-terminate
+                max_residual: 0.0,     // never early-terminate heuristically
+                residual_bound: false, // nor via the guaranteed bound
                 ..TopKParams::default()
             },
             None,
@@ -261,6 +366,7 @@ mod tests {
             },
             &TopKParams {
                 stable_iterations: 100,
+                residual_bound: false,
                 ..TopKParams::default()
             },
             None,
@@ -283,6 +389,7 @@ mod tests {
             &tight(),
             &TopKParams {
                 max_residual: 0.0,
+                residual_bound: false,
                 ..TopKParams::default()
             },
             None,

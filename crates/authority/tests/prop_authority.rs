@@ -2,7 +2,8 @@
 //! identities, damping behaviour, top-k consistency, HITS invariants.
 
 use orex_authority::{
-    base_subgraph, hits, power_iteration, top_k, BaseSet, HitsParams, RankParams, TransitionMatrix,
+    base_subgraph, hits, power_iteration, power_iteration_batch, top_k, BaseSet, HitsParams,
+    RankParams, TransitionMatrix,
 };
 use orex_graph::{
     DataGraphBuilder, NodeId, SchemaGraph, TransferGraph, TransferRates, TransferTypeId,
@@ -136,6 +137,49 @@ proptest! {
         let na: f64 = res.authorities.iter().map(|x| x * x).sum();
         // Norm is 1 unless the graph has no intact edge structure.
         prop_assert!((na - 1.0).abs() < 1e-6 || na == 0.0);
+    }
+
+    /// The batched kernel is bit-identical to running each base set
+    /// through its own power iteration, for any graph, base-set mix and
+    /// thread count: same scores, same iteration counts, same residuals.
+    #[test]
+    fn batch_bitwise_equals_independent_runs(
+        n in 2usize..16,
+        edges in proptest::collection::vec((0u32..16, 0u32..16), 1..40),
+        bases in proptest::collection::vec(
+            proptest::collection::vec((0u32..16, 0.1f64..10.0), 1..4),
+            1..5,
+        ),
+        threads in 1usize..4,
+        fwd_pct in 10u8..=45,
+        bwd_pct in 0u8..=45,
+    ) {
+        let (tg, rates) = build_graph(n, &edges, fwd_pct as f64 / 100.0, bwd_pct as f64 / 100.0);
+        let m = TransitionMatrix::new(&tg, &rates);
+        let params = RankParams {
+            threads,
+            ..RankParams::default()
+        };
+        let base_sets: Vec<BaseSet> = bases
+            .iter()
+            .map(|ws| {
+                BaseSet::weighted(ws.iter().map(|&(i, w)| (i % n as u32, w))).unwrap()
+            })
+            .collect();
+        let batched = power_iteration_batch(&m, &base_sets, &params, None);
+        prop_assert_eq!(batched.len(), base_sets.len());
+        for (base, batch) in base_sets.iter().zip(&batched) {
+            let solo = power_iteration(&m, base, &params, None);
+            prop_assert_eq!(batch.iterations, solo.iterations);
+            prop_assert_eq!(batch.converged, solo.converged);
+            prop_assert_eq!(batch.residuals.len(), solo.residuals.len());
+            for (b, s) in batch.residuals.iter().zip(&solo.residuals) {
+                prop_assert_eq!(b.to_bits(), s.to_bits());
+            }
+            for (b, s) in batch.scores.iter().zip(&solo.scores) {
+                prop_assert_eq!(b.to_bits(), s.to_bits());
+            }
+        }
     }
 
     /// The base subgraph always contains its roots and only valid nodes.

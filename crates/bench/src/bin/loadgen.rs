@@ -25,7 +25,14 @@
 //! ERROR-level log record.
 //!
 //! Run: `cargo run -p orex-bench --release --bin loadgen
-//!       [-- --connections 64 --rounds 3 --scale 0.05 [--addr H:P]]`
+//!       [-- --connections 64 --rounds 3 --scale 0.05 [--addr H:P]
+//!        [--multi PCT]]`
+//!
+//! `--multi PCT` makes PCT percent of queries two-keyword combinations
+//! drawn from the pool — against a server started with `--precompute`
+//! these are answered by the exact linear combination of precomputed
+//! vectors, and the results JSON reports how many responses carried
+//! `"combined": true`.
 
 use orex_bench::{arg_value, build_system, pick_queries, scale_arg, write_json};
 use orex_core::SystemConfig;
@@ -64,6 +71,10 @@ struct Sample {
 struct Tally {
     samples: Vec<Sample>,
     dropped: usize,
+    /// Responses answered by linear combination of precomputed vectors
+    /// (`"combined": true`) — nonzero only when the server was started
+    /// with `--precompute`.
+    combined: usize,
 }
 
 /// One request over a fresh connection (the server closes per request).
@@ -129,20 +140,29 @@ fn timed(
 
 /// One client's workload: query, usually explain the top hit, then one
 /// feedback round — sessions and picks parsed straight off the wire.
+/// `multi` percent of queries combine two pool keywords, exercising the
+/// precomputed-vector combination path on a `--precompute` server.
 fn run_client(
     addr: SocketAddr,
     keywords: &[String],
     rounds: usize,
+    multi: usize,
     id: usize,
     tally: &Mutex<Tally>,
 ) {
     for round in 0..rounds {
         let keyword = &keywords[(id + round) % keywords.len()];
+        let query_text = if keywords.len() > 1 && (id + round) % 100 < multi {
+            let second = &keywords[(id + round + 1) % keywords.len()];
+            format!("{keyword} {second}")
+        } else {
+            keyword.clone()
+        };
         let t = Instant::now();
         let reply = post(
             addr,
             "/query",
-            &format!("{{\"query\": \"{keyword}\", \"k\": 5}}"),
+            &format!("{{\"query\": \"{query_text}\", \"k\": 5}}"),
         );
         let Some(body) = timed(tally, Op::Query, reply, t) else {
             continue;
@@ -150,6 +170,9 @@ fn run_client(
         let Ok(payload) = serde_json::from_str(&body) else {
             continue;
         };
+        if payload.get("combined").and_then(|v| v.as_bool()) == Some(true) {
+            tally.lock().unwrap().combined += 1;
+        }
         let session = payload.get("session").and_then(|v| v.as_u64());
         let node = payload
             .get("results")
@@ -192,6 +215,10 @@ fn main() {
     let rounds: usize = arg_value("rounds")
         .and_then(|v| v.parse().ok())
         .unwrap_or(3);
+    let multi: usize = arg_value("multi")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+        .min(100);
     let scale = scale_arg(0.05);
     let preset_name = arg_value("preset").unwrap_or_else(|| "dblp-top".into());
     let Some(preset) = Preset::parse(&preset_name) else {
@@ -261,7 +288,7 @@ fn main() {
         for id in 0..connections {
             let keywords = &keywords;
             let tally = &tally;
-            scope.spawn(move || run_client(addr, keywords, rounds, id, tally));
+            scope.spawn(move || run_client(addr, keywords, rounds, multi, id, tally));
         }
     });
     let wall = wall.elapsed();
@@ -341,13 +368,14 @@ fn main() {
         status_map.insert(code.clone(), serde_json::Value::from(*n));
     }
     println!(
-        "   totals: {} requests in {:.2?}, {} dropped, {} server errors, {} logged errors, {} access-log records, clean shutdown: {clean_shutdown}",
+        "   totals: {} requests in {:.2?}, {} dropped, {} server errors, {} logged errors, {} access-log records, {} combined responses, clean shutdown: {clean_shutdown}",
         tally.samples.len(),
         wall,
         tally.dropped,
         server_errors,
         log_errors,
-        access_records
+        access_records,
+        tally.combined,
     );
 
     write_json(
@@ -355,6 +383,8 @@ fn main() {
         &serde_json::json!({
             "connections": connections as u64,
             "rounds": rounds as u64,
+            "multi_percent": multi as u64,
+            "combined_responses": tally.combined as u64,
             "scale": scale,
             "mode": mode,
             "wall_seconds": wall.as_secs_f64(),

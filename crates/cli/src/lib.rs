@@ -13,11 +13,13 @@
 mod app;
 mod command;
 mod logs;
+mod precompute;
 mod serve;
 mod subcommands;
 
 pub use app::App;
 pub use command::{parse, Command, ParseError, HELP};
 pub use logs::run_logs;
+pub use precompute::run_precompute;
 pub use serve::run_serve;
 pub use subcommands::{load_snapshot, run_stats, run_trace, SUBCOMMAND_HELP};

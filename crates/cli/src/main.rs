@@ -1,7 +1,9 @@
 //! The `orex` binary: non-interactive subcommands (`trace`, `stats`)
 //! dispatched from argv, falling back to the interactive shell.
 
-use orex_cli::{parse, run_logs, run_serve, run_stats, run_trace, App, SUBCOMMAND_HELP};
+use orex_cli::{
+    parse, run_logs, run_precompute, run_serve, run_stats, run_trace, App, SUBCOMMAND_HELP,
+};
 use std::io::{BufRead, Write};
 
 fn main() {
@@ -25,6 +27,14 @@ fn main() {
         }
         Some("serve") => {
             let code = run_serve(&args[1..], &mut std::io::stdout(), &mut std::io::stderr())
+                .unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    1
+                });
+            std::process::exit(code);
+        }
+        Some("precompute") => {
+            let code = run_precompute(&args[1..], &mut std::io::stdout(), &mut std::io::stderr())
                 .unwrap_or_else(|e| {
                     eprintln!("{e}");
                     1

@@ -35,8 +35,10 @@ fn flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, 
 /// `orex serve [--addr A] [--preset NAME] [--scale F] [--threads N]
 /// [--cache-entries N] [--session-ttl SECS] [--max-sessions N]
 /// [--max-body-kb N] [--timeout-ms N] [--trace-sample N]
-/// [--trace-slow-ms N] [--max-logs N] [--slow-ms N]` — serve the
-/// interactive loop over HTTP. Returns the process exit code.
+/// [--trace-slow-ms N] [--max-logs N] [--slow-ms N]
+/// [--precompute FILE] [--no-backfill]` — serve the interactive loop
+/// over HTTP, optionally combining precomputed rank vectors from an
+/// `orex precompute` artifact. Returns the process exit code.
 pub fn run_serve(
     args: &[String],
     out: &mut dyn Write,
@@ -70,6 +72,12 @@ pub fn run_serve(
         }
         if let Some(ms) = flag::<u64>(args, "--slow-ms")? {
             config.slow_request = Duration::from_millis(ms.max(1));
+        }
+        if let Some(path) = flag::<String>(args, "--precompute")? {
+            config.precompute_path = Some(path.into());
+        }
+        if args.iter().any(|a| a == "--no-backfill") {
+            config.backfill = false;
         }
         Ok(())
     })();

@@ -35,11 +35,25 @@ usage:
              [--cache-entries N] [--session-ttl SECS] [--max-sessions N]
              [--max-body-kb N] [--timeout-ms N] [--trace-sample N]
              [--trace-slow-ms N] [--max-logs N] [--slow-ms N]
+             [--precompute FILE] [--no-backfill]
                              serve the interactive query/explain/feedback
                              loop over HTTP (POST /query, GET /explain/
                              <session>/<node>, POST /feedback/<session>,
                              GET /healthz|/metrics|/trace/<id>|/logs);
-                             SIGTERM or ctrl-c drains in-flight requests
+                             with --precompute, covered queries are
+                             answered by exact linear combination of the
+                             artifact's vectors and uncovered terms are
+                             backfilled in the background (--no-backfill
+                             disables); SIGTERM or ctrl-c drains
+                             in-flight requests
+  orex precompute [--preset NAME] [--scale F] [--top N] [--out FILE]
+                  [--manifest FILE] [--check K] [--stats FILE]
+                             build single-keyword rank vectors for the
+                             top-N document-frequency terms through the
+                             batched power-iteration kernel and persist
+                             them with a manifest for `orex serve
+                             --precompute`; --check K compares K combined
+                             queries against live iteration
   orex logs [FILE] [--level L] [--target PREFIX] [--since SEQ]
             [--limit N] [--format text|json]
                              filter a JSON-lines log capture (a file, or

@@ -95,6 +95,40 @@ pub struct SessionSnapshot {
     history: Vec<StepStats>,
 }
 
+impl SessionSnapshot {
+    /// Assembles a snapshot from externally computed state — the entry
+    /// point for serving paths that obtain scores without running a
+    /// session, e.g. by combining precomputed single-keyword vectors
+    /// (the paper's Linearity property). The resulting snapshot resumes
+    /// like any other: feedback rounds re-rank live from these scores.
+    ///
+    /// `history` starts with a single default step (index 0 is the
+    /// initial query, whose iteration count is genuinely 0 here).
+    pub fn from_parts(query: QueryVector, rates: TransferRates, scores: Vec<f64>) -> Self {
+        Self {
+            query,
+            rates,
+            scores,
+            history: vec![StepStats::default()],
+        }
+    }
+
+    /// The score vector captured in this snapshot.
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
+    }
+
+    /// The query vector captured in this snapshot.
+    pub fn query_vector(&self) -> &QueryVector {
+        &self.query
+    }
+
+    /// The rates captured in this snapshot.
+    pub fn rates(&self) -> &TransferRates {
+        &self.rates
+    }
+}
+
 /// One user's evolving query interaction.
 pub struct QuerySession<'s> {
     system: &'s ObjectRankSystem,

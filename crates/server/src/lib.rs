@@ -36,6 +36,7 @@ pub mod error;
 pub mod http;
 pub mod logs;
 pub mod pool;
+pub mod ranks;
 pub mod server;
 pub mod sessions;
 pub mod traces;
@@ -45,6 +46,7 @@ pub use error::ServerError;
 pub use http::{Request, Response};
 pub use logs::LogArchive;
 pub use pool::ThreadPool;
+pub use ranks::{rates_fingerprint, CombineOutcome, RankStore};
 pub use server::{install_signal_handlers, Server, ServerConfig, ShutdownHandle};
 pub use sessions::SessionTable;
 pub use traces::TraceArchive;

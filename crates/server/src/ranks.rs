@@ -1,0 +1,370 @@
+//! The unified serving-path rank store.
+//!
+//! Before this module, the server had two disjoint caches that could
+//! disagree: the LRU [`ResultCache`] of converged session snapshots, and
+//! `orex-store`'s precomputed rank vectors — keyed but never consulted
+//! on the result path. [`RankStore`] is the single lookup the query
+//! handler goes through, with two invariants:
+//!
+//! 1. **Rates-stamped result keys.** Every snapshot is cached under the
+//!    normalized query *and* an FNV-1a fingerprint of its transfer
+//!    rates. A feedback round trains the rates, so a reformulated
+//!    session's snapshot can never be served to a fresh initial query
+//!    that normalizes to the same term/weight key — the contradictory
+//!    entry the old scheme permitted.
+//! 2. **Precompute-before-iterate.** On a result-cache miss, a query
+//!    whose terms are covered by the precomputed store is answered by
+//!    the exact linear combination (the paper's Linearity property, see
+//!    [`PrecomputedRanks::combine`]) instead of a live power iteration;
+//!    uncovered terms are queued for background backfill so the *next*
+//!    occurrence combines.
+
+use crate::cache::ResultCache;
+use crate::error::ServerError;
+use orex_core::SessionSnapshot;
+use orex_graph::TransferRates;
+use orex_ir::{InvertedIndex, QueryVector, Scorer};
+use orex_store::{fnv1a, PrecomputedRanks};
+use std::collections::HashSet;
+use std::sync::mpsc::Sender;
+use std::sync::{Mutex, PoisonError, RwLock};
+
+/// Outcome of consulting the precomputed vectors for a query.
+pub enum CombineOutcome {
+    /// Covered: the exact combined score vector.
+    Hit(Vec<f64>),
+    /// Not covered: the index-matching terms that lack vectors (queued
+    /// for backfill by the caller via [`RankStore::request_backfill`]).
+    Miss(Vec<String>),
+    /// No precomputed store is loaded (or the query has no usable terms).
+    Unavailable,
+}
+
+/// One stop for every way the serving path can obtain scores without a
+/// live power iteration.
+pub struct RankStore {
+    results: ResultCache,
+    precomputed: RwLock<Option<PrecomputedRanks>>,
+    /// Fingerprint of the system's initial rates — the rates every
+    /// initial query runs under.
+    initial_fingerprint: u64,
+    /// Backfill queue to the builder thread; `None` until the server
+    /// starts one (or after shutdown).
+    backfill: Mutex<Option<Sender<Vec<String>>>>,
+    /// Terms already queued, so repeated misses don't re-queue work the
+    /// builder hasn't finished yet.
+    in_flight: Mutex<HashSet<String>>,
+}
+
+/// Stable fingerprint of a rates vector (order is the schema's transfer
+/// type order, so equal rates hash equal).
+pub fn rates_fingerprint(rates: &TransferRates) -> u64 {
+    let mut bytes = Vec::with_capacity(rates.as_slice().len() * 8);
+    for &r in rates.as_slice() {
+        bytes.extend_from_slice(&r.to_le_bytes());
+    }
+    fnv1a(&bytes)
+}
+
+impl RankStore {
+    /// A store with an LRU result cache of `capacity` snapshots, keyed
+    /// against `initial_rates`.
+    pub fn new(capacity: usize, initial_rates: &TransferRates) -> Self {
+        Self {
+            results: ResultCache::new(capacity),
+            precomputed: RwLock::new(None),
+            initial_fingerprint: rates_fingerprint(initial_rates),
+            backfill: Mutex::new(None),
+            in_flight: Mutex::new(HashSet::new()),
+        }
+    }
+
+    /// Cache key for a query under a specific rates fingerprint.
+    fn key(fingerprint: u64, query: &QueryVector) -> String {
+        format!("{fingerprint:016x}|{}", ResultCache::key(query))
+    }
+
+    /// Installs (or replaces) the precomputed vector store.
+    pub fn set_precomputed(&self, store: PrecomputedRanks) {
+        let telemetry = orex_telemetry::global();
+        telemetry
+            .gauge("server.precompute_terms")
+            .set(store.len() as f64);
+        *self
+            .precomputed
+            .write()
+            .unwrap_or_else(PoisonError::into_inner) = Some(store);
+    }
+
+    /// Number of precomputed term vectors currently loaded.
+    pub fn precomputed_terms(&self) -> usize {
+        self.precomputed
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .as_ref()
+            .map_or(0, PrecomputedRanks::len)
+    }
+
+    /// Looks up the cached snapshot of an *initial* query (initial-rates
+    /// key). Feedback-trained snapshots live under their own fingerprint
+    /// and cannot satisfy this lookup.
+    pub fn lookup_initial(
+        &self,
+        query: &QueryVector,
+    ) -> Result<Option<SessionSnapshot>, ServerError> {
+        self.results
+            .get(&Self::key(self.initial_fingerprint, query))
+    }
+
+    /// Caches a snapshot under the fingerprint of *its own* rates: an
+    /// initial-query snapshot becomes visible to [`Self::lookup_initial`],
+    /// a feedback-trained one is keyed apart and never conflated.
+    pub fn store(
+        &self,
+        query: &QueryVector,
+        snapshot: &SessionSnapshot,
+    ) -> Result<(), ServerError> {
+        let fingerprint = rates_fingerprint(snapshot.rates());
+        self.results
+            .put(Self::key(fingerprint, query), snapshot.clone())
+    }
+
+    /// Consults the precomputed vectors for an exact combined answer.
+    pub fn combine(
+        &self,
+        query: &QueryVector,
+        index: &InvertedIndex,
+        scorer: &dyn Scorer,
+    ) -> CombineOutcome {
+        let telemetry = orex_telemetry::global();
+        let guard = self
+            .precomputed
+            .read()
+            .unwrap_or_else(PoisonError::into_inner);
+        let Some(store) = guard.as_ref() else {
+            return CombineOutcome::Unavailable;
+        };
+        let missing = store.missing_terms(query, index);
+        if missing.is_empty() {
+            if let Some(scores) = store.combine(query, scorer) {
+                telemetry.counter("server.precompute_hits").incr();
+                return CombineOutcome::Hit(scores);
+            }
+            // Covered but nothing combinable: no query term occurs in
+            // the corpus, which the live path reports as an empty base
+            // set — let it.
+            return CombineOutcome::Unavailable;
+        }
+        telemetry.counter("server.precompute_misses").incr();
+        CombineOutcome::Miss(missing)
+    }
+
+    /// Hands the backfill queue to the store. The server calls this when
+    /// it spawns the builder thread.
+    pub fn set_backfill_sender(&self, sender: Sender<Vec<String>>) {
+        *self.backfill.lock().unwrap_or_else(PoisonError::into_inner) = Some(sender);
+    }
+
+    /// Drops the backfill queue so the builder thread's `recv` ends —
+    /// part of graceful shutdown.
+    pub fn close_backfill(&self) {
+        self.backfill
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+    }
+
+    /// Queues uncovered terms for background building. Terms already in
+    /// flight are skipped; returns how many were newly queued.
+    pub fn request_backfill(&self, terms: Vec<String>) -> usize {
+        let telemetry = orex_telemetry::global();
+        let mut in_flight = self
+            .in_flight
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let fresh: Vec<String> = terms
+            .into_iter()
+            .filter(|t| !in_flight.contains(t))
+            .collect();
+        if fresh.is_empty() {
+            return 0;
+        }
+        let guard = self.backfill.lock().unwrap_or_else(PoisonError::into_inner);
+        let Some(sender) = guard.as_ref() else {
+            return 0;
+        };
+        let count = fresh.len();
+        for t in &fresh {
+            in_flight.insert(t.clone());
+        }
+        if sender.send(fresh).is_err() {
+            // Builder already gone; nothing will be built.
+            return 0;
+        }
+        telemetry
+            .counter("server.backfill_requests")
+            .add(count as u64);
+        count
+    }
+
+    /// Installs vectors the builder thread finished, clearing their
+    /// in-flight marks.
+    pub fn insert_backfilled(&self, built: Vec<(String, f64, Vec<f64>)>) {
+        let telemetry = orex_telemetry::global();
+        let mut in_flight = self
+            .in_flight
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let mut guard = self
+            .precomputed
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        let Some(store) = guard.as_mut() else {
+            return;
+        };
+        let count = built.len() as u64;
+        for (term, mass, scores) in built {
+            store.insert(term.clone(), mass, &scores);
+            in_flight.remove(&term);
+        }
+        telemetry.counter("server.backfill_built").add(count);
+        telemetry
+            .gauge("server.precompute_terms")
+            .set(store.len() as f64);
+    }
+
+    /// Clears in-flight marks for terms the builder skipped (e.g. empty
+    /// base sets), so a later request may retry them.
+    pub fn clear_in_flight(&self, terms: &[String]) {
+        let mut in_flight = self
+            .in_flight
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        for t in terms {
+            in_flight.remove(t);
+        }
+    }
+
+    /// Result-cache entry count (observability).
+    pub fn cached_results(&self) -> usize {
+        self.results.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orex_core::{ObjectRankSystem, QuerySession, SystemConfig};
+    use orex_ir::Query;
+    use std::sync::Arc;
+
+    fn system() -> Arc<ObjectRankSystem> {
+        let d = orex_datagen::Preset::DblpTop.generate(0.02);
+        Arc::new(ObjectRankSystem::new(
+            d.graph,
+            d.ground_truth,
+            SystemConfig::default(),
+        ))
+    }
+
+    fn rankable_keyword(system: &ObjectRankSystem) -> String {
+        let index = system.index();
+        (0..index.vocabulary_size() as u32)
+            .map(|t| index.term_text(t).to_string())
+            .find(|kw| QuerySession::start(system, &Query::parse(kw)).is_ok())
+            .expect("some keyword ranks")
+    }
+
+    #[test]
+    fn initial_snapshot_roundtrips_through_lookup() {
+        let system = system();
+        let store = RankStore::new(8, system.initial_rates());
+        let kw = rankable_keyword(&system);
+        let query = Query::parse(&kw);
+        let qv = QueryVector::initial(&query, system.index().analyzer());
+        assert!(store.lookup_initial(&qv).unwrap().is_none());
+        let session = QuerySession::start(&system, &query).unwrap();
+        store.store(&qv, &session.snapshot()).unwrap();
+        let hit = store.lookup_initial(&qv).unwrap().expect("cached");
+        assert_eq!(hit.scores(), session.scores());
+    }
+
+    /// The regression the unification exists for: a feedback round trains
+    /// the rates, and its snapshot — even when the reformulated query
+    /// normalizes to the *same* key — must not satisfy an initial-query
+    /// lookup.
+    #[test]
+    fn feedback_trained_snapshot_does_not_shadow_initial_entry() {
+        let system = system();
+        let store = RankStore::new(8, system.initial_rates());
+        let kw = rankable_keyword(&system);
+        let query = Query::parse(&kw);
+        let qv = QueryVector::initial(&query, system.index().analyzer());
+
+        let mut session = QuerySession::start(&system, &query).unwrap();
+        let initial_snapshot = session.snapshot();
+        store.store(&qv, &initial_snapshot).unwrap();
+
+        // One feedback round: rates are trained away from the initial
+        // vector (structure-only reformulation keeps the query vector as
+        // hostile as possible to the keying scheme).
+        let top = session.top_k(3);
+        let objects: Vec<_> = top.iter().map(|r| r.node).collect();
+        session.feedback(&objects).unwrap();
+        let trained_snapshot = session.snapshot();
+        assert_ne!(
+            rates_fingerprint(trained_snapshot.rates()),
+            rates_fingerprint(initial_snapshot.rates()),
+            "feedback must actually train the rates for this test to bite"
+        );
+        // Store it under the session's *current* query vector.
+        store
+            .store(session.query_vector(), &trained_snapshot)
+            .unwrap();
+
+        // A fresh initial query still gets the initial-rates snapshot.
+        let hit = store.lookup_initial(&qv).unwrap().expect("still cached");
+        assert_eq!(hit.scores(), initial_snapshot.scores());
+        // And the trained snapshot is reachable only under its own rates.
+        let trained_key = RankStore::key(
+            rates_fingerprint(trained_snapshot.rates()),
+            session.query_vector(),
+        );
+        assert_ne!(
+            trained_key,
+            RankStore::key(
+                rates_fingerprint(initial_snapshot.rates()),
+                session.query_vector()
+            )
+        );
+    }
+
+    #[test]
+    fn combine_unavailable_without_precomputed_store() {
+        let system = system();
+        let store = RankStore::new(4, system.initial_rates());
+        let qv = QueryVector::from_weights([("data", 1.0)]);
+        assert!(matches!(
+            store.combine(&qv, system.index(), &system.config().okapi),
+            CombineOutcome::Unavailable
+        ));
+    }
+
+    #[test]
+    fn backfill_queue_dedups_in_flight_terms() {
+        let system = system();
+        let store = RankStore::new(4, system.initial_rates());
+        let (tx, rx) = std::sync::mpsc::channel();
+        store.set_backfill_sender(tx);
+        assert_eq!(
+            store.request_backfill(vec!["alpha".into(), "beta".into()]),
+            2
+        );
+        assert_eq!(store.request_backfill(vec!["alpha".into()]), 0, "in flight");
+        assert_eq!(rx.try_recv().unwrap().len(), 2);
+        store.clear_in_flight(&["alpha".to_string()]);
+        assert_eq!(store.request_backfill(vec!["alpha".into()]), 1);
+        store.close_backfill();
+        assert_eq!(store.request_backfill(vec!["gamma".into()]), 0, "closed");
+    }
+}

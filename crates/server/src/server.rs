@@ -7,20 +7,21 @@
 //! flag (set programmatically or by SIGINT/SIGTERM); on shutdown it
 //! stops accepting and joins the pool, draining in-flight requests.
 
-use crate::cache::ResultCache;
 use crate::error::ServerError;
 use crate::http::{read_request, ParseError, Request, Response};
 use crate::logs::LogArchive;
 use crate::pool::ThreadPool;
+use crate::ranks::{CombineOutcome, RankStore};
 use crate::sessions::SessionTable;
 use crate::traces::TraceArchive;
-use orex_core::{ObjectRankSystem, QuerySession, SessionError};
+use orex_core::{ObjectRankSystem, QuerySession, SessionError, SessionSnapshot};
 use orex_graph::NodeId;
 use orex_ir::{Query, QueryVector};
 use orex_telemetry::Level;
 use serde_json::Value;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -51,6 +52,14 @@ pub struct ServerConfig {
     /// Requests at least this slow additionally log a `server.slow`
     /// WARN record.
     pub slow_request: Duration,
+    /// Precomputed rank-vector artifact (from `orex precompute`) to
+    /// answer covered queries by linear combination. Validated against
+    /// the served dataset at bind time.
+    pub precompute_path: Option<PathBuf>,
+    /// Build vectors for uncovered query terms in a background thread so
+    /// later occurrences combine. Only meaningful with a precompute
+    /// artifact loaded.
+    pub backfill: bool,
 }
 
 impl Default for ServerConfig {
@@ -66,6 +75,8 @@ impl Default for ServerConfig {
             max_traces: 256,
             max_logs: 4096,
             slow_request: Duration::from_millis(500),
+            precompute_path: None,
+            backfill: true,
         }
     }
 }
@@ -74,11 +85,22 @@ impl Default for ServerConfig {
 struct ServerState {
     system: Arc<ObjectRankSystem>,
     sessions: SessionTable,
-    cache: ResultCache,
+    ranks: RankStore,
     traces: TraceArchive,
     logs: LogArchive,
     max_body_bytes: usize,
     slow_request: Duration,
+}
+
+/// Per-request serving-path outcomes surfaced in the access log and the
+/// query response.
+#[derive(Default)]
+struct QueryFlags {
+    /// `Some(true)` when the result cache satisfied the query.
+    cache_hit: Option<bool>,
+    /// `Some(true)` when precomputed vectors were combined; `Some(false)`
+    /// when a precomputed store was consulted but a live iteration ran.
+    precompute_hit: Option<bool>,
 }
 
 /// Signals a running [`Server`] to stop accepting and drain.
@@ -146,14 +168,32 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds `config.addr` and prepares the shared state.
+    /// Binds `config.addr` and prepares the shared state. When a
+    /// precompute artifact is configured it is loaded and validated
+    /// against the served dataset (graph hash, node count, damping,
+    /// epsilon) — a mismatched artifact is a bind error, not a silent
+    /// mis-ranking.
     pub fn bind(system: Arc<ObjectRankSystem>, config: ServerConfig) -> io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
+        let ranks = RankStore::new(config.cache_entries, system.initial_rates());
+        if let Some(path) = &config.precompute_path {
+            let store = orex_store::PrecomputedRanks::load(path)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            validate_precompute(&store, &system)
+                .map_err(|why| io::Error::new(io::ErrorKind::InvalidData, why))?;
+            orex_telemetry::logger()
+                .info("server.precompute", "precomputed ranks loaded")
+                .field_str("path", path.to_string_lossy())
+                .field_u64("terms", store.len() as u64)
+                .field_u64("dataset_hash", store.dataset_hash())
+                .emit();
+            ranks.set_precomputed(store);
+        }
         let state = Arc::new(ServerState {
             system,
             sessions: SessionTable::new(config.session_ttl, config.max_sessions),
-            cache: ResultCache::new(config.cache_entries),
+            ranks,
             traces: TraceArchive::new(config.max_traces),
             logs: LogArchive::new(config.max_logs),
             max_body_bytes: config.max_body_bytes,
@@ -185,6 +225,16 @@ impl Server {
     pub fn run(self) -> io::Result<()> {
         let mut pool = ThreadPool::new(self.config.threads)?;
         let telemetry = orex_telemetry::global();
+        // Background backfill: build vectors for uncovered query terms so
+        // later occurrences of the same terms combine instead of iterate.
+        let backfill_handle = if self.config.backfill && self.state.ranks.precomputed_terms() > 0 {
+            let (tx, rx) = std::sync::mpsc::channel::<Vec<String>>();
+            self.state.ranks.set_backfill_sender(tx);
+            let state = Arc::clone(&self.state);
+            Some(std::thread::spawn(move || backfill_loop(&state, rx)))
+        } else {
+            None
+        };
         // Acquire pairs with the Release stores in `shutdown()` and the
         // signal handler; SeqCst's total order across the two flags is
         // unnecessary (either one stopping is sufficient and they never
@@ -210,8 +260,94 @@ impl Server {
         }
         // Stop accepting; drain queued + in-flight requests.
         pool.join();
+        // Close the backfill queue after the drain (drained requests may
+        // still enqueue) and wait for the builder to finish its batch.
+        self.state.ranks.close_backfill();
+        if let Some(handle) = backfill_handle {
+            let _ = handle.join();
+        }
         telemetry.counter("server.clean_shutdowns").incr();
         Ok(())
+    }
+}
+
+/// Checks a precompute artifact against the served system.
+fn validate_precompute(
+    store: &orex_store::PrecomputedRanks,
+    system: &ObjectRankSystem,
+) -> Result<(), String> {
+    let graph_hash = orex_store::fnv1a(&orex_store::encode_graph(system.graph()));
+    if store.dataset_hash() != graph_hash {
+        return Err(format!(
+            "precompute artifact was built for a different dataset \
+             (artifact {:#x}, serving {:#x})",
+            store.dataset_hash(),
+            graph_hash
+        ));
+    }
+    if store.node_count() != system.graph().node_count() {
+        return Err(format!(
+            "precompute artifact has {} nodes, graph has {}",
+            store.node_count(),
+            system.graph().node_count()
+        ));
+    }
+    let rank = &system.config().rank;
+    if store.damping() != rank.damping || store.epsilon() != rank.epsilon {
+        return Err(format!(
+            "precompute artifact converged under damping {} / epsilon {}, \
+             system runs damping {} / epsilon {}",
+            store.damping(),
+            store.epsilon(),
+            rank.damping,
+            rank.epsilon
+        ));
+    }
+    Ok(())
+}
+
+/// The backfill builder: drains term batches from the queue, runs them
+/// through the batched kernel (global warm start, same parameters as the
+/// offline build) and installs the finished vectors. Exits when every
+/// sender is dropped (server shutdown).
+fn backfill_loop(state: &ServerState, rx: std::sync::mpsc::Receiver<Vec<String>>) {
+    let system = &state.system;
+    let scorer = &system.config().okapi;
+    let params = system.config().rank;
+    while let Ok(terms) = rx.recv() {
+        let _span = orex_telemetry::global().span("server.backfill_us");
+        let matrix =
+            orex_authority::TransitionMatrix::new(system.transfer(), system.initial_rates());
+        let mut kept: Vec<(String, f64)> = Vec::with_capacity(terms.len());
+        let mut bases = Vec::with_capacity(terms.len());
+        let mut skipped: Vec<String> = Vec::new();
+        for term in terms {
+            match orex_store::term_base(system.index(), scorer, &term) {
+                Some((mass, base)) => {
+                    kept.push((term, mass));
+                    bases.push(base);
+                }
+                None => skipped.push(term),
+            }
+        }
+        // Terms without base sets can never combine; unmark them so a
+        // rebuilt index could retry, and skip the kernel entirely.
+        state.ranks.clear_in_flight(&skipped);
+        if bases.is_empty() {
+            continue;
+        }
+        let results =
+            orex_authority::power_iteration_batch(&matrix, &bases, &params, system.global_scores());
+        let built: Vec<(String, f64, Vec<f64>)> = kept
+            .into_iter()
+            .zip(results)
+            .map(|((term, mass), result)| (term, mass, result.scores))
+            .collect();
+        orex_telemetry::logger()
+            .info("server.backfill", "backfilled precomputed vectors")
+            .field_u64("terms", built.len() as u64)
+            .emit();
+        state.ranks.insert_backfilled(built);
     }
 }
 
@@ -235,11 +371,11 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState, io_timeout: Dur
                     span.attr_str("path", &request.path);
                 }
                 let trace_id = span.trace_id().map(|t| t.0);
-                let mut cache_hit = None;
-                let response = route(&request, state, trace_id, &mut cache_hit);
+                let mut flags = QueryFlags::default();
+                let response = route(&request, state, trace_id, &mut flags);
                 // Emitted while the span is still open, so the record is
                 // stamped with this request's trace/span ids.
-                access_log(state, Some(&request), &response, cache_hit, start.elapsed());
+                access_log(state, Some(&request), &response, &flags, start.elapsed());
                 response
             };
             state.traces.absorb(tracer.drain());
@@ -249,19 +385,37 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState, io_timeout: Dur
         Err(ParseError::BodyTooLarge(_)) => {
             telemetry.counter("server.requests").incr();
             let response = Response::error(413, "request body exceeds limit");
-            access_log(state, None, &response, None, start.elapsed());
+            access_log(
+                state,
+                None,
+                &response,
+                &QueryFlags::default(),
+                start.elapsed(),
+            );
             response
         }
         Err(ParseError::Malformed(why)) => {
             telemetry.counter("server.requests").incr();
             let response = Response::error(400, why);
-            access_log(state, None, &response, None, start.elapsed());
+            access_log(
+                state,
+                None,
+                &response,
+                &QueryFlags::default(),
+                start.elapsed(),
+            );
             response
         }
         Err(ParseError::Io(_)) => {
             telemetry.counter("server.request_timeouts").incr();
             let response = Response::error(408, "timed out reading request");
-            access_log(state, None, &response, None, start.elapsed());
+            access_log(
+                state,
+                None,
+                &response,
+                &QueryFlags::default(),
+                start.elapsed(),
+            );
             response
         }
     };
@@ -276,16 +430,16 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState, io_timeout: Dur
 }
 
 /// Emits the one `server.access` record every response gets — method,
-/// path, status, body bytes, latency, cache hit/miss — plus a
-/// `server.slow` WARN when the request crossed the slow threshold.
-/// Called inside the request span when one exists, so the records carry
-/// the request's trace/span ids; unparseable requests (4xx before
-/// routing) log with `-` placeholders and no trace.
+/// path, status, body bytes, latency, cache and precompute hit/miss —
+/// plus a `server.slow` WARN when the request crossed the slow
+/// threshold. Called inside the request span when one exists, so the
+/// records carry the request's trace/span ids; unparseable requests
+/// (4xx before routing) log with `-` placeholders and no trace.
 fn access_log(
     state: &ServerState,
     request: Option<&Request>,
     response: &Response,
-    cache_hit: Option<bool>,
+    flags: &QueryFlags,
     elapsed: Duration,
 ) {
     let log = orex_telemetry::logger();
@@ -299,8 +453,11 @@ fn access_log(
         .field_u64("status", u64::from(response.status))
         .field_u64("bytes", response.body.len() as u64)
         .field_u64("latency_us", latency_us);
-    if let Some(hit) = cache_hit {
+    if let Some(hit) = flags.cache_hit {
         record = record.field_bool("cache_hit", hit);
+    }
+    if let Some(hit) = flags.precompute_hit {
+        record = record.field_bool("precompute_hit", hit);
     }
     record.emit();
     if elapsed >= state.slow_request {
@@ -333,7 +490,7 @@ fn route(
     request: &Request,
     state: &ServerState,
     trace_id: Option<u64>,
-    cache_hit: &mut Option<bool>,
+    flags: &mut QueryFlags,
 ) -> Response {
     let path = request.path.as_str();
     // Only /logs interprets the query string, but strip it before
@@ -350,7 +507,7 @@ fn route(
             let _span = orex_telemetry::global().span("server.metrics_us");
             Response::text(200, orex_telemetry::global().snapshot().to_prometheus())
         }
-        ("POST", ["query"]) => respond(handle_query(request, state, trace_id, cache_hit)),
+        ("POST", ["query"]) => respond(handle_query(request, state, trace_id, flags)),
         ("GET", ["explain", sid, node]) => respond(handle_explain(state, sid, node)),
         ("POST", ["feedback", sid]) => respond(handle_feedback(request, state, sid)),
         ("GET", ["trace", id]) => respond(handle_trace(state, id)),
@@ -415,7 +572,7 @@ fn handle_query(
     request: &Request,
     state: &ServerState,
     trace_id: Option<u64>,
-    cache_hit: &mut Option<bool>,
+    flags: &mut QueryFlags,
 ) -> Result<Response, ServerError> {
     let body = body_object(request)?;
     let Some(query_text) = body.get("query").and_then(Value::as_str) else {
@@ -430,24 +587,49 @@ fn handle_query(
     // one query share an entry.
     let query = Query::parse(query_text);
     let qv = QueryVector::initial(&query, state.system.index().analyzer());
-    let key = ResultCache::key(&qv);
 
-    let (snapshot, cached) = match state.cache.get(&key)? {
+    let mut combined = false;
+    let (snapshot, cached) = match state.ranks.lookup_initial(&qv)? {
         Some(snapshot) => (snapshot, true),
-        None => {
-            let session =
-                QuerySession::start(&state.system, &query).map_err(|e| session_error(&e))?;
-            let snapshot = session.snapshot();
-            state.cache.put(key, snapshot.clone())?;
-            (snapshot, false)
-        }
+        // Result-cache miss: prefer the exact linear combination of
+        // precomputed single-keyword vectors (Linearity, Section 6.2);
+        // fall back to a live power iteration and queue the uncovered
+        // terms for background backfill.
+        None => match state
+            .ranks
+            .combine(&qv, state.system.index(), &state.system.config().okapi)
+        {
+            CombineOutcome::Hit(scores) => {
+                combined = true;
+                flags.precompute_hit = Some(true);
+                let snapshot = SessionSnapshot::from_parts(
+                    qv.clone(),
+                    state.system.initial_rates().clone(),
+                    scores,
+                );
+                state.ranks.store(&qv, &snapshot)?;
+                (snapshot, false)
+            }
+            outcome => {
+                if let CombineOutcome::Miss(missing) = outcome {
+                    flags.precompute_hit = Some(false);
+                    state.ranks.request_backfill(missing);
+                }
+                let session =
+                    QuerySession::start(&state.system, &query).map_err(|e| session_error(&e))?;
+                let snapshot = session.snapshot();
+                state.ranks.store(&qv, &snapshot)?;
+                (snapshot, false)
+            }
+        },
     };
-    *cache_hit = Some(cached);
+    flags.cache_hit = Some(cached);
     let session = QuerySession::resume(&state.system, snapshot.clone());
     let session_id = state.sessions.insert(snapshot)?;
     let payload = serde_json::json!({
         "session": session_id,
         "cached": cached,
+        "combined": combined,
         "trace": trace_id.map_or(Value::Null, Value::from),
         "results": ranked_json(&session, k),
     });

@@ -564,6 +564,147 @@ fn every_request_emits_exactly_one_trace_correlated_access_log_record() {
     );
 }
 
+/// Index terms by descending document frequency whose text survives the
+/// query analyzer unchanged (so sending them as query keywords hits the
+/// same vocabulary entries the artifact stores).
+fn stable_top_terms(system: &Arc<ObjectRankSystem>) -> Vec<String> {
+    let index = system.index();
+    let mut by_df: Vec<(u32, String)> = (0..index.vocabulary_size() as u32)
+        .map(|t| (index.df(t), index.term_text(t).to_string()))
+        .collect();
+    by_df.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+    by_df
+        .into_iter()
+        .filter(|(df, t)| *df > 0 && index.analyzer().analyze_term(t).as_deref() == Some(t))
+        .map(|(_, t)| t)
+        .collect()
+}
+
+fn metric_value(metrics: &str, name: &str) -> Option<f64> {
+    metrics
+        .lines()
+        .find_map(|l| l.strip_prefix(name).and_then(|rest| rest.strip_prefix(' ')))
+        .and_then(|v| v.parse().ok())
+}
+
+#[test]
+fn covered_queries_combine_precomputed_vectors_and_misses_backfill() {
+    let _guard = serial();
+    let (system, _) = fixture();
+    let terms = stable_top_terms(&system);
+    assert!(terms.len() >= 3, "fixture vocabulary too small");
+
+    // Build an artifact for the served graph: top terms through the
+    // batched kernel, manifest stamped with the dataset hash.
+    let matrix = orex_authority::TransitionMatrix::new(system.transfer(), system.initial_rates());
+    let hash = orex_store::fnv1a(&orex_store::encode_graph(system.graph()));
+    let store = orex_store::PrecomputedRanks::build(
+        &matrix,
+        system.index(),
+        &system.config().okapi,
+        &terms[..2],
+        &system.config().rank,
+        hash,
+    );
+    assert_eq!(store.terms().len(), 2, "both top terms must build");
+    let path = std::env::temp_dir().join(format!("orex-e2e-precompute-{}.bin", std::process::id()));
+    store.save(&path).expect("save artifact");
+
+    let mut config = TestServer::config();
+    config.precompute_path = Some(path.clone());
+    let server = TestServer::spawn(config);
+
+    // A multi-keyword query fully covered by the artifact is answered by
+    // the exact linear combination — no live iteration.
+    let covered = format!("{{\"query\": \"{} {}\", \"k\": 5}}", terms[0], terms[1]);
+    let reply = post(server.addr, "/query", &covered);
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let payload = reply.json();
+    assert_eq!(payload.get("combined").and_then(Value::as_bool), Some(true));
+    assert_eq!(payload.get("cached").and_then(Value::as_bool), Some(false));
+    let nodes = result_nodes(&payload);
+    assert!(!nodes.is_empty());
+
+    // The combined session supports the rest of the interactive loop.
+    let session = payload.get("session").and_then(Value::as_u64).unwrap();
+    let explain = get(server.addr, &format!("/explain/{session}/{}", nodes[0]));
+    assert_eq!(explain.status, 200, "{}", explain.body);
+
+    // Re-asking is a plain result-cache hit, not a second combination.
+    let again = post(server.addr, "/query", &covered).json();
+    assert_eq!(again.get("cached").and_then(Value::as_bool), Some(true));
+    assert_eq!(result_nodes(&again), nodes);
+
+    // A query with an uncached vocabulary term falls back to live
+    // iteration and queues the term for background backfill.
+    let uncovered = format!("{{\"query\": \"{} {}\"}}", terms[0], terms[2]);
+    let reply = post(server.addr, "/query", &uncovered);
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let payload = reply.json();
+    assert_eq!(
+        payload.get("combined").and_then(Value::as_bool),
+        Some(false)
+    );
+
+    // Metrics carry the hit/miss split.
+    let metrics = get(server.addr, "/metrics").body;
+    assert!(metric_value(&metrics, "orex_server_precompute_hits").unwrap_or(0.0) >= 1.0);
+    assert!(metric_value(&metrics, "orex_server_precompute_misses").unwrap_or(0.0) >= 1.0);
+
+    // Once the backfill thread lands the missing vector, a fresh query
+    // over the same terms combines.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let metrics = get(server.addr, "/metrics").body;
+        if metric_value(&metrics, "orex_server_backfill_built").unwrap_or(0.0) >= 1.0 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "backfill never completed:\n{metrics}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let after = post(
+        server.addr,
+        "/query",
+        &format!("{{\"query\": \"{} {}\"}}", terms[1], terms[2]),
+    );
+    assert_eq!(after.status, 200, "{}", after.body);
+    assert_eq!(
+        after.json().get("combined").and_then(Value::as_bool),
+        Some(true),
+        "backfilled term must combine"
+    );
+
+    drop(server);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn mismatched_precompute_artifact_is_refused_at_bind() {
+    let _guard = serial();
+    let (system, _) = fixture();
+    // Right dimensions, wrong dataset hash: bind must fail loudly
+    // rather than serve rankings computed for another graph.
+    let store = orex_store::PrecomputedRanks::new(
+        0x0BAD_CAFE,
+        system.graph().node_count(),
+        system.config().rank.damping,
+        system.config().rank.epsilon,
+    );
+    let path = std::env::temp_dir().join(format!("orex-e2e-badhash-{}.bin", std::process::id()));
+    store.save(&path).expect("save artifact");
+    let mut config = TestServer::config();
+    config.precompute_path = Some(path.clone());
+    let err = match Server::bind(fixture().0, config) {
+        Ok(_) => panic!("bind must refuse the artifact"),
+        Err(e) => e,
+    };
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    let _ = std::fs::remove_file(&path);
+}
+
 #[test]
 fn graceful_shutdown_reports_clean_exit() {
     let _guard = serial();

@@ -13,12 +13,14 @@
 
 mod codec;
 mod error;
+mod precompute;
 mod rank_cache;
 mod snapshot;
 mod text_format;
 
 pub use codec::{fnv1a, Reader, Writer, FORMAT_VERSION};
 pub use error::{Result, StoreError};
+pub use precompute::{term_base, PrecomputedRanks};
 pub use rank_cache::{RankCache, GLOBAL_KEY};
 pub use snapshot::{
     decode_graph, decode_rates, encode_graph, encode_rates, load_graph, load_rates, save_graph,

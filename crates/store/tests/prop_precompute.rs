@@ -1,0 +1,118 @@
+//! Property-based check of the Linearity combination (Section 6.2):
+//! for ANY multi-keyword query covered by the precomputed store — any
+//! subset of stored terms, any positive weights — the combined vector
+//! matches a live power iteration within the convergence epsilon (plus
+//! f32 storage rounding).
+
+use orex_authority::{object_rank2, RankParams, TransitionMatrix};
+use orex_core::{ObjectRankSystem, SystemConfig};
+use orex_datagen::{generate_dblp, DblpConfig, TextConfig};
+use orex_ir::{Okapi, QueryVector};
+use orex_store::PrecomputedRanks;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One system + precomputed store shared by every proptest case: the
+/// build is the expensive part, the property varies only the query.
+struct Fixture {
+    system: ObjectRankSystem,
+    params: RankParams,
+    store: PrecomputedRanks,
+    terms: Vec<String>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let d = generate_dblp(
+            "prop-precompute",
+            &DblpConfig {
+                papers: 200,
+                authors: 80,
+                conferences: 3,
+                years_per_conference: 3,
+                text: TextConfig {
+                    vocab_size: 500,
+                    topics: 5,
+                    ..TextConfig::default()
+                },
+                ..DblpConfig::default()
+            },
+        );
+        let system = ObjectRankSystem::new(d.graph, d.ground_truth, SystemConfig::default());
+        let params = RankParams {
+            epsilon: 1e-8,
+            max_iterations: 1000,
+            ..system.config().rank
+        };
+        let index = system.index();
+        let mut by_df: Vec<(u32, String)> = (0..index.vocabulary_size() as u32)
+            .map(|t| (index.df(t), index.term_text(t).to_string()))
+            .collect();
+        by_df.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+        let requested: Vec<String> = by_df.into_iter().take(24).map(|(_, t)| t).collect();
+        let matrix = TransitionMatrix::new(system.transfer(), system.initial_rates());
+        let store = PrecomputedRanks::build(
+            &matrix,
+            system.index(),
+            &Okapi::default(),
+            &requested,
+            &params,
+            42,
+        );
+        let terms: Vec<String> = store.terms().iter().map(|t| t.to_string()).collect();
+        assert!(terms.len() >= 8, "too few terms built for the property");
+        Fixture {
+            system,
+            params,
+            store,
+            terms,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn combined_matches_live_for_any_covered_query(
+        picks in proptest::collection::vec(0usize..8, 1..5),
+        weights in proptest::collection::vec(0.1f64..8.0, 4..5),
+    ) {
+        let fx = fixture();
+        let mut picks = picks;
+        picks.sort_unstable();
+        picks.dedup();
+        let pairs: Vec<(String, f64)> = picks
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (fx.terms[p].clone(), weights[i % weights.len()]))
+            .collect();
+        let qv = QueryVector::from_weights(pairs);
+        prop_assert!(fx.store.covers(&qv, fx.system.index()));
+        let combined = fx.store.combine(&qv, &Okapi::default()).unwrap();
+        let matrix = TransitionMatrix::new(fx.system.transfer(), fx.system.initial_rates());
+        let live = object_rank2(
+            &matrix,
+            fx.system.index(),
+            &qv,
+            &Okapi::default(),
+            &fx.params,
+            None,
+        )
+        .unwrap();
+        let diff: f64 = combined
+            .iter()
+            .zip(&live.scores)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        // Convex combination of vectors each within eps of their
+        // fixpoint, plus f32 storage rounding of unit-scale scores.
+        prop_assert!(
+            diff < fx.params.epsilon * 10.0 + 1e-4,
+            "L1 divergence {} for query {:?}",
+            diff,
+            qv
+        );
+    }
+}
