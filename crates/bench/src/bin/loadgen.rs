@@ -4,8 +4,9 @@
 //! (drawn from a small keyword pool so the result cache gets hits),
 //! `GET /explain/<session>/<node>` on the top result, and
 //! `POST /feedback/<session>` — from many concurrent connections, then
-//! reports per-endpoint latency percentiles and error counts as the
-//! usual results JSON (`results/loadgen.json`).
+//! reports a per-endpoint RED summary (request count, rate, 5xx
+//! errors, latency percentiles) as the usual results JSON
+//! (`results/loadgen.json`).
 //!
 //! Two modes:
 //! - default: spawns an in-process server on an ephemeral loopback port,
@@ -21,8 +22,9 @@
 //! up, counting `server.access` records and surfacing any ERROR-level
 //! record the status codes may have hidden.
 //!
-//! Exits nonzero on any dropped connection, 5xx response, or
-//! ERROR-level log record.
+//! Exits nonzero on any dropped connection, 5xx response, ERROR-level
+//! log record, or burning SLO (scraped from `/debug/status` while the
+//! server is still up).
 //!
 //! Run: `cargo run -p orex-bench --release --bin loadgen
 //!       [-- --connections 64 --rounds 3 --scale 0.05 [--addr H:P]
@@ -321,6 +323,31 @@ fn main() {
         }
     };
 
+    // SLO burn-rate gate: scrape the status board while the server is
+    // still up. A burning SLO (both burn-rate windows over 1.0) means
+    // the workload ate error budget faster than the objective allows —
+    // that fails the run even when no individual request failed hard.
+    let burning_slos: Vec<String> = match get(addr, "/debug/status?format=json") {
+        Some((200, body)) => serde_json::from_str(&body)
+            .ok()
+            .and_then(|v: serde_json::Value| {
+                v.get("slos").and_then(|s| s.as_array()).map(|slos| {
+                    slos.iter()
+                        .filter(|s| s.get("burning").and_then(|b| b.as_bool()) == Some(true))
+                        .filter_map(|s| s.get("name").and_then(|n| n.as_str()).map(String::from))
+                        .collect()
+                })
+            })
+            .unwrap_or_default(),
+        other => {
+            eprintln!("[loadgen] /debug/status scrape failed: {other:?}");
+            Vec::new()
+        }
+    };
+    for name in &burning_slos {
+        eprintln!("[loadgen] SLO burning: {name}");
+    }
+
     // Graceful shutdown of the in-process server: drains in-flight
     // requests; a clean Ok(()) is part of what CI asserts.
     let clean_shutdown = match (shutdown, server_thread) {
@@ -332,33 +359,46 @@ fn main() {
     };
 
     let tally = tally.into_inner().unwrap();
-    let mut by_op: BTreeMap<&'static str, Vec<u64>> = BTreeMap::new();
+    // Per-endpoint RED aggregation: latencies plus 5xx counts, keyed by
+    // operation name.
+    let mut by_op: BTreeMap<&'static str, (Vec<u64>, u64)> = BTreeMap::new();
     let mut statuses: BTreeMap<String, u64> = BTreeMap::new();
     let mut server_errors = 0u64;
     for s in &tally.samples {
-        by_op.entry(s.op.name()).or_default().push(s.latency_us);
+        let entry = by_op.entry(s.op.name()).or_default();
+        entry.0.push(s.latency_us);
         *statuses.entry(format!("{}", s.status)).or_insert(0) += 1;
         if s.status >= 500 {
+            entry.1 += 1;
             server_errors += 1;
         }
     }
 
     let mut ops = serde_json::Map::new();
-    for (op, mut latencies) in by_op {
+    for (op, (mut latencies, errors_5xx)) in by_op {
         latencies.sort_unstable();
+        let rate_per_s = if wall.as_secs_f64() > 0.0 {
+            latencies.len() as f64 / wall.as_secs_f64()
+        } else {
+            0.0
+        };
         println!(
-            "{op:>9}: {:>5} requests  p50 {:>7}us  p95 {:>7}us  max {:>7}us",
+            "{op:>9}: {:>5} requests ({rate_per_s:>6.1}/s)  {errors_5xx} 5xx  p50 {:>7}us  p95 {:>7}us  p99 {:>7}us  max {:>7}us",
             latencies.len(),
             percentile(&latencies, 0.50),
             percentile(&latencies, 0.95),
+            percentile(&latencies, 0.99),
             latencies.last().copied().unwrap_or(0),
         );
         ops.insert(
             op.to_string(),
             serde_json::json!({
                 "requests": latencies.len() as u64,
+                "rate_per_s": rate_per_s,
+                "errors_5xx": errors_5xx,
                 "p50_us": percentile(&latencies, 0.50),
                 "p95_us": percentile(&latencies, 0.95),
+                "p99_us": percentile(&latencies, 0.99),
                 "max_us": latencies.last().copied().unwrap_or(0),
             }),
         );
@@ -368,7 +408,7 @@ fn main() {
         status_map.insert(code.clone(), serde_json::Value::from(*n));
     }
     println!(
-        "   totals: {} requests in {:.2?}, {} dropped, {} server errors, {} logged errors, {} access-log records, {} combined responses, clean shutdown: {clean_shutdown}",
+        "   totals: {} requests in {:.2?}, {} dropped, {} server errors, {} logged errors, {} access-log records, {} combined responses, {} burning SLOs, clean shutdown: {clean_shutdown}",
         tally.samples.len(),
         wall,
         tally.dropped,
@@ -376,6 +416,7 @@ fn main() {
         log_errors,
         access_records,
         tally.combined,
+        burning_slos.len(),
     );
 
     write_json(
@@ -393,14 +434,22 @@ fn main() {
             "server_errors": server_errors,
             "log_errors": log_errors,
             "access_log_records": access_records,
+            "burning_slos": burning_slos.len() as u64,
             "clean_shutdown": clean_shutdown,
             "statuses": serde_json::Value::Object(status_map),
             "endpoints": serde_json::Value::Object(ops),
         }),
     );
 
-    if tally.dropped > 0 || server_errors > 0 || log_errors > 0 || !clean_shutdown {
-        eprintln!("[loadgen] FAILED: drops, server errors, or ERROR log records present");
+    if tally.dropped > 0
+        || server_errors > 0
+        || log_errors > 0
+        || !burning_slos.is_empty()
+        || !clean_shutdown
+    {
+        eprintln!(
+            "[loadgen] FAILED: drops, server errors, ERROR log records, or burning SLOs present"
+        );
         std::process::exit(1);
     }
 }

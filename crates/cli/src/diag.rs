@@ -1,0 +1,490 @@
+//! The `orex profile` and `orex top` subcommands: operator views over a
+//! running server's continuous profiler and status board.
+//!
+//! `orex profile` pulls folded span stacks from `GET /profile` (or reads
+//! a previously captured folded file) and renders a top-N hot-span
+//! table, the raw folded text for flamegraph tooling, or Chrome
+//! trace-event JSON. `orex top` polls `GET /debug/status?format=json`
+//! and renders the RED rows, occupancy, and SLO burn rates as a
+//! terminal dashboard:
+//!
+//! ```text
+//! orex profile --addr 127.0.0.1:7474 --seconds 30 --top 10
+//! orex profile --addr 127.0.0.1:7474 --format folded --out profile.folded
+//! orex top --addr 127.0.0.1:7474 --interval-ms 1000
+//! ```
+
+use orex_server::sparkline;
+use orex_telemetry::ProfileSnapshot;
+use std::fmt::Write as _;
+use std::io::{Read as _, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::subcommands::SUBCOMMAND_HELP;
+
+/// Address used when `--addr` is omitted: the `orex serve` default.
+const DEFAULT_ADDR: &str = "127.0.0.1:7474";
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// One HTTP/1.1 GET over a fresh connection (the server closes per
+/// request). Returns `(status, body)`.
+fn http_get(addr: &str, path: &str) -> Result<(u16, String), String> {
+    let sock = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("resolving {addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("resolving {addr}: no usable address"))?;
+    let mut stream = TcpStream::connect_timeout(&sock, Duration::from_secs(5))
+        .map_err(|e| format!("connecting {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .and_then(|()| stream.set_write_timeout(Some(Duration::from_secs(30))))
+        .map_err(|e| format!("{addr}: {e}"))?;
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: orex\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .map_err(|e| format!("{addr}: sending request: {e}"))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("{addr}: reading response: {e}"))?;
+    let text = String::from_utf8_lossy(&raw);
+    let status: u16 = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("{addr}: malformed HTTP response"))?;
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+/// Renders the top-`n` hot spans of a snapshot as an aligned table.
+fn render_hot(snapshot: &ProfileSnapshot, n: usize) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{} samples", snapshot.samples);
+    // Folded text carries no rate/window metadata, so a parsed snapshot
+    // has hz = seconds = 0; only print what is actually known.
+    if snapshot.seconds > 0 {
+        let _ = write!(out, " over {}s", snapshot.seconds);
+    }
+    if snapshot.hz > 0 {
+        let _ = write!(out, " at {} Hz", snapshot.hz);
+    }
+    let _ = writeln!(out, " ({} distinct stacks)", snapshot.folded.len());
+    if snapshot.samples == 0 {
+        let _ = writeln!(
+            out,
+            "no samples collected (is the workload idle, or the window empty?)"
+        );
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "{:>8} {:>6}  {:>8} {:>6}  span",
+        "self", "self%", "total", "total%"
+    );
+    let total = snapshot.samples as f64;
+    for h in snapshot.hot(n) {
+        let _ = writeln!(
+            out,
+            "{:>8} {:>5.1}%  {:>8} {:>5.1}%  {}",
+            h.self_samples,
+            h.self_samples as f64 / total * 100.0,
+            h.total_samples,
+            h.total_samples as f64 / total * 100.0,
+            h.name
+        );
+    }
+    out
+}
+
+/// `orex profile [--addr A] [--in FILE] [--seconds N]
+/// [--format text|folded|chrome] [--top N] [--out FILE]` — fetch the
+/// continuous profiler's folded stacks from a running server (or read a
+/// captured folded file / stdin with `--in`) and render them. Returns
+/// the process exit code.
+pub fn run_profile(
+    args: &[String],
+    out: &mut dyn Write,
+    err: &mut dyn Write,
+) -> std::io::Result<i32> {
+    let format = flag_value(args, "--format").unwrap_or_else(|| "text".into());
+    if !matches!(format.as_str(), "text" | "folded" | "chrome") {
+        writeln!(
+            err,
+            "profile: unknown format '{format}' (text|folded|chrome)"
+        )?;
+        return Ok(2);
+    }
+    let seconds: u64 = match flag_value(args, "--seconds").map(|s| s.parse()) {
+        None => 10,
+        Some(Ok(v)) => v,
+        Some(Err(_)) => {
+            writeln!(err, "profile: --seconds expects an unsigned integer")?;
+            return Ok(2);
+        }
+    };
+    let top: usize = match flag_value(args, "--top").map(|s| s.parse()) {
+        None => 15,
+        Some(Ok(v)) => v,
+        Some(Err(_)) => {
+            writeln!(err, "profile: --top expects an unsigned integer")?;
+            return Ok(2);
+        }
+    };
+
+    // `--in` reads a captured folded file ('-' = stdin); otherwise the
+    // stacks come live from `GET /profile` on `--addr`.
+    let folded = match flag_value(args, "--in") {
+        Some(path) if path != "-" => match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                writeln!(err, "profile: reading {path}: {e}")?;
+                return Ok(2);
+            }
+        },
+        Some(_) => {
+            let mut buf = String::new();
+            std::io::stdin().read_to_string(&mut buf)?;
+            buf
+        }
+        None => {
+            let addr = flag_value(args, "--addr").unwrap_or_else(|| DEFAULT_ADDR.into());
+            match http_get(&addr, &format!("/profile?seconds={seconds}&format=folded")) {
+                Ok((200, body)) => body,
+                Ok((status, body)) => {
+                    writeln!(err, "profile: {addr} answered {status}: {}", body.trim())?;
+                    return Ok(1);
+                }
+                Err(msg) => {
+                    writeln!(err, "profile: {msg}\n\n{SUBCOMMAND_HELP}")?;
+                    return Ok(1);
+                }
+            }
+        }
+    };
+
+    let snapshot = ProfileSnapshot::from_folded(&folded);
+    let rendered = match format.as_str() {
+        "folded" => snapshot.to_folded(),
+        "chrome" => snapshot.to_chrome(),
+        _ => render_hot(&snapshot, top),
+    };
+    match flag_value(args, "--out") {
+        Some(path) if path != "-" => {
+            std::fs::write(&path, rendered.as_bytes()).map_err(|e| {
+                std::io::Error::new(e.kind(), format!("profile: writing {path}: {e}"))
+            })?;
+            writeln!(err, "[profile] wrote {path}")?;
+        }
+        _ => write!(out, "{rendered}")?,
+    }
+    Ok(0)
+}
+
+fn fmt_count(v: f64) -> String {
+    if v >= 1_000_000.0 {
+        format!("{:.1}M", v / 1_000_000.0)
+    } else if v >= 10_000.0 {
+        format!("{:.0}k", v / 1_000.0)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+/// Renders a `/debug/status?format=json` document as a terminal
+/// dashboard: RED table, occupancy line, SLO burn rates, sparklines.
+fn render_status(addr: &str, doc: &serde_json::Value) -> String {
+    let mut out = String::new();
+    let uptime = doc.get("uptime_s").and_then(|v| v.as_f64()).unwrap_or(0.0);
+    let recent_errors = doc
+        .get("recent_errors")
+        .and_then(|v| v.as_u64())
+        .unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "orex top — {addr}   up {uptime:.0}s   recent errors: {recent_errors}"
+    );
+    let _ = writeln!(out);
+
+    let _ = writeln!(
+        out,
+        "  {:<10} {:>9} {:>8} {:>6} {:>10} {:>10}",
+        "endpoint", "requests", "req/s", "5xx", "p50(us)", "p95(us)"
+    );
+    for row in doc
+        .get("endpoints")
+        .and_then(|v| v.as_array())
+        .map(Vec::as_slice)
+        .unwrap_or_default()
+    {
+        let s = |k: &str| row.get(k).and_then(|v| v.as_str()).unwrap_or("?");
+        let f = |k: &str| row.get(k).and_then(|v| v.as_f64()).unwrap_or(0.0);
+        let _ = writeln!(
+            out,
+            "  {:<10} {:>9} {:>8.1} {:>6} {:>10} {:>10}",
+            s("name"),
+            f("requests") as u64,
+            f("rate_per_s"),
+            f("errors_5xx") as u64,
+            fmt_count(f("p50_us")),
+            fmt_count(f("p95_us")),
+        );
+    }
+
+    if let Some(occ) = doc.get("occupancy") {
+        let g = |k: &str| occ.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "  occupancy: sessions {}  cache {}  precompute {}  traces {}  logs {}",
+            g("sessions"),
+            g("cache"),
+            g("precompute_terms"),
+            g("traces"),
+            g("logs"),
+        );
+    }
+
+    if let Some(slos) = doc.get("slos").and_then(|v| v.as_array()) {
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "  {:<22} {:>9} {:>11} {:>10} state",
+            "slo", "objective", "burn short", "burn long"
+        );
+        for s in slos {
+            let name = s.get("name").and_then(|v| v.as_str()).unwrap_or("?");
+            let f = |k: &str| s.get(k).and_then(|v| v.as_f64()).unwrap_or(0.0);
+            let burning = s.get("burning").and_then(|v| v.as_bool()).unwrap_or(false);
+            let _ = writeln!(
+                out,
+                "  {:<22} {:>9.4} {:>11.2} {:>10.2} {}",
+                name,
+                f("objective"),
+                f("burn_short"),
+                f("burn_long"),
+                if burning { "BURNING" } else { "ok" },
+            );
+        }
+    }
+
+    if let Some(history) = doc.get("history") {
+        let series = |k: &str| -> Vec<f64> {
+            history
+                .get(k)
+                .and_then(|v| v.as_array())
+                .map(|a| a.iter().filter_map(|v| v.as_f64()).collect())
+                .unwrap_or_default()
+        };
+        let rates = series("requests_per_s");
+        let p95s = series("request_p95_us");
+        if !rates.is_empty() {
+            let _ = writeln!(out);
+            let _ = writeln!(
+                out,
+                "  req/s   {}  (peak {:.1})",
+                sparkline(&rates),
+                rates.iter().cloned().fold(0.0, f64::max)
+            );
+            let _ = writeln!(
+                out,
+                "  p95(us) {}  (peak {})",
+                sparkline(&p95s),
+                fmt_count(p95s.iter().cloned().fold(0.0, f64::max))
+            );
+        }
+    }
+    out
+}
+
+/// `orex top [--addr A] [--interval-ms N] [--once]` — poll a running
+/// server's `/debug/status?format=json` and render it as a terminal
+/// dashboard; `--once` prints a single frame and exits (for scripts and
+/// CI). Returns the process exit code.
+pub fn run_top(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> std::io::Result<i32> {
+    let addr = flag_value(args, "--addr").unwrap_or_else(|| DEFAULT_ADDR.into());
+    let interval: u64 = match flag_value(args, "--interval-ms").map(|s| s.parse()) {
+        None => 2000,
+        Some(Ok(v)) => v,
+        Some(Err(_)) => {
+            writeln!(err, "top: --interval-ms expects an unsigned integer")?;
+            return Ok(2);
+        }
+    };
+    let once = args.iter().any(|a| a == "--once");
+
+    loop {
+        let doc = match http_get(&addr, "/debug/status?format=json") {
+            Ok((200, body)) => match serde_json::from_str(&body) {
+                Ok(v) => v,
+                Err(e) => {
+                    writeln!(err, "top: {addr} sent unparseable status JSON: {e}")?;
+                    return Ok(1);
+                }
+            },
+            Ok((status, body)) => {
+                writeln!(err, "top: {addr} answered {status}: {}", body.trim())?;
+                return Ok(1);
+            }
+            Err(msg) => {
+                writeln!(err, "top: {msg}\n\n{SUBCOMMAND_HELP}")?;
+                return Ok(1);
+            }
+        };
+        if once {
+            write!(out, "{}", render_status(&addr, &doc))?;
+            return Ok(0);
+        }
+        // Clear the terminal between frames so the dashboard redraws in
+        // place, like top(1).
+        write!(out, "\x1b[2J\x1b[H{}", render_status(&addr, &doc))?;
+        out.flush()?;
+        std::thread::sleep(Duration::from_millis(interval.max(100)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn run(f: impl FnOnce(&mut Vec<u8>, &mut Vec<u8>) -> std::io::Result<i32>) -> (i32, String) {
+        let mut out = Vec::new();
+        let mut err = Vec::new();
+        let code = f(&mut out, &mut err).unwrap();
+        (code, String::from_utf8(out).unwrap())
+    }
+
+    fn folded_fixture(name: &str) -> String {
+        let dir = std::env::temp_dir().join("orex-cli-diag-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(
+            &path,
+            "server.request;server.query_us 30\nserver.request 10\nauthority.power 60\n",
+        )
+        .unwrap();
+        path.display().to_string()
+    }
+
+    #[test]
+    fn profile_renders_top_table_from_folded_file() {
+        let path = folded_fixture("table.folded");
+        let (code, out) = run(|o, e| run_profile(&args(&["--in", &path]), o, e));
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("100 samples"), "{out}");
+        // authority.power: 60 self of 100 total samples.
+        assert!(out.contains("60.0%"), "{out}");
+        assert!(out.contains("authority.power"), "{out}");
+        // server.request: 10 self, 40 on-stack.
+        assert!(out.contains("server.request"), "{out}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn profile_reemits_folded_and_chrome_views() {
+        let path = folded_fixture("formats.folded");
+        let (code, out) =
+            run(|o, e| run_profile(&args(&["--in", &path, "--format", "folded"]), o, e));
+        assert_eq!(code, 0);
+        assert!(out.contains("server.request;server.query_us 30"), "{out}");
+
+        let (code, out) =
+            run(|o, e| run_profile(&args(&["--in", &path, "--format", "chrome"]), o, e));
+        assert_eq!(code, 0);
+        let parsed: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
+        assert!(
+            parsed
+                .get("traceEvents")
+                .and_then(|e| e.as_array())
+                .is_some_and(|e| !e.is_empty()),
+            "{out}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn profile_rejects_bad_flags() {
+        for bad in [
+            vec!["--format", "svg"],
+            vec!["--seconds", "soon"],
+            vec!["--top", "-1"],
+            vec!["--in", "/nonexistent/orex.folded"],
+        ] {
+            let list: Vec<&str> = bad.clone();
+            let (code, _) = run(|o, e| run_profile(&args(&list), o, e));
+            assert_eq!(code, 2, "args {bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn profile_unreachable_server_exits_1() {
+        // Port 9 (discard) on loopback is not listening in the test
+        // environment; connect fails fast.
+        let (code, _) = run(|o, e| run_profile(&args(&["--addr", "127.0.0.1:9"]), o, e));
+        assert_eq!(code, 1);
+    }
+
+    #[test]
+    fn top_rejects_bad_flags_and_unreachable_server() {
+        let (code, _) = run(|o, e| run_top(&args(&["--interval-ms", "soon"]), o, e));
+        assert_eq!(code, 2);
+        let (code, _) = run(|o, e| run_top(&args(&["--addr", "127.0.0.1:9", "--once"]), o, e));
+        assert_eq!(code, 1);
+    }
+
+    #[test]
+    fn render_status_formats_red_occupancy_slos_and_sparklines() {
+        let doc: serde_json::Value = serde_json::from_str(
+            r#"{
+                "uptime_s": 12.7,
+                "recent_errors": 2,
+                "endpoints": [
+                    {"name":"request","requests":120,"rate_per_s":3.5,
+                     "errors_5xx":1,"p50_us":900.0,"p95_us":42000.0},
+                    {"name":"query","requests":80,"rate_per_s":2.1,
+                     "errors_5xx":0,"p50_us":1500.0,"p95_us":2500000.0}
+                ],
+                "occupancy": {"sessions":4,"cache":7,"precompute_terms":0,
+                              "traces":12,"logs":300},
+                "slos": [
+                    {"name":"request-availability","objective":0.999,
+                     "burn_short":0.0,"burn_long":0.0,"burning":false},
+                    {"name":"query-latency","objective":0.99,
+                     "burn_short":12.5,"burn_long":3.2,"burning":true}
+                ],
+                "history": {"samples":3,
+                            "requests_per_s":[0.0,2.0,4.0],
+                            "request_p95_us":[100.0,200.0,400.0]}
+            }"#,
+        )
+        .unwrap();
+        let text = render_status("127.0.0.1:7474", &doc);
+        assert!(text.contains("up 13s"), "{text}");
+        assert!(text.contains("recent errors: 2"), "{text}");
+        assert!(text.contains("request"), "{text}");
+        assert!(
+            text.contains("2.5M"),
+            "large p95 rendered compactly: {text}"
+        );
+        assert!(text.contains("sessions 4"), "{text}");
+        assert!(text.contains("BURNING"), "{text}");
+        assert!(text.contains("ok"), "{text}");
+        assert!(text.contains("req/s"), "{text}");
+        assert!(text.contains('█'), "sparkline present: {text}");
+    }
+}

@@ -12,6 +12,7 @@
 
 mod app;
 mod command;
+mod diag;
 mod logs;
 mod precompute;
 mod serve;
@@ -19,6 +20,7 @@ mod subcommands;
 
 pub use app::App;
 pub use command::{parse, Command, ParseError, HELP};
+pub use diag::{run_profile, run_top};
 pub use logs::run_logs;
 pub use precompute::run_precompute;
 pub use serve::run_serve;

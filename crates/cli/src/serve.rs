@@ -35,10 +35,13 @@ fn flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, 
 /// `orex serve [--addr A] [--preset NAME] [--scale F] [--threads N]
 /// [--cache-entries N] [--session-ttl SECS] [--max-sessions N]
 /// [--max-body-kb N] [--timeout-ms N] [--trace-sample N]
-/// [--trace-slow-ms N] [--max-logs N] [--slow-ms N]
-/// [--precompute FILE] [--no-backfill]` — serve the interactive loop
-/// over HTTP, optionally combining precomputed rank vectors from an
-/// `orex precompute` artifact. Returns the process exit code.
+/// [--trace-slow-ms N] [--max-traces N] [--max-logs N] [--slow-ms N]
+/// [--profile-hz N] [--status-interval-ms N] [--precompute FILE]
+/// [--no-backfill]` — serve the interactive loop over HTTP, optionally
+/// combining precomputed rank vectors from an `orex precompute`
+/// artifact; `--profile-hz` tunes the continuous profiler's sampling
+/// rate (0 disables it, `OREX_PROFILE_HZ` overrides). Returns the
+/// process exit code.
 pub fn run_serve(
     args: &[String],
     out: &mut dyn Write,
@@ -67,8 +70,17 @@ pub fn run_serve(
         if let Some(ms) = flag::<u64>(args, "--timeout-ms")? {
             config.io_timeout = Duration::from_millis(ms.max(1));
         }
+        if let Some(max) = flag::<usize>(args, "--max-traces")? {
+            config.max_traces = max;
+        }
         if let Some(max) = flag::<usize>(args, "--max-logs")? {
             config.max_logs = max;
+        }
+        if let Some(hz) = flag::<u64>(args, "--profile-hz")? {
+            config.profile_hz = hz;
+        }
+        if let Some(ms) = flag::<u64>(args, "--status-interval-ms")? {
+            config.status_interval = Duration::from_millis(ms.max(100));
         }
         if let Some(ms) = flag::<u64>(args, "--slow-ms")? {
             config.slow_request = Duration::from_millis(ms.max(1));
@@ -189,6 +201,9 @@ mod tests {
             vec!["--scale", "huge"],
             vec!["--preset", "nope"],
             vec!["--timeout-ms"],
+            vec!["--max-traces", "lots"],
+            vec!["--profile-hz", "fast"],
+            vec!["--status-interval-ms", "-2"],
         ] {
             let mut out = Vec::new();
             let mut err = Vec::new();

@@ -13,7 +13,7 @@ use orex_core::{ObjectRankSystem, QuerySession, SystemConfig};
 use orex_datagen::Preset;
 use orex_ir::Query;
 use orex_telemetry::export::{to_chrome_trace, to_folded_stacks};
-use orex_telemetry::{HistogramSummary, Snapshot, BUCKETS};
+use orex_telemetry::{Exemplar, HistogramSummary, Snapshot, BUCKETS};
 use std::io::Write;
 
 /// Usage text for the non-interactive subcommands (the REPL has its own
@@ -34,18 +34,35 @@ usage:
   orex serve [--addr A] [--preset NAME] [--scale F] [--threads N]
              [--cache-entries N] [--session-ttl SECS] [--max-sessions N]
              [--max-body-kb N] [--timeout-ms N] [--trace-sample N]
-             [--trace-slow-ms N] [--max-logs N] [--slow-ms N]
+             [--trace-slow-ms N] [--max-traces N] [--max-logs N]
+             [--slow-ms N] [--profile-hz N] [--status-interval-ms N]
              [--precompute FILE] [--no-backfill]
                              serve the interactive query/explain/feedback
                              loop over HTTP (POST /query, GET /explain/
                              <session>/<node>, POST /feedback/<session>,
-                             GET /healthz|/metrics|/trace/<id>|/logs);
+                             GET /healthz|/metrics|/trace/<id>|/logs|
+                             /profile|/debug/status);
                              with --precompute, covered queries are
                              answered by exact linear combination of the
                              artifact's vectors and uncovered terms are
                              backfilled in the background (--no-backfill
-                             disables); SIGTERM or ctrl-c drains
-                             in-flight requests
+                             disables); --profile-hz tunes the continuous
+                             profiler's sampling rate (0 disables it);
+                             SIGTERM or ctrl-c drains in-flight requests
+  orex profile [--addr A] [--in FILE] [--seconds N]
+               [--format text|folded|chrome] [--top N] [--out FILE]
+                             fetch the continuous profiler's folded span
+                             stacks from a running server (or read a
+                             captured folded file / stdin with --in) and
+                             render a top-N hot-span table, raw folded
+                             stacks for flamegraph tooling, or Chrome
+                             trace-event JSON
+  orex top [--addr A] [--interval-ms N] [--once]
+                             poll GET /debug/status on a running server
+                             and render per-endpoint RED metrics,
+                             occupancy, and SLO burn rates as a terminal
+                             dashboard; --once prints a single frame
+                             (for scripts and CI)
   orex precompute [--preset NAME] [--scale F] [--top N] [--out FILE]
                   [--manifest FILE] [--check K] [--stats FILE]
                              build single-keyword rank vectors for the
@@ -347,6 +364,25 @@ pub fn snapshot_from_json(v: &serde_json::Value) -> Result<Snapshot, String> {
                     summary.buckets[i] = b.as_u64().unwrap_or(0);
                 }
             }
+            // Sparse exemplar array: [{"bucket":i,"trace":t,"value":v}].
+            // Kept so a re-export (`orex stats --snapshot f.json --format
+            // prom`) preserves the trace-id links.
+            if let Some(exemplars) = h.get("exemplars").and_then(|v| v.as_array()) {
+                for e in exemplars {
+                    let Some(i) = e.get("bucket").and_then(|v| v.as_u64()) else {
+                        continue;
+                    };
+                    let Some(trace) = e.get("trace").and_then(|v| v.as_u64()) else {
+                        continue;
+                    };
+                    if let Some(slot) = summary.exemplars.get_mut(i as usize) {
+                        *slot = Some(Exemplar {
+                            trace,
+                            value: e.get("value").and_then(|v| v.as_f64()).unwrap_or(0.0),
+                        });
+                    }
+                }
+            }
             snapshot.histograms.insert(name.clone(), summary);
         }
     }
@@ -561,7 +597,9 @@ mod tests {
         recorder.counter("a.count").add(7);
         recorder.gauge("b.level").set(2.5);
         recorder.histogram("c.us").record(12.0);
-        recorder.histogram("c.us").record(48.0);
+        recorder
+            .histogram("c.us")
+            .record_with_exemplar(48.0, Some(901));
         let snapshot = recorder.snapshot();
         let parsed =
             snapshot_from_json(&serde_json::from_str(&snapshot.to_json_pretty()).unwrap()).unwrap();
@@ -575,5 +613,17 @@ mod tests {
             parsed.histograms["c.us"].mean,
             snapshot.histograms["c.us"].mean
         );
+        // Exemplar trace links survive the roundtrip, so a prom
+        // re-export of a saved snapshot keeps its `# {trace_id=...}`.
+        assert_eq!(
+            parsed.histograms["c.us"].exemplars,
+            snapshot.histograms["c.us"].exemplars
+        );
+        assert!(parsed.histograms["c.us"]
+            .exemplars
+            .iter()
+            .flatten()
+            .any(|e| e.trace == 901 && e.value == 48.0));
+        assert!(parsed.to_prometheus().contains(r#"# {trace_id="901"} 48"#));
     }
 }

@@ -20,6 +20,9 @@ pub enum ServerError {
     /// The referenced resource does not exist (expired session, evicted
     /// trace): 404.
     NotFound(String),
+    /// The feature is switched off in this process (e.g. `/profile` with
+    /// the sampler disabled): 503.
+    Unavailable(String),
 }
 
 impl ServerError {
@@ -29,6 +32,7 @@ impl ServerError {
             ServerError::LockPoisoned(_) => 500,
             ServerError::BadRequest(_) => 400,
             ServerError::NotFound(_) => 404,
+            ServerError::Unavailable(_) => 503,
         }
     }
 
@@ -40,9 +44,9 @@ impl ServerError {
                 status,
                 &format!("internal error: {what} state is unavailable"),
             ),
-            ServerError::BadRequest(msg) | ServerError::NotFound(msg) => {
-                Response::error(status, &msg)
-            }
+            ServerError::BadRequest(msg)
+            | ServerError::NotFound(msg)
+            | ServerError::Unavailable(msg) => Response::error(status, &msg),
         }
     }
 
@@ -58,6 +62,7 @@ impl std::fmt::Display for ServerError {
             ServerError::LockPoisoned(what) => write!(f, "lock poisoned: {what}"),
             ServerError::BadRequest(msg) => write!(f, "bad request: {msg}"),
             ServerError::NotFound(msg) => write!(f, "not found: {msg}"),
+            ServerError::Unavailable(msg) => write!(f, "unavailable: {msg}"),
         }
     }
 }
@@ -73,6 +78,7 @@ mod tests {
         assert_eq!(ServerError::LockPoisoned("sessions").status(), 500);
         assert_eq!(ServerError::BadRequest("x".into()).status(), 400);
         assert_eq!(ServerError::NotFound("x".into()).status(), 404);
+        assert_eq!(ServerError::Unavailable("x".into()).status(), 503);
     }
 
     #[test]

@@ -144,27 +144,47 @@ pub struct Response {
     pub status: u16,
     /// `Content-Type` value.
     pub content_type: &'static str,
+    /// Extra response headers (name, value), written after `Content-Type`.
+    pub headers: Vec<(&'static str, String)>,
     /// Response body.
     pub body: Vec<u8>,
 }
 
 impl Response {
-    /// A JSON response.
-    pub fn json(status: u16, body: impl Into<String>) -> Self {
+    /// A response with the given content type and no extra headers.
+    pub fn new(status: u16, content_type: &'static str, body: impl Into<Vec<u8>>) -> Self {
         Self {
             status,
-            content_type: "application/json",
-            body: body.into().into_bytes(),
+            content_type,
+            headers: Vec::new(),
+            body: body.into(),
         }
+    }
+
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Self::new(status, "application/json", body.into().into_bytes())
     }
 
     /// A plain-text response.
     pub fn text(status: u16, body: impl Into<String>) -> Self {
-        Self {
+        Self::new(
             status,
-            content_type: "text/plain; charset=utf-8",
-            body: body.into().into_bytes(),
-        }
+            "text/plain; charset=utf-8",
+            body.into().into_bytes(),
+        )
+    }
+
+    /// An HTML response.
+    pub fn html(status: u16, body: impl Into<String>) -> Self {
+        Self::new(status, "text/html; charset=utf-8", body.into().into_bytes())
+    }
+
+    /// Adds one extra response header. Values must not contain CR/LF —
+    /// callers only pass values they format themselves.
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.headers.push((name, value.into()));
+        self
     }
 
     /// A JSON error `{"error": message}` with the given status.
@@ -190,13 +210,18 @@ impl Response {
 
     /// Writes the full `Connection: close` response to `stream`.
     pub fn write_to<S: Write>(&self, stream: &mut S) -> std::io::Result<()> {
-        let head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        use std::fmt::Write as _;
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
             self.status,
             self.reason(),
             self.content_type,
             self.body.len()
         );
+        for (name, value) in &self.headers {
+            let _ = write!(head, "{name}: {value}\r\n");
+        }
+        head.push_str("Connection: close\r\n\r\n");
         stream.write_all(head.as_bytes())?;
         stream.write_all(&self.body)?;
         stream.flush()
@@ -269,6 +294,25 @@ mod tests {
         assert!(s.contains("Content-Length: 3\r\n"));
         assert!(s.contains("Connection: close\r\n"));
         assert!(s.ends_with("\r\n\r\nok\n"));
+    }
+
+    #[test]
+    fn extra_headers_render_before_connection_close() {
+        let mut out = Vec::new();
+        Response::text(200, "ok")
+            .with_header("X-Orex-Log-Cursor", "17")
+            .write_to(&mut out)
+            .unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("X-Orex-Log-Cursor: 17\r\n"), "{s}");
+        let head = s.split("\r\n\r\n").next().unwrap();
+        assert!(head.ends_with("Connection: close"), "{head}");
+    }
+
+    #[test]
+    fn html_response_sets_content_type() {
+        let r = Response::html(200, "<html></html>");
+        assert_eq!(r.content_type, "text/html; charset=utf-8");
     }
 
     #[test]

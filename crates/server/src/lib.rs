@@ -18,6 +18,8 @@
 //! | `GET /metrics` | Prometheus text exposition of the global recorder |
 //! | `GET /trace/<id>` | Chrome trace-event JSON of an archived request trace |
 //! | `GET /logs?level=&since=&limit=` | JSON-lines tail of captured log records |
+//! | `GET /profile?seconds=&format=folded\|chrome` | continuous-profiler folded stacks / Chrome trace |
+//! | `GET /debug/status` | operator dashboard (HTML, or `?format=json`) with RED rows, occupancy, SLO burn rates |
 //!
 //! Sessions are stored as [`SessionSnapshot`](orex_core::SessionSnapshot)s
 //! (owned data) in a TTL + LRU table and resumed per request; results of
@@ -39,6 +41,7 @@ pub mod pool;
 pub mod ranks;
 pub mod server;
 pub mod sessions;
+pub mod status;
 pub mod traces;
 
 pub use cache::ResultCache;
@@ -49,4 +52,5 @@ pub use pool::ThreadPool;
 pub use ranks::{rates_fingerprint, CombineOutcome, RankStore};
 pub use server::{install_signal_handlers, Server, ServerConfig, ShutdownHandle};
 pub use sessions::SessionTable;
+pub use status::{sparkline, Occupancy, StatusBoard};
 pub use traces::TraceArchive;

@@ -71,6 +71,16 @@ impl LogArchive {
         out
     }
 
+    /// Capture sequence of the newest archived record — the cursor a
+    /// poller should resume from. `None` when nothing is archived.
+    pub fn newest_seq(&self) -> Option<u64> {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .back()
+            .map(|r| r.seq)
+    }
+
     /// Number of archived records.
     pub fn len(&self) -> usize {
         self.inner
@@ -145,5 +155,18 @@ mod tests {
         assert!(archive
             .query(Some(Level::Error), Some(7), Some(1))
             .is_empty());
+    }
+
+    #[test]
+    fn newest_seq_tracks_the_latest_record() {
+        let logger = Logger::new(64);
+        let archive = LogArchive::new(4);
+        assert_eq!(archive.newest_seq(), None);
+        archive.absorb(records(&logger, 0, 3));
+        let newest = archive.newest_seq().unwrap();
+        let all = archive.query(None, None, None);
+        assert_eq!(newest, all.last().unwrap().seq);
+        // A cursor past the newest seq matches nothing.
+        assert!(archive.query(None, Some(newest + 100), None).is_empty());
     }
 }

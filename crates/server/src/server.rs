@@ -13,6 +13,7 @@ use crate::logs::LogArchive;
 use crate::pool::ThreadPool;
 use crate::ranks::{CombineOutcome, RankStore};
 use crate::sessions::SessionTable;
+use crate::status::{Occupancy, StatusBoard};
 use crate::traces::TraceArchive;
 use orex_core::{ObjectRankSystem, QuerySession, SessionError, SessionSnapshot};
 use orex_graph::NodeId;
@@ -23,7 +24,7 @@ use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Tuning knobs for [`Server::bind`].
@@ -60,6 +61,14 @@ pub struct ServerConfig {
     /// later occurrences combine. Only meaningful with a precompute
     /// artifact loaded.
     pub backfill: bool,
+    /// Continuous-profiler sampling rate in Hz; 0 leaves the sampler
+    /// off (`GET /profile` then answers 503). The first component to
+    /// touch the global profiler fixes its rate, and `OREX_PROFILE_HZ`
+    /// overrides both.
+    pub profile_hz: u64,
+    /// Cadence of the background status collector that feeds
+    /// `/debug/status` history and evaluates SLO burn rates.
+    pub status_interval: Duration,
 }
 
 impl Default for ServerConfig {
@@ -77,6 +86,8 @@ impl Default for ServerConfig {
             slow_request: Duration::from_millis(500),
             precompute_path: None,
             backfill: true,
+            profile_hz: orex_telemetry::profile::DEFAULT_HZ,
+            status_interval: Duration::from_secs(2),
         }
     }
 }
@@ -88,6 +99,7 @@ struct ServerState {
     ranks: RankStore,
     traces: TraceArchive,
     logs: LogArchive,
+    status: StatusBoard,
     max_body_bytes: usize,
     slow_request: Duration,
 }
@@ -196,6 +208,7 @@ impl Server {
             ranks,
             traces: TraceArchive::new(config.max_traces),
             logs: LogArchive::new(config.max_logs),
+            status: StatusBoard::new(),
             max_body_bytes: config.max_body_bytes,
             slow_request: config.slow_request,
         });
@@ -225,6 +238,38 @@ impl Server {
     pub fn run(self) -> io::Result<()> {
         let mut pool = ThreadPool::new(self.config.threads)?;
         let telemetry = orex_telemetry::global();
+        // Continuous profiling: sample every thread's span stack so
+        // `GET /profile` always has recent history.
+        if self.config.profile_hz > 0 {
+            orex_telemetry::profiler_at(self.config.profile_hz).start();
+        }
+        // Background status collector: snapshots metrics into the status
+        // board's history ring and keeps SLO burn rates (and the
+        // `orex_slo_*` gauges on /metrics) current even when nobody polls
+        // /debug/status. Paced by a condvar so shutdown can interrupt a
+        // sleep (ORX005: no bare thread::sleep in this crate).
+        let collector_stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let collector_handle = {
+            let state = Arc::clone(&self.state);
+            let stop = Arc::clone(&collector_stop);
+            let interval = self.config.status_interval;
+            std::thread::Builder::new()
+                .name("orex-status".into())
+                .spawn(move || {
+                    let (lock, cv) = &*stop;
+                    loop {
+                        state.status.collect();
+                        let guard = lock.lock().unwrap_or_else(PoisonError::into_inner);
+                        let (guard, _timeout) = cv
+                            .wait_timeout(guard, interval)
+                            .unwrap_or_else(PoisonError::into_inner);
+                        if *guard {
+                            return;
+                        }
+                    }
+                })
+                .ok()
+        };
         // Background backfill: build vectors for uncovered query terms so
         // later occurrences of the same terms combine instead of iterate.
         let backfill_handle = if self.config.backfill && self.state.ranks.precomputed_terms() > 0 {
@@ -264,6 +309,14 @@ impl Server {
         // still enqueue) and wait for the builder to finish its batch.
         self.state.ranks.close_backfill();
         if let Some(handle) = backfill_handle {
+            let _ = handle.join();
+        }
+        {
+            let (lock, cv) = &*collector_stop;
+            *lock.lock().unwrap_or_else(PoisonError::into_inner) = true;
+            cv.notify_all();
+        }
+        if let Some(handle) = collector_handle {
             let _ = handle.join();
         }
         telemetry.counter("server.clean_shutdowns").incr();
@@ -358,28 +411,32 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState, io_timeout: Dur
     let tracer = orex_telemetry::tracer();
     let start = Instant::now();
 
-    let response = match read_request(&stream, state.max_body_bytes) {
+    let (response, sampled_trace) = match read_request(&stream, state.max_body_bytes) {
         Ok(request) => {
             telemetry.counter("server.requests").incr();
             // Root span of this request's trace; handler spans nest
             // under it. Dropped before the ring is drained below so the
             // archive sees the complete trace.
-            let response = {
+            let (response, sampled_trace) = {
                 let mut span = tracer.span("server.request");
                 if span.is_recording() {
                     span.attr_str("method", &request.method);
                     span.attr_str("path", &request.path);
                 }
                 let trace_id = span.trace_id().map(|t| t.0);
+                // Only sampled traces reach the archive, so only those
+                // make honest exemplars — an unsampled id would 404 on
+                // `GET /trace/<id>`.
+                let sampled_trace = if span.is_sampled() { trace_id } else { None };
                 let mut flags = QueryFlags::default();
                 let response = route(&request, state, trace_id, &mut flags);
                 // Emitted while the span is still open, so the record is
                 // stamped with this request's trace/span ids.
                 access_log(state, Some(&request), &response, &flags, start.elapsed());
-                response
+                (response, sampled_trace)
             };
             state.traces.absorb(tracer.drain());
-            response
+            (response, sampled_trace)
         }
         Err(ParseError::ConnectionClosed) => return,
         Err(ParseError::BodyTooLarge(_)) => {
@@ -392,7 +449,7 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState, io_timeout: Dur
                 &QueryFlags::default(),
                 start.elapsed(),
             );
-            response
+            (response, None)
         }
         Err(ParseError::Malformed(why)) => {
             telemetry.counter("server.requests").incr();
@@ -404,7 +461,7 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState, io_timeout: Dur
                 &QueryFlags::default(),
                 start.elapsed(),
             );
-            response
+            (response, None)
         }
         Err(ParseError::Io(_)) => {
             telemetry.counter("server.request_timeouts").incr();
@@ -416,13 +473,13 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState, io_timeout: Dur
                 &QueryFlags::default(),
                 start.elapsed(),
             );
-            response
+            (response, None)
         }
     };
 
     telemetry
         .histogram("server.request_us")
-        .record(start.elapsed().as_micros() as f64);
+        .record_with_exemplar(start.elapsed().as_micros() as f64, sampled_trace);
     telemetry
         .counter(&format!("server.responses_{}xx", response.status / 100))
         .incr();
@@ -473,13 +530,18 @@ fn access_log(
 
 /// Renders a handler result, logging every 5xx at ERROR — the request
 /// span is still open here, so the record carries the trace id that
-/// `GET /trace/<id>` serves.
-fn respond(result: Result<Response, ServerError>) -> Response {
+/// `GET /trace/<id>` serves. `endpoint` feeds the per-endpoint
+/// `server.<endpoint>_5xx` counter the availability SLOs read.
+fn respond(endpoint: &str, result: Result<Response, ServerError>) -> Response {
     result.unwrap_or_else(|e| {
         if e.status() >= 500 {
+            orex_telemetry::global()
+                .counter(&format!("server.{endpoint}_5xx"))
+                .incr();
             orex_telemetry::logger()
                 .error("server.error", format!("{e}"))
                 .field_u64("status", u64::from(e.status()))
+                .field_str("endpoint", endpoint)
                 .emit();
         }
         e.into_response()
@@ -507,17 +569,22 @@ fn route(
             let _span = orex_telemetry::global().span("server.metrics_us");
             Response::text(200, orex_telemetry::global().snapshot().to_prometheus())
         }
-        ("POST", ["query"]) => respond(handle_query(request, state, trace_id, flags)),
-        ("GET", ["explain", sid, node]) => respond(handle_explain(state, sid, node)),
-        ("POST", ["feedback", sid]) => respond(handle_feedback(request, state, sid)),
-        ("GET", ["trace", id]) => respond(handle_trace(state, id)),
-        ("GET", ["logs"]) => respond(handle_logs(state, query)),
-        ("POST", ["query" | "feedback", ..]) | ("GET", ["explain" | "trace" | "logs", ..]) => {
+        ("POST", ["query"]) => respond("query", handle_query(request, state, trace_id, flags)),
+        ("GET", ["explain", sid, node]) => respond("explain", handle_explain(state, sid, node)),
+        ("POST", ["feedback", sid]) => respond("feedback", handle_feedback(request, state, sid)),
+        ("GET", ["trace", id]) => respond("trace", handle_trace(state, id)),
+        ("GET", ["logs"]) => respond("logs", handle_logs(state, query)),
+        ("GET", ["profile"]) => respond("profile", handle_profile(query)),
+        ("GET", ["debug", "status"]) => respond("status", handle_status(state, query)),
+        ("POST", ["query" | "feedback", ..])
+        | ("GET", ["explain" | "trace" | "logs" | "profile" | "debug", ..]) => {
             Response::error(404, "no such route")
         }
-        (_, ["healthz" | "metrics" | "query" | "explain" | "feedback" | "trace" | "logs", ..]) => {
-            Response::error(405, "method not allowed")
-        }
+        (
+            _,
+            ["healthz" | "metrics" | "query" | "explain" | "feedback" | "trace" | "logs" | "profile"
+            | "debug", ..],
+        ) => Response::error(405, "method not allowed"),
         _ => Response::error(404, "no such route"),
     }
 }
@@ -752,6 +819,7 @@ fn handle_feedback(
 
 fn handle_trace(state: &ServerState, id: &str) -> Result<Response, ServerError> {
     let telemetry = orex_telemetry::global();
+    let _span = telemetry.span("server.trace_us");
     telemetry.counter("server.trace_requests").incr();
     let Some(id) = parse_id(id) else {
         return Err(ServerError::BadRequest(
@@ -806,10 +874,114 @@ fn handle_logs(state: &ServerState, query: &str) -> Result<Response, ServerError
     // that haven't been drained): absorb before serving. The archive
     // keeps them for subsequent (and `since=`-cursored) reads.
     state.logs.absorb(orex_telemetry::logger().drain());
-    let records = state.logs.query(level, since, limit);
-    Ok(Response {
-        status: 200,
-        content_type: "application/x-ndjson",
-        body: orex_telemetry::export::log_json_lines(&records).into_bytes(),
+    // Every response advertises the newest capture sequence so pollers
+    // always hold a valid cursor. A `since` beyond that cursor (stale
+    // cursor from before a ring reset / server restart) serves an empty
+    // page rather than stalling forever or replaying from the start —
+    // the client resets its cursor from the header.
+    let newest = state.logs.newest_seq().unwrap_or(0);
+    let records = match since {
+        Some(s) if s > newest => Vec::new(),
+        _ => state.logs.query(level, since, limit),
+    };
+    Ok(Response::new(
+        200,
+        "application/x-ndjson",
+        orex_telemetry::export::log_json_lines(&records).into_bytes(),
+    )
+    .with_header("X-Orex-Log-Cursor", newest.to_string()))
+}
+
+/// `GET /profile?seconds=&format=folded|chrome`: folded span stacks (or
+/// a Chrome trace-event view) aggregated from the continuous profiler's
+/// rolling windows. `seconds=0` (the default) covers all retained
+/// history. 503 when the sampler is off (`profile_hz = 0` and no
+/// `OREX_PROFILE_HZ`).
+fn handle_profile(query: &str) -> Result<Response, ServerError> {
+    let telemetry = orex_telemetry::global();
+    let _span = telemetry.span("server.profile_us");
+    telemetry.counter("server.profile_requests").incr();
+    let mut seconds = 0u64;
+    let mut format = "folded";
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        match key {
+            "seconds" => {
+                seconds = value.parse::<u64>().map_err(|_| {
+                    ServerError::BadRequest("seconds must be an unsigned integer".into())
+                })?;
+            }
+            "format" => match value {
+                "folded" => format = "folded",
+                "chrome" => format = "chrome",
+                _ => {
+                    return Err(ServerError::BadRequest(
+                        "format must be folded or chrome".into(),
+                    ));
+                }
+            },
+            other => {
+                return Err(ServerError::BadRequest(format!(
+                    "unknown query parameter {other:?} (expected seconds|format)"
+                )));
+            }
+        }
+    }
+    let profiler = orex_telemetry::profiler();
+    if !profiler.is_running() {
+        return Err(ServerError::Unavailable(
+            "profiler is not running (start the server with a nonzero profile rate)".into(),
+        ));
+    }
+    let snapshot = profiler.snapshot(seconds);
+    Ok(match format {
+        "chrome" => Response::json(200, snapshot.to_chrome()),
+        _ => Response::text(200, snapshot.to_folded()),
+    })
+}
+
+/// `GET /debug/status[?format=json]`: the operator dashboard. HTML by
+/// default (self-refreshing, zero scripts); `format=json` serves the
+/// machine-readable document `orex top` and CI consume.
+fn handle_status(state: &ServerState, query: &str) -> Result<Response, ServerError> {
+    let telemetry = orex_telemetry::global();
+    let _span = telemetry.span("server.status_us");
+    telemetry.counter("server.status_requests").incr();
+    let mut json = false;
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        match key {
+            "format" => match value {
+                "json" => json = true,
+                "html" => json = false,
+                _ => {
+                    return Err(ServerError::BadRequest(
+                        "format must be html or json".into(),
+                    ));
+                }
+            },
+            other => {
+                return Err(ServerError::BadRequest(format!(
+                    "unknown query parameter {other:?} (expected format)"
+                )));
+            }
+        }
+    }
+    // Top up history so the page is fresh even between collector ticks
+    // (and deterministic in tests, which poll faster than the cadence).
+    state.status.collect_if_stale(Duration::from_millis(250));
+    state.logs.absorb(orex_telemetry::logger().drain());
+    let occupancy = Occupancy {
+        sessions: state.sessions.len(),
+        cache: state.ranks.cached_results(),
+        precompute_terms: state.ranks.precomputed_terms(),
+        traces: state.traces.len(),
+        logs: state.logs.len(),
+        recent_errors: state.logs.query(Some(Level::Error), None, None).len(),
+    };
+    Ok(if json {
+        Response::json(200, state.status.render_json(occupancy))
+    } else {
+        Response::html(200, state.status.render_html(occupancy))
     })
 }

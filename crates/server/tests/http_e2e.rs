@@ -87,12 +87,20 @@ impl Drop for TestServer {
 
 struct Reply {
     status: u16,
+    headers: Vec<(String, String)>,
     body: String,
 }
 
 impl Reply {
     fn json(&self) -> Value {
         serde_json::from_str(&self.body).unwrap_or_else(|_| panic!("body is JSON: {:?}", self.body))
+    }
+
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
     }
 }
 
@@ -111,11 +119,21 @@ fn raw(addr: SocketAddr, request: &[u8]) -> Reply {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or_else(|| panic!("bad status line in {text:?}"));
-    let body = text
+    let (head, body) = text
         .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
+        .map(|(h, b)| (h.to_string(), b.to_string()))
         .unwrap_or_default();
-    Reply { status, body }
+    let headers = head
+        .lines()
+        .skip(1)
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+        .collect();
+    Reply {
+        status,
+        headers,
+        body,
+    }
 }
 
 fn get(addr: SocketAddr, path: &str) -> Reply {
@@ -223,7 +241,8 @@ fn full_interactive_loop_end_to_end() {
 }
 
 /// Minimal Prometheus text-format validation: every non-comment line is
-/// `name{...} value` or `name value`, every `# TYPE` names a metric.
+/// `name{...} value` (optionally with an OpenMetrics ` # {labels} value`
+/// exemplar suffix), every `# TYPE` names a metric.
 fn assert_prometheus(text: &str) {
     assert!(!text.is_empty());
     for line in text.lines() {
@@ -237,7 +256,28 @@ fn assert_prometheus(text: &str) {
             );
             continue;
         }
-        let (name_part, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+        // Strip an exemplar suffix before validating the series itself.
+        let series = if let Some((series, exemplar)) = line.split_once(" # ") {
+            assert!(
+                line.contains("_bucket{"),
+                "exemplar on a non-bucket line: {line:?}"
+            );
+            let (labels, value) = exemplar
+                .rsplit_once(' ')
+                .unwrap_or_else(|| panic!("exemplar has no value: {line:?}"));
+            assert!(
+                labels.starts_with("{trace_id=\"") && labels.ends_with("\"}"),
+                "bad exemplar labels in {line:?}"
+            );
+            assert!(
+                value.parse::<f64>().is_ok(),
+                "bad exemplar value in {line:?}"
+            );
+            series
+        } else {
+            line
+        };
+        let (name_part, value) = series.rsplit_once(' ').unwrap_or_else(|| {
             panic!("metric line has no value: {line:?}");
         });
         let name = name_part.split('{').next().unwrap();
@@ -703,6 +743,219 @@ fn mismatched_precompute_artifact_is_refused_at_bind() {
     };
     assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn logs_cursor_past_newest_returns_empty_page_with_current_cursor() {
+    let _guard = serial();
+    let server = TestServer::spawn_default();
+
+    // Generate some log traffic so the archive has a real newest seq.
+    for _ in 0..3 {
+        assert_eq!(get(server.addr, "/healthz").status, 200);
+    }
+    let reply = get(server.addr, "/logs");
+    assert_eq!(reply.status, 200);
+    let cursor: u64 = reply
+        .header("X-Orex-Log-Cursor")
+        .expect("every /logs response advertises a cursor")
+        .parse()
+        .expect("cursor is an integer");
+    assert!(cursor > 0, "traffic above must have produced records");
+
+    // A stale cursor far past the newest seq (e.g. held across a server
+    // restart) serves an empty page, NOT a replay from the start, and
+    // hands back the current cursor so the poller can resync.
+    let stale = get(server.addr, &format!("/logs?since={}", cursor + 1_000_000));
+    assert_eq!(stale.status, 200);
+    assert_eq!(stale.body.trim(), "", "no replay: {}", stale.body);
+    let resync: u64 = stale
+        .header("X-Orex-Log-Cursor")
+        .expect("empty page still carries the cursor")
+        .parse()
+        .unwrap();
+    assert!(resync >= cursor);
+
+    // Polling from the advertised cursor yields only newer records.
+    let next = get(server.addr, &format!("/logs?since={resync}"));
+    assert_eq!(next.status, 200);
+    for line in next.body.lines().filter(|l| !l.is_empty()) {
+        let v: Value = serde_json::from_str(line).unwrap();
+        assert!(v.get("seq").and_then(Value::as_u64).unwrap() > resync);
+    }
+}
+
+#[test]
+fn debug_status_serves_red_rows_occupancy_and_slos() {
+    let _guard = serial();
+    let (_, keyword) = fixture();
+    let server = TestServer::spawn_default();
+
+    // Traffic so the RED table has rows: queries + a health check.
+    let reply = post(
+        server.addr,
+        "/query",
+        &format!("{{\"query\": \"{keyword}\"}}"),
+    );
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    assert_eq!(get(server.addr, "/healthz").status, 200);
+
+    // HTML view.
+    let html = get(server.addr, "/debug/status");
+    assert_eq!(html.status, 200);
+    assert!(html.body.contains("orex status"), "{}", html.body);
+    assert!(html.body.contains("<td>request</td>"), "{}", html.body);
+    assert!(html.body.contains("<td>query</td>"), "{}", html.body);
+    assert!(html.body.contains("SLOs"), "{}", html.body);
+
+    // JSON view: endpoints, occupancy, SLO statuses, history series.
+    let reply = get(server.addr, "/debug/status?format=json");
+    assert_eq!(reply.status, 200);
+    let doc = reply.json();
+    let endpoints = doc.get("endpoints").and_then(Value::as_array).unwrap();
+    assert!(
+        endpoints
+            .iter()
+            .any(|e| e.get("name").and_then(Value::as_str) == Some("query")),
+        "{doc:?}"
+    );
+    for e in endpoints {
+        assert!(e.get("requests").and_then(Value::as_u64).unwrap() > 0);
+        assert!(e.get("p95_us").and_then(Value::as_f64).is_some());
+    }
+    let occupancy = doc.get("occupancy").expect("occupancy");
+    assert!(occupancy.get("sessions").and_then(Value::as_u64).unwrap() >= 1);
+    let slos = doc.get("slos").and_then(Value::as_array).unwrap();
+    assert!(!slos.is_empty());
+    for s in slos {
+        assert_eq!(
+            s.get("burning").and_then(Value::as_bool),
+            Some(false),
+            "clean traffic must not burn: {s:?}"
+        );
+    }
+    assert!(doc.get("uptime_s").and_then(Value::as_f64).unwrap() >= 0.0);
+
+    // SLO gauges surface on /metrics as orex_slo_* series.
+    let metrics = get(server.addr, "/metrics");
+    assert_prometheus(&metrics.body);
+    assert!(
+        metrics
+            .body
+            .contains("orex_slo_request_availability_burning 0"),
+        "{}",
+        metrics.body
+    );
+
+    // Unknown parameters are client errors.
+    assert_eq!(get(server.addr, "/debug/status?format=xml").status, 400);
+    assert_eq!(get(server.addr, "/debug/status?nope=1").status, 400);
+    assert_eq!(get(server.addr, "/debug/nothing").status, 404);
+}
+
+#[test]
+fn profile_endpoint_serves_folded_and_chrome_views() {
+    let _guard = serial();
+    let (_, keyword) = fixture();
+    let server = TestServer::spawn_default();
+
+    // Work that opens spans while the sampler runs; keep it going long
+    // enough for the ~10ms sampling period to land a few ticks.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let mut folded = String::new();
+    while std::time::Instant::now() < deadline {
+        let reply = post(
+            server.addr,
+            "/query",
+            &format!("{{\"query\": \"{keyword}\"}}"),
+        );
+        assert_eq!(reply.status, 200);
+        let profile = get(server.addr, "/profile?seconds=60");
+        assert_eq!(profile.status, 200, "{}", profile.body);
+        if !profile.body.trim().is_empty() {
+            folded = profile.body;
+            break;
+        }
+    }
+    assert!(
+        !folded.trim().is_empty(),
+        "continuous profiler captured no samples in 10s"
+    );
+    // Folded lines are `path;path;... count` rooted at the request span.
+    for line in folded.lines().filter(|l| !l.is_empty()) {
+        let (stack, count) = line.rsplit_once(' ').expect("folded line");
+        assert!(count.parse::<u64>().is_ok(), "{line:?}");
+        assert!(!stack.is_empty());
+    }
+    assert!(
+        folded.contains("server.request"),
+        "request spans dominate: {folded}"
+    );
+
+    // Chrome view parses as trace-event JSON.
+    let chrome = get(server.addr, "/profile?format=chrome");
+    assert_eq!(chrome.status, 200);
+    assert!(
+        chrome
+            .json()
+            .get("traceEvents")
+            .and_then(Value::as_array)
+            .is_some(),
+        "{}",
+        chrome.body
+    );
+
+    // Parameter validation.
+    assert_eq!(get(server.addr, "/profile?format=svg").status, 400);
+    assert_eq!(get(server.addr, "/profile?seconds=x").status, 400);
+    assert_eq!(get(server.addr, "/profile?nope=1").status, 400);
+}
+
+#[test]
+fn request_histogram_exemplars_resolve_to_served_traces() {
+    let _guard = serial();
+    let (_, keyword) = fixture();
+    let server = TestServer::spawn_default();
+
+    for _ in 0..5 {
+        let reply = post(
+            server.addr,
+            "/query",
+            &format!("{{\"query\": \"{keyword}\"}}"),
+        );
+        assert_eq!(reply.status, 200);
+    }
+    let metrics = get(server.addr, "/metrics").body;
+    assert_prometheus(&metrics);
+    // Pull every exemplar trace id off the request histogram's buckets.
+    let exemplar_ids: Vec<u64> = metrics
+        .lines()
+        .filter(|l| l.starts_with("orex_server_request_us_bucket"))
+        .filter_map(|l| l.split("trace_id=\"").nth(1))
+        .filter_map(|rest| rest.split('"').next())
+        .filter_map(|id| id.parse().ok())
+        .collect();
+    assert!(
+        !exemplar_ids.is_empty(),
+        "sampled traffic must leave exemplars:\n{metrics}"
+    );
+    // The newest exemplar (largest trace id) resolves in the archive —
+    // the tail-latency investigation loop the exemplars exist for.
+    let newest = exemplar_ids.iter().max().unwrap();
+    let trace = get(server.addr, &format!("/trace/{newest}"));
+    assert_eq!(trace.status, 200, "{}", trace.body);
+    assert!(trace.body.contains("server.request"), "{}", trace.body);
+    // And the access log filtered to that trace correlates.
+    let logs = get(server.addr, "/logs").body;
+    assert!(
+        logs.lines().any(|l| {
+            serde_json::from_str(l)
+                .ok()
+                .and_then(|v: Value| v.get("trace").and_then(Value::as_u64))
+                == Some(*newest)
+        }),
+        "no log record carries exemplar trace {newest}:\n{logs}"
+    );
 }
 
 #[test]

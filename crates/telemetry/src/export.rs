@@ -48,7 +48,7 @@ fn build_tree(records: &[SpanRecord]) -> (Vec<usize>, ChildIndex) {
     (roots, children)
 }
 
-fn escape_json(s: &str, out: &mut String) {
+pub(crate) fn escape_json(s: &str, out: &mut String) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),

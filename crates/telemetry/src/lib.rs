@@ -30,10 +30,14 @@
 
 pub mod export;
 pub mod log;
+pub mod profile;
 mod ring;
+pub mod slo;
 pub mod trace;
 
 pub use log::{logger, FieldValue, Level, LogFilter, LogRecord, Logger, RateLimit, RecordBuilder};
+pub use profile::{profiler, profiler_at, HotSpan, ProfileSnapshot, Profiler};
+pub use slo::{default_slos, SloKind, SloSpec, SloStatus, SloTracker, SloWindows};
 pub use trace::{tracer, ActiveSpan, AttrValue, SpanId, SpanRecord, TraceEvent, TraceId, Tracer};
 
 use std::collections::{BTreeMap, HashMap};
@@ -51,6 +55,21 @@ const BUCKET_BIAS: i32 = 32;
 /// absorbs everything larger, so exporters should label it `+Inf`.
 pub fn bucket_upper_bound(i: usize) -> f64 {
     2f64.powi(i as i32 - BUCKET_BIAS)
+}
+
+/// Escapes a Prometheus label value per the text exposition format:
+/// backslash, double quote, and line feed become `\\`, `\"`, and `\n`.
+pub fn prom_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
 }
 
 // Each variant holds its storage behind its own `Arc`, so resolving a
@@ -83,6 +102,11 @@ struct Histogram {
     min_bits: AtomicU64,
     max_bits: AtomicU64,
     buckets: [AtomicU64; BUCKETS],
+    /// Per-bucket exemplars: the most recent trace id whose sample
+    /// landed in the bucket (0 = none; real trace ids start at 1) and
+    /// that sample's value, as f64 bits.
+    exemplar_trace: [AtomicU64; BUCKETS],
+    exemplar_value: [AtomicU64; BUCKETS],
 }
 
 impl Histogram {
@@ -93,6 +117,8 @@ impl Histogram {
             min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
             max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            exemplar_trace: std::array::from_fn(|_| AtomicU64::new(0)),
+            exemplar_value: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 
@@ -104,12 +130,25 @@ impl Histogram {
     }
 
     fn record(&self, value: f64) {
+        self.record_with_exemplar(value, None);
+    }
+
+    fn record_with_exemplar(&self, value: f64, trace: Option<u64>) {
         // ORDERING: each cell is an independent statistic; readers
         // tolerate torn cross-cell views (a snapshot racing a record may
         // see the count without the bucket), so no publication ordering
         // is needed.
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed); // ORDERING: as above
+        let bucket = Self::bucket_index(value);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed); // ORDERING: as above
+        if let Some(trace) = trace {
+            // ORDERING: last-writer-wins exemplar cells; a racing reader
+            // may pair one sample's trace with another's value, which
+            // still names a real recent trace in this bucket — the only
+            // guarantee exemplars promise.
+            self.exemplar_value[bucket].store(value.to_bits(), Ordering::Relaxed);
+            self.exemplar_trace[bucket].store(trace, Ordering::Relaxed); // ORDERING: as above
+        }
         update_f64(&self.sum_bits, |cur| cur + value);
         update_f64(&self.min_bits, |cur| cur.min(value));
         update_f64(&self.max_bits, |cur| cur.max(value));
@@ -161,6 +200,14 @@ impl Histogram {
             p50: quantile(0.50),
             p95: quantile(0.95),
             buckets,
+            exemplars: std::array::from_fn(|i| {
+                // ORDERING: statistics reads, as above; 0 = no exemplar.
+                let trace = self.exemplar_trace[i].load(Ordering::Relaxed);
+                (trace != 0).then(|| Exemplar {
+                    trace,
+                    value: f64::from_bits(self.exemplar_value[i].load(Ordering::Relaxed)), // ORDERING: as above
+                })
+            }),
         }
     }
 }
@@ -624,6 +671,16 @@ impl HistogramHandle {
             h.record(value);
         }
     }
+
+    /// Records one sample and, when `trace` is set, stamps it as the
+    /// containing bucket's exemplar so tail-latency buckets resolve to a
+    /// concrete trace id.
+    #[inline]
+    pub fn record_with_exemplar(&self, value: f64, trace: Option<u64>) {
+        if let Some(h) = self.0.live_target() {
+            h.record_with_exemplar(value, trace);
+        }
+    }
 }
 
 /// Scoped timer; see [`Recorder::span`]. Records elapsed microseconds on
@@ -636,9 +693,23 @@ pub struct Span {
 impl Drop for Span {
     fn drop(&mut self) {
         if let Some(start) = self.start {
-            self.hist.record(start.elapsed().as_secs_f64() * 1e6);
+            // Stamp the sample with the current sampled trace (if any) so
+            // histogram buckets carry exemplar trace ids for free.
+            let trace = crate::tracer().current_sampled_trace().map(|t| t.0);
+            self.hist
+                .record_with_exemplar(start.elapsed().as_secs_f64() * 1e6, trace);
         }
     }
+}
+
+/// One histogram bucket's exemplar: the most recent sampled trace whose
+/// sample landed in the bucket, and that sample's value.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Exemplar {
+    /// Trace id of the exemplar sample (never 0).
+    pub trace: u64,
+    /// The recorded sample value.
+    pub value: f64,
 }
 
 /// Aggregate statistics for one histogram at snapshot time. Quantiles are
@@ -662,6 +733,8 @@ pub struct HistogramSummary {
     pub p95: f64,
     /// Raw exponential bucket counts (see [`bucket_upper_bound`]).
     pub buckets: [u64; BUCKETS],
+    /// Per-bucket exemplars (`None` when no sampled trace landed there).
+    pub exemplars: [Option<Exemplar>; BUCKETS],
 }
 
 // `[u64; 64]` has no std `Default`, so derive won't do.
@@ -676,6 +749,7 @@ impl Default for HistogramSummary {
             p50: 0.0,
             p95: 0.0,
             buckets: [0; BUCKETS],
+            exemplars: [None; BUCKETS],
         }
     }
 }
@@ -839,6 +913,9 @@ impl Snapshot {
                 buckets: std::array::from_fn(|i| {
                     median_u64(hs.iter().map(|h| h.buckets[i]).collect())
                 }),
+                // Exemplars are point-in-time trace links, meaningless to
+                // median across runs.
+                exemplars: [None; BUCKETS],
             };
             out.histograms.insert(name.clone(), summary);
         }
@@ -873,6 +950,18 @@ impl Snapshot {
                 format!("{v}")
             }
         }
+        // Decimal trace ids match `GET /trace/<id>`; the id is numeric but
+        // still goes through the label escaper like every label value.
+        fn exemplar_suffix(e: Option<Exemplar>) -> String {
+            match e {
+                Some(e) => format!(
+                    " # {{trace_id=\"{}\"}} {}",
+                    prom_label_value(&e.trace.to_string()),
+                    prom_f64(e.value)
+                ),
+                None => String::new(),
+            }
+        }
         let mut out = String::new();
         for (name, value) in &self.counters {
             let n = sanitize(name);
@@ -897,11 +986,17 @@ impl Snapshot {
                 }
                 let _ = writeln!(
                     out,
-                    "{n}_bucket{{le=\"{}\"}} {cumulative}",
-                    prom_f64(bucket_upper_bound(i))
+                    "{n}_bucket{{le=\"{}\"}} {cumulative}{}",
+                    prom_f64(bucket_upper_bound(i)),
+                    exemplar_suffix(h.exemplars[i])
                 );
             }
-            let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(
+                out,
+                "{n}_bucket{{le=\"+Inf\"}} {}{}",
+                h.count,
+                exemplar_suffix(h.exemplars[BUCKETS - 1])
+            );
             let _ = writeln!(out, "{n}_sum {}", prom_f64(h.sum));
             let _ = writeln!(out, "{n}_count {}", h.count);
         }
@@ -967,6 +1062,27 @@ impl Snapshot {
                                 out.push(',');
                             }
                             let _ = write!(out, "{b}");
+                        }
+                        out.push(']');
+                        out.push(',');
+                        newline_indent(out, ind.map(|d| d + 1));
+                        // Sparse: only buckets that hold an exemplar.
+                        let _ = write!(out, "\"exemplars\":{}[", json_space(ind));
+                        let mut first = true;
+                        for (i, e) in h.exemplars.iter().enumerate() {
+                            if let Some(e) = e {
+                                if !first {
+                                    out.push(',');
+                                }
+                                first = false;
+                                let _ = write!(
+                                    out,
+                                    "{{\"bucket\":{i},\"trace\":{},\"value\":",
+                                    e.trace
+                                );
+                                json_f64(out, e.value);
+                                out.push('}');
+                            }
                         }
                         out.push(']');
                         newline_indent(out, ind);
@@ -1364,5 +1480,104 @@ mod tests {
         let pretty = r.snapshot().to_json_pretty();
         // Buckets stay on one line even pretty-printed.
         assert!(pretty.contains("\"buckets\": [0,"), "{pretty}");
+    }
+
+    #[test]
+    fn prometheus_sanitizes_hostile_metric_names_and_escapes_labels() {
+        let r = Recorder::new();
+        // Hostile metric names: quotes, newlines, backslashes, spaces.
+        r.counter("evil\"name\nwith\\stuff").incr();
+        r.gauge("another evil{label=\"x\"}").set(1.0);
+        r.histogram("bad\nhist").record(2.0);
+        let prom = r.snapshot().to_prometheus();
+        for line in prom.lines() {
+            let payload = line.strip_prefix("# TYPE ").unwrap_or(line);
+            let name = payload.split([' ', '{']).next().unwrap();
+            assert!(
+                name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "unsanitized metric name in line {line:?}"
+            );
+            assert!(!line.contains('\n'));
+        }
+        assert!(prom.contains("orex_evil_name_with_stuff 1\n"), "{prom}");
+        // Label-value escaping covers backslash, quote, and newline.
+        assert_eq!(prom_label_value("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+        assert_eq!(prom_label_value("plain-123"), "plain-123");
+    }
+
+    #[test]
+    fn exemplars_land_in_buckets_and_export() {
+        let r = Recorder::new();
+        let h = r.histogram("server.request_us");
+        h.record_with_exemplar(3.0, Some(42)); // bucket le=4
+        h.record_with_exemplar(1e12, Some(7)); // clamps into last bucket
+        h.record(5.0); // no exemplar for bucket le=8
+        let snap = r.snapshot();
+        let s = &snap.histograms["server.request_us"];
+        let b4 = Histogram::bucket_index(3.0);
+        assert_eq!(
+            s.exemplars[b4],
+            Some(Exemplar {
+                trace: 42,
+                value: 3.0
+            })
+        );
+        assert_eq!(
+            s.exemplars[BUCKETS - 1],
+            Some(Exemplar {
+                trace: 7,
+                value: 1e12
+            })
+        );
+        assert_eq!(s.exemplars[Histogram::bucket_index(5.0)], None);
+        let prom = snap.to_prometheus();
+        assert!(
+            prom.contains("orex_server_request_us_bucket{le=\"4\"} 1 # {trace_id=\"42\"} 3\n"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains(
+                "orex_server_request_us_bucket{le=\"+Inf\"} 3 # {trace_id=\"7\"} 1000000000000\n"
+            ),
+            "{prom}"
+        );
+        let json = snap.to_json();
+        assert!(
+            json.contains(&format!("{{\"bucket\":{b4},\"trace\":42,\"value\":3}}")),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn exemplar_overwrites_keep_latest_trace() {
+        let r = Recorder::new();
+        let h = r.histogram("h");
+        h.record_with_exemplar(3.0, Some(1));
+        h.record_with_exemplar(3.5, Some(2));
+        h.record_with_exemplar(3.9, None); // None never clears an exemplar
+        let snap = r.snapshot();
+        let e = snap.histograms["h"].exemplars[Histogram::bucket_index(3.5)].unwrap();
+        assert_eq!(e.trace, 2);
+        assert_eq!(e.value, 3.5);
+    }
+
+    #[test]
+    fn span_drop_stamps_exemplar_from_sampled_trace() {
+        let r = Recorder::new();
+        let tracer = tracer();
+        {
+            let _t = tracer.span("exemplar.test");
+            let _s = r.span("exemplar.span_us");
+        }
+        let snap = r.snapshot();
+        let s = &snap.histograms["exemplar.span_us"];
+        assert_eq!(s.count, 1);
+        // The global tracer samples trace 1 by default (every=1 unless
+        // OREX_TRACE_SAMPLE says otherwise), so the bucket the sample
+        // landed in should carry a trace id — unless sampling disabled it.
+        let have: Vec<u64> = s.exemplars.iter().flatten().map(|e| e.trace).collect();
+        if tracer.is_enabled() {
+            assert!(!have.is_empty(), "sampled span should leave an exemplar");
+        }
     }
 }

@@ -1,0 +1,739 @@
+//! Continuous span-stack profiling.
+//!
+//! A [`Profiler`] periodically snapshots every registered thread's
+//! current span stack — mirrored from the tracing context by
+//! [`crate::trace`] whenever a span opens or closes — and aggregates the
+//! observations into folded-stack counts over rolling one-second
+//! windows. No signals, no unsafe, no dependencies: the sampler is an
+//! ordinary thread reading per-thread mirrors under short mutexes, so it
+//! can run continuously in production next to the serving path.
+//!
+//! The mirrors cost nothing while no profiler is running: span push/pop
+//! checks one relaxed atomic and returns. With a profiler attached, each
+//! push/pop additionally copies the current stack of `&'static str`
+//! names (depth is single digits in practice) into this thread's slot.
+//!
+//! Output is the folded-stack format `root;child;leaf count` consumed by
+//! flamegraph tooling, a synthesized Chrome trace-event view of the same
+//! tree, and a top-N hot-span table ([`ProfileSnapshot::hot`]).
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
+use std::time::{Duration, Instant};
+
+/// One registered thread's mirror of its current span stack.
+struct Slot {
+    /// Cleared when the owning thread exits; dead empty slots are pruned
+    /// by the sampler.
+    alive: AtomicBool,
+    /// Innermost-last span names, mirrored on every push/pop while a
+    /// profiler is attached.
+    stack: Mutex<Vec<&'static str>>,
+}
+
+/// Every thread that ever opened a span while mirroring was on.
+static SLOTS: Mutex<Vec<Arc<Slot>>> = Mutex::new(Vec::new());
+
+/// Number of running profilers; mirroring is on while nonzero.
+static MIRRORS: AtomicUsize = AtomicUsize::new(0);
+
+/// Owns this thread's slot; marks it dead when the thread exits.
+struct SlotHandle(Arc<Slot>);
+
+impl Drop for SlotHandle {
+    fn drop(&mut self) {
+        // ORDERING: lifecycle flag only; the sampler re-checks under the
+        // slot mutex before reading the stack, so Relaxed suffices.
+        self.0.alive.store(false, Ordering::Relaxed);
+    }
+}
+
+thread_local! {
+    static SLOT: SlotHandle = {
+        let slot = Arc::new(Slot {
+            alive: AtomicBool::new(true),
+            stack: Mutex::new(Vec::new()),
+        });
+        SLOTS
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(Arc::clone(&slot));
+        SlotHandle(slot)
+    };
+}
+
+/// Mirrors the calling thread's current span names into its slot.
+/// Called by the tracer after every span push/pop; a single relaxed
+/// load when no profiler is running.
+pub(crate) fn mirror<I: Iterator<Item = &'static str>>(names: I) {
+    // ORDERING: on/off gate. A stale read merely delays the first
+    // mirrored stack by one span transition; the sampler tolerates both
+    // empty and stale mirrors.
+    if MIRRORS.load(Ordering::Relaxed) == 0 {
+        return;
+    }
+    // try_with: a span guard dropped during thread teardown must not
+    // panic just because the slot TLS is already destroyed.
+    let _ = SLOT.try_with(|slot| {
+        let mut stack = slot.0.stack.lock().unwrap_or_else(PoisonError::into_inner);
+        stack.clear();
+        stack.extend(names);
+    });
+}
+
+/// Turns mirroring on for one more profiler, clearing stale mirrors left
+/// over from a previous profiling session.
+fn enable_mirroring() {
+    // ORDERING: on/off gate, see `mirror`.
+    if MIRRORS.fetch_add(1, Ordering::Relaxed) == 0 {
+        let slots = SLOTS.lock().unwrap_or_else(PoisonError::into_inner);
+        for slot in slots.iter() {
+            slot.stack
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clear();
+        }
+    }
+}
+
+fn disable_mirroring() {
+    // ORDERING: on/off gate, see `mirror`.
+    MIRRORS.fetch_sub(1, Ordering::Relaxed);
+}
+
+/// One second of aggregated samples.
+struct Window {
+    started: Instant,
+    /// `a;b;c` folded path → observations.
+    folded: HashMap<String, u64>,
+    samples: u64,
+}
+
+struct ProfilerInner {
+    /// Target sampling frequency.
+    hz: u64,
+    /// Rolling one-second windows, oldest first, at most
+    /// `retention_seconds` of them.
+    windows: Mutex<VecDeque<Window>>,
+    retention_seconds: usize,
+    /// Sampler-thread shutdown latch: `stop` flips under the mutex and
+    /// the condvar wakes the sampler, so stopping never waits a full
+    /// sample period.
+    stop: Mutex<bool>,
+    stop_cv: Condvar,
+    /// Join handle of the running sampler thread, if any.
+    thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+/// A continuous span-stack sampler; see the module docs. Obtain the
+/// process-wide instance via [`profiler`], or construct private ones in
+/// tests; stop a running sampler with [`Profiler::stop`].
+#[derive(Clone)]
+pub struct Profiler {
+    inner: Arc<ProfilerInner>,
+}
+
+/// Sampling frequency used when none is configured. Prime, so the
+/// sampler can't phase-lock with millisecond-periodic work.
+pub const DEFAULT_HZ: u64 = 97;
+
+/// Seconds of folded-stack history retained by default.
+pub const DEFAULT_RETENTION_SECONDS: usize = 120;
+
+impl Profiler {
+    /// A profiler sampling at `hz` (clamped to 1..=1000), retaining
+    /// `retention_seconds` one-second windows. Not yet running.
+    pub fn new(hz: u64, retention_seconds: usize) -> Self {
+        Self {
+            inner: Arc::new(ProfilerInner {
+                hz: hz.clamp(1, 1000),
+                windows: Mutex::new(VecDeque::new()),
+                retention_seconds: retention_seconds.max(1),
+                stop: Mutex::new(false),
+                stop_cv: Condvar::new(),
+                thread: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// Target sampling frequency in Hz.
+    pub fn hz(&self) -> u64 {
+        self.inner.hz
+    }
+
+    /// Starts the background sampler thread (and span-stack mirroring).
+    /// Idempotent: a second call while running is a no-op.
+    pub fn start(&self) {
+        let mut thread = self
+            .inner
+            .thread
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if thread.is_some() {
+            return;
+        }
+        *self
+            .inner
+            .stop
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = false;
+        enable_mirroring();
+        let inner = Arc::clone(&self.inner);
+        let handle = std::thread::Builder::new()
+            .name("orex-profiler".into())
+            .spawn(move || sampler_loop(&inner));
+        match handle {
+            Ok(h) => *thread = Some(h),
+            // Spawn failure (resource exhaustion): profiling silently
+            // stays off rather than taking the process down.
+            Err(_) => disable_mirroring(),
+        }
+    }
+
+    /// True while the sampler thread is running.
+    pub fn is_running(&self) -> bool {
+        self.inner
+            .thread
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .is_some()
+    }
+
+    /// Stops the sampler thread and mirroring. Collected windows remain
+    /// available to [`Profiler::snapshot`]. Idempotent.
+    pub fn stop(&self) {
+        let handle = {
+            let mut thread = self
+                .inner
+                .thread
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            let Some(handle) = thread.take() else {
+                return;
+            };
+            *self
+                .inner
+                .stop
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner) = true;
+            self.inner.stop_cv.notify_all();
+            handle
+        };
+        let _ = handle.join();
+        disable_mirroring();
+    }
+
+    /// Takes one synchronous sample of every live thread's mirrored
+    /// stack — the deterministic unit the background thread repeats.
+    /// Tests drive this directly; note it observes mirrors, so mirroring
+    /// must be on (the sampler thread running, or spans opened while it
+    /// was) for stacks to be non-empty.
+    pub fn sample_once(&self) {
+        take_sample(&self.inner);
+    }
+
+    /// Aggregates the windows of the last `seconds` seconds (`0` = all
+    /// retained history) into a snapshot.
+    pub fn snapshot(&self, seconds: u64) -> ProfileSnapshot {
+        let windows = self
+            .inner
+            .windows
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let now = Instant::now();
+        let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+        let mut samples = 0u64;
+        let mut covered = 0usize;
+        for w in windows.iter() {
+            if seconds > 0 && now.duration_since(w.started) > Duration::from_secs(seconds) {
+                continue;
+            }
+            covered += 1;
+            samples += w.samples;
+            for (path, n) in &w.folded {
+                *folded.entry(path.clone()).or_insert(0) += n;
+            }
+        }
+        ProfileSnapshot {
+            folded,
+            samples,
+            hz: self.inner.hz,
+            seconds: covered as u64,
+        }
+    }
+
+    /// Total samples across all retained windows (one per thread with a
+    /// non-empty span stack per tick).
+    pub fn samples(&self) -> u64 {
+        self.inner
+            .windows
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|w| w.samples)
+            .sum()
+    }
+}
+
+fn sampler_loop(inner: &ProfilerInner) {
+    let period = Duration::from_nanos(1_000_000_000 / inner.hz);
+    loop {
+        take_sample(inner);
+        let stop = inner.stop.lock().unwrap_or_else(PoisonError::into_inner);
+        if *stop {
+            return;
+        }
+        // Condvar pacing instead of thread::sleep: shutdown wakes the
+        // sampler immediately, and spurious wakeups just sample early.
+        let (stop, _timeout) = inner
+            .stop_cv
+            .wait_timeout(stop, period)
+            .unwrap_or_else(PoisonError::into_inner);
+        if *stop {
+            return;
+        }
+    }
+}
+
+/// One sampling tick: read every live thread's mirror, fold the
+/// observations into the current one-second window, prune dead slots
+/// and expired windows.
+fn take_sample(inner: &ProfilerInner) {
+    let mut observed: Vec<String> = Vec::new();
+    {
+        let mut slots = SLOTS.lock().unwrap_or_else(PoisonError::into_inner);
+        slots.retain(|slot| {
+            let stack = slot.stack.lock().unwrap_or_else(PoisonError::into_inner);
+            if !stack.is_empty() {
+                observed.push(stack.join(";"));
+            }
+            // ORDERING: lifecycle flag, see `SlotHandle::drop`.
+            slot.alive.load(Ordering::Relaxed) || !stack.is_empty()
+        });
+    }
+    let mut windows = inner.windows.lock().unwrap_or_else(PoisonError::into_inner);
+    let now = Instant::now();
+    let fresh = match windows.back() {
+        Some(w) => now.duration_since(w.started) >= Duration::from_secs(1),
+        None => true,
+    };
+    if fresh {
+        windows.push_back(Window {
+            started: now,
+            folded: HashMap::new(),
+            samples: 0,
+        });
+        while windows.len() > inner.retention_seconds {
+            windows.pop_front();
+        }
+    }
+    if let Some(w) = windows.back_mut() {
+        for path in observed {
+            *w.folded.entry(path).or_insert(0) += 1;
+            w.samples += 1;
+        }
+    }
+}
+
+/// A hot span in a [`ProfileSnapshot`]: samples where the span was the
+/// innermost frame (`self_samples`) and anywhere on the stack
+/// (`total_samples`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HotSpan {
+    /// Span name.
+    pub name: String,
+    /// Samples with this span innermost.
+    pub self_samples: u64,
+    /// Samples with this span anywhere on the stack.
+    pub total_samples: u64,
+}
+
+/// Aggregated folded-stack counts over a time range; see
+/// [`Profiler::snapshot`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ProfileSnapshot {
+    /// `a;b;c` folded path → observation count, path-sorted.
+    pub folded: BTreeMap<String, u64>,
+    /// Total observations (equals the sum of `folded` values).
+    pub samples: u64,
+    /// Sampling frequency the observations were taken at.
+    pub hz: u64,
+    /// Number of one-second windows aggregated.
+    pub seconds: u64,
+}
+
+impl ProfileSnapshot {
+    /// Parses the folded-stack text format (`path count` per line) back
+    /// into a snapshot — the CLI uses this to render saved or fetched
+    /// profiles. Lines that don't parse are skipped.
+    pub fn from_folded(text: &str) -> Self {
+        let mut folded = BTreeMap::new();
+        let mut samples = 0u64;
+        for line in text.lines() {
+            let Some((path, count)) = line.rsplit_once(' ') else {
+                continue;
+            };
+            let Ok(count) = count.parse::<u64>() else {
+                continue;
+            };
+            if path.is_empty() {
+                continue;
+            }
+            *folded.entry(path.to_string()).or_insert(0) += count;
+            samples += count;
+        }
+        Self {
+            folded,
+            samples,
+            hz: 0,
+            seconds: 0,
+        }
+    }
+
+    /// `root;child;leaf count` lines for flamegraph tooling.
+    pub fn to_folded(&self) -> String {
+        let mut out = String::new();
+        for (path, count) in &self.folded {
+            let _ = writeln!(out, "{path} {count}");
+        }
+        out
+    }
+
+    /// Top `n` spans by self samples (ties broken by total, then name).
+    pub fn hot(&self, n: usize) -> Vec<HotSpan> {
+        let mut by_name: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+        for (path, &count) in &self.folded {
+            let frames: Vec<&str> = path.split(';').collect();
+            if let Some(leaf) = frames.last() {
+                by_name.entry(leaf).or_insert((0, 0)).0 += count;
+            }
+            // A frame appearing twice in one path (recursion) must not
+            // count its total twice.
+            let mut seen: Vec<&str> = Vec::with_capacity(frames.len());
+            for frame in frames {
+                if !seen.contains(&frame) {
+                    seen.push(frame);
+                    by_name.entry(frame).or_insert((0, 0)).1 += count;
+                }
+            }
+        }
+        let mut spans: Vec<HotSpan> = by_name
+            .into_iter()
+            .map(|(name, (self_samples, total_samples))| HotSpan {
+                name: name.to_string(),
+                self_samples,
+                total_samples,
+            })
+            .collect();
+        spans.sort_by(|a, b| {
+            b.self_samples
+                .cmp(&a.self_samples)
+                .then(b.total_samples.cmp(&a.total_samples))
+                .then(a.name.cmp(&b.name))
+        });
+        spans.truncate(n);
+        spans
+    }
+
+    /// Synthesizes a Chrome trace-event view of the sampled tree: each
+    /// frame becomes a `B`/`E` pair whose duration is proportional to
+    /// its total samples (one sample = one sampling period). Timestamps
+    /// are synthetic — only the proportions are meaningful.
+    pub fn to_chrome(&self) -> String {
+        #[derive(Default)]
+        struct Node {
+            children: BTreeMap<String, Node>,
+            self_count: u64,
+        }
+        impl Node {
+            fn total(&self) -> u64 {
+                self.self_count + self.children.values().map(Node::total).sum::<u64>()
+            }
+        }
+        let mut root = Node::default();
+        for (path, &count) in &self.folded {
+            let mut node = &mut root;
+            for frame in path.split(';') {
+                node = node.children.entry(frame.to_string()).or_default();
+            }
+            node.self_count += count;
+        }
+        let period_us = if self.hz > 0 {
+            1_000_000.0 / self.hz as f64
+        } else {
+            1.0
+        };
+        fn emit(
+            out: &mut String,
+            first: &mut bool,
+            name: &str,
+            node: &Node,
+            start_us: f64,
+            period_us: f64,
+        ) {
+            let duration = node.total() as f64 * period_us;
+            if !*first {
+                out.push_str(",\n");
+            }
+            *first = false;
+            let mut escaped = String::new();
+            crate::export::escape_json(name, &mut escaped);
+            let _ = write!(
+                out,
+                "  {{\"name\":\"{escaped}\",\"cat\":\"profile\",\"ph\":\"B\",\"ts\":{start_us},\"pid\":1,\"tid\":1}}"
+            );
+            let mut cursor = start_us;
+            for (child_name, child) in &node.children {
+                emit(out, first, child_name, child, cursor, period_us);
+                cursor += child.total() as f64 * period_us;
+            }
+            out.push_str(",\n");
+            let _ = write!(
+                out,
+                "  {{\"name\":\"{escaped}\",\"cat\":\"profile\",\"ph\":\"E\",\"ts\":{},\"pid\":1,\"tid\":1}}",
+                start_us + duration
+            );
+        }
+        let mut out = String::from("{\"traceEvents\":[\n");
+        let mut first = true;
+        let mut cursor = 0.0;
+        for (name, node) in &root.children {
+            emit(&mut out, &mut first, name, node, cursor, period_us);
+            cursor += node.total() as f64 * period_us;
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+static GLOBAL_PROFILER: OnceLock<Profiler> = OnceLock::new();
+
+/// The process-wide profiler. Constructed on first use at
+/// [`DEFAULT_HZ`] (or `OREX_PROFILE_HZ` when set), *not* running until
+/// [`Profiler::start`] — except that [`init_from_env`] auto-starts it
+/// when `OREX_PROFILE_HZ` is set, which the global tracer triggers, so
+/// exporting the variable profiles any orex process without code
+/// changes.
+pub fn profiler() -> &'static Profiler {
+    profiler_at(DEFAULT_HZ)
+}
+
+/// Like [`profiler`], but seeds the sampling rate with `hz` when this
+/// call is the one that first constructs the global instance
+/// (`OREX_PROFILE_HZ`, when set, still wins). Later calls return the
+/// existing profiler whatever their `hz` — the rate is fixed at first
+/// touch.
+pub fn profiler_at(hz: u64) -> &'static Profiler {
+    GLOBAL_PROFILER.get_or_init(|| Profiler::new(env_hz().unwrap_or(hz), DEFAULT_RETENTION_SECONDS))
+}
+
+fn env_hz() -> Option<u64> {
+    std::env::var("OREX_PROFILE_HZ")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&hz| hz > 0)
+}
+
+/// Starts the global profiler when `OREX_PROFILE_HZ` is set to a
+/// positive sample rate. Called from the global tracer's initialization
+/// so any process that opens a span honors the variable.
+pub fn init_from_env() {
+    if env_hz().is_some() {
+        profiler().start();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Tracer;
+
+    /// Tests drive `sample_once` directly with mirroring forced on; the
+    /// guard keeps mirroring balanced even on panic.
+    struct MirrorGuard;
+    impl MirrorGuard {
+        fn on() -> Self {
+            enable_mirroring();
+            MirrorGuard
+        }
+    }
+    impl Drop for MirrorGuard {
+        fn drop(&mut self) {
+            disable_mirroring();
+        }
+    }
+
+    #[test]
+    fn folded_totals_equal_sample_count() {
+        let _mirror = MirrorGuard::on();
+        let tracer = Tracer::new(64);
+        let profiler = Profiler::new(100, 8);
+        {
+            let _root = tracer.span("root");
+            let _child = tracer.span("child");
+            for _ in 0..7 {
+                profiler.sample_once();
+            }
+        }
+        let snap = profiler.snapshot(0);
+        assert_eq!(snap.samples, profiler.samples());
+        assert_eq!(snap.folded.values().sum::<u64>(), snap.samples);
+        assert!(snap.samples >= 7, "this thread's stack was non-empty");
+        assert!(
+            snap.folded.keys().any(|p| p.ends_with("root;child")),
+            "{:?}",
+            snap.folded
+        );
+    }
+
+    #[test]
+    fn snapshot_merges_windows_and_formats_folded() {
+        let _mirror = MirrorGuard::on();
+        let tracer = Tracer::new(64);
+        let profiler = Profiler::new(100, 8);
+        {
+            let _a = tracer.span("alpha");
+            profiler.sample_once();
+            profiler.sample_once();
+        }
+        {
+            let _b = tracer.span("beta");
+            profiler.sample_once();
+        }
+        let snap = profiler.snapshot(0);
+        let text = snap.to_folded();
+        assert!(text.contains("alpha 2"), "{text}");
+        assert!(text.contains("beta 1"), "{text}");
+        let reparsed = ProfileSnapshot::from_folded(&text);
+        assert_eq!(reparsed.folded, snap.folded);
+        assert_eq!(reparsed.samples, snap.samples);
+    }
+
+    #[test]
+    fn hot_ranks_by_self_samples() {
+        let mut folded = BTreeMap::new();
+        folded.insert("a;b".to_string(), 10);
+        folded.insert("a".to_string(), 3);
+        folded.insert("a;c".to_string(), 2);
+        let snap = ProfileSnapshot {
+            folded,
+            samples: 15,
+            hz: 100,
+            seconds: 1,
+        };
+        let hot = snap.hot(3);
+        assert_eq!(hot[0].name, "b");
+        assert_eq!(hot[0].self_samples, 10);
+        assert_eq!(hot[0].total_samples, 10);
+        let a = hot.iter().find(|h| h.name == "a").unwrap();
+        assert_eq!(a.self_samples, 3);
+        assert_eq!(a.total_samples, 15, "a is on every stack");
+    }
+
+    #[test]
+    fn recursion_does_not_double_count_totals() {
+        let mut folded = BTreeMap::new();
+        folded.insert("a;a;a".to_string(), 5);
+        let snap = ProfileSnapshot {
+            folded,
+            samples: 5,
+            hz: 100,
+            seconds: 1,
+        };
+        let hot = snap.hot(1);
+        assert_eq!(hot[0].name, "a");
+        assert_eq!(hot[0].total_samples, 5);
+        assert_eq!(hot[0].self_samples, 5);
+    }
+
+    #[test]
+    fn chrome_view_nests_children_inside_parents() {
+        let mut folded = BTreeMap::new();
+        folded.insert("req;rank".to_string(), 4);
+        folded.insert("req".to_string(), 1);
+        let snap = ProfileSnapshot {
+            folded,
+            samples: 5,
+            hz: 1000,
+            seconds: 1,
+        };
+        let chrome = snap.to_chrome();
+        assert!(chrome.starts_with("{\"traceEvents\":["), "{chrome}");
+        assert!(chrome.contains("\"name\":\"req\""), "{chrome}");
+        assert!(chrome.contains("\"name\":\"rank\""), "{chrome}");
+        // Balanced begin/end events.
+        assert_eq!(
+            chrome.matches("\"ph\":\"B\"").count(),
+            chrome.matches("\"ph\":\"E\"").count()
+        );
+    }
+
+    #[test]
+    fn background_sampler_starts_and_stops() {
+        let tracer = Tracer::new(64);
+        let profiler = Profiler::new(500, 8);
+        profiler.start();
+        assert!(profiler.is_running());
+        profiler.start(); // idempotent
+        {
+            let _span = tracer.span("busy");
+            std::thread::sleep(Duration::from_millis(30));
+        }
+        profiler.stop();
+        assert!(!profiler.is_running());
+        profiler.stop(); // idempotent
+        let snap = profiler.snapshot(0);
+        assert!(
+            snap.folded.keys().any(|p| p.contains("busy")),
+            "sampler observed the open span: {:?}",
+            snap.folded
+        );
+        assert_eq!(snap.folded.values().sum::<u64>(), snap.samples);
+    }
+
+    #[test]
+    fn multithreaded_sampling_is_consistent() {
+        // Sized for Miri: few threads, few iterations, synchronous
+        // sampling interleaved with span churn.
+        let _mirror = MirrorGuard::on();
+        let profiler = Profiler::new(100, 8);
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    let tracer = Tracer::new(16);
+                    for _ in 0..20 {
+                        let _outer = tracer.span("outer");
+                        let _inner = tracer.span("inner");
+                        std::thread::yield_now();
+                    }
+                });
+            }
+            for _ in 0..20 {
+                profiler.sample_once();
+                std::thread::yield_now();
+            }
+        });
+        let snap = profiler.snapshot(0);
+        assert_eq!(
+            snap.folded.values().sum::<u64>(),
+            snap.samples,
+            "folded totals must equal the sample count: {:?}",
+            snap.folded
+        );
+        for path in snap.folded.keys() {
+            assert!(
+                path == "outer" || path == "outer;inner" || !path.contains("outer"),
+                "only well-formed stacks observed: {path}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_folded_skips_garbage_lines() {
+        let snap = ProfileSnapshot::from_folded("a;b 3\nnot a line\nc 2\n 5\nx y\n");
+        assert_eq!(snap.samples, 5);
+        assert_eq!(snap.folded.len(), 2);
+    }
+}

@@ -148,6 +148,9 @@ struct StackEntry {
     tracer: u64,
     trace: u64,
     span: u64,
+    /// Span name, mirrored to the continuous profiler's per-thread
+    /// slot (see [`crate::profile`]) on every push/pop.
+    name: &'static str,
     /// Whether this trace won the 1-in-N sampling draw (children
     /// inherit the root's decision).
     sampled: bool,
@@ -298,8 +301,10 @@ impl Tracer {
                 tracer: inner.id,
                 trace: trace.0,
                 span: id.0,
+                name,
                 sampled,
             });
+            crate::profile::mirror(stack.iter().map(|e| e.name));
             (trace, parent, sampled)
         });
         let record = SpanRecord {
@@ -346,6 +351,22 @@ impl Tracer {
                 .map(|e| (TraceId(e.trace), SpanId(e.span)))
         })
     }
+
+    /// The trace the current thread is inside, but only when that trace
+    /// won the sampling draw and will be retained in the ring — the id
+    /// exemplars should point at, since an unsampled trace's id would
+    /// 404 on `GET /trace/<id>`. `None` when no span is open here, the
+    /// trace is unsampled, or the tracer is disabled.
+    pub fn current_sampled_trace(&self) -> Option<TraceId> {
+        let inner = self.inner.as_ref()?;
+        SPAN_STACK.with(|s| {
+            s.borrow()
+                .iter()
+                .rev()
+                .find(|e| e.tracer == inner.id)
+                .and_then(|e| e.sampled.then_some(TraceId(e.trace)))
+        })
+    }
 }
 
 /// Logical id of the current thread (the same small dense integers
@@ -381,6 +402,13 @@ impl ActiveSpan {
     /// The trace this span belongs to (`None` when disabled).
     pub fn trace_id(&self) -> Option<TraceId> {
         self.inner.as_ref().map(|i| i.record.trace)
+    }
+
+    /// True when this span's trace won the sampling draw and will land
+    /// in the ring — the condition under which its trace id is worth
+    /// exposing as an exemplar.
+    pub fn is_sampled(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.sampled)
     }
 
     /// Attaches an unsigned-integer attribute.
@@ -443,6 +471,7 @@ impl Drop for ActiveSpan {
             {
                 stack.remove(pos);
             }
+            crate::profile::mirror(stack.iter().map(|e| e.name));
         });
         if sampled {
             tracer.ring.push(Box::new(record));
@@ -497,6 +526,10 @@ static GLOBAL_TRACER: OnceLock<Tracer> = OnceLock::new();
 /// root ran at least `T` microseconds.
 pub fn tracer() -> &'static Tracer {
     GLOBAL_TRACER.get_or_init(|| {
+        // Piggy-back continuous profiling on tracer initialization, so
+        // `OREX_PROFILE_HZ=97` profiles any orex process that opens a
+        // span, with no per-binary wiring.
+        crate::profile::init_from_env();
         if crate::env_disabled() {
             Tracer::disabled()
         } else {
