@@ -1,49 +1,57 @@
-//! HTTP load generator for `orex serve`.
+//! HTTP load generator for `orex serve` and `orex route`.
 //!
 //! Hammers a server with a mixed interactive workload — `POST /query`
 //! (drawn from a small keyword pool so the result cache gets hits),
 //! `GET /explain/<session>/<node>` on the top result, and
-//! `POST /feedback/<session>` — from many concurrent connections, then
+//! `POST /feedback/<session>` — from many concurrent clients, then
 //! reports a per-endpoint RED summary (request count, rate, 5xx
 //! errors, latency percentiles) as the usual results JSON
 //! (`results/loadgen.json`).
 //!
-//! Two modes:
+//! Every client owns a pooled keep-alive `HttpClient` (the same one the
+//! router's proxy hop uses), so a client's whole session rides one TCP
+//! connection; the results JSON reports the aggregate connection-reuse
+//! ratio and `--require-reuse F` turns it into a gate.
+//!
+//! Three modes:
 //! - default: spawns an in-process server on an ephemeral loopback port,
 //!   runs the workload, and drains it with a graceful shutdown — the
 //!   results JSON then also carries the server-side telemetry
 //!   (`server.request_us`, cache hit/miss counters) because server and
 //!   client share the process-global recorder;
-//! - `--addr HOST:PORT`: hammers an externally started `orex serve`
-//!   (the CI `server-smoke` job), regenerating the same preset locally
-//!   only to learn its suggested keywords.
+//! - `--addr HOST:PORT`: hammers an externally started `orex serve` or
+//!   `orex route` fleet (the CI smoke jobs), regenerating the presets
+//!   locally only to learn their suggested keywords;
+//! - `--datasets NAME=PRESET:SCALE,...`: a mixed multi-dataset workload —
+//!   each query carries a `dataset` field chosen zipfian-ly (`--zipf S`
+//!   skews the mix), exercising the registry path; without `--addr` the
+//!   in-process server serves the same specs from a `SystemRegistry`.
 //!
 //! After the workload it scrapes `GET /logs` while the server is still
-//! up, counting `server.access` records and surfacing any ERROR-level
-//! record the status codes may have hidden.
+//! up, counting access records and surfacing any ERROR-level record the
+//! status codes may have hidden, and scrapes `/debug/status` for
+//! burning SLOs — understanding both the single-server doc and the
+//! router's fleet doc (burning SLOs inside `workers[i].status`).
 //!
-//! Exits nonzero on any dropped connection, 5xx response, ERROR-level
-//! log record, or burning SLO (scraped from `/debug/status` while the
-//! server is still up).
+//! Exits nonzero on dropped connections or 5xx responses beyond
+//! `--allow-errors N` (default 0), ERROR-level log records, burning
+//! SLOs, a dirty shutdown, or a reuse ratio under `--require-reuse`.
+//! Explain/feedback requests answered 404/503 count as `lost_sessions`,
+//! not errors: after a worker crash those sessions are honestly gone,
+//! which is graceful degradation, not failure.
 //!
 //! Run: `cargo run -p orex-bench --release --bin loadgen
 //!       [-- --connections 64 --rounds 3 --scale 0.05 [--addr H:P]
-//!        [--multi PCT]]`
-//!
-//! `--multi PCT` makes PCT percent of queries two-keyword combinations
-//! drawn from the pool — against a server started with `--precompute`
-//! these are answered by the exact linear combination of precomputed
-//! vectors, and the results JSON reports how many responses carried
-//! `"combined": true`.
+//!        [--multi PCT] [--datasets SPEC,...] [--zipf S] [--think-ms N]
+//!        [--require-reuse F] [--allow-errors N]]`
 
 use orex_bench::{arg_value, build_system, pick_queries, scale_arg, write_json};
 use orex_core::SystemConfig;
 use orex_datagen::Preset;
-use orex_server::{Server, ServerConfig};
+use orex_server::{DatasetSpec, HttpClient, Server, ServerConfig, SystemRegistry};
 use std::collections::BTreeMap;
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
-use std::sync::{Arc, Mutex};
+use std::net::ToSocketAddrs;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -77,95 +85,131 @@ struct Tally {
     /// (`"combined": true`) — nonzero only when the server was started
     /// with `--precompute`.
     combined: usize,
+    /// Explain/feedback requests answered 404/503: the session's worker
+    /// died and took the session with it. Reported, not failed.
+    lost_sessions: usize,
+    /// Aggregate keep-alive client stats across every client thread.
+    http_requests: u64,
+    http_connects: u64,
+    http_reuses: u64,
 }
 
-/// One request over a fresh connection (the server closes per request).
-/// Returns the status and body, or `None` when the connection dropped.
-fn request(addr: SocketAddr, raw: &[u8]) -> Option<(u16, String)> {
-    let mut stream = TcpStream::connect(addr).ok()?;
-    stream
-        .set_read_timeout(Some(Duration::from_secs(30)))
-        .ok()?;
-    stream.write_all(raw).ok()?;
-    let mut response = Vec::new();
-    stream.read_to_end(&mut response).ok()?;
-    let text = String::from_utf8_lossy(&response);
-    let status: u16 = text.split_whitespace().nth(1)?.parse().ok()?;
-    let body = text
-        .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
-        .unwrap_or_default();
-    Some((status, body))
+/// One workload target dataset: the name queries carry and the keyword
+/// pool drawn for it.
+struct DatasetLoad {
+    /// `dataset` field value; `None` for the single-dataset legacy mode
+    /// (the field is omitted and the server uses its default).
+    name: Option<String>,
+    keywords: Vec<String>,
 }
 
-fn get(addr: SocketAddr, path: &str) -> Option<(u16, String)> {
-    request(
-        addr,
-        format!("GET {path} HTTP/1.1\r\nHost: loadgen\r\n\r\n").as_bytes(),
-    )
+/// SplitMix64-style mixer: deterministic per-(client, round) randomness
+/// without a PRNG dependency.
+fn mix(a: u64, b: u64) -> u64 {
+    let mut x = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
-fn post(addr: SocketAddr, path: &str, body: &str) -> Option<(u16, String)> {
-    request(
-        addr,
-        format!(
-            "POST {path} HTTP/1.1\r\nHost: loadgen\r\nContent-Length: {}\r\n\r\n{body}",
-            body.len()
-        )
-        .as_bytes(),
-    )
+/// Cumulative zipfian thresholds over `n` ranks with exponent `s`:
+/// rank `i` gets weight `1/(i+1)^s`.
+fn zipf_thresholds(n: usize, s: f64) -> Vec<f64> {
+    let weights: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut acc = 0.0;
+    weights
+        .iter()
+        .map(|w| {
+            acc += w / total;
+            acc
+        })
+        .collect()
+}
+
+/// Picks a rank from `thresholds` using hash `h` as the uniform draw.
+fn zipf_pick(thresholds: &[f64], h: u64) -> usize {
+    let u = (h % 1_000_000) as f64 / 1_000_000.0;
+    thresholds
+        .iter()
+        .position(|t| u < *t)
+        .unwrap_or(thresholds.len().saturating_sub(1))
 }
 
 fn timed(
     tally: &Mutex<Tally>,
     op: Op,
-    reply: Option<(u16, String)>,
+    reply: std::io::Result<orex_server::ClientResponse>,
     start: Instant,
 ) -> Option<String> {
     let latency_us = start.elapsed().as_micros() as u64;
     let mut tally = tally.lock().unwrap();
     match reply {
-        Some((status, body)) => {
+        Ok(response) => {
+            let status = response.status;
             tally.samples.push(Sample {
                 op,
                 status,
                 latency_us,
             });
-            (status == 200).then_some(body)
+            if op != Op::Query && (status == 404 || status == 503) {
+                tally.lost_sessions += 1;
+            }
+            (status == 200).then(|| String::from_utf8_lossy(&response.body).into_owned())
         }
-        None => {
+        Err(_) => {
             tally.dropped += 1;
             None
         }
     }
 }
 
-/// One client's workload: query, usually explain the top hit, then one
-/// feedback round — sessions and picks parsed straight off the wire.
-/// `multi` percent of queries combine two pool keywords, exercising the
-/// precomputed-vector combination path on a `--precompute` server.
-fn run_client(
-    addr: SocketAddr,
-    keywords: &[String],
+/// The workload every client runs: targets, mix, and pacing.
+struct Plan {
+    addr: String,
+    datasets: Vec<DatasetLoad>,
+    /// Cumulative zipfian thresholds over `datasets`.
+    thresholds: Vec<f64>,
     rounds: usize,
+    /// Percent of queries combining two pool keywords.
     multi: usize,
-    id: usize,
-    tally: &Mutex<Tally>,
-) {
-    for round in 0..rounds {
-        let keyword = &keywords[(id + round) % keywords.len()];
-        let query_text = if keywords.len() > 1 && (id + round) % 100 < multi {
-            let second = &keywords[(id + round + 1) % keywords.len()];
+    /// Per-round think time.
+    think: Duration,
+}
+
+/// One client's workload over one pooled keep-alive connection: pick a
+/// dataset zipfian-ly, query it, usually explain the top hit, then one
+/// feedback round — sessions and picks parsed straight off the wire.
+/// `plan.multi` percent of queries combine two pool keywords,
+/// exercising the precomputed-vector combination path on a
+/// `--precompute` server.
+fn run_client(plan: &Plan, id: usize, tally: &Mutex<Tally>) {
+    let client = HttpClient::new(plan.addr.clone());
+    for round in 0..plan.rounds {
+        if round > 0 && !plan.think.is_zero() {
+            std::thread::sleep(plan.think);
+        }
+        let h = mix(id as u64, round as u64);
+        let ds = &plan.datasets[zipf_pick(&plan.thresholds, h)];
+        let keyword = &ds.keywords[(h >> 20) as usize % ds.keywords.len()];
+        let query_text = if ds.keywords.len() > 1 && (h >> 7) % 100 < plan.multi as u64 {
+            let second = &ds.keywords[((h >> 20) as usize + 1) % ds.keywords.len()];
             format!("{keyword} {second}")
         } else {
             keyword.clone()
         };
+        let body = match &ds.name {
+            Some(name) => {
+                format!("{{\"query\": \"{query_text}\", \"k\": 5, \"dataset\": \"{name}\"}}")
+            }
+            None => format!("{{\"query\": \"{query_text}\", \"k\": 5}}"),
+        };
         let t = Instant::now();
-        let reply = post(
-            addr,
-            "/query",
-            &format!("{{\"query\": \"{query_text}\", \"k\": 5}}"),
-        );
+        let reply = client.post("/query", &body);
         let Some(body) = timed(tally, Op::Query, reply, t) else {
             continue;
         };
@@ -189,17 +233,20 @@ fn run_client(
         // mirroring the interactive loop; the rest go straight to it.
         if !(id + round).is_multiple_of(3) {
             let t = Instant::now();
-            let reply = get(addr, &format!("/explain/{session}/{node}"));
+            let reply = client.get(&format!("/explain/{session}/{node}"));
             timed(tally, Op::Explain, reply, t);
         }
         let t = Instant::now();
-        let reply = post(
-            addr,
+        let reply = client.post(
             &format!("/feedback/{session}"),
             &format!("{{\"objects\": [{node}], \"k\": 5}}"),
         );
         timed(tally, Op::Feedback, reply, t);
     }
+    let mut tally = tally.lock().unwrap();
+    tally.http_requests += client.requests();
+    tally.http_connects += client.connects();
+    tally.http_reuses += client.reuses();
 }
 
 fn percentile(sorted: &[u64], p: f64) -> u64 {
@@ -208,6 +255,35 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
     }
     let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
     sorted[idx]
+}
+
+/// Burning SLO names from a `/debug/status?format=json` doc — either the
+/// single-server shape (`slos` at top level) or the router's fleet
+/// shape (`workers[i].status.slos`, prefixed with the worker index).
+fn burning_slos_from(doc: &serde_json::Value) -> Vec<String> {
+    fn collect(doc: &serde_json::Value, prefix: &str, out: &mut Vec<String>) {
+        let Some(slos) = doc.get("slos").and_then(|s| s.as_array()) else {
+            return;
+        };
+        for s in slos {
+            if s.get("burning").and_then(|b| b.as_bool()) == Some(true) {
+                if let Some(name) = s.get("name").and_then(|n| n.as_str()) {
+                    out.push(format!("{prefix}{name}"));
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    collect(doc, "", &mut out);
+    if let Some(workers) = doc.get("workers").and_then(|w| w.as_array()) {
+        for worker in workers {
+            let index = worker.get("index").and_then(|i| i.as_u64()).unwrap_or(0);
+            if let Some(status) = worker.get("status") {
+                collect(status, &format!("worker{index}:"), &mut out);
+            }
+        }
+    }
+    out
 }
 
 fn main() {
@@ -221,11 +297,36 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(0)
         .min(100);
+    let zipf: f64 = arg_value("zipf")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    let think = Duration::from_millis(
+        arg_value("think-ms")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0),
+    );
+    let require_reuse: Option<f64> = arg_value("require-reuse").and_then(|v| v.parse().ok());
+    let allow_errors: usize = arg_value("allow-errors")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
     let scale = scale_arg(0.05);
     let preset_name = arg_value("preset").unwrap_or_else(|| "dblp-top".into());
     let Some(preset) = Preset::parse(&preset_name) else {
         eprintln!("loadgen: unknown preset '{preset_name}'");
         std::process::exit(2);
+    };
+    let dataset_specs: Vec<DatasetSpec> = match arg_value("datasets") {
+        None => Vec::new(),
+        Some(raw) => raw
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                DatasetSpec::parse(s).unwrap_or_else(|e| {
+                    eprintln!("loadgen: --datasets: {e}");
+                    std::process::exit(2);
+                })
+            })
+            .collect(),
     };
     let external_addr = arg_value("addr");
     let mode = if external_addr.is_some() {
@@ -234,63 +335,128 @@ fn main() {
         "in-process"
     };
 
-    // Keyword pool: small on purpose, so concurrent clients collide on
-    // the same normalized queries and exercise the result cache.
-    let (keywords, server) = if external_addr.is_some() {
-        // External server: it owns the system; we only need the
-        // deterministic generator's keyword suggestions.
-        let dataset = preset.generate(scale);
-        (dataset.suggested_keywords, None)
+    // Keyword pools: small on purpose, so concurrent clients collide on
+    // the same normalized queries and exercise the result cache (and,
+    // through the router, the same worker's cache).
+    let (datasets, server) = if dataset_specs.is_empty() {
+        if external_addr.is_some() {
+            // External server: it owns the system; we only need the
+            // deterministic generator's keyword suggestions.
+            let dataset = preset.generate(scale);
+            let keywords: Vec<String> = dataset.suggested_keywords.into_iter().take(4).collect();
+            (
+                vec![DatasetLoad {
+                    name: None,
+                    keywords,
+                }],
+                None,
+            )
+        } else {
+            let (system, _, kws) = build_system(preset, scale, SystemConfig::default());
+            let queries = pick_queries(&system, &kws, 4);
+            let keywords: Vec<String> = queries.iter().map(|q| q.keywords[0].clone()).collect();
+            let server = Server::bind(
+                std::sync::Arc::new(system),
+                ServerConfig {
+                    addr: "127.0.0.1:0".into(),
+                    threads: 8,
+                    ..ServerConfig::default()
+                },
+            )
+            .expect("bind loopback");
+            (
+                vec![DatasetLoad {
+                    name: None,
+                    keywords,
+                }],
+                Some(server),
+            )
+        }
     } else {
-        let (system, _, kws) = build_system(preset, scale, SystemConfig::default());
-        let queries = pick_queries(&system, &kws, 4);
-        let keywords: Vec<String> = queries.iter().map(|q| q.keywords[0].clone()).collect();
-        let server = Server::bind(
-            Arc::new(system),
-            ServerConfig {
-                addr: "127.0.0.1:0".into(),
-                threads: 8,
-                ..ServerConfig::default()
-            },
-        )
-        .expect("bind loopback");
-        (keywords, Some(server))
+        let loads: Vec<DatasetLoad> = dataset_specs
+            .iter()
+            .map(|spec| DatasetLoad {
+                name: Some(spec.name.clone()),
+                keywords: spec
+                    .preset
+                    .generate(spec.scale)
+                    .suggested_keywords
+                    .into_iter()
+                    .take(4)
+                    .collect(),
+            })
+            .collect();
+        let server = if external_addr.is_some() {
+            None
+        } else {
+            let registry =
+                SystemRegistry::new(dataset_specs.clone(), 64, true).unwrap_or_else(|e| {
+                    eprintln!("loadgen: {e}");
+                    std::process::exit(2);
+                });
+            Some(
+                Server::bind_registry(
+                    registry,
+                    ServerConfig {
+                        addr: "127.0.0.1:0".into(),
+                        threads: 8,
+                        ..ServerConfig::default()
+                    },
+                )
+                .expect("bind loopback"),
+            )
+        };
+        (loads, server)
     };
-    let keywords: Vec<String> = keywords.into_iter().take(4).collect();
-    assert!(!keywords.is_empty(), "no keywords to query");
+    assert!(
+        datasets.iter().all(|d| !d.keywords.is_empty()),
+        "no keywords to query"
+    );
+    let thresholds = zipf_thresholds(datasets.len(), zipf);
 
     let (addr, shutdown, server_thread) = match server {
         Some(server) => {
-            let addr = server.local_addr().expect("local addr");
+            let addr = server.local_addr().expect("local addr").to_string();
             let handle = server.shutdown_handle();
             let thread = std::thread::spawn(move || server.run());
             (addr, Some(handle), Some(thread))
         }
         None => {
             let raw = external_addr.unwrap();
-            let addr = raw
+            if raw
                 .to_socket_addrs()
                 .ok()
                 .and_then(|mut a| a.next())
-                .unwrap_or_else(|| {
-                    eprintln!("loadgen: cannot resolve --addr '{raw}'");
-                    std::process::exit(2);
-                });
-            (addr, None, None)
+                .is_none()
+            {
+                eprintln!("loadgen: cannot resolve --addr '{raw}'");
+                std::process::exit(2);
+            }
+            (raw, None, None)
         }
     };
+    let dataset_names: Vec<String> = datasets.iter().filter_map(|d| d.name.clone()).collect();
     eprintln!(
-        "[loadgen] {connections} connections x {rounds} rounds against {addr} ({} keywords)",
-        keywords.len()
+        "[loadgen] {connections} clients x {rounds} rounds against {addr} ({} dataset(s), zipf {zipf})",
+        datasets.len()
     );
 
     let tally = Mutex::new(Tally::default());
+    let probe = HttpClient::new(addr.clone());
+    let plan = Plan {
+        addr: addr.clone(),
+        datasets,
+        thresholds,
+        rounds,
+        multi,
+        think,
+    };
     let wall = Instant::now();
     std::thread::scope(|scope| {
         for id in 0..connections {
-            let keywords = &keywords;
+            let plan = &plan;
             let tally = &tally;
-            scope.spawn(move || run_client(addr, keywords, rounds, multi, id, tally));
+            scope.spawn(move || run_client(plan, id, tally));
         }
     });
     let wall = wall.elapsed();
@@ -298,16 +464,20 @@ fn main() {
     // Scrape the structured event log while the server is still up: any
     // ERROR-level record is a server-side failure the status codes may
     // have hidden, and the access-log count cross-checks the client
-    // tally (one `server.access` record per request we made).
-    let (log_errors, access_records) = match get(addr, "/logs?level=info") {
-        Some((200, body)) => {
+    // tally. Against a router the records carry a `worker` field.
+    let (log_errors, access_records) = match probe.get("/logs?level=info") {
+        Ok(r) if r.status == 200 => {
+            let body = String::from_utf8_lossy(&r.body).into_owned();
             let mut errors = 0u64;
             let mut access = 0u64;
             for line in body.lines().filter(|l| !l.is_empty()) {
                 let Ok(v) = serde_json::from_str(line) else {
                     continue;
                 };
-                if v.get("target").and_then(|t| t.as_str()) == Some("server.access") {
+                if matches!(
+                    v.get("target").and_then(|t| t.as_str()),
+                    Some("server.access" | "router.access")
+                ) {
                     access += 1;
                 }
                 if v.get("level").and_then(|l| l.as_str()) == Some("ERROR") {
@@ -327,17 +497,10 @@ fn main() {
     // still up. A burning SLO (both burn-rate windows over 1.0) means
     // the workload ate error budget faster than the objective allows —
     // that fails the run even when no individual request failed hard.
-    let burning_slos: Vec<String> = match get(addr, "/debug/status?format=json") {
-        Some((200, body)) => serde_json::from_str(&body)
-            .ok()
-            .and_then(|v: serde_json::Value| {
-                v.get("slos").and_then(|s| s.as_array()).map(|slos| {
-                    slos.iter()
-                        .filter(|s| s.get("burning").and_then(|b| b.as_bool()) == Some(true))
-                        .filter_map(|s| s.get("name").and_then(|n| n.as_str()).map(String::from))
-                        .collect()
-                })
-            })
+    // Understands both the single-server and router fleet doc shapes.
+    let burning_slos: Vec<String> = match probe.get("/debug/status?format=json") {
+        Ok(r) if r.status == 200 => serde_json::from_str(&String::from_utf8_lossy(&r.body))
+            .map(|v: serde_json::Value| burning_slos_from(&v))
             .unwrap_or_default(),
         other => {
             eprintln!("[loadgen] /debug/status scrape failed: {other:?}");
@@ -359,8 +522,14 @@ fn main() {
     };
 
     let tally = tally.into_inner().unwrap();
+    let reuse_ratio = if tally.http_requests > 0 {
+        tally.http_reuses as f64 / tally.http_requests as f64
+    } else {
+        0.0
+    };
     // Per-endpoint RED aggregation: latencies plus 5xx counts, keyed by
-    // operation name.
+    // operation name. Lost sessions (404/503 on explain/feedback after
+    // a worker died) are tracked separately, not as server errors.
     let mut by_op: BTreeMap<&'static str, (Vec<u64>, u64)> = BTreeMap::new();
     let mut statuses: BTreeMap<String, u64> = BTreeMap::new();
     let mut server_errors = 0u64;
@@ -368,12 +537,14 @@ fn main() {
         let entry = by_op.entry(s.op.name()).or_default();
         entry.0.push(s.latency_us);
         *statuses.entry(format!("{}", s.status)).or_insert(0) += 1;
-        if s.status >= 500 {
+        let lost_session = s.op != Op::Query && (s.status == 404 || s.status == 503);
+        if s.status >= 500 && !lost_session {
             entry.1 += 1;
             server_errors += 1;
         }
     }
 
+    let mut query_p99 = 0u64;
     let mut ops = serde_json::Map::new();
     for (op, (mut latencies, errors_5xx)) in by_op {
         latencies.sort_unstable();
@@ -382,6 +553,9 @@ fn main() {
         } else {
             0.0
         };
+        if op == "query" {
+            query_p99 = percentile(&latencies, 0.99);
+        }
         println!(
             "{op:>9}: {:>5} requests ({rate_per_s:>6.1}/s)  {errors_5xx} 5xx  p50 {:>7}us  p95 {:>7}us  p99 {:>7}us  max {:>7}us",
             latencies.len(),
@@ -408,17 +582,25 @@ fn main() {
         status_map.insert(code.clone(), serde_json::Value::from(*n));
     }
     println!(
-        "   totals: {} requests in {:.2?}, {} dropped, {} server errors, {} logged errors, {} access-log records, {} combined responses, {} burning SLOs, clean shutdown: {clean_shutdown}",
+        "   totals: {} requests in {:.2?}, {} dropped, {} server errors, {} lost sessions, {} logged errors, {} access-log records, {} combined responses, {} burning SLOs, reuse {:.1}% ({} connects / {} requests), clean shutdown: {clean_shutdown}",
         tally.samples.len(),
         wall,
         tally.dropped,
         server_errors,
+        tally.lost_sessions,
         log_errors,
         access_records,
         tally.combined,
         burning_slos.len(),
+        reuse_ratio * 100.0,
+        tally.http_connects,
+        tally.http_requests,
     );
 
+    let mut dataset_list = Vec::new();
+    for name in &dataset_names {
+        dataset_list.push(serde_json::Value::from(name.clone()));
+    }
     write_json(
         "loadgen",
         &serde_json::json!({
@@ -428,28 +610,49 @@ fn main() {
             "combined_responses": tally.combined as u64,
             "scale": scale,
             "mode": mode,
+            "datasets": serde_json::Value::from(dataset_list),
+            "zipf": zipf,
+            "think_ms": think.as_millis() as u64,
             "wall_seconds": wall.as_secs_f64(),
             "requests": tally.samples.len() as u64,
             "dropped": tally.dropped as u64,
             "server_errors": server_errors,
+            "lost_sessions": tally.lost_sessions as u64,
             "log_errors": log_errors,
             "access_log_records": access_records,
             "burning_slos": burning_slos.len() as u64,
             "clean_shutdown": clean_shutdown,
+            "query_p99_us": query_p99,
+            "keepalive_requests": tally.http_requests,
+            "keepalive_connects": tally.http_connects,
+            "keepalive_reuses": tally.http_reuses,
+            "keepalive_reuse_ratio": reuse_ratio,
             "statuses": serde_json::Value::Object(status_map),
             "endpoints": serde_json::Value::Object(ops),
         }),
     );
 
-    if tally.dropped > 0
-        || server_errors > 0
-        || log_errors > 0
-        || !burning_slos.is_empty()
-        || !clean_shutdown
-    {
+    let hard_errors = tally.dropped + server_errors as usize;
+    let mut failed = false;
+    if hard_errors > allow_errors {
         eprintln!(
-            "[loadgen] FAILED: drops, server errors, ERROR log records, or burning SLOs present"
+            "[loadgen] FAILED: {hard_errors} drops/server errors exceed --allow-errors {allow_errors}"
         );
+        failed = true;
+    }
+    if log_errors > 0 || !burning_slos.is_empty() || !clean_shutdown {
+        eprintln!("[loadgen] FAILED: ERROR log records, burning SLOs, or dirty shutdown");
+        failed = true;
+    }
+    if let Some(required) = require_reuse {
+        if reuse_ratio < required {
+            eprintln!(
+                "[loadgen] FAILED: keep-alive reuse {reuse_ratio:.3} below required {required:.3}"
+            );
+            failed = true;
+        }
+    }
+    if failed {
         std::process::exit(1);
     }
 }

@@ -203,8 +203,13 @@ fn fmt_count(v: f64) -> String {
 }
 
 /// Renders a `/debug/status?format=json` document as a terminal
-/// dashboard: RED table, occupancy line, SLO burn rates, sparklines.
+/// dashboard. Understands both shapes: a single server's doc (RED
+/// table, occupancy, SLO burn rates, sparklines) and a router's fleet
+/// doc (router summary plus one RED/SLO row per worker).
 fn render_status(addr: &str, doc: &serde_json::Value) -> String {
+    if doc.get("router").is_some() && doc.get("workers").is_some() {
+        return render_fleet_status(doc);
+    }
     let mut out = String::new();
     let uptime = doc.get("uptime_s").and_then(|v| v.as_f64()).unwrap_or(0.0);
     let recent_errors = doc
@@ -308,10 +313,127 @@ fn render_status(addr: &str, doc: &serde_json::Value) -> String {
     out
 }
 
+/// Renders the router's fleet status doc: a summary line, then one RED
+/// row per worker (requests, rate, 5xx, worst p95, SLO burn) computed
+/// from each worker's inlined status doc.
+fn render_fleet_status(doc: &serde_json::Value) -> String {
+    let mut out = String::new();
+    let router = doc.get("router");
+    let rg = |k: &str| {
+        router
+            .and_then(|r| r.get(k))
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0)
+    };
+    let uptime = router
+        .and_then(|r| r.get("uptime_s"))
+        .and_then(|v| v.as_f64())
+        .unwrap_or(0.0);
+    let router_addr = router
+        .and_then(|r| r.get("addr"))
+        .and_then(|v| v.as_str())
+        .unwrap_or("?");
+    let _ = writeln!(
+        out,
+        "orex top — router {router_addr}   workers {} (healthy {})   up {uptime:.0}s   requests {}   retries {}   worker restarts {}",
+        rg("workers"),
+        rg("healthy"),
+        rg("requests"),
+        rg("retries"),
+        rg("worker_restarts"),
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "  {:<6} {:<18} {:<6} {:>8} {:>9} {:>8} {:>6} {:>10} slo",
+        "worker", "addr", "health", "restarts", "requests", "req/s", "5xx", "p95(us)"
+    );
+
+    let mut burning_names: Vec<String> = Vec::new();
+    for row in doc
+        .get("workers")
+        .and_then(|v| v.as_array())
+        .map(Vec::as_slice)
+        .unwrap_or_default()
+    {
+        let index = row.get("index").and_then(|v| v.as_u64()).unwrap_or(0);
+        let worker_addr = row.get("addr").and_then(|v| v.as_str()).unwrap_or("?");
+        let healthy = row
+            .get("healthy")
+            .and_then(|v| v.as_bool())
+            .unwrap_or(false);
+        let restarts = row.get("restarts").and_then(|v| v.as_u64()).unwrap_or(0);
+        let status = row.get("status");
+        // Down (or not-yet-scraped) workers have a Null status doc.
+        let Some(status) = status.filter(|s| s.as_object().is_some()) else {
+            let _ = writeln!(
+                out,
+                "  {index:<6} {worker_addr:<18} {:<6} {restarts:>8} {:>9} {:>8} {:>6} {:>10} -",
+                if healthy { "ok" } else { "DOWN" },
+                "-",
+                "-",
+                "-",
+                "-",
+            );
+            continue;
+        };
+        // Fold the worker's per-endpoint RED rows into one fleet row.
+        let mut requests = 0u64;
+        let mut rate = 0.0f64;
+        let mut errors_5xx = 0u64;
+        let mut p95 = 0.0f64;
+        for ep in status
+            .get("endpoints")
+            .and_then(|v| v.as_array())
+            .map(Vec::as_slice)
+            .unwrap_or_default()
+        {
+            let f = |k: &str| ep.get(k).and_then(|v| v.as_f64()).unwrap_or(0.0);
+            requests += f("requests") as u64;
+            rate += f("rate_per_s");
+            errors_5xx += f("errors_5xx") as u64;
+            p95 = p95.max(f("p95_us"));
+        }
+        let mut burning = 0usize;
+        for slo in status
+            .get("slos")
+            .and_then(|v| v.as_array())
+            .map(Vec::as_slice)
+            .unwrap_or_default()
+        {
+            if slo.get("burning").and_then(|v| v.as_bool()) == Some(true) {
+                burning += 1;
+                if let Some(name) = slo.get("name").and_then(|v| v.as_str()) {
+                    burning_names.push(format!("worker{index}:{name}"));
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  {index:<6} {worker_addr:<18} {:<6} {restarts:>8} {requests:>9} {rate:>8.1} {errors_5xx:>6} {:>10} {}",
+            if healthy { "ok" } else { "DOWN" },
+            fmt_count(p95),
+            if burning > 0 {
+                format!("BURNING({burning})")
+            } else {
+                "ok".to_string()
+            },
+        );
+    }
+    if !burning_names.is_empty() {
+        let _ = writeln!(out);
+        for name in burning_names {
+            let _ = writeln!(out, "  SLO burning: {name}");
+        }
+    }
+    out
+}
+
 /// `orex top [--addr A] [--interval-ms N] [--once]` — poll a running
-/// server's `/debug/status?format=json` and render it as a terminal
-/// dashboard; `--once` prints a single frame and exits (for scripts and
-/// CI). Returns the process exit code.
+/// server's (or router's) `/debug/status?format=json` and render it as
+/// a terminal dashboard — against `orex route` the frame shows one RED
+/// row per worker plus SLO burn; `--once` prints a single frame and
+/// exits (for scripts and CI). Returns the process exit code.
 pub fn run_top(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> std::io::Result<i32> {
     let addr = flag_value(args, "--addr").unwrap_or_else(|| DEFAULT_ADDR.into());
     let interval: u64 = match flag_value(args, "--interval-ms").map(|s| s.parse()) {
@@ -437,6 +559,51 @@ mod tests {
         // environment; connect fails fast.
         let (code, _) = run(|o, e| run_profile(&args(&["--addr", "127.0.0.1:9"]), o, e));
         assert_eq!(code, 1);
+    }
+
+    #[test]
+    fn top_renders_fleet_status_docs_with_per_worker_rows() {
+        let doc: serde_json::Value = serde_json::from_str(
+            r#"{
+              "router": {"addr": "127.0.0.1:7470", "workers": 2, "healthy": 1,
+                         "requests": 42, "retries": 3, "worker_restarts": 1,
+                         "uptime_s": 12.5},
+              "workers": [
+                {"index": 0, "addr": "127.0.0.1:7480", "healthy": true, "restarts": 0,
+                 "status": {
+                   "endpoints": [
+                     {"name": "query", "requests": 30, "rate_per_s": 3.0,
+                      "errors_5xx": 0, "p50_us": 100, "p95_us": 900},
+                     {"name": "explain", "requests": 10, "rate_per_s": 1.0,
+                      "errors_5xx": 1, "p50_us": 50, "p95_us": 400}
+                   ],
+                   "slos": [{"name": "availability", "burning": true,
+                             "objective": 0.999, "burn_short": 2.0, "burn_long": 1.5}]
+                 }},
+                {"index": 1, "addr": "127.0.0.1:7481", "healthy": false, "restarts": 2,
+                 "status": null}
+              ]
+            }"#,
+        )
+        .expect("fixture doc");
+        let frame = render_status("127.0.0.1:7470", &doc);
+        assert!(frame.contains("workers 2 (healthy 1)"), "{frame}");
+        assert!(frame.contains("retries 3"), "{frame}");
+        // Worker 0: folded RED row (30+10 requests, 1 5xx, worst p95).
+        assert!(frame.contains("127.0.0.1:7480"), "{frame}");
+        assert!(frame.contains("40"), "{frame}");
+        assert!(frame.contains("900"), "{frame}");
+        assert!(frame.contains("BURNING(1)"), "{frame}");
+        assert!(frame.contains("worker0:availability"), "{frame}");
+        // Worker 1 is down: dashes, no fabricated numbers.
+        assert!(frame.contains("DOWN"), "{frame}");
+
+        // A single-server doc still renders the classic dashboard.
+        let single: serde_json::Value =
+            serde_json::from_str(r#"{"uptime_s": 5.0, "recent_errors": 0, "endpoints": []}"#)
+                .expect("single doc");
+        let frame = render_status("127.0.0.1:7474", &single);
+        assert!(frame.contains("orex top — 127.0.0.1:7474"), "{frame}");
     }
 
     #[test]

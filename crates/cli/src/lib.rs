@@ -15,6 +15,7 @@ mod command;
 mod diag;
 mod logs;
 mod precompute;
+mod route;
 mod serve;
 mod subcommands;
 
@@ -23,5 +24,6 @@ pub use command::{parse, Command, ParseError, HELP};
 pub use diag::{run_profile, run_top};
 pub use logs::run_logs;
 pub use precompute::run_precompute;
+pub use route::run_route;
 pub use serve::run_serve;
 pub use subcommands::{load_snapshot, run_stats, run_trace, SUBCOMMAND_HELP};

@@ -1,0 +1,216 @@
+//! The `orex route` subcommand: spawn and front a shared-nothing
+//! worker fleet.
+//!
+//! One command brings up N `orex serve` worker processes on
+//! consecutive ports plus a router that consistent-hashes queries
+//! across them, supervises crashes, and aggregates `/metrics`, `/logs`,
+//! and `/debug/status` fleet-wide:
+//!
+//! ```text
+//! orex route --addr 127.0.0.1:7470 --workers 3 --base-port 7480 \
+//!     --dataset dblp=dblp-top:0.05 --dataset bio=ds7-cancer:0.02
+//! ```
+//!
+//! Dataset and tuning flags after the router's own are forwarded to
+//! every worker. SIGTERM/ctrl-c drain the router's open connections,
+//! then cascade to the workers so each drains its in-flight requests.
+
+use orex_router::{Fleet, Router, RouterConfig, WorkerSource};
+use orex_server::install_signal_handlers;
+use std::io::Write;
+use std::time::Duration;
+
+use crate::subcommands::SUBCOMMAND_HELP;
+
+fn flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, String> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    let Some(raw) = args.get(i + 1) else {
+        return Err(format!("route: {flag} expects a value"));
+    };
+    raw.parse()
+        .map(Some)
+        .map_err(|_| format!("route: {flag} got invalid value '{raw}'"))
+}
+
+/// Every value following any occurrence of `flag`.
+fn flag_values(args: &[String], flag: &str) -> Vec<String> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == flag)
+        .filter_map(|(i, _)| args.get(i + 1).cloned())
+        .collect()
+}
+
+/// Worker flags the router forwards verbatim to every spawned
+/// `orex serve` process.
+const FORWARDED_VALUE_FLAGS: &[&str] = &[
+    "--dataset",
+    "--preset",
+    "--scale",
+    "--threads",
+    "--cache-entries",
+    "--session-ttl",
+    "--max-sessions",
+    "--precompute",
+    "--trace-sample",
+    "--trace-slow-ms",
+];
+const FORWARDED_SWITCHES: &[&str] = &["--eager", "--no-backfill"];
+
+/// `orex route [--addr A] [--workers N] [--base-port P]
+/// [--worker-addr H:P]... [--health-interval-ms N] [--timeout-ms N]
+/// [--max-connections N] [<forwarded worker flags>]` — serve the fleet.
+/// Returns the process exit code.
+pub fn run_route(
+    args: &[String],
+    out: &mut dyn Write,
+    err: &mut dyn Write,
+) -> std::io::Result<i32> {
+    let mut config = RouterConfig::default();
+    let workers: usize;
+    let base_port: u16;
+    let external: Vec<String> = flag_values(args, "--worker-addr");
+    let parsed: Result<(usize, u16), String> = (|| {
+        if let Some(addr) = flag::<String>(args, "--addr")? {
+            config.addr = addr;
+        }
+        if let Some(ms) = flag::<u64>(args, "--timeout-ms")? {
+            config.io_timeout = Duration::from_millis(ms.max(1));
+        }
+        if let Some(ms) = flag::<u64>(args, "--health-interval-ms")? {
+            config.health_interval = Duration::from_millis(ms.max(50));
+        }
+        if let Some(max) = flag::<usize>(args, "--max-connections")? {
+            config.max_connections = max;
+        }
+        let workers = flag::<usize>(args, "--workers")?.unwrap_or(2);
+        if workers == 0 {
+            return Err("route: --workers must be at least 1".into());
+        }
+        let base_port = flag::<u16>(args, "--base-port")?.unwrap_or(7480);
+        Ok((workers, base_port))
+    })();
+    match parsed {
+        Ok((w, p)) => {
+            workers = w;
+            base_port = p;
+        }
+        Err(msg) => {
+            writeln!(err, "{msg}\n\n{SUBCOMMAND_HELP}")?;
+            return Ok(2);
+        }
+    }
+
+    let source = if external.is_empty() {
+        let exe = std::env::current_exe()?;
+        let mut argv = vec![exe.to_string_lossy().into_owned(), "serve".to_string()];
+        for name in FORWARDED_VALUE_FLAGS {
+            for value in flag_values(args, name) {
+                argv.push((*name).to_string());
+                argv.push(value);
+            }
+        }
+        for name in FORWARDED_SWITCHES {
+            if args.iter().any(|a| a == name) {
+                argv.push((*name).to_string());
+            }
+        }
+        WorkerSource::Spawn {
+            argv,
+            base_port,
+            workers,
+        }
+    } else {
+        WorkerSource::External { addrs: external }
+    };
+
+    let fleet = match Fleet::start(source, config.health_interval) {
+        Ok(fleet) => fleet,
+        Err(e) => {
+            writeln!(err, "route: starting the worker fleet: {e}")?;
+            return Ok(1);
+        }
+    };
+    let router = match Router::bind(std::sync::Arc::clone(&fleet), config.clone()) {
+        Ok(router) => router,
+        Err(e) => {
+            writeln!(err, "route: binding {}: {e}", config.addr)?;
+            fleet.shutdown();
+            return Ok(1);
+        }
+    };
+    install_signal_handlers();
+    let addr = router.local_addr()?;
+    writeln!(
+        out,
+        "routing on http://{addr} fronting {} worker(s)",
+        fleet.len()
+    )?;
+    for worker in fleet.workers() {
+        writeln!(out, "  worker {} -> http://{}", worker.index, worker.addr)?;
+    }
+    writeln!(
+        out,
+        "try: curl -s http://{addr}/healthz ; curl -s http://{addr}/debug/status | orex top --addr {addr} --once"
+    )?;
+    out.flush()?;
+    match router.run() {
+        Ok(()) => {
+            writeln!(
+                err,
+                "[route] drained open connections; workers stopped; clean shutdown"
+            )?;
+            Ok(0)
+        }
+        Err(e) => {
+            writeln!(err, "route: accept loop failed: {e}")?;
+            Ok(1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn bad_flag_values_exit_2() {
+        for bad in [
+            vec!["--workers", "many"],
+            vec!["--workers", "0"],
+            vec!["--base-port", "high"],
+            vec!["--timeout-ms"],
+            vec!["--health-interval-ms", "soon"],
+            vec!["--max-connections", "-2"],
+        ] {
+            let mut out = Vec::new();
+            let mut err = Vec::new();
+            let code = run_route(&argv(&bad), &mut out, &mut err).unwrap();
+            assert_eq!(code, 2, "args {bad:?} must be rejected");
+            assert!(!err.is_empty());
+        }
+    }
+
+    #[test]
+    fn bind_failure_exits_1() {
+        // External workers so nothing is spawned; the unroutable bind
+        // address fails fast.
+        let mut out = Vec::new();
+        let mut err = Vec::new();
+        let code = run_route(
+            &argv(&["--addr", "256.0.0.1:0", "--worker-addr", "127.0.0.1:9"]),
+            &mut out,
+            &mut err,
+        )
+        .unwrap();
+        assert_eq!(code, 1);
+        let msg = String::from_utf8(err).unwrap();
+        assert!(msg.contains("route: binding"), "{msg}");
+    }
+}

@@ -8,12 +8,21 @@
 //! orex serve --addr 127.0.0.1:7474 --preset dblp-top --scale 0.1
 //! ```
 //!
+//! Repeatable `--dataset NAME=PRESET:SCALE[:PRECOMPUTE]` flags serve
+//! several named datasets from one process instead (the registry path);
+//! clients pick one with the `dataset` field of `POST /query`. Datasets
+//! build lazily on first use unless `--eager` builds them all upfront:
+//!
+//! ```text
+//! orex serve --dataset dblp=dblp-top:0.05 --dataset bio=ds7-cancer:0.02 --eager
+//! ```
+//!
 //! SIGTERM/ctrl-c drain in-flight requests before exit (see
 //! `orex_server::install_signal_handlers`).
 
 use orex_core::{ObjectRankSystem, SystemConfig};
 use orex_datagen::Preset;
-use orex_server::{install_signal_handlers, Server, ServerConfig};
+use orex_server::{install_signal_handlers, DatasetSpec, Server, ServerConfig, SystemRegistry};
 use std::io::Write;
 use std::sync::Arc;
 use std::time::Duration;
@@ -32,7 +41,17 @@ fn flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, 
         .map_err(|_| format!("serve: {flag} got invalid value '{raw}'"))
 }
 
-/// `orex serve [--addr A] [--preset NAME] [--scale F] [--threads N]
+/// Every value following any occurrence of `flag` (repeatable flags).
+fn flag_values(args: &[String], flag: &str) -> Vec<String> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == flag)
+        .filter_map(|(i, _)| args.get(i + 1).cloned())
+        .collect()
+}
+
+/// `orex serve [--addr A] [--preset NAME] [--scale F]
+/// [--dataset NAME=PRESET:SCALE[:PRECOMPUTE]]... [--eager] [--threads N]
 /// [--cache-entries N] [--session-ttl SECS] [--max-sessions N]
 /// [--max-body-kb N] [--timeout-ms N] [--trace-sample N]
 /// [--trace-slow-ms N] [--max-traces N] [--max-logs N] [--slow-ms N]
@@ -137,26 +156,71 @@ pub fn run_serve(
         }
     }
 
-    let dataset = preset.generate(scale);
-    let (nodes, edges) = dataset.sizes();
-    writeln!(
-        err,
-        "[serve] {} at scale {scale}: {nodes} nodes, {edges} edges",
-        preset.name()
-    )?;
-    let system = Arc::new(ObjectRankSystem::new(
-        dataset.graph,
-        dataset.ground_truth,
-        SystemConfig::default(),
-    ));
-
-    let server = match Server::bind(Arc::clone(&system), config.clone()) {
-        Ok(s) => s,
-        Err(e) => {
-            writeln!(err, "serve: binding {}: {e}", config.addr)?;
-            return Ok(1);
+    let dataset_flags = flag_values(args, "--dataset");
+    let eager = args.iter().any(|a| a == "--eager");
+    let server = if dataset_flags.is_empty() {
+        let dataset = preset.generate(scale);
+        let (nodes, edges) = dataset.sizes();
+        writeln!(
+            err,
+            "[serve] {} at scale {scale}: {nodes} nodes, {edges} edges",
+            preset.name()
+        )?;
+        let system = Arc::new(ObjectRankSystem::new(
+            dataset.graph,
+            dataset.ground_truth,
+            SystemConfig::default(),
+        ));
+        match Server::bind(Arc::clone(&system), config.clone()) {
+            Ok(s) => s,
+            Err(e) => {
+                writeln!(err, "serve: binding {}: {e}", config.addr)?;
+                return Ok(1);
+            }
+        }
+    } else {
+        let mut specs = Vec::with_capacity(dataset_flags.len());
+        for raw in &dataset_flags {
+            match DatasetSpec::parse(raw) {
+                Ok(spec) => specs.push(spec),
+                Err(msg) => {
+                    writeln!(err, "serve: {msg}")?;
+                    return Ok(2);
+                }
+            }
+        }
+        let registry = match SystemRegistry::new(specs, config.cache_entries, config.backfill) {
+            Ok(r) => r,
+            Err(msg) => {
+                writeln!(err, "serve: {msg}")?;
+                return Ok(2);
+            }
+        };
+        writeln!(
+            err,
+            "[serve] datasets: {} (default {}; {})",
+            registry.names().join(", "),
+            registry.default_name(),
+            if eager {
+                "built eagerly"
+            } else {
+                "built lazily on first use"
+            }
+        )?;
+        match Server::bind_registry(registry, config.clone()) {
+            Ok(s) => s,
+            Err(e) => {
+                writeln!(err, "serve: binding {}: {e}", config.addr)?;
+                return Ok(1);
+            }
         }
     };
+    if eager {
+        if let Err(e) = server.build_all_datasets() {
+            writeln!(err, "serve: building datasets eagerly: {e}")?;
+            return Ok(1);
+        }
+    }
     install_signal_handlers();
     let addr = server.local_addr()?;
     writeln!(
@@ -204,6 +268,9 @@ mod tests {
             vec!["--max-traces", "lots"],
             vec!["--profile-hz", "fast"],
             vec!["--status-interval-ms", "-2"],
+            vec!["--dataset", "missing-equals"],
+            vec!["--dataset", "d=nope:0.05"],
+            vec!["--dataset", "d=dblp-top:tiny"],
         ] {
             let mut out = Vec::new();
             let mut err = Vec::new();

@@ -31,7 +31,9 @@ usage:
                              dump telemetry; with --diff, compare against
                              the median of the baselines and exit 1 on a
                              regression above the threshold (default 0.2)
-  orex serve [--addr A] [--preset NAME] [--scale F] [--threads N]
+  orex serve [--addr A] [--preset NAME] [--scale F]
+             [--dataset NAME=PRESET:SCALE[:PRECOMPUTE]]... [--eager]
+             [--threads N]
              [--cache-entries N] [--session-ttl SECS] [--max-sessions N]
              [--max-body-kb N] [--timeout-ms N] [--trace-sample N]
              [--trace-slow-ms N] [--max-traces N] [--max-logs N]
@@ -41,7 +43,13 @@ usage:
                              loop over HTTP (POST /query, GET /explain/
                              <session>/<node>, POST /feedback/<session>,
                              GET /healthz|/metrics|/trace/<id>|/logs|
-                             /profile|/debug/status);
+                             /profile|/debug/status|/datasets);
+                             repeatable --dataset flags serve several
+                             named datasets from one registry (clients
+                             pick one via the \"dataset\" field of POST
+                             /query; unknown names get a typed 404);
+                             datasets build lazily on first use unless
+                             --eager builds them all upfront;
                              with --precompute, covered queries are
                              answered by exact linear combination of the
                              artifact's vectors and uncovered terms are
@@ -49,6 +57,25 @@ usage:
                              disables); --profile-hz tunes the continuous
                              profiler's sampling rate (0 disables it);
                              SIGTERM or ctrl-c drains in-flight requests
+  orex route [--addr A] [--workers N] [--base-port P]
+             [--worker-addr H:P]... [--health-interval-ms N]
+             [--timeout-ms N] [--max-connections N]
+             [<worker flags: --dataset/--eager/--preset/--scale/
+              --threads/--cache-entries/...>]
+                             spawn N `orex serve` worker processes on
+                             base-port, base-port+1, ... and front them
+                             with a consistent-hash router: queries for
+                             the same (dataset, query) pair stick to one
+                             worker's warm cache, session requests follow
+                             the worker encoded in their session id, and
+                             /metrics, /logs, and /debug/status aggregate
+                             the whole fleet (each series/record labelled
+                             worker=\"i\"); crashed workers are ejected,
+                             relaunched with capped backoff, and
+                             readmitted when healthy; --worker-addr
+                             fronts already-running servers instead of
+                             spawning; SIGTERM or ctrl-c drains the
+                             router then cascades the drain to workers
   orex profile [--addr A] [--in FILE] [--seconds N]
                [--format text|folded|chrome] [--top N] [--out FILE]
                              fetch the continuous profiler's folded span

@@ -1,0 +1,425 @@
+//! Request routing, retry, and fleet-wide aggregation handlers.
+//!
+//! Queries route by consistent hash of `(dataset, query text)` so
+//! repeats of the same query land on the same worker's result cache.
+//! Session-scoped requests (`/explain`, `/feedback`) are *sticky*: the
+//! router encodes the owning worker into the session id it hands out
+//! (`global = local * W + worker`), so the worker is recoverable from
+//! the id alone — no routing table to lose. Observability endpoints
+//! aggregate across the fleet: `/metrics` re-labels every worker series
+//! with `worker="i"`, `/logs` stamps each record with its worker, and
+//! `/debug/status` nests per-worker status docs under a router summary.
+
+use crate::fleet::{Fleet, Worker};
+use orex_server::{ClientResponse, Request, Response};
+use serde_json::Value;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Shared state the connection threads handle requests against.
+pub struct RouterContext {
+    /// The supervised worker fleet.
+    pub fleet: Arc<Fleet>,
+    /// Router start time, for `/debug/status` uptime.
+    pub started: Instant,
+    /// The router's own bound address (shown in status).
+    pub addr: String,
+}
+
+/// Dispatches one request to its handler. Every response is accounted
+/// under `router.*` telemetry and one `router.access` log record.
+pub fn handle(request: &Request, ctx: &RouterContext) -> Response {
+    let telemetry = orex_telemetry::global();
+    telemetry.counter("router.requests").incr();
+    let start = Instant::now();
+    let (path, query) = match request.path.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (request.path.as_str(), None),
+    };
+    let segments: Vec<&str> = path.trim_matches('/').split('/').collect();
+    let response = match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => handle_healthz(ctx),
+        ("POST", ["query"]) => handle_query(request, ctx),
+        ("GET", ["explain", sid, node]) => {
+            handle_session(ctx, "GET", sid, |local| format!("/explain/{local}/{node}"))
+        }
+        ("POST", ["feedback", sid]) => handle_session_with_body(ctx, sid, &request.body, |local| {
+            format!("/feedback/{local}")
+        }),
+        ("GET", ["datasets"]) => proxy_any(ctx, "/datasets"),
+        ("GET", ["metrics"]) => handle_metrics(ctx),
+        ("GET", ["logs"]) => handle_logs(ctx, query),
+        ("GET", ["trace", id]) => handle_trace(ctx, id),
+        ("GET", ["profile"]) => proxy_any(ctx, &request.path),
+        ("GET", ["debug", "status"]) => handle_status(ctx, query),
+        (
+            "GET" | "POST",
+            ["query" | "explain" | "feedback" | "datasets" | "metrics" | "logs" | "trace"
+            | "profile" | "healthz", ..],
+        ) => Response::error(405, "method not allowed for this route"),
+        _ => Response::error(404, "no such route"),
+    };
+    let elapsed = start.elapsed();
+    telemetry
+        .histogram("router.request_us")
+        .record(elapsed.as_micros() as f64);
+    telemetry
+        .counter(&format!("router.responses_{}xx", response.status / 100))
+        .incr();
+    orex_telemetry::logger()
+        .info("router.access", "request")
+        .field_str("method", &request.method)
+        .field_str("path", &request.path)
+        .field_u64("status", u64::from(response.status))
+        .field_u64("latency_us", elapsed.as_micros() as u64)
+        .emit();
+    response
+}
+
+/// Ready when at least one worker serves; the fleet degrades, it does
+/// not binarize.
+fn handle_healthz(ctx: &RouterContext) -> Response {
+    if ctx.fleet.healthy_count() >= 1 {
+        Response::text(200, "ok\n")
+    } else {
+        no_healthy_workers()
+    }
+}
+
+fn no_healthy_workers() -> Response {
+    Response::error(503, "no healthy workers").with_header("Retry-After", "1")
+}
+
+/// `POST /query`: consistent-hash on `(dataset, query)`, forward, and
+/// encode the serving worker into the returned session id. A request
+/// that fails on its owner (connection error, or the worker itself
+/// saturated with 503) is retried once on the next distinct healthy
+/// worker — `router.retries` counts those.
+fn handle_query(request: &Request, ctx: &RouterContext) -> Response {
+    // The routing key prefers (dataset, query text) so identical
+    // queries hit the same worker's result cache; an unparseable body
+    // hashes raw (the worker will 400 it, any worker is fine).
+    let parsed = request
+        .body_str()
+        .and_then(|s| serde_json::from_str(s).ok());
+    let key: Vec<u8> = match &parsed {
+        Some(v) => {
+            let dataset = v.get("dataset").and_then(Value::as_str).unwrap_or("");
+            let query = v.get("query").and_then(Value::as_str).unwrap_or("");
+            let mut key = Vec::with_capacity(dataset.len() + 1 + query.len());
+            key.extend_from_slice(dataset.as_bytes());
+            key.push(0);
+            key.extend_from_slice(query.as_bytes());
+            key
+        }
+        None => request.body.clone(),
+    };
+    let Some(owner) = ctx.fleet.route(&key) else {
+        return no_healthy_workers();
+    };
+    let workers = ctx.fleet.workers();
+    let attempt = |index: usize| {
+        workers[index]
+            .client
+            .request("POST", "/query", Some(&request.body))
+    };
+    let (served_by, result) = match attempt(owner) {
+        Ok(r) if r.status != 503 => (owner, Ok(r)),
+        first => match ctx.fleet.route_excluding(&key, owner) {
+            Some(alternate) => {
+                orex_telemetry::global().counter("router.retries").incr();
+                (alternate, attempt(alternate))
+            }
+            None => (owner, first),
+        },
+    };
+    match result {
+        Ok(response) => {
+            let encoded = rewrite_session(&response, |local| {
+                local * ctx.fleet.len() as u64 + served_by as u64
+            });
+            encoded.unwrap_or_else(|| to_response(&response))
+        }
+        Err(e) => Response::error(502, &format!("worker {served_by} unreachable: {e}")),
+    }
+}
+
+/// Session-sticky GET (`/explain`): decode the owning worker from the
+/// id, forward with the worker-local id, restore the global id in the
+/// response.
+fn handle_session(
+    ctx: &RouterContext,
+    method: &str,
+    sid: &str,
+    local_path: impl Fn(u64) -> String,
+) -> Response {
+    let Some((worker, local, global)) = decode_session(ctx, sid) else {
+        return Response::error(400, "session id must be an integer");
+    };
+    forward_session(ctx, worker, method, &local_path(local), None, global)
+}
+
+/// Session-sticky POST (`/feedback`).
+fn handle_session_with_body(
+    ctx: &RouterContext,
+    sid: &str,
+    body: &[u8],
+    local_path: impl Fn(u64) -> String,
+) -> Response {
+    let Some((worker, local, global)) = decode_session(ctx, sid) else {
+        return Response::error(400, "session id must be an integer");
+    };
+    forward_session(ctx, worker, "POST", &local_path(local), Some(body), global)
+}
+
+/// Splits a global session id into `(worker index, worker-local id,
+/// global id)`.
+fn decode_session(ctx: &RouterContext, sid: &str) -> Option<(usize, u64, u64)> {
+    let global: u64 = sid.parse().ok()?;
+    let fleet_size = ctx.fleet.len() as u64;
+    Some(((global % fleet_size) as usize, global / fleet_size, global))
+}
+
+fn forward_session(
+    ctx: &RouterContext,
+    worker: usize,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+    global_sid: u64,
+) -> Response {
+    let workers = ctx.fleet.workers();
+    if !workers[worker].is_healthy() {
+        // The owner is down; its session table is gone with it. 503 so
+        // the client retries after the worker returns (and then gets an
+        // honest 404 for the lost session).
+        return no_healthy_workers();
+    }
+    match workers[worker].client.request(method, path, body) {
+        Ok(response) => {
+            rewrite_session(&response, |_| global_sid).unwrap_or_else(|| to_response(&response))
+        }
+        Err(e) => Response::error(502, &format!("worker {worker} unreachable: {e}")),
+    }
+}
+
+/// Re-writes the `"session"` field of a JSON 200 response through
+/// `encode`; `None` when the response isn't a rewritable JSON object.
+fn rewrite_session(response: &ClientResponse, encode: impl Fn(u64) -> u64) -> Option<Response> {
+    if response.status != 200 {
+        return None;
+    }
+    let mut doc: Value = serde_json::from_str(response.body_str()?).ok()?;
+    let local = doc.get("session").and_then(Value::as_u64)?;
+    doc.as_object_mut()?
+        .insert("session".to_string(), Value::from(encode(local)));
+    let body = serde_json::to_string(&doc).ok()?;
+    Some(Response::json(200, body))
+}
+
+/// Forwards `path` (with its query string) to the first healthy worker.
+fn proxy_any(ctx: &RouterContext, path: &str) -> Response {
+    for worker in ctx.fleet.workers() {
+        if !worker.is_healthy() {
+            continue;
+        }
+        if let Ok(response) = worker.client.get(path) {
+            return to_response(&response);
+        }
+    }
+    no_healthy_workers()
+}
+
+/// `GET /metrics`: the router's own series (with `# TYPE` comments),
+/// then every healthy worker's series re-labelled `worker="i"` (their
+/// comment lines dropped so types aren't re-declared per worker).
+fn handle_metrics(ctx: &RouterContext) -> Response {
+    let mut out = orex_telemetry::global().snapshot().to_prometheus();
+    for worker in ctx.fleet.workers() {
+        if !worker.is_healthy() {
+            continue;
+        }
+        let Ok(response) = worker.client.get("/metrics") else {
+            continue;
+        };
+        if response.status != 200 {
+            continue;
+        }
+        let Some(text) = response.body_str() else {
+            continue;
+        };
+        for line in text.lines() {
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            relabel_series(line, worker.index, &mut out);
+        }
+    }
+    Response::new(200, "text/plain; version=0.0.4; charset=utf-8", out)
+}
+
+/// Injects `worker="i"` as the first label of a Prometheus series line,
+/// preserving any ` # {...} v` exemplar suffix.
+fn relabel_series(line: &str, worker: usize, out: &mut String) {
+    use std::fmt::Write as _;
+    let (series, exemplar) = match line.split_once(" # ") {
+        Some((series, exemplar)) => (series, Some(exemplar)),
+        None => (line, None),
+    };
+    match (series.find('{'), series.find(' ')) {
+        // `name{labels} value` — worker joins the existing label set.
+        (Some(brace), Some(space)) if brace < space => {
+            let _ = write!(
+                out,
+                "{}{{worker=\"{worker}\",{}",
+                &series[..brace],
+                &series[brace + 1..]
+            );
+        }
+        // `name value` — worker becomes the only label.
+        (_, Some(space)) => {
+            let _ = write!(
+                out,
+                "{}{{worker=\"{worker}\"}}{}",
+                &series[..space],
+                &series[space..]
+            );
+        }
+        _ => out.push_str(series),
+    }
+    if let Some(exemplar) = exemplar {
+        let _ = write!(out, " # {exemplar}");
+    }
+    out.push('\n');
+}
+
+/// `GET /logs`: fans the query out to every healthy worker and stamps
+/// each NDJSON record with its `"worker"` index. Parameter errors from
+/// a worker (400) pass through so validation behaves like one server.
+fn handle_logs(ctx: &RouterContext, query: Option<&str>) -> Response {
+    let path = match query {
+        Some(q) => format!("/logs?{q}"),
+        None => "/logs".to_string(),
+    };
+    let mut out = String::new();
+    let mut served_any = false;
+    for worker in ctx.fleet.workers() {
+        if !worker.is_healthy() {
+            continue;
+        }
+        let Ok(response) = worker.client.get(&path) else {
+            continue;
+        };
+        if response.status == 400 {
+            return to_response(&response);
+        }
+        if response.status != 200 {
+            continue;
+        }
+        served_any = true;
+        let Some(text) = response.body_str() else {
+            continue;
+        };
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix('{') {
+                out.push_str(&format!("{{\"worker\":{},", worker.index));
+                out.push_str(rest);
+                out.push('\n');
+            }
+        }
+    }
+    if !served_any {
+        return no_healthy_workers();
+    }
+    Response::new(200, "application/x-ndjson; charset=utf-8", out)
+}
+
+/// `GET /trace/<id>`: trace archives are per-worker, so ask each in
+/// turn; the first hit wins.
+fn handle_trace(ctx: &RouterContext, id: &str) -> Response {
+    for worker in ctx.fleet.workers() {
+        if !worker.is_healthy() {
+            continue;
+        }
+        if let Ok(response) = worker.client.get(&format!("/trace/{id}")) {
+            if response.status == 200 {
+                return to_response(&response);
+            }
+        }
+    }
+    Response::error(404, "no worker holds that trace")
+}
+
+/// `GET /debug/status`: the fleet view `orex top` renders — a router
+/// summary plus one row per worker with its own status doc inlined.
+fn handle_status(ctx: &RouterContext, query: Option<&str>) -> Response {
+    let format = match query {
+        None => "json",
+        Some("format=json") => "json",
+        Some(other) => {
+            return Response::error(400, &format!("unknown parameters: {other:?}"));
+        }
+    };
+    let snapshot = orex_telemetry::global().snapshot();
+    let counter = |name: &str| snapshot.counters.get(name).copied().unwrap_or(0);
+    let workers: Vec<Value> = ctx
+        .fleet
+        .workers()
+        .iter()
+        .map(|worker| {
+            let status = worker_status(worker);
+            serde_json::json!({
+                "index": worker.index as u64,
+                "addr": worker.addr.clone(),
+                "healthy": worker.is_healthy(),
+                "restarts": worker.restarts(),
+                "status": status,
+            })
+        })
+        .collect();
+    let doc = serde_json::json!({
+        "router": serde_json::json!({
+            "addr": ctx.addr.clone(),
+            "workers": ctx.fleet.len() as u64,
+            "healthy": ctx.fleet.healthy_count() as u64,
+            "requests": counter("router.requests"),
+            "retries": counter("router.retries"),
+            "worker_restarts": counter("router.worker_restarts"),
+            "uptime_s": ctx.started.elapsed().as_secs_f64(),
+        }),
+        "workers": Value::Array(workers),
+    });
+    let _ = format; // only JSON exists; the match gates unknown params
+    Response::json(200, serde_json::to_string(&doc).unwrap_or_default())
+}
+
+/// One worker's `/debug/status?format=json` doc, or `Null` when the
+/// worker is down or answers garbage.
+fn worker_status(worker: &Arc<Worker>) -> Value {
+    if !worker.is_healthy() {
+        return Value::Null;
+    }
+    worker
+        .client
+        .get("/debug/status?format=json")
+        .ok()
+        .filter(|r| r.status == 200)
+        .and_then(|r| r.body_str().and_then(|s| serde_json::from_str(s).ok()))
+        .unwrap_or(Value::Null)
+}
+
+/// Converts a worker's [`ClientResponse`] into a front-end [`Response`],
+/// carrying status, content type, and body through.
+fn to_response(response: &ClientResponse) -> Response {
+    let declared = response.header("content-type").unwrap_or("");
+    let content_type = if declared.contains("json") && declared.contains("ndjson") {
+        "application/x-ndjson; charset=utf-8"
+    } else if declared.contains("json") {
+        "application/json"
+    } else if declared.contains("html") {
+        "text/html; charset=utf-8"
+    } else {
+        "text/plain; charset=utf-8"
+    };
+    Response::new(response.status, content_type, response.body.clone())
+}

@@ -1,0 +1,180 @@
+//! A consistent-hash ring over worker indices.
+//!
+//! Each worker owns `VNODES` pseudo-random points on a `u64` ring; a
+//! key routes to the owner of the first point at or clockwise-after the
+//! key's hash. Ejecting a worker removes only *its* points, so only the
+//! keys it owned remap (≈ 1/N of the keyspace), and readmitting it
+//! restores exactly the original assignment — the property the fleet
+//! relies on to keep per-worker result caches warm across the loss and
+//! recovery of a single worker.
+
+/// Virtual nodes per worker: enough for the ±the usual √(vnodes)
+/// balance bound to keep the worst worker under ~2× the mean share at
+/// small fleet sizes.
+pub const VNODES: usize = 64;
+
+/// FNV-1a over `bytes` — tiny, dependency-free, and stable across
+/// processes (routing decisions must agree between router restarts).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// SplitMix64 finalizer over an FNV-1a hash. Raw FNV-1a of short,
+/// near-identical strings (sequential vnode labels, templated query
+/// keys) clusters on the ring badly enough to starve whole workers;
+/// this avalanche step restores uniformity while staying a pure,
+/// process-stable function.
+fn spread(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The ring's point/key hash: FNV-1a finalized by SplitMix64.
+pub fn ring_hash(bytes: &[u8]) -> u64 {
+    spread(fnv1a(bytes))
+}
+
+/// Consistent-hash ring; see the module docs.
+#[derive(Clone, Debug)]
+pub struct HashRing {
+    /// Sorted `(point, worker)` pairs.
+    points: Vec<(u64, usize)>,
+    /// `ejected[w]` removes worker `w`'s points from routing without
+    /// forgetting them (readmission is exact).
+    ejected: Vec<bool>,
+}
+
+impl HashRing {
+    /// A ring over `workers` indices (`0..workers`), all admitted.
+    pub fn new(workers: usize) -> Self {
+        let mut points = Vec::with_capacity(workers * VNODES);
+        for worker in 0..workers {
+            for vnode in 0..VNODES {
+                let label = format!("worker-{worker}-vnode-{vnode}");
+                points.push((ring_hash(label.as_bytes()), worker));
+            }
+        }
+        points.sort_unstable();
+        Self {
+            points,
+            ejected: vec![false; workers],
+        }
+    }
+
+    /// Number of workers the ring was built over.
+    pub fn workers(&self) -> usize {
+        self.ejected.len()
+    }
+
+    /// Number of currently admitted workers.
+    pub fn admitted(&self) -> usize {
+        self.ejected.iter().filter(|e| !**e).count()
+    }
+
+    /// Removes `worker` from routing; its keys fall to their clockwise
+    /// successors. Idempotent; out-of-range indices are ignored.
+    pub fn eject(&mut self, worker: usize) {
+        if let Some(slot) = self.ejected.get_mut(worker) {
+            *slot = true;
+        }
+    }
+
+    /// Restores `worker`; the exact pre-ejection assignment returns.
+    pub fn readmit(&mut self, worker: usize) {
+        if let Some(slot) = self.ejected.get_mut(worker) {
+            *slot = false;
+        }
+    }
+
+    /// True when `worker` is currently routed to.
+    pub fn is_admitted(&self, worker: usize) -> bool {
+        !self.ejected.get(worker).copied().unwrap_or(true)
+    }
+
+    /// The admitted worker owning `key`, or `None` when every worker is
+    /// ejected.
+    pub fn route(&self, key: &[u8]) -> Option<usize> {
+        self.route_excluding(key, usize::MAX)
+    }
+
+    /// Routes `key` as if `skip` were also ejected — the retry path: a
+    /// request that failed on its owner goes to the next distinct
+    /// admitted worker clockwise.
+    pub fn route_excluding(&self, key: &[u8], skip: usize) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let hash = ring_hash(key);
+        let start = self.points.partition_point(|(p, _)| *p < hash);
+        // One full clockwise lap from the key's position.
+        for i in 0..self.points.len() {
+            let (_, worker) = self.points[(start + i) % self.points.len()];
+            if worker != skip && self.is_admitted(worker) {
+                return Some(worker);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_are_deterministic_and_in_range() {
+        let ring = HashRing::new(3);
+        for i in 0..100 {
+            let key = format!("key-{i}");
+            let a = ring.route(key.as_bytes());
+            let b = ring.route(key.as_bytes());
+            assert_eq!(a, b);
+            assert!(a.is_some_and(|w| w < 3));
+        }
+    }
+
+    #[test]
+    fn single_worker_owns_everything() {
+        let ring = HashRing::new(1);
+        for i in 0..50 {
+            assert_eq!(ring.route(format!("k{i}").as_bytes()), Some(0));
+        }
+    }
+
+    #[test]
+    fn all_ejected_routes_nowhere() {
+        let mut ring = HashRing::new(2);
+        ring.eject(0);
+        ring.eject(1);
+        assert_eq!(ring.route(b"anything"), None);
+        assert_eq!(ring.admitted(), 0);
+        ring.readmit(1);
+        assert_eq!(ring.route(b"anything"), Some(1));
+    }
+
+    #[test]
+    fn route_excluding_avoids_the_owner() {
+        let ring = HashRing::new(4);
+        for i in 0..50 {
+            let key = format!("k{i}");
+            let owner = ring.route(key.as_bytes()).unwrap();
+            let alt = ring.route_excluding(key.as_bytes(), owner).unwrap();
+            assert_ne!(owner, alt, "retry target must be a different worker");
+        }
+    }
+
+    #[test]
+    fn out_of_range_eject_is_ignored() {
+        let mut ring = HashRing::new(2);
+        ring.eject(99);
+        assert_eq!(ring.admitted(), 2);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests for the consistent-hash ring: balance, minimal remap
+//! on ejection, and exact restoration on readmission — the properties
+//! the fleet's cache-affinity story rests on.
+
+use orex_router::HashRing;
+use proptest::prelude::*;
+
+/// Enough keys that per-worker shares concentrate near their mean.
+const KEYS: usize = 2000;
+
+fn keys() -> Vec<Vec<u8>> {
+    (0..KEYS)
+        .map(|i| format!("query-key-{i}").into_bytes())
+        .collect()
+}
+
+fn owners(ring: &HashRing, keys: &[Vec<u8>]) -> Vec<Option<usize>> {
+    keys.iter().map(|k| ring.route(k)).collect()
+}
+
+proptest! {
+    /// Every worker owns a nonzero share, and no worker owns more than
+    /// ~2.5x its fair share — the usual vnode concentration bound.
+    #[test]
+    fn shares_are_balanced(workers in 2usize..9) {
+        let ring = HashRing::new(workers);
+        let keys = keys();
+        let mut counts = vec![0usize; workers];
+        for owner in owners(&ring, &keys).into_iter().flatten() {
+            counts[owner] += 1;
+        }
+        let fair = KEYS as f64 / workers as f64;
+        for (worker, count) in counts.iter().enumerate() {
+            prop_assert!(*count > 0, "worker {worker} owns nothing");
+            prop_assert!(
+                (*count as f64) < fair * 2.5,
+                "worker {worker} owns {count} of {KEYS} keys (fair share {fair:.0})"
+            );
+        }
+    }
+
+    /// Ejecting one worker moves only the keys it owned (≤ ~2.5/N of
+    /// the keyspace); every other key keeps its owner.
+    #[test]
+    fn eject_remaps_only_the_ejected_workers_keys(
+        workers in 2usize..9,
+        victim_raw in 0usize..8,
+    ) {
+        let victim = victim_raw % workers;
+        let mut ring = HashRing::new(workers);
+        let keys = keys();
+        let before = owners(&ring, &keys);
+        ring.eject(victim);
+        let after = owners(&ring, &keys);
+        let mut moved = 0usize;
+        for (i, (b, a)) in before.iter().zip(&after).enumerate() {
+            if *b == Some(victim) {
+                moved += 1;
+                prop_assert!(*a != Some(victim), "key {i} still routes to the ejected worker");
+                prop_assert!(a.is_some(), "key {i} routes nowhere with workers remaining");
+            } else {
+                prop_assert_eq!(*a, *b, "key {i} moved although its owner survives");
+            }
+        }
+        let bound = (KEYS as f64 * 2.5 / workers as f64).ceil() as usize;
+        prop_assert!(
+            moved <= bound,
+            "ejection remapped {moved} keys, over the ~2.5/N bound {bound}"
+        );
+    }
+
+    /// Eject + readmit restores exactly the original assignment — the
+    /// returning worker gets its cache-warm keys back, nothing else
+    /// shifts.
+    #[test]
+    fn readmit_restores_the_exact_assignment(
+        workers in 2usize..9,
+        victim_raw in 0usize..8,
+    ) {
+        let victim = victim_raw % workers;
+        let mut ring = HashRing::new(workers);
+        let keys = keys();
+        let before = owners(&ring, &keys);
+        ring.eject(victim);
+        ring.readmit(victim);
+        prop_assert_eq!(owners(&ring, &keys), before);
+    }
+
+    /// The retry target is always a distinct admitted worker, and with
+    /// only one admitted worker there is no retry target at all.
+    #[test]
+    fn retry_target_is_distinct(workers in 2usize..9, key_index in 0usize..KEYS) {
+        let ring = HashRing::new(workers);
+        let key = format!("query-key-{key_index}").into_bytes();
+        let owner = ring.route(&key).expect("all admitted");
+        let alternate = ring.route_excluding(&key, owner).expect("n >= 2");
+        prop_assert!(alternate != owner);
+
+        let mut lone = HashRing::new(workers);
+        for w in 0..workers {
+            if w != owner {
+                lone.eject(w);
+            }
+        }
+        prop_assert_eq!(lone.route_excluding(&key, owner), None);
+    }
+}

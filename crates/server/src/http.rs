@@ -1,10 +1,13 @@
 //! Minimal HTTP/1.1 request parsing and response rendering.
 //!
 //! Exactly the subset the server needs: a request line, headers,
-//! an optional `Content-Length` body, and `Connection: close` responses.
-//! Every limit is explicit — header section size, header count, body
-//! size — so a hostile peer can at worst waste one worker's read
-//! timeout, never its memory.
+//! an optional `Content-Length` body, and `Connection: keep-alive` /
+//! `close` response framing. Because every response declares its
+//! `Content-Length`, a client may pipeline requests: the server reads
+//! them in order off one shared [`BufReader`] and writes responses in
+//! the same order. Every limit is explicit — header section size,
+//! header count, body size — so a hostile peer can at worst waste one
+//! worker's read timeout, never its memory.
 
 use std::io::{BufRead, BufReader, Read, Write};
 
@@ -24,6 +27,9 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// Request body (empty when no `Content-Length` was sent).
     pub body: Vec<u8>,
+    /// True for `HTTP/1.1` requests (keep-alive by default); false for
+    /// `HTTP/1.0` (close by default).
+    pub http11: bool,
 }
 
 impl Request {
@@ -39,6 +45,18 @@ impl Request {
     pub fn body_str(&self) -> Option<&str> {
         std::str::from_utf8(&self.body).ok()
     }
+
+    /// Whether the connection should stay open after this request:
+    /// HTTP/1.1 defaults to keep-alive unless the client sent
+    /// `Connection: close`; HTTP/1.0 defaults to close unless the
+    /// client sent `Connection: keep-alive`.
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => false,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            _ => self.http11,
+        }
+    }
 }
 
 /// Why a request could not be parsed; maps onto a response status.
@@ -46,11 +64,16 @@ impl Request {
 pub enum ParseError {
     /// Peer closed the connection before sending a request line.
     ConnectionClosed,
+    /// The read timed out before *any* byte of the next request line
+    /// arrived — a quiet keep-alive connection, not a slow request. The
+    /// stream is intact (nothing was consumed), so the caller may retry
+    /// or park the connection.
+    Idle,
     /// Malformed request line, header, or length field.
     Malformed(&'static str),
     /// Declared `Content-Length` exceeds the configured limit.
     BodyTooLarge(usize),
-    /// I/O failure (including read timeout).
+    /// I/O failure (including a timeout mid-request).
     Io(std::io::Error),
 }
 
@@ -60,16 +83,35 @@ impl From<std::io::Error> for ParseError {
     }
 }
 
-/// Reads one request from `stream`, rejecting bodies above
-/// `max_body_bytes`. Read timeouts configured on the underlying socket
-/// surface as `ParseError::Io`.
-pub fn read_request<S: Read>(stream: S, max_body_bytes: usize) -> Result<Request, ParseError> {
-    let mut reader = BufReader::new(stream);
+/// True for the error kinds a socket read timeout surfaces as.
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads one request from `reader`, rejecting bodies above
+/// `max_body_bytes`. The caller owns the `BufReader` so buffered bytes
+/// of pipelined requests survive between calls. A read timeout before
+/// the first byte of the request line reports [`ParseError::Idle`]
+/// (connection reusable); any later timeout reports `Io` (connection
+/// state unknown, caller should close).
+pub fn read_request<S: Read>(
+    reader: &mut BufReader<S>,
+    max_body_bytes: usize,
+) -> Result<Request, ParseError> {
     let mut head_bytes = 0usize;
 
     let mut line = String::new();
-    if reader.read_line(&mut line)? == 0 {
-        return Err(ParseError::ConnectionClosed);
+    match reader.read_line(&mut line) {
+        // `read_until` guarantees bytes read before an error are in the
+        // buffer, so an empty line on timeout means nothing was consumed
+        // and the connection is still cleanly reusable.
+        Err(e) if is_timeout(&e) && line.is_empty() => return Err(ParseError::Idle),
+        Err(e) => return Err(ParseError::Io(e)),
+        Ok(0) => return Err(ParseError::ConnectionClosed),
+        Ok(_) => {}
     }
     head_bytes += line.len();
     let mut parts = line.split_whitespace();
@@ -87,6 +129,7 @@ pub fn read_request<S: Read>(stream: S, max_body_bytes: usize) -> Result<Request
     if !version.starts_with("HTTP/1.") {
         return Err(ParseError::Malformed("unsupported HTTP version"));
     }
+    let http11 = version == "HTTP/1.1";
     if !method.bytes().all(|b| b.is_ascii_uppercase()) {
         return Err(ParseError::Malformed("invalid method"));
     }
@@ -134,6 +177,7 @@ pub fn read_request<S: Read>(stream: S, max_body_bytes: usize) -> Result<Request
         path,
         headers,
         body,
+        http11,
     })
 }
 
@@ -203,13 +247,16 @@ impl Response {
             408 => "Request Timeout",
             413 => "Payload Too Large",
             500 => "Internal Server Error",
+            502 => "Bad Gateway",
             503 => "Service Unavailable",
             _ => "Unknown",
         }
     }
 
-    /// Writes the full `Connection: close` response to `stream`.
-    pub fn write_to<S: Write>(&self, stream: &mut S) -> std::io::Result<()> {
+    /// Writes the full response to `stream`. `keep_alive` selects the
+    /// `Connection:` header; the `Content-Length` is always declared so
+    /// a keep-alive peer knows where the body ends.
+    pub fn write_to<S: Write>(&self, stream: &mut S, keep_alive: bool) -> std::io::Result<()> {
         use std::fmt::Write as _;
         let mut head = format!(
             "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
@@ -221,7 +268,11 @@ impl Response {
         for (name, value) in &self.headers {
             let _ = write!(head, "{name}: {value}\r\n");
         }
-        head.push_str("Connection: close\r\n\r\n");
+        head.push_str(if keep_alive {
+            "Connection: keep-alive\r\n\r\n"
+        } else {
+            "Connection: close\r\n\r\n"
+        });
         stream.write_all(head.as_bytes())?;
         stream.write_all(&self.body)?;
         stream.flush()
@@ -233,7 +284,7 @@ mod tests {
     use super::*;
 
     fn parse(raw: &str) -> Result<Request, ParseError> {
-        read_request(raw.as_bytes(), 1024)
+        read_request(&mut BufReader::new(raw.as_bytes()), 1024)
     }
 
     #[test]
@@ -243,6 +294,8 @@ mod tests {
         assert_eq!(r.path, "/healthz");
         assert_eq!(r.header("host"), Some("x"));
         assert!(r.body.is_empty());
+        assert!(r.http11);
+        assert!(r.keep_alive(), "HTTP/1.1 defaults to keep-alive");
     }
 
     #[test]
@@ -256,6 +309,34 @@ mod tests {
         let r = parse("GET / HTTP/1.1\r\nX-Thing: v\r\n\r\n").unwrap();
         assert_eq!(r.header("x-thing"), Some("v"));
         assert_eq!(r.header("X-THING"), Some("v"));
+    }
+
+    #[test]
+    fn connection_header_controls_keep_alive() {
+        let r = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!r.keep_alive());
+        let r = parse("GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!r.keep_alive(), "HTTP/1.0 defaults to close");
+        let r = parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(r.keep_alive());
+    }
+
+    #[test]
+    fn pipelined_requests_parse_in_order_from_one_reader() {
+        let raw = "GET /a HTTP/1.1\r\n\r\nPOST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nhiGET /c HTTP/1.1\r\n\r\n";
+        let mut reader = BufReader::new(raw.as_bytes());
+        let a = read_request(&mut reader, 1024).unwrap();
+        let b = read_request(&mut reader, 1024).unwrap();
+        let c = read_request(&mut reader, 1024).unwrap();
+        assert_eq!(
+            (a.path.as_str(), b.path.as_str(), c.path.as_str()),
+            ("/a", "/b", "/c")
+        );
+        assert_eq!(b.body_str(), Some("hi"));
+        assert!(matches!(
+            read_request(&mut reader, 1024),
+            Err(ParseError::ConnectionClosed)
+        ));
     }
 
     #[test]
@@ -288,7 +369,9 @@ mod tests {
     #[test]
     fn response_renders_with_length_and_close() {
         let mut out = Vec::new();
-        Response::text(200, "ok\n").write_to(&mut out).unwrap();
+        Response::text(200, "ok\n")
+            .write_to(&mut out, false)
+            .unwrap();
         let s = String::from_utf8(out).unwrap();
         assert!(s.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(s.contains("Content-Length: 3\r\n"));
@@ -297,11 +380,20 @@ mod tests {
     }
 
     #[test]
+    fn response_renders_keep_alive() {
+        let mut out = Vec::new();
+        Response::text(200, "ok").write_to(&mut out, true).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("Connection: keep-alive\r\n"), "{s}");
+        assert!(!s.contains("Connection: close"), "{s}");
+    }
+
+    #[test]
     fn extra_headers_render_before_connection_close() {
         let mut out = Vec::new();
         Response::text(200, "ok")
             .with_header("X-Orex-Log-Cursor", "17")
-            .write_to(&mut out)
+            .write_to(&mut out, false)
             .unwrap();
         let s = String::from_utf8(out).unwrap();
         assert!(s.contains("X-Orex-Log-Cursor: 17\r\n"), "{s}");

@@ -7,11 +7,18 @@
 //! from a shared [`ObjectRankSystem`](orex_core::ObjectRankSystem) —
 //! dependency-free, on `std::net` with a fixed worker thread pool.
 //!
+//! Since PR 8 one process serves *many* datasets through a
+//! [`SystemRegistry`] (`POST /query` takes a `dataset` field; sessions
+//! remember their owning dataset), connections are persistent HTTP/1.1
+//! keep-alive with pipelining support, and a pooled [`HttpClient`] is
+//! shared by the `orex-router` proxy hop and the loadgen harness.
+//!
 //! ## Endpoints
 //!
 //! | Route | Meaning |
 //! |---|---|
-//! | `POST /query` | `{"query": "...", "k": 10}` → top-k + session id |
+//! | `POST /query` | `{"query": "...", "dataset": "...", "k": 10}` → top-k + session id |
+//! | `GET /datasets` | registered datasets with load state + memory accounting |
 //! | `GET /explain/<session>/<node>` | explaining subgraph + meta-path summary |
 //! | `POST /feedback/<session>` | `{"objects": [ids]}` → reformulated top-k (warm start) |
 //! | `GET /healthz` | liveness probe |
@@ -34,23 +41,29 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod client;
 pub mod error;
 pub mod http;
 pub mod logs;
 pub mod pool;
 pub mod ranks;
+pub mod registry;
 pub mod server;
 pub mod sessions;
 pub mod status;
 pub mod traces;
 
 pub use cache::ResultCache;
+pub use client::{ClientResponse, HttpClient};
 pub use error::ServerError;
 pub use http::{Request, Response};
 pub use logs::LogArchive;
-pub use pool::ThreadPool;
+pub use pool::{PoolHandle, ThreadPool};
 pub use ranks::{rates_fingerprint, CombineOutcome, RankStore};
-pub use server::{install_signal_handlers, Server, ServerConfig, ShutdownHandle};
+pub use registry::{DatasetService, DatasetSpec, SystemRegistry};
+pub use server::{
+    install_signal_handlers, signal_shutdown_requested, Server, ServerConfig, ShutdownHandle,
+};
 pub use sessions::SessionTable;
 pub use status::{sparkline, Occupancy, StatusBoard};
 pub use traces::TraceArchive;

@@ -17,6 +17,24 @@ pub struct ThreadPool {
     workers: Vec<JoinHandle<()>>,
 }
 
+/// A clonable submission handle onto a pool's job queue, so running
+/// jobs can re-queue follow-up work (the keep-alive connection loop
+/// parks a connection and resubmits it, round-robining workers across
+/// live connections). Holding a handle keeps the queue open: drop all
+/// handles before expecting [`ThreadPool::join`] to finish.
+#[derive(Clone)]
+pub struct PoolHandle {
+    sender: Sender<Job>,
+}
+
+impl PoolHandle {
+    /// Queues `job`; returns false when the pool has shut down (the
+    /// job is dropped).
+    pub fn submit<F: FnOnce() + Send + 'static>(&self, job: F) -> bool {
+        self.sender.send(Box::new(job)).is_ok()
+    }
+}
+
 impl ThreadPool {
     /// Spawns `threads` workers (minimum 1). Fails with the OS error if
     /// a worker thread cannot be spawned; already-spawned workers are
@@ -50,6 +68,13 @@ impl ThreadPool {
         if let Some(sender) = &self.sender {
             let _ = sender.send(Box::new(job));
         }
+    }
+
+    /// A clonable submission handle; `None` once `join` has begun.
+    pub fn handle(&self) -> Option<PoolHandle> {
+        self.sender.as_ref().map(|sender| PoolHandle {
+            sender: sender.clone(),
+        })
     }
 
     /// Closes the queue and joins every worker, running all queued and

@@ -1,17 +1,27 @@
 //! The HTTP server proper: accept loop, routing, and handlers.
 //!
-//! One fixed worker pool serves one connection per request
-//! (`Connection: close`), each request wrapped in a `server.request`
-//! trace span and a `server.request_us` histogram sample. The accept
-//! loop polls a nonblocking listener so it can observe the shutdown
-//! flag (set programmatically or by SIGINT/SIGTERM); on shutdown it
-//! stops accepting and joins the pool, draining in-flight requests.
+//! One fixed worker pool serves persistent HTTP/1.1 connections: a
+//! worker reads requests off a connection (pipelined requests drain in
+//! order from one shared buffer), writes responses, and after a burst —
+//! or a quiet gap — *parks* the connection by resubmitting it to the
+//! pool, so a handful of workers round-robin fairly across many more
+//! keep-alive connections. Each request is wrapped in a
+//! `server.request` trace span and a `server.request_us` histogram
+//! sample. The accept loop polls a nonblocking listener so it can
+//! observe the shutdown flag (set programmatically or by
+//! SIGINT/SIGTERM); on shutdown it stops accepting, closes parked
+//! connections, and joins the pool, draining in-flight requests.
+//!
+//! Connections above `max_connections` are refused immediately with
+//! `503` + `Retry-After` instead of queueing unboundedly — the router
+//! retries those on an alternate worker.
 
 use crate::error::ServerError;
 use crate::http::{read_request, ParseError, Request, Response};
 use crate::logs::LogArchive;
-use crate::pool::ThreadPool;
-use crate::ranks::{CombineOutcome, RankStore};
+use crate::pool::{PoolHandle, ThreadPool};
+use crate::ranks::CombineOutcome;
+use crate::registry::{DatasetService, SystemRegistry};
 use crate::sessions::SessionTable;
 use crate::status::{Occupancy, StatusBoard};
 use crate::traces::TraceArchive;
@@ -20,12 +30,22 @@ use orex_graph::NodeId;
 use orex_ir::{Query, QueryVector};
 use orex_telemetry::Level;
 use serde_json::Value;
-use std::io;
+use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
+
+/// Between-request poll window on a kept-alive connection: how long a
+/// worker waits for the next request before parking the connection back
+/// on the queue. Short enough that workers rotate across connections,
+/// long enough to catch back-to-back requests without a reschedule.
+const KEEPALIVE_POLL: Duration = Duration::from_millis(25);
+/// Requests served on one connection in a single scheduling pass before
+/// the worker parks it — bounds how long one chatty connection can
+/// monopolize a worker while others wait.
+const KEEPALIVE_BURST: u64 = 32;
 
 /// Tuning knobs for [`Server::bind`].
 #[derive(Clone, Debug)]
@@ -35,7 +55,8 @@ pub struct ServerConfig {
     pub addr: String,
     /// Worker threads.
     pub threads: usize,
-    /// LRU result-cache capacity (distinct normalized queries).
+    /// LRU result-cache capacity (distinct normalized queries), per
+    /// dataset.
     pub cache_entries: usize,
     /// Session idle TTL.
     pub session_ttl: Duration,
@@ -43,7 +64,8 @@ pub struct ServerConfig {
     pub max_sessions: usize,
     /// Per-request body limit in bytes.
     pub max_body_bytes: usize,
-    /// Per-request socket read/write timeout.
+    /// Socket read/write timeout for the first request of a connection
+    /// and for mid-request reads.
     pub io_timeout: Duration,
     /// Traces retained for `GET /trace/<id>`.
     pub max_traces: usize,
@@ -55,7 +77,8 @@ pub struct ServerConfig {
     pub slow_request: Duration,
     /// Precomputed rank-vector artifact (from `orex precompute`) to
     /// answer covered queries by linear combination. Validated against
-    /// the served dataset at bind time.
+    /// the served dataset at bind time. Single-dataset
+    /// ([`Server::bind`]) path only.
     pub precompute_path: Option<PathBuf>,
     /// Build vectors for uncovered query terms in a background thread so
     /// later occurrences combine. Only meaningful with a precompute
@@ -69,6 +92,15 @@ pub struct ServerConfig {
     /// Cadence of the background status collector that feeds
     /// `/debug/status` history and evaluates SLO burn rates.
     pub status_interval: Duration,
+    /// Live-connection cap: connections accepted past this limit are
+    /// answered `503` + `Retry-After` immediately instead of queueing.
+    pub max_connections: usize,
+    /// Max requests served on one keep-alive connection before the
+    /// server closes it (bounds per-connection state lifetime).
+    pub keepalive_requests: u64,
+    /// How long a kept-alive connection may sit idle before the server
+    /// closes it.
+    pub keepalive_idle: Duration,
 }
 
 impl Default for ServerConfig {
@@ -88,20 +120,32 @@ impl Default for ServerConfig {
             backfill: true,
             profile_hz: orex_telemetry::profile::DEFAULT_HZ,
             status_interval: Duration::from_secs(2),
+            max_connections: 1024,
+            keepalive_requests: 1000,
+            keepalive_idle: Duration::from_secs(5),
         }
     }
 }
 
 /// Everything a handler needs, shared across workers.
 struct ServerState {
-    system: Arc<ObjectRankSystem>,
+    registry: SystemRegistry,
     sessions: SessionTable,
-    ranks: RankStore,
     traces: TraceArchive,
     logs: LogArchive,
     status: StatusBoard,
     max_body_bytes: usize,
     slow_request: Duration,
+    io_timeout: Duration,
+    keepalive_requests: u64,
+    keepalive_idle: Duration,
+    /// Live accepted connections (queued or being served); the accept
+    /// loop refuses connections past `max_connections`.
+    live_connections: AtomicUsize,
+    max_connections: usize,
+    /// Set when the accept loop exits: parked connections close instead
+    /// of waiting for more requests, so the pool can drain.
+    draining: AtomicBool,
 }
 
 /// Per-request serving-path outcomes surfaced in the access log and the
@@ -113,6 +157,9 @@ struct QueryFlags {
     /// `Some(true)` when precomputed vectors were combined; `Some(false)`
     /// when a precomputed store was consulted but a live iteration ran.
     precompute_hit: Option<bool>,
+    /// Dataset the request addressed (even when unknown — the access
+    /// log carries what the client asked for).
+    dataset: Option<String>,
 }
 
 /// Signals a running [`Server`] to stop accepting and drain.
@@ -139,6 +186,15 @@ impl ShutdownHandle {
 
 /// Set by the process signal handler; observed by every running server.
 static SIGNAL_STOP: AtomicBool = AtomicBool::new(false);
+
+/// True once a SIGINT/SIGTERM handler installed by
+/// [`install_signal_handlers`] has fired. Non-server accept loops (the
+/// router) poll this to join the same graceful-drain protocol.
+pub fn signal_shutdown_requested() -> bool {
+    // ORDERING: Acquire pairs with the handler's Release store; the
+    // flag itself is the only communicated state.
+    SIGNAL_STOP.load(Ordering::Acquire)
+}
 
 /// Installs SIGINT/SIGTERM handlers that request graceful shutdown of
 /// every running server in the process. Safe to call more than once.
@@ -180,37 +236,44 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds `config.addr` and prepares the shared state. When a
-    /// precompute artifact is configured it is loaded and validated
-    /// against the served dataset (graph hash, node count, damping,
-    /// epsilon) — a mismatched artifact is a bind error, not a silent
-    /// mis-ranking.
+    /// Binds `config.addr` serving the single `system` as the dataset
+    /// named `default`. When a precompute artifact is configured it is
+    /// loaded and validated against the served dataset (graph hash,
+    /// node count, damping, epsilon) — a mismatched artifact is a bind
+    /// error, not a silent mis-ranking.
     pub fn bind(system: Arc<ObjectRankSystem>, config: ServerConfig) -> io::Result<Self> {
+        let service = DatasetService::from_system(
+            "default",
+            orex_datagen::Preset::DblpTop,
+            0.0,
+            system,
+            config.cache_entries,
+            config.precompute_path.as_deref(),
+        )
+        .map_err(|why| io::Error::new(io::ErrorKind::InvalidData, why))?;
+        let registry = SystemRegistry::single(service, config.backfill);
+        Self::bind_registry(registry, config)
+    }
+
+    /// Binds `config.addr` serving every dataset in `registry`. The
+    /// first registered dataset answers requests that don't name one.
+    pub fn bind_registry(registry: SystemRegistry, config: ServerConfig) -> io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
-        let ranks = RankStore::new(config.cache_entries, system.initial_rates());
-        if let Some(path) = &config.precompute_path {
-            let store = orex_store::PrecomputedRanks::load(path)
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-            validate_precompute(&store, &system)
-                .map_err(|why| io::Error::new(io::ErrorKind::InvalidData, why))?;
-            orex_telemetry::logger()
-                .info("server.precompute", "precomputed ranks loaded")
-                .field_str("path", path.to_string_lossy())
-                .field_u64("terms", store.len() as u64)
-                .field_u64("dataset_hash", store.dataset_hash())
-                .emit();
-            ranks.set_precomputed(store);
-        }
         let state = Arc::new(ServerState {
-            system,
+            registry,
             sessions: SessionTable::new(config.session_ttl, config.max_sessions),
-            ranks,
             traces: TraceArchive::new(config.max_traces),
             logs: LogArchive::new(config.max_logs),
             status: StatusBoard::new(),
             max_body_bytes: config.max_body_bytes,
             slow_request: config.slow_request,
+            io_timeout: config.io_timeout,
+            keepalive_requests: config.keepalive_requests.max(1),
+            keepalive_idle: config.keepalive_idle,
+            live_connections: AtomicUsize::new(0),
+            max_connections: config.max_connections,
+            draining: AtomicBool::new(false),
         });
         Ok(Self {
             listener,
@@ -218,6 +281,15 @@ impl Server {
             config,
             stop: Arc::new(AtomicBool::new(false)),
         })
+    }
+
+    /// Builds every registered dataset now instead of lazily on first
+    /// use. Surfaces build errors before the server starts serving.
+    pub fn build_all_datasets(&self) -> io::Result<()> {
+        self.state
+            .registry
+            .build_all()
+            .map_err(|why| io::Error::new(io::ErrorKind::InvalidData, why))
     }
 
     /// The bound address (resolves port 0 to the actual port).
@@ -270,16 +342,7 @@ impl Server {
                 })
                 .ok()
         };
-        // Background backfill: build vectors for uncovered query terms so
-        // later occurrences of the same terms combine instead of iterate.
-        let backfill_handle = if self.config.backfill && self.state.ranks.precomputed_terms() > 0 {
-            let (tx, rx) = std::sync::mpsc::channel::<Vec<String>>();
-            self.state.ranks.set_backfill_sender(tx);
-            let state = Arc::clone(&self.state);
-            Some(std::thread::spawn(move || backfill_loop(&state, rx)))
-        } else {
-            None
-        };
+        let handle = pool.handle();
         // Acquire pairs with the Release stores in `shutdown()` and the
         // signal handler; SeqCst's total order across the two flags is
         // unnecessary (either one stopping is sufficient and they never
@@ -288,9 +351,30 @@ impl Server {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
                     telemetry.counter("server.connections").incr();
+                    // ORDERING: occupancy gate, not a synchronization
+                    // point — Relaxed suffices; an off-by-a-few race at
+                    // the cap only shifts which connection sees the 503.
+                    let live = self.state.live_connections.load(Ordering::Relaxed);
+                    if live >= self.state.max_connections {
+                        refuse_overloaded(stream, &self.state, self.config.io_timeout);
+                        continue;
+                    }
+                    // ORDERING: same occupancy gate as the load
+                    // above; Relaxed suffices.
+                    self.state.live_connections.fetch_add(1, Ordering::Relaxed);
                     let state = Arc::clone(&self.state);
+                    let guard = ConnGuard {
+                        state: Arc::clone(&self.state),
+                    };
                     let io_timeout = self.config.io_timeout;
-                    pool.execute(move || handle_connection(stream, &state, io_timeout));
+                    // A failed try_clone or a closed pool drops `conn`
+                    // (and its guard, undoing the count) right here.
+                    if let Ok(conn) = Conn::new(stream, io_timeout, guard) {
+                        if let Some(h) = handle.clone() {
+                            let h2 = h.clone();
+                            let _ = h.submit(move || connection_pass(conn, state, h2));
+                        }
+                    }
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                     // orex::allow(ORX005): the listener is nonblocking so
@@ -303,14 +387,16 @@ impl Server {
                 Err(e) => return Err(e),
             }
         }
-        // Stop accepting; drain queued + in-flight requests.
+        // Stop accepting. Parked connections observe the drain flag and
+        // close instead of resubmitting; drop our queue handle so the
+        // pool's channel can actually close, then drain queued +
+        // in-flight requests.
+        self.state.draining.store(true, Ordering::Release);
+        drop(handle);
         pool.join();
-        // Close the backfill queue after the drain (drained requests may
-        // still enqueue) and wait for the builder to finish its batch.
-        self.state.ranks.close_backfill();
-        if let Some(handle) = backfill_handle {
-            let _ = handle.join();
-        }
+        // Close the backfill queues after the drain (drained requests
+        // may still enqueue) and wait for the builders to finish.
+        self.state.registry.shutdown();
         {
             let (lock, cv) = &*collector_stop;
             *lock.lock().unwrap_or_else(PoisonError::into_inner) = true;
@@ -324,173 +410,245 @@ impl Server {
     }
 }
 
-/// Checks a precompute artifact against the served system.
-fn validate_precompute(
-    store: &orex_store::PrecomputedRanks,
-    system: &ObjectRankSystem,
-) -> Result<(), String> {
-    let graph_hash = orex_store::fnv1a(&orex_store::encode_graph(system.graph()));
-    if store.dataset_hash() != graph_hash {
-        return Err(format!(
-            "precompute artifact was built for a different dataset \
-             (artifact {:#x}, serving {:#x})",
-            store.dataset_hash(),
-            graph_hash
-        ));
-    }
-    if store.node_count() != system.graph().node_count() {
-        return Err(format!(
-            "precompute artifact has {} nodes, graph has {}",
-            store.node_count(),
-            system.graph().node_count()
-        ));
-    }
-    let rank = &system.config().rank;
-    if store.damping() != rank.damping || store.epsilon() != rank.epsilon {
-        return Err(format!(
-            "precompute artifact converged under damping {} / epsilon {}, \
-             system runs damping {} / epsilon {}",
-            store.damping(),
-            store.epsilon(),
-            rank.damping,
-            rank.epsilon
-        ));
-    }
-    Ok(())
+/// Decrements the live-connection count when a connection ends, on
+/// every exit path (including handler panics unwinding the worker).
+struct ConnGuard {
+    state: Arc<ServerState>,
 }
 
-/// The backfill builder: drains term batches from the queue, runs them
-/// through the batched kernel (global warm start, same parameters as the
-/// offline build) and installs the finished vectors. Exits when every
-/// sender is dropped (server shutdown).
-fn backfill_loop(state: &ServerState, rx: std::sync::mpsc::Receiver<Vec<String>>) {
-    let system = &state.system;
-    let scorer = &system.config().okapi;
-    let params = system.config().rank;
-    while let Ok(terms) = rx.recv() {
-        let _span = orex_telemetry::global().span("server.backfill_us");
-        let matrix =
-            orex_authority::TransitionMatrix::new(system.transfer(), system.initial_rates());
-        let mut kept: Vec<(String, f64)> = Vec::with_capacity(terms.len());
-        let mut bases = Vec::with_capacity(terms.len());
-        let mut skipped: Vec<String> = Vec::new();
-        for term in terms {
-            match orex_store::term_base(system.index(), scorer, &term) {
-                Some((mass, base)) => {
-                    kept.push((term, mass));
-                    bases.push(base);
-                }
-                None => skipped.push(term),
-            }
-        }
-        // Terms without base sets can never combine; unmark them so a
-        // rebuilt index could retry, and skip the kernel entirely.
-        state.ranks.clear_in_flight(&skipped);
-        if bases.is_empty() {
-            continue;
-        }
-        let results =
-            orex_authority::power_iteration_batch(&matrix, &bases, &params, system.global_scores());
-        let built: Vec<(String, f64, Vec<f64>)> = kept
-            .into_iter()
-            .zip(results)
-            .map(|((term, mass), result)| (term, mass, result.scores))
-            .collect();
-        orex_telemetry::logger()
-            .info("server.backfill", "backfilled precomputed vectors")
-            .field_u64("terms", built.len() as u64)
-            .emit();
-        state.ranks.insert_backfilled(built);
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        // ORDERING: occupancy statistic, pairs with the accept loop's
+        // Relaxed load; no data is published under this counter.
+        self.state.live_connections.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
-fn handle_connection(mut stream: TcpStream, state: &ServerState, io_timeout: Duration) {
-    let _ = stream.set_read_timeout(Some(io_timeout));
+/// One live client connection with its buffered reader (which owns any
+/// already-received pipelined requests) and serving statistics.
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    served: u64,
+    idle_since: Instant,
+    /// Held for the connection's lifetime; dropping the `Conn` on any
+    /// path releases its slot under the connection cap.
+    _guard: ConnGuard,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, io_timeout: Duration, guard: ConnGuard) -> io::Result<Self> {
+        let _ = stream.set_read_timeout(Some(io_timeout));
+        let _ = stream.set_write_timeout(Some(io_timeout));
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+            served: 0,
+            idle_since: Instant::now(),
+            _guard: guard,
+        })
+    }
+}
+
+/// Answers an over-cap connection with `503` + `Retry-After` without
+/// occupying a worker. The write happens on the accept-loop thread but
+/// is one small buffer under a write timeout.
+fn refuse_overloaded(mut stream: TcpStream, state: &ServerState, io_timeout: Duration) {
     let _ = stream.set_write_timeout(Some(io_timeout));
+    orex_telemetry::global()
+        .counter("server.overload_503")
+        .incr();
+    let response = Response::error(503, "server at connection capacity, retry shortly")
+        .with_header("Retry-After", "1");
+    access_log(
+        state,
+        None,
+        &response,
+        &QueryFlags::default(),
+        Duration::ZERO,
+    );
+    let _ = response.write_to(&mut stream, false);
+    // Unread request bytes at close time force an RST that can destroy
+    // the 503 in flight; send our FIN, then drain what the client
+    // already wrote (bounded, short timeout) so the close is graceful.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(20)));
+    let mut sink = [0u8; 4096];
+    for _ in 0..16 {
+        match io::Read::read(&mut stream, &mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
+/// One scheduling pass over a parked connection: serve the requests
+/// that arrive promptly (pipelined requests drain back-to-back), then
+/// either park the connection again (quiet gap, burst cap) or close it
+/// (client close, protocol error, idle/lifetime limits, drain).
+fn connection_pass(mut conn: Conn, state: Arc<ServerState>, handle: PoolHandle) {
     let telemetry = orex_telemetry::global();
-    let tracer = orex_telemetry::tracer();
-    let start = Instant::now();
-
-    let (response, sampled_trace) = match read_request(&stream, state.max_body_bytes) {
-        Ok(request) => {
-            telemetry.counter("server.requests").incr();
-            // Root span of this request's trace; handler spans nest
-            // under it. Dropped before the ring is drained below so the
-            // archive sees the complete trace.
-            let (response, sampled_trace) = {
-                let mut span = tracer.span("server.request");
-                if span.is_recording() {
-                    span.attr_str("method", &request.method);
-                    span.attr_str("path", &request.path);
+    let mut served_this_pass = 0u64;
+    loop {
+        // Acquire pairs with the drain flag's Release store: parked
+        // connections must stop resubmitting once the accept loop exits
+        // or pool.join() would never observe an empty queue.
+        if state.draining.load(Ordering::Acquire) {
+            return; // drop closes the connection
+        }
+        let first = conn.served == 0;
+        // The first request gets the full io timeout (a fresh client
+        // may pause between connect and send, as before keep-alive);
+        // later requests poll briefly so the worker can rotate to other
+        // parked connections during quiet gaps.
+        let _ = conn.writer.set_read_timeout(Some(if first {
+            state.io_timeout
+        } else {
+            KEEPALIVE_POLL
+        }));
+        let start = Instant::now();
+        let request = match read_request(&mut conn.reader, state.max_body_bytes) {
+            Ok(request) => request,
+            Err(ParseError::ConnectionClosed) => return,
+            Err(ParseError::Idle) if !first => {
+                if conn.idle_since.elapsed() >= state.keepalive_idle {
+                    telemetry.counter("server.keepalive_idle_closed").incr();
+                    return;
                 }
-                let trace_id = span.trace_id().map(|t| t.0);
-                // Only sampled traces reach the archive, so only those
-                // make honest exemplars — an unsampled id would 404 on
-                // `GET /trace/<id>`.
-                let sampled_trace = if span.is_sampled() { trace_id } else { None };
-                let mut flags = QueryFlags::default();
-                let response = route(&request, state, trace_id, &mut flags);
-                // Emitted while the span is still open, so the record is
-                // stamped with this request's trace/span ids.
-                access_log(state, Some(&request), &response, &flags, start.elapsed());
-                (response, sampled_trace)
-            };
-            state.traces.absorb(tracer.drain());
-            (response, sampled_trace)
-        }
-        Err(ParseError::ConnectionClosed) => return,
-        Err(ParseError::BodyTooLarge(_)) => {
-            telemetry.counter("server.requests").incr();
-            let response = Response::error(413, "request body exceeds limit");
-            access_log(
-                state,
-                None,
-                &response,
-                &QueryFlags::default(),
-                start.elapsed(),
-            );
-            (response, None)
-        }
-        Err(ParseError::Malformed(why)) => {
-            telemetry.counter("server.requests").incr();
-            let response = Response::error(400, why);
-            access_log(
-                state,
-                None,
-                &response,
-                &QueryFlags::default(),
-                start.elapsed(),
-            );
-            (response, None)
-        }
-        Err(ParseError::Io(_)) => {
-            telemetry.counter("server.request_timeouts").incr();
-            let response = Response::error(408, "timed out reading request");
-            access_log(
-                state,
-                None,
-                &response,
-                &QueryFlags::default(),
-                start.elapsed(),
-            );
-            (response, None)
-        }
-    };
+                // Park: some other worker (or this one, later) resumes
+                // the connection; buffered bytes travel with the reader.
+                let state2 = Arc::clone(&state);
+                let handle2 = handle.clone();
+                if !handle.submit(move || connection_pass(conn, state2, handle2)) {
+                    // Pool shut down while parking; the moved conn's
+                    // guard decrements on drop.
+                }
+                return;
+            }
+            Err(ParseError::Idle) | Err(ParseError::Io(_)) => {
+                telemetry.counter("server.request_timeouts").incr();
+                let response = Response::error(408, "timed out reading request");
+                access_log(
+                    &state,
+                    None,
+                    &response,
+                    &QueryFlags::default(),
+                    start.elapsed(),
+                );
+                finish_response(&mut conn, &response, false, start, None);
+                return;
+            }
+            Err(ParseError::BodyTooLarge(_)) => {
+                telemetry.counter("server.requests").incr();
+                let response = Response::error(413, "request body exceeds limit");
+                access_log(
+                    &state,
+                    None,
+                    &response,
+                    &QueryFlags::default(),
+                    start.elapsed(),
+                );
+                finish_response(&mut conn, &response, false, start, None);
+                return;
+            }
+            Err(ParseError::Malformed(why)) => {
+                telemetry.counter("server.requests").incr();
+                let response = Response::error(400, why);
+                access_log(
+                    &state,
+                    None,
+                    &response,
+                    &QueryFlags::default(),
+                    start.elapsed(),
+                );
+                finish_response(&mut conn, &response, false, start, None);
+                return;
+            }
+        };
 
+        telemetry.counter("server.requests").incr();
+        if conn.served > 0 {
+            // A second (or later) request on one connection is the
+            // keep-alive win the transport layer exists for.
+            telemetry.counter("server.keepalive_reuses").incr();
+        }
+        let keep_alive = request.keep_alive() && conn.served + 1 < state.keepalive_requests;
+        let (response, sampled_trace) = handle_request(&request, &state, start);
+        finish_response(&mut conn, &response, keep_alive, start, sampled_trace);
+        conn.served += 1;
+        conn.idle_since = Instant::now();
+        if !keep_alive {
+            return;
+        }
+        served_this_pass += 1;
+        if served_this_pass >= KEEPALIVE_BURST {
+            // Burst cap: park so other connections get a worker.
+            let state2 = Arc::clone(&state);
+            let handle2 = handle.clone();
+            let _ = handle.submit(move || connection_pass(conn, state2, handle2));
+            return;
+        }
+    }
+}
+
+/// Routes one parsed request and produces its response plus the sampled
+/// trace id (for histogram exemplars), emitting the access log inside
+/// the request span.
+fn handle_request(
+    request: &Request,
+    state: &Arc<ServerState>,
+    start: Instant,
+) -> (Response, Option<u64>) {
+    let tracer = orex_telemetry::tracer();
+    // Root span of this request's trace; handler spans nest under it.
+    // Dropped before the ring is drained below so the archive sees the
+    // complete trace.
+    let (response, sampled_trace) = {
+        let mut span = tracer.span("server.request");
+        if span.is_recording() {
+            span.attr_str("method", &request.method);
+            span.attr_str("path", &request.path);
+        }
+        let trace_id = span.trace_id().map(|t| t.0);
+        // Only sampled traces reach the archive, so only those make
+        // honest exemplars — an unsampled id would 404 on
+        // `GET /trace/<id>`.
+        let sampled_trace = if span.is_sampled() { trace_id } else { None };
+        let mut flags = QueryFlags::default();
+        let response = route(request, state, trace_id, &mut flags);
+        // Emitted while the span is still open, so the record is
+        // stamped with this request's trace/span ids.
+        access_log(state, Some(request), &response, &flags, start.elapsed());
+        (response, sampled_trace)
+    };
+    state.traces.absorb(tracer.drain());
+    (response, sampled_trace)
+}
+
+/// Writes the response and records the request metrics.
+fn finish_response(
+    conn: &mut Conn,
+    response: &Response,
+    keep_alive: bool,
+    start: Instant,
+    sampled_trace: Option<u64>,
+) {
+    let telemetry = orex_telemetry::global();
     telemetry
         .histogram("server.request_us")
         .record_with_exemplar(start.elapsed().as_micros() as f64, sampled_trace);
     telemetry
         .counter(&format!("server.responses_{}xx", response.status / 100))
         .incr();
-    let _ = response.write_to(&mut stream);
+    let _ = response.write_to(&mut conn.writer, keep_alive);
 }
 
 /// Emits the one `server.access` record every response gets — method,
-/// path, status, body bytes, latency, cache and precompute hit/miss —
-/// plus a `server.slow` WARN when the request crossed the slow
-/// threshold. Called inside the request span when one exists, so the
-/// records carry the request's trace/span ids; unparseable requests
+/// path, status, body bytes, latency, dataset, cache and precompute
+/// hit/miss — plus a `server.slow` WARN when the request crossed the
+/// slow threshold. Called inside the request span when one exists, so
+/// the records carry the request's trace/span ids; unparseable requests
 /// (4xx before routing) log with `-` placeholders and no trace.
 fn access_log(
     state: &ServerState,
@@ -510,6 +668,9 @@ fn access_log(
         .field_u64("status", u64::from(response.status))
         .field_u64("bytes", response.body.len() as u64)
         .field_u64("latency_us", latency_us);
+    if let Some(dataset) = &flags.dataset {
+        record = record.field_str("dataset", dataset);
+    }
     if let Some(hit) = flags.cache_hit {
         record = record.field_bool("cache_hit", hit);
     }
@@ -570,20 +731,25 @@ fn route(
             Response::text(200, orex_telemetry::global().snapshot().to_prometheus())
         }
         ("POST", ["query"]) => respond("query", handle_query(request, state, trace_id, flags)),
-        ("GET", ["explain", sid, node]) => respond("explain", handle_explain(state, sid, node)),
-        ("POST", ["feedback", sid]) => respond("feedback", handle_feedback(request, state, sid)),
+        ("GET", ["datasets"]) => respond("datasets", handle_datasets(state)),
+        ("GET", ["explain", sid, node]) => {
+            respond("explain", handle_explain(state, sid, node, flags))
+        }
+        ("POST", ["feedback", sid]) => {
+            respond("feedback", handle_feedback(request, state, sid, flags))
+        }
         ("GET", ["trace", id]) => respond("trace", handle_trace(state, id)),
         ("GET", ["logs"]) => respond("logs", handle_logs(state, query)),
         ("GET", ["profile"]) => respond("profile", handle_profile(query)),
         ("GET", ["debug", "status"]) => respond("status", handle_status(state, query)),
         ("POST", ["query" | "feedback", ..])
-        | ("GET", ["explain" | "trace" | "logs" | "profile" | "debug", ..]) => {
+        | ("GET", ["explain" | "trace" | "logs" | "profile" | "debug" | "datasets", ..]) => {
             Response::error(404, "no such route")
         }
         (
             _,
             ["healthz" | "metrics" | "query" | "explain" | "feedback" | "trace" | "logs" | "profile"
-            | "debug", ..],
+            | "debug" | "datasets", ..],
         ) => Response::error(405, "method not allowed"),
         _ => Response::error(404, "no such route"),
     }
@@ -635,6 +801,18 @@ fn requested_k(body: &Value) -> usize {
         .map_or(10, |k| (k as usize).clamp(1, 1000))
 }
 
+/// `GET /datasets`: every registered dataset with its load state and
+/// per-dataset memory accounting.
+fn handle_datasets(state: &ServerState) -> Result<Response, ServerError> {
+    let telemetry = orex_telemetry::global();
+    let _span = telemetry.span("server.datasets_us");
+    telemetry.counter("server.datasets_requests").incr();
+    Ok(Response::json(
+        200,
+        serde_json::to_string(&state.registry.list_json()).unwrap_or_default(),
+    ))
+}
+
 fn handle_query(
     request: &Request,
     state: &ServerState,
@@ -645,56 +823,67 @@ fn handle_query(
     let Some(query_text) = body.get("query").and_then(Value::as_str) else {
         return Err(ServerError::BadRequest("missing \"query\" field".into()));
     };
+    let dataset_name = match body.get("dataset") {
+        None => state.registry.default_name().to_string(),
+        Some(Value::String(name)) => name.clone(),
+        Some(_) => {
+            return Err(ServerError::BadRequest(
+                "\"dataset\" must be a string".into(),
+            ))
+        }
+    };
+    // Recorded before resolution so the access log carries the dataset
+    // the client *asked for*, including unknown ones (their 404s are
+    // exactly the records an operator greps for).
+    flags.dataset = Some(dataset_name.clone());
+    let service = state.registry.get(&dataset_name)?;
+    service.count_query();
     let k = requested_k(&body);
     let telemetry = orex_telemetry::global();
     let _span = telemetry.span("server.query_us");
     telemetry.counter("server.query_requests").incr();
 
+    let system = service.system();
+    let ranks = service.ranks();
     // Normalize before consulting the cache, so equivalent spellings of
     // one query share an entry.
     let query = Query::parse(query_text);
-    let qv = QueryVector::initial(&query, state.system.index().analyzer());
+    let qv = QueryVector::initial(&query, system.index().analyzer());
 
     let mut combined = false;
-    let (snapshot, cached) = match state.ranks.lookup_initial(&qv)? {
+    let (snapshot, cached) = match ranks.lookup_initial(&qv)? {
         Some(snapshot) => (snapshot, true),
         // Result-cache miss: prefer the exact linear combination of
         // precomputed single-keyword vectors (Linearity, Section 6.2);
         // fall back to a live power iteration and queue the uncovered
         // terms for background backfill.
-        None => match state
-            .ranks
-            .combine(&qv, state.system.index(), &state.system.config().okapi)
-        {
+        None => match ranks.combine(&qv, system.index(), &system.config().okapi) {
             CombineOutcome::Hit(scores) => {
                 combined = true;
                 flags.precompute_hit = Some(true);
-                let snapshot = SessionSnapshot::from_parts(
-                    qv.clone(),
-                    state.system.initial_rates().clone(),
-                    scores,
-                );
-                state.ranks.store(&qv, &snapshot)?;
+                let snapshot =
+                    SessionSnapshot::from_parts(qv.clone(), system.initial_rates().clone(), scores);
+                ranks.store(&qv, &snapshot)?;
                 (snapshot, false)
             }
             outcome => {
                 if let CombineOutcome::Miss(missing) = outcome {
                     flags.precompute_hit = Some(false);
-                    state.ranks.request_backfill(missing);
+                    ranks.request_backfill(missing);
                 }
-                let session =
-                    QuerySession::start(&state.system, &query).map_err(|e| session_error(&e))?;
+                let session = QuerySession::start(system, &query).map_err(|e| session_error(&e))?;
                 let snapshot = session.snapshot();
-                state.ranks.store(&qv, &snapshot)?;
+                ranks.store(&qv, &snapshot)?;
                 (snapshot, false)
             }
         },
     };
     flags.cache_hit = Some(cached);
-    let session = QuerySession::resume(&state.system, snapshot.clone());
-    let session_id = state.sessions.insert(snapshot)?;
+    let session = QuerySession::resume(system, snapshot.clone());
+    let session_id = state.sessions.insert(&dataset_name, snapshot)?;
     let payload = serde_json::json!({
         "session": session_id,
+        "dataset": dataset_name,
         "cached": cached,
         "combined": combined,
         "trace": trace_id.map_or(Value::Null, Value::from),
@@ -710,7 +899,26 @@ fn parse_id(raw: &str) -> Option<u64> {
     raw.parse().ok()
 }
 
-fn handle_explain(state: &ServerState, sid: &str, node: &str) -> Result<Response, ServerError> {
+/// Resolves a session id to its snapshot and owning dataset service.
+fn session_service(
+    state: &ServerState,
+    sid: u64,
+    flags: &mut QueryFlags,
+) -> Result<Option<(Arc<DatasetService>, SessionSnapshot)>, ServerError> {
+    let Some((dataset, snapshot)) = state.sessions.get(sid)? else {
+        return Ok(None);
+    };
+    flags.dataset = Some(dataset.to_string());
+    let service = state.registry.get(&dataset)?;
+    Ok(Some((service, snapshot)))
+}
+
+fn handle_explain(
+    state: &ServerState,
+    sid: &str,
+    node: &str,
+    flags: &mut QueryFlags,
+) -> Result<Response, ServerError> {
     let telemetry = orex_telemetry::global();
     let _span = telemetry.span("server.explain_us");
     telemetry.counter("server.explain_requests").incr();
@@ -722,12 +930,13 @@ fn handle_explain(state: &ServerState, sid: &str, node: &str) -> Result<Response
     let Ok(node) = node.parse::<u32>() else {
         return Err(ServerError::BadRequest("node id must be an integer".into()));
     };
-    let Some(snapshot) = state.sessions.get(sid)? else {
+    let Some((service, snapshot)) = session_service(state, sid, flags)? else {
         return Err(ServerError::NotFound("no such session (expired?)".into()));
     };
-    let session = QuerySession::resume(&state.system, snapshot);
+    let system = service.system();
+    let session = QuerySession::resume(system, snapshot);
     let target = NodeId::new(node);
-    if node as usize >= state.system.graph().node_count() {
+    if node as usize >= system.graph().node_count() {
         return Err(ServerError::BadRequest("node id out of range".into()));
     }
     let explanation = session.explain(target).map_err(|e| session_error(&e))?;
@@ -747,7 +956,7 @@ fn handle_explain(state: &ServerState, sid: &str, node: &str) -> Result<Response
     let payload = serde_json::json!({
         "session": sid,
         "target": node,
-        "display": state.system.display(target),
+        "display": system.display(target),
         "target_inflow": explanation.target_inflow(),
         "nodes": explanation.node_count() as u64,
         "edges": explanation.edge_count() as u64,
@@ -765,6 +974,7 @@ fn handle_feedback(
     request: &Request,
     state: &ServerState,
     sid: &str,
+    flags: &mut QueryFlags,
 ) -> Result<Response, ServerError> {
     let telemetry = orex_telemetry::global();
     let _span = telemetry.span("server.feedback_us");
@@ -778,7 +988,11 @@ fn handle_feedback(
     let Some(raw_objects) = body.get("objects").and_then(Value::as_array) else {
         return Err(ServerError::BadRequest("missing \"objects\" array".into()));
     };
-    let node_count = state.system.graph().node_count();
+    let Some((service, snapshot)) = session_service(state, sid, flags)? else {
+        return Err(ServerError::NotFound("no such session (expired?)".into()));
+    };
+    let system = service.system();
+    let node_count = system.graph().node_count();
     let mut objects = Vec::with_capacity(raw_objects.len());
     for v in raw_objects {
         match v.as_u64() {
@@ -791,18 +1005,15 @@ fn handle_feedback(
         }
     }
     let k = requested_k(&body);
-    let Some(snapshot) = state.sessions.get(sid)? else {
-        return Err(ServerError::NotFound("no such session (expired?)".into()));
-    };
     // Warm-start reformulation: resume the stored state, run one
     // feedback round, store the advanced state back.
-    let mut session = QuerySession::resume(&state.system, snapshot);
+    let mut session = QuerySession::resume(system, snapshot);
     let stats = session.feedback(&objects).map_err(|e| session_error(&e))?;
     let advanced = session.snapshot();
     if !state.sessions.update(sid, advanced.clone())? {
         // Session expired mid-round; re-insert so the client's id error
         // on the *next* call, not this one, stays consistent.
-        state.sessions.insert(advanced)?;
+        state.sessions.insert(service.name(), advanced)?;
     }
     let payload = serde_json::json!({
         "session": sid,
@@ -971,10 +1182,18 @@ fn handle_status(state: &ServerState, query: &str) -> Result<Response, ServerErr
     // (and deterministic in tests, which poll faster than the cadence).
     state.status.collect_if_stale(Duration::from_millis(250));
     state.logs.absorb(orex_telemetry::logger().drain());
+    let mut cache = 0usize;
+    let mut precompute_terms = 0usize;
+    for name in state.registry.names() {
+        if let Some(svc) = state.registry.get_if_loaded(name) {
+            cache += svc.ranks().cached_results();
+            precompute_terms += svc.ranks().precomputed_terms();
+        }
+    }
     let occupancy = Occupancy {
         sessions: state.sessions.len(),
-        cache: state.ranks.cached_results(),
-        precompute_terms: state.ranks.precomputed_terms(),
+        cache,
+        precompute_terms,
         traces: state.traces.len(),
         logs: state.logs.len(),
         recent_errors: state.logs.query(Some(Level::Error), None, None).len(),

@@ -12,10 +12,14 @@ use crate::error::ServerError;
 use orex_core::SessionSnapshot;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 struct Entry {
+    /// Name of the dataset the session ranks against — `/explain` and
+    /// `/feedback` carry only a session id, so the table is what maps a
+    /// session back to its owning dataset in a multi-dataset process.
+    dataset: Arc<str>,
     snapshot: SessionSnapshot,
     last_used: Instant,
 }
@@ -49,8 +53,9 @@ impl SessionTable {
             .map_err(ServerError::poisoned("session table"))
     }
 
-    /// Stores a snapshot as a new session and returns its id.
-    pub fn insert(&self, snapshot: SessionSnapshot) -> Result<u64, ServerError> {
+    /// Stores a snapshot as a new session owned by `dataset` and
+    /// returns its id.
+    pub fn insert(&self, dataset: &str, snapshot: SessionSnapshot) -> Result<u64, ServerError> {
         // ORDERING: pure id allocation — nothing is published under this
         // counter, uniqueness is all that matters.
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
@@ -68,6 +73,7 @@ impl SessionTable {
         entries.insert(
             id,
             Entry {
+                dataset: Arc::from(dataset),
                 snapshot,
                 last_used: now,
             },
@@ -79,15 +85,16 @@ impl SessionTable {
         Ok(id)
     }
 
-    /// Clones the snapshot for `id` and refreshes its TTL clock;
-    /// `Ok(None)` if the id is unknown or the entry has expired.
-    pub fn get(&self, id: u64) -> Result<Option<SessionSnapshot>, ServerError> {
+    /// Clones the snapshot for `id` (with its owning dataset name) and
+    /// refreshes its TTL clock; `Ok(None)` if the id is unknown or the
+    /// entry has expired.
+    pub fn get(&self, id: u64) -> Result<Option<(Arc<str>, SessionSnapshot)>, ServerError> {
         let now = Instant::now();
         let mut entries = self.locked()?;
         Self::sweep(&mut entries, now, self.ttl);
         Ok(entries.get_mut(&id).map(|entry| {
             entry.last_used = now;
-            entry.snapshot.clone()
+            (Arc::clone(&entry.dataset), entry.snapshot.clone())
         }))
     }
 
@@ -159,8 +166,9 @@ mod tests {
     fn insert_get_update_roundtrip() {
         let table = SessionTable::new(Duration::from_secs(60), 8);
         let snap = snapshot();
-        let id = table.insert(snap.clone()).unwrap();
-        assert!(table.get(id).unwrap().is_some());
+        let id = table.insert("dblp", snap.clone()).unwrap();
+        let (dataset, _) = table.get(id).unwrap().expect("session present");
+        assert_eq!(&*dataset, "dblp", "entry remembers its owning dataset");
         assert!(table.update(id, snap).unwrap());
         assert_eq!(table.len(), 1);
         assert!(table.get(id + 999).unwrap().is_none());
@@ -170,7 +178,7 @@ mod tests {
     #[test]
     fn entries_expire_after_ttl() {
         let table = SessionTable::new(Duration::from_millis(20), 8);
-        let id = table.insert(snapshot()).unwrap();
+        let id = table.insert("d", snapshot()).unwrap();
         assert!(table.get(id).unwrap().is_some());
         std::thread::sleep(Duration::from_millis(40));
         assert!(
@@ -184,13 +192,13 @@ mod tests {
     fn lru_eviction_respects_capacity() {
         let table = SessionTable::new(Duration::from_secs(60), 2);
         let snap = snapshot();
-        let a = table.insert(snap.clone()).unwrap();
+        let a = table.insert("d", snap.clone()).unwrap();
         std::thread::sleep(Duration::from_millis(5));
-        let b = table.insert(snap.clone()).unwrap();
+        let b = table.insert("d", snap.clone()).unwrap();
         std::thread::sleep(Duration::from_millis(5));
         // Touch `a` so `b` becomes the LRU victim.
         assert!(table.get(a).unwrap().is_some());
-        let c = table.insert(snap).unwrap();
+        let c = table.insert("d", snap).unwrap();
         assert_eq!(table.len(), 2);
         assert!(table.get(a).unwrap().is_some(), "recently used survives");
         assert!(table.get(b).unwrap().is_none(), "LRU entry evicted");

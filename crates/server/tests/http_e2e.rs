@@ -104,7 +104,9 @@ impl Reply {
     }
 }
 
-/// Sends raw bytes, reads to EOF (the server closes per request).
+/// Sends raw bytes, reads to EOF. Requests built by [`get`]/[`post`]
+/// carry `Connection: close` so the keep-alive server closes after one
+/// response and EOF framing stays valid.
 fn raw(addr: SocketAddr, request: &[u8]) -> Reply {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
@@ -139,7 +141,7 @@ fn raw(addr: SocketAddr, request: &[u8]) -> Reply {
 fn get(addr: SocketAddr, path: &str) -> Reply {
     raw(
         addr,
-        format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes(),
+        format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").as_bytes(),
     )
 }
 
@@ -147,7 +149,7 @@ fn post(addr: SocketAddr, path: &str, body: &str) -> Reply {
     raw(
         addr,
         format!(
-            "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            "POST {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
             body.len()
         )
         .as_bytes(),
@@ -955,6 +957,212 @@ fn request_histogram_exemplars_resolve_to_served_traces() {
                 == Some(*newest)
         }),
         "no log record carries exemplar trace {newest}:\n{logs}"
+    );
+}
+
+#[test]
+fn keep_alive_connections_are_reused_across_requests() {
+    let _guard = serial();
+    let server = TestServer::spawn_default();
+    let client = orex_server::HttpClient::new(server.addr.to_string());
+
+    for _ in 0..20 {
+        let reply = client.get("/healthz").expect("request");
+        assert_eq!(reply.status, 200);
+        assert_eq!(reply.body_str(), Some("ok\n"));
+    }
+    assert_eq!(client.requests(), 20);
+    assert_eq!(
+        client.connects(),
+        1,
+        "sequential requests share one connection"
+    );
+    assert!(
+        client.reuse_ratio() >= 0.9,
+        "reuse ratio {} below the fleet target",
+        client.reuse_ratio()
+    );
+
+    // The server counted the reuses too.
+    let reply = client.get("/metrics").expect("metrics");
+    let metrics = reply.body_str().unwrap();
+    assert!(
+        metric_value(metrics, "orex_server_keepalive_reuses").unwrap_or(0.0) >= 19.0,
+        "server-side reuse counter:\n{metrics}"
+    );
+}
+
+#[test]
+fn pipelined_requests_are_answered_in_order_on_one_socket() {
+    let _guard = serial();
+    let server = TestServer::spawn_default();
+
+    // Three requests in a single write; the last one closes.
+    let batch = b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n\
+                  GET /no/such/route HTTP/1.1\r\nHost: t\r\n\r\n\
+                  GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n";
+    let mut stream = TcpStream::connect(server.addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(batch).expect("send batch");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("read");
+    let text = String::from_utf8_lossy(&response);
+
+    // Bodies carry no trailing newline, so split on the protocol marker
+    // rather than on lines.
+    let statuses: Vec<&str> = text
+        .split("HTTP/1.1 ")
+        .skip(1)
+        .map(|seg| seg.split_whitespace().next().unwrap_or_default())
+        .collect();
+    assert_eq!(
+        statuses,
+        ["200", "404", "200"],
+        "three in-order responses on one socket:\n{text}"
+    );
+    assert_eq!(text.matches("ok\n").count(), 2, "{text}");
+}
+
+#[test]
+fn registry_serves_datasets_by_name_and_404s_unknown_ones() {
+    let _guard = serial();
+    let (_, keyword) = fixture();
+    let specs = vec![
+        orex_server::DatasetSpec::parse("dblp=dblp-top:0.02").expect("spec"),
+        orex_server::DatasetSpec::parse("bio=ds7-cancer:0.02").expect("spec"),
+    ];
+    let registry = orex_server::SystemRegistry::new(specs, 64, false).expect("registry");
+    let server = {
+        let config = TestServer::config();
+        let server = Server::bind_registry(registry, config).expect("bind");
+        let addr = server.local_addr().unwrap();
+        let handle = server.shutdown_handle();
+        let thread = std::thread::spawn(move || server.run());
+        TestServer {
+            addr,
+            handle,
+            thread: Some(thread),
+        }
+    };
+
+    // Lazy: nothing is built until first use.
+    let listing = get(server.addr, "/datasets");
+    assert_eq!(listing.status, 200, "{}", listing.body);
+    let doc = listing.json();
+    assert_eq!(doc.get("default").and_then(Value::as_str), Some("dblp"));
+    let datasets = doc.get("datasets").and_then(Value::as_array).unwrap();
+    assert_eq!(datasets.len(), 2);
+    for d in datasets {
+        assert_eq!(d.get("loaded").and_then(Value::as_bool), Some(false));
+    }
+
+    // Routing by name: the dblp dataset builds on first query and the
+    // session it opens remembers its owning dataset.
+    let reply = post(
+        server.addr,
+        "/query",
+        &format!("{{\"query\": \"{keyword}\", \"dataset\": \"dblp\"}}"),
+    );
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let payload = reply.json();
+    assert_eq!(payload.get("dataset").and_then(Value::as_str), Some("dblp"));
+    let session = payload.get("session").and_then(Value::as_u64).unwrap();
+    let nodes = result_nodes(&payload);
+    assert_eq!(
+        get(server.addr, &format!("/explain/{session}/{}", nodes[0])).status,
+        200
+    );
+
+    // The listing now shows dblp loaded with memory accounting; bio is
+    // still cold.
+    let doc = get(server.addr, "/datasets").json();
+    let datasets = doc.get("datasets").and_then(Value::as_array).unwrap();
+    let dblp = datasets
+        .iter()
+        .find(|d| d.get("name").and_then(Value::as_str) == Some("dblp"))
+        .unwrap();
+    assert_eq!(dblp.get("loaded").and_then(Value::as_bool), Some(true));
+    assert!(dblp.get("memory_bytes").and_then(Value::as_u64).unwrap() > 0);
+    assert!(dblp.get("nodes").and_then(Value::as_u64).unwrap() > 0);
+    let bio = datasets
+        .iter()
+        .find(|d| d.get("name").and_then(Value::as_str) == Some("bio"))
+        .unwrap();
+    assert_eq!(bio.get("loaded").and_then(Value::as_bool), Some(false));
+    assert!(
+        doc.get("total_memory_bytes")
+            .and_then(Value::as_u64)
+            .unwrap()
+            > 0
+    );
+
+    // Unknown dataset: typed 404, not a 500, and the server stays up.
+    let reply = post(
+        server.addr,
+        "/query",
+        &format!("{{\"query\": \"{keyword}\", \"dataset\": \"nope\"}}"),
+    );
+    assert_eq!(reply.status, 404, "{}", reply.body);
+    assert!(
+        reply
+            .json()
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap()
+            .contains("unknown dataset"),
+        "{}",
+        reply.body
+    );
+    // Non-string dataset field is a client error.
+    assert_eq!(
+        post(server.addr, "/query", "{\"query\": \"x\", \"dataset\": 3}").status,
+        400
+    );
+    assert_eq!(get(server.addr, "/healthz").status, 200);
+
+    // The unknown-dataset 404's access record carries the dataset name.
+    let logs = get(server.addr, "/logs?level=info").body;
+    assert!(
+        logs.lines().any(|l| {
+            serde_json::from_str(l)
+                .ok()
+                .map(|v: Value| {
+                    v.get("fields")
+                        .and_then(|f| f.get("dataset"))
+                        .and_then(Value::as_str)
+                        == Some("nope")
+                        && v.get("fields")
+                            .and_then(|f| f.get("status"))
+                            .and_then(Value::as_u64)
+                            == Some(404)
+                })
+                .unwrap_or(false)
+        }),
+        "404 access record carries the dataset field:\n{logs}"
+    );
+}
+
+#[test]
+fn saturated_server_refuses_with_503_and_retry_after() {
+    let _guard = serial();
+    let mut config = TestServer::config();
+    config.max_connections = 0; // every connection is over the cap
+    let server = TestServer::spawn(config);
+
+    let reply = get(server.addr, "/healthz");
+    assert_eq!(reply.status, 503);
+    assert_eq!(reply.header("Retry-After"), Some("1"));
+    let snapshot = orex_telemetry::global().snapshot();
+    assert!(
+        snapshot
+            .counters
+            .get("server.overload_503")
+            .copied()
+            .unwrap_or(0)
+            >= 1,
+        "overload counter increments"
     );
 }
 
