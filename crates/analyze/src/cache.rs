@@ -1,0 +1,555 @@
+//! Content-hash incremental cache for per-file analysis.
+//!
+//! `orex analyze --cache FILE` memoizes [`FileAnalysis`] — the pure
+//! per-file half of the pipeline (lex, file-local rules, fn summaries)
+//! — keyed by an FNV-1a hash of the file's bytes. The interprocedural
+//! pass always re-runs over the assembled facts, so a warm run's
+//! report is byte-identical to a cold run's; the cache only skips
+//! re-lexing and re-summarizing unchanged files.
+//!
+//! The on-disk format is a versioned, line-oriented text file written
+//! by hand (this crate is dependency-free). Robustness rule: any
+//! parse problem, version mismatch, or policy-hash mismatch silently
+//! degrades to an empty cache — a stale or corrupt cache must never
+//! change findings, only cost.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::Path;
+
+use crate::diag::{Census, Finding, Rule};
+use crate::rules::LockEdge;
+use crate::summary::{CallSite, FnSummary, LockRegion, ParamSink, Site, TaintSink};
+use crate::FileAnalysis;
+
+/// Format version: bump on any change to [`FileAnalysis`] or its
+/// serialization, which atomically invalidates old caches.
+const VERSION: &str = "orex-analyze-cache v1";
+
+/// FNV-1a 64-bit over arbitrary bytes — tiny and good enough for
+/// change detection (this is not a security boundary; the cache file
+/// is as trusted as the sources themselves).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The in-memory cache: path → (content hash, analysis).
+#[derive(Default)]
+pub struct Cache {
+    policy_hash: u64,
+    entries: HashMap<String, (u64, FileAnalysis)>,
+}
+
+impl Cache {
+    /// Fresh cache bound to a policy fingerprint. Per-file findings
+    /// depend on the policy, so a policy edit invalidates everything.
+    pub fn new(policy_hash: u64) -> Cache {
+        Cache {
+            policy_hash,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// True when `rel`'s entry matches `source`'s current hash.
+    pub fn contains(&self, rel: &str, source: &str) -> bool {
+        self.entries
+            .get(rel)
+            .is_some_and(|(h, _)| *h == fnv1a64(source.as_bytes()))
+    }
+
+    /// The cached analysis for `rel`, if any (caller checks freshness
+    /// with [`Cache::contains`] first).
+    pub fn get(&self, rel: &str) -> Option<&FileAnalysis> {
+        self.entries.get(rel).map(|(_, fa)| fa)
+    }
+
+    /// Inserts/overwrites the entry for `rel`.
+    pub fn insert(&mut self, rel: &str, source: &str, fa: FileAnalysis) {
+        self.entries
+            .insert(rel.to_string(), (fnv1a64(source.as_bytes()), fa));
+    }
+
+    /// Loads a cache from `path`. Missing, corrupt, wrong-version or
+    /// wrong-policy files all yield an empty cache.
+    pub fn load(path: &Path, policy_hash: u64) -> Cache {
+        let Ok(text) = fs::read_to_string(path) else {
+            return Cache::new(policy_hash);
+        };
+        parse(&text, policy_hash).unwrap_or_else(|| Cache::new(policy_hash))
+    }
+
+    /// Serializes the cache to `path`.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        fs::write(path, self.render())
+    }
+
+    fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(VERSION);
+        out.push('\n');
+        out.push_str(&format!("policy {:016x}\n", self.policy_hash));
+        let mut paths: Vec<&String> = self.entries.keys().collect();
+        paths.sort();
+        for p in paths {
+            let (hash, fa) = &self.entries[p];
+            out.push_str(&format!("file {hash:016x} {}\n", esc(p)));
+            for f in &fa.findings {
+                out.push_str(&format!(
+                    "finding {} {} {} {}\n",
+                    f.rule.id(),
+                    f.line,
+                    f.col,
+                    esc(&f.message)
+                ));
+            }
+            out.push_str(&format!("waived {}\n", fa.waived));
+            out.push_str(&format!(
+                "census {} {} {}\n",
+                fa.census.todo, fa.census.fixme, fa.census.allow_attr
+            ));
+            for e in &fa.lock_edges {
+                out.push_str(&format!(
+                    "edge {} {} {} {} {}\n",
+                    esc(&e.func),
+                    esc(&e.first),
+                    esc(&e.second),
+                    e.line,
+                    e.col
+                ));
+            }
+            for s in &fa.facts.fns {
+                out.push_str(&format!(
+                    "fn {} {} {} {} {} {}\n",
+                    esc(&s.name),
+                    opt(&s.qualifier),
+                    s.has_self as u8,
+                    s.param_count,
+                    s.line,
+                    s.col
+                ));
+                for p in &s.panics {
+                    out.push_str(&format!(
+                        "panic {} {} {} {}\n",
+                        p.line,
+                        p.col,
+                        rules_csv(&p.waived),
+                        esc(&p.what)
+                    ));
+                }
+                for b in &s.blocking {
+                    out.push_str(&format!(
+                        "block {} {} {} {}\n",
+                        b.line,
+                        b.col,
+                        rules_csv(&b.waived),
+                        esc(&b.what)
+                    ));
+                }
+                for c in &s.calls {
+                    out.push_str(&format!(
+                        "call {} {} {} {} {} {} {} {} {}\n",
+                        esc(&c.name),
+                        opt(&c.qualifier),
+                        c.is_method as u8,
+                        c.line,
+                        c.col,
+                        rules_csv(&c.waived),
+                        list_csv(&c.held_locks),
+                        pairs_csv(
+                            &c.tainted_args
+                                .iter()
+                                .map(|&(a, l)| (a, l as usize))
+                                .collect::<Vec<_>>()
+                        ),
+                        pairs_csv(&c.param_args),
+                    ));
+                }
+                for l in &s.locks {
+                    out.push_str(&format!(
+                        "lock {} {} {} {} {} {}\n",
+                        esc(&l.lock),
+                        l.line,
+                        l.col,
+                        idx_csv(&l.blocking),
+                        idx_csv(&l.calls),
+                        list_csv(&l.later_locks),
+                    ));
+                }
+                for ts in &s.tainted_sinks {
+                    out.push_str(&format!(
+                        "tsink {} {} {} {} {}\n",
+                        ts.line,
+                        ts.col,
+                        ts.source_line,
+                        rules_csv(&ts.waived),
+                        esc(&ts.sink)
+                    ));
+                }
+                for ps in &s.param_sinks {
+                    out.push_str(&format!(
+                        "psink {} {} {} {} {}\n",
+                        ps.param,
+                        ps.line,
+                        ps.col,
+                        rules_csv(&ps.waived),
+                        esc(&ps.sink)
+                    ));
+                }
+            }
+            out.push_str("end\n");
+        }
+        out
+    }
+}
+
+/// Field escaping: cache fields are space-separated, so spaces,
+/// newlines and backslashes in strings are escaped.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            ' ' => out.push_str("\\s"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    if out.is_empty() {
+        out.push_str("\\e");
+    }
+    out
+}
+
+fn unesc(s: &str) -> Option<String> {
+    if s == "\\e" {
+        return Some(String::new());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut it = s.chars();
+    while let Some(c) = it.next() {
+        if c == '\\' {
+            match it.next()? {
+                '\\' => out.push('\\'),
+                's' => out.push(' '),
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                _ => return None,
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+fn opt(o: &Option<String>) -> String {
+    match o {
+        Some(s) => esc(s),
+        None => "-".to_string(),
+    }
+}
+
+fn unopt(s: &str) -> Option<Option<String>> {
+    if s == "-" {
+        Some(None)
+    } else {
+        unesc(s).map(Some)
+    }
+}
+
+fn rules_csv(rules: &[Rule]) -> String {
+    if rules.is_empty() {
+        "-".to_string()
+    } else {
+        rules.iter().map(|r| r.id()).collect::<Vec<_>>().join(",")
+    }
+}
+
+fn unrules_csv(s: &str) -> Option<Vec<Rule>> {
+    if s == "-" {
+        return Some(Vec::new());
+    }
+    s.split(',').map(Rule::parse).collect()
+}
+
+fn list_csv(items: &[String]) -> String {
+    if items.is_empty() {
+        "-".to_string()
+    } else {
+        items.iter().map(|s| esc(s)).collect::<Vec<_>>().join(",")
+    }
+}
+
+fn unlist_csv(s: &str) -> Option<Vec<String>> {
+    if s == "-" {
+        return Some(Vec::new());
+    }
+    s.split(',').map(unesc).collect()
+}
+
+fn idx_csv(items: &[usize]) -> String {
+    if items.is_empty() {
+        "-".to_string()
+    } else {
+        items
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+fn unidx_csv(s: &str) -> Option<Vec<usize>> {
+    if s == "-" {
+        return Some(Vec::new());
+    }
+    s.split(',').map(|x| x.parse().ok()).collect()
+}
+
+fn pairs_csv(items: &[(usize, usize)]) -> String {
+    if items.is_empty() {
+        "-".to_string()
+    } else {
+        items
+            .iter()
+            .map(|(a, b)| format!("{a}:{b}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+fn unpairs_csv(s: &str) -> Option<Vec<(usize, usize)>> {
+    if s == "-" {
+        return Some(Vec::new());
+    }
+    s.split(',')
+        .map(|x| {
+            let (a, b) = x.split_once(':')?;
+            Some((a.parse().ok()?, b.parse().ok()?))
+        })
+        .collect()
+}
+
+/// Parses cache text; `None` on any structural problem.
+fn parse(text: &str, policy_hash: u64) -> Option<Cache> {
+    let mut lines = text.lines();
+    if lines.next()? != VERSION {
+        return None;
+    }
+    let policy_line = lines.next()?;
+    let stored = u64::from_str_radix(policy_line.strip_prefix("policy ")?, 16).ok()?;
+    if stored != policy_hash {
+        return None;
+    }
+    let mut cache = Cache::new(policy_hash);
+    let mut cur: Option<(String, u64, FileAnalysis)> = None;
+    for line in lines {
+        let mut f = line.split(' ');
+        let kind = f.next()?;
+        match kind {
+            "file" => {
+                if cur.is_some() {
+                    return None; // missing `end`
+                }
+                let hash = u64::from_str_radix(f.next()?, 16).ok()?;
+                let path = unesc(f.next()?)?;
+                cur = Some((path, hash, FileAnalysis::default()));
+            }
+            "end" => {
+                let (path, hash, mut fa) = cur.take()?;
+                fa.facts.path = path.clone();
+                for e in &mut fa.lock_edges {
+                    e.file = path.clone();
+                }
+                for fd in &mut fa.findings {
+                    fd.file = path.clone();
+                }
+                cache.entries.insert(path, (hash, fa));
+            }
+            "finding" => {
+                let fa = &mut cur.as_mut()?.2;
+                fa.findings.push(Finding {
+                    rule: Rule::parse(f.next()?)?,
+                    file: String::new(),
+                    line: f.next()?.parse().ok()?,
+                    col: f.next()?.parse().ok()?,
+                    message: unesc(f.next()?)?,
+                });
+            }
+            "waived" => {
+                cur.as_mut()?.2.waived = f.next()?.parse().ok()?;
+            }
+            "census" => {
+                let fa = &mut cur.as_mut()?.2;
+                fa.census = Census {
+                    todo: f.next()?.parse().ok()?,
+                    fixme: f.next()?.parse().ok()?,
+                    allow_attr: f.next()?.parse().ok()?,
+                };
+            }
+            "edge" => {
+                let fa = &mut cur.as_mut()?.2;
+                fa.lock_edges.push(LockEdge {
+                    func: unesc(f.next()?)?,
+                    first: unesc(f.next()?)?,
+                    second: unesc(f.next()?)?,
+                    file: String::new(),
+                    line: f.next()?.parse().ok()?,
+                    col: f.next()?.parse().ok()?,
+                });
+            }
+            "fn" => {
+                let fa = &mut cur.as_mut()?.2;
+                fa.facts.fns.push(FnSummary {
+                    name: unesc(f.next()?)?,
+                    qualifier: unopt(f.next()?)?,
+                    has_self: f.next()? == "1",
+                    param_count: f.next()?.parse().ok()?,
+                    line: f.next()?.parse().ok()?,
+                    col: f.next()?.parse().ok()?,
+                    panics: Vec::new(),
+                    blocking: Vec::new(),
+                    calls: Vec::new(),
+                    locks: Vec::new(),
+                    tainted_sinks: Vec::new(),
+                    param_sinks: Vec::new(),
+                });
+            }
+            "panic" | "block" => {
+                let s = cur.as_mut()?.2.facts.fns.last_mut()?;
+                let site = Site {
+                    line: f.next()?.parse().ok()?,
+                    col: f.next()?.parse().ok()?,
+                    waived: unrules_csv(f.next()?)?,
+                    what: unesc(f.next()?)?,
+                };
+                if kind == "panic" {
+                    s.panics.push(site);
+                } else {
+                    s.blocking.push(site);
+                }
+            }
+            "call" => {
+                let s = cur.as_mut()?.2.facts.fns.last_mut()?;
+                s.calls.push(CallSite {
+                    name: unesc(f.next()?)?,
+                    qualifier: unopt(f.next()?)?,
+                    is_method: f.next()? == "1",
+                    line: f.next()?.parse().ok()?,
+                    col: f.next()?.parse().ok()?,
+                    waived: unrules_csv(f.next()?)?,
+                    held_locks: unlist_csv(f.next()?)?,
+                    tainted_args: unpairs_csv(f.next()?)?
+                        .into_iter()
+                        .map(|(a, l)| (a, l as u32))
+                        .collect(),
+                    param_args: unpairs_csv(f.next()?)?,
+                });
+            }
+            "lock" => {
+                let s = cur.as_mut()?.2.facts.fns.last_mut()?;
+                s.locks.push(LockRegion {
+                    lock: unesc(f.next()?)?,
+                    line: f.next()?.parse().ok()?,
+                    col: f.next()?.parse().ok()?,
+                    blocking: unidx_csv(f.next()?)?,
+                    calls: unidx_csv(f.next()?)?,
+                    later_locks: unlist_csv(f.next()?)?,
+                });
+            }
+            "tsink" => {
+                let s = cur.as_mut()?.2.facts.fns.last_mut()?;
+                s.tainted_sinks.push(TaintSink {
+                    line: f.next()?.parse().ok()?,
+                    col: f.next()?.parse().ok()?,
+                    source_line: f.next()?.parse().ok()?,
+                    waived: unrules_csv(f.next()?)?,
+                    sink: unesc(f.next()?)?,
+                });
+            }
+            "psink" => {
+                let s = cur.as_mut()?.2.facts.fns.last_mut()?;
+                s.param_sinks.push(ParamSink {
+                    param: f.next()?.parse().ok()?,
+                    line: f.next()?.parse().ok()?,
+                    col: f.next()?.parse().ok()?,
+                    waived: unrules_csv(f.next()?)?,
+                    sink: unesc(f.next()?)?,
+                });
+            }
+            _ => return None,
+        }
+    }
+    if cur.is_some() {
+        return None; // truncated file
+    }
+    Some(cache)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Policy;
+
+    const SRC: &str = "fn handler(h: &str) {\n    let n = h.parse::<usize>().unwrap_or(0);\n    let g = state.lock();\n    helper(n);\n}\n";
+
+    fn analysis() -> FileAnalysis {
+        crate::analyze_file("crates/s/src/lib.rs", SRC, &Policy::default())
+    }
+
+    #[test]
+    fn round_trips_a_full_analysis() {
+        let mut c = Cache::new(7);
+        c.insert("crates/s/src/lib.rs", SRC, analysis());
+        let text = c.render();
+        let back = parse(&text, 7).expect("parses");
+        assert!(back.contains("crates/s/src/lib.rs", SRC));
+        let fa = back.get("crates/s/src/lib.rs").unwrap();
+        let orig = analysis();
+        // The round-tripped facts must serialize identically — the
+        // property the byte-identical-report guarantee rests on.
+        let mut c2 = Cache::new(7);
+        c2.insert("crates/s/src/lib.rs", SRC, analysis());
+        assert_eq!(text, c2.render());
+        assert_eq!(fa.facts.fns.len(), orig.facts.fns.len());
+        let (f0, o0) = (&fa.facts.fns[0], &orig.facts.fns[0]);
+        assert_eq!(f0.name, o0.name);
+        assert_eq!(f0.calls.len(), o0.calls.len());
+        assert_eq!(f0.locks.len(), o0.locks.len());
+        assert_eq!(f0.panics.len(), o0.panics.len());
+    }
+
+    #[test]
+    fn changed_content_misses() {
+        let mut c = Cache::new(7);
+        c.insert("a/src/x.rs", SRC, analysis());
+        assert!(c.contains("a/src/x.rs", SRC));
+        assert!(!c.contains("a/src/x.rs", "fn other() {}\n"));
+        assert!(!c.contains("a/src/y.rs", SRC));
+    }
+
+    #[test]
+    fn wrong_version_or_policy_degrades_to_empty() {
+        let mut c = Cache::new(7);
+        c.insert("a/src/x.rs", SRC, analysis());
+        let text = c.render();
+        assert!(parse(&text, 8).is_none(), "policy hash mismatch");
+        let bad = text.replace("v1", "v0");
+        assert!(parse(&bad, 7).is_none(), "version mismatch");
+        let truncated = &text[..text.len() - 5];
+        assert!(parse(truncated, 7).is_none(), "truncation detected");
+    }
+
+    #[test]
+    fn escaping_survives_spaces_and_newlines() {
+        assert_eq!(unesc(&esc("a b\nc\\d\te")).unwrap(), "a b\nc\\d\te");
+        assert_eq!(unesc(&esc("")).unwrap(), "");
+        assert_eq!(esc(""), "\\e");
+    }
+}

@@ -9,7 +9,7 @@
 
 use std::fmt::Write as _;
 
-/// The seven project lint rules.
+/// The ten project lint rules.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Rule {
     /// `unsafe` without an attached `// SAFETY:` comment.
@@ -26,6 +26,12 @@ pub enum Rule {
     Orx006,
     /// Bare `println!`-family / `dbg!` output outside allowlisted crates.
     Orx007,
+    /// A scoped hot path transitively reaches a panic site (call graph).
+    Orx008,
+    /// A lock guard is held across a blocking call (interprocedural).
+    Orx009,
+    /// A request-derived length reaches an allocation without a clamp.
+    Orx010,
 }
 
 impl Rule {
@@ -39,6 +45,9 @@ impl Rule {
             Rule::Orx005 => "ORX005",
             Rule::Orx006 => "ORX006",
             Rule::Orx007 => "ORX007",
+            Rule::Orx008 => "ORX008",
+            Rule::Orx009 => "ORX009",
+            Rule::Orx010 => "ORX010",
         }
     }
 
@@ -54,6 +63,13 @@ impl Rule {
             Rule::Orx007 => {
                 "no bare println!/eprintln!/dbg! outside cli/bench — use the structured logger"
             }
+            Rule::Orx008 => {
+                "hot-path functions must not transitively reach a panic site (call graph)"
+            }
+            Rule::Orx009 => "no lock guard may be held across a blocking call or sleep",
+            Rule::Orx010 => {
+                "request-derived lengths must be bounds-clamped before sizing an allocation"
+            }
         }
     }
 
@@ -67,12 +83,15 @@ impl Rule {
             "ORX005" => Some(Rule::Orx005),
             "ORX006" => Some(Rule::Orx006),
             "ORX007" => Some(Rule::Orx007),
+            "ORX008" => Some(Rule::Orx008),
+            "ORX009" => Some(Rule::Orx009),
+            "ORX010" => Some(Rule::Orx010),
             _ => None,
         }
     }
 
     /// All rules, for report summaries.
-    pub fn all() -> [Rule; 7] {
+    pub fn all() -> [Rule; 10] {
         [
             Rule::Orx001,
             Rule::Orx002,
@@ -81,7 +100,115 @@ impl Rule {
             Rule::Orx005,
             Rule::Orx006,
             Rule::Orx007,
+            Rule::Orx008,
+            Rule::Orx009,
+            Rule::Orx010,
         ]
+    }
+
+    /// Why the rule exists — the paragraph `orex analyze --explain`
+    /// prints and the README table links to. One source of truth.
+    pub fn rationale(self) -> &'static str {
+        match self {
+            Rule::Orx001 => {
+                "Every unsafe block is a proof obligation. The attached SAFETY comment is \
+                 where the proof lives; without it, review cannot distinguish a sound block \
+                 from a latent miscompilation."
+            }
+            Rule::Orx002 => {
+                "A panic in a request-serving thread tears down that connection and, under \
+                 some supervisors, the process. Scoped hot paths must return errors instead."
+            }
+            Rule::Orx003 => {
+                "Relaxed is correct only under an argued happens-before story and SeqCst is \
+                 usually a smell; both need an ORDERING comment explaining the choice."
+            }
+            Rule::Orx004 => {
+                "Two locks taken in opposite orders on two threads deadlock. The analyzer \
+                 builds the acquisition-order graph (intra- and inter-procedurally) and flags \
+                 any pair observed in both orders."
+            }
+            Rule::Orx005 => {
+                "process::exit skips destructors and sleeps hide scheduling bugs; both are \
+                 confined to the cli/bench binaries where a human is in the loop."
+            }
+            Rule::Orx006 => {
+                "Debt markers are fine; unbounded debt is not. The census is compared to the \
+                 budget committed in analyze.policy so growth is a deliberate, reviewed act."
+            }
+            Rule::Orx007 => {
+                "Bare prints bypass the structured logger, lose severity/fields, and corrupt \
+                 machine-read stdout protocols. Library crates log through orex-telemetry."
+            }
+            Rule::Orx008 => {
+                "ORX002 catches panics written *in* a hot path; ORX008 walks the workspace \
+                 call graph and catches the panic three calls away. A scoped function fails \
+                 if any workspace function it transitively reaches contains an unwaived \
+                 panic site outside the ORX002 scope; the diagnostic prints the call chain. \
+                 Calls through trait objects and function pointers are not resolved \
+                 (conservative: unresolved calls are assumed panic-free), and macro bodies \
+                 other than the panic family are not expanded."
+            }
+            Rule::Orx009 => {
+                "A thread that parks while holding a Mutex/RwLock guard stalls every other \
+                 thread needing that lock — the classic tail-latency cliff. The analyzer \
+                 tracks guard regions (let-bound guards to end of block or drop(); \
+                 temporaries to end of statement) and flags socket I/O, accept, \
+                 Condvar::wait, channel recv, join, and sleeps inside them, including \
+                 through calls: a function that blocks taints every caller that holds a \
+                 lock across the call."
+            }
+            Rule::Orx010 => {
+                "A length parsed from request bytes that reaches Vec::with_capacity, \
+                 reserve, resize, or vec![_; n] un-clamped lets a one-line request allocate \
+                 gigabytes. Taint starts at .parse()/from_str_radix bindings, flows through \
+                 let chains and call arguments into parameter sinks, and is cleared by a \
+                 comparison guard or .min()/.clamp()/saturating_sub."
+            }
+        }
+    }
+
+    /// A minimal example that fires the rule, for `--explain`.
+    pub fn example(self) -> &'static str {
+        match self {
+            Rule::Orx001 => "unsafe { ptr.read() }                // no SAFETY comment",
+            Rule::Orx002 => "let v = table.get(k).unwrap();       // in a scoped file",
+            Rule::Orx003 => "flag.store(true, Ordering::Relaxed); // no ORDERING comment",
+            Rule::Orx004 => "A: a.lock(); b.lock();   B: b.lock(); a.lock();",
+            Rule::Orx005 => "std::process::exit(1);               // in a library crate",
+            Rule::Orx006 => "// TODO: one marker over the committed budget",
+            Rule::Orx007 => "println!(\"served {n}\");              // in a library crate",
+            Rule::Orx008 => {
+                "fn handle() { score(); }  fn score() { cfg().unwrap(); }  // handle is scoped"
+            }
+            Rule::Orx009 => {
+                "let g = self.sessions.lock();\nstream.write_all(&frame)?;  // guard live across I/O"
+            }
+            Rule::Orx010 => {
+                "let n: usize = header.parse().unwrap_or(0);\nlet mut buf = Vec::with_capacity(n);"
+            }
+        }
+    }
+
+    /// How to waive one finding of this rule, for `--explain`.
+    pub fn waiver_help(self) -> String {
+        format!(
+            "// orex::allow({}): <reason>   — attached to (or the line above) the \
+             flagged line; the reason is mandatory and shows up in review",
+            self.id()
+        )
+    }
+
+    /// Renders the rule table embedded in the README ("Static analysis &
+    /// correctness gates"). A unit test asserts the README contains this
+    /// rendering verbatim, so docs cannot drift from the code.
+    pub fn docs_table() -> String {
+        let mut out = String::new();
+        out.push_str("| ID | Check |\n|--------|-------|\n");
+        for r in Rule::all() {
+            let _ = writeln!(out, "| {} | {} |", r.id(), r.summary());
+        }
+        out
     }
 }
 
@@ -226,6 +353,31 @@ pub fn json_escape(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn readme_rule_table_matches_docs_table() {
+        // The README's ORX rule table is a rendered copy of
+        // Rule::docs_table() between HTML marker comments; this test
+        // is what the markers promise. Update the README by pasting
+        // the generated table when a rule is added or reworded.
+        let readme = std::fs::read_to_string(
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../README.md"),
+        )
+        .expect("README.md at the workspace root");
+        let begin = readme
+            .find("BEGIN ORX RULE TABLE")
+            .expect("BEGIN marker present");
+        let start = readme[begin..].find("| ID |").expect("table header") + begin;
+        let end = readme
+            .find("<!-- END ORX RULE TABLE -->")
+            .expect("END marker");
+        let in_readme = readme[start..end].trim_end();
+        assert_eq!(
+            in_readme,
+            Rule::docs_table().trim_end(),
+            "README rule table drifted from Rule::docs_table() — regenerate it"
+        );
+    }
 
     fn finding(rule: Rule, file: &str, line: u32) -> Finding {
         Finding {

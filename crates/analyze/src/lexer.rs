@@ -124,6 +124,11 @@ pub fn lex(source: &str) -> LexedFile {
     Lexer::new(source).run()
 }
 
+/// True for bytes that can begin an identifier.
+fn is_ident_start(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphabetic()
+}
+
 struct Lexer<'a> {
     src: &'a [u8],
     pos: usize,
@@ -174,6 +179,17 @@ impl<'a> Lexer<'a> {
                     self.bump(); // 'r'
                     self.raw_string(line, col);
                 }
+                // Raw identifier `r#ident`: one Ident token carrying the
+                // bare name (matching Rust semantics, where `x.r#unwrap()`
+                // calls the method named `unwrap`). Without this the `r`,
+                // `#` and name arrived as three tokens — the stray `#`
+                // desynchronized attribute masking and a raw keyword like
+                // `r#fn` minted a phantom `fn` keyword token.
+                b'r' if self.raw_ident_ahead() => {
+                    self.bump(); // 'r'
+                    self.bump(); // '#'
+                    self.ident(line, col);
+                }
                 b'b' if self.peek(1) == b'"' => {
                     self.bump(); // 'b'
                     self.string_literal(line, col);
@@ -197,6 +213,14 @@ impl<'a> Lexer<'a> {
             }
         }
         self.out
+    }
+
+    /// True when `r#` at offset `at` begins a raw *identifier* rather
+    /// than a raw string — i.e. the byte after the single `#` starts an
+    /// identifier. (`r##` can only open a raw string; raw identifiers
+    /// take exactly one `#`.)
+    fn raw_ident_ahead(&self) -> bool {
+        self.peek(1) == b'#' && is_ident_start(self.peek(2))
     }
 
     /// True when `r` at offset `at` starts a raw string (`r#...#"`).
@@ -409,6 +433,77 @@ mod tests {
             f.tokens.iter().find(|t| t.is_ident("code")).map(|t| t.line),
             Some(3)
         );
+    }
+
+    #[test]
+    fn raw_identifiers_are_single_tokens() {
+        // `r#type` must arrive as the one identifier `type`, not as
+        // `r` + `#` + `type` — a stray `#` desynchronizes attribute
+        // masking and a phantom `fn` keyword desyncs fn-item parsing.
+        let f = lex("let r#type = 1; fn r#try() {} x.r#unwrap();");
+        let idents: Vec<&str> = f
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "type", "fn", "try", "x", "unwrap"]);
+        assert!(!f.tokens.iter().any(|t| t.is_punct('#')));
+    }
+
+    #[test]
+    fn raw_ident_does_not_shadow_raw_string() {
+        // `r#"..."#` still lexes as a raw string, not a raw identifier.
+        let f = lex(r####"let s = r#"text"#; let t = r#ident;"####);
+        assert_eq!(
+            f.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Literal)
+                .count(),
+            1
+        );
+        assert!(f.tokens.iter().any(|t| t.is_ident("ident")));
+    }
+
+    #[test]
+    fn pathological_raw_strings_do_not_desync() {
+        // A one-hash raw string closes at the first `"#`, exactly like
+        // rustc — everything after is live code again.
+        let f = lex(r####"let s = r#"has "quotes" and \ backslash"#; s.unwrap();"####);
+        assert_eq!(f.tokens.iter().filter(|t| t.is_ident("unwrap")).count(), 1);
+        // `"#` inside a two-hash raw string does NOT close it.
+        let f = lex(r####"let s = r##"inner "# stays"##; done();"####);
+        assert!(f.tokens.iter().any(|t| t.is_ident("done")));
+        assert!(f.tokens.iter().all(|t| !t.is_ident("inner")));
+        // Hash content adjacent to the closing quote.
+        let f = lex(r####"let s = r#"#"#; after();"####);
+        assert!(f.tokens.iter().any(|t| t.is_ident("after")));
+        // Byte raw strings with hashes.
+        let f = lex(r####"let b = br##"bytes "# here"##; tail();"####);
+        assert!(f.tokens.iter().any(|t| t.is_ident("tail")));
+        assert!(f.tokens.iter().all(|t| !t.is_ident("bytes")));
+    }
+
+    #[test]
+    fn pathological_block_comments_do_not_desync() {
+        // Deep nesting with decoy terminators.
+        let f = lex("/* a /* b /* c */ d */ e */ live();");
+        assert_eq!(f.comments.len(), 1);
+        assert!(f.tokens.iter().any(|t| t.is_ident("live")));
+        // `/*/` is an opener plus `/`, never a self-closing comment.
+        let f = lex("/*/ x */ after(); /* /*/ */ */ tail();");
+        assert!(f.tokens.iter().any(|t| t.is_ident("after")));
+        assert!(f.tokens.iter().any(|t| t.is_ident("tail")));
+        // Comment markers inside strings are content, not comments.
+        let f = lex("let a = \"/*\"; a.unwrap(); let b = \"*/\";");
+        assert!(f.comments.is_empty());
+        assert_eq!(f.tokens.iter().filter(|t| t.is_ident("unwrap")).count(), 1);
+        // An unterminated nested comment consumes the rest of the file
+        // (rustc rejects such a file; the scanner must not panic or
+        // mint phantom tokens from its tail).
+        let f = lex("/* open /* still open */ x.unwrap();");
+        assert!(f.tokens.is_empty());
+        assert_eq!(f.comments.len(), 1);
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! # orex-analyze — workspace static analysis and correctness gates
 //!
-//! A dependency-free, token-level Rust source scanner enforcing the
-//! project's seven lint rules, plus a bounded two-thread interleaving
-//! explorer used by concurrency tests. The scanner powers the
-//! `orex analyze` CLI subcommand and the blocking CI `analyze` job.
+//! A dependency-free interprocedural Rust source analyzer enforcing
+//! the project's ten lint rules, plus a bounded two-thread
+//! interleaving explorer used by concurrency tests. The analyzer
+//! powers the `orex analyze` CLI subcommand and the blocking CI
+//! `analyze` job.
 //!
 //! ## Rules
 //!
@@ -12,29 +13,50 @@
 //! | ORX001 | every `unsafe` must carry an attached `// SAFETY:` comment |
 //! | ORX002 | no `unwrap()`/`expect()`/`panic!` in scoped hot paths |
 //! | ORX003 | `Ordering::Relaxed`/`SeqCst` need `// ORDERING:` justification |
-//! | ORX004 | two-lock acquisition-order inversions (deadlock potential) |
+//! | ORX004 | two-lock acquisition-order inversions (deadlock potential), in-file and across calls |
 //! | ORX005 | no `process::exit`/`thread::sleep` outside cli/bench |
 //! | ORX006 | debt census (`TODO`/`FIXME`/`#[allow]`) over committed budget |
 //! | ORX007 | no bare `println!`/`eprintln!`/`dbg!` outside cli/bench |
+//! | ORX008 | scoped hot paths must not transitively reach a panic site |
+//! | ORX009 | no lock guard held across a blocking call or sleep |
+//! | ORX010 | request-derived lengths clamped before sizing an allocation |
+//!
+//! ORX001–ORX007 are file-local token-stream passes ([`rules`]).
+//! ORX008–ORX010 run interprocedurally: [`syntax`] parses the token
+//! stream into function items, [`summary`] extracts per-function facts
+//! (panic sites, blocking calls, lock regions, taint sources/sinks),
+//! and [`callgraph`] links them into a whole-workspace call graph with
+//! conservative name resolution — calls through trait objects,
+//! function pointers, closures and macros are left unresolved and
+//! assumed benign, so these rules under-approximate.
 //!
 //! Scope, allowlists and budgets live in `analyze.policy` at the
 //! workspace root — the single source of policy. Individual findings
 //! are waived inline with `// orex::allow(ORXnnn): reason` attached to
-//! the offending line.
+//! the offending line; an ORX008 waiver anywhere on a call chain
+//! clears every caller upstream of it. Reports render as text, JSON or
+//! SARIF 2.1.0 ([`sarif`]), and [`cache`] persists per-file analyses
+//! keyed by content hash so warm runs only re-analyze what changed.
 
+pub mod cache;
+pub mod callgraph;
 pub mod diag;
 pub mod interleave;
 pub mod lexer;
 pub mod policy;
 pub mod rules;
+pub mod sarif;
+pub mod summary;
+pub mod syntax;
 
 use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
-use diag::{Finding, Report, Rule};
+use diag::{Census, Finding, Report, Rule};
 use policy::{Policy, PolicyError};
-use rules::FileScan;
+use rules::{FileScan, LockEdge};
+use summary::FileFacts;
 
 /// Name of the policy file expected at the workspace root.
 pub const POLICY_FILE: &str = "analyze.policy";
@@ -65,30 +87,106 @@ impl std::fmt::Display for AnalyzeError {
 /// policy excludes. Hidden directories and `target/` are always
 /// skipped.
 pub fn analyze_workspace(root: &Path, policy: &Policy) -> Result<Report, AnalyzeError> {
+    analyze_workspace_cached(root, policy, None).map(|(r, _)| r)
+}
+
+/// Everything the cross-file passes need from one file. This is the
+/// unit of incremental caching: it is a pure function of the file's
+/// bytes and the policy, so [`cache`] keys it by content hash.
+#[derive(Debug, Default)]
+pub struct FileAnalysis {
+    /// File-local findings, waivers already applied.
+    pub findings: Vec<Finding>,
+    /// Waivers honoured in this file.
+    pub waived: usize,
+    /// Debt census contribution.
+    pub census: Census,
+    /// Intra-file lock-order edges.
+    pub lock_edges: Vec<LockEdge>,
+    /// Per-function summaries for the interprocedural pass.
+    pub facts: FileFacts,
+}
+
+/// Analyzes one file in isolation (lex, file-local rules, fn
+/// summaries). Pure in `(rel, source, policy)`.
+pub fn analyze_file(rel: &str, source: &str, policy: &Policy) -> FileAnalysis {
+    let lexed = lexer::lex(source);
+    let FileScan {
+        findings,
+        waived,
+        census,
+        lock_edges,
+    } = rules::scan_file(rel, &lexed, policy);
+    let mask = rules::test_mask(&lexed.tokens);
+    let facts = summary::extract_facts(rel, &lexed, &mask);
+    FileAnalysis {
+        findings,
+        waived,
+        census,
+        lock_edges,
+        facts,
+    }
+}
+
+/// [`analyze_workspace`] with an optional incremental cache. Returns
+/// the report plus the number of files whose per-file analysis was
+/// reused from the cache (0 on cold runs). The interprocedural pass
+/// always re-runs over the assembled facts — only per-file lexing,
+/// scanning and summarizing is memoized — so a warm run's report is
+/// byte-identical to a cold run's.
+pub fn analyze_workspace_cached(
+    root: &Path,
+    policy: &Policy,
+    mut cache: Option<&mut cache::Cache>,
+) -> Result<(Report, usize), AnalyzeError> {
     let mut files = Vec::new();
     walk(root, root, policy, &mut files)?;
     files.sort();
 
     let mut report = Report::default();
     let mut edges = Vec::new();
+    let mut all_facts: Vec<FileFacts> = Vec::new();
+    let mut cache_hits = 0usize;
     for rel in &files {
         let full = root.join(rel);
         let source = fs::read_to_string(&full).map_err(|e| AnalyzeError::Io(full.clone(), e))?;
-        let lexed = lexer::lex(&source);
-        let FileScan {
-            findings,
-            waived,
-            census,
-            lock_edges,
-        } = rules::scan_file(rel, &lexed, policy);
-        report.findings.extend(findings);
-        report.waived += waived;
-        report.census.todo += census.todo;
-        report.census.fixme += census.fixme;
-        report.census.allow_attr += census.allow_attr;
-        edges.extend(lock_edges);
+        let fa_owned;
+        let fa: &FileAnalysis = match cache.as_deref_mut() {
+            Some(c) => {
+                if c.contains(rel, &source) {
+                    cache_hits += 1;
+                } else {
+                    c.insert(rel, &source, analyze_file(rel, &source, policy));
+                }
+                c.get(rel).expect("entry just checked or inserted")
+            }
+            None => {
+                fa_owned = analyze_file(rel, &source, policy);
+                &fa_owned
+            }
+        };
+        report.findings.extend(fa.findings.iter().cloned());
+        report.waived += fa.waived;
+        report.census.todo += fa.census.todo;
+        report.census.fixme += fa.census.fixme;
+        report.census.allow_attr += fa.census.allow_attr;
+        edges.extend(fa.lock_edges.iter().cloned());
+        all_facts.push(fa.facts.clone());
         report.files_scanned += 1;
     }
+
+    // The interprocedural pass: ORX008/ORX009/ORX010 plus lock-order
+    // edges discovered through calls.
+    let inter = callgraph::interprocedural_findings(&all_facts, policy);
+    report.findings.extend(inter.findings);
+    report.waived += inter.waived;
+    edges.extend(inter.lock_edges);
+    edges.sort_by(|a, b| {
+        (&a.first, &a.second, &a.file, a.line).cmp(&(&b.first, &b.second, &b.file, b.line))
+    });
+    edges.dedup_by(|a, b| {
+        a.first == b.first && a.second == b.second && a.file == b.file && a.line == b.line
+    });
 
     // ORX004 needs the cross-file edge set.
     for f in rules::lock_cycle_findings(&edges) {
@@ -125,7 +223,7 @@ pub fn analyze_workspace(root: &Path, policy: &Policy) -> Result<Report, Analyze
     }
 
     report.sort();
-    Ok(report)
+    Ok((report, cache_hits))
 }
 
 fn walk(
@@ -184,6 +282,26 @@ pub fn load_policy(root: &Path) -> Result<Policy, AnalyzeError> {
     }
 }
 
+/// Renders `--explain ORXnnn`: the rule's one-liner, rationale,
+/// a minimal firing example and the waiver syntax — all drawn from
+/// [`diag::Rule`], the same source of truth the README table and the
+/// SARIF rule metadata render from.
+pub fn explain(rule: Rule) -> String {
+    format!(
+        "{id}: {summary}\n\n{rationale}\n\nexample that fires:\n{example}\n\nwaiver:\n  {waiver}\n",
+        id = rule.id(),
+        summary = rule.summary(),
+        rationale = rule.rationale(),
+        example = rule
+            .example()
+            .lines()
+            .map(|l| format!("  {l}"))
+            .collect::<Vec<_>>()
+            .join("\n"),
+        waiver = rule.waiver_help(),
+    )
+}
+
 /// Outcome of [`run_cli`], for the caller to turn into an exit code.
 #[derive(Debug, PartialEq, Eq)]
 pub enum CliOutcome {
@@ -200,13 +318,17 @@ pub enum CliOutcome {
 /// discipline: this is library code and owns no terminal). Writer
 /// failures are swallowed — a broken pipe must not change the outcome.
 ///
-/// Flags: `--root <dir>` (default `.`), `--format text|json`
+/// Flags: `--root <dir>` (default `.`), `--format text|json|sarif`
 /// (default text), `--output <file>` (write the report there instead of
-/// `out`; text summary still goes to `err` so CI logs stay useful).
+/// `out`; text summary still goes to `err` so CI logs stay useful),
+/// `--cache <file>` (reuse per-file analyses across runs, keyed by
+/// content hash), `--explain ORXnnn` (print a rule's rationale,
+/// example and waiver syntax, then exit without scanning).
 pub fn run_cli(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> CliOutcome {
     let mut root = PathBuf::from(".");
     let mut format = "text".to_string();
     let mut output: Option<PathBuf> = None;
+    let mut cache_path: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -218,9 +340,9 @@ pub fn run_cli(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Cli
                 }
             },
             "--format" => match it.next().map(String::as_str) {
-                Some(v @ ("text" | "json")) => format = v.to_string(),
+                Some(v @ ("text" | "json" | "sarif")) => format = v.to_string(),
                 _ => {
-                    let _ = writeln!(err, "orex analyze: --format must be text or json");
+                    let _ = writeln!(err, "orex analyze: --format must be text, json or sarif");
                     return CliOutcome::Error;
                 }
             },
@@ -228,6 +350,27 @@ pub fn run_cli(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Cli
                 Some(v) => output = Some(PathBuf::from(v)),
                 None => {
                     let _ = writeln!(err, "orex analyze: --output needs a value");
+                    return CliOutcome::Error;
+                }
+            },
+            "--cache" => match it.next() {
+                Some(v) => cache_path = Some(PathBuf::from(v)),
+                None => {
+                    let _ = writeln!(err, "orex analyze: --cache needs a file path");
+                    return CliOutcome::Error;
+                }
+            },
+            "--explain" => match it.next().map(String::as_str).and_then(Rule::parse) {
+                Some(rule) => {
+                    let _ = write!(out, "{}", explain(rule));
+                    return CliOutcome::Clean;
+                }
+                None => {
+                    let _ = writeln!(
+                        err,
+                        "orex analyze: --explain needs a rule ID (ORX001..ORX{:03})",
+                        Rule::all().len()
+                    );
                     return CliOutcome::Error;
                 }
             },
@@ -245,18 +388,40 @@ pub fn run_cli(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> Cli
             return CliOutcome::Error;
         }
     };
-    let report = match analyze_workspace(&root, &policy) {
+    // The cache is keyed by a policy fingerprint: per-file findings
+    // depend on scopes/allows, so a policy edit must invalidate it.
+    let policy_hash = cache::fnv1a64(format!("{policy:?}").as_bytes());
+    let mut file_cache = cache_path
+        .as_ref()
+        .map(|p| cache::Cache::load(p, policy_hash));
+    let (report, cache_hits) = match analyze_workspace_cached(&root, &policy, file_cache.as_mut()) {
         Ok(r) => r,
         Err(e) => {
             let _ = writeln!(err, "orex analyze: {e}");
             return CliOutcome::Error;
         }
     };
+    if let (Some(path), Some(c)) = (&cache_path, &file_cache) {
+        if let Err(e) = c.save(path) {
+            let _ = writeln!(
+                err,
+                "orex analyze: cache not saved: {}: {}",
+                path.display(),
+                e
+            );
+            // A cache write failure costs speed, not correctness.
+        }
+        let _ = writeln!(
+            err,
+            "orex analyze: cache: reused {cache_hits}/{} file analyses",
+            report.files_scanned
+        );
+    }
 
-    let rendered = if format == "json" {
-        report.render_json()
-    } else {
-        report.render_text()
+    let rendered = match format.as_str() {
+        "json" => report.render_json(),
+        "sarif" => sarif::render_sarif(&report),
+        _ => report.render_text(),
     };
     match &output {
         Some(path) => {

@@ -87,8 +87,13 @@ impl Policy {
                     let globs = parts
                         .next()
                         .ok_or_else(|| err("scope needs comma-separated globs".into()))?;
-                    p.scopes
-                        .push((rule, globs.split(',').map(str::to_string).collect()));
+                    let globs: Vec<String> = globs.split(',').map(str::to_string).collect();
+                    if globs.iter().any(String::is_empty) {
+                        // An empty glob matches nothing; a stray comma
+                        // silently narrowing a gate is a typo, not policy.
+                        return Err(err("empty glob in scope list".into()));
+                    }
+                    p.scopes.push((rule, globs));
                 }
                 "allow" => {
                     let rule = parse_rule(parts.next(), lineno)?;
@@ -244,6 +249,59 @@ mod tests {
         assert!(p.rule_applies(Rule::Orx005, "crates/server/src/server.rs"));
         assert_eq!(p.budget_todo, Some(3));
         assert_eq!(p.budget_fixme, None);
+    }
+
+    #[test]
+    fn empty_globs_are_rejected_not_silently_dead() {
+        // "a/**,,b/**" has an empty middle glob — almost certainly a
+        // typo that would narrow the gate without anyone noticing.
+        let e = Policy::parse("scope ORX002 a/**,,b/**\n").unwrap_err();
+        assert!(e.message.contains("empty glob"), "{}", e.message);
+        assert!(Policy::parse("scope ORX002 ,a/**\n").is_err());
+        assert!(Policy::parse("scope ORX002 a/**,\n").is_err());
+        // And the raw matcher treats "" as matching nothing real.
+        assert!(!glob_match("", "crates/server/src/http.rs"));
+    }
+
+    #[test]
+    fn overlapping_scope_and_allow_allow_wins() {
+        // A path inside the scope but also inside an allow is waived:
+        // allow is the finer-grained override.
+        let p = Policy::parse(
+            "scope ORX002 crates/**\n\
+             allow ORX002 crates/cli/**\n",
+        )
+        .unwrap();
+        assert!(p.rule_applies(Rule::Orx002, "crates/server/src/http.rs"));
+        assert!(!p.rule_applies(Rule::Orx002, "crates/cli/src/main.rs"));
+        // The allow does not leak onto other rules at the same path.
+        assert!(p.rule_applies(Rule::Orx001, "crates/cli/src/main.rs"));
+    }
+
+    #[test]
+    fn star_stays_within_a_segment_doublestar_crosses() {
+        // `*` must not cross `/`: "src/pre*" matches a file prefix in
+        // that directory, never a nested path.
+        assert!(glob_match(
+            "crates/store/src/precompute*",
+            "crates/store/src/precompute.rs"
+        ));
+        assert!(glob_match(
+            "crates/store/src/precompute*",
+            "crates/store/src/precompute_batch.rs"
+        ));
+        assert!(!glob_match(
+            "crates/store/src/precompute*",
+            "crates/store/src/precompute/mod.rs"
+        ));
+        assert!(!glob_match("crates/*", "crates/server/src/http.rs"));
+        assert!(glob_match("crates/**", "crates/server/src/http.rs"));
+        // `**` may also match zero segments.
+        assert!(glob_match("crates/**/http.rs", "crates/http.rs"));
+        assert!(glob_match("**", "anything/at/all.rs"));
+        // A bare `*` is one segment only.
+        assert!(glob_match("*", "lib.rs"));
+        assert!(!glob_match("*", "src/lib.rs"));
     }
 
     #[test]

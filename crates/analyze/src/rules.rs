@@ -89,7 +89,7 @@ pub fn is_waived(lexed: &LexedFile, rule: Rule, line: u32) -> bool {
 /// tokens include the ident `test`, find the next `{` at the same
 /// nesting level and mask through its matching `}`. This covers
 /// `#[cfg(test)] mod tests { ... }` and `#[cfg(any(test, ...))]`.
-fn test_mask(tokens: &[Token]) -> Vec<bool> {
+pub fn test_mask(tokens: &[Token]) -> Vec<bool> {
     let mut mask = vec![false; tokens.len()];
     let mut i = 0;
     while i < tokens.len() {

@@ -1,0 +1,199 @@
+//! SARIF 2.1.0 export.
+//!
+//! `orex analyze --format sarif` renders the report as a Static
+//! Analysis Results Interchange Format log so code-scanning UIs
+//! (GitHub, VS Code SARIF viewer) can ingest findings without a
+//! bespoke adapter. Serialization is hand-rolled like the JSON
+//! report — this crate stays dependency-free at runtime; the SARIF
+//! *shape* is pinned by a unit test that parses the output with the
+//! workspace's vendored JSON parser.
+//!
+//! Shape notes against the 2.1.0 spec:
+//! - one `run`, with every rule (fired or not) in
+//!   `tool.driver.rules` so `ruleIndex` is stable across runs;
+//! - `results[].level` is always `"error"` — every orex rule is a
+//!   blocking gate;
+//! - file-level findings (ORX006 budget overruns carry line 0) omit
+//!   `region`, which the spec permits; line findings carry
+//!   `startLine`/`startColumn` (both 1-based, as in SARIF).
+
+use std::fmt::Write as _;
+
+use crate::diag::{json_escape, Report, Rule};
+
+/// Renders the report as a SARIF 2.1.0 log.
+pub fn render_sarif(report: &Report) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"orex-analyze\",\n");
+    let _ = writeln!(
+        out,
+        "          \"version\": \"{}\",",
+        env!("CARGO_PKG_VERSION")
+    );
+    out.push_str("          \"informationUri\": \"https://example.invalid/orex/analyze\",\n");
+    out.push_str("          \"rules\": [\n");
+    let rules = Rule::all();
+    for (i, r) in rules.iter().enumerate() {
+        let _ = write!(
+            out,
+            "            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}, \
+             \"fullDescription\": {{\"text\": \"{}\"}}, \
+             \"defaultConfiguration\": {{\"level\": \"error\"}}}}",
+            r.id(),
+            json_escape(r.summary()),
+            json_escape(r.rationale())
+        );
+        out.push_str(if i + 1 < rules.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    for (i, f) in report.findings.iter().enumerate() {
+        let rule_index = rules
+            .iter()
+            .position(|r| *r == f.rule)
+            .expect("every finding's rule is in Rule::all()");
+        let _ = write!(
+            out,
+            "        {{\"ruleId\": \"{}\", \"ruleIndex\": {}, \"level\": \"error\", \
+             \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\"physicalLocation\": \
+             {{\"artifactLocation\": {{\"uri\": \"{}\"}}",
+            f.rule.id(),
+            rule_index,
+            json_escape(&f.message),
+            json_escape(&f.file)
+        );
+        if f.line > 0 {
+            let _ = write!(
+                out,
+                ", \"region\": {{\"startLine\": {}, \"startColumn\": {}}}",
+                f.line,
+                f.col.max(1)
+            );
+        }
+        out.push_str("}}]}");
+        out.push_str(if i + 1 < report.findings.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Finding;
+
+    fn report() -> Report {
+        Report {
+            findings: vec![
+                Finding {
+                    rule: Rule::Orx009,
+                    file: "crates/server/src/http.rs".to_string(),
+                    line: 42,
+                    col: 7,
+                    message: "lock `sessions` held across \"blocking\" call".to_string(),
+                },
+                Finding {
+                    rule: Rule::Orx006,
+                    file: "analyze.policy".to_string(),
+                    line: 0,
+                    col: 0,
+                    message: "TODO count 3 exceeds committed budget 0".to_string(),
+                },
+            ],
+            files_scanned: 2,
+            ..Report::default()
+        }
+    }
+
+    /// Pins the SARIF 2.1.0 shape by actually parsing the output:
+    /// top-level $schema/version, runs[].tool.driver.rules[], and
+    /// results[] with ruleId/ruleIndex/message/locations.
+    #[test]
+    fn sarif_shape_validates() {
+        let sarif = render_sarif(&report());
+        let v = serde_json::from_str(&sarif).expect("SARIF output is valid JSON");
+        assert_eq!(v.get("version").and_then(|x| x.as_str()), Some("2.1.0"));
+        assert!(v
+            .get("$schema")
+            .and_then(|x| x.as_str())
+            .is_some_and(|s| s.contains("sarif-2.1.0")));
+        let runs = v.get("runs").and_then(|x| x.as_array()).expect("runs[]");
+        assert_eq!(runs.len(), 1);
+        let driver = runs[0]
+            .get("tool")
+            .and_then(|t| t.get("driver"))
+            .expect("tool.driver");
+        assert_eq!(
+            driver.get("name").and_then(|x| x.as_str()),
+            Some("orex-analyze")
+        );
+        let rules = driver
+            .get("rules")
+            .and_then(|x| x.as_array())
+            .expect("driver.rules[]");
+        assert_eq!(rules.len(), Rule::all().len());
+        for r in rules {
+            assert!(r.get("id").and_then(|x| x.as_str()).is_some());
+            assert!(r
+                .get("shortDescription")
+                .and_then(|d| d.get("text"))
+                .is_some());
+            assert!(r
+                .get("fullDescription")
+                .and_then(|d| d.get("text"))
+                .is_some());
+        }
+        let results = runs[0]
+            .get("results")
+            .and_then(|x| x.as_array())
+            .expect("results[]");
+        assert_eq!(results.len(), 2);
+        let first = &results[0];
+        assert_eq!(first.get("ruleId").and_then(|x| x.as_str()), Some("ORX009"));
+        let idx = first.get("ruleIndex").and_then(|x| x.as_u64()).unwrap();
+        assert_eq!(
+            rules[idx as usize].get("id").and_then(|x| x.as_str()),
+            Some("ORX009")
+        );
+        let loc = first.get("locations").and_then(|x| x.as_array()).unwrap();
+        let phys = loc[0].get("physicalLocation").expect("physicalLocation");
+        assert_eq!(
+            phys.get("artifactLocation")
+                .and_then(|a| a.get("uri"))
+                .and_then(|x| x.as_str()),
+            Some("crates/server/src/http.rs")
+        );
+        assert_eq!(
+            phys.get("region")
+                .and_then(|r| r.get("startLine"))
+                .and_then(|x| x.as_u64()),
+            Some(42)
+        );
+        // File-level finding: no region, per spec.
+        assert!(results[1]
+            .get("locations")
+            .and_then(|x| x.as_array())
+            .and_then(|l| l[0].get("physicalLocation"))
+            .is_some_and(|p| p.get("region").is_none()));
+    }
+
+    #[test]
+    fn empty_report_is_still_valid_sarif() {
+        let sarif = render_sarif(&Report::default());
+        let v = serde_json::from_str(&sarif).expect("valid JSON");
+        let results = v.get("runs").and_then(|x| x.as_array()).unwrap()[0]
+            .get("results")
+            .and_then(|x| x.as_array())
+            .unwrap();
+        assert!(results.is_empty());
+    }
+}

@@ -23,11 +23,20 @@ struct Fixture {
 
 impl Fixture {
     fn new(tag: &str, source: &str) -> Self {
+        Self::with_files(tag, &[("src/lib.rs", source)])
+    }
+
+    /// A fixture with arbitrary files (paths relative to the root), so
+    /// tests can seed multi-file call graphs and policy files.
+    fn with_files(tag: &str, files: &[(&str, &str)]) -> Self {
         let root =
             std::env::temp_dir().join(format!("orex-analyze-gate-{tag}-{}", std::process::id()));
-        let src = root.join("src");
-        fs::create_dir_all(&src).expect("create fixture src dir");
-        fs::write(src.join("lib.rs"), source).expect("write fixture source");
+        for (rel, source) in files {
+            let path = root.join(rel);
+            fs::create_dir_all(path.parent().expect("file has a parent"))
+                .expect("create fixture dir");
+            fs::write(&path, source).expect("write fixture file");
+        }
         Fixture { root }
     }
 }
@@ -191,4 +200,281 @@ fn json_report_round_trips_key_fields() {
     assert!(json.contains("\"ok\": false"));
     assert!(json.contains("ORX001"));
     assert!(json.contains("\"files_scanned\": 1"));
+}
+
+#[test]
+fn seeded_panic_reachability_fires_across_files() {
+    // A scoped hot-path function calls, across a file boundary, a
+    // helper whose panic site sits outside the ORX002 scope: only the
+    // interprocedural pass can see it.
+    let fixture = Fixture::with_files(
+        "orx008",
+        &[
+            (
+                "analyze.policy",
+                "scope ORX002 src/hot*\nscope ORX008 src/hot*\n",
+            ),
+            (
+                "src/hot.rs",
+                "pub fn serve() -> u32 {\n    helper_value()\n}\n",
+            ),
+            (
+                "src/util.rs",
+                "pub fn helper_value() -> u32 {\n    \"7\".parse::<u32>().unwrap()\n}\n",
+            ),
+        ],
+    );
+    let policy = load_policy(&fixture.root).expect("fixture policy parses");
+    let report = analyze_workspace(&fixture.root, &policy).expect("fixture scan succeeds");
+    let orx008: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == Rule::Orx008)
+        .collect();
+    assert_eq!(orx008.len(), 1, "{}", report.render_text());
+    let f = &orx008[0];
+    assert_eq!(f.file, "src/hot.rs", "finding attaches at the call site");
+    assert!(
+        f.message.contains("helper_value") && f.message.contains("src/util.rs:2"),
+        "diagnostic carries the call chain: {}",
+        f.message
+    );
+
+    // Waiving at the panic site clears the whole chain.
+    let waived = Fixture::with_files(
+        "orx008w",
+        &[
+            (
+                "analyze.policy",
+                "scope ORX002 src/hot*\nscope ORX008 src/hot*\n",
+            ),
+            ("src/hot.rs", "pub fn serve() -> u32 {\n    helper_value()\n}\n"),
+            (
+                "src/util.rs",
+                "pub fn helper_value() -> u32 {\n    // orex::allow(ORX008): fixture waiver.\n    \"7\".parse::<u32>().unwrap()\n}\n",
+            ),
+        ],
+    );
+    let policy = load_policy(&waived.root).expect("fixture policy parses");
+    let report = analyze_workspace(&waived.root, &policy).expect("fixture scan succeeds");
+    assert!(
+        report.findings.iter().all(|f| f.rule != Rule::Orx008),
+        "{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn seeded_lock_across_blocking_fires_directly_and_through_calls() {
+    let fixture = Fixture::new(
+        "orx009",
+        r#"
+fn nap() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+pub fn holds_across_sleep(m: &std::sync::Mutex<u32>) {
+    let g = m.lock().unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    drop(g);
+}
+
+pub fn holds_across_call(m: &std::sync::Mutex<u32>) {
+    let g = m.lock().unwrap();
+    nap();
+    drop(g);
+}
+"#,
+    );
+    let policy = load_policy(&fixture.root).expect("missing policy file is empty policy");
+    let report = analyze_workspace(&fixture.root, &policy).expect("fixture scan succeeds");
+    let orx009: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == Rule::Orx009)
+        .collect();
+    assert_eq!(
+        orx009.len(),
+        2,
+        "one direct, one through the call graph:\n{}",
+        report.render_text()
+    );
+    assert!(
+        orx009.iter().any(|f| f.message.contains("nap")),
+        "the interprocedural finding names the blocking callee:\n{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn seeded_tainted_allocation_fires_and_clamping_clears_it() {
+    let fixture = Fixture::new(
+        "orx010",
+        r#"
+pub fn alloc_from_request(line: &str) -> Vec<u8> {
+    let n: usize = line.parse().unwrap_or(0);
+    Vec::with_capacity(n)
+}
+
+pub fn alloc_clamped(line: &str) -> Vec<u8> {
+    let n: usize = line.parse().unwrap_or(0);
+    let n = n.min(4096);
+    Vec::with_capacity(n)
+}
+"#,
+    );
+    let policy = load_policy(&fixture.root).expect("missing policy file is empty policy");
+    let report = analyze_workspace(&fixture.root, &policy).expect("fixture scan succeeds");
+    let orx010: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == Rule::Orx010)
+        .collect();
+    assert_eq!(
+        orx010.len(),
+        1,
+        "unclamped length flagged, clamped one clean:\n{}",
+        report.render_text()
+    );
+    assert_eq!(orx010[0].line, 4, "{}", report.render_text());
+}
+
+#[test]
+fn sarif_output_flag_writes_a_sarif_log() {
+    let fixture = Fixture::new("sarif", "pub fn f(p: *const u8) -> u8 { unsafe { *p } }\n");
+    let out = fixture.root.join("analyze.sarif");
+    let args = vec![
+        "--root".to_string(),
+        fixture.root.display().to_string(),
+        "--format".to_string(),
+        "sarif".to_string(),
+        "--output".to_string(),
+        out.display().to_string(),
+    ];
+    assert_eq!(run_cli_captured(&args).0, CliOutcome::Violations);
+    let sarif = fs::read_to_string(&out).expect("sarif written");
+    assert!(sarif.contains("\"version\": \"2.1.0\""), "{sarif}");
+    assert!(sarif.contains("\"ruleId\": \"ORX001\""), "{sarif}");
+    assert!(sarif.contains("sarif-2.1.0"), "schema uri present: {sarif}");
+}
+
+#[test]
+fn warm_cache_reproduces_cold_findings_byte_for_byte() {
+    let fixture = Fixture::new(
+        "cache",
+        "pub fn f(p: *const u8) -> u8 { unsafe { *p } }\npub fn g() { let v: Option<u8> = None; v.unwrap(); }\n",
+    );
+    let cache = fixture.root.join("analyze.cache");
+    let args = |out: &Path| {
+        vec![
+            "--root".to_string(),
+            fixture.root.display().to_string(),
+            "--cache".to_string(),
+            cache.display().to_string(),
+            "--format".to_string(),
+            "json".to_string(),
+            "--output".to_string(),
+            out.display().to_string(),
+        ]
+    };
+
+    let cold_out = fixture.root.join("cold.json");
+    let (outcome, _, cold_err) = run_cli_captured(&args(&cold_out));
+    assert_eq!(outcome, CliOutcome::Violations);
+    assert!(
+        cold_err.contains("cache: reused 0/1"),
+        "cold run starts empty: {cold_err}"
+    );
+    assert!(cache.exists(), "cache file persisted");
+
+    let warm_out = fixture.root.join("warm.json");
+    let (outcome, _, warm_err) = run_cli_captured(&args(&warm_out));
+    assert_eq!(outcome, CliOutcome::Violations);
+    assert!(
+        warm_err.contains("cache: reused 1/1"),
+        "warm run skips re-summarizing unchanged files: {warm_err}"
+    );
+
+    let cold = fs::read_to_string(&cold_out).expect("cold report");
+    let warm = fs::read_to_string(&warm_out).expect("warm report");
+    assert_eq!(cold, warm, "warm report must be byte-identical");
+
+    // Editing the file invalidates only its entry: the next run
+    // re-analyzes it and picks up the new content.
+    fs::write(fixture.root.join("src/lib.rs"), "pub fn f() -> u8 { 0 }\n")
+        .expect("rewrite fixture");
+    let fixed_out = fixture.root.join("fixed.json");
+    let (outcome, _, fixed_err) = run_cli_captured(&args(&fixed_out));
+    assert_eq!(outcome, CliOutcome::Clean);
+    assert!(
+        fixed_err.contains("cache: reused 0/1"),
+        "changed content misses the cache: {fixed_err}"
+    );
+}
+
+#[test]
+fn explain_flag_prints_rule_card_without_scanning() {
+    let (outcome, out, _) = run_cli_captured(&["--explain".to_string(), "ORX008".to_string()]);
+    assert_eq!(outcome, CliOutcome::Clean);
+    assert!(out.contains("ORX008"), "{out}");
+    assert!(
+        out.contains("call graph") && out.contains("example that fires:"),
+        "rationale and example sections present: {out}"
+    );
+    assert!(out.contains("orex::allow(ORX008)"), "waiver help: {out}");
+
+    let (outcome, _, err) = run_cli_captured(&["--explain".to_string(), "ORX999".to_string()]);
+    assert_eq!(outcome, CliOutcome::Error);
+    assert!(err.contains("needs a rule ID"), "{err}");
+}
+
+#[test]
+fn property_every_waived_finding_leaves_the_report() {
+    // Property-style check of the waiver pipeline: scan a fixture,
+    // then mechanically append an inline waiver to every flagged line
+    // and rescan. Every finding must disappear, and the waived count
+    // must account for each of them — a waiver that is honoured but
+    // still reported (or silently dropped) fails this.
+    let source = "\
+pub fn read_first(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub fn quit() {
+    let v: Option<u8> = None;
+    let x = v.unwrap();
+    println!(\"{x}\");
+    std::process::exit(0);
+}
+";
+    let fixture = Fixture::new("property", source);
+    let policy = load_policy(&fixture.root).expect("missing policy file is empty policy");
+    let before = analyze_workspace(&fixture.root, &policy).expect("fixture scan succeeds");
+    assert!(
+        before.findings.len() >= 4,
+        "fixture seeds several rules:\n{}",
+        before.render_text()
+    );
+    assert!(before.findings.iter().all(|f| f.line > 0));
+
+    let mut lines: Vec<String> = source.lines().map(str::to_string).collect();
+    for f in &before.findings {
+        // One finding per line in this fixture, so a trailing comment
+        // waives exactly that rule without shifting line numbers.
+        lines[f.line as usize - 1]
+            .push_str(&format!(" // orex::allow({}): property test", f.rule.id()));
+    }
+    fs::write(fixture.root.join("src/lib.rs"), lines.join("\n")).expect("rewrite fixture");
+
+    let after = analyze_workspace(&fixture.root, &policy).expect("fixture rescan succeeds");
+    assert!(
+        after.findings.is_empty(),
+        "waived findings must never reach the report:\n{}",
+        after.render_text()
+    );
+    assert_eq!(
+        after.waived,
+        before.findings.len(),
+        "every waiver is accounted for"
+    );
 }

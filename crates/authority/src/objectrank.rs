@@ -97,6 +97,9 @@ pub fn object_rank(
 
 /// Query-independent global ObjectRank: uniform base set over all nodes.
 pub fn global_object_rank(matrix: &TransitionMatrix<'_>, params: &RankParams) -> RankResult {
+    // orex::allow(ORX008): `BaseSet::global` fails only for a
+    // zero-node graph, and dataset construction rejects empty graphs
+    // before a matrix ever reaches the ranking kernels.
     let base = BaseSet::global(matrix.node_count()).expect("non-empty graph");
     power_iteration(matrix, &base, params, None)
 }

@@ -103,10 +103,13 @@ usage:
                              filter a JSON-lines log capture (a file, or
                              stdin — e.g. piped from `curl .../logs`) and
                              render it as text or re-emit JSON lines
-  orex analyze [--root DIR] [--format text|json] [--output FILE]
+  orex analyze [--root DIR] [--format text|json|sarif] [--output FILE]
+               [--cache FILE] [--explain ORXnnn]
                              run the workspace static-analysis gate
-                             (rules ORX001–ORX007 from analyze.policy);
-                             exits 1 on any finding";
+                             (rules ORX001–ORX010 from analyze.policy);
+                             --cache reuses per-file analyses across runs,
+                             --explain prints a rule's rationale and waiver
+                             syntax; exits 1 on any finding";
 
 /// Returns the value following `flag` in `args`.
 fn flag_value(args: &[String], flag: &str) -> Option<String> {

@@ -64,6 +64,10 @@ impl ObjectRankSystem {
     pub fn new(graph: DataGraph, initial_rates: TransferRates, config: SystemConfig) -> Self {
         initial_rates
             .validate(graph.schema())
+            // orex::allow(ORX008): documented `# Panics` contract — the
+            // constructor's precondition is that the rates match the
+            // schema; every workspace caller builds both from the same
+            // preset so the validation cannot fail there.
             .expect("initial rates must be valid");
         let transfer = TransferGraph::build(&graph);
         let mut builder = IndexBuilder::new(Analyzer::new());

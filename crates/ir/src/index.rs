@@ -64,6 +64,9 @@ impl IndexBuilder {
         if let Some(&id) = self.dict.get(&term) {
             return id;
         }
+        // orex::allow(ORX008): TermId is u32; overflowing it would need
+        // four billion distinct terms, far past memory exhaustion for
+        // the dictionaries this index holds.
         let id = TermId::try_from(self.terms.len()).expect("term id overflow");
         self.dict.insert(term.clone(), id);
         self.terms.push(term);

@@ -67,6 +67,9 @@ pub fn expansion_term_weights(
         } else {
             let d = explanation
                 .distance(node)
+                // orex::allow(ORX008): every node in an explanation
+                // subgraph is discovered by the BFS that assigns its
+                // distance, so the invariant holds by construction.
                 .expect("subgraph node has a distance");
             params.decay.powi(d as i32) * explanation.outflow(node)
         };

@@ -154,6 +154,9 @@ pub fn structure_reformulate(
     // shows the intended semantics. The combination pins the busiest node
     // type's outgoing sum at 1 (the example's reformulated Paper sum is
     // 0.99).
+    // orex::allow(ORX008): `new_rates` is built two steps above with
+    // exactly `schema.rate_type_count()` entries, so the dimension
+    // check in `from_dense` cannot fail here.
     let mut out = TransferRates::from_dense(schema, new_rates).expect("dimension checked above");
     let worst = out.outgoing_sums(schema).into_iter().fold(0.0f64, f64::max);
     if worst > 1.0 {

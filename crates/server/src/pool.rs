@@ -103,6 +103,11 @@ fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
         let job = match receiver
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
+            // orex::allow(ORX009): the mutex exists solely to share the
+            // receiver between workers — blocking in recv() while
+            // holding it is the intended serialization (only one idle
+            // worker waits at a time), and the guard is released before
+            // the job runs.
             .recv()
         {
             Ok(job) => job,

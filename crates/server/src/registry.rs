@@ -171,6 +171,11 @@ impl DatasetService {
     /// precompute.
     fn build(spec: &DatasetSpec, cache_entries: usize) -> Result<Arc<Self>, String> {
         let start = Instant::now();
+        // orex::allow(ORX008): preset generation runs once per dataset
+        // registration on an operator request, against schemas the
+        // datagen crate constructs itself — a panic there is a datagen
+        // construction bug caught by its test suite, not a
+        // request-path hazard.
         let dataset = spec.preset.generate(spec.scale);
         let (nodes, edges) = dataset.sizes();
         let system = Arc::new(ObjectRankSystem::new(

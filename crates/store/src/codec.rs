@@ -61,6 +61,10 @@ impl Writer {
 
     /// Appends a length-prefixed UTF-8 string.
     pub fn put_str(&mut self, s: &str) {
+        // orex::allow(ORX008): the u32 length prefix caps encodable
+        // strings at 4 GiB; the strings written here are term and
+        // label fields orders of magnitude below that, and a snapshot
+        // that large would fail long before this conversion.
         self.put_u32(u32::try_from(s.len()).expect("string too long"));
         self.buf.put_slice(s.as_bytes());
     }

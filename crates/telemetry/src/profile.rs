@@ -183,6 +183,9 @@ impl Profiler {
         let inner = Arc::clone(&self.inner);
         let handle = std::thread::Builder::new()
             .name("orex-profiler".into())
+            // orex::allow(ORX009): sampler_loop runs on the spawned
+            // thread, not under this guard — the closure boundary is
+            // beyond the analyzer's call-graph model.
             .spawn(move || sampler_loop(&inner));
         match handle {
             Ok(h) => *thread = Some(h),
