@@ -49,6 +49,7 @@ use orex_bench::{arg_value, build_system, pick_queries, scale_arg, write_json};
 use orex_core::SystemConfig;
 use orex_datagen::Preset;
 use orex_server::{DatasetSpec, HttpClient, Server, ServerConfig, SystemRegistry};
+use orex_telemetry::{SpanId, TraceContext, TraceId};
 use std::collections::BTreeMap;
 use std::net::ToSocketAddrs;
 use std::sync::Mutex;
@@ -208,8 +209,24 @@ fn run_client(plan: &Plan, id: usize, tally: &Mutex<Tally>) {
             }
             None => format!("{{\"query\": \"{query_text}\", \"k\": 5}}"),
         };
+        // Every query carries its own sampled trace context, so the
+        // server (or router, which re-injects downstream) records the
+        // request under an id loadgen can later pull back out with
+        // `orex trace --fleet`. The id is deterministic per (client,
+        // round) — reruns reproduce the same trace ids.
+        let context = TraceContext {
+            trace: TraceId(mix(h, 0x10ad_10ad) | 1),
+            parent: SpanId(mix(h, 1)),
+            flags: TraceContext::SAMPLED,
+        };
+        let header_value = context.header_value();
         let t = Instant::now();
-        let reply = client.post("/query", &body);
+        let reply = client.request_with_headers(
+            "POST",
+            "/query",
+            &[(TraceContext::HEADER, &header_value)],
+            Some(body.as_bytes()),
+        );
         let Some(body) = timed(tally, Op::Query, reply, t) else {
             continue;
         };

@@ -80,8 +80,10 @@ fn render_text_line(record: &serde_json::Value, out: &mut String) {
 }
 
 /// `orex logs [FILE] [--level L] [--target PREFIX] [--since SEQ]
-/// [--limit N] [--format text|json]` — filter a JSON-lines log capture
-/// and render it as text (default) or re-emit the surviving JSON lines.
+/// [--limit N] [--trace ID] [--format text|json]` — filter a JSON-lines
+/// log capture and render it as text (default) or re-emit the surviving
+/// JSON lines. `--trace` keeps only records stamped with that trace id,
+/// turning a fleet-wide capture into the log slice of one request.
 /// Returns the process exit code.
 pub fn run_logs(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> std::io::Result<i32> {
     let format = flag_value(args, "--format").unwrap_or_else(|| "text".into());
@@ -114,6 +116,21 @@ pub fn run_logs(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> st
         Some(Err(_)) => {
             writeln!(err, "logs: --limit expects an unsigned integer")?;
             return Ok(2);
+        }
+    };
+    // Decimal (as rendered in log lines and exemplars) or hex (as carried
+    // in the X-Orex-Trace header).
+    let trace: Option<u64> = match flag_value(args, "--trace") {
+        None => None,
+        Some(raw) => {
+            let hex = raw.strip_prefix("0x").unwrap_or(&raw);
+            match raw.parse().or_else(|_| u64::from_str_radix(hex, 16)) {
+                Ok(id) => Some(id),
+                Err(_) => {
+                    writeln!(err, "logs: --trace expects a decimal or hex trace id")?;
+                    return Ok(2);
+                }
+            }
         }
     };
 
@@ -184,6 +201,15 @@ pub fn run_logs(args: &[String], out: &mut dyn Write, err: &mut dyn Write) -> st
                 .and_then(|v| v.as_u64())
                 .is_some_and(|seq| seq > since);
             if !newer {
+                continue;
+            }
+        }
+        if let Some(id) = trace {
+            let matched = record
+                .get("trace")
+                .and_then(|v| v.as_u64())
+                .is_some_and(|t| t == id);
+            if !matched {
                 continue;
             }
         }
@@ -292,12 +318,42 @@ mod tests {
     }
 
     #[test]
+    fn trace_filter_keeps_only_records_stamped_with_that_id() {
+        let capture = concat!(
+            r#"{"seq":1,"ts_ns":10,"level":"INFO","target":"router.access","message":"request","trace":3735928559}"#,
+            "\n",
+            r#"{"seq":2,"ts_ns":20,"level":"INFO","target":"server.access","message":"request","trace":3735928559}"#,
+            "\n",
+            r#"{"seq":3,"ts_ns":30,"level":"INFO","target":"server.access","message":"request","trace":7}"#,
+            "\n",
+            r#"{"seq":4,"ts_ns":40,"level":"INFO","target":"server.backfill","message":"no trace"}"#,
+            "\n",
+        );
+        // Decimal form: both processes' records for the one trace survive.
+        let (code, out, _) = run_on(capture, &["--trace", "3735928559"]);
+        assert_eq!(code, 0);
+        assert_eq!(out.lines().count(), 2, "{out}");
+        assert!(out.contains("router.access"), "{out}");
+        assert!(out.contains("server.access"), "{out}");
+        assert!(!out.contains("backfill"), "{out}");
+        // Hex form (as carried in the X-Orex-Trace header) matches too.
+        let (code, out, _) = run_on(capture, &["--trace", "0xdeadbeef"]);
+        assert_eq!(code, 0);
+        assert_eq!(out.lines().count(), 2, "{out}");
+        // A trace nobody logged keeps nothing.
+        let (code, out, _) = run_on(capture, &["--trace", "42"]);
+        assert_eq!(code, 0);
+        assert!(out.is_empty(), "{out}");
+    }
+
+    #[test]
     fn bad_flags_exit_2() {
         for bad in [
             vec!["--level", "loud"],
             vec!["--format", "xml"],
             vec!["--since", "minus"],
             vec!["--limit", "-1"],
+            vec!["--trace", "not-a-trace"],
         ] {
             let mut args: Vec<String> = vec!["unused.jsonl".into()];
             args.extend(bad.iter().map(|s| s.to_string()));

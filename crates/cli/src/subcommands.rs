@@ -26,6 +26,12 @@ usage:
   orex trace \"<query>\" [--format chrome|folded] [--preset NAME]
                              [--scale F] [--out FILE]
                              run one traced query and export its span tree
+  orex trace --fleet <trace-id> [--addr A] [--out FILE]
+                             fetch GET /trace/<id> from a running router
+                             (or standalone server) and emit the stitched
+                             Chrome trace: one clock-aligned process lane
+                             per router/worker that recorded spans for
+                             that trace id
   orex stats [--format json|prom] [--snapshot FILE]
              [--diff BASELINE.json]... [--threshold F] [--metrics a,b]
                              dump telemetry; with --diff, compare against
@@ -99,7 +105,7 @@ usage:
                              --precompute`; --check K compares K combined
                              queries against live iteration
   orex logs [FILE] [--level L] [--target PREFIX] [--since SEQ]
-            [--limit N] [--format text|json]
+            [--limit N] [--trace ID] [--format text|json]
                              filter a JSON-lines log capture (a file, or
                              stdin — e.g. piped from `curl .../logs`) and
                              render it as text or re-emit JSON lines
@@ -154,6 +160,9 @@ pub fn run_trace(
     out: &mut dyn Write,
     err: &mut dyn Write,
 ) -> std::io::Result<i32> {
+    if args.iter().any(|a| a == "--fleet") {
+        return run_trace_fleet(args, out, err);
+    }
     let positional = positionals(args);
     let Some(query_text) = positional.first() else {
         writeln!(err, "trace: missing query string\n\n{SUBCOMMAND_HELP}")?;
@@ -217,6 +226,64 @@ pub fn run_trace(
     let rendered = match format.as_str() {
         "chrome" => to_chrome_trace(&records),
         _ => to_folded_stacks(&records),
+    };
+    match flag_value(args, "--out") {
+        Some(path) if path != "-" => {
+            std::fs::write(&path, rendered.as_bytes()).map_err(|e| {
+                std::io::Error::new(e.kind(), format!("trace: writing {path}: {e}"))
+            })?;
+            writeln!(err, "[trace] wrote {path}")?;
+        }
+        _ => writeln!(out, "{rendered}")?,
+    }
+    Ok(0)
+}
+
+/// `orex trace --fleet <trace-id> [--addr A] [--out FILE]` — fetch the
+/// stitched cross-process Chrome trace for one trace id from a running
+/// router (or standalone server) and print it (or write it to `--out`).
+/// The id is accepted in decimal (as printed by `orex logs` and metric
+/// exemplars) or hex (as carried in the `X-Orex-Trace` header).
+fn run_trace_fleet(
+    args: &[String],
+    out: &mut dyn Write,
+    err: &mut dyn Write,
+) -> std::io::Result<i32> {
+    let Some(raw_id) = flag_value(args, "--fleet") else {
+        writeln!(
+            err,
+            "trace: --fleet expects a trace id\n\n{SUBCOMMAND_HELP}"
+        )?;
+        return Ok(2);
+    };
+    let hex = raw_id.strip_prefix("0x").unwrap_or(&raw_id);
+    let id: u64 = match raw_id.parse().or_else(|_| u64::from_str_radix(hex, 16)) {
+        Ok(0) | Err(_) => {
+            writeln!(
+                err,
+                "trace: --fleet expects a decimal or hex trace id, got '{raw_id}'"
+            )?;
+            return Ok(2);
+        }
+        Ok(id) => id,
+    };
+    let addr = flag_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:7470".into());
+    let client = orex_server::HttpClient::new(addr.clone());
+    let rendered = match client.get(&format!("/trace/{id}")) {
+        Ok(reply) if reply.status == 200 => reply.body_str().unwrap_or_default().to_string(),
+        Ok(reply) => {
+            writeln!(
+                err,
+                "trace: {addr} returned {} for trace {id}: {}",
+                reply.status,
+                reply.body_str().unwrap_or("").trim_end()
+            )?;
+            return Ok(1);
+        }
+        Err(e) => {
+            writeln!(err, "trace: fetching /trace/{id} from {addr}: {e}")?;
+            return Ok(1);
+        }
     };
     match flag_value(args, "--out") {
         Some(path) if path != "-" => {
@@ -442,6 +509,29 @@ mod tests {
         assert_eq!(code, 2);
         let (code, _) = run(|o, e| run_trace(&args(&["data", "--preset", "nope"]), o, e));
         assert_eq!(code, 2);
+    }
+
+    #[test]
+    fn trace_fleet_rejects_bad_ids_and_reports_unreachable_routers() {
+        // No id value at all (the flag is last, so nothing follows it).
+        let (code, _) = run(|o, e| run_trace(&args(&["--fleet"]), o, e));
+        assert_eq!(code, 2);
+        // Neither decimal nor hex.
+        let (code, _) = run(|o, e| run_trace(&args(&["--fleet", "not-an-id"]), o, e));
+        assert_eq!(code, 2);
+        // Zero is never a valid trace id.
+        let (code, _) = run(|o, e| run_trace(&args(&["--fleet", "0"]), o, e));
+        assert_eq!(code, 2);
+        // A well-formed id against a dead address is a runtime error (1),
+        // not a usage error (2). Port 9 is discard/refused.
+        let (code, _) = run(|o, e| {
+            run_trace(
+                &args(&["--fleet", "0xdeadbeef", "--addr", "127.0.0.1:9"]),
+                o,
+                e,
+            )
+        });
+        assert_eq!(code, 1);
     }
 
     #[test]

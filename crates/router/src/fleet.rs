@@ -13,7 +13,7 @@
 use crate::ring::HashRing;
 use orex_server::HttpClient;
 use std::process::{Child, Command, Stdio};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -61,6 +61,12 @@ pub struct Worker {
     child: Mutex<Option<Child>>,
     /// Earliest instant the next relaunch may happen.
     backoff_until: Mutex<Option<Instant>>,
+    /// Estimated offset translating this worker's tracer clock onto the
+    /// router's (`router_ns = worker_ns + offset`), refreshed by each
+    /// passing health probe from its round trip and the worker's
+    /// `X-Orex-Clock` header. Stitched fleet traces shift the worker's
+    /// span timestamps by this.
+    clock_offset_ns: AtomicI64,
 }
 
 impl Worker {
@@ -75,6 +81,12 @@ impl Worker {
     pub fn restarts(&self) -> u64 {
         // ORDERING: statistics counter, no synchronization role.
         self.restarts.load(Ordering::Relaxed)
+    }
+
+    /// The latest worker-to-router clock-offset estimate, nanoseconds.
+    pub fn clock_offset_ns(&self) -> i64 {
+        // ORDERING: advisory estimate, no synchronization role.
+        self.clock_offset_ns.load(Ordering::Relaxed)
     }
 }
 
@@ -146,6 +158,7 @@ impl Fleet {
                     restarts: AtomicU64::new(0),
                     child: Mutex::new(None),
                     backoff_until: Mutex::new(None),
+                    clock_offset_ns: AtomicI64::new(0),
                 })
             })
             .collect();
@@ -304,13 +317,27 @@ impl Fleet {
     }
 
     /// One `/healthz` probe; flips health state and the ring membership
-    /// on transitions.
+    /// on transitions, and refreshes the worker's clock-offset estimate
+    /// from the probe round trip: the worker's `X-Orex-Clock` reading
+    /// is assumed to have happened at the round trip's midpoint, so
+    /// `offset = (t0 + t1) / 2 − worker_clock` — the classic
+    /// NTP-style estimate, good to half the round trip (microseconds on
+    /// loopback, plenty for lane alignment in a stitched trace).
     fn probe(&self, worker: &Arc<Worker>) {
-        let ok = worker
-            .probe
-            .get("/healthz")
-            .map(|r| r.status == 200)
-            .unwrap_or(false);
+        let tracer = orex_telemetry::tracer();
+        let t0 = tracer.now_ns();
+        let reply = worker.probe.get("/healthz");
+        let t1 = tracer.now_ns();
+        let ok = matches!(&reply, Ok(r) if r.status == 200);
+        if let Ok(r) = &reply {
+            if let Some(clock) = r.header("x-orex-clock").and_then(|v| v.parse::<u64>().ok()) {
+                let midpoint = (t0 / 2) + (t1 / 2);
+                let offset = midpoint as i64 - clock as i64;
+                // ORDERING: advisory estimate read by trace stitching;
+                // no synchronization role.
+                worker.clock_offset_ns.store(offset, Ordering::Relaxed);
+            }
+        }
         if ok {
             // ORDERING: swap is the transition edge; health state is
             // advisory so Relaxed suffices (the ring lock orders the

@@ -166,14 +166,13 @@ impl Router {
     /// open connections to finish, and cascade the shutdown to the
     /// fleet (SIGTERM to every spawned worker, bounded wait).
     pub fn run(self) -> io::Result<()> {
-        let ctx = Arc::new(RouterContext {
-            fleet: Arc::clone(&self.fleet),
-            started: Instant::now(),
-            addr: self
-                .local_addr()
+        let ctx = Arc::new(RouterContext::new(
+            Arc::clone(&self.fleet),
+            Instant::now(),
+            self.local_addr()
                 .map(|a| a.to_string())
                 .unwrap_or_else(|_| self.config.addr.clone()),
-        });
+        ));
         let gauge = Arc::new(ConnGauge {
             live: Mutex::new(0),
             zero: Condvar::new(),

@@ -9,12 +9,28 @@
 //! aggregate across the fleet: `/metrics` re-labels every worker series
 //! with `worker="i"`, `/logs` stamps each record with its worker, and
 //! `/debug/status` nests per-worker status docs under a router summary.
+//!
+//! The router is also the fleet's tracing ingress edge: every request
+//! runs under a `router.request` span (adopting an incoming
+//! `X-Orex-Trace` context when the client sent one, else making the
+//! sampling decision here), every proxied hop opens a child span and
+//! injects its context so worker spans join the same trace, and
+//! `GET /trace/<id>` stitches the router's own archive together with
+//! every worker's into one per-process-lane Chrome export.
 
 use crate::fleet::{Fleet, Worker};
-use orex_server::{ClientResponse, Request, Response};
+use orex_server::{ClientResponse, Request, Response, TraceArchive};
+use orex_telemetry::export::{parse_wire, to_chrome_trace_stitched, to_wire, ProcessLane};
+use orex_telemetry::TraceContext;
 use serde_json::Value;
-use std::sync::Arc;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
+
+/// Traces retained in the router's own span archive.
+const MAX_ROUTER_TRACES: usize = 256;
+/// Promoted-trace snapshots retained for retro-stitching.
+const MAX_RETRO_TRACES: usize = 64;
 
 /// Shared state the connection threads handle requests against.
 pub struct RouterContext {
@@ -24,56 +40,249 @@ pub struct RouterContext {
     pub started: Instant,
     /// The router's own bound address (shown in status).
     pub addr: String,
+    /// The router's own completed spans, the router lane of a stitched
+    /// fleet trace.
+    pub traces: TraceArchive,
+    /// Wire-format snapshots of fleet-promoted slow traces, fetched
+    /// from the workers before their archives evict them.
+    pub retro: RetroTraces,
+}
+
+impl RouterContext {
+    /// Context for `fleet` with the trace archive and retro store ready.
+    pub fn new(fleet: Arc<Fleet>, started: Instant, addr: String) -> Self {
+        Self {
+            fleet,
+            started,
+            addr,
+            traces: TraceArchive::new(MAX_ROUTER_TRACES),
+            retro: RetroTraces::new(MAX_RETRO_TRACES),
+        }
+    }
+}
+
+/// Bounded store of per-worker wire-format trace snapshots, keyed by
+/// trace id — how a slow trace promoted on one worker survives long
+/// enough for `GET /trace/<id>` to stitch its sibling spans after the
+/// workers' own archives move on. Oldest trace evicted first.
+pub struct RetroTraces {
+    inner: Mutex<RetroInner>,
+    max_traces: usize,
+}
+
+struct RetroInner {
+    /// Trace ids in first-stored order, driving eviction.
+    order: VecDeque<u64>,
+    /// Per-trace `(worker index, wire text)` snapshots.
+    traces: HashMap<u64, Vec<(usize, String)>>,
+}
+
+impl RetroTraces {
+    /// A store retaining at most `max_traces` traces (minimum 1).
+    pub fn new(max_traces: usize) -> Self {
+        Self {
+            inner: Mutex::new(RetroInner {
+                order: VecDeque::new(),
+                traces: HashMap::new(),
+            }),
+            max_traces: max_traces.max(1),
+        }
+    }
+
+    /// Stores (or replaces) the snapshots of one trace.
+    pub fn insert(&self, trace: u64, snapshots: Vec<(usize, String)>) {
+        if snapshots.is_empty() {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if inner.traces.insert(trace, snapshots).is_none() {
+            inner.order.push_back(trace);
+        }
+        while inner.order.len() > self.max_traces {
+            if let Some(victim) = inner.order.pop_front() {
+                inner.traces.remove(&victim);
+            }
+        }
+    }
+
+    /// The stored `(worker, wire text)` snapshots of `trace`, if any.
+    pub fn get(&self, trace: u64) -> Vec<(usize, String)> {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .traces
+            .get(&trace)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Number of stored traces.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .traces
+            .len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 /// Dispatches one request to its handler. Every response is accounted
 /// under `router.*` telemetry and one `router.access` log record.
+///
+/// Every request runs inside a `router.request` span: the fleet's
+/// ingress root when the client sent no `X-Orex-Trace`, or a
+/// remote-parent root continuing the client's trace (whose flags byte
+/// then carries the client's sampling decision). The access log is
+/// emitted inside the span so it carries the fleet-shared trace id, and
+/// the `router.request_us` histogram exemplar points at the same trace.
 pub fn handle(request: &Request, ctx: &RouterContext) -> Response {
     let telemetry = orex_telemetry::global();
     telemetry.counter("router.requests").incr();
     let start = Instant::now();
-    let (path, query) = match request.path.split_once('?') {
-        Some((p, q)) => (p, Some(q)),
-        None => (request.path.as_str(), None),
-    };
-    let segments: Vec<&str> = path.trim_matches('/').split('/').collect();
-    let response = match (request.method.as_str(), segments.as_slice()) {
-        ("GET", ["healthz"]) => handle_healthz(ctx),
-        ("POST", ["query"]) => handle_query(request, ctx),
-        ("GET", ["explain", sid, node]) => {
-            handle_session(ctx, "GET", sid, |local| format!("/explain/{local}/{node}"))
+    let tracer = orex_telemetry::tracer();
+    let context = request
+        .header(TraceContext::HEADER)
+        .and_then(TraceContext::parse);
+    let response = {
+        let mut span = tracer.span_with_context("router.request", context);
+        if span.is_recording() {
+            span.attr_str("method", &request.method);
+            span.attr_str("path", &request.path);
         }
-        ("POST", ["feedback", sid]) => handle_session_with_body(ctx, sid, &request.body, |local| {
-            format!("/feedback/{local}")
-        }),
-        ("GET", ["datasets"]) => proxy_any(ctx, "/datasets"),
-        ("GET", ["metrics"]) => handle_metrics(ctx),
-        ("GET", ["logs"]) => handle_logs(ctx, query),
-        ("GET", ["trace", id]) => handle_trace(ctx, id),
-        ("GET", ["profile"]) => proxy_any(ctx, &request.path),
-        ("GET", ["debug", "status"]) => handle_status(ctx, query),
-        (
-            "GET" | "POST",
-            ["query" | "explain" | "feedback" | "datasets" | "metrics" | "logs" | "trace"
-            | "profile" | "healthz", ..],
-        ) => Response::error(405, "method not allowed for this route"),
-        _ => Response::error(404, "no such route"),
+        let sampled_trace = if span.is_sampled() {
+            span.trace_id().map(|t| t.0)
+        } else {
+            None
+        };
+        let (path, query) = match request.path.split_once('?') {
+            Some((p, q)) => (p, Some(q)),
+            None => (request.path.as_str(), None),
+        };
+        let segments: Vec<&str> = path.trim_matches('/').split('/').collect();
+        let response = match (request.method.as_str(), segments.as_slice()) {
+            ("GET", ["healthz"]) => handle_healthz(ctx),
+            ("POST", ["query"]) => handle_query(request, ctx),
+            ("GET", ["explain", sid, node]) => {
+                handle_session(ctx, "GET", sid, |local| format!("/explain/{local}/{node}"))
+            }
+            ("POST", ["feedback", sid]) => {
+                handle_session_with_body(ctx, sid, &request.body, |local| {
+                    format!("/feedback/{local}")
+                })
+            }
+            ("GET", ["datasets"]) => proxy_any(ctx, "/datasets"),
+            ("GET", ["metrics"]) => handle_metrics(ctx),
+            ("GET", ["logs"]) => handle_logs(ctx, query),
+            ("GET", ["trace", id]) => handle_trace(ctx, id),
+            ("GET", ["profile"]) => proxy_any(ctx, &request.path),
+            ("GET", ["debug", "status"]) => handle_status(ctx, query),
+            (
+                "GET" | "POST",
+                ["query" | "explain" | "feedback" | "datasets" | "metrics" | "logs" | "trace"
+                | "profile" | "healthz", ..],
+            ) => Response::error(405, "method not allowed for this route"),
+            _ => Response::error(404, "no such route"),
+        };
+        let elapsed = start.elapsed();
+        telemetry
+            .histogram("router.request_us")
+            .record_with_exemplar(elapsed.as_micros() as f64, sampled_trace);
+        telemetry
+            .counter(&format!("router.responses_{}xx", response.status / 100))
+            .incr();
+        orex_telemetry::logger()
+            .info("router.access", "request")
+            .field_str("method", &request.method)
+            .field_str("path", &request.path)
+            .field_u64("status", u64::from(response.status))
+            .field_u64("latency_us", elapsed.as_micros() as u64)
+            .emit();
+        response
     };
-    let elapsed = start.elapsed();
-    telemetry
-        .histogram("router.request_us")
-        .record(elapsed.as_micros() as f64);
-    telemetry
-        .counter(&format!("router.responses_{}xx", response.status / 100))
-        .incr();
-    orex_telemetry::logger()
-        .info("router.access", "request")
-        .field_str("method", &request.method)
-        .field_str("path", &request.path)
-        .field_u64("status", u64::from(response.status))
-        .field_u64("latency_us", elapsed.as_micros() as u64)
-        .emit();
+    ctx.traces.absorb(tracer.drain());
     response
+}
+
+/// One traced proxied hop: a child span of the enclosing
+/// `router.request` (carrying `worker`, `attempt`, and `reason` attrs)
+/// whose context is injected as `X-Orex-Trace` so the worker's spans
+/// parent under it. A worker that reports fleet-promoted slow traces
+/// via `X-Orex-Promoted` triggers a retro-fetch of their sibling spans
+/// before the worker archives evict them.
+fn traced_hop(
+    ctx: &RouterContext,
+    worker: &Worker,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+    attempt: u64,
+    reason: &str,
+) -> std::io::Result<ClientResponse> {
+    let tracer = orex_telemetry::tracer();
+    let mut span = tracer.span("router.proxy");
+    if span.is_recording() {
+        span.attr_u64("worker", worker.index as u64);
+        span.attr_u64("attempt", attempt);
+        span.attr_str("reason", reason);
+    }
+    let result = match span.context() {
+        Some(hop) => {
+            let value = hop.header_value();
+            worker.client.request_with_headers(
+                method,
+                path,
+                &[(TraceContext::HEADER, value.as_str())],
+                body,
+            )
+        }
+        None => worker.client.request(method, path, body),
+    };
+    if let Ok(response) = &result {
+        note_promotions(ctx, response);
+    }
+    result
+}
+
+/// Acts on a worker's `X-Orex-Promoted` response header: for every
+/// reported trace id, snapshots the wire-format spans from every
+/// healthy worker into the retro store. Promotions only happen for
+/// slow traces, so the extra fan-out is rare by construction.
+fn note_promotions(ctx: &RouterContext, response: &ClientResponse) {
+    let Some(value) = response.header("x-orex-promoted") else {
+        return;
+    };
+    let ids: Vec<u64> = value
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    for id in ids {
+        orex_telemetry::global()
+            .counter("router.trace_promotions")
+            .incr();
+        let mut snapshots = Vec::new();
+        for worker in ctx.fleet.workers() {
+            if !worker.is_healthy() {
+                continue;
+            }
+            let Ok(reply) = worker.client.get(&format!("/trace/{id}?format=wire")) else {
+                continue;
+            };
+            if reply.status != 200 {
+                continue;
+            }
+            if let Some(text) = reply.body_str() {
+                if !text.is_empty() {
+                    snapshots.push((worker.index, text.to_string()));
+                }
+            }
+        }
+        ctx.retro.insert(id, snapshots);
+    }
 }
 
 /// Ready when at least one worker serves; the fleet degrades, it does
@@ -86,7 +295,12 @@ fn handle_healthz(ctx: &RouterContext) -> Response {
     }
 }
 
+/// Saturation 503, logged so the record (stamped with the in-flight
+/// request's trace id) is greppable by trace.
 fn no_healthy_workers() -> Response {
+    orex_telemetry::logger()
+        .warn("router.saturated", "no healthy workers")
+        .emit();
     Response::error(503, "no healthy workers").with_header("Retry-After", "1")
 }
 
@@ -118,17 +332,35 @@ fn handle_query(request: &Request, ctx: &RouterContext) -> Response {
         return no_healthy_workers();
     };
     let workers = ctx.fleet.workers();
-    let attempt = |index: usize| {
-        workers[index]
-            .client
-            .request("POST", "/query", Some(&request.body))
+    let attempt = |index: usize, number: u64, reason: &str| {
+        traced_hop(
+            ctx,
+            &workers[index],
+            "POST",
+            "/query",
+            Some(&request.body),
+            number,
+            reason,
+        )
     };
-    let (served_by, result) = match attempt(owner) {
+    let (served_by, result) = match attempt(owner, 1, "route") {
         Ok(r) if r.status != 503 => (owner, Ok(r)),
         first => match ctx.fleet.route_excluding(&key, owner) {
             Some(alternate) => {
                 orex_telemetry::global().counter("router.retries").incr();
-                (alternate, attempt(alternate))
+                let reason = match &first {
+                    Ok(_) => "worker_503",
+                    Err(_) => "worker_unreachable",
+                };
+                // Stamped with the request's trace id (the span is
+                // open), so retry diagnostics grep by trace.
+                orex_telemetry::logger()
+                    .warn("router.retry", "retrying query on alternate worker")
+                    .field_u64("from", owner as u64)
+                    .field_u64("to", alternate as u64)
+                    .field_str("reason", reason)
+                    .emit();
+                (alternate, attempt(alternate, 2, reason))
             }
             None => (owner, first),
         },
@@ -195,7 +427,15 @@ fn forward_session(
         // honest 404 for the lost session).
         return no_healthy_workers();
     }
-    match workers[worker].client.request(method, path, body) {
+    match traced_hop(
+        ctx,
+        &workers[worker],
+        method,
+        path,
+        body,
+        1,
+        "session_sticky",
+    ) {
         Ok(response) => {
             rewrite_session(&response, |_| global_sid).unwrap_or_else(|| to_response(&response))
         }
@@ -334,20 +574,63 @@ fn handle_logs(ctx: &RouterContext, query: Option<&str>) -> Response {
     Response::new(200, "application/x-ndjson; charset=utf-8", out)
 }
 
-/// `GET /trace/<id>`: trace archives are per-worker, so ask each in
-/// turn; the first hit wins.
+/// `GET /trace/<id>`: stitches one fleet-wide trace. The router's own
+/// archived spans form lane `pid 1`; every worker is asked for its
+/// share in the wire format and becomes lane `pid index + 2`, its
+/// timestamps shifted onto the router's clock by the health-probe
+/// offset estimate. A worker that already evicted the trace (or is
+/// down) falls back to the retro store's snapshot, so fleet-promoted
+/// slow traces stitch even after worker-side eviction.
 fn handle_trace(ctx: &RouterContext, id: &str) -> Response {
+    let Ok(trace_id) = id.parse::<u64>() else {
+        return Response::error(400, "trace id must be an integer");
+    };
+    // The router's own spans may still sit in the tracer ring (this
+    // very request is absorbed only after `handle` returns).
+    ctx.traces.absorb(orex_telemetry::tracer().drain());
+    let mut lanes = Vec::new();
+    if let Some(spans) = ctx.traces.get(trace_id) {
+        lanes.push(ProcessLane {
+            pid: 1,
+            label: format!("router {}", ctx.addr),
+            offset_ns: 0,
+            spans: parse_wire(&to_wire(&spans)),
+        });
+    }
+    let retro = ctx.retro.get(trace_id);
     for worker in ctx.fleet.workers() {
-        if !worker.is_healthy() {
+        let live = if worker.is_healthy() {
+            worker
+                .client
+                .get(&format!("/trace/{trace_id}?format=wire"))
+                .ok()
+                .filter(|r| r.status == 200)
+                .and_then(|r| r.body_str().map(String::from))
+        } else {
+            None
+        };
+        let text = live.or_else(|| {
+            retro
+                .iter()
+                .find(|(index, _)| *index == worker.index)
+                .map(|(_, text)| text.clone())
+        });
+        let Some(text) = text else { continue };
+        let spans = parse_wire(&text);
+        if spans.is_empty() {
             continue;
         }
-        if let Ok(response) = worker.client.get(&format!("/trace/{id}")) {
-            if response.status == 200 {
-                return to_response(&response);
-            }
-        }
+        lanes.push(ProcessLane {
+            pid: worker.index as u64 + 2,
+            label: format!("worker-{} {}", worker.index, worker.addr),
+            offset_ns: worker.clock_offset_ns(),
+            spans,
+        });
     }
-    Response::error(404, "no worker holds that trace")
+    if lanes.is_empty() {
+        return Response::error(404, "no process holds that trace");
+    }
+    Response::json(200, to_chrome_trace_stitched(&lanes))
 }
 
 /// `GET /debug/status`: the fleet view `orex top` renders — a router

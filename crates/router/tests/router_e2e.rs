@@ -8,8 +8,16 @@
 use orex_router::{Fleet, Router, RouterConfig, WorkerSource};
 use orex_server::{DatasetSpec, HttpClient, Server, ServerConfig, SystemRegistry};
 use serde_json::Value;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// The tracer ring and logger are process-global; tests serialize so
+/// one fleet's records can't be absorbed by another test's workers.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 struct TestWorker {
     addr: String,
@@ -65,6 +73,7 @@ fn session_of(doc: &Value) -> u64 {
 
 #[test]
 fn router_fronts_a_two_worker_fleet_end_to_end() {
+    let _guard = serial();
     let workers = [spawn_worker(), spawn_worker()];
     let fleet = Fleet::start(
         WorkerSource::External {
@@ -269,6 +278,175 @@ fn router_fronts_a_two_worker_fleet_end_to_end() {
         .expect("clean router drain");
 
     // Stop the surviving in-process servers.
+    for worker in &workers {
+        worker.shutdown.shutdown();
+    }
+    for mut worker in workers {
+        if let Some(thread) = worker.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+#[test]
+fn router_stitches_one_trace_across_its_own_and_worker_spans() {
+    use orex_telemetry::{SpanId, TraceContext, TraceId};
+    if !orex_telemetry::tracer().is_enabled() {
+        return;
+    }
+    let _guard = serial();
+    let workers = [spawn_worker(), spawn_worker()];
+    let fleet = Fleet::start(
+        WorkerSource::External {
+            addrs: workers.iter().map(|w| w.addr.clone()).collect(),
+        },
+        Duration::from_millis(50),
+    )
+    .expect("fleet");
+    let router = Router::bind(
+        Arc::clone(&fleet),
+        RouterConfig {
+            addr: "127.0.0.1:0".into(),
+            ..RouterConfig::default()
+        },
+    )
+    .expect("bind router");
+    let addr = router.local_addr().expect("addr").to_string();
+    let handle = router.shutdown_handle();
+    let router_thread = std::thread::spawn(move || router.run());
+    let client = HttpClient::new(addr.clone());
+    assert!(
+        wait_until(Duration::from_secs(10), || fleet.healthy_count() == 2),
+        "both workers should pass health checks"
+    );
+
+    // One query, one caller-minted sampled trace context: the router
+    // adopts it, its proxy hop re-injects it, and the worker joins it.
+    let keyword = orex_datagen::Preset::DblpTop
+        .generate(0.02)
+        .suggested_keywords
+        .first()
+        .cloned()
+        .expect("keyword");
+    let context = TraceContext {
+        trace: TraceId(0x000F_1EE7_0001),
+        parent: SpanId(42),
+        flags: TraceContext::SAMPLED,
+    };
+    let trace_id = context.trace.0;
+    let header_value = context.header_value();
+    let body = format!("{{\"query\": \"{keyword}\", \"k\": 5, \"dataset\": \"dblp\"}}");
+    let reply = client
+        .request_with_headers(
+            "POST",
+            "/query",
+            &[(TraceContext::HEADER, &header_value)],
+            Some(body.as_bytes()),
+        )
+        .expect("traced query");
+    assert_eq!(reply.status, 200, "{:?}", reply.body_str());
+    assert_eq!(
+        json_body(&reply).get("trace").and_then(Value::as_u64),
+        Some(trace_id),
+        "one id from ingress to worker and back"
+    );
+
+    // The stitched export puts the router and the serving worker in
+    // separate labelled process lanes, one trace across both.
+    let stitched = client
+        .get(&format!("/trace/{trace_id}"))
+        .expect("stitched trace");
+    assert_eq!(stitched.status, 200, "{:?}", stitched.body_str());
+    let doc = json_body(&stitched);
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents");
+    let lanes: Vec<(u64, &str)> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Value::as_str) == Some("M"))
+        .map(|e| {
+            (
+                e.get("pid").and_then(Value::as_u64).expect("pid"),
+                e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Value::as_str)
+                    .expect("lane label"),
+            )
+        })
+        .collect();
+    assert!(
+        lanes
+            .iter()
+            .any(|(pid, l)| *pid == 1 && l.starts_with("router")),
+        "router lane present: {lanes:?}"
+    );
+    assert!(
+        lanes
+            .iter()
+            .any(|(pid, l)| *pid >= 2 && l.starts_with("worker-")),
+        "worker lane present: {lanes:?}"
+    );
+    let span_names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+        .filter_map(|e| e.get("name").and_then(Value::as_str))
+        .collect();
+    for expected in ["router.request", "router.proxy", "server.request"] {
+        assert!(
+            span_names.contains(&expected),
+            "missing {expected}: {span_names:?}"
+        );
+    }
+    // The proxy hop records where and why it forwarded.
+    let proxy_span = events
+        .iter()
+        .find(|e| e.get("name").and_then(Value::as_str) == Some("router.proxy"))
+        .unwrap();
+    let args = proxy_span.get("args").expect("proxy span args");
+    assert!(args.get("worker").is_some(), "{args:?}");
+    assert_eq!(args.get("attempt").and_then(Value::as_u64), Some(1));
+    assert_eq!(args.get("reason").and_then(Value::as_str), Some("route"));
+
+    // Fleet-wide logs filtered to the shared id: every surviving record
+    // carries it, and the worker's access record is among them.
+    let logs = client
+        .get(&format!("/logs?trace={trace_id}"))
+        .expect("trace-filtered logs");
+    assert_eq!(logs.status, 200);
+    let records: Vec<Value> = logs
+        .body_str()
+        .expect("utf8 logs")
+        .lines()
+        .filter(|l| !l.is_empty())
+        .map(|l| serde_json::from_str(l).expect("json record"))
+        .collect();
+    assert!(!records.is_empty(), "the traced request left log records");
+    for v in &records {
+        assert_eq!(
+            v.get("trace").and_then(Value::as_u64),
+            Some(trace_id),
+            "{v:?}"
+        );
+    }
+    assert!(
+        records
+            .iter()
+            .any(|v| v.get("target").and_then(Value::as_str) == Some("server.access")),
+        "worker access record joins the trace: {records:?}"
+    );
+
+    // Unknown ids 404, malformed ids 400.
+    let missing = client.get("/trace/999999999999").expect("missing trace");
+    assert_eq!(missing.status, 404);
+    let bad = client.get("/trace/banana").expect("bad trace id");
+    assert_eq!(bad.status, 400);
+
+    handle.shutdown();
+    router_thread
+        .join()
+        .expect("router thread")
+        .expect("clean router drain");
     for worker in &workers {
         worker.shutdown.shutdown();
     }

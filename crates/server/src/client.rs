@@ -138,19 +138,32 @@ impl HttpClient {
         path: &str,
         body: Option<&[u8]>,
     ) -> io::Result<ClientResponse> {
+        self.request_with_headers(method, path, &[], body)
+    }
+
+    /// [`HttpClient::request`] with extra request headers — how a
+    /// traced hop injects `X-Orex-Trace` (both attempts of a
+    /// stale-connection retry carry the same headers).
+    pub fn request_with_headers(
+        &self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: Option<&[u8]>,
+    ) -> io::Result<ClientResponse> {
         // ORDERING: statistics counters, no synchronization role.
         self.requests.fetch_add(1, Ordering::Relaxed);
         if let Some(conn) = self.pop_idle() {
             // On error the pooled connection was stale (server closed
             // it, or it died mid-exchange); state is gone, retry fresh.
-            if let Ok(response) = self.attempt(conn, method, path, body) {
+            if let Ok(response) = self.attempt(conn, method, path, headers, body) {
                 // ORDERING: statistics counter only.
                 self.reuses.fetch_add(1, Ordering::Relaxed);
                 return Ok(response);
             }
         }
         let conn = self.connect()?;
-        self.attempt(conn, method, path, body)
+        self.attempt(conn, method, path, headers, body)
     }
 
     /// Drops every idle pooled connection (e.g. after the target
@@ -205,10 +218,14 @@ impl HttpClient {
         mut conn: PooledConn,
         method: &str,
         path: &str,
+        headers: &[(&str, &str)],
         body: Option<&[u8]>,
     ) -> io::Result<ClientResponse> {
         use std::fmt::Write as _;
         let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {}\r\n", self.addr);
+        for (name, value) in headers {
+            let _ = write!(head, "{name}: {value}\r\n");
+        }
         if let Some(body) = body {
             let _ = write!(
                 head,

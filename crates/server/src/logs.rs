@@ -48,19 +48,23 @@ impl LogArchive {
 
     /// Archived records passing the filters, oldest first: at most
     /// `level` severity rank (e.g. `Level::Warn` selects WARN and
-    /// ERROR), capture sequence strictly greater than `since`, and when
-    /// `limit` is given only the *newest* `limit` survivors.
+    /// ERROR), capture sequence strictly greater than `since`, records
+    /// stamped with trace id `trace` (records without a trace never
+    /// match), and when `limit` is given only the *newest* `limit`
+    /// survivors.
     pub fn query(
         &self,
         level: Option<Level>,
         since: Option<u64>,
         limit: Option<usize>,
+        trace: Option<u64>,
     ) -> Vec<LogRecord> {
         let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         let mut out: Vec<LogRecord> = inner
             .iter()
             .filter(|r| level.is_none_or(|max| r.level <= max))
             .filter(|r| since.is_none_or(|s| r.seq > s))
+            .filter(|r| trace.is_none_or(|t| r.trace.map(|id| id.0) == Some(t)))
             .cloned()
             .collect();
         if let Some(limit) = limit {
@@ -117,7 +121,7 @@ mod tests {
         archive.absorb(records(&logger, 0, 2));
         archive.absorb(records(&logger, 2, 3));
         assert_eq!(archive.len(), 3);
-        let all = archive.query(None, None, None);
+        let all = archive.query(None, None, None, None);
         let messages: Vec<_> = all.iter().map(|r| r.message.as_str()).collect();
         assert_eq!(messages, ["m2", "m3", "m4"], "last three survive");
         assert!(all.windows(2).all(|w| w[0].seq < w[1].seq));
@@ -134,18 +138,43 @@ mod tests {
         let archive = LogArchive::new(16);
         archive.absorb(logger.drain());
 
-        assert_eq!(archive.query(None, None, None).len(), 4);
-        let severe = archive.query(Some(Level::Warn), None, None);
+        assert_eq!(archive.query(None, None, None, None).len(), 4);
+        let severe = archive.query(Some(Level::Warn), None, None, None);
         assert_eq!(severe.len(), 2);
         assert!(severe.iter().all(|r| r.level <= Level::Warn));
 
-        let first_seq = archive.query(None, None, None)[0].seq;
-        let after = archive.query(None, Some(first_seq), None);
+        let first_seq = archive.query(None, None, None, None)[0].seq;
+        let after = archive.query(None, Some(first_seq), None, None);
         assert_eq!(after.len(), 3, "since is exclusive");
 
-        let newest = archive.query(None, None, Some(2));
+        let newest = archive.query(None, None, Some(2), None);
         assert_eq!(newest.len(), 2);
         assert_eq!(newest[1].message, "detail", "limit keeps the newest");
+    }
+
+    #[test]
+    fn query_filters_by_trace_id() {
+        let logger = Logger::new(64);
+        let tracer = orex_telemetry::tracer();
+        let traced_id;
+        {
+            let span = tracer.span("t.request");
+            traced_id = span.trace_id().map(|t| t.0);
+            logger.info("t", "inside").emit();
+        }
+        logger.info("t", "outside").emit();
+        tracer.drain();
+        let archive = LogArchive::new(16);
+        archive.absorb(logger.drain());
+
+        if let Some(id) = traced_id {
+            let matched = archive.query(None, None, None, Some(id));
+            assert_eq!(matched.len(), 1);
+            assert_eq!(matched[0].message, "inside");
+        }
+        // A trace id nothing was stamped with matches no records —
+        // including the untraced "outside" record.
+        assert!(archive.query(None, None, None, Some(u64::MAX)).is_empty());
     }
 
     #[test]
@@ -153,7 +182,7 @@ mod tests {
         let archive = LogArchive::new(4);
         assert!(archive.is_empty());
         assert!(archive
-            .query(Some(Level::Error), Some(7), Some(1))
+            .query(Some(Level::Error), Some(7), Some(1), None)
             .is_empty());
     }
 
@@ -164,9 +193,11 @@ mod tests {
         assert_eq!(archive.newest_seq(), None);
         archive.absorb(records(&logger, 0, 3));
         let newest = archive.newest_seq().unwrap();
-        let all = archive.query(None, None, None);
+        let all = archive.query(None, None, None, None);
         assert_eq!(newest, all.last().unwrap().seq);
         // A cursor past the newest seq matches nothing.
-        assert!(archive.query(None, Some(newest + 100), None).is_empty());
+        assert!(archive
+            .query(None, Some(newest + 100), None, None)
+            .is_empty());
     }
 }

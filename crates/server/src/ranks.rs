@@ -29,6 +29,18 @@ use std::collections::HashSet;
 use std::sync::mpsc::Sender;
 use std::sync::{Mutex, PoisonError, RwLock};
 
+/// One queued backfill batch: the uncovered terms plus the trace
+/// context of the request that discovered them, so the builder thread's
+/// work shows up as part of that request's (distributed) trace instead
+/// of running untraced.
+pub struct BackfillJob {
+    /// Terms to build vectors for.
+    pub terms: Vec<String>,
+    /// Context of the originating request span, if one was open when
+    /// the miss was queued.
+    pub context: Option<orex_telemetry::TraceContext>,
+}
+
 /// Outcome of consulting the precomputed vectors for a query.
 pub enum CombineOutcome {
     /// Covered: the exact combined score vector.
@@ -50,7 +62,7 @@ pub struct RankStore {
     initial_fingerprint: u64,
     /// Backfill queue to the builder thread; `None` until the server
     /// starts one (or after shutdown).
-    backfill: Mutex<Option<Sender<Vec<String>>>>,
+    backfill: Mutex<Option<Sender<BackfillJob>>>,
     /// Terms already queued, so repeated misses don't re-queue work the
     /// builder hasn't finished yet.
     in_flight: Mutex<HashSet<String>>,
@@ -161,7 +173,7 @@ impl RankStore {
 
     /// Hands the backfill queue to the store. The server calls this when
     /// it spawns the builder thread.
-    pub fn set_backfill_sender(&self, sender: Sender<Vec<String>>) {
+    pub fn set_backfill_sender(&self, sender: Sender<BackfillJob>) {
         *self.backfill.lock().unwrap_or_else(PoisonError::into_inner) = Some(sender);
     }
 
@@ -174,8 +186,10 @@ impl RankStore {
             .take();
     }
 
-    /// Queues uncovered terms for background building. Terms already in
-    /// flight are skipped; returns how many were newly queued.
+    /// Queues uncovered terms for background building, capturing the
+    /// calling thread's trace context so the builder's span joins the
+    /// originating request's trace. Terms already in flight are
+    /// skipped; returns how many were newly queued.
     pub fn request_backfill(&self, terms: Vec<String>) -> usize {
         let telemetry = orex_telemetry::global();
         let mut in_flight = self
@@ -197,7 +211,11 @@ impl RankStore {
         for t in &fresh {
             in_flight.insert(t.clone());
         }
-        if sender.send(fresh).is_err() {
+        let job = BackfillJob {
+            terms: fresh,
+            context: orex_telemetry::tracer().current_context(),
+        };
+        if sender.send(job).is_err() {
             // Builder already gone; nothing will be built.
             return 0;
         }
@@ -361,7 +379,7 @@ mod tests {
             2
         );
         assert_eq!(store.request_backfill(vec!["alpha".into()]), 0, "in flight");
-        assert_eq!(rx.try_recv().unwrap().len(), 2);
+        assert_eq!(rx.try_recv().unwrap().terms.len(), 2);
         store.clear_in_flight(&["alpha".to_string()]);
         assert_eq!(store.request_backfill(vec!["alpha".into()]), 1);
         store.close_backfill();

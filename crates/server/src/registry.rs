@@ -460,7 +460,7 @@ impl SystemRegistry {
         if !self.backfill || service.ranks.precomputed_terms() == 0 {
             return;
         }
-        let (tx, rx) = std::sync::mpsc::channel::<Vec<String>>();
+        let (tx, rx) = std::sync::mpsc::channel::<crate::ranks::BackfillJob>();
         service.ranks.set_backfill_sender(tx);
         let service = Arc::clone(service);
         let spawned = std::thread::Builder::new()
@@ -499,11 +499,24 @@ impl SystemRegistry {
 /// through the batched kernel (global warm start, same parameters as the
 /// offline build) and installs the finished vectors. Exits when every
 /// sender is dropped (server shutdown).
-fn backfill_loop(service: &DatasetService, rx: std::sync::mpsc::Receiver<Vec<String>>) {
+fn backfill_loop(
+    service: &DatasetService,
+    rx: std::sync::mpsc::Receiver<crate::ranks::BackfillJob>,
+) {
     let system = service.system();
     let scorer = &system.config().okapi;
     let params = system.config().rank;
-    while let Ok(terms) = rx.recv() {
+    while let Ok(job) = rx.recv() {
+        let terms = job.terms;
+        // The builder's work joins the trace of the request that queued
+        // it (a remote-parent root on this thread), so a fleet trace
+        // shows the deferred backfill a miss triggered, not just the
+        // miss itself.
+        let mut tspan = orex_telemetry::tracer().span_with_context("server.backfill", job.context);
+        if tspan.is_recording() {
+            tspan.attr_str("reason", "precompute_miss");
+            tspan.attr_u64("terms", terms.len() as u64);
+        }
         let _span = orex_telemetry::global().span("server.backfill_us");
         let matrix =
             orex_authority::TransitionMatrix::new(system.transfer(), system.initial_rates());
@@ -536,6 +549,7 @@ fn backfill_loop(service: &DatasetService, rx: std::sync::mpsc::Receiver<Vec<Str
             .info("server.backfill", "backfilled precomputed vectors")
             .field_str("dataset", service.name())
             .field_u64("terms", built.len() as u64)
+            .field_bool("backfill", true)
             .emit();
         service.ranks().insert_backfilled(built);
     }

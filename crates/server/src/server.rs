@@ -595,17 +595,25 @@ fn connection_pass(mut conn: Conn, state: Arc<ServerState>, handle: PoolHandle) 
 /// Routes one parsed request and produces its response plus the sampled
 /// trace id (for histogram exemplars), emitting the access log inside
 /// the request span.
+///
+/// A request carrying `X-Orex-Trace` joins the caller's trace instead
+/// of minting one: the request span becomes a remote-parent root and
+/// the propagated flags byte overrides the local sampling draw — the
+/// ingress edge of the fleet decides, every hop behind it obeys.
 fn handle_request(
     request: &Request,
     state: &Arc<ServerState>,
     start: Instant,
 ) -> (Response, Option<u64>) {
     let tracer = orex_telemetry::tracer();
+    let context = request
+        .header(orex_telemetry::TraceContext::HEADER)
+        .and_then(orex_telemetry::TraceContext::parse);
     // Root span of this request's trace; handler spans nest under it.
     // Dropped before the ring is drained below so the archive sees the
     // complete trace.
     let (response, sampled_trace) = {
-        let mut span = tracer.span("server.request");
+        let mut span = tracer.span_with_context("server.request", context);
         if span.is_recording() {
             span.attr_str("method", &request.method);
             span.attr_str("path", &request.path);
@@ -623,6 +631,16 @@ fn handle_request(
         (response, sampled_trace)
     };
     state.traces.absorb(tracer.drain());
+    // Slow-trace promotions ride back to the ingress edge on the
+    // response so the router can retro-fetch sibling spans fleet-wide
+    // before they evict.
+    let promoted = tracer.take_promoted();
+    let response = if promoted.is_empty() {
+        response
+    } else {
+        let ids: Vec<String> = promoted.iter().map(u64::to_string).collect();
+        response.with_header("X-Orex-Promoted", ids.join(","))
+    };
     (response, sampled_trace)
 }
 
@@ -725,7 +743,13 @@ fn route(
         .filter(|s| !s.is_empty())
         .collect();
     match (request.method.as_str(), segments.as_slice()) {
-        ("GET", ["healthz"]) => Response::text(200, "ok\n"),
+        // The clock header carries this process's tracer time so an
+        // ingress probe can estimate cross-process clock offsets for
+        // stitched trace alignment.
+        ("GET", ["healthz"]) => Response::text(200, "ok\n").with_header(
+            "X-Orex-Clock",
+            orex_telemetry::tracer().now_ns().to_string(),
+        ),
         ("GET", ["metrics"]) => {
             let _span = orex_telemetry::global().span("server.metrics_us");
             Response::text(200, orex_telemetry::global().snapshot().to_prometheus())
@@ -738,7 +762,7 @@ fn route(
         ("POST", ["feedback", sid]) => {
             respond("feedback", handle_feedback(request, state, sid, flags))
         }
-        ("GET", ["trace", id]) => respond("trace", handle_trace(state, id)),
+        ("GET", ["trace", id]) => respond("trace", handle_trace(state, id, query)),
         ("GET", ["logs"]) => respond("logs", handle_logs(state, query)),
         ("GET", ["profile"]) => respond("profile", handle_profile(query)),
         ("GET", ["debug", "status"]) => respond("status", handle_status(state, query)),
@@ -1028,7 +1052,11 @@ fn handle_feedback(
     ))
 }
 
-fn handle_trace(state: &ServerState, id: &str) -> Result<Response, ServerError> {
+/// `GET /trace/<id>[?format=chrome|wire]`: one archived trace, as a
+/// Chrome trace-event JSON document (the default, for humans) or in the
+/// line-oriented wire format (for a stitching ingress edge assembling a
+/// fleet-wide view).
+fn handle_trace(state: &ServerState, id: &str, query: &str) -> Result<Response, ServerError> {
     let telemetry = orex_telemetry::global();
     let _span = telemetry.span("server.trace_us");
     telemetry.counter("server.trace_requests").incr();
@@ -1037,10 +1065,31 @@ fn handle_trace(state: &ServerState, id: &str) -> Result<Response, ServerError> 
             "trace id must be an integer".into(),
         ));
     };
+    let mut wire = false;
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        match key {
+            "format" => match value {
+                "chrome" => wire = false,
+                "wire" => wire = true,
+                _ => {
+                    return Err(ServerError::BadRequest(
+                        "format must be chrome or wire".into(),
+                    ));
+                }
+            },
+            other => {
+                return Err(ServerError::BadRequest(format!(
+                    "unknown query parameter {other:?} (expected format)"
+                )));
+            }
+        }
+    }
     // The requested trace may still sit in the ring (e.g. traced by
     // another worker that hasn't drained yet): absorb before lookup.
     state.traces.absorb(orex_telemetry::tracer().drain());
     match state.traces.get(id) {
+        Some(spans) if wire => Ok(Response::text(200, orex_telemetry::export::to_wire(&spans))),
         Some(spans) => Ok(Response::json(
             200,
             orex_telemetry::export::to_chrome_trace(&spans),
@@ -1049,10 +1098,12 @@ fn handle_trace(state: &ServerState, id: &str) -> Result<Response, ServerError> 
     }
 }
 
-/// `GET /logs?level=&since=&limit=`: tails the captured log ring as
-/// JSON-lines. `level` keeps records at that severity or worse, `since`
-/// keeps records with a capture sequence strictly greater (the `seq`
-/// field of each served line, for polling), `limit` keeps the newest N.
+/// `GET /logs?level=&since=&limit=&trace=`: tails the captured log ring
+/// as JSON-lines. `level` keeps records at that severity or worse,
+/// `since` keeps records with a capture sequence strictly greater (the
+/// `seq` field of each served line, for polling), `limit` keeps the
+/// newest N, `trace` keeps records stamped with that trace id — the
+/// logs leg of metrics → trace → logs correlation.
 fn handle_logs(state: &ServerState, query: &str) -> Result<Response, ServerError> {
     let telemetry = orex_telemetry::global();
     let _span = telemetry.span("server.logs_us");
@@ -1060,6 +1111,7 @@ fn handle_logs(state: &ServerState, query: &str) -> Result<Response, ServerError
     let mut level = None;
     let mut since = None;
     let mut limit = None;
+    let mut trace = None;
     for pair in query.split('&').filter(|p| !p.is_empty()) {
         let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
         match key {
@@ -1074,9 +1126,14 @@ fn handle_logs(state: &ServerState, query: &str) -> Result<Response, ServerError
                     ServerError::BadRequest("limit must be an unsigned integer".into())
                 })?);
             }
+            "trace" => {
+                trace = Some(value.parse::<u64>().map_err(|_| {
+                    ServerError::BadRequest("trace must be an unsigned integer".into())
+                })?);
+            }
             other => {
                 return Err(ServerError::BadRequest(format!(
-                    "unknown query parameter {other:?} (expected level|since|limit)"
+                    "unknown query parameter {other:?} (expected level|since|limit|trace)"
                 )));
             }
         }
@@ -1093,7 +1150,7 @@ fn handle_logs(state: &ServerState, query: &str) -> Result<Response, ServerError
     let newest = state.logs.newest_seq().unwrap_or(0);
     let records = match since {
         Some(s) if s > newest => Vec::new(),
-        _ => state.logs.query(level, since, limit),
+        _ => state.logs.query(level, since, limit, trace),
     };
     Ok(Response::new(
         200,
@@ -1196,7 +1253,7 @@ fn handle_status(state: &ServerState, query: &str) -> Result<Response, ServerErr
         precompute_terms,
         traces: state.traces.len(),
         logs: state.logs.len(),
-        recent_errors: state.logs.query(Some(Level::Error), None, None).len(),
+        recent_errors: state.logs.query(Some(Level::Error), None, None, None).len(),
     };
     Ok(if json {
         Response::json(200, state.status.render_json(occupancy))

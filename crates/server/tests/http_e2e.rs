@@ -960,6 +960,173 @@ fn request_histogram_exemplars_resolve_to_served_traces() {
     );
 }
 
+/// POST with an `X-Orex-Trace` header attached — the cross-process
+/// propagation path a router (or loadgen) exercises.
+fn post_traced(addr: SocketAddr, path: &str, body: &str, context: &str) -> Reply {
+    raw(
+        addr,
+        format!(
+            "POST {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nX-Orex-Trace: {context}\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+}
+
+#[test]
+fn propagated_trace_context_is_adopted_and_controls_sampling() {
+    use orex_telemetry::{SpanId, TraceContext, TraceId};
+    let _guard = serial();
+    let (_, keyword) = fixture();
+    let tracer = orex_telemetry::tracer();
+    if !tracer.is_enabled() {
+        return;
+    }
+    let server = TestServer::spawn_default();
+    let query_body = format!("{{\"query\": \"{keyword}\"}}");
+
+    // Health probes advertise the worker clock for skew alignment.
+    let health = get(server.addr, "/healthz");
+    assert_eq!(health.status, 200);
+    let clock: u64 = health
+        .header("X-Orex-Clock")
+        .expect("healthz carries the worker clock")
+        .parse()
+        .expect("clock is nanoseconds");
+    let later: u64 = get(server.addr, "/healthz")
+        .header("X-Orex-Clock")
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(later >= clock, "the advertised clock is monotonic");
+
+    // A sampled remote context: the server joins the caller's trace
+    // instead of minting one.
+    let sampled = TraceContext {
+        trace: TraceId(0xABCD_1234),
+        parent: SpanId(0x99),
+        flags: TraceContext::SAMPLED,
+    };
+    let reply = post_traced(server.addr, "/query", &query_body, &sampled.header_value());
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    assert_eq!(
+        reply.json().get("trace").and_then(Value::as_u64),
+        Some(0xABCD_1234),
+        "response reports the propagated trace id"
+    );
+    // The archive serves it in both renderings, and the root span's
+    // parent is the caller's span id — stitchable across processes.
+    let chrome = get(server.addr, "/trace/2882343476");
+    assert_eq!(chrome.status, 200, "{}", chrome.body);
+    assert!(chrome.body.contains("server.request"), "{}", chrome.body);
+    let wire = get(server.addr, "/trace/2882343476?format=wire");
+    assert_eq!(wire.status, 200, "{}", wire.body);
+    for line in wire.body.lines().filter(|l| !l.is_empty()) {
+        assert!(line.starts_with("2882343476\t"), "foreign span in {line:?}");
+    }
+    assert!(
+        wire.body.lines().any(|l| {
+            let mut f = l.split('\t');
+            f.next();
+            f.next();
+            f.next() == Some("153") // 0x99: the remote parent
+        }),
+        "root span links to the remote parent:\n{}",
+        wire.body
+    );
+    // Log records stamped with the shared id filter by ?trace=.
+    let logs = get(server.addr, "/logs?trace=2882343476");
+    assert_eq!(logs.status, 200);
+    let records: Vec<Value> = logs
+        .body
+        .lines()
+        .filter(|l| !l.is_empty())
+        .map(|l| serde_json::from_str(l).unwrap())
+        .collect();
+    assert!(!records.is_empty(), "the access record carries the trace");
+    for v in &records {
+        assert_eq!(v.get("trace").and_then(Value::as_u64), Some(2_882_343_476));
+    }
+
+    // An explicitly-unsampled context (flags 00) overrides the local
+    // record-everything default: nothing reaches the archive.
+    let unsampled = TraceContext {
+        trace: TraceId(0xBEEF_0001),
+        parent: SpanId(7),
+        flags: 0,
+    };
+    let reply = post_traced(
+        server.addr,
+        "/query",
+        &query_body,
+        &unsampled.header_value(),
+    );
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    assert!(
+        reply.header("X-Orex-Promoted").is_none(),
+        "nothing is slow, nothing promotes"
+    );
+    assert_eq!(
+        get(server.addr, &format!("/trace/{}", 0xBEEF_0001u64)).status,
+        404,
+        "the propagated unsampled decision wins over the local draw"
+    );
+
+    // With a zero slow threshold every trace is "slow": a promotable
+    // unsampled trace is promoted and reported on the response, but a
+    // NO_PROMOTE one must never be resurrected.
+    tracer.set_slow_threshold(Some(Duration::ZERO));
+    let no_promote = TraceContext {
+        trace: TraceId(0xBEEF_0002),
+        parent: SpanId(7),
+        flags: TraceContext::NO_PROMOTE,
+    };
+    let reply = post_traced(
+        server.addr,
+        "/query",
+        &query_body,
+        &no_promote.header_value(),
+    );
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    assert!(
+        reply.header("X-Orex-Promoted").is_none(),
+        "NO_PROMOTE suppresses slow promotion"
+    );
+    assert_eq!(
+        get(server.addr, &format!("/trace/{}", 0xBEEF_0002u64)).status,
+        404,
+        "NO_PROMOTE trace stays out of the archive"
+    );
+
+    let promotable = TraceContext {
+        trace: TraceId(0xBEEF_0003),
+        parent: SpanId(7),
+        flags: 0,
+    };
+    let reply = post_traced(
+        server.addr,
+        "/query",
+        &query_body,
+        &promotable.header_value(),
+    );
+    tracer.set_slow_threshold(None);
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let promoted = reply
+        .header("X-Orex-Promoted")
+        .expect("slow unsampled trace reports its promotion");
+    assert!(
+        promoted
+            .split(',')
+            .any(|id| id.parse::<u64>() == Ok(0xBEEF_0003)),
+        "promoted header {promoted:?} carries the trace id"
+    );
+    assert_eq!(
+        get(server.addr, &format!("/trace/{}", 0xBEEF_0003u64)).status,
+        200,
+        "promoted trace is served from the archive"
+    );
+}
+
 #[test]
 fn keep_alive_connections_are_reused_across_requests() {
     let _guard = serial();

@@ -38,7 +38,9 @@ pub mod trace;
 pub use log::{logger, FieldValue, Level, LogFilter, LogRecord, Logger, RateLimit, RecordBuilder};
 pub use profile::{profiler, profiler_at, HotSpan, ProfileSnapshot, Profiler};
 pub use slo::{default_slos, SloKind, SloSpec, SloStatus, SloTracker, SloWindows};
-pub use trace::{tracer, ActiveSpan, AttrValue, SpanId, SpanRecord, TraceEvent, TraceId, Tracer};
+pub use trace::{
+    tracer, ActiveSpan, AttrValue, SpanId, SpanRecord, TraceContext, TraceEvent, TraceId, Tracer,
+};
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;

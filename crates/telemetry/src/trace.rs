@@ -40,6 +40,81 @@ pub struct TraceId(pub u64);
 #[derive(Clone, Copy, Debug, Eq, Hash, Ord, PartialEq, PartialOrd)]
 pub struct SpanId(pub u64);
 
+/// Distributed trace context carried across process boundaries in the
+/// `X-Orex-Trace` header, W3C-traceparent style:
+/// `<trace:016x>-<parent_span:016x>-<flags:02x>`.
+///
+/// The flags byte carries the ingress edge's sampling decision so every
+/// process in the request path agrees on it:
+///
+/// - [`TraceContext::SAMPLED`] (0x01): the trace won the sampling draw
+///   at the ingress edge; every hop records unconditionally, overriding
+///   its local 1-in-N draw.
+/// - [`TraceContext::NO_PROMOTE`] (0x02): the trace is *explicitly*
+///   unsampled — a slow span downstream must not resurrect it via the
+///   slow-trace promotion path.
+/// - neither bit: unsampled but promotable — a hop whose root crosses
+///   its slow threshold promotes the trace and reports the id (see
+///   [`Tracer::take_promoted`]) so the ingress edge can retro-fetch
+///   sibling spans.
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+pub struct TraceContext {
+    /// Trace the remote caller is inside.
+    pub trace: TraceId,
+    /// The caller's span, adopted as the local root's parent.
+    pub parent: SpanId,
+    /// Sampling flags; see the type docs.
+    pub flags: u8,
+}
+
+impl TraceContext {
+    /// Header name the context travels in (lower-cased, the form header
+    /// lookups use).
+    pub const HEADER: &'static str = "x-orex-trace";
+    /// Flags bit: the ingress edge sampled this trace.
+    pub const SAMPLED: u8 = 0x01;
+    /// Flags bit: explicitly unsampled; slow-trace promotion is
+    /// suppressed fleet-wide.
+    pub const NO_PROMOTE: u8 = 0x02;
+
+    /// Whether the ingress edge sampled this trace.
+    pub fn sampled(&self) -> bool {
+        self.flags & Self::SAMPLED != 0
+    }
+
+    /// Whether slow-trace promotion is suppressed for this trace.
+    pub fn no_promote(&self) -> bool {
+        self.flags & Self::NO_PROMOTE != 0
+    }
+
+    /// Parses a header value of the form
+    /// `<trace:016x>-<parent:016x>-<flags:02x>`. Unknown flag bits are
+    /// preserved; a zero trace id (no trace) and malformed input parse
+    /// as `None`.
+    pub fn parse(value: &str) -> Option<Self> {
+        let mut parts = value.trim().splitn(3, '-');
+        let trace = u64::from_str_radix(parts.next()?, 16).ok()?;
+        let parent = u64::from_str_radix(parts.next()?, 16).ok()?;
+        let flags = u8::from_str_radix(parts.next()?, 16).ok()?;
+        if trace == 0 {
+            return None;
+        }
+        Some(Self {
+            trace: TraceId(trace),
+            parent: SpanId(parent),
+            flags,
+        })
+    }
+
+    /// Renders the header value [`TraceContext::parse`] reads.
+    pub fn header_value(&self) -> String {
+        format!(
+            "{:016x}-{:016x}-{:02x}",
+            self.trace.0, self.parent.0, self.flags
+        )
+    }
+}
+
 /// A typed span attribute value.
 #[derive(Clone, Debug, PartialEq)]
 pub enum AttrValue {
@@ -120,11 +195,51 @@ struct Sampling {
     /// Completed spans of still-open *unsampled* traces, keyed by trace
     /// id and held until their root decides promote-or-discard.
     pending: Mutex<HashMap<u64, Vec<SpanRecord>>>,
+    /// Trace ids promoted by the slow threshold since the last
+    /// [`Tracer::take_promoted`] — how a worker tells its ingress edge
+    /// to retro-fetch sibling spans before they evict.
+    promoted: Mutex<Vec<u64>>,
 }
 
 /// At most this many unsampled traces buffer pending spans at once —
 /// a leak guard, since well-formed traces drain when their root drops.
 const MAX_PENDING_TRACES: usize = 256;
+
+/// At most this many promoted trace ids queue for reporting; beyond it
+/// the oldest unreported id is dropped (the trace stays in the ring).
+const MAX_PROMOTED_IDS: usize = 64;
+
+/// Entropy-derived base for trace ids, so independently started
+/// processes (router and each worker) almost surely mint from disjoint
+/// ranges — a fleet stitches traces by id, and two processes both
+/// counting up from 1 would collide on every query. SplitMix64 over the
+/// process id and the wall clock; deterministic under miri, which
+/// isolates the clock.
+fn trace_id_seed() -> u64 {
+    #[cfg(miri)]
+    {
+        1
+    }
+    #[cfg(not(miri))]
+    {
+        static SEED_SALT: AtomicU64 = AtomicU64::new(0);
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_nanos() as u64);
+        // ORDERING: Relaxed — pure salt allocation; only uniqueness matters.
+        let salt = SEED_SALT.fetch_add(1, Ordering::Relaxed);
+        let mut x = nanos
+            ^ (u64::from(std::process::id()) << 32)
+            ^ salt.wrapping_mul(0xA076_1D64_78BD_642F);
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        // Nonzero: TraceContext::parse treats trace id 0 as "no trace".
+        (x ^ (x >> 31)) | 1
+    }
+}
 
 struct TracerInner {
     /// Distinguishes tracers on the shared thread-local span stack.
@@ -154,6 +269,9 @@ struct StackEntry {
     /// Whether this trace won the 1-in-N sampling draw (children
     /// inherit the root's decision).
     sampled: bool,
+    /// Whether slow-trace promotion is suppressed for this trace
+    /// (propagated from an explicitly-unsampled remote context).
+    no_promote: bool,
 }
 
 thread_local! {
@@ -191,7 +309,7 @@ impl Tracer {
                 // ORDERING: Relaxed — pure id allocation.
                 id: NEXT_TRACER_ID.fetch_add(1, Ordering::Relaxed),
                 epoch: Instant::now(),
-                next_trace: AtomicU64::new(1),
+                next_trace: AtomicU64::new(trace_id_seed()),
                 next_span: AtomicU64::new(1),
                 ring: Ring::new(capacity),
                 sampling: Sampling {
@@ -199,6 +317,7 @@ impl Tracer {
                     slow_ns: AtomicU64::new(u64::MAX),
                     roots: AtomicU64::new(0),
                     pending: Mutex::new(HashMap::new()),
+                    promoted: Mutex::new(Vec::new()),
                 },
             })),
         }
@@ -269,6 +388,28 @@ impl Tracer {
     /// otherwise it becomes the root of a freshly minted trace. The span
     /// closes (and its record enters the ring) when the guard drops.
     pub fn span(&self, name: &'static str) -> ActiveSpan {
+        self.open(name, None)
+    }
+
+    /// Opens a span under a remote trace context (the server's request
+    /// path adopting an incoming `X-Orex-Trace` header). With
+    /// `Some(context)` the span becomes a *remote-parent root*: it joins
+    /// the caller's trace, records the caller's span as its parent, and
+    /// takes the propagated sampling decision instead of drawing
+    /// locally — but it still runs the root-side promote-or-discard
+    /// decision when it closes, so an unsampled-but-promotable remote
+    /// trace whose local work is slow gets promoted (and reported, see
+    /// [`Tracer::take_promoted`]) while a [`TraceContext::NO_PROMOTE`]
+    /// one never is. With `None` this is exactly [`Tracer::span`].
+    pub fn span_with_context(
+        &self,
+        name: &'static str,
+        context: Option<TraceContext>,
+    ) -> ActiveSpan {
+        self.open(name, context)
+    }
+
+    fn open(&self, name: &'static str, context: Option<TraceContext>) -> ActiveSpan {
         let Some(inner) = &self.inner else {
             return ActiveSpan {
                 inner: None,
@@ -277,14 +418,30 @@ impl Tracer {
         };
         // ORDERING: Relaxed — pure id allocation; only uniqueness matters.
         let id = SpanId(inner.next_span.fetch_add(1, Ordering::Relaxed));
-        let (trace, parent, sampled) = SPAN_STACK.with(|s| {
+        let (trace, parent, sampled, no_promote, root) = SPAN_STACK.with(|s| {
             let mut stack = s.borrow_mut();
-            let inherited = stack
-                .iter()
-                .rev()
-                .find(|e| e.tracer == inner.id)
-                .map(|e| (TraceId(e.trace), Some(SpanId(e.span)), e.sampled));
-            let (trace, parent, sampled) = inherited.unwrap_or_else(|| {
+            // A remote context wins over local nesting: it only arrives
+            // at ingress points where no local span is open, and the
+            // propagated decision must not be re-drawn.
+            let decided = match context {
+                Some(ctx) => Some((
+                    ctx.trace,
+                    Some(ctx.parent),
+                    ctx.sampled(),
+                    ctx.no_promote(),
+                    true,
+                )),
+                None => stack.iter().rev().find(|e| e.tracer == inner.id).map(|e| {
+                    (
+                        TraceId(e.trace),
+                        Some(SpanId(e.span)),
+                        e.sampled,
+                        e.no_promote,
+                        false,
+                    )
+                }),
+            };
+            let (trace, parent, sampled, no_promote, root) = decided.unwrap_or_else(|| {
                 // Acquire pairs with the Release store in
                 // `set_sample_every`: a root that sees the new rate also
                 // sees every config write that preceded it.
@@ -295,6 +452,8 @@ impl Tracer {
                     TraceId(inner.next_trace.fetch_add(1, Ordering::Relaxed)), // ORDERING: Relaxed — pure id allocation.
                     None,
                     sampled,
+                    false,
+                    true,
                 )
             });
             stack.push(StackEntry {
@@ -303,9 +462,10 @@ impl Tracer {
                 span: id.0,
                 name,
                 sampled,
+                no_promote,
             });
             crate::profile::mirror(stack.iter().map(|e| e.name));
-            (trace, parent, sampled)
+            (trace, parent, sampled, no_promote, root)
         });
         let record = SpanRecord {
             trace,
@@ -324,6 +484,8 @@ impl Tracer {
                 tracer: Arc::clone(inner),
                 record,
                 sampled,
+                no_promote,
+                root,
             })),
             _not_send: PhantomData,
         }
@@ -335,6 +497,32 @@ impl Tracer {
         self.inner
             .as_ref()
             .map_or_else(Vec::new, |i| i.ring.drain())
+    }
+
+    /// Nanoseconds since this tracer's epoch — the clock every span's
+    /// `start_ns`/`end_ns` is stamped with. Exposed so processes can
+    /// exchange clock readings (`X-Orex-Clock` on health probes) and a
+    /// stitching ingress can align per-process span timestamps. 0 when
+    /// disabled.
+    pub fn now_ns(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.now_ns())
+    }
+
+    /// Removes and returns the trace ids promoted by the slow threshold
+    /// since the last call. A worker surfaces these to its ingress edge
+    /// (the `X-Orex-Promoted` response header) so the router can
+    /// retro-fetch the sibling spans of a fleet-promoted trace before
+    /// they evict.
+    pub fn take_promoted(&self) -> Vec<u64> {
+        self.inner.as_ref().map_or_else(Vec::new, |i| {
+            std::mem::take(
+                &mut *i
+                    .sampling
+                    .promoted
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner),
+            )
+        })
     }
 
     /// The innermost span of this tracer still open on the current
@@ -367,6 +555,32 @@ impl Tracer {
                 .and_then(|e| e.sampled.then_some(TraceId(e.trace)))
         })
     }
+
+    /// The current thread's innermost open span of this tracer as a
+    /// propagation context — what an outbound hop, or a job handed off
+    /// to a background thread, should carry so remote (or deferred)
+    /// spans join this trace. `None` when no span is open here or the
+    /// tracer is disabled.
+    pub fn current_context(&self) -> Option<TraceContext> {
+        let inner = self.inner.as_ref()?;
+        SPAN_STACK.with(|s| {
+            s.borrow()
+                .iter()
+                .rev()
+                .find(|e| e.tracer == inner.id)
+                .map(|e| TraceContext {
+                    trace: TraceId(e.trace),
+                    parent: SpanId(e.span),
+                    flags: if e.sampled {
+                        TraceContext::SAMPLED
+                    } else if e.no_promote {
+                        TraceContext::NO_PROMOTE
+                    } else {
+                        0
+                    },
+                })
+        })
+    }
 }
 
 /// Logical id of the current thread (the same small dense integers
@@ -379,6 +593,14 @@ struct ActiveInner {
     tracer: Arc<TracerInner>,
     record: SpanRecord,
     sampled: bool,
+    /// Slow-trace promotion suppressed (explicitly-unsampled context).
+    no_promote: bool,
+    /// Whether this span runs the root-side promote-or-discard decision
+    /// on drop. Local roots have no parent; a *remote-parent* root has
+    /// `record.parent == Some(remote span)` yet is still the outermost
+    /// span of this process's part of the trace, so `parent.is_some()`
+    /// cannot distinguish the two.
+    root: bool,
 }
 
 /// Guard for an open span; see [`Tracer::span`]. Dropping it stamps the
@@ -409,6 +631,25 @@ impl ActiveSpan {
     /// exposing as an exemplar.
     pub fn is_sampled(&self) -> bool {
         self.inner.as_ref().is_some_and(|i| i.sampled)
+    }
+
+    /// The trace context a downstream hop should adopt: this trace,
+    /// this span as the remote parent, and the trace's sampling
+    /// decision in the flags byte. Inject it as the `X-Orex-Trace`
+    /// header ([`TraceContext::HEADER`]) on outbound requests. `None`
+    /// when the tracer is disabled.
+    pub fn context(&self) -> Option<TraceContext> {
+        self.inner.as_ref().map(|i| TraceContext {
+            trace: i.record.trace,
+            parent: i.record.id,
+            flags: if i.sampled {
+                TraceContext::SAMPLED
+            } else if i.no_promote {
+                TraceContext::NO_PROMOTE
+            } else {
+                0
+            },
+        })
     }
 
     /// Attaches an unsigned-integer attribute.
@@ -458,6 +699,8 @@ impl Drop for ActiveSpan {
             tracer,
             mut record,
             sampled,
+            no_promote,
+            root,
         } = *inner;
         record.end_ns = tracer.now_ns();
         SPAN_STACK.with(|s| {
@@ -477,7 +720,7 @@ impl Drop for ActiveSpan {
             tracer.ring.push(Box::new(record));
             return;
         }
-        if record.parent.is_some() {
+        if !root {
             // Unsampled child: hold it until the root decides whether
             // the trace is promoted (slow) or discarded. A poisoned
             // lock is recovered — every mutation of the pending map
@@ -498,8 +741,10 @@ impl Drop for ActiveSpan {
             }
             return;
         }
-        // Unsampled root: the trace is complete. Promote everything if
-        // the root crossed the slow threshold, otherwise drop it all.
+        // Unsampled root (local or remote-parent): this process's part
+        // of the trace is complete. Promote everything if the root
+        // crossed the slow threshold — unless the context explicitly
+        // forbids promotion — otherwise drop it all.
         let buffered = tracer
             .sampling
             .pending
@@ -507,11 +752,23 @@ impl Drop for ActiveSpan {
             .unwrap_or_else(PoisonError::into_inner) // recovered: see above, Drop must not panic
             .remove(&record.trace.0);
         // Acquire pairs with the Release store in `set_slow_threshold`.
-        if record.duration_ns() >= tracer.sampling.slow_ns.load(Ordering::Acquire) {
+        if !no_promote && record.duration_ns() >= tracer.sampling.slow_ns.load(Ordering::Acquire) {
+            let trace = record.trace.0;
             for span in buffered.into_iter().flatten() {
                 tracer.ring.push(Box::new(span));
             }
             tracer.ring.push(Box::new(record));
+            // Queue the id for take_promoted so the ingress edge learns
+            // a slow trace was locally promoted. Recovered poison: see
+            // above, Drop must not panic.
+            let mut promoted = tracer
+                .sampling
+                .promoted
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if promoted.len() < MAX_PROMOTED_IDS {
+                promoted.push(trace);
+            }
         }
     }
 }
@@ -716,6 +973,221 @@ mod tests {
             drop(t.span("root"));
         }
         assert_eq!(t.drain().len(), 5);
+    }
+
+    #[test]
+    fn context_header_roundtrips() {
+        let ctx = TraceContext {
+            trace: TraceId(0xDEAD_BEEF_1234_5678),
+            parent: SpanId(42),
+            flags: TraceContext::SAMPLED,
+        };
+        let value = ctx.header_value();
+        assert_eq!(value, "deadbeef12345678-000000000000002a-01");
+        assert_eq!(TraceContext::parse(&value), Some(ctx));
+        assert!(ctx.sampled());
+        assert!(!ctx.no_promote());
+        let unsampled = TraceContext {
+            flags: TraceContext::NO_PROMOTE,
+            ..ctx
+        };
+        let parsed = TraceContext::parse(&unsampled.header_value()).unwrap();
+        assert!(!parsed.sampled());
+        assert!(parsed.no_promote());
+    }
+
+    #[test]
+    fn context_parse_rejects_malformed() {
+        for bad in [
+            "",
+            "nothex-0000000000000001-01",
+            "0000000000000001-nothex-01",
+            "0000000000000001-0000000000000002-zz",
+            "0000000000000001-0000000000000002",
+            "0000000000000000-0000000000000002-01", // zero trace id
+            "00000000000000010000000000000002-01",
+        ] {
+            assert!(TraceContext::parse(bad).is_none(), "{bad:?} must not parse");
+        }
+        // Whitespace around a well-formed value is tolerated (header
+        // values arrive trimmed, but be safe).
+        assert!(TraceContext::parse(" 0000000000000001-0000000000000002-00 ").is_some());
+    }
+
+    #[test]
+    fn remote_context_adopts_trace_and_parent() {
+        let t = Tracer::new(16);
+        let ctx = TraceContext {
+            trace: TraceId(777),
+            parent: SpanId(12),
+            flags: TraceContext::SAMPLED,
+        };
+        {
+            let root = t.span_with_context("server.request", Some(ctx));
+            assert_eq!(root.trace_id(), Some(TraceId(777)));
+            assert!(root.is_sampled());
+            drop(t.span("child"));
+        }
+        let records = t.drain();
+        assert_eq!(records.len(), 2);
+        let root = records.iter().find(|r| r.name == "server.request").unwrap();
+        let child = records.iter().find(|r| r.name == "child").unwrap();
+        assert_eq!(root.trace, TraceId(777));
+        assert_eq!(root.parent, Some(SpanId(12)), "remote parent preserved");
+        assert_eq!(child.trace, TraceId(777));
+        assert_eq!(child.parent, Some(root.id));
+    }
+
+    #[test]
+    fn span_with_context_none_is_a_plain_span() {
+        let t = Tracer::new(16);
+        drop(t.span_with_context("root", None));
+        let records = t.drain();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].parent, None);
+    }
+
+    #[test]
+    fn propagated_sampled_flag_overrides_local_draw() {
+        let t = Tracer::new(64);
+        t.set_sample_every(u64::MAX);
+        drop(t.span("winner")); // consume draw 0: every later local root loses
+        drop(t.span("local.loser"));
+        let ctx = TraceContext {
+            trace: TraceId(5000),
+            parent: SpanId(1),
+            flags: TraceContext::SAMPLED,
+        };
+        {
+            let _root = t.span_with_context("remote.request", Some(ctx));
+            drop(t.span("remote.child"));
+        }
+        let names: Vec<_> = t.drain().iter().map(|r| r.name).collect();
+        assert_eq!(
+            names,
+            ["winner", "remote.child", "remote.request"],
+            "the propagated decision records despite the lost local draw"
+        );
+    }
+
+    #[test]
+    fn propagated_unsampled_context_does_not_consume_a_local_draw() {
+        let t = Tracer::new(64);
+        t.set_sample_every(2); // draws 0, 2, 4... win
+        let ctx = TraceContext {
+            trace: TraceId(6000),
+            parent: SpanId(1),
+            flags: 0,
+        };
+        drop(t.span_with_context("remote", Some(ctx))); // no draw consumed
+        drop(t.span("local.a")); // draw 0: sampled
+        drop(t.span("local.b")); // draw 1: unsampled
+        let names: Vec<_> = t.drain().iter().map(|r| r.name).collect();
+        assert_eq!(names, ["local.a"]);
+    }
+
+    #[test]
+    fn slow_promotion_does_not_resurrect_an_explicitly_unsampled_trace() {
+        let t = Tracer::new(64);
+        t.set_slow_threshold(Some(Duration::ZERO)); // everything is "slow"
+        let ctx = TraceContext {
+            trace: TraceId(7000),
+            parent: SpanId(1),
+            flags: TraceContext::NO_PROMOTE,
+        };
+        {
+            let _root = t.span_with_context("remote.request", Some(ctx));
+            drop(t.span("remote.child"));
+        }
+        assert!(
+            t.drain().is_empty(),
+            "an explicitly-unsampled trace must stay discarded"
+        );
+        assert!(t.take_promoted().is_empty());
+        let inner = t.inner.as_ref().unwrap();
+        assert!(inner.sampling.pending.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn promotable_remote_trace_promotes_and_reports_its_id() {
+        let t = Tracer::new(64);
+        t.set_slow_threshold(Some(Duration::ZERO));
+        let ctx = TraceContext {
+            trace: TraceId(8000),
+            parent: SpanId(1),
+            flags: 0, // unsampled but promotable
+        };
+        {
+            let _root = t.span_with_context("remote.request", Some(ctx));
+            drop(t.span("remote.child"));
+        }
+        let names: Vec<_> = t.drain().iter().map(|r| r.name).collect();
+        assert_eq!(names, ["remote.child", "remote.request"]);
+        assert_eq!(t.take_promoted(), vec![8000]);
+        assert!(t.take_promoted().is_empty(), "take drains the queue");
+    }
+
+    #[test]
+    fn local_slow_promotions_report_their_ids_too() {
+        let t = Tracer::new(64);
+        t.set_sample_every(u64::MAX);
+        t.set_slow_threshold(Some(Duration::ZERO));
+        drop(t.span("sampled")); // draw 0 wins: recorded, not "promoted"
+        drop(t.span("slow"));
+        assert_eq!(t.drain().len(), 2);
+        assert_eq!(t.take_promoted().len(), 1);
+    }
+
+    #[test]
+    fn active_span_context_carries_the_sampling_decision() {
+        let t = Tracer::new(16);
+        let span = t.span("root");
+        let ctx = span.context().unwrap();
+        assert_eq!(Some(ctx.trace), span.trace_id());
+        assert!(ctx.sampled(), "default sampling records everything");
+        assert_eq!(TraceContext::parse(&ctx.header_value()), Some(ctx));
+        drop(span);
+
+        t.set_sample_every(u64::MAX);
+        drop(t.span("consume-draw-0"));
+        let loser = t.span("unsampled");
+        let ctx = loser.context().unwrap();
+        assert!(!ctx.sampled());
+        assert!(!ctx.no_promote(), "locally-unsampled stays promotable");
+        drop(loser);
+
+        let remote = t.span_with_context(
+            "remote",
+            Some(TraceContext {
+                trace: TraceId(9000),
+                parent: SpanId(3),
+                flags: TraceContext::NO_PROMOTE,
+            }),
+        );
+        let ctx = remote.context().unwrap();
+        assert!(ctx.no_promote(), "no-promote propagates downstream");
+        assert_eq!(ctx.trace, TraceId(9000));
+
+        assert!(Tracer::disabled().span("x").context().is_none());
+    }
+
+    #[test]
+    fn trace_ids_are_entropy_seeded_per_tracer() {
+        // Under miri the seed is pinned; elsewhere two tracers created in
+        // the same process at (almost) the same time still differ because
+        // the clock advances between seeds — and any collision here would
+        // mean the whole fleet collides by construction.
+        let a = Tracer::new(4);
+        let b = Tracer::new(4);
+        drop(a.span("a"));
+        drop(b.span("b"));
+        let ta = a.drain()[0].trace;
+        let tb = b.drain()[0].trace;
+        assert_ne!(ta.0, 0);
+        assert_ne!(tb.0, 0);
+        if !cfg!(miri) {
+            assert_ne!(ta, tb, "independent tracers mint from disjoint ranges");
+        }
     }
 
     #[test]

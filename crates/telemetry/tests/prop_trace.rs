@@ -150,6 +150,97 @@ proptest! {
             prop_assert!(stack.is_empty(), "unclosed spans in lane {lane:?}: {stack:?}");
         }
     }
+
+    /// Any well-formed trace context survives the wire: rendering the
+    /// `X-Orex-Trace` header value and parsing it back is the identity.
+    #[test]
+    fn context_header_round_trips(
+        trace in 1u64..u64::MAX,
+        parent in any::<u64>(),
+        flags in 0u8..4,
+    ) {
+        let context = orex_telemetry::TraceContext {
+            trace: TraceId(trace),
+            parent: SpanId(parent),
+            flags,
+        };
+        let parsed = orex_telemetry::TraceContext::parse(&context.header_value());
+        prop_assert_eq!(parsed, Some(context));
+    }
+
+    /// A propagated "sampled" flag overrides the worker's local 1-in-N
+    /// draw: no matter how aggressive the local rate, every remote span
+    /// whose context carries SAMPLED commits to the ring — and every
+    /// remote span whose context says "unsampled" stays out, even when
+    /// the local counter would have picked it.
+    #[test]
+    fn propagated_decision_overrides_local_sampling(
+        every in 2u64..64,
+        n in 1usize..32,
+        trace in 1u64..u64::MAX,
+    ) {
+        let tracer = Tracer::new(1024);
+        tracer.set_sample_every(every);
+        tracer.set_slow_threshold(None);
+        for i in 0..n {
+            // Alternate: even spans propagate SAMPLED, odd spans carry
+            // flags 0 (unsampled-but-promotable).
+            let context = orex_telemetry::TraceContext {
+                trace: TraceId(trace),
+                parent: SpanId(900 + i as u64),
+                flags: if i % 2 == 0 { orex_telemetry::TraceContext::SAMPLED } else { 0 },
+            };
+            let span = tracer.span_with_context("ingress", Some(context));
+            prop_assert_eq!(span.is_sampled(), i % 2 == 0, "local 1-in-{} draw leaked through", every);
+            drop(span);
+        }
+        // Exactly the SAMPLED-flagged spans survive, regardless of `every`.
+        prop_assert_eq!(tracer.drain().len(), n.div_ceil(2));
+        prop_assert!(tracer.take_promoted().is_empty());
+    }
+
+    /// Slow-trace promotion must not resurrect an explicitly-unsampled
+    /// trace: with a zero slow threshold (everything is "slow"), a
+    /// NO_PROMOTE context still discards root and children, while an
+    /// unsampled-but-promotable one is promoted and reported.
+    #[test]
+    fn no_promote_is_never_resurrected_by_slow_promotion(
+        trace in 1u64..u64::MAX,
+        children in 0usize..8,
+    ) {
+        let tracer = Tracer::new(1024);
+        tracer.set_sample_every(u64::MAX);
+        tracer.set_slow_threshold(Some(std::time::Duration::ZERO));
+
+        // NO_PROMOTE: the caller explicitly opted this trace out.
+        let context = orex_telemetry::TraceContext {
+            trace: TraceId(trace),
+            parent: SpanId(7),
+            flags: orex_telemetry::TraceContext::NO_PROMOTE,
+        };
+        let root = tracer.span_with_context("ingress", Some(context));
+        for _ in 0..children {
+            drop(tracer.span("child"));
+        }
+        drop(root);
+        prop_assert!(tracer.drain().is_empty(), "NO_PROMOTE trace was resurrected");
+        prop_assert!(tracer.take_promoted().is_empty());
+
+        // Control: the same shape without NO_PROMOTE promotes everything
+        // and queues the id for the ingress edge.
+        let context = orex_telemetry::TraceContext {
+            trace: TraceId(trace),
+            parent: SpanId(7),
+            flags: 0,
+        };
+        let root = tracer.span_with_context("ingress", Some(context));
+        for _ in 0..children {
+            drop(tracer.span("child"));
+        }
+        drop(root);
+        prop_assert_eq!(tracer.drain().len(), children + 1);
+        prop_assert_eq!(tracer.take_promoted(), vec![trace]);
+    }
 }
 
 /// A disabled tracer records nothing regardless of the program thrown at
